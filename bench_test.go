@@ -1,0 +1,217 @@
+// Benchmarks regenerating every table and figure of the paper, one bench
+// per artifact, plus the ablation benches DESIGN.md calls out. All benches
+// share one generated dataset and analysis (deterministic, built once), so
+// per-iteration cost is the experiment itself.
+//
+// Run with: go test -bench=. -benchmem
+package crowdscope_test
+
+import (
+	"sync"
+	"testing"
+
+	"crowdscope/internal/cluster"
+	"crowdscope/internal/core"
+	"crowdscope/internal/corr"
+	"crowdscope/internal/experiments"
+	"crowdscope/internal/metrics"
+	"crowdscope/internal/synth"
+)
+
+var (
+	benchOnce sync.Once
+	benchDS   *synth.Dataset
+	benchA    *core.Analysis
+	benchCtx  *experiments.Context
+)
+
+func setup(b *testing.B) *experiments.Context {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchDS = synth.Generate(synth.Config{Seed: 1701, Scale: 0.01})
+		benchA = core.New(benchDS, core.DefaultOptions())
+		benchCtx = experiments.NewContext(benchA)
+		benchCtx.Workers() // warm the memoized worker table
+	})
+	return benchCtx
+}
+
+func benchExperiment(b *testing.B, id string) {
+	ctx := setup(b)
+	e, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := e.Run(ctx)
+		if out == nil || out.Text == "" {
+			b.Fatal("empty outcome")
+		}
+	}
+}
+
+// One benchmark per paper artifact.
+
+func BenchmarkFig1SampledTasks(b *testing.B)          { benchExperiment(b, "fig1") }
+func BenchmarkFig2aArrivalsVsPickup(b *testing.B)     { benchExperiment(b, "fig2a") }
+func BenchmarkFig2bArrivalOverlay(b *testing.B)       { benchExperiment(b, "fig2b") }
+func BenchmarkFig3DayOfWeek(b *testing.B)             { benchExperiment(b, "fig3") }
+func BenchmarkFig4WorkerAvailability(b *testing.B)    { benchExperiment(b, "fig4") }
+func BenchmarkFig5aArrivalsVsPickup(b *testing.B)     { benchExperiment(b, "fig5a") }
+func BenchmarkFig5bEngagementSplit(b *testing.B)      { benchExperiment(b, "fig5b") }
+func BenchmarkFig6ClusterSizes(b *testing.B)          { benchExperiment(b, "fig6") }
+func BenchmarkFig7TasksPerCluster(b *testing.B)       { benchExperiment(b, "fig7") }
+func BenchmarkFig8HeavyHitters(b *testing.B)          { benchExperiment(b, "fig8") }
+func BenchmarkFig9LabelDistributions(b *testing.B)    { benchExperiment(b, "fig9") }
+func BenchmarkFig10Correlations(b *testing.B)         { benchExperiment(b, "fig10") }
+func BenchmarkFig11Correlations(b *testing.B)         { benchExperiment(b, "fig11") }
+func BenchmarkFig12SimpleVsComplex(b *testing.B)      { benchExperiment(b, "fig12") }
+func BenchmarkFig13LatencyDecomposition(b *testing.B) { benchExperiment(b, "fig13") }
+func BenchmarkFig14FeatureCDFs(b *testing.B)          { benchExperiment(b, "fig14") }
+func BenchmarkFig25DrillDown(b *testing.B)            { benchExperiment(b, "fig25") }
+func BenchmarkFig26Sources(b *testing.B)              { benchExperiment(b, "fig26") }
+func BenchmarkFig27SourceQuality(b *testing.B)        { benchExperiment(b, "fig27") }
+func BenchmarkFig28Geography(b *testing.B)            { benchExperiment(b, "fig28") }
+func BenchmarkFig29Workload(b *testing.B)             { benchExperiment(b, "fig29") }
+func BenchmarkFig30Lifetimes(b *testing.B)            { benchExperiment(b, "fig30") }
+func BenchmarkTable1Disagreement(b *testing.B)        { benchExperiment(b, "tab1") }
+func BenchmarkTable2TaskTime(b *testing.B)            { benchExperiment(b, "tab2") }
+func BenchmarkTable3PickupTime(b *testing.B)          { benchExperiment(b, "tab3") }
+func BenchmarkTable4Sources(b *testing.B)             { benchExperiment(b, "tab4") }
+func BenchmarkSec49Prediction(b *testing.B)           { benchExperiment(b, "sec49") }
+
+// Pipeline-stage benchmarks.
+
+func BenchmarkGenerateDataset(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ds := synth.Generate(synth.Config{Seed: uint64(i + 1), Scale: 0.002})
+		if ds.Store.Len() == 0 {
+			b.Fatal("empty dataset")
+		}
+	}
+}
+
+func BenchmarkAnalysisPipeline(b *testing.B) {
+	ds := synth.Generate(synth.Config{Seed: 3, Scale: 0.002})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := core.New(ds, core.DefaultOptions())
+		if a.Clustering.NumClusters() == 0 {
+			b.Fatal("no clusters")
+		}
+	}
+}
+
+func BenchmarkComputeAllMetrics(b *testing.B) {
+	ctx := setup(b)
+	st := ctx.A.DS.Store
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metrics.ComputeAll(st)
+	}
+}
+
+// Ablation benchmarks (DESIGN.md Section 5).
+
+// BenchmarkAblationClusterSignature compares MinHash-estimated similarity
+// against exact Jaccard verification.
+func BenchmarkAblationClusterSignature(b *testing.B) {
+	ctx := setup(b)
+	ids := ctx.A.SampledIDs[:1500]
+	html := ctx.A.DS.BatchHTML
+	b.Run("minhash", func(b *testing.B) {
+		opts := cluster.DefaultOptions()
+		for i := 0; i < b.N; i++ {
+			cluster.Batches(ids, html, opts)
+		}
+	})
+	b.Run("exact", func(b *testing.B) {
+		opts := cluster.DefaultOptions()
+		opts.Exact = true
+		for i := 0; i < b.N; i++ {
+			cluster.Batches(ids, html, opts)
+		}
+	})
+}
+
+// BenchmarkAblationBinning compares the paper's median split with a mean
+// split on the heavy-tailed #items feature.
+func BenchmarkAblationBinning(b *testing.B) {
+	ctx := setup(b)
+	obs := ctx.A.Observations(true)
+	fv := make([]float64, len(obs))
+	mv := make([]float64, len(obs))
+	for i, o := range obs {
+		fv[i] = o.Features[core.FeatItems]
+		mv[i] = o.Metrics[core.MetricTaskTime]
+	}
+	b.Run("median", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			corr.Run(core.FeatItems, core.MetricTaskTime, corr.SplitAtMedian, fv, mv)
+		}
+	})
+	b.Run("mean", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			corr.MeanSplit(core.FeatItems, core.MetricTaskTime, fv, mv)
+		}
+	})
+}
+
+// BenchmarkAblationDisagreementVariants compares the paper's pruned
+// disagreement against the unpruned variant (Section 4.1 discusses both).
+func BenchmarkAblationDisagreementVariants(b *testing.B) {
+	ctx := setup(b)
+	bms := ctx.A.BatchMetrics
+	b.Run("pruned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := 0
+			for _, bm := range bms {
+				if bm.Valid() && !bm.Pruned() {
+					n++
+				}
+			}
+			if n == 0 {
+				b.Fatal("all pruned")
+			}
+		}
+	})
+	b.Run("unpruned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := 0
+			for _, bm := range bms {
+				if bm.Valid() && bm.Pairs > 0 {
+					n++
+				}
+			}
+			if n == 0 {
+				b.Fatal("none valid")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationStoreLayout compares columnar scans against
+// row-at-a-time materialization on the shared store.
+func BenchmarkAblationStoreLayout(b *testing.B) {
+	ctx := setup(b)
+	st := ctx.A.DS.Store
+	b.Run("columnar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var total int64
+			for _, s := range st.Starts() {
+				total += s
+			}
+			_ = total
+		}
+	})
+	b.Run("row", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var total int64
+			for r := 0; r < st.Len(); r++ {
+				total += st.Row(r).Start
+			}
+			_ = total
+		}
+	})
+}

@@ -1,0 +1,209 @@
+// Command crowdstats answers ad-hoc questions about a synthetic
+// marketplace: headline counts, per-source and per-country rollups,
+// per-cluster summaries, and load statistics.
+//
+// Usage:
+//
+//	crowdstats -seed 1701 -scale 0.02 summary
+//	crowdstats sources | countries | clusters | load | workers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"crowdscope/internal/core"
+	"crowdscope/internal/experiments"
+	"crowdscope/internal/model"
+	"crowdscope/internal/report"
+	"crowdscope/internal/stats"
+	"crowdscope/internal/store"
+	"crowdscope/internal/synth"
+	"crowdscope/internal/timeseries"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1701, "generation seed")
+	scale := flag.Float64("scale", 0.02, "instance-volume scale in (0,1]")
+	top := flag.Int("top", 15, "rows to show in rollups")
+	flag.Parse()
+
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		cmd = "summary"
+	}
+
+	if cmd == "snapshot" {
+		snapshotCmd(flag.Arg(1))
+		return
+	}
+
+	ds := synth.Generate(synth.Config{Seed: *seed, Scale: *scale})
+
+	switch cmd {
+	case "summary":
+		summary(ds)
+	case "load":
+		load(ds)
+	case "sources", "countries", "workers", "clusters":
+		analysis := core.New(ds, core.DefaultOptions())
+		ctx := experiments.NewContext(analysis)
+		switch cmd {
+		case "sources":
+			sourcesCmd(analysis, ctx, *top)
+		case "countries":
+			countriesCmd(analysis, ctx, *top)
+		case "workers":
+			workersCmd(ctx, *top)
+		case "clusters":
+			clustersCmd(analysis, *top)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "crowdstats: unknown command %q\n", cmd)
+		fmt.Fprintln(os.Stderr, "commands: summary load sources countries workers clusters snapshot <file>")
+		os.Exit(1)
+	}
+}
+
+// snapshotCmd inspects an instance-log snapshot written by crowdgen.
+func snapshotCmd(path string) {
+	if path == "" {
+		fmt.Fprintln(os.Stderr, "crowdstats: snapshot requires a file path")
+		os.Exit(1)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crowdstats: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	var st store.Store
+	n, err := st.ReadFrom(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crowdstats: read snapshot: %v\n", err)
+		os.Exit(1)
+	}
+	if err := st.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "crowdstats: snapshot invalid: %v\n", err)
+		os.Exit(1)
+	}
+	nonEmpty := 0
+	for b := 0; b < st.NumBatches(); b++ {
+		if lo, hi := st.BatchRange(uint32(b)); hi > lo {
+			nonEmpty++
+		}
+	}
+	starts := st.Starts()
+	minS, maxS := starts[0], starts[0]
+	for _, s := range starts {
+		if s < minS {
+			minS = s
+		}
+		if s > maxS {
+			maxS = s
+		}
+	}
+	tbl := report.NewTable("Snapshot " + path)
+	tbl.Headers = []string{"quantity", "value"}
+	tbl.AddRow("bytes", n)
+	tbl.AddRow("rows", st.Len())
+	tbl.AddRow("bytes/row", float64(n)/float64(st.Len()))
+	tbl.AddRow("batches with rows", nonEmpty)
+	tbl.AddRow("distinct workers", st.DistinctWorkers())
+	tbl.AddRow("first start week", model.WeekOfUnix(minS))
+	tbl.AddRow("last start week", model.WeekOfUnix(maxS))
+	tbl.Render(os.Stdout)
+}
+
+func summary(ds *synth.Dataset) {
+	obs := ds.ObservedWorkers()
+	tbl := report.NewTable("Marketplace summary")
+	tbl.Headers = []string{"quantity", "value"}
+	tbl.AddRow("batches", len(ds.Batches))
+	tbl.AddRow("sampled batches", len(ds.SampledBatchIDs()))
+	tbl.AddRow("distinct task types", len(ds.TaskTypes))
+	tbl.AddRow("task instances (materialized)", ds.Store.Len())
+	tbl.AddRow("workers observed", len(obs))
+	tbl.AddRow("labor sources", len(ds.Sources))
+	tbl.AddRow("countries", len(ds.Countries))
+	tbl.Render(os.Stdout)
+}
+
+func load(ds *synth.Dataset) {
+	daily := timeseries.NewDaily()
+	for i := range ds.Batches {
+		b := &ds.Batches[i]
+		if b.Sampled {
+			daily.AddAt(b.CreatedAt.Unix(), float64(b.Instances()))
+		}
+	}
+	post := daily.Slice(int(model.PostBoomWeek)*7, daily.Len())
+	ls := timeseries.SummarizeLoad(post)
+	fmt.Printf("post-2015 daily load: median=%.0f max=%.0f peak=%.1fx trough=%.5fx\n",
+		ls.Median, ls.Max, ls.PeakRatio, ls.TroughRatio)
+	fold := timeseries.WeekdayFold(daily)
+	chart := report.NewChart("By weekday")
+	for i, name := range timeseries.WeekdayNames {
+		chart.Add(name, fold[i])
+	}
+	chart.Render(os.Stdout)
+}
+
+func sourcesCmd(a *core.Analysis, ctx *experiments.Context, top int) {
+	sources := a.SourceTable(ctx.Workers())
+	tbl := report.NewTable("Sources by task volume", "source", "workers", "tasks", "tasks/worker", "trust", "rel-time")
+	for i, s := range sources {
+		if i >= top {
+			break
+		}
+		tbl.AddRow(s.Name, s.Workers, s.Tasks, s.AvgTasksPerWorker, s.MeanTrust, s.MeanRelTime)
+	}
+	tbl.Render(os.Stdout)
+}
+
+func countriesCmd(a *core.Analysis, ctx *experiments.Context, top int) {
+	countries := a.CountryTable(ctx.Workers())
+	chart := report.NewChart("Workers by country")
+	for i, c := range countries {
+		if i >= top {
+			break
+		}
+		chart.Add(c.Name, float64(c.Workers))
+	}
+	chart.Render(os.Stdout)
+}
+
+func workersCmd(ctx *experiments.Context, top int) {
+	workers := ctx.Workers()
+	tbl := report.NewTable("Top workers", "rank", "class", "tasks", "working-days", "lifetime-d", "hours", "trust")
+	for i, w := range workers {
+		if i >= top {
+			break
+		}
+		tbl.AddRow(i+1, w.Class.String(), w.Tasks, w.WorkingDays, w.Lifetime, w.HoursTotal(), w.MeanTrust)
+	}
+	tbl.Render(os.Stdout)
+	loads := make([]float64, len(workers))
+	for i := range workers {
+		loads[i] = float64(workers[i].Tasks)
+	}
+	fmt.Printf("\ntop-10%% of %d workers perform %.0f%% of tasks (Gini %.2f)\n",
+		len(workers), 100*stats.TopShare(loads, 0.10), stats.Gini(loads))
+}
+
+func clustersCmd(a *core.Analysis, top int) {
+	rows := append([]core.ClusterRow(nil), a.Clusters...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Instances > rows[j].Instances })
+	tbl := report.NewTable("Largest clusters", "cluster", "batches", "instances", "goal", "ops", "data", "disagreement", "task-time-s", "pickup-s")
+	for i, c := range rows {
+		if i >= top {
+			break
+		}
+		tbl.AddRow(c.Cluster, len(c.Batches), c.Instances, c.Labels.Goals.String(), c.Labels.Operators.String(), c.Labels.Data.String(),
+			c.Metrics.Disagreement, c.Metrics.TaskTime, c.Metrics.PickupTime)
+	}
+	tbl.Render(os.Stdout)
+	fmt.Printf("\n%d clusters over %d sampled batches\n", len(a.Clusters), len(a.SampledIDs))
+}

@@ -1,0 +1,13 @@
+// Package crowdscope reproduces "Understanding Workers, Developing
+// Effective Tasks, and Enhancing Marketplace Dynamics: A Study of a Large
+// Crowdsourcing Marketplace" (Jain, Das Sarma, Parameswaran, Widom — VLDB
+// 2017) as a Go library: a calibrated synthetic marketplace simulator
+// substituting for the proprietary 27M-instance dataset, the full analysis
+// pipeline (batch clustering, HTML design-feature extraction,
+// effectiveness metrics, correlation methodology, decision-tree
+// prediction), and a benchmark harness regenerating every table and figure
+// of the paper's evaluation.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+package crowdscope

@@ -1,0 +1,59 @@
+// Abtest: the causal follow-up the paper's Section 7 proposes. The
+// correlation analysis of Section 4 cannot separate design effects from
+// requester self-selection; this example runs randomized controlled
+// experiments on the simulated marketplace — same work, same worker pool,
+// same days, only the interface differs — and confirms the Table 1-3
+// effects causally.
+package main
+
+import (
+	"fmt"
+
+	"crowdscope/internal/model"
+	"crowdscope/internal/synth"
+)
+
+func main() {
+	labels := model.Labels{
+		Goals:     model.GoalSet(0).With(model.GoalLU),
+		Operators: model.OpSet(0).With(model.OpFilter),
+		Data:      model.DataSet(0).With(model.DataText),
+	}
+	base := model.DesignParams{Words: 400, TextBoxes: 0, Items: 40, Examples: 0, Images: 0, Fields: 6}
+
+	treatments := []struct {
+		name   string
+		mutate func(model.DesignParams) model.DesignParams
+	}{
+		{"add 2 text boxes", func(d model.DesignParams) model.DesignParams { d.TextBoxes = 2; d.Fields += 2; return d }},
+		{"add 2 prominent examples", func(d model.DesignParams) model.DesignParams { d.Examples = 2; return d }},
+		{"add 3 images", func(d model.DesignParams) model.DesignParams { d.Images = 3; return d }},
+		{"5x the instructions", func(d model.DesignParams) model.DesignParams { d.Words *= 5; return d }},
+		{"no change (A/A control)", func(d model.DesignParams) model.DesignParams { return d }},
+	}
+
+	fmt.Println("Randomized A/B experiments against the control design")
+	fmt.Printf("control: %+v\n\n", base)
+	fmt.Printf("%-28s %-26s %-26s %-26s\n", "treatment", "disagreement (A→B, p)", "task-time s (A→B, p)", "pickup s (A→B, p)")
+	for i, tr := range treatments {
+		res := synth.RunAB(synth.ABConfig{
+			Seed:    1000 + uint64(i),
+			Labels:  labels,
+			DesignA: base,
+			DesignB: tr.mutate(base),
+		})
+		fmt.Printf("%-28s %-26s %-26s %-26s\n", tr.name,
+			cell(res.A.MedianDisagreement, res.B.MedianDisagreement, res.Disagreement.P),
+			cell(res.A.MedianTaskTime, res.B.MedianTaskTime, res.TaskTime.P),
+			cell(res.A.MedianPickupTime, res.B.MedianPickupTime, res.PickupTime.P))
+	}
+	fmt.Println("\n'*' marks p < 0.01: the causal confirmations of the Section 4 correlations.")
+}
+
+func cell(a, b, p float64) string {
+	mark := " "
+	if p < 0.01 {
+		mark = "*"
+	}
+	return fmt.Sprintf("%.3g→%.3g%s(p=%.1g)", a, b, mark, p)
+}

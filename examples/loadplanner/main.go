@@ -1,0 +1,95 @@
+// Loadplanner: the marketplace administrator's view of Section 3 — how
+// bursty the incoming task load is, whether the workforce absorbs it,
+// which clusters dominate the queue, and how much slack the pickup-time
+// coupling provides during spikes.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"crowdscope/internal/core"
+	"crowdscope/internal/model"
+	"crowdscope/internal/report"
+	"crowdscope/internal/stats"
+	"crowdscope/internal/synth"
+	"crowdscope/internal/timeseries"
+)
+
+func main() {
+	ds := synth.Generate(synth.Config{Seed: 5, Scale: 0.01})
+	analysis := core.New(ds, core.DefaultOptions())
+
+	// Arrival burstiness.
+	daily := timeseries.NewDaily()
+	weekly := timeseries.NewWeekly()
+	for i := range ds.Batches {
+		b := &ds.Batches[i]
+		if b.Sampled {
+			daily.AddAt(b.CreatedAt.Unix(), float64(b.Instances()))
+			weekly.AddAt(b.CreatedAt.Unix(), float64(b.Instances()))
+		}
+	}
+	post := daily.Slice(int(model.PostBoomWeek)*7, daily.Len())
+	ls := timeseries.SummarizeLoad(post)
+	fmt.Printf("Arrivals (post-2015): median %.0f/day, peak %.1fx, trough %.5fx\n", ls.Median, ls.PeakRatio, ls.TroughRatio)
+	fmt.Println("Provisioning for the median wastes the peak; provisioning for the peak idles 30x capacity.")
+
+	// Workforce absorption: distinct workers vs load, weekly.
+	distinct := timeseries.NewWeeklyDistinct()
+	starts := ds.Store.Starts()
+	workersCol := ds.Store.Workers()
+	for i := range starts {
+		distinct.Observe(starts[i], workersCol[i])
+	}
+	wSeries := distinct.Series()
+	wVals := wSeries.Slice(int(model.PostBoomWeek), wSeries.Len()).NonZero()
+	aVals := weekly.Slice(int(model.PostBoomWeek), weekly.Len()).NonZero()
+	fmt.Printf("\nWorkforce: weekly active-worker CV %.2f vs load CV %.2f — the pool flexes, headcount does not.\n",
+		stats.StdDev(wVals)/stats.Mean(wVals), stats.StdDev(aVals)/stats.Mean(aVals))
+
+	// Queue concentration: which clusters dominate.
+	rows := append([]core.ClusterRow(nil), analysis.Clusters...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Instances > rows[j].Instances })
+	total := 0
+	for _, c := range rows {
+		total += c.Instances
+	}
+	tbl := report.NewTable("Heaviest clusters (fine-tuning candidates)",
+		"cluster", "batches", "instances", "share", "goal", "pickup-s")
+	cum := 0
+	for i := 0; i < 8 && i < len(rows); i++ {
+		c := rows[i]
+		cum += c.Instances
+		tbl.AddRow(c.Cluster, len(c.Batches), c.Instances,
+			fmt.Sprintf("%.1f%%", 100*float64(c.Instances)/float64(total)),
+			c.Labels.Goals.String(), c.Metrics.PickupTime)
+	}
+	fmt.Println()
+	fmt.Print(tbl.String())
+	fmt.Printf("the top-8 clusters hold %.0f%% of all instances: per-cluster interface tuning pays (Section 3.3).\n",
+		100*float64(cum)/float64(total))
+
+	// Pickup elasticity during spikes.
+	pick := timeseries.NewWeeklyGrouped()
+	for i := range ds.Batches {
+		b := &ds.Batches[i]
+		if !b.Sampled {
+			continue
+		}
+		if bm := analysis.BatchMetrics[b.ID]; bm.Valid() {
+			pick.Observe(b.CreatedAt.Unix(), bm.PickupTime)
+		}
+	}
+	pm := pick.Median()
+	var loads, picks []float64
+	for w := int(model.PostBoomWeek); w < weekly.Len(); w++ {
+		if weekly.At(w) > 0 && pm.At(w) > 0 {
+			loads = append(loads, weekly.At(w))
+			picks = append(picks, pm.At(w))
+		}
+	}
+	rho := stats.SpearmanCorr(loads, picks)
+	fmt.Printf("\nPickup elasticity: weekly load vs median pickup-time Spearman rho = %.2f\n", rho)
+	fmt.Println("Negative coupling means spikes self-clear: high-load weeks attract faster pickups (Section 3.2).")
+}

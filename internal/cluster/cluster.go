@@ -1,0 +1,280 @@
+// Package cluster groups batches into distinct tasks by interface
+// similarity, mirroring the paper's Section 3.3 methodology: batches whose
+// sample HTML looks the same (same markup structure and near-identical
+// wording) almost surely carry the same unit of work. Similarity is
+// Jaccard over HTML shingles, computed scalably with MinHash signatures
+// and locality-sensitive banding, then merged with union-find.
+package cluster
+
+import (
+	"sort"
+
+	"crowdscope/internal/htmlfeat"
+	"crowdscope/internal/rng"
+)
+
+// Options tune the clustering.
+type Options struct {
+	// ShingleK is the shingle width over the combined tag/word stream.
+	ShingleK int
+	// Hashes is the MinHash signature length.
+	Hashes int
+	// Bands is the number of LSH bands (must divide Hashes).
+	Bands int
+	// Threshold is the signature-estimated Jaccard above which two
+	// batches merge. The paper tuned its threshold until eyeballed
+	// matches clustered together; 0.7 plays that role here.
+	Threshold float64
+	// Exact switches to exact Jaccard verification of candidate pairs
+	// (slower, used by the ablation benchmarks).
+	Exact bool
+	// Seed randomizes the hash family.
+	Seed uint64
+}
+
+// DefaultOptions returns the tuned clustering configuration.
+func DefaultOptions() Options {
+	return Options{ShingleK: 4, Hashes: 64, Bands: 16, Threshold: 0.7, Seed: 0x5EED}
+}
+
+// Clustering is the result: a cluster index per input batch and the
+// members of each cluster.
+type Clustering struct {
+	// IDs holds the input batch IDs in input order.
+	IDs []uint32
+	// ClusterOf[i] is the cluster index of IDs[i].
+	ClusterOf []int
+	// Members[c] lists input positions belonging to cluster c.
+	Members [][]int
+}
+
+// NumClusters returns the number of clusters found.
+func (c *Clustering) NumClusters() int { return len(c.Members) }
+
+// Sizes returns the member count per cluster.
+func (c *Clustering) Sizes() []int {
+	out := make([]int, len(c.Members))
+	for i, m := range c.Members {
+		out[i] = len(m)
+	}
+	return out
+}
+
+// Batches clusters the given batch IDs using html(id) to obtain each
+// batch's sample page. Batches whose page is unavailable become singleton
+// clusters.
+func Batches(ids []uint32, html func(uint32) (string, bool), opts Options) *Clustering {
+	if opts.Hashes <= 0 || opts.Bands <= 0 || opts.Hashes%opts.Bands != 0 {
+		opts = DefaultOptions()
+	}
+	n := len(ids)
+	hasher := newMinHasher(opts.Hashes, opts.Seed)
+
+	sigs := make([][]uint64, n)
+	var shingleSets []map[uint64]struct{}
+	if opts.Exact {
+		shingleSets = make([]map[uint64]struct{}, n)
+	}
+	for i, id := range ids {
+		page, ok := html(id)
+		if !ok {
+			continue
+		}
+		set := bottomK(htmlfeat.Shingles(page, opts.ShingleK), maxShingles)
+		sigs[i] = hasher.signature(set)
+		if opts.Exact {
+			shingleSets[i] = set
+		}
+	}
+
+	uf := newUnionFind(n)
+	rowsPerBand := opts.Hashes / opts.Bands
+
+	// LSH: batches agreeing on all rows of any band become candidates.
+	buckets := make(map[uint64][]int)
+	for band := 0; band < opts.Bands; band++ {
+		for k := range buckets {
+			delete(buckets, k)
+		}
+		for i := 0; i < n; i++ {
+			if sigs[i] == nil {
+				continue
+			}
+			key := hashBand(sigs[i][band*rowsPerBand:(band+1)*rowsPerBand], uint64(band))
+			buckets[key] = append(buckets[key], i)
+		}
+		for _, cand := range buckets {
+			if len(cand) < 2 {
+				continue
+			}
+			anchor := cand[0]
+			for _, other := range cand[1:] {
+				if uf.find(anchor) == uf.find(other) {
+					continue
+				}
+				var sim float64
+				if opts.Exact {
+					sim = htmlfeat.Jaccard(shingleSets[anchor], shingleSets[other])
+				} else {
+					sim = estimateJaccard(sigs[anchor], sigs[other])
+				}
+				if sim >= opts.Threshold {
+					uf.union(anchor, other)
+				}
+			}
+		}
+	}
+
+	return assemble(ids, uf)
+}
+
+func assemble(ids []uint32, uf *unionFind) *Clustering {
+	n := len(ids)
+	c := &Clustering{IDs: ids, ClusterOf: make([]int, n)}
+	rootToCluster := map[int]int{}
+	for i := 0; i < n; i++ {
+		root := uf.find(i)
+		ci, ok := rootToCluster[root]
+		if !ok {
+			ci = len(c.Members)
+			rootToCluster[root] = ci
+			c.Members = append(c.Members, nil)
+		}
+		c.ClusterOf[i] = ci
+		c.Members[ci] = append(c.Members[ci], i)
+	}
+	return c
+}
+
+// estimateJaccard is the fraction of matching signature positions.
+func estimateJaccard(a, b []uint64) float64 {
+	if len(a) == 0 || len(a) != len(b) {
+		return 0
+	}
+	match := 0
+	for i := range a {
+		if a[i] == b[i] {
+			match++
+		}
+	}
+	return float64(match) / float64(len(a))
+}
+
+func hashBand(rows []uint64, band uint64) uint64 {
+	h := uint64(14695981039346656037) ^ band*1099511628211
+	for _, v := range rows {
+		h ^= v
+		h *= 1099511628211
+	}
+	return h
+}
+
+// maxShingles caps the shingle set per page with a bottom-k sketch (the k
+// numerically smallest shingle hashes). Bottom-k sketches of two sets
+// approximate their true Jaccard similarity, and the cap bounds signature
+// cost for the rare 40k-word task pages.
+const maxShingles = 512
+
+func bottomK(set map[uint64]struct{}, k int) map[uint64]struct{} {
+	if len(set) <= k {
+		return set
+	}
+	vals := make([]uint64, 0, len(set))
+	for v := range set {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	out := make(map[uint64]struct{}, k)
+	for _, v := range vals[:k] {
+		out[v] = struct{}{}
+	}
+	return out
+}
+
+// minHasher holds a family of pairwise-independent hash functions of the
+// form (a*x + b) over the 64-bit ring.
+type minHasher struct {
+	a, b []uint64
+}
+
+func newMinHasher(k int, seed uint64) *minHasher {
+	r := rng.New(seed)
+	m := &minHasher{a: make([]uint64, k), b: make([]uint64, k)}
+	for i := 0; i < k; i++ {
+		m.a[i] = r.Uint64() | 1 // odd multiplier
+		m.b[i] = r.Uint64()
+	}
+	return m
+}
+
+// signature computes the MinHash signature of a shingle set; empty sets
+// map to a sentinel all-max signature that never matches anything real.
+func (m *minHasher) signature(set map[uint64]struct{}) []uint64 {
+	k := len(m.a)
+	sig := make([]uint64, k)
+	for i := range sig {
+		sig[i] = ^uint64(0)
+	}
+	for s := range set {
+		for i := 0; i < k; i++ {
+			h := m.a[i]*s + m.b[i]
+			if h < sig[i] {
+				sig[i] = h
+			}
+		}
+	}
+	return sig
+}
+
+// unionFind is a weighted quick-union with path halving.
+type unionFind struct {
+	parent []int
+	size   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+}
+
+// SizeHistogram returns (size, count) pairs sorted ascending by size — the
+// log-log cluster-size distribution of Figure 6.
+func (c *Clustering) SizeHistogram() (sizes []int, counts []int) {
+	bySize := map[int]int{}
+	for _, m := range c.Members {
+		bySize[len(m)]++
+	}
+	for s := range bySize {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	counts = make([]int, len(sizes))
+	for i, s := range sizes {
+		counts[i] = bySize[s]
+	}
+	return sizes, counts
+}

@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"crowdscope/internal/htmlgen"
+	"crowdscope/internal/model"
+)
+
+// fakeCorpus builds HTML pages for nTypes distinct tasks, batchesPer each.
+func fakeCorpus(nTypes, batchesPer int) (ids []uint32, html map[uint32]string, truth map[uint32]int) {
+	html = map[uint32]string{}
+	truth = map[uint32]int{}
+	var id uint32
+	for t := 0; t < nTypes; t++ {
+		tt := model.TaskType{
+			ID: uint32(t),
+			Labels: model.Labels{
+				Goals:     model.GoalSet(0).With(model.Goal(t % model.NumGoals)),
+				Operators: model.OpSet(0).With(model.Operator(t % model.NumOperators)),
+				Data:      model.DataSet(0).With(model.DataType(t % model.NumDataTypes)),
+			},
+			Design: model.DesignParams{
+				Words:     150 + 90*t,
+				TextBoxes: t % 3,
+				Examples:  t % 2,
+				Images:    (t * 7) % 4,
+				Fields:    4 + t%5,
+			},
+		}
+		for b := 0; b < batchesPer; b++ {
+			page := htmlgen.Render(tt, htmlgen.Options{
+				Seed:     uint64(t) * 1000003,
+				BatchTag: fmt.Sprintf("%d-%d", t, b),
+			})
+			ids = append(ids, id)
+			html[id] = page
+			truth[id] = t
+			id++
+		}
+	}
+	return ids, html, truth
+}
+
+func lookup(html map[uint32]string) func(uint32) (string, bool) {
+	return func(id uint32) (string, bool) {
+		p, ok := html[id]
+		return p, ok
+	}
+}
+
+func TestClusteringRecoversTaskTypes(t *testing.T) {
+	ids, html, truth := fakeCorpus(12, 8)
+	c := Batches(ids, lookup(html), DefaultOptions())
+	if got := c.NumClusters(); got != 12 {
+		t.Fatalf("found %d clusters, want 12", got)
+	}
+	// Every cluster must be label-pure.
+	for ci, members := range c.Members {
+		want := truth[ids[members[0]]]
+		for _, m := range members {
+			if truth[ids[m]] != want {
+				t.Fatalf("cluster %d mixes task types %d and %d", ci, want, truth[ids[m]])
+			}
+		}
+	}
+}
+
+func TestClusteringExactMode(t *testing.T) {
+	ids, html, truth := fakeCorpus(8, 5)
+	opts := DefaultOptions()
+	opts.Exact = true
+	c := Batches(ids, lookup(html), opts)
+	if got := c.NumClusters(); got != 8 {
+		t.Fatalf("exact mode found %d clusters, want 8", got)
+	}
+	for _, members := range c.Members {
+		want := truth[ids[members[0]]]
+		for _, m := range members {
+			if truth[ids[m]] != want {
+				t.Fatal("exact mode mixed clusters")
+			}
+		}
+	}
+}
+
+func TestClusteringMissingHTML(t *testing.T) {
+	ids, html, _ := fakeCorpus(3, 3)
+	// Remove HTML for two batches: they must become singletons.
+	delete(html, ids[0])
+	delete(html, ids[4])
+	c := Batches(ids, lookup(html), DefaultOptions())
+	// 3 real clusters; the two page-less batches each get their own.
+	if got := c.NumClusters(); got != 5 {
+		t.Fatalf("clusters = %d, want 5", got)
+	}
+}
+
+func TestClusteringSingletons(t *testing.T) {
+	ids, html, _ := fakeCorpus(20, 1)
+	c := Batches(ids, lookup(html), DefaultOptions())
+	if got := c.NumClusters(); got != 20 {
+		t.Fatalf("one-batch tasks: clusters = %d, want 20", got)
+	}
+	for i := range ids {
+		if len(c.Members[c.ClusterOf[i]]) != 1 {
+			t.Fatal("singleton batch merged")
+		}
+	}
+}
+
+func TestClusterOfConsistency(t *testing.T) {
+	ids, html, _ := fakeCorpus(6, 4)
+	c := Batches(ids, lookup(html), DefaultOptions())
+	total := 0
+	for ci, members := range c.Members {
+		total += len(members)
+		for _, m := range members {
+			if c.ClusterOf[m] != ci {
+				t.Fatalf("ClusterOf[%d] = %d, member of %d", m, c.ClusterOf[m], ci)
+			}
+		}
+	}
+	if total != len(ids) {
+		t.Fatalf("members cover %d of %d batches", total, len(ids))
+	}
+}
+
+func TestSizeHistogram(t *testing.T) {
+	ids, html, _ := fakeCorpus(4, 3)
+	// Add 5 extra one-off types.
+	extraIDs, extraHTML, _ := fakeCorpus(5, 1)
+	for i, id := range extraIDs {
+		nid := uint32(1000 + i)
+		ids = append(ids, nid)
+		html[nid] = extraHTML[id] + "<!-- shifted -->"
+	}
+	c := Batches(ids, lookup(html), DefaultOptions())
+	sizes, counts := c.SizeHistogram()
+	// Expect sizes {1 (x>=5?), 3 (x4)} — extras may collide with the base
+	// four types since fakeCorpus reuses type indexes; just check shape.
+	if len(sizes) == 0 || len(sizes) != len(counts) {
+		t.Fatalf("histogram sizes=%v counts=%v", sizes, counts)
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] <= sizes[i-1] {
+			t.Fatal("histogram sizes not ascending")
+		}
+	}
+	total := 0
+	for i := range sizes {
+		total += sizes[i] * counts[i]
+	}
+	if total != len(ids) {
+		t.Fatalf("histogram mass %d != %d batches", total, len(ids))
+	}
+}
+
+func TestEstimateJaccard(t *testing.T) {
+	a := []uint64{1, 2, 3, 4}
+	if got := estimateJaccard(a, a); got != 1 {
+		t.Errorf("self similarity %v", got)
+	}
+	b := []uint64{1, 2, 9, 9}
+	if got := estimateJaccard(a, b); got != 0.5 {
+		t.Errorf("half match %v", got)
+	}
+	if got := estimateJaccard(nil, a); got != 0 {
+		t.Errorf("nil sig %v", got)
+	}
+}
+
+func TestBottomK(t *testing.T) {
+	set := map[uint64]struct{}{}
+	for i := uint64(0); i < 100; i++ {
+		set[i*i+7] = struct{}{}
+	}
+	small := bottomK(set, 10)
+	if len(small) != 10 {
+		t.Fatalf("bottomK size %d", len(small))
+	}
+	// Must be the 10 smallest values.
+	for v := range small {
+		if v > 9*9+7 {
+			t.Fatalf("bottomK kept %d, not among smallest", v)
+		}
+	}
+	same := bottomK(set, 1000)
+	if len(same) != len(set) {
+		t.Fatal("bottomK should pass through small sets")
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := newUnionFind(6)
+	uf.union(0, 1)
+	uf.union(2, 3)
+	uf.union(1, 3)
+	if uf.find(0) != uf.find(2) {
+		t.Error("transitive union broken")
+	}
+	if uf.find(4) == uf.find(0) {
+		t.Error("disjoint sets merged")
+	}
+	uf.union(4, 4) // self-union is a no-op
+	if uf.find(4) != uf.find(4) {
+		t.Error("self union broke find")
+	}
+}
+
+func BenchmarkClusterBatches(b *testing.B) {
+	ids, html, _ := fakeCorpus(40, 10)
+	fn := lookup(html)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Batches(ids, fn, DefaultOptions())
+	}
+}

@@ -1,0 +1,251 @@
+// Package core assembles the paper's full analysis pipeline over a
+// marketplace dataset: batch clustering into distinct tasks (Section 3.3),
+// HTML design-feature extraction (Section 2.4), effectiveness metrics
+// (Section 4.1) and their cluster-level reduction, plus the worker- and
+// label-level aggregate tables the marketplace and worker analyses consume
+// (Sections 3 and 5). Every experiment and example builds on this package.
+package core
+
+import (
+	"math"
+
+	"crowdscope/internal/cluster"
+	"crowdscope/internal/corr"
+	"crowdscope/internal/htmlfeat"
+	"crowdscope/internal/metrics"
+	"crowdscope/internal/model"
+	"crowdscope/internal/stats"
+	"crowdscope/internal/synth"
+)
+
+// Analysis carries a dataset and everything derived from it.
+type Analysis struct {
+	DS *synth.Dataset
+
+	// SampledIDs are the fully visible batch IDs, ascending.
+	SampledIDs []uint32
+
+	// Clustering groups the sampled batches into distinct tasks.
+	Clustering *cluster.Clustering
+
+	// BatchMetrics is indexed by batch ID (only sampled batches valid).
+	BatchMetrics []metrics.Batch
+
+	// Clusters is the cluster-level table behind Sections 3.3-4.9.
+	Clusters []ClusterRow
+}
+
+// ClusterRow is one distinct task with its features and metric levels.
+type ClusterRow struct {
+	// Cluster is the cluster index within Clustering.
+	Cluster int
+	// Batches are the member batch IDs.
+	Batches []uint32
+	// TaskType is the dominant underlying type (from batch metadata).
+	TaskType uint32
+	// Labels are the manual labels (valid when Labeled).
+	Labels  model.Labels
+	Labeled bool
+	// Features are extracted from the cluster's representative HTML.
+	Features htmlfeat.Features
+	// ItemsFeature is the median declared #items per batch — the paper's
+	// #items design parameter, which comes from batch metadata rather
+	// than markup.
+	ItemsFeature float64
+	// IssueWeekday and IssueHour are the median issue weekday (0=Monday)
+	// and hour of the cluster's batches — the paper's null-effect
+	// features (Section 4.8).
+	IssueWeekday float64
+	IssueHour    float64
+	// Metrics are the cluster-median effectiveness values.
+	Metrics metrics.ClusterMetrics
+	// Instances is the materialized row count across member batches.
+	Instances int
+}
+
+// Options tune analysis assembly.
+type Options struct {
+	Cluster cluster.Options
+	// LabeledOnly restricts the correlation observations to manually
+	// labeled clusters, as the paper does (~83% of batches).
+	LabeledOnly bool
+}
+
+// DefaultOptions returns the paper-faithful configuration.
+func DefaultOptions() Options {
+	return Options{Cluster: cluster.DefaultOptions(), LabeledOnly: true}
+}
+
+// New runs the full assembly over a dataset.
+func New(ds *synth.Dataset, opts Options) *Analysis {
+	a := &Analysis{DS: ds, SampledIDs: ds.SampledBatchIDs()}
+	a.Clustering = cluster.Batches(a.SampledIDs, ds.BatchHTML, opts.Cluster)
+	a.BatchMetrics = metrics.ComputeAll(ds.Store)
+	a.buildClusterTable()
+	return a
+}
+
+func (a *Analysis) buildClusterTable() {
+	ds := a.DS
+	for ci, members := range a.Clustering.Members {
+		row := ClusterRow{Cluster: ci}
+		var itemFeats, weekdays, hours []float64
+		typeVotes := map[uint32]int{}
+		for _, pos := range members {
+			bid := a.Clustering.IDs[pos]
+			row.Batches = append(row.Batches, bid)
+			b := &ds.Batches[bid]
+			typeVotes[b.TaskType]++
+			itemFeats = append(itemFeats, float64(b.Items))
+			weekdays = append(weekdays, float64((int(b.CreatedAt.Weekday())+6)%7))
+			hours = append(hours, float64(b.CreatedAt.Hour()))
+			lo, hi := ds.Store.BatchRange(bid)
+			row.Instances += hi - lo
+		}
+		// Dominant type carries the labels.
+		best, bestN := uint32(0), -1
+		for tt, n := range typeVotes {
+			if n > bestN {
+				best, bestN = tt, n
+			}
+		}
+		row.TaskType = best
+		tt := &ds.TaskTypes[best]
+		row.Labels = tt.Labels
+		row.Labeled = tt.Labeled
+		row.ItemsFeature = stats.Median(itemFeats)
+		row.IssueWeekday = stats.Median(weekdays)
+		row.IssueHour = stats.Median(hours)
+		if page, ok := ds.BatchHTML(row.Batches[0]); ok {
+			row.Features = htmlfeat.Extract(page)
+		}
+		row.Metrics = metrics.Reduce(a.BatchMetrics, row.Batches)
+		a.Clusters = append(a.Clusters, row)
+	}
+}
+
+// Metric and feature names shared by the correlation experiments.
+const (
+	MetricDisagreement = "disagreement"
+	// MetricDisagreementRaw skips the >0.5 pruning rule; the Section 4.9
+	// prediction task bucketizes the full [0,1] range.
+	MetricDisagreementRaw = "disagreement-raw"
+	MetricTaskTime        = "task-time"
+	MetricPickupTime      = "pickup-time"
+
+	FeatWords        = "#words"
+	FeatTextBoxes    = "#text-boxes"
+	FeatItems        = "#items"
+	FeatExamples     = "#examples"
+	FeatImages       = "#images"
+	FeatFields       = "#fields"
+	FeatIssueWeekday = "issue-weekday"
+	FeatIssueHour    = "issue-hour"
+)
+
+// Observations converts the cluster table to correlation observations.
+// Disagreement respects the paper's pruning rule: clusters whose
+// disagreement exceeds the threshold (subjective free-text tasks) carry
+// NaN and drop out of error analyses only.
+func (a *Analysis) Observations(labeledOnly bool) []corr.Observation {
+	var out []corr.Observation
+	for i := range a.Clusters {
+		c := &a.Clusters[i]
+		if labeledOnly && !c.Labeled {
+			continue
+		}
+		dis := c.Metrics.Disagreement
+		if dis > metrics.DisagreementPruneThreshold {
+			dis = math.NaN()
+		}
+		out = append(out, corr.Observation{
+			Features: map[string]float64{
+				FeatWords:        float64(c.Features.Words),
+				FeatTextBoxes:    float64(c.Features.TextBoxes),
+				FeatItems:        c.ItemsFeature,
+				FeatExamples:     float64(c.Features.Examples),
+				FeatImages:       float64(c.Features.Images),
+				FeatFields:       float64(c.Features.Fields),
+				FeatIssueWeekday: c.IssueWeekday,
+				FeatIssueHour:    c.IssueHour,
+			},
+			Metrics: map[string]float64{
+				MetricDisagreement:    dis,
+				MetricDisagreementRaw: c.Metrics.Disagreement,
+				MetricTaskTime:        c.Metrics.TaskTime,
+				MetricPickupTime:      c.Metrics.PickupTime,
+			},
+		})
+	}
+	return out
+}
+
+// ObservationsWithLabels returns observations restricted to clusters
+// carrying a specific goal / operator / data label — the Section 4 drill
+// downs (Figure 25). Nil selectors match everything.
+func (a *Analysis) ObservationsWithLabels(goal *model.Goal, op *model.Operator, data *model.DataType) []corr.Observation {
+	var out []corr.Observation
+	for i := range a.Clusters {
+		c := &a.Clusters[i]
+		if !c.Labeled {
+			continue
+		}
+		if goal != nil && !c.Labels.Goals.Has(*goal) {
+			continue
+		}
+		if op != nil && !c.Labels.Operators.Has(*op) {
+			continue
+		}
+		if data != nil && !c.Labels.Data.Has(*data) {
+			continue
+		}
+		dis := c.Metrics.Disagreement
+		if dis > metrics.DisagreementPruneThreshold {
+			dis = math.NaN()
+		}
+		out = append(out, corr.Observation{
+			Features: map[string]float64{
+				FeatWords:     float64(c.Features.Words),
+				FeatTextBoxes: float64(c.Features.TextBoxes),
+				FeatItems:     c.ItemsFeature,
+				FeatExamples:  float64(c.Features.Examples),
+				FeatImages:    float64(c.Features.Images),
+			},
+			Metrics: map[string]float64{
+				MetricDisagreement: dis,
+				MetricTaskTime:     c.Metrics.TaskTime,
+				MetricPickupTime:   c.Metrics.PickupTime,
+			},
+		})
+	}
+	return out
+}
+
+// StandardSpecs returns the experiment matrix of Sections 4.3-4.8: the
+// five influential features against their affected metrics plus the
+// null-effect features the paper verified as insignificant.
+func StandardSpecs() []corr.Spec {
+	return []corr.Spec{
+		{Feature: FeatWords, Metric: MetricDisagreement, Kind: corr.SplitAtMedian},
+		{Feature: FeatItems, Metric: MetricDisagreement, Kind: corr.SplitAtMedian},
+		{Feature: FeatItems, Metric: MetricTaskTime, Kind: corr.SplitAtMedian},
+		{Feature: FeatItems, Metric: MetricPickupTime, Kind: corr.SplitAtMedian},
+		{Feature: FeatTextBoxes, Metric: MetricDisagreement, Kind: corr.SplitAtZero},
+		{Feature: FeatTextBoxes, Metric: MetricTaskTime, Kind: corr.SplitAtZero},
+		{Feature: FeatExamples, Metric: MetricDisagreement, Kind: corr.SplitAtZero},
+		{Feature: FeatExamples, Metric: MetricPickupTime, Kind: corr.SplitAtZero},
+		{Feature: FeatImages, Metric: MetricTaskTime, Kind: corr.SplitAtZero},
+		{Feature: FeatImages, Metric: MetricPickupTime, Kind: corr.SplitAtZero},
+	}
+}
+
+// NullSpecs returns the features the paper found no significant
+// correlation for (Section 4.8).
+func NullSpecs() []corr.Spec {
+	return []corr.Spec{
+		{Feature: FeatIssueWeekday, Metric: MetricDisagreement, Kind: corr.SplitAtMedian},
+		{Feature: FeatIssueWeekday, Metric: MetricTaskTime, Kind: corr.SplitAtMedian},
+		{Feature: FeatIssueHour, Metric: MetricPickupTime, Kind: corr.SplitAtMedian},
+		{Feature: FeatFields, Metric: MetricPickupTime, Kind: corr.SplitAtMedian},
+	}
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"crowdscope/internal/model"
+)
+
+// LabelStats aggregates the Section 3.4 label analyses: marginal instance
+// volume per goal/operator/data type (Figure 9) and the pairwise
+// conditional mixes (Figures 10-11). A multi-label task counts under each
+// of its labels, as in the paper.
+type LabelStats struct {
+	GoalInstances     [model.NumGoals]float64
+	OperatorInstances [model.NumOperators]float64
+	DataInstances     [model.NumDataTypes]float64
+
+	// Conditionals: OpByGoal[g][o] is the instance volume with both goal
+	// g and operator o, normalized by row to percentages in Percentify.
+	OpByGoal   [model.NumGoals][model.NumOperators]float64
+	DataByGoal [model.NumGoals][model.NumDataTypes]float64
+	OpByData   [model.NumDataTypes][model.NumOperators]float64
+
+	// TotalInstances is the labeled instance volume.
+	TotalInstances float64
+	// LabeledClusters counts the clusters contributing.
+	LabeledClusters int
+}
+
+// LabelDistributions aggregates the labeled clusters, instance-weighted.
+func (a *Analysis) LabelDistributions() LabelStats {
+	var ls LabelStats
+	for i := range a.Clusters {
+		c := &a.Clusters[i]
+		if !c.Labeled || c.Instances == 0 {
+			continue
+		}
+		ls.LabeledClusters++
+		w := float64(c.Instances)
+		ls.TotalInstances += w
+		c.Labels.Goals.Each(func(g model.Goal) {
+			ls.GoalInstances[g] += w
+			c.Labels.Operators.Each(func(o model.Operator) { ls.OpByGoal[g][o] += w })
+			c.Labels.Data.Each(func(d model.DataType) { ls.DataByGoal[g][d] += w })
+		})
+		c.Labels.Operators.Each(func(o model.Operator) {
+			ls.OperatorInstances[o] += w
+			c.Labels.Data.Each(func(d model.DataType) { ls.OpByData[d][o] += w })
+		})
+		c.Labels.Data.Each(func(d model.DataType) { ls.DataInstances[d] += w })
+	}
+	return ls
+}
+
+// GoalShare returns goal g's share of labeled instance volume.
+func (ls LabelStats) GoalShare(g model.Goal) float64 {
+	if ls.TotalInstances == 0 {
+		return 0
+	}
+	return ls.GoalInstances[g] / ls.TotalInstances
+}
+
+// OperatorShare returns operator o's share of labeled instance volume.
+func (ls LabelStats) OperatorShare(o model.Operator) float64 {
+	if ls.TotalInstances == 0 {
+		return 0
+	}
+	return ls.OperatorInstances[o] / ls.TotalInstances
+}
+
+// DataShare returns data type d's share of labeled instance volume.
+func (ls LabelStats) DataShare(d model.DataType) float64 {
+	if ls.TotalInstances == 0 {
+		return 0
+	}
+	return ls.DataInstances[d] / ls.TotalInstances
+}
+
+// OpMixForGoal returns the row-normalized operator percentages used by the
+// Figure 10b stacked bars.
+func (ls LabelStats) OpMixForGoal(g model.Goal) [model.NumOperators]float64 {
+	return normalizeOps(ls.OpByGoal[g])
+}
+
+// DataMixForGoal returns the row-normalized data percentages (Figure 10a).
+func (ls LabelStats) DataMixForGoal(g model.Goal) [model.NumDataTypes]float64 {
+	return normalizeData(ls.DataByGoal[g])
+}
+
+// OpMixForData returns the row-normalized operator percentages
+// (Figure 10c).
+func (ls LabelStats) OpMixForData(d model.DataType) [model.NumOperators]float64 {
+	return normalizeOps(ls.OpByData[d])
+}
+
+// GoalMixForData inverts DataByGoal: for a data type, the share of its
+// volume under each goal (Figure 11a).
+func (ls LabelStats) GoalMixForData(d model.DataType) [model.NumGoals]float64 {
+	var col [model.NumGoals]float64
+	total := 0.0
+	for g := 0; g < model.NumGoals; g++ {
+		col[g] = ls.DataByGoal[g][d]
+		total += col[g]
+	}
+	if total > 0 {
+		for g := range col {
+			col[g] = col[g] / total * 100
+		}
+	}
+	return col
+}
+
+// GoalMixForOperator inverts OpByGoal (Figure 11b).
+func (ls LabelStats) GoalMixForOperator(o model.Operator) [model.NumGoals]float64 {
+	var col [model.NumGoals]float64
+	total := 0.0
+	for g := 0; g < model.NumGoals; g++ {
+		col[g] = ls.OpByGoal[g][o]
+		total += col[g]
+	}
+	if total > 0 {
+		for g := range col {
+			col[g] = col[g] / total * 100
+		}
+	}
+	return col
+}
+
+// DataMixForOperator inverts OpByData (Figure 11c).
+func (ls LabelStats) DataMixForOperator(o model.Operator) [model.NumDataTypes]float64 {
+	var col [model.NumDataTypes]float64
+	total := 0.0
+	for d := 0; d < model.NumDataTypes; d++ {
+		col[d] = ls.OpByData[d][o]
+		total += col[d]
+	}
+	if total > 0 {
+		for d := range col {
+			col[d] = col[d] / total * 100
+		}
+	}
+	return col
+}
+
+func normalizeOps(row [model.NumOperators]float64) [model.NumOperators]float64 {
+	total := 0.0
+	for _, v := range row {
+		total += v
+	}
+	if total > 0 {
+		for i := range row {
+			row[i] = row[i] / total * 100
+		}
+	}
+	return row
+}
+
+func normalizeData(row [model.NumDataTypes]float64) [model.NumDataTypes]float64 {
+	total := 0.0
+	for _, v := range row {
+		total += v
+	}
+	if total > 0 {
+		for i := range row {
+			row[i] = row[i] / total * 100
+		}
+	}
+	return row
+}
+
+// SimpleComplexTrend computes the Figure 12 cumulative counts: per week,
+// how many clusters of simple vs complex goals/operators/data have been
+// seen so far. A cluster appears at the week of its earliest batch.
+type SimpleComplexTrend struct {
+	// Weeks indexes the parallel cumulative series below.
+	Weeks        []int32
+	GoalSimpleC  []float64
+	GoalComplexC []float64
+	OpSimple     []float64
+	OpComplex    []float64
+	DataSimple   []float64
+	DataComplex  []float64
+}
+
+// Trend computes the cumulative simple-vs-complex cluster counts
+// (Section 3.5). Classification: a cluster is simple in a category when
+// every label it carries in that category is simple.
+func (a *Analysis) Trend() SimpleComplexTrend {
+	type ev struct {
+		week                                 int32
+		gSimple, gComplex, oSimple, oComplex bool
+		dSimple, dComplex                    bool
+	}
+	var events []ev
+	for i := range a.Clusters {
+		c := &a.Clusters[i]
+		if !c.Labeled {
+			continue
+		}
+		week := int32(1 << 30)
+		for _, bid := range c.Batches {
+			if w := model.WeekIndex(a.DS.Batches[bid].CreatedAt); w < week {
+				week = w
+			}
+		}
+		e := ev{week: week}
+		if c.Labels.SimpleGoal() {
+			e.gSimple = true
+		} else {
+			e.gComplex = true
+		}
+		if c.Labels.SimpleOperator() {
+			e.oSimple = true
+		} else {
+			e.oComplex = true
+		}
+		if c.Labels.SimpleData() {
+			e.dSimple = true
+		} else {
+			e.dComplex = true
+		}
+		events = append(events, e)
+	}
+
+	t := SimpleComplexTrend{}
+	n := int32(model.NumWeeks)
+	t.Weeks = make([]int32, n)
+	t.GoalSimpleC = make([]float64, n)
+	t.GoalComplexC = make([]float64, n)
+	t.OpSimple = make([]float64, n)
+	t.OpComplex = make([]float64, n)
+	t.DataSimple = make([]float64, n)
+	t.DataComplex = make([]float64, n)
+	for w := int32(0); w < n; w++ {
+		t.Weeks[w] = w
+	}
+	for _, e := range events {
+		if e.week < 0 || e.week >= n {
+			continue
+		}
+		if e.gSimple {
+			t.GoalSimpleC[e.week]++
+		}
+		if e.gComplex {
+			t.GoalComplexC[e.week]++
+		}
+		if e.oSimple {
+			t.OpSimple[e.week]++
+		}
+		if e.oComplex {
+			t.OpComplex[e.week]++
+		}
+		if e.dSimple {
+			t.DataSimple[e.week]++
+		}
+		if e.dComplex {
+			t.DataComplex[e.week]++
+		}
+	}
+	cumulate(t.GoalSimpleC)
+	cumulate(t.GoalComplexC)
+	cumulate(t.OpSimple)
+	cumulate(t.OpComplex)
+	cumulate(t.DataSimple)
+	cumulate(t.DataComplex)
+	return t
+}
+
+func cumulate(xs []float64) {
+	run := 0.0
+	for i := range xs {
+		run += xs[i]
+		xs[i] = run
+	}
+}

@@ -1,0 +1,128 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from a synthetic dataset: each experiment consumes the shared
+// core.Analysis, emits a rendered text artifact plus TSV series for
+// plotting, and records paper-vs-measured checkpoints that EXPERIMENTS.md
+// is built from.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"crowdscope/internal/core"
+	"crowdscope/internal/report"
+)
+
+// Context carries the shared analysis state experiments run against.
+type Context struct {
+	A *core.Analysis
+	// workers memoizes the worker table across experiments.
+	workers []core.WorkerStats
+}
+
+// NewContext wraps an analysis.
+func NewContext(a *core.Analysis) *Context { return &Context{A: a} }
+
+// Workers returns the memoized worker table.
+func (c *Context) Workers() []core.WorkerStats {
+	if c.workers == nil {
+		c.workers = c.A.WorkerTable()
+	}
+	return c.workers
+}
+
+// Check records one paper-vs-measured comparison.
+type Check struct {
+	Name     string
+	Paper    float64 // the paper's reported value (NaN when qualitative)
+	Measured float64
+	Unit     string
+	Note     string
+}
+
+// Outcome is an experiment's artifact bundle.
+type Outcome struct {
+	Text   string
+	Series map[string]*report.TSV
+	Checks []Check
+}
+
+func (o *Outcome) addSeries(name string, t *report.TSV) {
+	if o.Series == nil {
+		o.Series = map[string]*report.TSV{}
+	}
+	o.Series[name] = t
+}
+
+func (o *Outcome) check(name string, paper, measured float64, unit, note string) {
+	o.Checks = append(o.Checks, Check{Name: name, Paper: paper, Measured: measured, Unit: unit, Note: note})
+}
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	// ID is the short handle ("fig2a", "tab1", "sec49").
+	ID string
+	// Paper names the artifact ("Figure 2a").
+	Paper string
+	// Title describes what it shows.
+	Title string
+	// Run executes it.
+	Run func(*Context) *Outcome
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool { return orderKey(out[i].ID) < orderKey(out[j].ID) })
+	return out
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment IDs in paper order.
+func IDs() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, e := range all {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// orderKey sorts figN before tabN before secN, numerically.
+func orderKey(id string) string {
+	kind := 0
+	switch {
+	case strings.HasPrefix(id, "fig"):
+		kind = 1
+	case strings.HasPrefix(id, "tab"):
+		kind = 2
+	case strings.HasPrefix(id, "sec"):
+		kind = 3
+	default:
+		kind = 4 // extensions last
+	}
+	num := 0
+	suffix := ""
+	for _, r := range id {
+		if r >= '0' && r <= '9' {
+			num = num*10 + int(r-'0')
+		} else if num > 0 {
+			suffix += string(r)
+		}
+	}
+	return fmt.Sprintf("%d-%04d-%s", kind, num, suffix)
+}

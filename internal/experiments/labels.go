@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"crowdscope/internal/model"
+	"crowdscope/internal/report"
+)
+
+func init() {
+	register(Experiment{ID: "fig9", Paper: "Figure 9", Title: "Distribution of goals, data types and operators", Run: runFig9})
+	register(Experiment{ID: "fig10", Paper: "Figure 10", Title: "Correlations: data|goal, operator|goal, operator|data", Run: runFig10})
+	register(Experiment{ID: "fig11", Paper: "Figure 11", Title: "Correlations: goal|data, goal|operator, data|operator", Run: runFig11})
+	register(Experiment{ID: "fig12", Paper: "Figure 12", Title: "Cumulative simple vs complex clusters over time", Run: runFig12})
+}
+
+func runFig9(ctx *Context) *Outcome {
+	ls := ctx.A.LabelDistributions()
+	out := &Outcome{}
+
+	goals := report.NewChart("Popular task goals (instance volume)")
+	goalTSV := report.NewTSV("goal", "instances")
+	for g := 0; g < model.NumGoals-1; g++ {
+		goals.Add(model.Goal(g).String(), ls.GoalInstances[g])
+		goalTSV.Add(float64(g), ls.GoalInstances[g])
+	}
+	out.addSeries("fig9a_goals", goalTSV)
+
+	data := report.NewChart("Popular data types (instance volume)")
+	dataTSV := report.NewTSV("data", "instances")
+	for d := 0; d < model.NumDataTypes-1; d++ {
+		data.Add(model.DataType(d).String(), ls.DataInstances[d])
+		dataTSV.Add(float64(d), ls.DataInstances[d])
+	}
+	out.addSeries("fig9b_data", dataTSV)
+
+	ops := report.NewChart("Popular operators (instance volume)")
+	opTSV := report.NewTSV("operator", "instances")
+	for o := 0; o < model.NumOperators-1; o++ {
+		ops.Add(model.Operator(o).String(), ls.OperatorInstances[o])
+		opTSV.Add(float64(o), ls.OperatorInstances[o])
+	}
+	out.addSeries("fig9c_operators", opTSV)
+
+	out.check("LU share of instances", 0.17, ls.GoalShare(model.GoalLU), "fraction", "")
+	out.check("Transcription share of instances", 0.13, ls.GoalShare(model.GoalT), "fraction", "")
+	out.check("Text share of instances", 0.40, ls.DataShare(model.DataText), "fraction", "")
+	out.check("Image share of instances", 0.26, ls.DataShare(model.DataImage), "fraction", "")
+	out.check("Filter share of instances", 0.33, ls.OperatorShare(model.OpFilter), "fraction", "")
+	out.check("Rate share of instances", 0.13, ls.OperatorShare(model.OpRate), "fraction", "")
+	complexOps := ls.OperatorShare(model.OpGather) + ls.OperatorShare(model.OpExtract) +
+		ls.OperatorShare(model.OpLocalize) + ls.OperatorShare(model.OpGenerate)
+	out.check("Gather+Extract+Localize+Generate share", 0.22, complexOps, "fraction", "")
+
+	out.Text = goals.String() + "\n" + data.String() + "\n" + ops.String()
+	return out
+}
+
+func runFig10(ctx *Context) *Outcome {
+	ls := ctx.A.LabelDistributions()
+	out := &Outcome{}
+
+	// (a) data mix per goal.
+	dataByGoal := report.NewTSV(append([]string{"goal"}, dataNames()...)...)
+	for g := 0; g < model.NumGoals-1; g++ {
+		mix := ls.DataMixForGoal(model.Goal(g))
+		row := []float64{float64(g)}
+		for d := 0; d < model.NumDataTypes; d++ {
+			row = append(row, mix[d])
+		}
+		dataByGoal.Add(row...)
+	}
+	out.addSeries("fig10a_data_by_goal", dataByGoal)
+
+	// (b) operator mix per goal.
+	opByGoal := report.NewTSV(append([]string{"goal"}, operatorNames()...)...)
+	for g := 0; g < model.NumGoals-1; g++ {
+		mix := ls.OpMixForGoal(model.Goal(g))
+		row := []float64{float64(g)}
+		for o := 0; o < model.NumOperators; o++ {
+			row = append(row, mix[o])
+		}
+		opByGoal.Add(row...)
+	}
+	out.addSeries("fig10b_op_by_goal", opByGoal)
+
+	// (c) operator mix per data type.
+	opByData := report.NewTSV(append([]string{"data"}, operatorNames()...)...)
+	for d := 0; d < model.NumDataTypes-1; d++ {
+		mix := ls.OpMixForData(model.DataType(d))
+		row := []float64{float64(d)}
+		for o := 0; o < model.NumOperators; o++ {
+			row = append(row, mix[o])
+		}
+		opByData.Add(row...)
+	}
+	out.addSeries("fig10c_op_by_data", opByData)
+
+	srData := ls.DataMixForGoal(model.GoalSR)
+	erData := ls.DataMixForGoal(model.GoalER)
+	saData := ls.DataMixForGoal(model.GoalSA)
+	luData := ls.DataMixForGoal(model.GoalLU)
+	tOps := ls.OpMixForGoal(model.GoalT)
+	luOps := ls.OpMixForGoal(model.GoalLU)
+	hbOps := ls.OpMixForGoal(model.GoalHB)
+	out.check("web share of SR data", 37, srData[model.DataWeb], "%", "")
+	out.check("web share of ER data", 24, erData[model.DataWeb], "%", "")
+	out.check("social share of SA data", 13, saData[model.DataSocial], "%", "")
+	out.check("social share of LU data", 8, luData[model.DataSocial], "%", "")
+	out.check("extract share of T operators", math.NaN(), tOps[model.OpExtract], "%", "paper: extraction is T's primary operation")
+	out.check("generate share of LU operators", 16, luOps[model.OpGenerate], "%", "")
+	out.check("external share of HB operators", 13, hbOps[model.OpExternal], "%", "")
+	out.check("localize share of HB operators", 9, hbOps[model.OpLocalize], "%", "")
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Conditionals (row %%): web|SR=%.0f web|ER=%.0f social|SA=%.0f extract|T=%.0f generate|LU=%.0f external|HB=%.0f\n",
+		srData[model.DataWeb], erData[model.DataWeb], saData[model.DataSocial],
+		tOps[model.OpExtract], luOps[model.OpGenerate], hbOps[model.OpExternal])
+	out.Text = b.String()
+	return out
+}
+
+func runFig11(ctx *Context) *Outcome {
+	ls := ctx.A.LabelDistributions()
+	out := &Outcome{}
+
+	goalByData := report.NewTSV(append([]string{"data"}, goalNames()...)...)
+	for d := 0; d < model.NumDataTypes-1; d++ {
+		mix := ls.GoalMixForData(model.DataType(d))
+		row := []float64{float64(d)}
+		for g := 0; g < model.NumGoals; g++ {
+			row = append(row, mix[g])
+		}
+		goalByData.Add(row...)
+	}
+	out.addSeries("fig11a_goal_by_data", goalByData)
+
+	goalByOp := report.NewTSV(append([]string{"operator"}, goalNames()...)...)
+	for o := 0; o < model.NumOperators-1; o++ {
+		mix := ls.GoalMixForOperator(model.Operator(o))
+		row := []float64{float64(o)}
+		for g := 0; g < model.NumGoals; g++ {
+			row = append(row, mix[g])
+		}
+		goalByOp.Add(row...)
+	}
+	out.addSeries("fig11b_goal_by_op", goalByOp)
+
+	dataByOp := report.NewTSV(append([]string{"operator"}, dataNames()...)...)
+	for o := 0; o < model.NumOperators-1; o++ {
+		mix := ls.DataMixForOperator(model.Operator(o))
+		row := []float64{float64(o)}
+		for d := 0; d < model.NumDataTypes; d++ {
+			row = append(row, mix[d])
+		}
+		dataByOp.Add(row...)
+	}
+	out.addSeries("fig11c_data_by_op", dataByOp)
+
+	// Filter and rate appear across all data types (Figure 11c takeaway).
+	minFilter := 100.0
+	for d := 0; d < model.NumDataTypes-1; d++ {
+		mix := ls.OpMixForData(model.DataType(d))
+		share := mix[model.OpFilter] + mix[model.OpRate]
+		if share < minFilter {
+			minFilter = share
+		}
+	}
+	out.check("min filter+rate share across data types", math.NaN(), minFilter, "%",
+		"paper: filter/rate analyze most types of data")
+	out.Text = fmt.Sprintf("Filter+rate hold at least %.0f%% of operator volume for every data type.\n", minFilter)
+	return out
+}
+
+func runFig12(ctx *Context) *Outcome {
+	tr := ctx.A.Trend()
+	out := &Outcome{}
+	tsv := report.NewTSV("week", "goal_simple", "goal_complex", "op_simple", "op_complex", "data_simple", "data_complex")
+	for i, w := range tr.Weeks {
+		tsv.Add(float64(w), tr.GoalSimpleC[i], tr.GoalComplexC[i], tr.OpSimple[i], tr.OpComplex[i], tr.DataSimple[i], tr.DataComplex[i])
+	}
+	out.addSeries("fig12", tsv)
+
+	last := len(tr.Weeks) - 1
+	out.check("complex/simple goal clusters", 620.0/80, tr.GoalComplexC[last]/tr.GoalSimpleC[last], "ratio",
+		"paper (Jan'16): 620 complex vs 80 simple")
+	out.check("complex/simple data clusters", 510.0/240, tr.DataComplex[last]/tr.DataSimple[last], "ratio",
+		"paper (Jan'16): 510 non-text vs 240 text")
+	out.check("complex/simple operator clusters", 410.0/340, tr.OpComplex[last]/tr.OpSimple[last], "ratio",
+		"paper (Jan'16): 410 vs 340 — comparable")
+
+	out.Text = fmt.Sprintf("Cumulative clusters at horizon: goals %0.f complex vs %0.f simple; data %0.f vs %0.f; operators %0.f vs %0.f.\n",
+		tr.GoalComplexC[last], tr.GoalSimpleC[last], tr.DataComplex[last], tr.DataSimple[last], tr.OpComplex[last], tr.OpSimple[last])
+	return out
+}
+
+func goalNames() []string {
+	out := make([]string, model.NumGoals)
+	for g := 0; g < model.NumGoals; g++ {
+		out[g] = model.Goal(g).String()
+	}
+	return out
+}
+
+func operatorNames() []string {
+	out := make([]string, model.NumOperators)
+	for o := 0; o < model.NumOperators; o++ {
+		out[o] = model.Operator(o).String()
+	}
+	return out
+}
+
+func dataNames() []string {
+	out := make([]string, model.NumDataTypes)
+	for d := 0; d < model.NumDataTypes; d++ {
+		out[d] = model.DataType(d).String()
+	}
+	return out
+}

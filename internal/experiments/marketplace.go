@@ -1,0 +1,457 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"crowdscope/internal/model"
+	"crowdscope/internal/report"
+	"crowdscope/internal/stats"
+	"crowdscope/internal/timeseries"
+)
+
+func init() {
+	register(Experiment{ID: "fig1", Paper: "Figure 1", Title: "Distinct tasks sampled vs issued, by week", Run: runFig1})
+	register(Experiment{ID: "fig2a", Paper: "Figure 2a", Title: "Task instance arrivals vs median pickup time", Run: runFig2a})
+	register(Experiment{ID: "fig2b", Paper: "Figure 2b", Title: "Instance arrivals vs batches and distinct tasks (post-2015)", Run: runFig2b})
+	register(Experiment{ID: "fig3", Paper: "Figure 3", Title: "Task distribution over days of the week", Run: runFig3})
+	register(Experiment{ID: "fig4", Paper: "Figure 4", Title: "Active workers per week", Run: runFig4})
+	register(Experiment{ID: "fig5a", Paper: "Figure 5a", Title: "Post-2015 arrivals vs median pickup time", Run: runFig5a})
+	register(Experiment{ID: "fig5b", Paper: "Figure 5b", Title: "Engagement of top-10% vs bottom-90% workers", Run: runFig5b})
+	register(Experiment{ID: "fig6", Paper: "Figure 6", Title: "Distribution of cluster sizes (batches per cluster)", Run: runFig6})
+	register(Experiment{ID: "fig7", Paper: "Figure 7", Title: "Distribution of tasks across clusters", Run: runFig7})
+	register(Experiment{ID: "fig8", Paper: "Figure 8", Title: "Heavy-hitter cumulative task arrivals", Run: runFig8})
+}
+
+// weeklyArrivals returns the weekly declared-instance arrival series over
+// sampled batches (counting at batch creation, as the paper does).
+func weeklyArrivals(ctx *Context) *timeseries.Series {
+	w := timeseries.NewWeekly()
+	for i := range ctx.A.DS.Batches {
+		b := &ctx.A.DS.Batches[i]
+		if b.Sampled {
+			w.AddAt(b.CreatedAt.Unix(), float64(b.Instances()))
+		}
+	}
+	return w
+}
+
+func runFig1(ctx *Context) *Outcome {
+	ds := ctx.A.DS
+	all := timeseries.NewWeeklyDistinct()
+	sampled := timeseries.NewWeeklyDistinct()
+	sampledTypes := map[uint32]bool{}
+	for i := range ds.Batches {
+		if ds.Batches[i].Sampled {
+			sampledTypes[ds.Batches[i].TaskType] = true
+		}
+	}
+	for i := range ds.Batches {
+		b := &ds.Batches[i]
+		all.Observe(b.CreatedAt.Unix(), b.TaskType)
+		if sampledTypes[b.TaskType] {
+			sampled.Observe(b.CreatedAt.Unix(), b.TaskType)
+		}
+	}
+	sAll, sSampled := all.Series(), sampled.Series()
+
+	out := &Outcome{}
+	tsv := report.NewTSV("week", "all", "sampled")
+	coveredWeeks, totalWeeks := 0, 0
+	for w := 0; w < sAll.Len(); w++ {
+		tsv.Add(float64(w), sAll.At(w), sSampled.At(w))
+		if sAll.At(w) > 0 {
+			totalWeeks++
+			if sSampled.At(w) >= 0.5*sAll.At(w) {
+				coveredWeeks++
+			}
+		}
+	}
+	out.addSeries("fig1", tsv)
+
+	coverage := float64(coveredWeeks) / float64(totalWeeks)
+	out.check("weeks with ≥50% of distinct tasks sampled", math.NaN(), coverage, "fraction",
+		"paper: 'a significant fraction of tasks from each week'")
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Distinct tasks per week: sampled covers ≥50%% of issued tasks in %.0f%% of active weeks.\n", coverage*100)
+	peakAll, _ := sAll.Max()
+	peakS, _ := sSampled.Max()
+	fmt.Fprintf(&b, "Peak week: %0.f issued vs %0.f sampled distinct tasks.\n", peakAll, peakS)
+	out.Text = b.String()
+	return out
+}
+
+func runFig2a(ctx *Context) *Outcome {
+	arr := weeklyArrivals(ctx)
+	// Weekly median pickup over batches created that week.
+	pick := timeseries.NewWeeklyGrouped()
+	for i := range ctx.A.DS.Batches {
+		b := &ctx.A.DS.Batches[i]
+		if !b.Sampled {
+			continue
+		}
+		bm := ctx.A.BatchMetrics[b.ID]
+		if bm.Valid() {
+			pick.Observe(b.CreatedAt.Unix(), bm.PickupTime)
+		}
+	}
+	pm := pick.Median()
+
+	out := &Outcome{}
+	tsv := report.NewTSV("week", "instances", "median_pickup_s")
+	for w := 0; w < arr.Len(); w++ {
+		tsv.Add(float64(w), arr.At(w), pm.At(w))
+	}
+	out.addSeries("fig2a", tsv)
+
+	// Load stats (Section 3.1 takeaway).
+	daily := dailyArrivals(ctx)
+	post := daily.Slice(int(model.PostBoomWeek)*7, daily.Len())
+	ls := timeseries.SummarizeLoad(post)
+	out.check("median daily instances (post-2015)", 30000, ls.Median, "instances/day", "")
+	out.check("busiest day vs median", 30, ls.PeakRatio, "x", "")
+	out.check("lightest day vs median", 0.0004, ls.TroughRatio, "x", "")
+
+	// High load ↔ faster pickup (negative correlation).
+	var loads, picks []float64
+	for w := int(model.PostBoomWeek); w < arr.Len(); w++ {
+		if arr.At(w) > 0 && pm.At(w) > 0 {
+			loads = append(loads, arr.At(w))
+			picks = append(picks, pm.At(w))
+		}
+	}
+	rho := stats.SpearmanCorr(loads, picks)
+	out.check("load vs pickup-time rank correlation", math.NaN(), rho, "rho",
+		"paper: marketplace moves faster during high load (negative)")
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Post-2015 daily load: median %.0f, peak %.1fx, trough %.4fx of median.\n", ls.Median, ls.PeakRatio, ls.TroughRatio)
+	fmt.Fprintf(&b, "Weekly load vs median pickup-time Spearman rho = %.2f (paper observes faster pickup at high load).\n", rho)
+	out.Text = b.String()
+	return out
+}
+
+func dailyArrivals(ctx *Context) *timeseries.Series {
+	d := timeseries.NewDaily()
+	for i := range ctx.A.DS.Batches {
+		b := &ctx.A.DS.Batches[i]
+		if b.Sampled {
+			d.AddAt(b.CreatedAt.Unix(), float64(b.Instances()))
+		}
+	}
+	return d
+}
+
+func runFig2b(ctx *Context) *Outcome {
+	ds := ctx.A.DS
+	inst := weeklyArrivals(ctx)
+	batches := timeseries.NewWeekly()
+	distinct := timeseries.NewWeeklyDistinct()
+	for i := range ds.Batches {
+		b := &ds.Batches[i]
+		if !b.Sampled {
+			continue
+		}
+		batches.IncrAt(b.CreatedAt.Unix())
+		distinct.Observe(b.CreatedAt.Unix(), b.TaskType)
+	}
+	dis := distinct.Series()
+
+	out := &Outcome{}
+	tsv := report.NewTSV("week", "instances", "batches", "distinct_tasks")
+	for w := int(model.PostBoomWeek); w < inst.Len(); w++ {
+		tsv.Add(float64(w), inst.At(w), batches.At(w), dis.At(w))
+	}
+	out.addSeries("fig2b", tsv)
+
+	// Both overlays should track the instance fluctuation.
+	var iv, bv, dv []float64
+	for w := int(model.PostBoomWeek); w < inst.Len(); w++ {
+		iv = append(iv, inst.At(w))
+		bv = append(bv, batches.At(w))
+		dv = append(dv, dis.At(w))
+	}
+	rhoB := stats.SpearmanCorr(iv, bv)
+	rhoD := stats.SpearmanCorr(iv, dv)
+	out.check("instances vs batches rank correlation", math.NaN(), rhoB, "rho", "paper: similar fluctuation")
+	out.check("instances vs distinct tasks rank correlation", math.NaN(), rhoD, "rho", "paper: similar fluctuation")
+
+	out.Text = fmt.Sprintf("Post-2015 weekly fluctuation: instances vs batches rho=%.2f, vs distinct tasks rho=%.2f — both co-move with load.\n", rhoB, rhoD)
+	return out
+}
+
+func runFig3(ctx *Context) *Outcome {
+	daily := dailyArrivals(ctx)
+	fold := timeseries.WeekdayFold(daily)
+
+	out := &Outcome{}
+	chart := report.NewChart("Task instances by day of week")
+	tsv := report.NewTSV("weekday", "instances")
+	for i, name := range timeseries.WeekdayNames {
+		chart.Add(name, fold[i])
+		tsv.Add(float64(i), fold[i])
+	}
+	out.addSeries("fig3", tsv)
+
+	weekday := (fold[0] + fold[1] + fold[2] + fold[3] + fold[4]) / 5
+	weekend := (fold[5] + fold[6]) / 2
+	out.check("weekday/weekend load ratio", 2.0, weekday/weekend, "x", "paper: weekday up to 2x weekend")
+	monShare := fold[0] / (fold[0] + fold[1] + fold[2] + fold[3] + fold[4] + fold[5] + fold[6])
+	out.check("Monday share of weekly volume", math.NaN(), monShare, "fraction", "paper: start of week highest, decaying")
+
+	out.Text = chart.String()
+	return out
+}
+
+func runFig4(ctx *Context) *Outcome {
+	st := ctx.A.DS.Store
+	distinct := timeseries.NewWeeklyDistinct()
+	starts := st.Starts()
+	workers := st.Workers()
+	for i := range starts {
+		distinct.Observe(starts[i], workers[i])
+	}
+	s := distinct.Series()
+	arr := weeklyArrivals(ctx)
+
+	out := &Outcome{}
+	tsv := report.NewTSV("week", "active_workers")
+	for w := 0; w < s.Len(); w++ {
+		tsv.Add(float64(w), s.At(w))
+	}
+	out.addSeries("fig4", tsv)
+
+	// Coefficient of variation comparison: workers steady, tasks bursty.
+	post := int(model.PostBoomWeek)
+	wvals := s.Slice(post, s.Len()).NonZero()
+	avals := arr.Slice(post, arr.Len()).NonZero()
+	cvW := stats.StdDev(wvals) / stats.Mean(wvals)
+	cvA := stats.StdDev(avals) / stats.Mean(avals)
+	out.check("worker-count CV vs task-load CV (post-2015)", math.NaN(), cvW/cvA, "ratio",
+		"paper: worker availability far steadier than task load (ratio ≪ 1)")
+
+	out.Text = fmt.Sprintf("Weekly active workers CV=%.2f vs task-load CV=%.2f: the same workforce absorbs a far burstier task supply.\n", cvW, cvA)
+	return out
+}
+
+func runFig5a(ctx *Context) *Outcome {
+	// Same content as fig2a, restricted to the post-2015 window.
+	base := runFig2a(ctx)
+	out := &Outcome{Checks: base.Checks}
+	post := report.NewTSV("week", "instances", "median_pickup_s")
+	arr := weeklyArrivals(ctx)
+	pick := timeseries.NewWeeklyGrouped()
+	for i := range ctx.A.DS.Batches {
+		b := &ctx.A.DS.Batches[i]
+		if !b.Sampled {
+			continue
+		}
+		bm := ctx.A.BatchMetrics[b.ID]
+		if bm.Valid() {
+			pick.Observe(b.CreatedAt.Unix(), bm.PickupTime)
+		}
+	}
+	pm := pick.Median()
+	for w := int(model.PostBoomWeek); w < arr.Len(); w++ {
+		post.Add(float64(w), arr.At(w), pm.At(w))
+	}
+	out.addSeries("fig5a", post)
+	out.Text = "Post-2015 zoom of arrivals vs pickup time; see fig2a checks for the correlation.\n"
+	return out
+}
+
+func runFig5b(ctx *Context) *Outcome {
+	workers := ctx.Workers()
+	// Identify top-10% by total tasks.
+	topCut := len(workers) / 10
+	isTop := map[uint32]bool{}
+	for i, w := range workers {
+		if i < topCut {
+			isTop[w.ID] = true
+		}
+	}
+	st := ctx.A.DS.Store
+	starts := st.Starts()
+	ends := st.Ends()
+	wcol := st.Workers()
+	topTasks := timeseries.NewWeekly()
+	botTasks := timeseries.NewWeekly()
+	topTime := timeseries.NewWeekly()
+	botTime := timeseries.NewWeekly()
+	for i := range starts {
+		dur := float64(ends[i] - starts[i])
+		if isTop[wcol[i]] {
+			topTasks.IncrAt(starts[i])
+			topTime.AddAt(starts[i], dur)
+		} else {
+			botTasks.IncrAt(starts[i])
+			botTime.AddAt(starts[i], dur)
+		}
+	}
+
+	out := &Outcome{}
+	tsv := report.NewTSV("week", "top10_tasks", "bot90_tasks", "top10_secs", "bot90_secs")
+	for w := 0; w < topTasks.Len(); w++ {
+		tsv.Add(float64(w), topTasks.At(w), botTasks.At(w), topTime.At(w), botTime.At(w))
+	}
+	out.addSeries("fig5b", tsv)
+
+	share := topTasks.Total() / (topTasks.Total() + botTasks.Total())
+	out.check("top-10% worker share of tasks", 0.80, share, "fraction", "paper: >80%, absorbing the flux")
+	// Flux absorption: correlation of top-10% weekly tasks with load.
+	arr := weeklyArrivals(ctx)
+	var loads, tops []float64
+	for w := int(model.PostBoomWeek); w < arr.Len(); w++ {
+		loads = append(loads, arr.At(w))
+		tops = append(tops, topTasks.At(w))
+	}
+	rho := stats.SpearmanCorr(loads, tops)
+	out.check("top-10% weekly tasks vs load correlation", math.NaN(), rho, "rho", "paper: top-10% handles most of the flux")
+
+	out.Text = fmt.Sprintf("Top-10%% of workers complete %.0f%% of tasks and track load bursts (rho=%.2f vs arrivals).\n", share*100, rho)
+	return out
+}
+
+func runFig6(ctx *Context) *Outcome {
+	sizes, counts := ctx.A.Clustering.SizeHistogram()
+	out := &Outcome{}
+	tsv := report.NewTSV("cluster_size_batches", "num_clusters")
+	over100 := 0
+	small := 0
+	for i, s := range sizes {
+		tsv.Add(float64(s), float64(counts[i]))
+		if s >= 100 {
+			over100 += counts[i]
+		}
+		if s < 10 {
+			small += counts[i]
+		}
+	}
+	out.addSeries("fig6", tsv)
+	out.check("clusters spanning ≥100 batches", 5, float64(over100), "clusters", "paper Figure 6 shows ~5; text says >10")
+	out.check("one-off clusters (<10 batches)", math.NaN(), float64(small), "clusters", "paper: a large number of one-off tasks")
+
+	chart := report.NewChart("Cluster-size distribution (log bars)")
+	chart.Log = true
+	hist := stats.NewLogHistogram(10)
+	for i, s := range sizes {
+		for c := 0; c < counts[i]; c++ {
+			hist.Add(float64(s))
+		}
+	}
+	for _, b := range hist.Buckets() {
+		chart.Add(fmt.Sprintf("size ≥ %.0f", hist.Lower(b)), float64(hist.Counts[b]))
+	}
+	out.Text = chart.String()
+	return out
+}
+
+func runFig7(ctx *Context) *Outcome {
+	a := ctx.A
+	// Cluster volumes use *declared* instances of the sampled batches,
+	// which are scale-invariant (only materialization is scaled down).
+	var sizes []float64
+	for i := range a.Clusters {
+		declared := 0.0
+		for _, bid := range a.Clusters[i].Batches {
+			declared += float64(a.DS.Batches[bid].Instances())
+		}
+		sizes = append(sizes, declared)
+	}
+	out := &Outcome{}
+	hist := stats.NewLogHistogram(10)
+	tsv := report.NewTSV("cluster_instances_lower_bound", "count")
+	overMega := 0
+	under10 := 0
+	for _, s := range sizes {
+		hist.Add(s)
+		if s > 1e6 {
+			overMega++
+		}
+		if s < 10 {
+			under10++
+		}
+	}
+	for _, b := range hist.Buckets() {
+		tsv.Add(hist.Lower(b), float64(hist.Counts[b]))
+	}
+	out.addSeries("fig7", tsv)
+
+	med := stats.Median(sizes)
+	out.check("clusters with >1M task instances", 3, float64(overMega), "clusters", "")
+	out.check("median tasks per cluster", 400, med, "instances", "")
+	out.check("clusters with <10 task instances", 204, float64(under10), "clusters", "")
+
+	out.Text = fmt.Sprintf("Tasks per cluster: median %.0f, %d clusters above 1M, %d clusters under 10.\n", med, overMega, under10)
+	return out
+}
+
+func runFig8(ctx *Context) *Outcome {
+	a := ctx.A
+	// Heavy hitters: the clusters with the most batches.
+	type hh struct {
+		cluster int
+		batches int
+	}
+	var hs []hh
+	for i := range a.Clusters {
+		hs = append(hs, hh{i, len(a.Clusters[i].Batches)})
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i].batches > hs[j].batches })
+	top := hs
+	if len(top) > 10 {
+		top = top[:10]
+	}
+
+	out := &Outcome{}
+	headers := []string{"week"}
+	for i := range top {
+		headers = append(headers, fmt.Sprintf("hh%d", i+1))
+	}
+	tsv := report.NewTSV(headers...)
+
+	cum := make([]*timeseries.Series, len(top))
+	for i, h := range top {
+		s := timeseries.NewWeekly()
+		for _, bid := range a.Clusters[h.cluster].Batches {
+			b := &a.DS.Batches[bid]
+			s.AddAt(b.CreatedAt.Unix(), float64(b.Instances()))
+		}
+		cum[i] = s.Cumulative()
+	}
+	for w := 0; w < cum[0].Len(); w++ {
+		row := []float64{float64(w)}
+		for i := range cum {
+			row = append(row, cum[i].At(w))
+		}
+		tsv.Add(row...)
+	}
+	out.addSeries("fig8", tsv)
+
+	// Shutdown behavior: activity windows are bounded; once a heavy
+	// hitter stops, it never restarts.
+	var windows []float64
+	for _, h := range top {
+		first, last := int32(1<<30), int32(-1)
+		for _, bid := range a.Clusters[h.cluster].Batches {
+			w := model.WeekIndex(a.DS.Batches[bid].CreatedAt)
+			if w < first {
+				first = w
+			}
+			if w > last {
+				last = w
+			}
+		}
+		windows = append(windows, float64(last-first+1))
+	}
+	out.check("heavy hitters tracked", 10, float64(len(top)), "clusters", "")
+	out.check("median heavy-hitter active window", math.NaN(), stats.Median(windows), "weeks",
+		"paper: 1-11 months of steady activity then shutdown")
+
+	out.Text = fmt.Sprintf("Top-10 heavy hitters: %d-%d batches each, median active window %.0f weeks.\n",
+		top[len(top)-1].batches, top[0].batches, stats.Median(windows))
+	return out
+}

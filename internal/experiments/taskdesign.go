@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"crowdscope/internal/core"
+	"crowdscope/internal/corr"
+	"crowdscope/internal/ml"
+	"crowdscope/internal/model"
+	"crowdscope/internal/report"
+	"crowdscope/internal/stats"
+)
+
+func init() {
+	register(Experiment{ID: "fig13", Paper: "Figure 13", Title: "Pickup time vs task time against end-to-end time", Run: runFig13})
+	register(Experiment{ID: "fig14", Paper: "Figure 14", Title: "Design-feature CDFs against the three metrics", Run: runFig14})
+	register(Experiment{ID: "fig25", Paper: "Figure 25", Title: "Feature-metric CDFs drilled down by label", Run: runFig25})
+	register(Experiment{ID: "tab1", Paper: "Table 1", Title: "Disagreement-score feature splits", Run: runTable1})
+	register(Experiment{ID: "tab2", Paper: "Table 2", Title: "Median task-time feature splits", Run: runTable2})
+	register(Experiment{ID: "tab3", Paper: "Table 3", Title: "Median pickup-time feature splits", Run: runTable3})
+	register(Experiment{ID: "sec49", Paper: "Section 4.9", Title: "Predicting metric buckets from design features", Run: runSec49})
+}
+
+func runFig13(ctx *Context) *Outcome {
+	a := ctx.A
+	out := &Outcome{}
+	tsv := report.NewTSV("end_to_end_s", "pickup_s", "task_time_s")
+	var ratios []float64
+	for i := range a.Clusters {
+		m := a.Clusters[i].Metrics
+		if math.IsNaN(m.PickupTime) || math.IsNaN(m.TaskTime) || m.TaskTime <= 0 {
+			continue
+		}
+		tsv.Add(m.PickupTime+m.TaskTime, m.PickupTime, m.TaskTime)
+		if m.PickupTime > 0 {
+			ratios = append(ratios, m.PickupTime/m.TaskTime)
+		}
+	}
+	out.addSeries("fig13", tsv)
+	med := stats.Median(ratios)
+	out.check("median pickup/task-time ratio", math.NaN(), med, "x",
+		"paper: pickup-time is orders of magnitude above task-time")
+	frac := 0.0
+	for _, r := range ratios {
+		if r > 1 {
+			frac++
+		}
+	}
+	frac /= float64(len(ratios))
+	out.check("clusters with pickup > task-time", math.NaN(), frac, "fraction", "")
+	out.Text = fmt.Sprintf("Median pickup/task-time ratio = %.0fx across %d clusters; pickup dominates end-to-end latency in %.0f%% of clusters.\n",
+		med, len(ratios), frac*100)
+	return out
+}
+
+// table1Rows names the Table 1 experiments and their paper medians.
+var table1Rows = []struct {
+	spec           corr.Spec
+	paper1, paper2 float64
+}{
+	{corr.Spec{Feature: core.FeatWords, Metric: core.MetricDisagreement, Kind: corr.SplitAtMedian}, 0.147, 0.108},
+	{corr.Spec{Feature: core.FeatItems, Metric: core.MetricDisagreement, Kind: corr.SplitAtMedian}, 0.169, 0.086},
+	{corr.Spec{Feature: core.FeatTextBoxes, Metric: core.MetricDisagreement, Kind: corr.SplitAtZero}, 0.102, 0.160},
+	{corr.Spec{Feature: core.FeatExamples, Metric: core.MetricDisagreement, Kind: corr.SplitAtZero}, 0.128, 0.101},
+}
+
+var table2Rows = []struct {
+	spec           corr.Spec
+	paper1, paper2 float64
+}{
+	{corr.Spec{Feature: core.FeatItems, Metric: core.MetricTaskTime, Kind: corr.SplitAtMedian}, 230, 136},
+	{corr.Spec{Feature: core.FeatTextBoxes, Metric: core.MetricTaskTime, Kind: corr.SplitAtZero}, 119.0, 285.7},
+	{corr.Spec{Feature: core.FeatImages, Metric: core.MetricTaskTime, Kind: corr.SplitAtZero}, 183.6, 129.0},
+}
+
+var table3Rows = []struct {
+	spec           corr.Spec
+	paper1, paper2 float64
+}{
+	{corr.Spec{Feature: core.FeatItems, Metric: core.MetricPickupTime, Kind: corr.SplitAtMedian}, 4521, 8132},
+	{corr.Spec{Feature: core.FeatExamples, Metric: core.MetricPickupTime, Kind: corr.SplitAtZero}, 6303, 1353},
+	{corr.Spec{Feature: core.FeatImages, Metric: core.MetricPickupTime, Kind: corr.SplitAtZero}, 7838, 2431},
+}
+
+func runFeatureTable(ctx *Context, title string, rows []struct {
+	spec           corr.Spec
+	paper1, paper2 float64
+}) *Outcome {
+	obs := ctx.A.Observations(true)
+	out := &Outcome{}
+	tbl := report.NewTable(title, "Feature", "Bin-1", "n1", "Bin-2", "n2", "median-1", "median-2", "paper-1", "paper-2", "p-value")
+	for _, row := range rows {
+		res := corr.RunMatrix(obs, []corr.Spec{row.spec})[0]
+		tbl.AddRow(res.Feature, res.Bin1.Label, res.Bin1.Count, res.Bin2.Label, res.Bin2.Count,
+			res.Bin1.Median, res.Bin2.Median, row.paper1, row.paper2, fmt.Sprintf("%.1e", res.TTest.P))
+		out.check(fmt.Sprintf("%s %s bin1 median", res.Feature, res.Metric), row.paper1, res.Bin1.Median, res.Metric, "")
+		out.check(fmt.Sprintf("%s %s bin2 median", res.Feature, res.Metric), row.paper2, res.Bin2.Median, res.Metric, "")
+		out.check(fmt.Sprintf("%s %s bin2/bin1 ratio", res.Feature, res.Metric), row.paper2/row.paper1,
+			res.Bin2.Median/res.Bin1.Median, "ratio", significanceNote(res))
+	}
+	out.Text = tbl.String()
+	return out
+}
+
+func significanceNote(r corr.Result) string {
+	if r.Significant() {
+		return fmt.Sprintf("significant (p=%.1e < 0.01)", r.TTest.P)
+	}
+	return fmt.Sprintf("NOT significant (p=%.2g)", r.TTest.P)
+}
+
+func runTable1(ctx *Context) *Outcome {
+	return runFeatureTable(ctx, "Table 1: Disagreement Score summary", table1Rows)
+}
+
+func runTable2(ctx *Context) *Outcome {
+	return runFeatureTable(ctx, "Table 2: Median Task Time summary", table2Rows)
+}
+
+func runTable3(ctx *Context) *Outcome {
+	return runFeatureTable(ctx, "Table 3: Median Pickup Time summary", table3Rows)
+}
+
+func runFig14(ctx *Context) *Outcome {
+	obs := ctx.A.Observations(true)
+	out := &Outcome{}
+	results := corr.RunMatrix(obs, core.StandardSpecs())
+	var b strings.Builder
+	for _, res := range results {
+		x1, y1, x2, y2 := corr.CDFSeries(res, 64)
+		tsv := report.NewTSV("x_bin1", "y_bin1", "x_bin2", "y_bin2")
+		for i := 0; i < len(x1) && i < len(x2); i++ {
+			tsv.Add(x1[i], y1[i], x2[i], y2[i])
+		}
+		name := fmt.Sprintf("fig14_%s_%s", sanitize(res.Feature), sanitize(res.Metric))
+		out.addSeries(name, tsv)
+		fmt.Fprintf(&b, "%s\n", res.String())
+		out.check(fmt.Sprintf("%s→%s significant", res.Feature, res.Metric), 1, b2f(res.Significant()), "bool", "")
+	}
+	// The null features must stay flat (Section 4.8).
+	for _, res := range corr.RunMatrix(obs, core.NullSpecs()) {
+		fmt.Fprintf(&b, "%s [null-effect control]\n", res.String())
+		out.check(fmt.Sprintf("%s→%s null control not significant", res.Feature, res.Metric), 0, b2f(res.Significant()), "bool", "")
+	}
+	out.Text = b.String()
+	return out
+}
+
+// drill25 names the Figure 25 drill-downs.
+var drill25 = []struct {
+	name   string
+	goal   *model.Goal
+	op     *model.Operator
+	spec   corr.Spec
+	strong bool // the paper reports a pronounced effect
+}{
+	{"a_words_dis_gather", nil, opPtr(model.OpGather), corr.Spec{Feature: core.FeatWords, Metric: core.MetricDisagreement, Kind: corr.SplitAtMedian}, true},
+	{"b_words_dis_rating", nil, opPtr(model.OpRate), corr.Spec{Feature: core.FeatWords, Metric: core.MetricDisagreement, Kind: corr.SplitAtMedian}, false},
+	{"c_textbox_time_sa", goalPtr(model.GoalSA), nil, corr.Spec{Feature: core.FeatTextBoxes, Metric: core.MetricTaskTime, Kind: corr.SplitAtZero}, true},
+	{"d_examples_dis_lu", goalPtr(model.GoalLU), nil, corr.Spec{Feature: core.FeatExamples, Metric: core.MetricDisagreement, Kind: corr.SplitAtZero}, true},
+	{"e_items_dis_gather", nil, opPtr(model.OpGather), corr.Spec{Feature: core.FeatItems, Metric: core.MetricDisagreement, Kind: corr.SplitAtMedian}, true},
+	{"f_items_dis_rating", nil, opPtr(model.OpRate), corr.Spec{Feature: core.FeatItems, Metric: core.MetricDisagreement, Kind: corr.SplitAtMedian}, false},
+	{"g_images_pickup_extract", nil, opPtr(model.OpExtract), corr.Spec{Feature: core.FeatImages, Metric: core.MetricPickupTime, Kind: corr.SplitAtZero}, true},
+	{"h_images_pickup_qa", goalPtr(model.GoalQA), nil, corr.Spec{Feature: core.FeatImages, Metric: core.MetricPickupTime, Kind: corr.SplitAtZero}, true},
+}
+
+func goalPtr(g model.Goal) *model.Goal       { return &g }
+func opPtr(o model.Operator) *model.Operator { return &o }
+
+func runFig25(ctx *Context) *Outcome {
+	out := &Outcome{}
+	var b strings.Builder
+	for _, d := range drill25 {
+		obs := ctx.A.ObservationsWithLabels(d.goal, d.op, nil)
+		if len(obs) < 8 {
+			fmt.Fprintf(&b, "25%s: insufficient clusters (%d)\n", d.name[:1], len(obs))
+			continue
+		}
+		res := corr.RunMatrix(obs, []corr.Spec{d.spec})[0]
+		x1, y1, x2, y2 := corr.CDFSeries(res, 48)
+		tsv := report.NewTSV("x_bin1", "y_bin1", "x_bin2", "y_bin2")
+		for i := 0; i < len(x1) && i < len(x2); i++ {
+			tsv.Add(x1[i], y1[i], x2[i], y2[i])
+		}
+		out.addSeries("fig25"+d.name, tsv)
+		fmt.Fprintf(&b, "25%s (%d clusters): %s\n", d.name[:1], len(obs), res.String())
+		if d.strong {
+			out.check("fig25"+d.name[:1]+" effect direction holds", math.NaN(),
+				res.Bin2.Median-res.Bin1.Median, res.Metric, "paper: pronounced effect in this slice")
+		}
+	}
+	out.Text = b.String()
+	return out
+}
+
+// sec49Features maps each metric to its paper feature set (Section 4.9).
+func sec49Features(o corr.Observation, metric string) []float64 {
+	switch metric {
+	case core.MetricDisagreement:
+		return []float64{o.Features[core.FeatItems], b2f(o.Features[core.FeatExamples] > 0), o.Features[core.FeatWords], o.Features[core.FeatTextBoxes]}
+	case core.MetricTaskTime:
+		return []float64{o.Features[core.FeatItems], b2f(o.Features[core.FeatImages] > 0), o.Features[core.FeatTextBoxes]}
+	default: // pickup-time
+		return []float64{o.Features[core.FeatItems], b2f(o.Features[core.FeatExamples] > 0), b2f(o.Features[core.FeatImages] > 0)}
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// sec49Paper records the paper's cross-validated accuracies.
+var sec49Paper = map[string][4]float64{
+	// metric: {range acc, range ±1, percentile acc, percentile ±1}
+	core.MetricDisagreement: {0.39, 0.62, 0.20, 0.44},
+	core.MetricTaskTime:     {0.95, math.NaN(), 0.16, 0.40},
+	core.MetricPickupTime:   {0.98, math.NaN(), 0.15, 0.39},
+}
+
+func runSec49(ctx *Context) *Outcome {
+	obs := ctx.A.Observations(true)
+	out := &Outcome{}
+	tbl := report.NewTable("Section 4.9: 5-fold CV accuracy of bucket prediction",
+		"Metric", "Bucketization", "Accuracy", "±1 Accuracy", "Paper Acc", "Paper ±1")
+	var extra strings.Builder
+
+	for _, metric := range []string{core.MetricDisagreement, core.MetricTaskTime, core.MetricPickupTime} {
+		// The prediction task bucketizes disagreement over its full range
+		// (the paper's bucket table spans up to 1.0), so skip the pruning
+		// rule here.
+		source := metric
+		if metric == core.MetricDisagreement {
+			source = core.MetricDisagreementRaw
+		}
+		var X [][]float64
+		var vals []float64
+		for _, o := range obs {
+			v, ok := o.Metrics[source]
+			if !ok || math.IsNaN(v) {
+				continue
+			}
+			X = append(X, sec49Features(o, metric))
+			vals = append(vals, v)
+		}
+		paper := sec49Paper[metric]
+		for bi, kind := range []string{"range", "percentile"} {
+			var bk ml.Bucketizer
+			if kind == "range" {
+				bk = ml.ByRange(vals, 10)
+			} else {
+				bk = ml.ByPercentile(vals, 10)
+			}
+			y := bk.Apply(vals)
+			cv := ml.CrossValidate(X, y, 10, 5, ml.DefaultTreeOptions())
+			pAcc, pTol := paper[bi*2], paper[bi*2+1]
+			tbl.AddRow(metric, kind, cv.Accuracy, cv.WithinOne, pAcc, pTol)
+			out.check(fmt.Sprintf("%s %s-bucketization accuracy", metric, kind), pAcc, cv.Accuracy, "accuracy", "")
+			if !math.IsNaN(pTol) {
+				out.check(fmt.Sprintf("%s %s-bucketization ±1 accuracy", metric, kind), pTol, cv.WithinOne, "accuracy", "")
+			}
+			// The paper also publishes the bucket occupancies: range
+			// bucketization is extremely skewed, percentile is flat.
+			counts := bk.Counts(vals)
+			fmt.Fprintf(&extra, "%s/%s bucket bounds: %s\n", metric, kind, fmtBounds(bk.Bounds))
+			fmt.Fprintf(&extra, "%s/%s bucket counts: %v\n", metric, kind, counts)
+			if kind == "range" && metric != core.MetricDisagreement {
+				out.check(fmt.Sprintf("%s range bucket-0 share", metric), math.NaN(),
+					float64(counts[0])/float64(len(vals)), "fraction",
+					"paper: nearly all mass in the first range bucket")
+			}
+		}
+		// Which features does the predictor lean on? (range buckets)
+		bk := ml.ByRange(vals, 10)
+		tree := ml.Train(X, bk.Apply(vals), 10, ml.DefaultTreeOptions())
+		fmt.Fprintf(&extra, "%s feature importance %v (features: %s)\n\n",
+			metric, fmtImportance(tree.FeatureImportance(len(X[0]))), sec49FeatureNames(metric))
+	}
+	out.Text = tbl.String() + "\n" + extra.String()
+	return out
+}
+
+func fmtBounds(bounds []float64) string {
+	parts := make([]string, len(bounds))
+	for i, b := range bounds {
+		parts[i] = fmt.Sprintf("%.3g", b)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func fmtImportance(imp []float64) string {
+	parts := make([]string, len(imp))
+	for i, v := range imp {
+		parts[i] = fmt.Sprintf("%.2f", v)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+func sec49FeatureNames(metric string) string {
+	switch metric {
+	case core.MetricDisagreement:
+		return "#items, has-example, #words, #text-boxes"
+	case core.MetricTaskTime:
+		return "#items, has-image, #text-boxes"
+	default:
+		return "#items, has-example, has-image"
+	}
+}
+
+func sanitize(s string) string {
+	s = strings.ReplaceAll(s, "#", "")
+	s = strings.ReplaceAll(s, "-", "_")
+	return s
+}

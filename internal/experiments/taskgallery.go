@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"crowdscope/internal/htmlfeat"
+)
+
+func init() {
+	register(Experiment{ID: "fig15to24", Paper: "Figures 15-24", Title: "Gallery of contrasting task interfaces", Run: runGallery})
+}
+
+// Figures 15-24 of the paper are screenshots of real task pairs
+// contrasting one design dimension each: low vs high #words (15/16), with
+// vs without text boxes (17/18), high vs low #items (19/20), with vs
+// without examples (21/22), with vs without images (23/24). The gallery
+// experiment reproduces them by locating the corresponding contrasting
+// cluster pairs in the synthetic corpus and summarizing their interfaces
+// and metric gaps.
+func runGallery(ctx *Context) *Outcome {
+	a := ctx.A
+	out := &Outcome{}
+	var b strings.Builder
+
+	type contrast struct {
+		figures string
+		name    string
+		metric  string
+		// pick scores a cluster; the gallery shows the min and max.
+		pick func(f htmlfeat.Features, items float64) float64
+		get  func(i int) float64
+	}
+	contrasts := []contrast{
+		{"15/16", "#words", "disagreement",
+			func(f htmlfeat.Features, _ float64) float64 { return float64(f.Words) },
+			func(i int) float64 { return a.Clusters[i].Metrics.Disagreement }},
+		{"17/18", "#text-boxes", "task-time",
+			func(f htmlfeat.Features, _ float64) float64 { return float64(f.TextBoxes) },
+			func(i int) float64 { return a.Clusters[i].Metrics.TaskTime }},
+		{"19/20", "#items", "disagreement",
+			func(_ htmlfeat.Features, items float64) float64 { return items },
+			func(i int) float64 { return a.Clusters[i].Metrics.Disagreement }},
+		{"21/22", "#examples", "disagreement",
+			func(f htmlfeat.Features, _ float64) float64 { return float64(f.Examples) },
+			func(i int) float64 { return a.Clusters[i].Metrics.Disagreement }},
+		{"23/24", "#images", "pickup-time",
+			func(f htmlfeat.Features, _ float64) float64 { return float64(f.Images) },
+			func(i int) float64 { return a.Clusters[i].Metrics.PickupTime }},
+	}
+
+	for _, c := range contrasts {
+		loIdx, hiIdx := -1, -1
+		var loVal, hiVal float64
+		for i := range a.Clusters {
+			cl := &a.Clusters[i]
+			if !cl.Labeled || cl.Metrics.Batches < 2 {
+				continue
+			}
+			v := c.pick(cl.Features, cl.ItemsFeature)
+			if loIdx < 0 || v < loVal {
+				loIdx, loVal = i, v
+			}
+			if hiIdx < 0 || v > hiVal {
+				hiIdx, hiVal = i, v
+			}
+		}
+		if loIdx < 0 || hiIdx < 0 || loIdx == hiIdx {
+			continue
+		}
+		fmt.Fprintf(&b, "Figures %s — contrasting %s:\n", c.figures, c.name)
+		for _, side := range []struct {
+			label string
+			idx   int
+			val   float64
+		}{{"low ", loIdx, loVal}, {"high", hiIdx, hiVal}} {
+			cl := &a.Clusters[side.idx]
+			fmt.Fprintf(&b, "  %s %s=%-8.4g cluster %d (%s on %s, %d batches): %s = %.4g\n",
+				side.label, c.name, side.val, cl.Cluster,
+				cl.Labels.Goals.String(), cl.Labels.Data.String(),
+				len(cl.Batches), c.metric, c.get(side.idx))
+		}
+		page, ok := a.DS.BatchHTML(a.Clusters[hiIdx].Batches[0])
+		if ok {
+			fmt.Fprintf(&b, "  sample interface (%d bytes of HTML) excerpt: %s\n",
+				len(page), excerpt(page))
+		}
+		b.WriteByte('\n')
+		out.check(fmt.Sprintf("figs %s %s contrast found", c.figures, c.name), 1, 1, "bool",
+			"the paper shows screenshot pairs; we locate the equivalent extreme clusters")
+	}
+	out.Text = b.String()
+	return out
+}
+
+func excerpt(page string) string {
+	text := htmlfeat.VisibleText(page)
+	if len(text) > 90 {
+		text = text[:90] + "…"
+	}
+	return text
+}

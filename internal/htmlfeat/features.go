@@ -1,0 +1,243 @@
+package htmlfeat
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Features are the design parameters Section 4 extracts from a batch's
+// sample HTML.
+type Features struct {
+	// Words is the number of whitespace-separated words of visible text
+	// (#words in Sections 4.3).
+	Words int
+	// TextBoxes counts free-text inputs: <textarea> and <input type=text>
+	// (#text-box, Section 4.4).
+	TextBoxes int
+	// Images counts <img> tags (#images, Section 4.7).
+	Images int
+	// Examples counts occurrences of the word "example" wrapped in a tag
+	// of its own, the paper's proxy for prominently displayed examples
+	// (#examples, Section 4.6).
+	Examples int
+	// Fields counts all input mechanisms (input/select/textarea/button);
+	// the paper found no significant correlation for this feature.
+	Fields int
+	// Radios and Checkboxes break out multiple-choice inputs.
+	Radios     int
+	Checkboxes int
+	// HasInstructions reports whether an element carries an
+	// instruction-ish class or id.
+	HasInstructions bool
+}
+
+// Extract tokenizes src and computes its design features in one pass.
+func Extract(src string) Features {
+	return FromTokens(Tokenize(src))
+}
+
+// FromTokens computes features from an already tokenized document.
+func FromTokens(toks []Token) Features {
+	var f Features
+	// Track whether the current text node is the entire content of the
+	// innermost element, for the #examples rule ("wrapped in a tag of its
+	// own"): <b>Example</b> counts, prose mentioning examples does not.
+	var prevStart bool
+	var prevStartName string
+	for i, t := range toks {
+		switch t.Type {
+		case StartTag, SelfClosingTag:
+			switch t.Name {
+			case "img":
+				f.Images++
+			case "textarea":
+				f.TextBoxes++
+				f.Fields++
+			case "select", "button":
+				f.Fields++
+			case "input":
+				f.Fields++
+				typ, ok := t.Attr("type")
+				typ = strings.ToLower(typ)
+				switch {
+				case !ok, typ == "text", typ == "search", typ == "email", typ == "url":
+					f.TextBoxes++
+				case typ == "radio":
+					f.Radios++
+				case typ == "checkbox":
+					f.Checkboxes++
+				}
+			}
+			if !f.HasInstructions {
+				if cls, ok := t.Attr("class"); ok && containsFold(cls, "instruction") {
+					f.HasInstructions = true
+				} else if id, ok := t.Attr("id"); ok && containsFold(id, "instruction") {
+					f.HasInstructions = true
+				}
+			}
+			prevStart = t.Type == StartTag
+			prevStartName = t.Name
+		case Text:
+			f.Words += countWords(t.Text)
+			if prevStart && isOwnTagExample(toks, i, prevStartName) {
+				f.Examples++
+			}
+			prevStart = false
+		case EndTag, Comment:
+			prevStart = false
+		}
+	}
+	return f
+}
+
+// isOwnTagExample reports whether toks[i] is a text node that (a) sits
+// alone inside its enclosing element, and (b) is essentially the word
+// "example" (allowing trailing punctuation or a number, e.g. "Example 2:").
+func isOwnTagExample(toks []Token, i int, openName string) bool {
+	if i+1 >= len(toks) {
+		return false
+	}
+	next := toks[i+1]
+	if next.Type != EndTag || next.Name != openName {
+		return false
+	}
+	return isExampleText(toks[i].Text)
+}
+
+func isExampleText(s string) bool {
+	fields := strings.Fields(strings.ToLower(s))
+	if len(fields) == 0 || len(fields) > 2 {
+		return false
+	}
+	head := strings.TrimFunc(fields[0], func(r rune) bool { return unicode.IsPunct(r) })
+	if head != "example" && head != "examples" {
+		return false
+	}
+	if len(fields) == 2 {
+		// Allow "Example 2" / "Example #1:".
+		rest := strings.TrimFunc(fields[1], func(r rune) bool { return unicode.IsPunct(r) })
+		for _, r := range rest {
+			if !unicode.IsDigit(r) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func countWords(s string) int {
+	n := 0
+	inWord := false
+	for _, r := range s {
+		if unicode.IsSpace(r) {
+			inWord = false
+		} else if !inWord {
+			inWord = true
+			n++
+		}
+	}
+	return n
+}
+
+func containsFold(hay, needle string) bool {
+	return strings.Contains(strings.ToLower(hay), needle)
+}
+
+// VisibleText concatenates the text nodes of src with single-space
+// separators; clustering shingles are built from it.
+func VisibleText(src string) string {
+	var b strings.Builder
+	for _, t := range Tokenize(src) {
+		if t.Type == Text {
+			trimmed := strings.TrimSpace(t.Text)
+			if trimmed == "" {
+				continue
+			}
+			if b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(trimmed)
+		}
+	}
+	return b.String()
+}
+
+// TagSequence returns the lower-case names of start tags in document order;
+// together with the visible text it forms the clustering signature.
+func TagSequence(src string) []string {
+	var out []string
+	for _, t := range Tokenize(src) {
+		if t.Type == StartTag || t.Type == SelfClosingTag {
+			out = append(out, t.Name)
+		}
+	}
+	return out
+}
+
+// Shingles produces the k-shingle set used for batch similarity: k-grams of
+// the combined tag/word stream, hashed to uint64 by FNV-1a. Identical task
+// interfaces share (nearly) identical shingle sets, so Jaccard similarity
+// over these recovers the paper's notion of "the same distinct task".
+func Shingles(src string, k int) map[uint64]struct{} {
+	if k <= 0 {
+		k = 4
+	}
+	stream := make([]string, 0, 64)
+	for _, t := range Tokenize(src) {
+		switch t.Type {
+		case StartTag, SelfClosingTag:
+			stream = append(stream, "<"+t.Name+">")
+		case Text:
+			for _, w := range strings.Fields(strings.ToLower(t.Text)) {
+				stream = append(stream, w)
+			}
+		}
+	}
+	set := make(map[uint64]struct{}, len(stream))
+	if len(stream) < k {
+		if len(stream) == 0 {
+			return set
+		}
+		set[fnv1a(strings.Join(stream, " "))] = struct{}{}
+		return set
+	}
+	for i := 0; i+k <= len(stream); i++ {
+		set[fnv1a(strings.Join(stream[i:i+k], " "))] = struct{}{}
+	}
+	return set
+}
+
+func fnv1a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// Jaccard returns |a∩b| / |a∪b|; 1 for two empty sets.
+func Jaccard(a, b map[uint64]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	small, large := a, b
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	inter := 0
+	for k := range small {
+		if _, ok := large[k]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,111 @@
+package htmlfeat
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"crowdscope/internal/rng"
+)
+
+// randomHTMLish produces arbitrary byte soup biased toward markup
+// characters, to fuzz the tokenizer's robustness guarantees.
+func randomHTMLish(seed uint64, n int) string {
+	r := rng.New(seed)
+	alphabet := []byte(`<>/"'= abcdefghij&#;-!`)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(alphabet[r.Intn(len(alphabet))])
+	}
+	return b.String()
+}
+
+// TestPropertyTokenizeNeverPanics: the tokenizer is total over arbitrary
+// input.
+func TestPropertyTokenizeNeverPanics(t *testing.T) {
+	f := func(seed uint64, size uint8) bool {
+		src := randomHTMLish(seed, int(size))
+		_ = Tokenize(src)
+		_ = Extract(src)
+		_ = VisibleText(src)
+		_ = Shingles(src, 3)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyFeaturesNonNegative: every extracted count is ≥ 0 for any
+// input.
+func TestPropertyFeaturesNonNegative(t *testing.T) {
+	f := func(seed uint64, size uint8) bool {
+		feats := Extract(randomHTMLish(seed, int(size)*4))
+		return feats.Words >= 0 && feats.TextBoxes >= 0 && feats.Images >= 0 &&
+			feats.Examples >= 0 && feats.Fields >= 0 &&
+			feats.TextBoxes+feats.Radios+feats.Checkboxes <= feats.Fields+3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyTextConcatenationMonotone: appending a text paragraph to a
+// document that is not mid-construct adds exactly its words. Random soup
+// can end inside an unterminated comment, script or quoted attribute, so
+// a closing sentinel terminates any open construct first.
+func TestPropertyTextConcatenationMonotone(t *testing.T) {
+	// The closer must terminate any construct random soup can leave open:
+	// " and ' close quoted attribute values; the leading ` z ` satisfies a
+	// dangling `attr=` with an unquoted value so the quotes cannot *open*
+	// a new value; --> closes comments; </script> closes raw text; the
+	// final > closes a bare tag.
+	const closer = ` z "'--></script>>`
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		base := randomHTMLish(seed, 100+r.Intn(200)) + closer
+		before := Extract(base).Words
+		after := Extract(base + "<p>alpha beta gamma</p>").Words
+		return after >= before+3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyJaccardAxioms: similarity is symmetric, bounded, and 1 on
+// identical inputs.
+func TestPropertyJaccardAxioms(t *testing.T) {
+	f := func(seedA, seedB uint64) bool {
+		a := Shingles(randomHTMLish(seedA, 300), 3)
+		b := Shingles(randomHTMLish(seedB, 300), 3)
+		sab := Jaccard(a, b)
+		sba := Jaccard(b, a)
+		if sab != sba || sab < 0 || sab > 1 {
+			return false
+		}
+		return Jaccard(a, a) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyEntitiesIdempotentOnPlain: decoding entity-free text is the
+// identity.
+func TestPropertyEntitiesIdempotentOnPlain(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		alphabet := []byte("abc def.xyz<>")
+		var b strings.Builder
+		for i := 0; i < 50; i++ {
+			c := alphabet[r.Intn(len(alphabet))]
+			b.WriteByte(c)
+		}
+		s := strings.ReplaceAll(b.String(), "&", "")
+		return DecodeEntities(s) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,151 @@
+package htmlgen
+
+import (
+	"strings"
+	"testing"
+
+	"crowdscope/internal/htmlfeat"
+	"crowdscope/internal/model"
+)
+
+func taskType(d model.DesignParams) model.TaskType {
+	return model.TaskType{
+		ID: 7,
+		Labels: model.Labels{
+			Goals:     model.GoalSet(0).With(model.GoalSR),
+			Operators: model.OpSet(0).With(model.OpRate),
+			Data:      model.DataSet(0).With(model.DataText),
+		},
+		Design: d,
+	}
+}
+
+func TestRenderFeatureRoundTrip(t *testing.T) {
+	designs := []model.DesignParams{
+		{Words: 200, TextBoxes: 0, Examples: 0, Images: 0, Fields: 5},
+		{Words: 700, TextBoxes: 2, Examples: 1, Images: 0, Fields: 6},
+		{Words: 1500, TextBoxes: 0, Examples: 3, Images: 4, Fields: 8},
+		{Words: 466, TextBoxes: 1, Examples: 0, Images: 1, Fields: 3},
+		{Words: 6000, TextBoxes: 5, Examples: 2, Images: 2, Fields: 10},
+	}
+	for _, d := range designs {
+		src := Render(taskType(d), Options{Seed: 11})
+		f := htmlfeat.Extract(src)
+		if f.TextBoxes != d.TextBoxes {
+			t.Errorf("design %+v: TextBoxes = %d", d, f.TextBoxes)
+		}
+		if f.Images != d.Images {
+			t.Errorf("design %+v: Images = %d", d, f.Images)
+		}
+		if f.Examples != d.Examples {
+			t.Errorf("design %+v: Examples = %d", d, f.Examples)
+		}
+		if f.Fields != d.Fields {
+			t.Errorf("design %+v: Fields = %d (want %d)", d, f.Fields, d.Fields)
+		}
+		if diff := f.Words - d.Words; diff < -3 || diff > 3 {
+			t.Errorf("design %+v: Words = %d, want ~%d", d, f.Words, d.Words)
+		}
+		if !f.HasInstructions {
+			t.Errorf("design %+v: instructions block missing", d)
+		}
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	d := model.DesignParams{Words: 500, TextBoxes: 1, Examples: 1, Images: 1, Fields: 5}
+	a := Render(taskType(d), Options{Seed: 3})
+	b := Render(taskType(d), Options{Seed: 3})
+	if a != b {
+		t.Error("same seed should render identical pages")
+	}
+	c := Render(taskType(d), Options{Seed: 4})
+	if a == c {
+		t.Error("different seeds should change wording")
+	}
+}
+
+func TestRenderBatchTagVariation(t *testing.T) {
+	d := model.DesignParams{Words: 300, Fields: 4}
+	a := Render(taskType(d), Options{Seed: 1, BatchTag: "b1"})
+	b := Render(taskType(d), Options{Seed: 1, BatchTag: "b2"})
+	if a == b {
+		t.Error("batch tags should differentiate pages")
+	}
+	// But the features must be identical.
+	fa, fb := htmlfeat.Extract(a), htmlfeat.Extract(b)
+	if fa != fb {
+		t.Errorf("features differ across batches: %+v vs %+v", fa, fb)
+	}
+	// And similarity must stay near 1 for clustering to work.
+	sim := htmlfeat.Jaccard(htmlfeat.Shingles(a, 4), htmlfeat.Shingles(b, 4))
+	if sim < 0.95 {
+		t.Errorf("cross-batch similarity = %.3f, want ~1", sim)
+	}
+}
+
+func TestRenderDistinctTasksDissimilar(t *testing.T) {
+	d1 := model.DesignParams{Words: 300, TextBoxes: 2, Fields: 5}
+	d2 := model.DesignParams{Words: 900, Examples: 2, Images: 3, Fields: 8}
+	t1 := taskType(d1)
+	t2 := model.TaskType{
+		ID: 9,
+		Labels: model.Labels{
+			Goals:     model.GoalSet(0).With(model.GoalT),
+			Operators: model.OpSet(0).With(model.OpExtract),
+			Data:      model.DataSet(0).With(model.DataImage),
+		},
+		Design: d2,
+	}
+	a := Render(t1, Options{Seed: 100})
+	b := Render(t2, Options{Seed: 200})
+	sim := htmlfeat.Jaccard(htmlfeat.Shingles(a, 4), htmlfeat.Shingles(b, 4))
+	if sim > 0.5 {
+		t.Errorf("distinct tasks too similar: %.3f", sim)
+	}
+}
+
+func TestRenderWellFormed(t *testing.T) {
+	d := model.DesignParams{Words: 400, TextBoxes: 2, Examples: 1, Images: 1, Fields: 6}
+	src := Render(taskType(d), Options{Seed: 5})
+	if !strings.HasPrefix(src, "<!DOCTYPE html>") {
+		t.Error("missing doctype")
+	}
+	for _, tag := range []string{"<html>", "</html>", "<body>", "</body>", "<h1>"} {
+		if !strings.Contains(src, tag) {
+			t.Errorf("missing %s", tag)
+		}
+	}
+	if !strings.Contains(src, "{{item_id}}") {
+		t.Error("missing item placeholder")
+	}
+}
+
+func TestRenderTitleReflectsLabels(t *testing.T) {
+	tt := taskType(model.DesignParams{Words: 100, Fields: 2})
+	src := Render(tt, Options{})
+	if !strings.Contains(src, "Search Relevance") {
+		t.Error("title should carry the goal name")
+	}
+	if !strings.Contains(src, "Rate") {
+		t.Error("title should carry the operator name")
+	}
+}
+
+func TestRenderZeroFields(t *testing.T) {
+	// Degenerate design: still valid HTML with at least the submit button.
+	d := model.DesignParams{Words: 50, Fields: 0}
+	src := Render(taskType(d), Options{})
+	f := htmlfeat.Extract(src)
+	if f.Fields < 1 {
+		t.Errorf("Fields = %d, want >= 1 (submit button)", f.Fields)
+	}
+}
+
+func BenchmarkRender(b *testing.B) {
+	tt := taskType(model.DesignParams{Words: 600, TextBoxes: 2, Examples: 1, Images: 2, Fields: 7})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Render(tt, Options{Seed: uint64(i)})
+	}
+}

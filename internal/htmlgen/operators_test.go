@@ -1,0 +1,96 @@
+package htmlgen
+
+import (
+	"strings"
+	"testing"
+
+	"crowdscope/internal/htmlfeat"
+	"crowdscope/internal/model"
+)
+
+func opTaskType(ops model.OpSet, d model.DesignParams) model.TaskType {
+	return model.TaskType{
+		ID: 3,
+		Labels: model.Labels{
+			Goals:     model.GoalSet(0).With(model.GoalQA),
+			Operators: ops,
+			Data:      model.DataSet(0).With(model.DataImage),
+		},
+		Design: d,
+	}
+}
+
+func TestOperatorBlocksPresent(t *testing.T) {
+	d := model.DesignParams{Words: 500, TextBoxes: 1, Fields: 6}
+	cases := []struct {
+		op     model.Operator
+		marker string
+	}{
+		{model.OpSort, `class="sortable"`},
+		{model.OpLocalize, `class="bbox-tool"`},
+		{model.OpExternal, `class="external-task"`},
+		{model.OpCount, `type="number"`},
+	}
+	for _, c := range cases {
+		src := Render(opTaskType(model.OpSet(0).With(c.op), d), Options{Seed: 8})
+		if !strings.Contains(src, c.marker) {
+			t.Errorf("%v page missing %s", c.op, c.marker)
+		}
+		// Absent for other operators.
+		other := Render(opTaskType(model.OpSet(0).With(model.OpFilter), d), Options{Seed: 8})
+		if strings.Contains(other, c.marker) {
+			t.Errorf("filter page unexpectedly contains %s", c.marker)
+		}
+	}
+}
+
+func TestOperatorBlocksPreserveFeatureRoundTrip(t *testing.T) {
+	// The word/field budget must stay exact for every operator mix.
+	designs := []model.DesignParams{
+		{Words: 300, TextBoxes: 0, Fields: 5},
+		{Words: 800, TextBoxes: 2, Examples: 1, Images: 1, Fields: 8},
+	}
+	opSets := []model.OpSet{
+		model.OpSet(0).With(model.OpSort),
+		model.OpSet(0).With(model.OpLocalize),
+		model.OpSet(0).With(model.OpExternal),
+		model.OpSet(0).With(model.OpCount),
+		model.OpSet(0).With(model.OpSort).With(model.OpCount).With(model.OpExternal),
+		model.OpSet(0).With(model.OpFilter).With(model.OpLocalize),
+	}
+	for _, d := range designs {
+		for _, ops := range opSets {
+			tt := opTaskType(ops, d)
+			f := htmlfeat.Extract(Render(tt, Options{Seed: 4}))
+			if f.TextBoxes != d.TextBoxes {
+				t.Errorf("ops %v design %+v: TextBoxes = %d", ops, d, f.TextBoxes)
+			}
+			if f.Images != d.Images {
+				t.Errorf("ops %v design %+v: Images = %d", ops, d, f.Images)
+			}
+			if f.Examples != d.Examples {
+				t.Errorf("ops %v design %+v: Examples = %d", ops, d, f.Examples)
+			}
+			if f.Fields != d.Fields {
+				t.Errorf("ops %v design %+v: Fields = %d, want %d", ops, d, f.Fields, d.Fields)
+			}
+			if diff := f.Words - d.Words; diff < -3 || diff > 3 {
+				t.Errorf("ops %v design %+v: Words = %d, want ~%d", ops, d, f.Words, d.Words)
+			}
+		}
+	}
+}
+
+func TestOperatorBlocksImproveSeparability(t *testing.T) {
+	// Pages for different operators should be more dissimilar than pages
+	// for the same operator with different seeds' wording.
+	d := model.DesignParams{Words: 400, Fields: 6}
+	sortA := Render(opTaskType(model.OpSet(0).With(model.OpSort), d), Options{Seed: 1})
+	sortB := Render(opTaskType(model.OpSet(0).With(model.OpSort), d), Options{Seed: 1, BatchTag: "x"})
+	loc := Render(opTaskType(model.OpSet(0).With(model.OpLocalize), d), Options{Seed: 1})
+	same := htmlfeat.Jaccard(htmlfeat.Shingles(sortA, 4), htmlfeat.Shingles(sortB, 4))
+	cross := htmlfeat.Jaccard(htmlfeat.Shingles(sortA, 4), htmlfeat.Shingles(loc, 4))
+	if cross >= same {
+		t.Errorf("cross-operator similarity %.3f not below same-task %.3f", cross, same)
+	}
+}

@@ -1,0 +1,168 @@
+// Package metrics computes the paper's three task-effectiveness metrics
+// (Section 4.1) from the instance log:
+//
+//   - disagreement — the average pairwise mismatch of worker answers per
+//     item, the error proxy (no ground truth exists);
+//   - task-time — the median seconds workers spend per instance, the cost
+//     proxy (no payment data exists);
+//   - pickup-time — the median delay from batch start to instance start,
+//     the latency proxy (pickup dominates end-to-end turnaround).
+package metrics
+
+import (
+	"math"
+
+	"crowdscope/internal/stats"
+	"crowdscope/internal/store"
+)
+
+// DisagreementPruneThreshold drops batches whose disagreement exceeds it
+// (Section 4.1): very high-variance batches are dominated by subjective
+// free-text answers and would swamp the objective signal.
+const DisagreementPruneThreshold = 0.5
+
+// Batch carries the metric values of one batch.
+type Batch struct {
+	// Disagreement in [0,1]; valid only when Pairs > 0.
+	Disagreement float64
+	// Pairs is the number of same-item answer pairs compared.
+	Pairs int
+	// TaskTime is the median instance duration in seconds.
+	TaskTime float64
+	// PickupTime is the median delay from the earliest instance start
+	// (the paper's proxy for batch start) to each instance start.
+	PickupTime float64
+	// Instances is the number of rows the batch contributed.
+	Instances int
+}
+
+// Valid reports whether the batch produced usable metrics.
+func (b Batch) Valid() bool { return b.Instances > 0 }
+
+// Pruned reports whether the disagreement pruning rule removes this batch
+// from error analyses.
+func (b Batch) Pruned() bool {
+	return b.Pairs == 0 || b.Disagreement > DisagreementPruneThreshold
+}
+
+// ComputeBatch computes metrics for one batch from its store rows.
+func ComputeBatch(st *store.Store, batchID uint32) Batch {
+	lo, hi := st.BatchRange(batchID)
+	n := hi - lo
+	if n == 0 {
+		return Batch{}
+	}
+	starts := st.Starts()[lo:hi]
+	ends := st.Ends()[lo:hi]
+	items := st.Items()[lo:hi]
+	answers := st.Answers()[lo:hi]
+
+	// Durations and the earliest start.
+	durs := make([]float64, n)
+	minStart := starts[0]
+	for i := 0; i < n; i++ {
+		durs[i] = float64(ends[i] - starts[i])
+		if starts[i] < minStart {
+			minStart = starts[i]
+		}
+	}
+	pickups := make([]float64, n)
+	for i := 0; i < n; i++ {
+		pickups[i] = float64(starts[i] - minStart)
+	}
+
+	agree, total := disagreementCounts(items, answers)
+
+	out := Batch{
+		Pairs:      total,
+		TaskTime:   stats.MedianInPlace(durs),
+		PickupTime: stats.MedianInPlace(pickups),
+		Instances:  n,
+	}
+	if total > 0 {
+		out.Disagreement = 1 - float64(agree)/float64(total)
+	} else {
+		out.Disagreement = math.NaN()
+	}
+	return out
+}
+
+// disagreementCounts returns (#agreeing pairs, #pairs) across all items of
+// a batch. Rows of one item are contiguous in generated data but the
+// grouping does not assume it.
+func disagreementCounts(items []uint32, answers []uint32) (agree, total int) {
+	// Group rows by item.
+	byItem := make(map[uint32][]uint32, len(items)/3+1)
+	for i, it := range items {
+		byItem[it] = append(byItem[it], answers[i])
+	}
+	for _, ans := range byItem {
+		k := len(ans)
+		if k < 2 {
+			continue
+		}
+		// Count equal pairs via answer multiplicities: sum c*(c-1)/2.
+		counts := make(map[uint32]int, k)
+		for _, a := range ans {
+			counts[a]++
+		}
+		for _, c := range counts {
+			agree += c * (c - 1) / 2
+		}
+		total += k * (k - 1) / 2
+	}
+	return agree, total
+}
+
+// ComputeAll computes metrics for every batch with rows in the store.
+// The result is indexed by batch ID.
+func ComputeAll(st *store.Store) []Batch {
+	out := make([]Batch, st.NumBatches())
+	for b := range out {
+		lo, hi := st.BatchRange(uint32(b))
+		if lo < hi {
+			out[b] = ComputeBatch(st, uint32(b))
+		}
+	}
+	return out
+}
+
+// ClusterMetrics reduces batch metrics to the cluster level by taking
+// medians across the cluster's batches (Section 4.2's first step). Batches
+// without valid values are skipped per metric.
+type ClusterMetrics struct {
+	Disagreement float64 // NaN when no batch has answer pairs
+	TaskTime     float64
+	PickupTime   float64
+	Batches      int
+}
+
+// Reduce computes cluster-level metrics over the given batch IDs.
+func Reduce(batchMetrics []Batch, ids []uint32) ClusterMetrics {
+	var dis, tt, pt []float64
+	n := 0
+	for _, id := range ids {
+		if int(id) >= len(batchMetrics) {
+			continue
+		}
+		bm := batchMetrics[id]
+		if !bm.Valid() {
+			continue
+		}
+		n++
+		if bm.Pairs > 0 && !math.IsNaN(bm.Disagreement) {
+			dis = append(dis, bm.Disagreement)
+		}
+		tt = append(tt, bm.TaskTime)
+		pt = append(pt, bm.PickupTime)
+	}
+	out := ClusterMetrics{Batches: n}
+	if len(dis) > 0 {
+		out.Disagreement = stats.Median(dis)
+	} else {
+		out.Disagreement = math.NaN()
+	}
+	out.TaskTime = stats.Median(tt)
+	out.PickupTime = stats.Median(pt)
+	return out
+}

@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"crowdscope/internal/model"
+	"crowdscope/internal/store"
+)
+
+// buildBatch stores rows for a single batch: answers[item][rep], all
+// starting at base + rep seconds with duration dur.
+func buildBatch(answers [][]uint32, base int64, durs []int64) *store.Store {
+	s := store.New(1)
+	s.BeginBatch(0)
+	k := 0
+	for item, reps := range answers {
+		for rep, ans := range reps {
+			d := int64(60)
+			if k < len(durs) {
+				d = durs[k]
+			}
+			s.Append(model.Instance{
+				Batch: 0, Item: uint32(item), Worker: uint32(100 + rep + item*10),
+				Start: base + int64(rep)*100, End: base + int64(rep)*100 + d,
+				Answer: ans,
+			})
+			k++
+		}
+	}
+	return s
+}
+
+func TestDisagreementAllAgree(t *testing.T) {
+	s := buildBatch([][]uint32{{1, 1, 1}, {2, 2, 2}}, 1000, nil)
+	m := ComputeBatch(s, 0)
+	if m.Disagreement != 0 {
+		t.Errorf("Disagreement = %v, want 0", m.Disagreement)
+	}
+	if m.Pairs != 6 {
+		t.Errorf("Pairs = %d, want 6", m.Pairs)
+	}
+}
+
+func TestDisagreementAllDiffer(t *testing.T) {
+	s := buildBatch([][]uint32{{1, 2, 3}}, 1000, nil)
+	m := ComputeBatch(s, 0)
+	if m.Disagreement != 1 {
+		t.Errorf("Disagreement = %v, want 1", m.Disagreement)
+	}
+}
+
+func TestDisagreementMixed(t *testing.T) {
+	// Item with answers {a,a,b}: pairs aa agree, ab, ab disagree → 2/3.
+	s := buildBatch([][]uint32{{7, 7, 9}}, 1000, nil)
+	m := ComputeBatch(s, 0)
+	if math.Abs(m.Disagreement-2.0/3.0) > 1e-12 {
+		t.Errorf("Disagreement = %v, want 2/3", m.Disagreement)
+	}
+}
+
+func TestDisagreementAveragesAcrossItems(t *testing.T) {
+	// Item1: all agree (3 pairs, 0 disagreements); item2: all differ
+	// (3 pairs, 3 disagreements) → 3/6 = 0.5 overall.
+	s := buildBatch([][]uint32{{1, 1, 1}, {5, 6, 7}}, 1000, nil)
+	m := ComputeBatch(s, 0)
+	if math.Abs(m.Disagreement-0.5) > 1e-12 {
+		t.Errorf("Disagreement = %v, want 0.5", m.Disagreement)
+	}
+}
+
+func TestDisagreementSingleAnswerItem(t *testing.T) {
+	// Items with one answer contribute no pairs.
+	s := buildBatch([][]uint32{{4}}, 1000, nil)
+	m := ComputeBatch(s, 0)
+	if m.Pairs != 0 {
+		t.Errorf("Pairs = %d, want 0", m.Pairs)
+	}
+	if !math.IsNaN(m.Disagreement) {
+		t.Errorf("Disagreement = %v, want NaN", m.Disagreement)
+	}
+	if !m.Pruned() {
+		t.Error("pair-less batch should prune from error analyses")
+	}
+}
+
+func TestPruneThreshold(t *testing.T) {
+	low := Batch{Disagreement: 0.3, Pairs: 10, Instances: 10}
+	if low.Pruned() {
+		t.Error("0.3 disagreement should survive pruning")
+	}
+	high := Batch{Disagreement: 0.8, Pairs: 10, Instances: 10}
+	if !high.Pruned() {
+		t.Error("0.8 disagreement must be pruned (subjective text)")
+	}
+}
+
+func TestTaskTimeMedian(t *testing.T) {
+	s := buildBatch([][]uint32{{1, 1, 1}}, 1000, []int64{10, 50, 90})
+	m := ComputeBatch(s, 0)
+	if m.TaskTime != 50 {
+		t.Errorf("TaskTime = %v, want 50", m.TaskTime)
+	}
+}
+
+func TestPickupTimeUsesEarliestStartProxy(t *testing.T) {
+	// Starts at base+0, base+100, base+200 → pickups 0,100,200; median 100.
+	s := buildBatch([][]uint32{{1, 1, 1}}, 5000, nil)
+	m := ComputeBatch(s, 0)
+	if m.PickupTime != 100 {
+		t.Errorf("PickupTime = %v, want 100", m.PickupTime)
+	}
+}
+
+func TestComputeBatchEmpty(t *testing.T) {
+	s := store.New(2)
+	m := ComputeBatch(s, 1)
+	if m.Valid() {
+		t.Error("empty batch should be invalid")
+	}
+}
+
+func TestComputeAll(t *testing.T) {
+	s := store.New(3)
+	s.BeginBatch(0)
+	s.Append(model.Instance{Batch: 0, Item: 0, Worker: 1, Start: 10, End: 20, Answer: 1})
+	s.Append(model.Instance{Batch: 0, Item: 0, Worker: 2, Start: 15, End: 40, Answer: 1})
+	s.BeginBatch(2)
+	s.Append(model.Instance{Batch: 2, Item: 0, Worker: 3, Start: 100, End: 160, Answer: 5})
+	all := ComputeAll(s)
+	if len(all) != 3 {
+		t.Fatalf("ComputeAll length %d", len(all))
+	}
+	if !all[0].Valid() || all[1].Valid() || !all[2].Valid() {
+		t.Errorf("validity flags wrong: %+v", all)
+	}
+	if all[0].Disagreement != 0 {
+		t.Errorf("batch 0 disagreement = %v", all[0].Disagreement)
+	}
+}
+
+func TestReduce(t *testing.T) {
+	bms := []Batch{
+		{Disagreement: 0.1, Pairs: 5, TaskTime: 100, PickupTime: 1000, Instances: 10},
+		{Disagreement: 0.3, Pairs: 5, TaskTime: 300, PickupTime: 3000, Instances: 10},
+		{Disagreement: 0.2, Pairs: 5, TaskTime: 200, PickupTime: 2000, Instances: 10},
+		{}, // invalid, skipped
+		{Disagreement: math.NaN(), Pairs: 0, TaskTime: 999, PickupTime: 99, Instances: 4}, // no pairs
+	}
+	cm := Reduce(bms, []uint32{0, 1, 2, 3, 4})
+	if cm.Batches != 4 {
+		t.Errorf("Batches = %d, want 4", cm.Batches)
+	}
+	if cm.Disagreement != 0.2 {
+		t.Errorf("Disagreement = %v, want 0.2", cm.Disagreement)
+	}
+	// Task time median over {100,300,200,999}.
+	if cm.TaskTime != 250 {
+		t.Errorf("TaskTime = %v, want 250", cm.TaskTime)
+	}
+}
+
+func TestReduceAllInvalid(t *testing.T) {
+	cm := Reduce([]Batch{{}, {}}, []uint32{0, 1})
+	if cm.Batches != 0 {
+		t.Errorf("Batches = %d", cm.Batches)
+	}
+	if !math.IsNaN(cm.Disagreement) || !math.IsNaN(cm.TaskTime) {
+		t.Error("empty reduction should be NaN")
+	}
+	// Out-of-range IDs are ignored.
+	cm = Reduce([]Batch{{}}, []uint32{99})
+	if cm.Batches != 0 {
+		t.Error("out-of-range batch counted")
+	}
+}

@@ -1,0 +1,223 @@
+// Package report renders experiment output: fixed-width text tables in the
+// style of the paper's Tables 1-4, compact ASCII charts for the figures,
+// and TSV series for external plotting tools.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case float32:
+			row[i] = formatFloat(float64(v))
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	n := len([]rune(s))
+	if n >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-n)
+}
+
+// Chart renders a horizontal bar chart: one labeled bar per value, with
+// optional log scaling for the paper's heavy-tailed distributions.
+type Chart struct {
+	Title  string
+	Width  int // bar area width in characters (default 50)
+	Log    bool
+	labels []string
+	values []float64
+}
+
+// NewChart creates a chart.
+func NewChart(title string) *Chart { return &Chart{Title: title, Width: 50} }
+
+// Add appends one bar.
+func (c *Chart) Add(label string, value float64) {
+	c.labels = append(c.labels, label)
+	c.values = append(c.values, value)
+}
+
+// Render writes the chart to w.
+func (c *Chart) Render(w io.Writer) {
+	if c.Title != "" {
+		fmt.Fprintf(w, "%s\n", c.Title)
+	}
+	if len(c.values) == 0 {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for i, v := range c.values {
+		sv := c.scale(v)
+		if sv > maxVal {
+			maxVal = sv
+		}
+		if len(c.labels[i]) > maxLabel {
+			maxLabel = len(c.labels[i])
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+	for i, v := range c.values {
+		n := int(c.scale(v) / maxVal * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(w, "  %s %s %s\n", pad(c.labels[i], maxLabel), strings.Repeat("█", n), formatFloat(v))
+	}
+}
+
+func (c *Chart) scale(v float64) float64 {
+	if !c.Log {
+		return v
+	}
+	if v <= 0 {
+		return 0
+	}
+	return math.Log10(1 + v)
+}
+
+// String renders to a string.
+func (c *Chart) String() string {
+	var b strings.Builder
+	c.Render(&b)
+	return b.String()
+}
+
+// TSV writes tab-separated series with a header row — the exchange format
+// for gnuplot-style external plotting.
+type TSV struct {
+	Headers []string
+	rows    [][]float64
+}
+
+// NewTSV creates a TSV series with the given column names.
+func NewTSV(headers ...string) *TSV { return &TSV{Headers: headers} }
+
+// Add appends one row; it must match the header arity.
+func (t *TSV) Add(values ...float64) {
+	if len(values) != len(t.Headers) {
+		panic("report: TSV row arity mismatch")
+	}
+	t.rows = append(t.rows, append([]float64(nil), values...))
+}
+
+// Len returns the number of data rows.
+func (t *TSV) Len() int { return len(t.rows) }
+
+// Render writes the series to w.
+func (t *TSV) Render(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Headers, "\t"))
+	for _, row := range t.rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			if math.IsNaN(v) {
+				parts[i] = "nan"
+			} else {
+				parts[i] = fmt.Sprintf("%g", v)
+			}
+		}
+		fmt.Fprintln(w, strings.Join(parts, "\t"))
+	}
+}
+
+// String renders to a string.
+func (t *TSV) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}

@@ -1,0 +1,124 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("Demo", "name", "count", "ratio")
+	tbl.AddRow("alpha", 10, 0.523)
+	tbl.AddRow("beta-longer-name", 2000, 12.0)
+	out := tbl.String()
+	if !strings.Contains(out, "Demo") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "beta-longer-name") {
+		t.Error("rows missing")
+	}
+	if !strings.Contains(out, "0.523") {
+		t.Error("float formatting wrong")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// Columns align: header and separator have same width.
+	if len(lines[1]) != len(lines[2]) {
+		t.Error("separator width mismatch")
+	}
+}
+
+func TestTableNaN(t *testing.T) {
+	tbl := NewTable("", "v")
+	tbl.AddRow(math.NaN())
+	if !strings.Contains(tbl.String(), "-") {
+		t.Error("NaN should render as dash")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{3, "3"}, {3.14159, "3.1"}, {0.000123, "0.000"},
+		{12345.6, "12346"}, {0.5, "0.500"},
+	}
+	for _, c := range cases {
+		if got := formatFloat(c.in); got != c.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	ch := NewChart("Load")
+	ch.Add("Mon", 100)
+	ch.Add("Tue", 50)
+	ch.Add("Sun", 0)
+	out := ch.String()
+	if !strings.Contains(out, "Load") || !strings.Contains(out, "Mon") {
+		t.Errorf("chart output: %q", out)
+	}
+	// Monday's bar must be the longest.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	monBars := strings.Count(lines[1], "█")
+	tueBars := strings.Count(lines[2], "█")
+	sunBars := strings.Count(lines[3], "█")
+	if monBars <= tueBars || sunBars != 0 {
+		t.Errorf("bar lengths: mon=%d tue=%d sun=%d", monBars, tueBars, sunBars)
+	}
+}
+
+func TestChartLogScale(t *testing.T) {
+	lin := NewChart("")
+	lin.Add("big", 1000000)
+	lin.Add("small", 10)
+	logc := NewChart("")
+	logc.Log = true
+	logc.Add("big", 1000000)
+	logc.Add("small", 10)
+	linSmall := strings.Count(strings.Split(lin.String(), "\n")[1], "█")
+	logSmall := strings.Count(strings.Split(logc.String(), "\n")[1], "█")
+	if logSmall <= linSmall {
+		t.Errorf("log scaling should lift small bars: lin=%d log=%d", linSmall, logSmall)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	ch := NewChart("Empty")
+	if !strings.Contains(ch.String(), "no data") {
+		t.Error("empty chart should say so")
+	}
+}
+
+func TestTSVRender(t *testing.T) {
+	tsv := NewTSV("x", "y")
+	tsv.Add(1, 2.5)
+	tsv.Add(3, math.NaN())
+	out := tsv.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "x\ty" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "1\t2.5" {
+		t.Errorf("row = %q", lines[1])
+	}
+	if lines[2] != "3\tnan" {
+		t.Errorf("NaN row = %q", lines[2])
+	}
+	if tsv.Len() != 2 {
+		t.Errorf("Len = %d", tsv.Len())
+	}
+}
+
+func TestTSVArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch should panic")
+		}
+	}()
+	NewTSV("a", "b").Add(1)
+}

@@ -1,0 +1,155 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfMassSumsToOne(t *testing.T) {
+	z := NewZipf(100, 1.2, 0.5)
+	total := 0.0
+	for k := 0; k < z.N(); k++ {
+		total += z.Mass(k)
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("Zipf masses sum to %f", total)
+	}
+}
+
+func TestZipfMonotoneDecreasing(t *testing.T) {
+	z := NewZipf(50, 1.5, 0)
+	for k := 1; k < z.N(); k++ {
+		if z.Mass(k) > z.Mass(k-1)+1e-12 {
+			t.Fatalf("Zipf mass increases at rank %d", k)
+		}
+	}
+}
+
+func TestZipfSampleMatchesMass(t *testing.T) {
+	r := New(21)
+	z := NewZipf(10, 1.0, 0)
+	const n = 200000
+	counts := make([]int, 10)
+	for i := 0; i < n; i++ {
+		counts[z.Sample(r)]++
+	}
+	for k := 0; k < 10; k++ {
+		got := float64(counts[k]) / n
+		want := z.Mass(k)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("rank %d: frequency %.4f, mass %.4f", k, got, want)
+		}
+	}
+}
+
+func TestZipfMassOutOfRange(t *testing.T) {
+	z := NewZipf(5, 1, 0)
+	if z.Mass(-1) != 0 || z.Mass(5) != 0 {
+		t.Fatal("out-of-range mass should be 0")
+	}
+}
+
+func TestCategoricalFrequencies(t *testing.T) {
+	r := New(22)
+	weights := []float64{1, 2, 3, 4}
+	c := NewCategorical(weights)
+	const n = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < n; i++ {
+		counts[c.Sample(r)]++
+	}
+	for i, w := range weights {
+		got := float64(counts[i]) / n
+		want := w / 10
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("category %d: frequency %.4f, want %.4f", i, got, want)
+		}
+	}
+}
+
+func TestCategoricalSingleCategory(t *testing.T) {
+	r := New(23)
+	c := NewCategorical([]float64{5})
+	for i := 0; i < 100; i++ {
+		if c.Sample(r) != 0 {
+			t.Fatal("single-category sampler returned nonzero index")
+		}
+	}
+}
+
+func TestCategoricalZeroWeightNeverSampled(t *testing.T) {
+	r := New(24)
+	c := NewCategorical([]float64{1, 0, 1})
+	for i := 0; i < 10000; i++ {
+		if c.Sample(r) == 1 {
+			t.Fatal("zero-weight category sampled")
+		}
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	cases := [][]float64{{}, {0, 0}, {-1, 2}}
+	for _, w := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCategorical(%v) did not panic", w)
+				}
+			}()
+			NewCategorical(w)
+		}()
+	}
+}
+
+func TestWeightedPickProperty(t *testing.T) {
+	r := New(25)
+	if err := quick.Check(func(a, b, c uint8) bool {
+		w := []float64{float64(a), float64(b), float64(c)}
+		if w[0]+w[1]+w[2] == 0 {
+			return true // skip: would panic by contract
+		}
+		i := WeightedPick(r, w)
+		return i >= 0 && i < 3 && w[i] > 0
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedPickDistribution(t *testing.T) {
+	r := New(26)
+	w := []float64{3, 1}
+	hit0 := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if WeightedPick(r, w) == 0 {
+			hit0++
+		}
+	}
+	got := float64(hit0) / n
+	if math.Abs(got-0.75) > 0.01 {
+		t.Errorf("WeightedPick frequency %.4f, want 0.75", got)
+	}
+}
+
+func BenchmarkCategoricalSample(b *testing.B) {
+	r := New(1)
+	weights := make([]float64, 139)
+	for i := range weights {
+		weights[i] = float64(i + 1)
+	}
+	c := NewCategorical(weights)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Sample(r)
+	}
+}
+
+func BenchmarkZipfSample(b *testing.B) {
+	r := New(1)
+	z := NewZipf(70000, 1.1, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Sample(r)
+	}
+}

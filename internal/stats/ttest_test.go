@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"crowdscope/internal/rng"
+)
+
+func TestRegIncBetaBoundaries(t *testing.T) {
+	if got := RegIncBeta(2, 3, 0); got != 0 {
+		t.Errorf("I_0 = %v", got)
+	}
+	if got := RegIncBeta(2, 3, 1); got != 1 {
+		t.Errorf("I_1 = %v", got)
+	}
+}
+
+func TestRegIncBetaSymmetricHalf(t *testing.T) {
+	// For a == b, I_{0.5}(a, a) = 0.5 exactly.
+	for _, a := range []float64{0.5, 1, 2, 7.5} {
+		if got := RegIncBeta(a, a, 0.5); math.Abs(got-0.5) > 1e-10 {
+			t.Errorf("I_0.5(%v,%v) = %v", a, a, got)
+		}
+	}
+}
+
+func TestRegIncBetaUniformCase(t *testing.T) {
+	// I_x(1, 1) = x (the uniform CDF).
+	for _, x := range []float64{0.1, 0.37, 0.5, 0.9} {
+		if got := RegIncBeta(1, 1, x); math.Abs(got-x) > 1e-10 {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+}
+
+func TestRegIncBetaClosedForm(t *testing.T) {
+	// I_x(1, b) = 1 - (1-x)^b and I_x(a, 1) = x^a.
+	for _, x := range []float64{0.2, 0.5, 0.8} {
+		for _, b := range []float64{0.5, 2, 5} {
+			want := 1 - math.Pow(1-x, b)
+			if got := RegIncBeta(1, b, x); math.Abs(got-want) > 1e-10 {
+				t.Errorf("I_%v(1,%v) = %v, want %v", x, b, got, want)
+			}
+			want = math.Pow(x, b)
+			if got := RegIncBeta(b, 1, x); math.Abs(got-want) > 1e-10 {
+				t.Errorf("I_%v(%v,1) = %v, want %v", x, b, got, want)
+			}
+		}
+	}
+}
+
+func TestRegIncBetaComplement(t *testing.T) {
+	// I_x(a,b) + I_{1-x}(b,a) = 1.
+	r := rng.New(41)
+	for trial := 0; trial < 200; trial++ {
+		a := 0.2 + 5*r.Float64()
+		b := 0.2 + 5*r.Float64()
+		x := r.Float64()
+		s := RegIncBeta(a, b, x) + RegIncBeta(b, a, 1-x)
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("complement identity broke: a=%v b=%v x=%v sum=%v", a, b, x, s)
+		}
+	}
+}
+
+func TestRegIncBetaMonotone(t *testing.T) {
+	prev := 0.0
+	for x := 0.0; x <= 1.0001; x += 0.01 {
+		v := RegIncBeta(2.5, 3.5, math.Min(x, 1))
+		if v < prev-1e-12 {
+			t.Fatalf("I_x not monotone at x=%v", x)
+		}
+		prev = v
+	}
+}
+
+func TestStudentTKnownValues(t *testing.T) {
+	// Two-sided p for t distribution, checked against published tables:
+	// df=10, t=2.228 → p ≈ 0.05; df=1, t=1 → p = 0.5 (Cauchy);
+	// df=30, t=2.750 → p ≈ 0.01.
+	cases := []struct{ t, df, want, tol float64 }{
+		{2.228, 10, 0.05, 0.002},
+		{1, 1, 0.5, 1e-6},
+		{2.750, 30, 0.01, 0.0005},
+		{0, 5, 1, 1e-9},
+	}
+	for _, c := range cases {
+		got := studentTTwoSidedP(c.t, c.df)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("p(t=%v, df=%v) = %v, want ~%v", c.t, c.df, got, c.want)
+		}
+	}
+}
+
+func TestWelchTTestSeparatedSamples(t *testing.T) {
+	r := rng.New(42)
+	a := make([]float64, 200)
+	b := make([]float64, 200)
+	for i := range a {
+		a[i] = r.Normal(0, 1)
+		b[i] = r.Normal(1, 1)
+	}
+	res := WelchTTest(a, b)
+	if !res.Significant(0.01) {
+		t.Errorf("clearly separated samples not significant: p=%v", res.P)
+	}
+	if res.MeanA >= res.MeanB {
+		t.Errorf("means out of order: %v >= %v", res.MeanA, res.MeanB)
+	}
+}
+
+func TestWelchTTestSameDistribution(t *testing.T) {
+	r := rng.New(43)
+	rejected := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		a := make([]float64, 50)
+		b := make([]float64, 50)
+		for i := range a {
+			a[i] = r.Normal(5, 2)
+			b[i] = r.Normal(5, 2)
+		}
+		if WelchTTest(a, b).Significant(0.01) {
+			rejected++
+		}
+	}
+	// Expect about 1% false rejections; allow generous slack.
+	if rejected > trials/10 {
+		t.Errorf("null rejected %d/%d times at alpha=0.01", rejected, trials)
+	}
+}
+
+func TestWelchTTestSymmetry(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{2, 4, 6, 8, 12}
+	ab := WelchTTest(a, b)
+	ba := WelchTTest(b, a)
+	if math.Abs(ab.P-ba.P) > 1e-12 {
+		t.Errorf("p not symmetric: %v vs %v", ab.P, ba.P)
+	}
+	if math.Abs(ab.T+ba.T) > 1e-12 {
+		t.Errorf("t not antisymmetric: %v vs %v", ab.T, ba.T)
+	}
+}
+
+func TestWelchTTestDegenerate(t *testing.T) {
+	res := WelchTTest([]float64{1}, []float64{2, 3})
+	if !math.IsNaN(res.P) {
+		t.Error("tiny sample should yield NaN p")
+	}
+	if res.Significant(0.01) {
+		t.Error("NaN p must never be significant")
+	}
+	same := WelchTTest([]float64{4, 4, 4}, []float64{4, 4})
+	if same.P != 1 {
+		t.Errorf("identical constant samples: p=%v, want 1", same.P)
+	}
+	diff := WelchTTest([]float64{4, 4, 4}, []float64{5, 5, 5})
+	if !math.IsNaN(diff.P) {
+		t.Errorf("zero-variance different means: p=%v, want NaN", diff.P)
+	}
+}
+
+func TestWelchTTestUnequalVariances(t *testing.T) {
+	r := rng.New(44)
+	a := make([]float64, 30)
+	b := make([]float64, 300)
+	for i := range a {
+		a[i] = r.Normal(0, 10)
+	}
+	for i := range b {
+		b[i] = r.Normal(0, 0.1)
+	}
+	res := WelchTTest(a, b)
+	// Welch df should be pulled toward the small noisy sample.
+	if res.DF > 35 {
+		t.Errorf("Welch df = %v, want < 35 for df dominated by small sample", res.DF)
+	}
+}

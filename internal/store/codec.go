@@ -1,0 +1,240 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Snapshot format: a small header, then each column length-prefixed.
+// Integer columns are varint-encoded with delta coding where values are
+// near-sorted (start/end times ascend with batch order), which compresses
+// the dominant columns several-fold versus fixed-width.
+const (
+	snapshotMagic   = 0x43524F57 // "CROW"
+	snapshotVersion = 1
+)
+
+// WriteTo serializes the store. It implements io.WriterTo.
+func (s *Store) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriterSize(w, 1<<20)}
+
+	writeU32 := func(v uint32) { binary.Write(cw, binary.LittleEndian, v) }
+	writeU32(snapshotMagic)
+	writeU32(snapshotVersion)
+	writeU32(uint32(len(s.start)))
+	writeU32(uint32(len(s.ranges)))
+
+	putUvarints(cw, s.batch)
+	putUvarints(cw, s.taskType)
+	putUvarints(cw, s.item)
+	putUvarints(cw, s.worker)
+	putDeltaVarints(cw, s.start)
+	// End times stored as offsets from start: always small.
+	offs := make([]uint32, len(s.end))
+	for i := range s.end {
+		offs[i] = uint32(s.end[i] - s.start[i])
+	}
+	putUvarints(cw, offs)
+	putFloats(cw, s.trust)
+	putUvarints(cw, s.answer)
+	for _, rr := range s.ranges {
+		putUvarint(cw, uint64(rr.Lo))
+		putUvarint(cw, uint64(rr.Hi))
+	}
+	if err := cw.w.(*bufio.Writer).Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, cw.err
+}
+
+// ReadFrom deserializes a snapshot into the (empty) store. It implements
+// io.ReaderFrom.
+func (s *Store) ReadFrom(r io.Reader) (int64, error) {
+	cr := &countingReader{r: bufio.NewReaderSize(r, 1<<20)}
+	var magic, version, n, nb uint32
+	for _, p := range []*uint32{&magic, &version, &n, &nb} {
+		if err := binary.Read(cr, binary.LittleEndian, p); err != nil {
+			return cr.n, err
+		}
+	}
+	if magic != snapshotMagic {
+		return cr.n, errors.New("store: bad snapshot magic")
+	}
+	if version != snapshotVersion {
+		return cr.n, fmt.Errorf("store: unsupported snapshot version %d", version)
+	}
+	var err error
+	if s.batch, err = getUvarints(cr, int(n)); err != nil {
+		return cr.n, err
+	}
+	if s.taskType, err = getUvarints(cr, int(n)); err != nil {
+		return cr.n, err
+	}
+	if s.item, err = getUvarints(cr, int(n)); err != nil {
+		return cr.n, err
+	}
+	if s.worker, err = getUvarints(cr, int(n)); err != nil {
+		return cr.n, err
+	}
+	if s.start, err = getDeltaVarints(cr, int(n)); err != nil {
+		return cr.n, err
+	}
+	offs, err := getUvarints(cr, int(n))
+	if err != nil {
+		return cr.n, err
+	}
+	s.end = make([]int64, n)
+	for i := range offs {
+		s.end[i] = s.start[i] + int64(offs[i])
+	}
+	if s.trust, err = getFloats(cr, int(n)); err != nil {
+		return cr.n, err
+	}
+	if s.answer, err = getUvarints(cr, int(n)); err != nil {
+		return cr.n, err
+	}
+	s.ranges = make([]rowRange, nb)
+	for i := range s.ranges {
+		lo, err := getUvarint(cr)
+		if err != nil {
+			return cr.n, err
+		}
+		hi, err := getUvarint(cr)
+		if err != nil {
+			return cr.n, err
+		}
+		s.ranges[i] = rowRange{Lo: int32(lo), Hi: int32(hi)}
+	}
+	s.workerIndex = nil
+	return cr.n, nil
+}
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingReader) ReadByte() (byte, error) {
+	var b [1]byte
+	_, err := io.ReadFull(c, b[:])
+	return b[0], err
+}
+
+func putUvarint(w io.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func getUvarint(r io.ByteReader) (uint64, error) {
+	return binary.ReadUvarint(r)
+}
+
+func putUvarints(w io.Writer, vs []uint32) {
+	for _, v := range vs {
+		putUvarint(w, uint64(v))
+	}
+}
+
+func getUvarints(r io.ByteReader, n int) ([]uint32, error) {
+	out := make([]uint32, n)
+	for i := range out {
+		v, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		if v > math.MaxUint32 {
+			return nil, errors.New("store: varint exceeds uint32")
+		}
+		out[i] = uint32(v)
+	}
+	return out, nil
+}
+
+// putDeltaVarints zig-zag encodes successive differences; near-sorted
+// columns become streams of tiny varints.
+func putDeltaVarints(w io.Writer, vs []int64) {
+	prev := int64(0)
+	for _, v := range vs {
+		d := v - prev
+		putUvarint(w, zigzag(d))
+		prev = v
+	}
+}
+
+func getDeltaVarints(r io.ByteReader, n int) ([]int64, error) {
+	out := make([]int64, n)
+	prev := int64(0)
+	for i := range out {
+		u, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		prev += unzigzag(u)
+		out[i] = prev
+	}
+	return out, nil
+}
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+func putFloats(w io.Writer, vs []float32) {
+	buf := make([]byte, 4*1024)
+	for off := 0; off < len(vs); {
+		chunk := len(vs) - off
+		if chunk > 1024 {
+			chunk = 1024
+		}
+		for i := 0; i < chunk; i++ {
+			binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(vs[off+i]))
+		}
+		w.Write(buf[:chunk*4])
+		off += chunk
+	}
+}
+
+func getFloats(r io.Reader, n int) ([]float32, error) {
+	out := make([]float32, n)
+	buf := make([]byte, 4*1024)
+	for off := 0; off < n; {
+		chunk := n - off
+		if chunk > 1024 {
+			chunk = 1024
+		}
+		if _, err := io.ReadFull(r, buf[:chunk*4]); err != nil {
+			return nil, err
+		}
+		for i := 0; i < chunk; i++ {
+			out[off+i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+		}
+		off += chunk
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package store
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ParallelScan splits the row range into contiguous chunks, runs fn over
+// each on its own goroutine, and returns the per-chunk results in chunk
+// order. Analyses over the 27M-row full-scale log (weekly rollups,
+// per-worker sums) are embarrassingly parallel over rows; this is the
+// harness for them.
+//
+// fn receives the [lo, hi) row range of its chunk and must not mutate the
+// store.
+func ParallelScan[T any](s *Store, workers int, fn func(lo, hi int) T) []T {
+	n := s.Len()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n == 0 {
+			return nil
+		}
+		return []T{fn(0, n)}
+	}
+	out := make([]T, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			out = out[:w]
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			out[w] = fn(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// ParallelSumInt64 sums an int64 column in parallel.
+func ParallelSumInt64(s *Store, col []int64, workers int) int64 {
+	parts := ParallelScan(s, workers, func(lo, hi int) int64 {
+		var t int64
+		for _, v := range col[lo:hi] {
+			t += v
+		}
+		return t
+	})
+	var total int64
+	for _, p := range parts {
+		total += p
+	}
+	return total
+}
+
+// ParallelCountBy builds a histogram over a uint32 column in parallel
+// (e.g. instances per worker or per task type), merging per-chunk maps.
+func ParallelCountBy(s *Store, col []uint32, workers int) map[uint32]int64 {
+	parts := ParallelScan(s, workers, func(lo, hi int) map[uint32]int64 {
+		m := make(map[uint32]int64)
+		for _, v := range col[lo:hi] {
+			m[v]++
+		}
+		return m
+	})
+	total := make(map[uint32]int64)
+	for _, part := range parts {
+		for k, v := range part {
+			total[k] += v
+		}
+	}
+	return total
+}

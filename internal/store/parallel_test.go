@@ -1,0 +1,94 @@
+package store
+
+import (
+	"testing"
+
+	"crowdscope/internal/model"
+)
+
+func bigStore(rows int) *Store {
+	s := New(1)
+	s.BeginBatch(0)
+	for i := 0; i < rows; i++ {
+		s.Append(model.Instance{
+			Batch: 0, Worker: uint32(i % 97), Start: int64(i), End: int64(i + 10),
+		})
+	}
+	return s
+}
+
+func TestParallelScanCoversAllRows(t *testing.T) {
+	s := bigStore(10007)
+	for _, workers := range []int{1, 2, 4, 16, 10007, 20000} {
+		parts := ParallelScan(s, workers, func(lo, hi int) int { return hi - lo })
+		total := 0
+		for _, p := range parts {
+			total += p
+		}
+		if total != s.Len() {
+			t.Errorf("workers=%d covered %d of %d rows", workers, total, s.Len())
+		}
+	}
+}
+
+func TestParallelScanEmpty(t *testing.T) {
+	s := New(0)
+	parts := ParallelScan(s, 4, func(lo, hi int) int { return hi - lo })
+	if len(parts) != 0 {
+		t.Errorf("empty store produced %d parts", len(parts))
+	}
+}
+
+func TestParallelSumMatchesSerial(t *testing.T) {
+	s := bigStore(5000)
+	serial := int64(0)
+	for _, v := range s.Starts() {
+		serial += v
+	}
+	for _, workers := range []int{0, 1, 3, 8} {
+		if got := ParallelSumInt64(s, s.Starts(), workers); got != serial {
+			t.Errorf("workers=%d sum=%d want %d", workers, got, serial)
+		}
+	}
+}
+
+func TestParallelCountByMatchesSerial(t *testing.T) {
+	s := bigStore(5000)
+	serial := map[uint32]int64{}
+	for _, v := range s.Workers() {
+		serial[v]++
+	}
+	got := ParallelCountBy(s, s.Workers(), 6)
+	if len(got) != len(serial) {
+		t.Fatalf("key counts differ: %d vs %d", len(got), len(serial))
+	}
+	for k, v := range serial {
+		if got[k] != v {
+			t.Errorf("key %d: %d vs %d", k, got[k], v)
+		}
+	}
+}
+
+func TestParallelScanChunkOrder(t *testing.T) {
+	s := bigStore(1000)
+	parts := ParallelScan(s, 4, func(lo, hi int) int { return lo })
+	for i := 1; i < len(parts); i++ {
+		if parts[i] <= parts[i-1] {
+			t.Fatal("chunk results out of order")
+		}
+	}
+}
+
+func BenchmarkParallelSum(b *testing.B) {
+	s := bigStore(2_000_000)
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ParallelSumInt64(s, s.Starts(), 1)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ParallelSumInt64(s, s.Starts(), 0)
+		}
+	})
+}

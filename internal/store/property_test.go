@@ -1,0 +1,148 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"crowdscope/internal/model"
+	"crowdscope/internal/rng"
+)
+
+// randomStore builds a random but structurally valid store from a seed.
+func randomStore(seed uint64, maxBatches, maxRows int) *Store {
+	r := rng.New(seed)
+	nb := 1 + r.Intn(maxBatches)
+	s := New(nb)
+	base := model.Epoch.Unix()
+	for b := 0; b < nb; b++ {
+		s.BeginBatch(uint32(b))
+		rows := r.Intn(maxRows)
+		for i := 0; i < rows; i++ {
+			start := base + r.Int63n(1000000)
+			s.Append(model.Instance{
+				Batch:    uint32(b),
+				TaskType: uint32(r.Intn(50)),
+				Item:     uint32(r.Intn(200)),
+				Worker:   uint32(r.Intn(500)),
+				Start:    start,
+				End:      start + r.Int63n(5000),
+				Trust:    float32(r.Float64()),
+				Answer:   uint32(r.Uint64n(1 << 30)),
+			})
+		}
+	}
+	return s
+}
+
+// TestPropertySnapshotRoundTrip: encode→decode is the identity for any
+// structurally valid store.
+func TestPropertySnapshotRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := randomStore(seed, 20, 40)
+		var buf bytes.Buffer
+		if _, err := s.WriteTo(&buf); err != nil {
+			return false
+		}
+		var back Store
+		if _, err := back.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+			return false
+		}
+		if back.Len() != s.Len() || back.NumBatches() != s.NumBatches() {
+			return false
+		}
+		for i := 0; i < s.Len(); i++ {
+			if s.Row(i) != back.Row(i) {
+				return false
+			}
+		}
+		return back.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyValidateAcceptsGenerated: every store built through the
+// public Append protocol validates.
+func TestPropertyValidateAcceptsGenerated(t *testing.T) {
+	f := func(seed uint64) bool {
+		return randomStore(seed, 15, 30).Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyWorkerIndexComplete: posting lists partition the rows.
+func TestPropertyWorkerIndexComplete(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := randomStore(seed, 10, 50)
+		covered := 0
+		seen := map[int32]bool{}
+		ok := true
+		s.EachWorker(func(id uint32, rows []int32) {
+			covered += len(rows)
+			for _, r := range rows {
+				if seen[r] || s.worker[r] != id {
+					ok = false
+				}
+				seen[r] = true
+			}
+		})
+		return ok && covered == s.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyBatchRangesPartition: batch ranges cover each row exactly
+// once.
+func TestPropertyBatchRangesPartition(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := randomStore(seed, 25, 25)
+		covered := make([]bool, s.Len())
+		for b := 0; b < s.NumBatches(); b++ {
+			lo, hi := s.BatchRange(uint32(b))
+			for i := lo; i < hi; i++ {
+				if covered[i] {
+					return false
+				}
+				covered[i] = true
+			}
+		}
+		for _, c := range covered {
+			if !c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyZigzag: the codec's zigzag transform is a bijection.
+func TestPropertyZigzag(t *testing.T) {
+	f := func(v int64) bool { return unzigzag(zigzag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySnapshotDeterministic: serialization is a pure function of
+// the store contents.
+func TestPropertySnapshotDeterministic(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := randomStore(seed, 10, 20)
+		var a, b bytes.Buffer
+		s.WriteTo(&a)
+		s.WriteTo(&b)
+		return bytes.Equal(a.Bytes(), b.Bytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,200 @@
+// Package store holds the task-instance log in columnar form: one typed
+// array per attribute, grouped contiguously by batch. At full scale the
+// dataset is 27M rows, so the layout matters — analyses scan one or two
+// columns at a time (e.g. weekly arrival counts read only Start), and the
+// columnar form keeps those scans cache-friendly and cheap to snapshot.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"crowdscope/internal/model"
+)
+
+// Store is the columnar instance log. Rows are ordered by batch: all
+// instances of a batch are contiguous, recorded in Ranges.
+type Store struct {
+	batch    []uint32
+	taskType []uint32
+	item     []uint32
+	worker   []uint32
+	start    []int64
+	end      []int64
+	trust    []float32
+	answer   []uint32
+
+	// ranges[batchID] is the [lo,hi) row range of a batch; batches with
+	// no materialized instances have lo == hi.
+	ranges []rowRange
+
+	workerIndex map[uint32][]int32 // lazy posting lists, built on demand
+}
+
+type rowRange struct{ Lo, Hi int32 }
+
+// New returns an empty store sized for the given number of batches.
+func New(numBatches int) *Store {
+	return &Store{ranges: make([]rowRange, numBatches)}
+}
+
+// Len returns the number of instance rows.
+func (s *Store) Len() int { return len(s.start) }
+
+// NumBatches returns the size of the batch range table.
+func (s *Store) NumBatches() int { return len(s.ranges) }
+
+// BeginBatch marks the start of batchID's rows; all Append calls until the
+// next BeginBatch belong to it. Batches must be appended in ascending
+// row order (any batch ID order is fine).
+func (s *Store) BeginBatch(batchID uint32) {
+	if int(batchID) >= len(s.ranges) {
+		// Grow the range table; batch IDs are dense in practice.
+		grown := make([]rowRange, batchID+1)
+		copy(grown, s.ranges)
+		s.ranges = grown
+	}
+	n := int32(len(s.start))
+	s.ranges[batchID] = rowRange{Lo: n, Hi: n}
+}
+
+// Append adds one instance row to the currently open batch.
+func (s *Store) Append(in model.Instance) {
+	s.batch = append(s.batch, in.Batch)
+	s.taskType = append(s.taskType, in.TaskType)
+	s.item = append(s.item, in.Item)
+	s.worker = append(s.worker, in.Worker)
+	s.start = append(s.start, in.Start)
+	s.end = append(s.end, in.End)
+	s.trust = append(s.trust, in.Trust)
+	s.answer = append(s.answer, in.Answer)
+	s.ranges[in.Batch].Hi = int32(len(s.start))
+	s.workerIndex = nil
+}
+
+// Row materializes row i as an Instance.
+func (s *Store) Row(i int) model.Instance {
+	return model.Instance{
+		Batch:    s.batch[i],
+		TaskType: s.taskType[i],
+		Item:     s.item[i],
+		Worker:   s.worker[i],
+		Start:    s.start[i],
+		End:      s.end[i],
+		Trust:    s.trust[i],
+		Answer:   s.answer[i],
+	}
+}
+
+// Column accessors return the backing arrays; callers must not modify
+// them. They exist because scans over one column are the hot path of every
+// experiment.
+
+// Batches returns the batch-ID column.
+func (s *Store) Batches() []uint32 { return s.batch }
+
+// TaskTypes returns the task-type column.
+func (s *Store) TaskTypes() []uint32 { return s.taskType }
+
+// Items returns the item-ID column.
+func (s *Store) Items() []uint32 { return s.item }
+
+// Workers returns the worker-ID column.
+func (s *Store) Workers() []uint32 { return s.worker }
+
+// Starts returns the start-time column (unix seconds).
+func (s *Store) Starts() []int64 { return s.start }
+
+// Ends returns the end-time column (unix seconds).
+func (s *Store) Ends() []int64 { return s.end }
+
+// Trusts returns the trust-score column.
+func (s *Store) Trusts() []float32 { return s.trust }
+
+// Answers returns the answer-token column.
+func (s *Store) Answers() []uint32 { return s.answer }
+
+// BatchRange returns the [lo,hi) row range of a batch.
+func (s *Store) BatchRange(batchID uint32) (lo, hi int) {
+	if int(batchID) >= len(s.ranges) {
+		return 0, 0
+	}
+	rr := s.ranges[batchID]
+	return int(rr.Lo), int(rr.Hi)
+}
+
+// BatchRows calls fn for each row of a batch.
+func (s *Store) BatchRows(batchID uint32, fn func(row int)) {
+	lo, hi := s.BatchRange(batchID)
+	for i := lo; i < hi; i++ {
+		fn(i)
+	}
+}
+
+// WorkerRows returns the rows of one worker, building the posting-list
+// index on first use.
+func (s *Store) WorkerRows(workerID uint32) []int32 {
+	if s.workerIndex == nil {
+		s.buildWorkerIndex()
+	}
+	return s.workerIndex[workerID]
+}
+
+// DistinctWorkers returns the number of workers with at least one row.
+func (s *Store) DistinctWorkers() int {
+	if s.workerIndex == nil {
+		s.buildWorkerIndex()
+	}
+	return len(s.workerIndex)
+}
+
+// EachWorker iterates (workerID, rows) pairs in ascending worker order.
+func (s *Store) EachWorker(fn func(workerID uint32, rows []int32)) {
+	if s.workerIndex == nil {
+		s.buildWorkerIndex()
+	}
+	ids := make([]uint32, 0, len(s.workerIndex))
+	for id := range s.workerIndex {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for _, id := range ids {
+		fn(id, s.workerIndex[id])
+	}
+}
+
+func (s *Store) buildWorkerIndex() {
+	idx := make(map[uint32][]int32)
+	for i, w := range s.worker {
+		idx[w] = append(idx[w], int32(i))
+	}
+	s.workerIndex = idx
+}
+
+// Validate checks the structural invariants: ranges partition the rows
+// they cover, per-row batch IDs match their range, and end >= start.
+func (s *Store) Validate() error {
+	n := len(s.start)
+	for _, col := range []int{len(s.batch), len(s.taskType), len(s.item), len(s.worker), len(s.end), len(s.trust), len(s.answer)} {
+		if col != n {
+			return errors.New("store: column length mismatch")
+		}
+	}
+	for b, rr := range s.ranges {
+		if rr.Lo > rr.Hi || int(rr.Hi) > n {
+			return fmt.Errorf("store: bad range for batch %d: [%d,%d)", b, rr.Lo, rr.Hi)
+		}
+		for i := rr.Lo; i < rr.Hi; i++ {
+			if s.batch[i] != uint32(b) {
+				return fmt.Errorf("store: row %d in range of batch %d has batch %d", i, b, s.batch[i])
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if s.end[i] < s.start[i] {
+			return fmt.Errorf("store: row %d ends before it starts", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,251 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"crowdscope/internal/model"
+)
+
+func sampleStore() *Store {
+	s := New(3)
+	s.BeginBatch(0)
+	s.Append(model.Instance{Batch: 0, TaskType: 10, Item: 0, Worker: 100, Start: 1000, End: 1100, Trust: 0.9, Answer: 7})
+	s.Append(model.Instance{Batch: 0, TaskType: 10, Item: 0, Worker: 101, Start: 1050, End: 1200, Trust: 0.8, Answer: 7})
+	s.Append(model.Instance{Batch: 0, TaskType: 10, Item: 1, Worker: 100, Start: 2000, End: 2050, Trust: 0.9, Answer: 9})
+	s.BeginBatch(2)
+	s.Append(model.Instance{Batch: 2, TaskType: 11, Item: 0, Worker: 102, Start: 5000, End: 5300, Trust: 0.7, Answer: 3})
+	return s
+}
+
+func TestAppendAndRow(t *testing.T) {
+	s := sampleStore()
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	row := s.Row(1)
+	if row.Worker != 101 || row.Answer != 7 || row.Trust != 0.8 {
+		t.Errorf("Row(1) = %+v", row)
+	}
+}
+
+func TestBatchRanges(t *testing.T) {
+	s := sampleStore()
+	lo, hi := s.BatchRange(0)
+	if lo != 0 || hi != 3 {
+		t.Errorf("batch 0 range [%d,%d)", lo, hi)
+	}
+	lo, hi = s.BatchRange(1)
+	if lo != hi {
+		t.Errorf("batch 1 should be empty: [%d,%d)", lo, hi)
+	}
+	lo, hi = s.BatchRange(2)
+	if lo != 3 || hi != 4 {
+		t.Errorf("batch 2 range [%d,%d)", lo, hi)
+	}
+	// Out of range.
+	lo, hi = s.BatchRange(99)
+	if lo != 0 || hi != 0 {
+		t.Error("out-of-range batch should be empty")
+	}
+}
+
+func TestBatchRows(t *testing.T) {
+	s := sampleStore()
+	var rows []int
+	s.BatchRows(0, func(r int) { rows = append(rows, r) })
+	if len(rows) != 3 || rows[0] != 0 || rows[2] != 2 {
+		t.Errorf("BatchRows = %v", rows)
+	}
+}
+
+func TestWorkerIndex(t *testing.T) {
+	s := sampleStore()
+	rows := s.WorkerRows(100)
+	if len(rows) != 2 || rows[0] != 0 || rows[1] != 2 {
+		t.Errorf("worker 100 rows = %v", rows)
+	}
+	if got := s.DistinctWorkers(); got != 3 {
+		t.Errorf("DistinctWorkers = %d", got)
+	}
+	if rows := s.WorkerRows(999); rows != nil {
+		t.Errorf("unknown worker rows = %v", rows)
+	}
+}
+
+func TestEachWorkerOrdered(t *testing.T) {
+	s := sampleStore()
+	var order []uint32
+	s.EachWorker(func(id uint32, rows []int32) { order = append(order, id) })
+	if len(order) != 3 || order[0] != 100 || order[2] != 102 {
+		t.Errorf("EachWorker order = %v", order)
+	}
+}
+
+func TestIndexInvalidatedByAppend(t *testing.T) {
+	s := sampleStore()
+	_ = s.WorkerRows(100)
+	s.BeginBatch(1)
+	s.Append(model.Instance{Batch: 1, TaskType: 10, Item: 0, Worker: 100, Start: 1, End: 2})
+	if got := len(s.WorkerRows(100)); got != 3 {
+		t.Errorf("stale index: worker 100 rows = %d", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := sampleStore()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("valid store flagged: %v", err)
+	}
+	// Corrupt: end before start.
+	s.end[0] = s.start[0] - 1
+	if err := s.Validate(); err == nil {
+		t.Error("inverted interval not caught")
+	}
+	s.end[0] = s.start[0] + 100
+	// Corrupt: range points at wrong batch.
+	s.batch[0] = 2
+	if err := s.Validate(); err == nil {
+		t.Error("range/batch mismatch not caught")
+	}
+}
+
+func TestBeginBatchGrowsRangeTable(t *testing.T) {
+	s := New(1)
+	s.BeginBatch(10)
+	s.Append(model.Instance{Batch: 10, Start: 1, End: 2})
+	if s.NumBatches() != 11 {
+		t.Errorf("NumBatches = %d", s.NumBatches())
+	}
+	lo, hi := s.BatchRange(10)
+	if hi-lo != 1 {
+		t.Errorf("grown batch range [%d,%d)", lo, hi)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := sampleStore()
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	var back Store
+	if _, err := back.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if back.Len() != s.Len() {
+		t.Fatalf("round-trip length %d vs %d", back.Len(), s.Len())
+	}
+	for i := 0; i < s.Len(); i++ {
+		if s.Row(i) != back.Row(i) {
+			t.Fatalf("row %d differs: %+v vs %+v", i, s.Row(i), back.Row(i))
+		}
+	}
+	if back.NumBatches() != s.NumBatches() {
+		t.Error("range table size differs")
+	}
+	for b := 0; b < s.NumBatches(); b++ {
+		alo, ahi := s.BatchRange(uint32(b))
+		blo, bhi := back.BatchRange(uint32(b))
+		if alo != blo || ahi != bhi {
+			t.Errorf("batch %d range differs", b)
+		}
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("restored store invalid: %v", err)
+	}
+}
+
+func TestSnapshotEmptyStore(t *testing.T) {
+	s := New(0)
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo empty: %v", err)
+	}
+	var back Store
+	if _, err := back.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("ReadFrom empty: %v", err)
+	}
+	if back.Len() != 0 {
+		t.Error("empty store round trip gained rows")
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	var s Store
+	if _, err := s.ReadFrom(bytes.NewReader([]byte("not a snapshot at all........"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Truncated valid prefix.
+	good := sampleStore()
+	var buf bytes.Buffer
+	good.WriteTo(&buf)
+	var s2 Store
+	if _, err := s2.ReadFrom(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+}
+
+func TestSnapshotCompression(t *testing.T) {
+	// Delta-varint coding should beat fixed-width for realistic rows.
+	s := New(100)
+	for b := uint32(0); b < 100; b++ {
+		s.BeginBatch(b)
+		base := int64(1_400_000_000) + int64(b)*86400
+		for i := 0; i < 50; i++ {
+			s.Append(model.Instance{
+				Batch: b, TaskType: b % 7, Item: uint32(i), Worker: uint32(i % 13),
+				Start: base + int64(i*60), End: base + int64(i*60+45),
+				Trust: 0.9, Answer: 1,
+			})
+		}
+	}
+	var buf bytes.Buffer
+	s.WriteTo(&buf)
+	fixedWidth := s.Len() * (4 + 4 + 4 + 4 + 8 + 8 + 4 + 4)
+	if buf.Len() >= fixedWidth {
+		t.Errorf("snapshot %dB not smaller than fixed-width %dB", buf.Len(), fixedWidth)
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	s := New(1)
+	s.BeginBatch(0)
+	in := model.Instance{Batch: 0, TaskType: 1, Item: 2, Worker: 3, Start: 100, End: 200, Trust: 0.9, Answer: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Append(in)
+	}
+}
+
+func BenchmarkColumnScan(b *testing.B) {
+	s := New(1)
+	s.BeginBatch(0)
+	for i := 0; i < 1_000_000; i++ {
+		s.Append(model.Instance{Batch: 0, Start: int64(i), End: int64(i + 50)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := int64(0)
+		for _, v := range s.Starts() {
+			total += v
+		}
+		_ = total
+	}
+}
+
+func BenchmarkRowScan(b *testing.B) {
+	s := New(1)
+	s.BeginBatch(0)
+	for i := 0; i < 1_000_000; i++ {
+		s.Append(model.Instance{Batch: 0, Start: int64(i), End: int64(i + 50)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := int64(0)
+		for r := 0; r < s.Len(); r++ {
+			total += s.Row(r).Start
+		}
+		_ = total
+	}
+}

@@ -1,0 +1,210 @@
+package synth
+
+import (
+	"math"
+
+	"crowdscope/internal/metrics"
+	"crowdscope/internal/model"
+	"crowdscope/internal/rng"
+	"crowdscope/internal/stats"
+	"crowdscope/internal/store"
+)
+
+// The paper's Section 7 names full-fledged A/B testing as the way to turn
+// its correlational findings into causal ones. ABTest provides that
+// harness over the simulator: the same unit of work is issued under two
+// interface designs to the same worker pool over the same days, so any
+// metric difference between the arms is caused by the design.
+
+// ABConfig configures a randomized controlled design experiment.
+type ABConfig struct {
+	// Seed drives the whole experiment deterministically.
+	Seed uint64
+	// DesignA and DesignB are the two interface variants under test.
+	DesignA, DesignB model.DesignParams
+	// Labels is the shared task classification (goal/operator/data).
+	Labels model.Labels
+	// BatchesPerArm is the number of batches issued per design
+	// (default 40).
+	BatchesPerArm int
+	// ItemsPerBatch is the physical batch size (default 30).
+	ItemsPerBatch int
+	// Redundancy is answers per item (default 5).
+	Redundancy int
+	// Workers is the shared worker-pool size (default 800).
+	Workers int
+}
+
+func (c *ABConfig) fillDefaults() {
+	if c.BatchesPerArm <= 0 {
+		c.BatchesPerArm = 40
+	}
+	if c.ItemsPerBatch <= 0 {
+		c.ItemsPerBatch = 30
+	}
+	if c.Redundancy <= 0 {
+		c.Redundancy = 5
+	}
+	if c.Workers <= 0 {
+		c.Workers = 800
+	}
+}
+
+// ABArm holds one arm's per-batch metric samples and medians.
+type ABArm struct {
+	Design model.DesignParams
+
+	// Per-batch samples (the unit of statistical comparison).
+	Disagreements []float64
+	TaskTimes     []float64
+	PickupTimes   []float64
+
+	// Medians across batches.
+	MedianDisagreement float64
+	MedianTaskTime     float64
+	MedianPickupTime   float64
+}
+
+// ABResult compares the two arms with Welch t-tests per metric.
+type ABResult struct {
+	A, B ABArm
+
+	Disagreement stats.TTestResult
+	TaskTime     stats.TTestResult
+	PickupTime   stats.TTestResult
+}
+
+// RunAB executes the experiment: a shared worker pool serves interleaved
+// batches of both designs over the same day range, and per-batch metrics
+// are compared across arms.
+func RunAB(cfg ABConfig) ABResult {
+	cfg.fillDefaults()
+	root := rng.New(cfg.Seed)
+
+	sources := BuildSources()
+	workers := BuildWorkers(root.Split(1), sources, cfg.Workers)
+	// Pin every worker's window to the experiment span so the pool is
+	// identical for both arms.
+	startDay := model.PostBoomWeek * 7
+	spanDays := int32(28)
+	for i := range workers {
+		workers[i].FirstDay = startDay
+		workers[i].LastDay = startDay + spanDays - 1
+	}
+	quota := workloadWeights(root.Split(2), workers)
+	pools := newDayPools(workers, quota)
+
+	// Build the two latent task types from the designs through the same
+	// causal model the marketplace uses.
+	mkType := func(id uint32, d model.DesignParams) model.TaskType {
+		tt := model.TaskType{ID: id, Labels: cfg.Labels, Design: d}
+		applyMetricModelDeterministic(&tt, primaryGoal(cfg.Labels.Goals))
+		return tt
+	}
+	ttA := mkType(0, cfg.DesignA)
+	ttB := mkType(1, cfg.DesignB)
+
+	st := store.New(2 * cfg.BatchesPerArm)
+	genRand := root.Split(3)
+	ansRand := root.Split(4)
+
+	totalDraws := float64(2 * cfg.BatchesPerArm * cfg.ItemsPerBatch * cfg.Redundancy)
+	totalQuota := 0.0
+	for _, q := range quota {
+		totalQuota += q
+	}
+	spend := totalQuota / totalDraws
+
+	ds := &Dataset{Cfg: Config{Seed: cfg.Seed, Scale: 1}, Workers: workers}
+	var batchID uint32
+	for b := 0; b < cfg.BatchesPerArm; b++ {
+		for arm := 0; arm < 2; arm++ {
+			tt := &ttA
+			if arm == 1 {
+				tt = &ttB
+			}
+			day := startDay + int32(b)%spanDays
+			stub := batchStub{
+				taskType:      tt.ID,
+				day:           day,
+				createdSec:    model.DayUnix(day) + 8*3600,
+				declaredItems: int32(cfg.ItemsPerBatch),
+				redundancy:    int16(cfg.Redundancy),
+				pickupMedian:  tt.BasePickupSecs,
+			}
+			materializeBatch(genRand, ansRand, ds, st, pools, batchID, &stub, tt, spend)
+			batchID++
+		}
+	}
+
+	res := ABResult{A: ABArm{Design: cfg.DesignA}, B: ABArm{Design: cfg.DesignB}}
+	for id := uint32(0); id < batchID; id++ {
+		bm := metrics.ComputeBatch(st, id)
+		if !bm.Valid() {
+			continue
+		}
+		arm := &res.A
+		if id%2 == 1 {
+			arm = &res.B
+		}
+		if bm.Pairs > 0 && !math.IsNaN(bm.Disagreement) {
+			arm.Disagreements = append(arm.Disagreements, bm.Disagreement)
+		}
+		arm.TaskTimes = append(arm.TaskTimes, bm.TaskTime)
+		arm.PickupTimes = append(arm.PickupTimes, bm.PickupTime)
+	}
+	for _, arm := range []*ABArm{&res.A, &res.B} {
+		arm.MedianDisagreement = stats.Median(arm.Disagreements)
+		arm.MedianTaskTime = stats.Median(arm.TaskTimes)
+		arm.MedianPickupTime = stats.Median(arm.PickupTimes)
+	}
+	res.Disagreement = stats.WelchTTest(res.A.Disagreements, res.B.Disagreements)
+	res.TaskTime = stats.WelchTTest(res.A.TaskTimes, res.B.TaskTimes)
+	res.PickupTime = stats.WelchTTest(res.A.PickupTimes, res.B.PickupTimes)
+	return res
+}
+
+// applyMetricModelDeterministic maps a design to its latent metric levels
+// without sampling noise: in an A/B test the design is the only treatment,
+// so the arms differ exactly by the causal effect sizes.
+func applyMetricModelDeterministic(tt *model.TaskType, g model.Goal) {
+	d := tt.Design
+
+	dis := disagreeBase * ambiguityByGoal[g]
+	dis *= math.Pow(float64(maxI(d.Words, 1))/wordsMedian, disagreeWordsExp)
+	dis *= math.Pow(float64(maxI(d.Items, 1))/itemsMedian, disagreeItemsExp)
+	if d.TextBoxes > 0 {
+		dis *= disagreeTextBoxF
+	}
+	if d.Examples > 0 {
+		dis *= disagreeExampleF
+	}
+	tt.Ambiguity = clampFloat(dis, 0.002, 0.72)
+
+	tsecs := taskTimeBaseSecs
+	tsecs *= math.Pow(float64(maxI(d.Items, 1))/itemsMedian, taskTimeItemsExp)
+	if d.TextBoxes > 0 {
+		tsecs *= taskTimeTextBoxF
+	}
+	if d.Images > 0 {
+		tsecs *= taskTimeImageF
+	}
+	tt.BaseTaskSecs = clampFloat(tsecs, 3, 9000)
+
+	psecs := pickupBaseSecs
+	psecs *= math.Pow(float64(maxI(d.Items, 1))/itemsMedian, pickupItemsExp)
+	if d.Examples > 0 {
+		psecs *= pickupExampleF
+	}
+	if d.Images > 0 {
+		psecs *= pickupImageF
+	}
+	tt.BasePickupSecs = clampFloat(psecs, 10, 1.6e7)
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

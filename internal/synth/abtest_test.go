@@ -1,0 +1,124 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"crowdscope/internal/model"
+)
+
+func abLabels() model.Labels {
+	return model.Labels{
+		Goals:     model.GoalSet(0).With(model.GoalSA),
+		Operators: model.OpSet(0).With(model.OpRate),
+		Data:      model.DataSet(0).With(model.DataText),
+	}
+}
+
+func TestABTextBoxEffect(t *testing.T) {
+	res := RunAB(ABConfig{
+		Seed:    31,
+		Labels:  abLabels(),
+		DesignA: model.DesignParams{Words: 400, TextBoxes: 0, Items: 40, Fields: 5},
+		DesignB: model.DesignParams{Words: 400, TextBoxes: 2, Items: 40, Fields: 7},
+	})
+	// Causal claim from Table 2: text boxes raise task time.
+	if res.B.MedianTaskTime <= res.A.MedianTaskTime {
+		t.Errorf("task time A=%.0f B=%.0f, expected B higher", res.A.MedianTaskTime, res.B.MedianTaskTime)
+	}
+	if !res.TaskTime.Significant(0.01) {
+		t.Errorf("task-time effect not significant: p=%v", res.TaskTime.P)
+	}
+	// And disagreement (Table 1).
+	if res.B.MedianDisagreement <= res.A.MedianDisagreement {
+		t.Errorf("disagreement A=%.3f B=%.3f, expected B higher", res.A.MedianDisagreement, res.B.MedianDisagreement)
+	}
+}
+
+func TestABExampleEffect(t *testing.T) {
+	res := RunAB(ABConfig{
+		Seed:    32,
+		Labels:  abLabels(),
+		DesignA: model.DesignParams{Words: 400, Items: 40, Examples: 0, Fields: 5},
+		DesignB: model.DesignParams{Words: 400, Items: 40, Examples: 2, Fields: 5},
+	})
+	// Examples cut pickup time (Table 3) and disagreement (Table 1).
+	if res.B.MedianPickupTime >= res.A.MedianPickupTime {
+		t.Errorf("pickup A=%.0f B=%.0f, expected B lower", res.A.MedianPickupTime, res.B.MedianPickupTime)
+	}
+	if !res.PickupTime.Significant(0.01) {
+		t.Errorf("pickup effect not significant: p=%v", res.PickupTime.P)
+	}
+	if res.B.MedianDisagreement >= res.A.MedianDisagreement {
+		t.Errorf("disagreement A=%.3f B=%.3f, expected B lower", res.A.MedianDisagreement, res.B.MedianDisagreement)
+	}
+}
+
+func TestABNullComparison(t *testing.T) {
+	// Identical designs: the arms must not differ significantly.
+	d := model.DesignParams{Words: 500, TextBoxes: 1, Items: 30, Fields: 6}
+	res := RunAB(ABConfig{Seed: 33, Labels: abLabels(), DesignA: d, DesignB: d})
+	if res.TaskTime.Significant(0.01) {
+		t.Errorf("A/A task-time difference flagged: p=%v", res.TaskTime.P)
+	}
+	if res.Disagreement.Significant(0.01) {
+		t.Errorf("A/A disagreement difference flagged: p=%v", res.Disagreement.P)
+	}
+	if res.PickupTime.Significant(0.01) {
+		t.Errorf("A/A pickup difference flagged: p=%v", res.PickupTime.P)
+	}
+	// Medians should be close.
+	rel := math.Abs(res.A.MedianTaskTime-res.B.MedianTaskTime) / res.A.MedianTaskTime
+	if rel > 0.25 {
+		t.Errorf("A/A task-time medians differ by %.0f%%", rel*100)
+	}
+}
+
+func TestABDeterministic(t *testing.T) {
+	cfg := ABConfig{
+		Seed:    34,
+		Labels:  abLabels(),
+		DesignA: model.DesignParams{Words: 300, Items: 20, Fields: 4},
+		DesignB: model.DesignParams{Words: 900, Items: 20, Fields: 4},
+	}
+	r1 := RunAB(cfg)
+	r2 := RunAB(cfg)
+	if r1.A.MedianTaskTime != r2.A.MedianTaskTime || r1.Disagreement.P != r2.Disagreement.P {
+		t.Error("A/B run not deterministic")
+	}
+}
+
+func TestABDefaults(t *testing.T) {
+	res := RunAB(ABConfig{
+		Seed:    35,
+		Labels:  abLabels(),
+		DesignA: model.DesignParams{Words: 300, Items: 20, Fields: 4},
+		DesignB: model.DesignParams{Words: 300, Items: 20, Fields: 4, Images: 2},
+	})
+	if len(res.A.TaskTimes) == 0 || len(res.B.TaskTimes) == 0 {
+		t.Fatal("default config produced no batches")
+	}
+	if len(res.A.TaskTimes) != len(res.B.TaskTimes) {
+		t.Errorf("unbalanced arms: %d vs %d", len(res.A.TaskTimes), len(res.B.TaskTimes))
+	}
+}
+
+func TestABWordsEffectOnDisagreement(t *testing.T) {
+	res := RunAB(ABConfig{
+		Seed:    36,
+		Labels:  abLabels(),
+		DesignA: model.DesignParams{Words: 150, Items: 40, Fields: 5},
+		DesignB: model.DesignParams{Words: 3000, Items: 40, Fields: 5},
+	})
+	if res.B.MedianDisagreement >= res.A.MedianDisagreement {
+		t.Errorf("disagreement A=%.3f B=%.3f, expected wordy design lower",
+			res.A.MedianDisagreement, res.B.MedianDisagreement)
+	}
+	if !res.Disagreement.Significant(0.01) {
+		t.Errorf("words effect not significant: p=%v", res.Disagreement.P)
+	}
+	// Words must not move task time (the paper found no correlation).
+	if res.TaskTime.Significant(0.01) {
+		t.Errorf("words should not affect task time: p=%v", res.TaskTime.P)
+	}
+}

@@ -1,0 +1,415 @@
+package synth
+
+import (
+	"math"
+
+	"crowdscope/internal/model"
+	"crowdscope/internal/rng"
+)
+
+// Catalog-level calibration constants. Counts are full-scale; see Config
+// for how scale is applied.
+const (
+	// NumTaskTypes is the number of distinct tasks (Section 2.2: ~6,600).
+	NumTaskTypes = 6600
+	// megaTypes are the few clusters that each exceed 1M task instances
+	// in the sample (Figure 7 shows 3 of them).
+	megaTypes = 3
+	// heavyTypes are the "heavy hitters" issued across >=100 batches
+	// (Section 3.3 / Figure 6).
+	heavyTypes = 12
+	// oneOffFraction is the share of task types issued in at most a
+	// handful of batches.
+	oneOffFraction = 0.72
+	// labeledFraction is the share of sampled clusters carrying manual
+	// labels (~3,200 of ~5,000 sampled with full data; Section 3.4).
+	labeledFraction = 0.64
+)
+
+// Design-feature distribution constants: the probability of a feature
+// being present and the medians of its magnitude, set so the global
+// medians land on the paper's bin-split points (Tables 1-3).
+const (
+	wordsMedian = 466 // split point for #words (Table 1)
+	wordsSigma  = 0.9
+	itemsMedian = 40 // between the 30/56 split points the paper reports
+	itemsSigma  = 2.2
+
+	textBoxProb = 0.47 // 1014 of 2297 clusters have #text-box > 0 (Table 1)
+	exampleProb = 0.032
+	imageProb   = 0.24
+)
+
+// Effect-size constants: how design choices modify the three latent
+// effectiveness metrics. Chosen so the median-split bins of the
+// correlation analysis reproduce the paper's numbers (Tables 1-3):
+//
+//	disagreement: #words 0.147→0.108, #items 0.169→0.086,
+//	              #text-box 0.102→0.160, #examples 0.128→0.101
+//	task-time:    #items 230s→136s, #text-box 119s→286s, #images 184s→129s
+//	pickup-time:  #items 4521s→8132s, #examples 6303s→1353s,
+//	              #images 7838s→2431s
+const (
+	disagreeBase     = 0.135
+	disagreeWordsExp = -0.25 // disagreement ∝ (words/median)^exp
+	disagreeItemsExp = -0.33
+	disagreeTextBoxF = 1.55
+	disagreeExampleF = 0.55
+	disagreeNoise    = 0.38
+
+	taskTimeBaseSecs = 170.0
+	taskTimeItemsExp = -0.22
+	taskTimeTextBoxF = 2.3
+	taskTimeImageF   = 0.70
+	taskTimeSigma    = 0.45
+
+	pickupBaseSecs = 5800.0
+	pickupItemsExp = 0.24
+	pickupExampleF = 0.21
+	pickupImageF   = 0.31
+	pickupSigma    = 1.15
+)
+
+// goalWeights is the cluster-level goal mix. Complex goals dominate at the
+// cluster level (Figure 12a), while simple goals (ER/SA/QA) recover ~30% of
+// *instances* via larger average cluster sizes.
+var goalWeights = []float64{
+	0.06, // ER
+	0.13, // HB
+	0.11, // SR
+	0.06, // QA
+	0.05, // SA
+	0.24, // LU
+	0.17, // T
+	0.18, // Other
+}
+
+// instanceSizeBoost scales the expected instance volume of clusters with a
+// given primary goal so the instance-level goal shares match Figure 9a
+// despite the cluster-level mix being complex-heavy.
+var instanceSizeBoost = [model.NumGoals]float64{
+	model.GoalER:    3.6,
+	model.GoalHB:    1.6,
+	model.GoalSR:    1.8,
+	model.GoalQA:    3.6,
+	model.GoalSA:    3.4,
+	model.GoalLU:    1.45,
+	model.GoalT:     1.60,
+	model.GoalOther: 0.7,
+}
+
+// operatorByGoal gives the per-goal operator usage mix (Figure 10b):
+// filter/rate dominate everywhere except transcription, where extraction
+// is primary; LU uses generate 16% of the time; HB uses external links 13%
+// and localization 9%.
+var operatorByGoal = [model.NumGoals][model.NumOperators]float64{
+	model.GoalER:    {model.OpFilter: 0.47, model.OpRate: 0.10, model.OpTag: 0.18, model.OpGather: 0.15, model.OpSort: 0.03, model.OpExtract: 0.05, model.OpExternal: 0.02},
+	model.GoalHB:    {model.OpFilter: 0.28, model.OpRate: 0.14, model.OpExternal: 0.17, model.OpLocalize: 0.12, model.OpGenerate: 0.08, model.OpGather: 0.08, model.OpTag: 0.05, model.OpCount: 0.04},
+	model.GoalSR:    {model.OpRate: 0.28, model.OpFilter: 0.35, model.OpGather: 0.08, model.OpSort: 0.16, model.OpTag: 0.13},
+	model.GoalQA:    {model.OpFilter: 0.52, model.OpRate: 0.09, model.OpTag: 0.24, model.OpCount: 0.05, model.OpLocalize: 0.06, model.OpExtract: 0.04},
+	model.GoalSA:    {model.OpRate: 0.22, model.OpFilter: 0.40, model.OpTag: 0.28, model.OpGenerate: 0.06, model.OpExtract: 0.04},
+	model.GoalLU:    {model.OpFilter: 0.30, model.OpRate: 0.16, model.OpSort: 0.07, model.OpGenerate: 0.16, model.OpExtract: 0.12, model.OpTag: 0.12, model.OpGather: 0.07},
+	model.GoalT:     {model.OpExtract: 0.58, model.OpGenerate: 0.15, model.OpTag: 0.09, model.OpLocalize: 0.06, model.OpFilter: 0.06, model.OpGather: 0.06},
+	model.GoalOther: {model.OpFilter: 0.28, model.OpRate: 0.12, model.OpGather: 0.19, model.OpSort: 0.04, model.OpTag: 0.10, model.OpGenerate: 0.10, model.OpExtract: 0.06, model.OpLocalize: 0.05, model.OpCount: 0.03, model.OpExternal: 0.01},
+}
+
+// dataByGoal gives the per-goal data-type mix (Figure 10a): text and image
+// dominate everywhere; web data serves 24% of ER and 37% of SR; social
+// media serves 13% of SA and 8% of LU; transcription leans on image/audio.
+var dataByGoal = [model.NumGoals][model.NumDataTypes]float64{
+	model.GoalER:    {model.DataText: 0.34, model.DataWeb: 0.24, model.DataImage: 0.21, model.DataSocial: 0.09, model.DataMaps: 0.07, model.DataVideo: 0.05},
+	model.GoalHB:    {model.DataText: 0.44, model.DataImage: 0.20, model.DataWeb: 0.11, model.DataSocial: 0.09, model.DataVideo: 0.09, model.DataAudio: 0.07},
+	model.GoalSR:    {model.DataWeb: 0.37, model.DataText: 0.30, model.DataImage: 0.21, model.DataSocial: 0.07, model.DataMaps: 0.05},
+	model.GoalQA:    {model.DataText: 0.34, model.DataImage: 0.31, model.DataWeb: 0.13, model.DataSocial: 0.11, model.DataVideo: 0.07, model.DataAudio: 0.04},
+	model.GoalSA:    {model.DataText: 0.40, model.DataImage: 0.16, model.DataSocial: 0.18, model.DataWeb: 0.12, model.DataVideo: 0.08, model.DataAudio: 0.06},
+	model.GoalLU:    {model.DataText: 0.54, model.DataImage: 0.16, model.DataSocial: 0.08, model.DataWeb: 0.09, model.DataAudio: 0.07, model.DataVideo: 0.06},
+	model.GoalT:     {model.DataImage: 0.34, model.DataAudio: 0.24, model.DataText: 0.22, model.DataVideo: 0.14, model.DataWeb: 0.06},
+	model.GoalOther: {model.DataText: 0.34, model.DataImage: 0.26, model.DataWeb: 0.11, model.DataSocial: 0.09, model.DataAudio: 0.08, model.DataVideo: 0.07, model.DataMaps: 0.05},
+}
+
+// ambiguityByGoal shifts the latent disagreement of clusters: open-ended
+// goals are inherently more ambiguous than boolean-style ones.
+var ambiguityByGoal = [model.NumGoals]float64{
+	model.GoalER:    0.85,
+	model.GoalHB:    1.15,
+	model.GoalSR:    0.95,
+	model.GoalQA:    0.80,
+	model.GoalSA:    1.05,
+	model.GoalLU:    1.15,
+	model.GoalT:     1.00,
+	model.GoalOther: 1.05,
+}
+
+// bulkGoals is the goal rotation for the 15 mega/heavy task types: mostly
+// the simple high-volume goals of bulk crowd work, with one transcription
+// and one language-understanding heavy hitter.
+var bulkGoals = []model.Goal{
+	model.GoalQA, model.GoalER, model.GoalSA, // the three mega types
+	model.GoalSR, model.GoalHB, model.GoalT, model.GoalQA, model.GoalER,
+	model.GoalLU, model.GoalSA, model.GoalSR, model.GoalQA, model.GoalHB,
+	model.GoalER, model.GoalSA,
+}
+
+// bulkOps and bulkData are the matching operator/data rotations; filter
+// and rate lead but do not monopolize, so the giant clusters preserve the
+// Figure 9 operator and data shares instead of distorting them.
+var bulkOps = []model.Operator{
+	model.OpFilter, model.OpFilter, model.OpRate, // mega types
+	model.OpRate, model.OpFilter, model.OpExtract, model.OpTag, model.OpFilter,
+	model.OpGenerate, model.OpFilter, model.OpCount, model.OpFilter, model.OpFilter,
+	model.OpFilter, model.OpLocalize,
+}
+
+var bulkData = []model.DataType{
+	model.DataImage, model.DataText, model.DataText, // mega types
+	model.DataImage, model.DataText, model.DataImage, model.DataText,
+	model.DataSocial, model.DataText, model.DataSocial, model.DataAudio,
+	model.DataText, model.DataImage, model.DataText, model.DataVideo,
+}
+
+// textHeavyOps are the operators whose interfaces usually carry free-text
+// inputs; their presence raises the text-box probability.
+var textHeavyOps = model.OpSet(0).
+	With(model.OpGather).With(model.OpExtract).With(model.OpGenerate)
+
+// BuildCatalog generates the full distinct-task catalog with labels,
+// design parameters, latent metric levels, activity windows and size
+// classes. The catalog is scale-free: Config.Scale applies at batch
+// generation time.
+func BuildCatalog(r *rng.Rand) []model.TaskType {
+	goalPick := rng.NewCategorical(goalWeights)
+	out := make([]model.TaskType, NumTaskTypes)
+	for i := range out {
+		tt := &out[i]
+		tt.ID = uint32(i)
+
+		// --- labels ---
+		g := model.Goal(goalPick.Sample(r))
+		tt.Goals = tt.Goals.With(g)
+		if r.Bool(0.10) {
+			tt.Goals = tt.Goals.With(model.Goal(goalPick.Sample(r)))
+		}
+		opPick := operatorByGoal[g][:]
+		op1 := model.Operator(rng.WeightedPick(r, opPick))
+		tt.Operators = tt.Operators.With(op1)
+		if r.Bool(0.18) {
+			tt.Operators = tt.Operators.With(model.Operator(rng.WeightedPick(r, opPick)))
+		}
+		dataPick := dataByGoal[g][:]
+		d1 := model.DataType(rng.WeightedPick(r, dataPick))
+		tt.Data = tt.Data.With(d1)
+		if r.Bool(0.30) {
+			tt.Data = tt.Data.With(model.DataType(rng.WeightedPick(r, dataPick)))
+		}
+
+		// The bulky clusters' goals follow a fixed rotation dominated by
+		// the simple bulk-work goals, so that a single giant cluster
+		// cannot swing the Figure 9 instance shares toward a niche goal
+		// by seed luck. Operators and data still follow the goal's mix.
+		if i < megaTypes+heavyTypes {
+			g = bulkGoals[i%len(bulkGoals)]
+			tt.Goals = model.GoalSet(0).With(g)
+			tt.Operators = model.OpSet(0).With(bulkOps[i%len(bulkOps)])
+			tt.Data = model.DataSet(0).With(bulkData[i%len(bulkData)])
+		}
+
+		// --- design parameters ---
+		tt.Design = sampleDesign(r, *tt)
+		// The bulky clusters issue enormous batches (close to 80k task
+		// instances per batch, Section 3.3); heavy hitters are also well
+		// above the median.
+		switch {
+		case i < megaTypes:
+			tt.HeavyHitter = true
+			tt.Design.Items = clampInt(int(r.LogNormalMedian(24000, 0.3)), 8000, 200000)
+		case i < megaTypes+heavyTypes:
+			tt.HeavyHitter = true
+			tt.Design.Items = clampInt(int(r.LogNormalMedian(400, 0.6)), 50, 20000)
+		}
+
+		// --- latent effectiveness metrics ---
+		applyMetricModel(r, tt, g)
+		tt.FirstWeek, tt.LastWeek = sampleWindow(r, i)
+		tt.Labeled = r.Bool(labeledFraction) || tt.HeavyHitter
+	}
+	return out
+}
+
+// sampleDesign draws design parameters correlated with the task's labels:
+// text-heavy operators carry text boxes, image-data tasks carry images.
+func sampleDesign(r *rng.Rand, tt model.TaskType) model.DesignParams {
+	var d model.DesignParams
+	d.Words = clampInt(int(r.LogNormalMedian(wordsMedian, wordsSigma)), 60, 40000)
+	d.Items = clampInt(int(r.LogNormalMedian(itemsMedian, itemsSigma)), 1, 200000)
+
+	pText := textBoxProb
+	if tt.Operators&textHeavyOps != 0 {
+		pText = 0.80
+	} else if tt.Operators.Has(model.OpFilter) || tt.Operators.Has(model.OpRate) {
+		pText = 0.30
+	}
+	if r.Bool(pText) {
+		d.TextBoxes = 1 + r.Poisson(1.2)
+	}
+	if r.Bool(exampleProb) {
+		d.Examples = 1 + r.Poisson(0.7)
+	}
+	pImage := imageProb
+	if tt.Data.Has(model.DataImage) {
+		pImage = 0.55
+	}
+	if r.Bool(pImage) {
+		d.Images = 1 + r.Poisson(1.8)
+	}
+	// Fields: every page carries a submit button, its choice inputs and
+	// its text boxes, plus occasional selects.
+	d.Fields = 1 + d.TextBoxes + 2 + r.Poisson(2.5)
+	return d
+}
+
+// applyMetricModel fills the latent Ambiguity, BaseTaskSecs and
+// BasePickupSecs from the design parameters through the calibrated effect
+// sizes.
+func applyMetricModel(r *rng.Rand, tt *model.TaskType, g model.Goal) {
+	d := tt.Design
+
+	dis := disagreeBase * ambiguityByGoal[g]
+	dis *= math.Pow(float64(d.Words)/wordsMedian, disagreeWordsExp)
+	// Worker-experience returns saturate: beyond ~20x the median item
+	// count there is no further disagreement benefit, and below 1/20th no
+	// further penalty. The cap keeps the heavy item tail (sigma 2.2 in
+	// log space) from dominating the linear-space variance.
+	itemRatio := clampFloat(float64(d.Items)/itemsMedian, 1.0/20, 20)
+	dis *= math.Pow(itemRatio, disagreeItemsExp)
+	if d.TextBoxes > 0 {
+		dis *= disagreeTextBoxF
+	}
+	noise := disagreeNoise
+	if d.Examples > 0 {
+		// Examples lower ambiguity enough to survive the >0.5 pruning
+		// rule's differential trimming of the no-example bin, and
+		// standardize interpretation (less cross-cluster variance).
+		dis *= disagreeExampleF
+		noise *= 0.45
+	}
+	dis *= r.LogNormalMedian(1, noise)
+	tt.Ambiguity = clampFloat(dis, 0.002, 0.72)
+
+	tsecs := taskTimeBaseSecs
+	tsecs *= math.Pow(float64(d.Items)/itemsMedian, taskTimeItemsExp)
+	if d.TextBoxes > 0 {
+		tsecs *= taskTimeTextBoxF
+	}
+	if d.Images > 0 {
+		tsecs *= taskTimeImageF
+	}
+	tsecs *= r.LogNormalMedian(1, taskTimeSigma)
+	tt.BaseTaskSecs = clampFloat(tsecs, 3, 9000)
+
+	psecs := pickupBaseSecs
+	psecs *= math.Pow(float64(d.Items)/itemsMedian, pickupItemsExp)
+	if d.Examples > 0 {
+		psecs *= pickupExampleF
+	}
+	if d.Images > 0 {
+		psecs *= pickupImageF
+	}
+	psecs *= r.LogNormalMedian(1, pickupSigma)
+	tt.BasePickupSecs = clampFloat(psecs, 10, 1.6e7)
+}
+
+// sampleWindow assigns the weeks during which batches of this task type
+// may be issued. Heavy hitters ramp up, run for one to eleven months, then
+// shut down for good (Figure 8); one-off tasks live a week or two; the
+// bulk of types are active for a few weeks to a few months. Activity
+// skews into the post-January-2015 boom.
+func sampleWindow(r *rng.Rand, idx int) (first, last int32) {
+	post := model.PostBoomWeek
+	total := int32(model.NumWeeks)
+	var start, span int32
+	switch {
+	case idx < megaTypes:
+		start = post + int32(r.Intn(30))
+		span = 16 + int32(r.Intn(36)) // 4-12 months
+	case idx < megaTypes+heavyTypes:
+		start = post + int32(r.Intn(int(total-post-10)))
+		span = 4 + int32(r.Intn(44)) // 1-11 months
+	default:
+		// 22% of types start pre-boom, the rest after.
+		if r.Bool(0.22) {
+			start = int32(r.Intn(int(post)))
+		} else {
+			start = post + int32(r.Intn(int(total-post)))
+		}
+		if r.Bool(oneOffFraction) {
+			span = 1 + int32(r.Intn(2))
+		} else {
+			span = 2 + int32(r.Poisson(10))
+		}
+	}
+	if start >= total {
+		start = total - 1
+	}
+	end := start + span
+	if end >= total {
+		end = total - 1
+	}
+	return start, end
+}
+
+// typePopularity returns the batch-attraction weight of each task type;
+// combined with the activity windows this yields the cluster-size
+// power law of Figure 6 (many one-off clusters, a dozen 100+-batch heavy
+// hitters). Goal-level boosts lift the instance share of simple-goal
+// clusters toward the Figure 9a mix without touching the #items feature.
+func typePopularity(r *rng.Rand, types []model.TaskType) []float64 {
+	w := make([]float64, len(types))
+	for i := range types {
+		switch {
+		case i < megaTypes:
+			w[i] = 2.2 + r.Float64()
+		case i < megaTypes+heavyTypes:
+			w[i] = 28 + 28*r.Float64()
+		default:
+			v := r.Pareto(0.4, 1.3)
+			if v > 8 {
+				v = 8
+			}
+			w[i] = v * instanceSizeBoost[primaryGoal(types[i].Goals)]
+		}
+	}
+	return w
+}
+
+// primaryGoal returns the first goal in the set (Other when empty).
+func primaryGoal(s model.GoalSet) model.Goal {
+	g := model.GoalOther
+	first := true
+	s.Each(func(x model.Goal) {
+		if first {
+			g = x
+			first = false
+		}
+	})
+	return g
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clampFloat(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,197 @@
+package synth
+
+// countryShare pairs a country name with its share of the worker
+// population. The head of the distribution follows Section 5.1 / Figure
+// 28: close to 50% of workers come from USA (~21.3k of ~69k), Venezuela
+// (~5.3k), Great Britain (~4.4k), India (~4.1k) and Canada (~2.8k), with a
+// visible 17% from emerging South American and African markets and a long
+// tail reaching 148 countries in total.
+type countryShare struct {
+	name  string
+	share float64
+}
+
+// countryTable lists all 148 countries. Shares below the named head decay
+// smoothly; BuildCountryWeights normalizes the full vector, so the listed
+// values are relative weights.
+var countryTable = []countryShare{
+	{"United States", 0.309},
+	{"Venezuela", 0.077},
+	{"United Kingdom", 0.064},
+	{"India", 0.059},
+	{"Canada", 0.041},
+	{"Brazil", 0.027},
+	{"Philippines", 0.025},
+	{"Germany", 0.020},
+	{"Serbia", 0.017},
+	{"Romania", 0.016},
+	{"Egypt", 0.015},
+	{"Indonesia", 0.014},
+	{"Nigeria", 0.013},
+	{"Mexico", 0.013},
+	{"Spain", 0.012},
+	{"Italy", 0.012},
+	{"Poland", 0.011},
+	{"France", 0.011},
+	{"Colombia", 0.011},
+	{"Pakistan", 0.010},
+	{"Bangladesh", 0.010},
+	{"Kenya", 0.009},
+	{"Morocco", 0.009},
+	{"Argentina", 0.009},
+	{"Australia", 0.008},
+	{"Ukraine", 0.008},
+	{"Turkey", 0.008},
+	{"Greece", 0.008},
+	{"Portugal", 0.007},
+	{"Netherlands", 0.007},
+	{"Vietnam", 0.007},
+	{"Peru", 0.007},
+	{"Malaysia", 0.006},
+	{"Bosnia and Herzegovina", 0.006},
+	{"Croatia", 0.006},
+	{"Bulgaria", 0.006},
+	{"Hungary", 0.006},
+	{"Thailand", 0.005},
+	{"South Africa", 0.005},
+	{"Algeria", 0.005},
+	{"Tunisia", 0.005},
+	{"Sri Lanka", 0.005},
+	{"Nepal", 0.005},
+	{"Jamaica", 0.005},
+	{"Chile", 0.004},
+	{"Ecuador", 0.004},
+	{"Ghana", 0.004},
+	{"Macedonia", 0.004},
+	{"Lithuania", 0.004},
+	{"Latvia", 0.004},
+	{"Estonia", 0.004},
+	{"Slovakia", 0.004},
+	{"Slovenia", 0.004},
+	{"Czech Republic", 0.004},
+	{"Sweden", 0.003},
+	{"Norway", 0.003},
+	{"Denmark", 0.003},
+	{"Finland", 0.003},
+	{"Ireland", 0.003},
+	{"Belgium", 0.003},
+	{"Austria", 0.003},
+	{"Switzerland", 0.003},
+	{"Russia", 0.003},
+	{"Belarus", 0.003},
+	{"Moldova", 0.003},
+	{"Albania", 0.003},
+	{"Montenegro", 0.003},
+	{"Kosovo", 0.003},
+	{"Dominican Republic", 0.003},
+	{"Trinidad and Tobago", 0.003},
+	{"Guyana", 0.002},
+	{"Bolivia", 0.002},
+	{"Paraguay", 0.002},
+	{"Uruguay", 0.002},
+	{"Costa Rica", 0.002},
+	{"Panama", 0.002},
+	{"Guatemala", 0.002},
+	{"Honduras", 0.002},
+	{"El Salvador", 0.002},
+	{"Nicaragua", 0.002},
+	{"Uganda", 0.002},
+	{"Tanzania", 0.002},
+	{"Ethiopia", 0.002},
+	{"Cameroon", 0.002},
+	{"Ivory Coast", 0.002},
+	{"Senegal", 0.002},
+	{"Zimbabwe", 0.002},
+	{"Zambia", 0.002},
+	{"Botswana", 0.002},
+	{"Namibia", 0.002},
+	{"Mauritius", 0.002},
+	{"Madagascar", 0.002},
+	{"Mozambique", 0.002},
+	{"Angola", 0.002},
+	{"Libya", 0.002},
+	{"Sudan", 0.002},
+	{"Jordan", 0.002},
+	{"Lebanon", 0.002},
+	{"Israel", 0.002},
+	{"Saudi Arabia", 0.002},
+	{"United Arab Emirates", 0.002},
+	{"Qatar", 0.001},
+	{"Kuwait", 0.001},
+	{"Bahrain", 0.001},
+	{"Oman", 0.001},
+	{"Yemen", 0.001},
+	{"Iraq", 0.001},
+	{"Iran", 0.001},
+	{"Afghanistan", 0.001},
+	{"Kazakhstan", 0.001},
+	{"Uzbekistan", 0.001},
+	{"Kyrgyzstan", 0.001},
+	{"Azerbaijan", 0.001},
+	{"Armenia", 0.001},
+	{"Georgia", 0.001},
+	{"Mongolia", 0.001},
+	{"China", 0.001},
+	{"Japan", 0.001},
+	{"South Korea", 0.001},
+	{"Taiwan", 0.001},
+	{"Hong Kong", 0.001},
+	{"Singapore", 0.001},
+	{"Cambodia", 0.001},
+	{"Laos", 0.001},
+	{"Myanmar", 0.001},
+	{"New Zealand", 0.001},
+	{"Fiji", 0.001},
+	{"Papua New Guinea", 0.001},
+	{"Haiti", 0.001},
+	{"Cuba", 0.001},
+	{"Puerto Rico", 0.001},
+	{"Barbados", 0.001},
+	{"Bahamas", 0.001},
+	{"Belize", 0.001},
+	{"Suriname", 0.001},
+	{"Iceland", 0.001},
+	{"Luxembourg", 0.001},
+	{"Malta", 0.001},
+	{"Cyprus", 0.001},
+	{"Rwanda", 0.001},
+	{"Malawi", 0.001},
+	{"Benin", 0.001},
+	{"Togo", 0.001},
+	{"Mali", 0.001},
+	{"Burkina Faso", 0.001},
+	{"Niger", 0.001},
+	{"Somalia", 0.001},
+	{"Bhutan", 0.001},
+}
+
+// NumCountries is the number of countries workers come from (Figure 28).
+const NumCountries = 148
+
+// CountryNames returns the country names in table order.
+func CountryNames() []string {
+	out := make([]string, len(countryTable))
+	for i, c := range countryTable {
+		out[i] = c.name
+	}
+	return out
+}
+
+// countryWeights returns the relative population weight per country.
+func countryWeights() []float64 {
+	out := make([]float64, len(countryTable))
+	for i, c := range countryTable {
+		out[i] = c.share
+	}
+	return out
+}
+
+// countryIndex resolves a country name to its table position.
+func countryIndex(name string) (int, bool) {
+	for i, c := range countryTable {
+		if c.name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,331 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"crowdscope/internal/htmlgen"
+	"crowdscope/internal/model"
+	"crowdscope/internal/rng"
+	"crowdscope/internal/store"
+)
+
+// InstancesFull is the full-scale sampled-instance volume (~27M,
+// Section 2.2); planning constants derive from it.
+const InstancesFull = 27e6
+
+// minItemsFloor bounds how far scaling may shrink a batch's item count;
+// see materializeBatch.
+const minItemsFloor = 6
+
+// Config parameterizes dataset generation.
+type Config struct {
+	// Seed makes the whole dataset reproducible.
+	Seed uint64
+	// Scale in (0,1] scales the materialized instance volume and worker
+	// population; batch/task/source/country inventories stay full-size so
+	// the structural distributions (cluster sizes, label mixes, arrival
+	// shapes) are preserved. Scale 1 ≈ 27M instances and ~69k workers.
+	Scale float64
+	// LearningGamma enables the worker-learning extension (Section 7
+	// names "worker learning" as future work): a worker's task time
+	// shrinks with accumulated experience as (1 + done/learningHalf)^-γ.
+	// Zero disables learning (the paper-faithful default).
+	LearningGamma float64
+}
+
+// learningHalf is the experience count at which the learning factor
+// reaches 2^-γ.
+const learningHalf = 64.0
+
+// DefaultConfig returns a laptop-friendly configuration (~2% scale,
+// ≈0.5M instances).
+func DefaultConfig() Config { return Config{Seed: 1701, Scale: 0.02} }
+
+// Dataset is a complete synthetic marketplace: the inventory tables plus
+// the columnar instance log for the sampled batches. It corresponds to
+// what the marketplace shared with the authors (Section 2.3): full data
+// for the sample, title/date metadata for the rest.
+type Dataset struct {
+	Cfg       Config
+	Sources   []model.Source
+	Countries []string
+	Workers   []model.Worker
+	TaskTypes []model.TaskType
+	Batches   []model.Batch
+	Store     *store.Store
+
+	htmlSeed uint64
+	// experience tracks per-worker completed instances when the
+	// worker-learning extension is enabled.
+	experience []float64
+}
+
+// Generate builds a dataset from the configuration. Generation is
+// deterministic in Config.
+func Generate(cfg Config) *Dataset {
+	if cfg.Scale <= 0 || cfg.Scale > 1 {
+		panic(fmt.Sprintf("synth: scale %v out of (0,1]", cfg.Scale))
+	}
+	root := rng.New(cfg.Seed)
+
+	d := &Dataset{
+		Cfg:       cfg,
+		Sources:   BuildSources(),
+		Countries: CountryNames(),
+		htmlSeed:  cfg.Seed ^ 0xC0FFEE,
+	}
+
+	d.TaskTypes = BuildCatalog(root.Split(1))
+
+	nWorkers := int(float64(NumWorkersFull) * cfg.Scale)
+	if nWorkers < 300 {
+		nWorkers = 300
+	}
+	d.Workers = BuildWorkers(root.Split(2), d.Sources, nWorkers)
+
+	schedRand := root.Split(3)
+	stubs, _ := buildSchedule(schedRand, d.TaskTypes)
+	sampled := chooseSampled(root.Split(4), stubs, d.TaskTypes, SampledBatchesFull)
+
+	d.Batches = make([]model.Batch, len(stubs))
+	for i, st := range stubs {
+		tt := &d.TaskTypes[st.taskType]
+		d.Batches[i] = model.Batch{
+			ID:         uint32(i),
+			TaskType:   st.taskType,
+			CreatedAt:  time.Unix(st.createdSec, 0).UTC(),
+			Items:      st.declaredItems,
+			Redundancy: st.redundancy,
+			Sampled:    sampled[i],
+			Title:      batchTitle(tt),
+		}
+	}
+
+	d.Store = materialize(root.Split(5), d, stubs, sampled)
+	observeWorkerActivity(d)
+	return d
+}
+
+// batchTitle writes a short textual description like the one-sentence
+// batch metadata in the real dataset.
+func batchTitle(tt *model.TaskType) string {
+	return fmt.Sprintf("%s task (%s on %s)", primaryGoal(tt.Goals).LongName(), tt.Operators.String(), tt.Data.String())
+}
+
+// BatchHTML renders the sample task page of a batch on demand; batches of
+// the same task type render near-identical pages, as the clustering step
+// requires. Only sampled batches expose HTML (the paper had HTML for the
+// 12k sample only).
+func (d *Dataset) BatchHTML(batchID uint32) (string, bool) {
+	if int(batchID) >= len(d.Batches) {
+		return "", false
+	}
+	b := &d.Batches[batchID]
+	if !b.Sampled {
+		return "", false
+	}
+	tt := d.TaskTypes[b.TaskType]
+	return htmlgen.Render(tt, htmlgen.Options{
+		Seed:     d.htmlSeed + uint64(tt.ID)*2654435761,
+		BatchTag: fmt.Sprintf("%08x", batchID),
+	}), true
+}
+
+// SampledBatchIDs returns the IDs of the fully visible batches.
+func (d *Dataset) SampledBatchIDs() []uint32 {
+	out := make([]uint32, 0, SampledBatchesFull)
+	for i := range d.Batches {
+		if d.Batches[i].Sampled {
+			out = append(out, uint32(i))
+		}
+	}
+	return out
+}
+
+// ObservedWorkers returns the workers that performed at least one sampled
+// instance — the population every worker analysis runs on.
+func (d *Dataset) ObservedWorkers() []model.Worker {
+	out := make([]model.Worker, 0, len(d.Workers))
+	for i := range d.Workers {
+		if d.Workers[i].LastDay >= d.Workers[i].FirstDay && d.Workers[i].FirstDay >= 0 {
+			out = append(out, d.Workers[i])
+		}
+	}
+	return out
+}
+
+// materialize generates the instance rows for every sampled batch.
+func materialize(r *rng.Rand, d *Dataset, stubs []batchStub, sampled []bool) *store.Store {
+	st := store.New(len(stubs))
+
+	// Assignment pools: per-worker quota proportional to workload weight.
+	quota := workloadWeights(r.Split(11), d.Workers)
+	totalQuota := 0.0
+	for _, q := range quota {
+		totalQuota += q
+	}
+	plannedDraws := InstancesFull * d.Cfg.Scale
+	spend := totalQuota / plannedDraws
+	pools := newDayPools(d.Workers, quota)
+
+	ansRand := r.Split(12)
+	genRand := r.Split(13)
+
+	if d.Cfg.LearningGamma > 0 {
+		d.experience = make([]float64, len(d.Workers))
+	}
+	for i := range stubs {
+		if !sampled[i] {
+			continue
+		}
+		materializeBatch(genRand, ansRand, d, st, pools, uint32(i), &stubs[i], &d.TaskTypes[stubs[i].taskType], spend)
+	}
+	return st
+}
+
+// learningFactor returns the task-time multiplier for a worker's next
+// instance and advances their experience counter.
+func (d *Dataset) learningFactor(wid uint32) float64 {
+	if d.experience == nil {
+		return 1
+	}
+	done := d.experience[wid]
+	d.experience[wid] = done + 1
+	return math.Pow(1+done/learningHalf, -d.Cfg.LearningGamma)
+}
+
+// materializeBatch writes the instance rows of one batch. Each instance
+// first draws its pickup delay (when a worker starts it), then picks a
+// worker who is active on that day — matching how real pickup works: a
+// batch created today may be picked up weeks later by whoever is around
+// then.
+func materializeBatch(r, ansRand *rng.Rand, d *Dataset, st *store.Store, pools *dayPools, batchID uint32, stb *batchStub, tt *model.TaskType, spend float64) {
+	st.BeginBatch(batchID)
+
+	physItems := int(math.Round(float64(stb.declaredItems) * d.Cfg.Scale))
+	// Small scales must not collapse batches to a single item: the
+	// disagreement metric needs enough answer pairs per batch to resolve
+	// values near 0.1, so keep at least minItemsFloor items (never more
+	// than declared). This slightly inflates volume below ~10% scale and
+	// is a no-op at full scale.
+	if floor := int(stb.declaredItems); floor > minItemsFloor {
+		floor = minItemsFloor
+		if physItems < floor {
+			physItems = floor
+		}
+	} else if physItems < floor {
+		physItems = floor
+	}
+	if physItems < 1 {
+		physItems = 1
+	}
+	red := int(stb.redundancy)
+
+	// Deviation probability solving E[pairwise disagreement] = Ambiguity
+	// under "answer truth w.p. 1-q, else uniform over 3 alternates".
+	q := deviationProb(tt.Ambiguity)
+
+	chosen := make([]uint32, 0, red)
+	for item := 0; item < physItems; item++ {
+		truth := answerToken(batchID, uint32(item), 0)
+		chosen = chosen[:0]
+		for rep := 0; rep < red; rep++ {
+			pickup := r.LogNormalMedian(stb.pickupMedian, 1.1)
+			start := stb.createdSec + int64(pickup)
+			// The observation window closes at the horizon; instances that
+			// would start beyond it are picked up at the very end instead
+			// (the real dataset likewise only contains observed work).
+			if max := model.Horizon.Unix() - 3600; start > max {
+				start = max
+			}
+			day := model.DayOfUnix(start)
+
+			wid, ok := pools.drawOne(r, day, chosen, spend)
+			if !ok {
+				continue
+			}
+			chosen = append(chosen, wid)
+			w := &d.Workers[wid]
+
+			dur := r.LogNormalMedian(tt.BaseTaskSecs*w.Speed, 0.5) * d.learningFactor(wid)
+			if dur < 1 {
+				dur = 1
+			}
+			end := start + int64(dur)
+
+			ans := truth
+			qi := q * (0.5 + w.ErrRate*5)
+			if qi > 0.95 {
+				qi = 0.95
+			}
+			if ansRand.Bool(qi) {
+				ans = answerToken(batchID, uint32(item), 1+uint32(ansRand.Intn(3)))
+			}
+
+			trust := clampFloat(w.TrustMean+0.025*ansRand.NormFloat64(), 0, 1)
+
+			st.Append(model.Instance{
+				Batch:    batchID,
+				TaskType: tt.ID,
+				Item:     uint32(item),
+				Worker:   wid,
+				Start:    start,
+				End:      end,
+				Trust:    float32(trust),
+				Answer:   ans,
+			})
+		}
+	}
+}
+
+// deviationProb inverts E[pair disagreement] = 1 - [(1-q)^2 + q^2/3] for
+// q, clamping at the model's 0.75 maximum.
+func deviationProb(d float64) float64 {
+	if d <= 0 {
+		return 0
+	}
+	if d >= 0.74 {
+		d = 0.74
+	}
+	return 0.75 * (1 - math.Sqrt(1-4*d/3))
+}
+
+// answerToken encodes an answer as truth (alt=0) or one of three
+// alternates per (batch,item).
+func answerToken(batch, item, alt uint32) uint32 {
+	h := batch*2654435761 + item*40503 + alt
+	return h&0xFFFFFFF0 | alt
+}
+
+// observeWorkerActivity overwrites each worker's activity window with the
+// observed first/last instance days; workers with no instances get an
+// empty (invalid) window so ObservedWorkers excludes them.
+func observeWorkerActivity(d *Dataset) {
+	first := make([]int32, len(d.Workers))
+	last := make([]int32, len(d.Workers))
+	for i := range first {
+		first[i] = math.MaxInt32
+		last[i] = -1
+	}
+	starts := d.Store.Starts()
+	workers := d.Store.Workers()
+	for i, sec := range starts {
+		day := model.DayOfUnix(sec)
+		w := workers[i]
+		if day < first[w] {
+			first[w] = day
+		}
+		if day > last[w] {
+			last[w] = day
+		}
+	}
+	for i := range d.Workers {
+		if last[i] < 0 {
+			d.Workers[i].FirstDay, d.Workers[i].LastDay = -1, -2
+		} else {
+			d.Workers[i].FirstDay, d.Workers[i].LastDay = first[i], last[i]
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package synth
+
+import (
+	"testing"
+
+	"crowdscope/internal/stats"
+)
+
+// TestLearningDisabledByDefault: γ=0 leaves the generator byte-identical
+// to the paper-faithful configuration.
+func TestLearningDisabledByDefault(t *testing.T) {
+	a := Generate(Config{Seed: 51, Scale: 0.004})
+	b := Generate(Config{Seed: 51, Scale: 0.004, LearningGamma: 0})
+	if a.Store.Len() != b.Store.Len() {
+		t.Fatal("learning off should be the default path")
+	}
+	for i := 0; i < a.Store.Len(); i += 1009 {
+		if a.Store.Row(i) != b.Store.Row(i) {
+			t.Fatal("γ=0 changed the dataset")
+		}
+	}
+}
+
+// TestLearningSpeedsUpExperiencedWorkers: with learning on, a worker's
+// later instances are faster than their early ones, controlling for task
+// type via the per-batch median normalization.
+func TestLearningSpeedsUpExperiencedWorkers(t *testing.T) {
+	d := Generate(Config{Seed: 52, Scale: 0.01, LearningGamma: 0.25})
+	st := d.Store
+	starts := st.Starts()
+	ends := st.Ends()
+
+	// Per-batch median duration normalizes away task heterogeneity.
+	batchMedian := make([]float64, st.NumBatches())
+	for b := 0; b < st.NumBatches(); b++ {
+		lo, hi := st.BatchRange(uint32(b))
+		if lo == hi {
+			continue
+		}
+		durs := make([]float64, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			durs = append(durs, float64(ends[i]-starts[i]))
+		}
+		batchMedian[b] = stats.Median(durs)
+	}
+
+	var earlyRel, lateRel []float64
+	st.EachWorker(func(id uint32, rows []int32) {
+		if len(rows) < 200 {
+			return
+		}
+		// rows are in generation (chronological batch) order.
+		take := func(idx []int32, out *[]float64) {
+			for _, r := range idx {
+				if bm := batchMedian[st.Batches()[r]]; bm > 0 {
+					*out = append(*out, float64(ends[r]-starts[r])/bm)
+				}
+			}
+		}
+		take(rows[:50], &earlyRel)
+		take(rows[len(rows)-50:], &lateRel)
+	})
+	if len(earlyRel) == 0 {
+		t.Skip("no high-volume workers at this scale")
+	}
+	early := stats.Median(earlyRel)
+	late := stats.Median(lateRel)
+	if late >= early*0.97 {
+		t.Errorf("experienced work not faster: early rel %.3f vs late rel %.3f", early, late)
+	}
+}
+
+// TestLearningSupportsItemsHypothesis: Section 4.5 hypothesizes that
+// larger batches are completed faster partly because "workers get better
+// with experience". With learning enabled, that mechanism strengthens the
+// #items→task-time effect relative to the no-learning dataset.
+func TestLearningSupportsItemsHypothesis(t *testing.T) {
+	base := Generate(Config{Seed: 53, Scale: 0.01})
+	learn := Generate(Config{Seed: 53, Scale: 0.01, LearningGamma: 0.25})
+	ratio := func(d *Dataset) float64 {
+		// Mean duration of instances in huge batches vs small ones.
+		st := d.Store
+		starts, ends := st.Starts(), st.Ends()
+		var bigSum, bigN, smallSum, smallN float64
+		for b := 0; b < st.NumBatches(); b++ {
+			lo, hi := st.BatchRange(uint32(b))
+			n := hi - lo
+			if n == 0 {
+				continue
+			}
+			var sum float64
+			for i := lo; i < hi; i++ {
+				sum += float64(ends[i] - starts[i])
+			}
+			if n >= 400 {
+				bigSum += sum
+				bigN += float64(n)
+			} else if n <= 40 {
+				smallSum += sum
+				smallN += float64(n)
+			}
+		}
+		if bigN == 0 || smallN == 0 {
+			return 1
+		}
+		return (bigSum / bigN) / (smallSum / smallN)
+	}
+	if rl, rb := ratio(learn), ratio(base); rl >= rb {
+		t.Errorf("learning should deepen the big-batch speedup: base %.3f, learning %.3f", rb, rl)
+	}
+}

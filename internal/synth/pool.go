@@ -1,0 +1,228 @@
+package synth
+
+import (
+	"crowdscope/internal/model"
+	"crowdscope/internal/rng"
+)
+
+// weightedPool samples workers proportionally to a mutable weight vector
+// using a Fenwick (binary indexed) tree over prefix sums: O(log n) draws
+// and O(log n) weight updates.
+type weightedPool struct {
+	ids  []uint32  // worker IDs, parallel to tree leaves
+	tree []float64 // Fenwick prefix-sum tree, 1-based
+	wts  []float64 // current leaf weights
+}
+
+// newWeightedPool builds a pool over ids with the given initial weights.
+func newWeightedPool(ids []uint32, weights []float64) *weightedPool {
+	n := len(ids)
+	p := &weightedPool{
+		ids:  ids,
+		tree: make([]float64, n+1),
+		wts:  make([]float64, n),
+	}
+	copy(p.wts, weights)
+	// O(n) Fenwick construction.
+	for i := 1; i <= n; i++ {
+		p.tree[i] += weights[i-1]
+		if j := i + (i & -i); j <= n {
+			p.tree[j] += p.tree[i]
+		}
+	}
+	return p
+}
+
+// total returns the sum of current weights.
+func (p *weightedPool) total() float64 {
+	t := 0.0
+	for i := len(p.tree) - 1; i > 0; i -= i & -i {
+		t += p.tree[i]
+	}
+	return t
+}
+
+// add changes leaf i's weight by delta.
+func (p *weightedPool) add(i int, delta float64) {
+	p.wts[i] += delta
+	for j := i + 1; j < len(p.tree); j += j & -j {
+		p.tree[j] += delta
+	}
+}
+
+// set forces leaf i's weight to w.
+func (p *weightedPool) set(i int, w float64) {
+	if d := w - p.wts[i]; d != 0 {
+		p.add(i, d)
+	}
+}
+
+// sample draws a leaf index proportionally to weight, or -1 when the pool
+// is exhausted.
+func (p *weightedPool) sample(r *rng.Rand) int {
+	t := p.total()
+	if t <= 1e-12 {
+		return -1
+	}
+	u := r.Float64() * t
+	// Descend the implicit Fenwick tree.
+	idx := 0
+	mask := 1
+	for mask<<1 <= len(p.tree)-1 {
+		mask <<= 1
+	}
+	for ; mask > 0; mask >>= 1 {
+		next := idx + mask
+		if next < len(p.tree) && p.tree[next] < u {
+			u -= p.tree[next]
+			idx = next
+		}
+	}
+	if idx >= len(p.ids) {
+		idx = len(p.ids) - 1
+	}
+	return idx
+}
+
+// size returns the number of leaves.
+func (p *weightedPool) size() int { return len(p.ids) }
+
+// dayPools maintains one lazily built weightedPool per day over the
+// workers whose activity window covers that day. Worker quota is global
+// (the `remaining` array); pools cache stale copies and refresh leaves
+// lazily on draw, which keeps cross-day quota accounting correct without
+// rebuilding pools.
+type dayPools struct {
+	byDay     [][]uint32
+	pools     []*weightedPool
+	remaining []float64
+}
+
+// newDayPools indexes workers by day of their activity window and installs
+// per-worker quotas.
+func newDayPools(workers []model.Worker, quota []float64) *dayPools {
+	dp := &dayPools{
+		byDay:     make([][]uint32, model.NumDays),
+		pools:     make([]*weightedPool, model.NumDays),
+		remaining: append([]float64(nil), quota...),
+	}
+	for i := range workers {
+		w := &workers[i]
+		last := w.LastDay
+		if last >= int32(model.NumDays) {
+			last = int32(model.NumDays) - 1
+		}
+		for d := w.FirstDay; d <= last; d++ {
+			dp.byDay[d] = append(dp.byDay[d], w.ID)
+		}
+	}
+	return dp
+}
+
+// poolFor returns (building if needed) the pool for a day; nil when no
+// worker is eligible. Out-of-range days are clamped into the span.
+func (dp *dayPools) poolFor(day int32) *weightedPool {
+	if day < 0 {
+		day = 0
+	}
+	if int(day) >= len(dp.pools) {
+		day = int32(len(dp.pools)) - 1
+	}
+	if dp.pools[day] == nil {
+		ids := dp.byDay[day]
+		if len(ids) == 0 {
+			return nil
+		}
+		weights := make([]float64, len(ids))
+		for i, id := range ids {
+			weights[i] = dp.remaining[id]
+		}
+		dp.pools[day] = newWeightedPool(ids, weights)
+	}
+	return dp.pools[day]
+}
+
+// drawOne samples a worker active on the given day, spending `spend` from
+// their quota. Workers in `exclude` are skipped (an item never gets two
+// answers from one worker). Stale leaf weights (from quota spent via other
+// days' pools) are refreshed on contact and redrawn. Returns the worker ID
+// and true, or false when no eligible worker exists.
+func (dp *dayPools) drawOne(r *rng.Rand, day int32, exclude []uint32, spend float64) (uint32, bool) {
+	pool := dp.poolFor(day)
+	if pool == nil {
+		return 0, false
+	}
+	const maxTries = 48
+	for try := 0; try < maxTries; try++ {
+		leaf := pool.sample(r)
+		if leaf < 0 {
+			break
+		}
+		id := pool.ids[leaf]
+		rem := dp.remaining[id]
+		if pool.wts[leaf] != rem {
+			// Stale cache: refresh the leaf and redraw.
+			pool.set(leaf, rem)
+			continue
+		}
+		if contains(exclude, id) {
+			// Temporarily unavailable for this item; try another draw.
+			// With redundancy ≤7 and pools of thousands, collisions are
+			// rare; a bounded uniform fallback handles tiny pools.
+			if try > 8 {
+				if alt, ok := uniformFallback(r, pool, exclude); ok {
+					dp.spendQuota(alt, spend)
+					return alt, true
+				}
+				return 0, false
+			}
+			continue
+		}
+		dp.spendQuota(id, spend)
+		pool.set(leaf, dp.remaining[id])
+		return id, true
+	}
+	// Quota exhausted everywhere: uniform fallback over the day's pool.
+	if alt, ok := uniformFallback(r, pool, exclude); ok {
+		dp.spendQuota(alt, spend)
+		return alt, true
+	}
+	return 0, false
+}
+
+func (dp *dayPools) spendQuota(id uint32, spend float64) {
+	nr := dp.remaining[id] - spend
+	if nr < 0 {
+		nr = 0
+	}
+	dp.remaining[id] = nr
+}
+
+// uniformFallback picks any worker in the pool not in exclude.
+func uniformFallback(r *rng.Rand, pool *weightedPool, exclude []uint32) (uint32, bool) {
+	n := pool.size()
+	if n == 0 {
+		return 0, false
+	}
+	for try := 0; try < 16; try++ {
+		id := pool.ids[r.Intn(n)]
+		if !contains(exclude, id) {
+			return id, true
+		}
+	}
+	for _, id := range pool.ids {
+		if !contains(exclude, id) {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+func contains(xs []uint32, v uint32) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,183 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"crowdscope/internal/model"
+	"crowdscope/internal/rng"
+)
+
+func TestWeightedPoolSampleProportional(t *testing.T) {
+	r := rng.New(61)
+	p := newWeightedPool([]uint32{10, 11, 12}, []float64{1, 2, 7})
+	counts := map[int]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[p.sample(r)]++
+	}
+	for i, want := range []float64{0.1, 0.2, 0.7} {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("leaf %d frequency %.3f, want %.3f", i, got, want)
+		}
+	}
+}
+
+func TestWeightedPoolTotalAndSet(t *testing.T) {
+	p := newWeightedPool([]uint32{1, 2, 3, 4}, []float64{1, 2, 3, 4})
+	if got := p.total(); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("total = %v", got)
+	}
+	p.set(2, 0)
+	if got := p.total(); math.Abs(got-7) > 1e-9 {
+		t.Fatalf("total after set = %v", got)
+	}
+	p.add(0, 5)
+	if got := p.total(); math.Abs(got-12) > 1e-9 {
+		t.Fatalf("total after add = %v", got)
+	}
+	if p.wts[0] != 6 {
+		t.Fatalf("leaf weight = %v", p.wts[0])
+	}
+}
+
+func TestWeightedPoolExhausted(t *testing.T) {
+	r := rng.New(62)
+	p := newWeightedPool([]uint32{1, 2}, []float64{0, 0})
+	if got := p.sample(r); got != -1 {
+		t.Fatalf("exhausted pool sampled leaf %d", got)
+	}
+}
+
+func TestWeightedPoolZeroNeverSampled(t *testing.T) {
+	r := rng.New(63)
+	p := newWeightedPool([]uint32{1, 2, 3}, []float64{5, 0, 5})
+	for i := 0; i < 10000; i++ {
+		if p.sample(r) == 1 {
+			t.Fatal("zero-weight leaf sampled")
+		}
+	}
+}
+
+func testWorkers() []model.Worker {
+	return []model.Worker{
+		{ID: 0, FirstDay: 0, LastDay: 0},   // one-day worker on day 0
+		{ID: 1, FirstDay: 0, LastDay: 100}, // long window
+		{ID: 2, FirstDay: 50, LastDay: 60}, // mid window
+		{ID: 3, FirstDay: 200, LastDay: 300},
+	}
+}
+
+func TestDayPoolsEligibility(t *testing.T) {
+	dp := newDayPools(testWorkers(), []float64{1, 1, 1, 1})
+	r := rng.New(64)
+	// Day 0: workers 0 and 1 eligible.
+	seen := map[uint32]bool{}
+	for i := 0; i < 200; i++ {
+		id, ok := dp.drawOne(r, 0, nil, 0)
+		if !ok {
+			t.Fatal("draw failed on populated day")
+		}
+		seen[id] = true
+	}
+	if !seen[0] || !seen[1] || seen[2] || seen[3] {
+		t.Errorf("day 0 drew %v", seen)
+	}
+	// Day 55: workers 1 and 2.
+	seen = map[uint32]bool{}
+	for i := 0; i < 200; i++ {
+		id, _ := dp.drawOne(r, 55, nil, 0)
+		seen[id] = true
+	}
+	if seen[0] || !seen[1] || !seen[2] {
+		t.Errorf("day 55 drew %v", seen)
+	}
+}
+
+func TestDayPoolsEmptyDay(t *testing.T) {
+	dp := newDayPools(testWorkers(), []float64{1, 1, 1, 1})
+	r := rng.New(65)
+	if _, ok := dp.drawOne(r, 150, nil, 0); ok {
+		t.Fatal("draw succeeded on empty day")
+	}
+}
+
+func TestDayPoolsExclusion(t *testing.T) {
+	dp := newDayPools(testWorkers(), []float64{1, 1, 1, 1})
+	r := rng.New(66)
+	for i := 0; i < 100; i++ {
+		id, ok := dp.drawOne(r, 0, []uint32{0}, 0)
+		if !ok {
+			t.Fatal("draw failed with exclusion")
+		}
+		if id == 0 {
+			t.Fatal("excluded worker drawn")
+		}
+	}
+	// Excluding everyone leaves nothing.
+	if _, ok := dp.drawOne(r, 0, []uint32{0, 1}, 0); ok {
+		t.Fatal("draw succeeded with all excluded")
+	}
+}
+
+func TestDayPoolsQuotaSpending(t *testing.T) {
+	workers := []model.Worker{
+		{ID: 0, FirstDay: 0, LastDay: 10},
+		{ID: 1, FirstDay: 0, LastDay: 10},
+	}
+	dp := newDayPools(workers, []float64{10, 0.0001})
+	r := rng.New(67)
+	// Drain worker 0's quota with spend 1 over ~10 draws; afterwards the
+	// low-quota worker (or fallback) must appear.
+	counts := map[uint32]int{}
+	for i := 0; i < 40; i++ {
+		id, ok := dp.drawOne(r, 5, nil, 1)
+		if !ok {
+			t.Fatal("draw failed")
+		}
+		counts[id]++
+	}
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Errorf("quota spending did not rebalance: %v", counts)
+	}
+	if dp.remaining[0] != 0 {
+		t.Errorf("worker 0 quota = %v, want 0", dp.remaining[0])
+	}
+}
+
+func TestDayPoolsCrossDayQuota(t *testing.T) {
+	// Quota spent through one day's pool must be respected by another's.
+	workers := []model.Worker{
+		{ID: 0, FirstDay: 0, LastDay: 20},
+		{ID: 1, FirstDay: 0, LastDay: 20},
+	}
+	dp := newDayPools(workers, []float64{5, 5})
+	r := rng.New(68)
+	// Build pools for two days.
+	_, _ = dp.drawOne(r, 3, nil, 0)
+	_, _ = dp.drawOne(r, 7, nil, 0)
+	// Drain worker 0 entirely via day 3.
+	dp.remaining[0] = 0
+	counts := map[uint32]int{}
+	for i := 0; i < 300; i++ {
+		id, _ := dp.drawOne(r, 7, nil, 0)
+		counts[id]++
+	}
+	// Worker 0's stale day-7 leaf must be refreshed; almost all draws go
+	// to worker 1.
+	if counts[0] > 3 {
+		t.Errorf("stale quota leaked %d draws to drained worker", counts[0])
+	}
+}
+
+func TestDayPoolsClampsOutOfRange(t *testing.T) {
+	dp := newDayPools(testWorkers(), []float64{1, 1, 1, 1})
+	r := rng.New(69)
+	if _, ok := dp.drawOne(r, -5, nil, 0); !ok {
+		t.Error("negative day should clamp to day 0's pool")
+	}
+	// Far-future day clamps to the last day (empty here → no draw).
+	_, ok := dp.drawOne(r, 10_000_000, nil, 0)
+	_ = ok // must not panic
+}

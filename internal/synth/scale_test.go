@@ -1,0 +1,64 @@
+package synth
+
+import (
+	"testing"
+
+	"crowdscope/internal/stats"
+)
+
+// TestScaleInvariance checks that the headline shapes hold at a 5x larger
+// scale than the default test fixture: the calibration must not be an
+// artifact of one scale point.
+func TestScaleInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("larger-scale generation")
+	}
+	d := Generate(Config{Seed: 2024, Scale: 0.1})
+
+	// Volume scales linearly with the scale factor (within the floor
+	// inflation bound).
+	want := InstancesFull * 0.1
+	if n := float64(d.Store.Len()); n < want*0.75 || n > want*1.35 {
+		t.Errorf("instances at scale 0.1 = %.0f, want ~%.0f", n, want)
+	}
+
+	// Inventory counts must be scale-free.
+	if len(d.Batches) < 40000 || len(d.Batches) > 75000 {
+		t.Errorf("batches = %d", len(d.Batches))
+	}
+	if got := len(d.SampledBatchIDs()); got != SampledBatchesFull {
+		t.Errorf("sampled = %d", got)
+	}
+
+	// Worker population scales; engagement shape holds.
+	obs := d.ObservedWorkers()
+	if len(obs) < 3000 {
+		t.Fatalf("observed workers = %d", len(obs))
+	}
+	oneDay := 0
+	for _, w := range obs {
+		if w.Lifetime() == 1 {
+			oneDay++
+		}
+	}
+	if f := float64(oneDay) / float64(len(obs)); f < 0.38 || f > 0.68 {
+		t.Errorf("one-day share at scale 0.1 = %.2f", f)
+	}
+
+	// Workload skew holds.
+	counts := map[uint32]float64{}
+	for _, w := range d.Store.Workers() {
+		counts[w]++
+	}
+	loads := make([]float64, 0, len(counts))
+	for _, c := range counts {
+		loads = append(loads, c)
+	}
+	if share := stats.TopShare(loads, 0.10); share < 0.72 {
+		t.Errorf("top-10%% share at scale 0.1 = %.2f", share)
+	}
+
+	if err := d.Store.Validate(); err != nil {
+		t.Fatalf("store invalid at scale 0.1: %v", err)
+	}
+}

@@ -1,0 +1,149 @@
+package synth
+
+import (
+	"crowdscope/internal/model"
+	"crowdscope/internal/rng"
+)
+
+// Worker-population calibration (Section 5).
+const (
+	// NumWorkersFull is the full-scale worker count (~69k over the span).
+	NumWorkersFull = 69000
+
+	// Engagement class mix: 52.7% of workers are active on a single day;
+	// only ~15% return repeatedly (Section 5.3).
+	oneDayFrac = 0.62
+	casualFrac = 0.23
+	activeFrac = 0.125
+	superFrac  = 0.025
+
+	// workloadAlpha shapes the per-worker task-propensity Pareto tail so
+	// the top-10% of workers perform >80% of tasks (Section 5.2).
+	workloadAlpha = 1.05
+)
+
+// classLoadMult is the task-propensity multiplier per engagement class;
+// one-day workers contribute ~2.4% of tasks despite being a majority of
+// the workforce, while the active core completes >80%.
+var classLoadMult = [model.NumEngagementClasses]float64{
+	model.ClassOneDay: 0.35,
+	model.ClassCasual: 0.35,
+	model.ClassActive: 4.5,
+	model.ClassSuper:  60.0,
+}
+
+// BuildWorkers generates n workers across the given sources. Each worker
+// gets a source (by the calibrated source shares), a country (source bias
+// or the global mix), an engagement class with an activity window, a
+// latent trust level around the source mean, a speed factor around the
+// source's relative task time, and an error rate tied to trust.
+func BuildWorkers(r *rng.Rand, sources []model.Source, n int) []model.Worker {
+	srcPick := rng.NewCategorical(sourceWorkerWeights())
+	countryPick := rng.NewCategorical(countryWeights())
+	classPick := rng.NewCategorical([]float64{oneDayFrac, casualFrac, activeFrac, superFrac})
+
+	out := make([]model.Worker, n)
+	for i := range out {
+		w := &out[i]
+		w.ID = uint32(i)
+		w.Source = uint16(srcPick.Sample(r))
+		src := sources[w.Source]
+
+		if src.CountryBias >= 0 && r.Bool(0.85) {
+			w.Country = uint16(src.CountryBias)
+		} else {
+			w.Country = uint16(countryPick.Sample(r))
+		}
+
+		w.Class = model.EngagementClass(classPick.Sample(r))
+		w.FirstDay, w.LastDay = sampleActivityWindow(r, w.Class)
+
+		// Latent accuracy comes from the source's quality level; the
+		// marketplace never observes it directly. What it records is the
+		// trust score earned on gold test questions (Section 2.3), which
+		// the gold engine below estimates from that latent accuracy.
+		latentAcc := clampFloat(r.BetaWithMean(src.TrustMean, 90), 0.02, 0.999)
+		w.TrustMean = goldTrustScore(r, latentAcc)
+		w.Speed = clampFloat(r.LogNormalMedian(src.RelTaskTime, 0.35), 0.2, 40)
+		// Error rate: anti-correlated with latent accuracy, floored so
+		// even good workers occasionally disagree.
+		w.ErrRate = clampFloat(0.9*(1-latentAcc)+0.02*r.Float64(), 0.005, 0.6)
+	}
+	return out
+}
+
+// goldQuestions is the number of test questions the marketplace
+// administers before admitting a worker to real tasks (Section 2.3).
+const goldQuestions = 40
+
+// goldTrustScore simulates the marketplace's test-question engine: the
+// worker answers gold questions whose truth is known, each correctly with
+// their latent accuracy, and the trust score is the Laplace-smoothed
+// fraction correct. Trust is therefore a noisy, mechanically derived
+// estimate of accuracy — exactly the proxy relationship the paper
+// describes.
+func goldTrustScore(r *rng.Rand, latentAcc float64) float64 {
+	correct := 0
+	for q := 0; q < goldQuestions; q++ {
+		if r.Bool(latentAcc) {
+			correct++
+		}
+	}
+	return float64(correct+1) / float64(goldQuestions+2)
+}
+
+// sampleActivityWindow draws the [first, last] day window within which a
+// worker may take tasks. Windows skew into the post-2015 boom (when most
+// task supply existed), and lengths follow the class: one-day workers have
+// a single day, supers span hundreds of days (Figure 30a shows lifetimes
+// past 1,200 days).
+func sampleActivityWindow(r *rng.Rand, class model.EngagementClass) (first, last int32) {
+	total := int32(model.NumDays)
+	postBoomDay := model.PostBoomWeek * 7
+
+	var span int32
+	switch class {
+	case model.ClassOneDay:
+		span = 1
+	case model.ClassCasual:
+		span = 2 + int32(r.LogNormalMedian(28, 0.9))
+	case model.ClassActive:
+		span = 60 + int32(r.LogNormalMedian(160, 0.7))
+	case model.ClassSuper:
+		span = 250 + int32(r.LogNormalMedian(500, 0.5))
+	}
+	if span > total {
+		span = total
+	}
+
+	// Start day: mostly post-boom, some early adopters.
+	var start int32
+	if r.Bool(0.25) {
+		start = int32(r.Intn(int(postBoomDay)))
+	} else {
+		start = postBoomDay + int32(r.Intn(int(total-postBoomDay)))
+	}
+	if start+span > total {
+		start = total - span
+		if start < 0 {
+			start = 0
+		}
+	}
+	return start, start + span - 1
+}
+
+// workloadWeights returns the per-worker task-propensity weights used by
+// the assignment pools: class multiplier × source engagement multiplier ×
+// a Pareto individual factor. The resulting allocation is scale-free and
+// produces the rank-size workload curve of Figure 29a.
+func workloadWeights(r *rng.Rand, workers []model.Worker) []float64 {
+	w := make([]float64, len(workers))
+	for i := range workers {
+		indiv := r.Pareto(1, workloadAlpha)
+		if indiv > 500 {
+			indiv = 500
+		}
+		w[i] = classLoadMult[workers[i].Class] * loadMultiplier(int(workers[i].Source)) * indiv
+	}
+	return w
+}

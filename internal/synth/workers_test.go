@@ -1,0 +1,113 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"crowdscope/internal/model"
+	"crowdscope/internal/rng"
+	"crowdscope/internal/stats"
+)
+
+func TestGoldTrustScoreTracksAccuracy(t *testing.T) {
+	r := rng.New(121)
+	for _, acc := range []float64{0.5, 0.75, 0.9, 0.99} {
+		var scores []float64
+		for trial := 0; trial < 400; trial++ {
+			scores = append(scores, goldTrustScore(r, acc))
+		}
+		mean := stats.Mean(scores)
+		if math.Abs(mean-acc) > 0.04 {
+			t.Errorf("gold trust mean for acc %v = %v", acc, mean)
+		}
+		// Binomial noise with 40 questions: sd ≈ sqrt(p(1-p)/40).
+		sd := stats.StdDev(scores)
+		want := math.Sqrt(acc * (1 - acc) / goldQuestions)
+		if sd > want*1.6+0.01 {
+			t.Errorf("gold trust sd for acc %v = %v, want ~%v", acc, sd, want)
+		}
+	}
+}
+
+func TestGoldTrustScoreBounded(t *testing.T) {
+	r := rng.New(122)
+	for i := 0; i < 200; i++ {
+		s := goldTrustScore(r, r.Float64())
+		if s <= 0 || s >= 1 {
+			t.Fatalf("trust score %v out of (0,1)", s)
+		}
+	}
+}
+
+func TestBuildWorkersInvariant(t *testing.T) {
+	r := rng.New(123)
+	srcs := BuildSources()
+	ws := BuildWorkers(r, srcs, 2000)
+	classes := map[model.EngagementClass]int{}
+	for i := range ws {
+		w := &ws[i]
+		if int(w.Source) >= len(srcs) {
+			t.Fatalf("worker %d has source %d", i, w.Source)
+		}
+		if int(w.Country) >= NumCountries {
+			t.Fatalf("worker %d has country %d", i, w.Country)
+		}
+		if w.TrustMean <= 0 || w.TrustMean >= 1 {
+			t.Fatalf("worker %d trust %v", i, w.TrustMean)
+		}
+		if w.Speed <= 0 {
+			t.Fatalf("worker %d speed %v", i, w.Speed)
+		}
+		if w.ErrRate < 0.004 || w.ErrRate > 0.61 {
+			t.Fatalf("worker %d error rate %v", i, w.ErrRate)
+		}
+		if w.FirstDay < 0 || w.LastDay < w.FirstDay || w.LastDay >= int32(model.NumDays) {
+			t.Fatalf("worker %d window [%d,%d]", i, w.FirstDay, w.LastDay)
+		}
+		classes[w.Class]++
+		if w.Class == model.ClassOneDay && w.Lifetime() != 1 {
+			t.Fatalf("one-day worker %d has window %d days", i, w.Lifetime())
+		}
+	}
+	// Class mix near the configured fractions.
+	n := float64(len(ws))
+	if f := float64(classes[model.ClassOneDay]) / n; math.Abs(f-oneDayFrac) > 0.05 {
+		t.Errorf("one-day class share = %.3f, want %.3f", f, oneDayFrac)
+	}
+	if f := float64(classes[model.ClassSuper]) / n; math.Abs(f-superFrac) > 0.02 {
+		t.Errorf("super class share = %.3f, want %.3f", f, superFrac)
+	}
+}
+
+func TestWorkloadWeightsSkew(t *testing.T) {
+	r := rng.New(124)
+	srcs := BuildSources()
+	ws := BuildWorkers(r, srcs, 3000)
+	weights := workloadWeights(r, ws)
+	if len(weights) != len(ws) {
+		t.Fatal("weights length mismatch")
+	}
+	for i, w := range weights {
+		if w <= 0 {
+			t.Fatalf("non-positive weight at %d", i)
+		}
+	}
+	// Supers must dominate one-day workers by orders of magnitude.
+	var superMean, oneDayMean float64
+	var ns, no int
+	for i := range ws {
+		switch ws[i].Class {
+		case model.ClassSuper:
+			superMean += weights[i]
+			ns++
+		case model.ClassOneDay:
+			oneDayMean += weights[i]
+			no++
+		}
+	}
+	superMean /= float64(ns)
+	oneDayMean /= float64(no)
+	if superMean < oneDayMean*20 {
+		t.Errorf("super/one-day weight ratio = %.1f, want large", superMean/oneDayMean)
+	}
+}
