@@ -83,6 +83,30 @@ func BenchmarkSec49Prediction(b *testing.B)           { benchExperiment(b, "sec4
 
 // Pipeline-stage benchmarks.
 
+// BenchmarkGenerate compares the serial reference path (Parallelism: 1)
+// against the segmented parallel pipeline (Parallelism: 0 = GOMAXPROCS)
+// at the default 2% scale. The two paths produce row-for-row identical
+// stores (see synth's pipeline property test); only wall clock differs.
+func BenchmarkGenerate(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		par  int
+	}{
+		{"serial", 1},
+		{"parallel", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ds := synth.Generate(synth.Config{Seed: 1701, Scale: 0.02, Parallelism: bc.par})
+				if ds.Store.Len() == 0 {
+					b.Fatal("empty dataset")
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkGenerateDataset(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ds := synth.Generate(synth.Config{Seed: uint64(i + 1), Scale: 0.002})

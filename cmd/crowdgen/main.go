@@ -22,11 +22,12 @@ import (
 func main() {
 	seed := flag.Uint64("seed", 1701, "generation seed")
 	scale := flag.Float64("scale", 0.02, "instance-volume scale in (0,1]; 1.0 ≈ 27M instances")
+	workers := flag.Int("workers", 0, "generation pipeline shards (0 = GOMAXPROCS, 1 = serial); never changes the data")
 	out := flag.String("out", "marketplace.crow", "snapshot output path")
 	flag.Parse()
 
 	t0 := time.Now()
-	ds := synth.Generate(synth.Config{Seed: *seed, Scale: *scale})
+	ds := synth.Generate(synth.Config{Seed: *seed, Scale: *scale, Parallelism: *workers})
 	genDur := time.Since(t0)
 
 	f, err := os.Create(*out)
@@ -44,7 +45,7 @@ func main() {
 	fmt.Printf("  batches:      %d (%d sampled)\n", len(ds.Batches), len(ds.SampledBatchIDs()))
 	fmt.Printf("  task types:   %d\n", len(ds.TaskTypes))
 	fmt.Printf("  workers:      %d observed (%d generated)\n", len(obs), len(ds.Workers))
-	fmt.Printf("  instances:    %d\n", ds.Store.Len())
+	fmt.Printf("  instances:    %d in %d segments\n", ds.Store.Len(), len(ds.Store.Segments()))
 	fmt.Printf("  snapshot:     %s (%.1f MB, %.1f bytes/row)\n", *out, float64(n)/1e6, float64(n)/float64(ds.Store.Len()))
 }
 

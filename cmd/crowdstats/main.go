@@ -27,6 +27,7 @@ import (
 func main() {
 	seed := flag.Uint64("seed", 1701, "generation seed")
 	scale := flag.Float64("scale", 0.02, "instance-volume scale in (0,1]")
+	workers := flag.Int("workers", 0, "generation pipeline shards (0 = GOMAXPROCS, 1 = serial); never changes the data")
 	top := flag.Int("top", 15, "rows to show in rollups")
 	flag.Parse()
 
@@ -40,7 +41,7 @@ func main() {
 		return
 	}
 
-	ds := synth.Generate(synth.Config{Seed: *seed, Scale: *scale})
+	ds := synth.Generate(synth.Config{Seed: *seed, Scale: *scale, Parallelism: *workers})
 
 	switch cmd {
 	case "summary":
@@ -111,6 +112,7 @@ func snapshotCmd(path string) {
 	tbl.AddRow("rows", st.Len())
 	tbl.AddRow("bytes/row", float64(n)/float64(st.Len()))
 	tbl.AddRow("batches with rows", nonEmpty)
+	tbl.AddRow("segments", len(st.Segments()))
 	tbl.AddRow("distinct workers", st.DistinctWorkers())
 	tbl.AddRow("first start week", model.WeekOfUnix(minS))
 	tbl.AddRow("last start week", model.WeekOfUnix(maxS))
@@ -125,6 +127,7 @@ func summary(ds *synth.Dataset) {
 	tbl.AddRow("sampled batches", len(ds.SampledBatchIDs()))
 	tbl.AddRow("distinct task types", len(ds.TaskTypes))
 	tbl.AddRow("task instances (materialized)", ds.Store.Len())
+	tbl.AddRow("store segments", len(ds.Store.Segments()))
 	tbl.AddRow("workers observed", len(obs))
 	tbl.AddRow("labor sources", len(ds.Sources))
 	tbl.AddRow("countries", len(ds.Countries))

@@ -1,0 +1,3 @@
+module crowdscope
+
+go 1.21

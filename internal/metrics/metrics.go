@@ -115,15 +115,20 @@ func disagreementCounts(items []uint32, answers []uint32) (agree, total int) {
 }
 
 // ComputeAll computes metrics for every batch with rows in the store.
-// The result is indexed by batch ID.
+// The result is indexed by batch ID. Batches are processed in parallel
+// chunks aligned to the store's segment layout; each chunk writes a
+// disjoint slice of the result.
 func ComputeAll(st *store.Store) []Batch {
 	out := make([]Batch, st.NumBatches())
-	for b := range out {
-		lo, hi := st.BatchRange(uint32(b))
-		if lo < hi {
-			out[b] = ComputeBatch(st, uint32(b))
+	store.ParallelScanBatches(st, 0, func(batchLo, batchHi uint32) struct{} {
+		for b := batchLo; b < batchHi; b++ {
+			lo, hi := st.BatchRange(b)
+			if lo < hi {
+				out[b] = ComputeBatch(st, b)
+			}
 		}
-	}
+		return struct{}{}
+	})
 	return out
 }
 

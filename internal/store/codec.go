@@ -13,9 +13,15 @@ import (
 // Integer columns are varint-encoded with delta coding where values are
 // near-sorted (start/end times ascend with batch order), which compresses
 // the dominant columns several-fold versus fixed-width.
+//
+// Version 2 appends the segment table (count, then per segment the row
+// span and batch interval as uvarints) after the batch ranges, so a
+// reloaded store keeps the shard layout its parallel scans align to.
+// Version 1 snapshots (no table) still load, as a single implicit segment.
 const (
-	snapshotMagic   = 0x43524F57 // "CROW"
-	snapshotVersion = 1
+	snapshotMagic      = 0x43524F57 // "CROW"
+	snapshotVersion    = 2
+	snapshotVersionPre = 1 // pre-segment format, still readable
 )
 
 // WriteTo serializes the store. It implements io.WriterTo.
@@ -45,6 +51,13 @@ func (s *Store) WriteTo(w io.Writer) (int64, error) {
 		putUvarint(cw, uint64(rr.Lo))
 		putUvarint(cw, uint64(rr.Hi))
 	}
+	putUvarint(cw, uint64(len(s.segs)))
+	for _, si := range s.segs {
+		putUvarint(cw, uint64(si.RowLo))
+		putUvarint(cw, uint64(si.RowHi))
+		putUvarint(cw, uint64(si.BatchLo))
+		putUvarint(cw, uint64(si.BatchHi))
+	}
 	if err := cw.w.(*bufio.Writer).Flush(); err != nil {
 		return cw.n, err
 	}
@@ -64,7 +77,7 @@ func (s *Store) ReadFrom(r io.Reader) (int64, error) {
 	if magic != snapshotMagic {
 		return cr.n, errors.New("store: bad snapshot magic")
 	}
-	if version != snapshotVersion {
+	if version != snapshotVersion && version != snapshotVersionPre {
 		return cr.n, fmt.Errorf("store: unsupported snapshot version %d", version)
 	}
 	var err error
@@ -108,6 +121,34 @@ func (s *Store) ReadFrom(r io.Reader) (int64, error) {
 			return cr.n, err
 		}
 		s.ranges[i] = rowRange{Lo: int32(lo), Hi: int32(hi)}
+	}
+	s.segs = nil
+	if version >= snapshotVersion {
+		ns, err := getUvarint(cr)
+		if err != nil {
+			return cr.n, err
+		}
+		// Segments cover disjoint batch intervals, so their count is
+		// bounded by the batch count (empty segments are legal; rows are
+		// not a valid bound).
+		if ns > uint64(nb)+1 {
+			return cr.n, fmt.Errorf("store: snapshot claims %d segments for %d batches", ns, nb)
+		}
+		if ns > 0 {
+			s.segs = make([]SegmentInfo, ns)
+			for i := range s.segs {
+				var v [4]uint64
+				for j := range v {
+					if v[j], err = getUvarint(cr); err != nil {
+						return cr.n, err
+					}
+				}
+				s.segs[i] = SegmentInfo{
+					RowLo: int(v[0]), RowHi: int(v[1]),
+					BatchLo: uint32(v[2]), BatchHi: uint32(v[3]),
+				}
+			}
+		}
 	}
 	s.workerIndex = nil
 	return cr.n, nil

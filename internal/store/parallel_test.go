@@ -79,6 +79,95 @@ func TestParallelScanChunkOrder(t *testing.T) {
 	}
 }
 
+func TestParallelScanNonPositiveWorkers(t *testing.T) {
+	s := bigStore(1000)
+	for _, workers := range []int{0, -1, -42} {
+		parts := ParallelScan(s, workers, func(lo, hi int) int { return hi - lo })
+		total := 0
+		for _, p := range parts {
+			total += p
+		}
+		if total != s.Len() {
+			t.Errorf("workers=%d covered %d of %d rows", workers, total, s.Len())
+		}
+	}
+}
+
+func TestParallelScanEmptyAnyWorkers(t *testing.T) {
+	s := New(0)
+	for _, workers := range []int{-1, 0, 1, 8} {
+		if parts := ParallelScan(s, workers, func(lo, hi int) int { return hi - lo }); len(parts) != 0 {
+			t.Errorf("workers=%d: empty store produced %d parts", workers, len(parts))
+		}
+	}
+}
+
+func TestParallelScanSingleRow(t *testing.T) {
+	s := bigStore(1)
+	parts := ParallelScan(s, 8, func(lo, hi int) [2]int { return [2]int{lo, hi} })
+	if len(parts) != 1 || parts[0] != [2]int{0, 1} {
+		t.Errorf("single-row scan parts = %v", parts)
+	}
+}
+
+// TestParallelScanSegmented: chunking over an assembled store still covers
+// every row exactly once, in order, for worker counts below, at, and above
+// the segment count.
+func TestParallelScanSegmented(t *testing.T) {
+	segs := []*Segment{
+		buildSegment(t, 0, 10, 17),
+		buildSegment(t, 10, 12, 400),
+		buildSegment(t, 12, 30, 3),
+		buildSegment(t, 30, 31, 250),
+	}
+	s, err := Assemble(31, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 9, 100} {
+		parts := ParallelScan(s, workers, func(lo, hi int) [2]int { return [2]int{lo, hi} })
+		next := 0
+		for _, p := range parts {
+			if p[0] != next || p[1] <= p[0] {
+				t.Fatalf("workers=%d: chunk %v not contiguous at %d", workers, p, next)
+			}
+			next = p[1]
+		}
+		if next != s.Len() {
+			t.Fatalf("workers=%d covered %d of %d rows", workers, next, s.Len())
+		}
+	}
+}
+
+// TestParallelScanBatchesCovers: batch chunks partition the batch space
+// and never split one batch across two chunks.
+func TestParallelScanBatchesCovers(t *testing.T) {
+	segs := []*Segment{
+		buildSegment(t, 0, 8, 5),
+		buildSegment(t, 8, 20, 2),
+	}
+	s, err := Assemble(25, segs) // batches 20..24 empty
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 5, 50} {
+		parts := ParallelScanBatches(s, workers, func(lo, hi uint32) [2]uint32 { return [2]uint32{lo, hi} })
+		next := uint32(0)
+		for _, p := range parts {
+			if p[0] != next || p[1] <= p[0] {
+				t.Fatalf("workers=%d: batch chunk %v not contiguous at %d", workers, p, next)
+			}
+			next = p[1]
+		}
+		if next != uint32(s.NumBatches()) {
+			t.Fatalf("workers=%d covered %d of %d batches", workers, next, s.NumBatches())
+		}
+	}
+	if parts := ParallelScanBatches(New(0), 4, func(lo, hi uint32) int { return 0 }); len(parts) != 0 {
+		t.Errorf("empty store produced %d batch chunks", len(parts))
+	}
+}
+
 func BenchmarkParallelSum(b *testing.B) {
 	s := bigStore(2_000_000)
 	b.Run("serial", func(b *testing.B) {

@@ -29,6 +29,12 @@ type Store struct {
 	// no materialized instances have lo == hi.
 	ranges []rowRange
 
+	// segs records the segment layout when the store was produced by
+	// Assemble (or restored from a segmented snapshot). Direct mutation
+	// through BeginBatch/Append drops it: the store degrades gracefully to
+	// the monolithic view.
+	segs []SegmentInfo
+
 	workerIndex map[uint32][]int32 // lazy posting lists, built on demand
 }
 
@@ -57,6 +63,7 @@ func (s *Store) BeginBatch(batchID uint32) {
 	}
 	n := int32(len(s.start))
 	s.ranges[batchID] = rowRange{Lo: n, Hi: n}
+	s.segs = nil
 }
 
 // Append adds one instance row to the currently open batch.
@@ -71,6 +78,7 @@ func (s *Store) Append(in model.Instance) {
 	s.answer = append(s.answer, in.Answer)
 	s.ranges[in.Batch].Hi = int32(len(s.start))
 	s.workerIndex = nil
+	s.segs = nil
 }
 
 // Row materializes row i as an Instance.
@@ -164,10 +172,35 @@ func (s *Store) EachWorker(fn func(workerID uint32, rows []int32)) {
 	}
 }
 
+// workerIndexParallelMin is the row count above which the posting-list
+// build fans out across segments; below it a single pass is faster than
+// spawning goroutines and merging maps.
+const workerIndexParallelMin = 1 << 16
+
 func (s *Store) buildWorkerIndex() {
+	if s.Len() < workerIndexParallelMin {
+		idx := make(map[uint32][]int32)
+		for i, w := range s.worker {
+			idx[w] = append(idx[w], int32(i))
+		}
+		s.workerIndex = idx
+		return
+	}
+	// Segment-aware build: each chunk (aligned to segment boundaries where
+	// possible) builds its own postings; chunk-order merging preserves the
+	// ascending row order the analyses rely on.
+	parts := ParallelScan(s, 0, func(lo, hi int) map[uint32][]int32 {
+		m := make(map[uint32][]int32)
+		for i := lo; i < hi; i++ {
+			m[s.worker[i]] = append(m[s.worker[i]], int32(i))
+		}
+		return m
+	})
 	idx := make(map[uint32][]int32)
-	for i, w := range s.worker {
-		idx[w] = append(idx[w], int32(i))
+	for _, part := range parts {
+		for w, rows := range part {
+			idx[w] = append(idx[w], rows...)
+		}
 	}
 	s.workerIndex = idx
 }
@@ -194,6 +227,33 @@ func (s *Store) Validate() error {
 	for i := 0; i < n; i++ {
 		if s.end[i] < s.start[i] {
 			return fmt.Errorf("store: row %d ends before it starts", i)
+		}
+	}
+	// Segment layout invariants: row spans partition [0,n) contiguously,
+	// batch intervals ascend without overlap, and every batch range lies
+	// inside the row span of the segment covering its batch ID.
+	if len(s.segs) > 0 {
+		rowOff, batchOff := 0, uint32(0)
+		for i, si := range s.segs {
+			if si.RowLo != rowOff || si.RowHi < si.RowLo {
+				return fmt.Errorf("store: segment %d rows [%d,%d) not contiguous at offset %d", i, si.RowLo, si.RowHi, rowOff)
+			}
+			if si.BatchLo < batchOff || si.BatchHi < si.BatchLo || int(si.BatchHi) > len(s.ranges) {
+				return fmt.Errorf("store: segment %d batch interval [%d,%d) invalid", i, si.BatchLo, si.BatchHi)
+			}
+			for b := si.BatchLo; b < si.BatchHi; b++ {
+				rr := s.ranges[b]
+				if rr.Lo == rr.Hi {
+					continue
+				}
+				if int(rr.Lo) < si.RowLo || int(rr.Hi) > si.RowHi {
+					return fmt.Errorf("store: batch %d range [%d,%d) escapes segment %d rows [%d,%d)", b, rr.Lo, rr.Hi, i, si.RowLo, si.RowHi)
+				}
+			}
+			rowOff, batchOff = si.RowHi, si.BatchHi
+		}
+		if rowOff != n {
+			return fmt.Errorf("store: segments cover %d of %d rows", rowOff, n)
 		}
 	}
 	return nil

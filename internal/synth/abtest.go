@@ -7,7 +7,6 @@ import (
 	"crowdscope/internal/model"
 	"crowdscope/internal/rng"
 	"crowdscope/internal/stats"
-	"crowdscope/internal/store"
 )
 
 // The paper's Section 7 names full-fledged A/B testing as the way to turn
@@ -104,10 +103,6 @@ func RunAB(cfg ABConfig) ABResult {
 	ttA := mkType(0, cfg.DesignA)
 	ttB := mkType(1, cfg.DesignB)
 
-	st := store.New(2 * cfg.BatchesPerArm)
-	genRand := root.Split(3)
-	ansRand := root.Split(4)
-
 	totalDraws := float64(2 * cfg.BatchesPerArm * cfg.ItemsPerBatch * cfg.Redundancy)
 	totalQuota := 0.0
 	for _, q := range quota {
@@ -115,8 +110,12 @@ func RunAB(cfg ABConfig) ABResult {
 	}
 	spend := totalQuota / totalDraws
 
-	ds := &Dataset{Cfg: Config{Seed: cfg.Seed, Scale: 1}, Workers: workers}
-	var batchID uint32
+	// Issue the interleaved arm batches through the same two-phase
+	// pipeline the marketplace generator uses: parallel prep, sequential
+	// pool assignment, parallel segment render.
+	batchID := uint32(2 * cfg.BatchesPerArm)
+	stubs := make([]batchStub, 0, batchID)
+	sampled := make([]bool, 0, batchID)
 	for b := 0; b < cfg.BatchesPerArm; b++ {
 		for arm := 0; arm < 2; arm++ {
 			tt := &ttA
@@ -124,18 +123,28 @@ func RunAB(cfg ABConfig) ABResult {
 				tt = &ttB
 			}
 			day := startDay + int32(b)%spanDays
-			stub := batchStub{
+			stubs = append(stubs, batchStub{
 				taskType:      tt.ID,
 				day:           day,
 				createdSec:    model.DayUnix(day) + 8*3600,
 				declaredItems: int32(cfg.ItemsPerBatch),
 				redundancy:    int16(cfg.Redundancy),
 				pickupMedian:  tt.BasePickupSecs,
-			}
-			materializeBatch(genRand, ansRand, ds, st, pools, batchID, &stub, tt, spend)
-			batchID++
+			})
+			sampled = append(sampled, true)
 		}
 	}
+
+	ds := &Dataset{
+		Cfg:       Config{Seed: cfg.Seed, Scale: 1},
+		Workers:   workers,
+		TaskTypes: []model.TaskType{ttA, ttB},
+	}
+	seedBase := root.Split(3).Uint64()
+	assignRand := root.Split(4)
+	plans := prepPlans(ds, stubs, sampled, seedBase)
+	assignWorkers(assignRand, ds, pools, plans, spend)
+	st := renderPlans(ds, plans, len(stubs))
 
 	res := ABResult{A: ABArm{Design: cfg.DesignA}, B: ABArm{Design: cfg.DesignB}}
 	for id := uint32(0); id < batchID; id++ {

@@ -33,6 +33,12 @@ type Config struct {
 	// shrinks with accumulated experience as (1 + done/learningHalf)^-γ.
 	// Zero disables learning (the paper-faithful default).
 	LearningGamma float64
+	// Parallelism bounds the goroutine fan-out of the generation
+	// pipeline's parallel phases (batch prep and segment rendering).
+	// Zero or negative means GOMAXPROCS; 1 forces the serial reference
+	// path. The generated dataset is row-for-row identical for every
+	// value — parallelism only changes how fast it is produced.
+	Parallelism int
 }
 
 // learningHalf is the experience count at which the learning factor
@@ -156,10 +162,12 @@ func (d *Dataset) ObservedWorkers() []model.Worker {
 	return out
 }
 
-// materialize generates the instance rows for every sampled batch.
+// materialize generates the instance rows for every sampled batch through
+// the two-phase pipeline (see plan.go): a plan phase — parallel per-batch
+// prep plus the sequential worker-day pool assignment — and a parallel
+// render phase that fills per-shard segment builders and assembles them in
+// canonical batch order.
 func materialize(r *rng.Rand, d *Dataset, stubs []batchStub, sampled []bool) *store.Store {
-	st := store.New(len(stubs))
-
 	// Assignment pools: per-worker quota proportional to workload weight.
 	quota := workloadWeights(r.Split(11), d.Workers)
 	totalQuota := 0.0
@@ -170,19 +178,12 @@ func materialize(r *rng.Rand, d *Dataset, stubs []batchStub, sampled []bool) *st
 	spend := totalQuota / plannedDraws
 	pools := newDayPools(d.Workers, quota)
 
-	ansRand := r.Split(12)
-	genRand := r.Split(13)
+	assignRand := r.Split(12)
+	seedBase := r.Split(13).Uint64()
 
-	if d.Cfg.LearningGamma > 0 {
-		d.experience = make([]float64, len(d.Workers))
-	}
-	for i := range stubs {
-		if !sampled[i] {
-			continue
-		}
-		materializeBatch(genRand, ansRand, d, st, pools, uint32(i), &stubs[i], &d.TaskTypes[stubs[i].taskType], spend)
-	}
-	return st
+	plans := prepPlans(d, stubs, sampled, seedBase)
+	assignWorkers(assignRand, d, pools, plans, spend)
+	return renderPlans(d, plans, len(stubs))
 }
 
 // learningFactor returns the task-time multiplier for a worker's next
@@ -194,90 +195,6 @@ func (d *Dataset) learningFactor(wid uint32) float64 {
 	done := d.experience[wid]
 	d.experience[wid] = done + 1
 	return math.Pow(1+done/learningHalf, -d.Cfg.LearningGamma)
-}
-
-// materializeBatch writes the instance rows of one batch. Each instance
-// first draws its pickup delay (when a worker starts it), then picks a
-// worker who is active on that day — matching how real pickup works: a
-// batch created today may be picked up weeks later by whoever is around
-// then.
-func materializeBatch(r, ansRand *rng.Rand, d *Dataset, st *store.Store, pools *dayPools, batchID uint32, stb *batchStub, tt *model.TaskType, spend float64) {
-	st.BeginBatch(batchID)
-
-	physItems := int(math.Round(float64(stb.declaredItems) * d.Cfg.Scale))
-	// Small scales must not collapse batches to a single item: the
-	// disagreement metric needs enough answer pairs per batch to resolve
-	// values near 0.1, so keep at least minItemsFloor items (never more
-	// than declared). This slightly inflates volume below ~10% scale and
-	// is a no-op at full scale.
-	if floor := int(stb.declaredItems); floor > minItemsFloor {
-		floor = minItemsFloor
-		if physItems < floor {
-			physItems = floor
-		}
-	} else if physItems < floor {
-		physItems = floor
-	}
-	if physItems < 1 {
-		physItems = 1
-	}
-	red := int(stb.redundancy)
-
-	// Deviation probability solving E[pairwise disagreement] = Ambiguity
-	// under "answer truth w.p. 1-q, else uniform over 3 alternates".
-	q := deviationProb(tt.Ambiguity)
-
-	chosen := make([]uint32, 0, red)
-	for item := 0; item < physItems; item++ {
-		truth := answerToken(batchID, uint32(item), 0)
-		chosen = chosen[:0]
-		for rep := 0; rep < red; rep++ {
-			pickup := r.LogNormalMedian(stb.pickupMedian, 1.1)
-			start := stb.createdSec + int64(pickup)
-			// The observation window closes at the horizon; instances that
-			// would start beyond it are picked up at the very end instead
-			// (the real dataset likewise only contains observed work).
-			if max := model.Horizon.Unix() - 3600; start > max {
-				start = max
-			}
-			day := model.DayOfUnix(start)
-
-			wid, ok := pools.drawOne(r, day, chosen, spend)
-			if !ok {
-				continue
-			}
-			chosen = append(chosen, wid)
-			w := &d.Workers[wid]
-
-			dur := r.LogNormalMedian(tt.BaseTaskSecs*w.Speed, 0.5) * d.learningFactor(wid)
-			if dur < 1 {
-				dur = 1
-			}
-			end := start + int64(dur)
-
-			ans := truth
-			qi := q * (0.5 + w.ErrRate*5)
-			if qi > 0.95 {
-				qi = 0.95
-			}
-			if ansRand.Bool(qi) {
-				ans = answerToken(batchID, uint32(item), 1+uint32(ansRand.Intn(3)))
-			}
-
-			trust := clampFloat(w.TrustMean+0.025*ansRand.NormFloat64(), 0, 1)
-
-			st.Append(model.Instance{
-				Batch:    batchID,
-				TaskType: tt.ID,
-				Item:     uint32(item),
-				Worker:   wid,
-				Start:    start,
-				End:      end,
-				Trust:    float32(trust),
-				Answer:   ans,
-			})
-		}
-	}
 }
 
 // deviationProb inverts E[pair disagreement] = 1 - [(1-q)^2 + q^2/3] for

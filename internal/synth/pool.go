@@ -12,6 +12,7 @@ type weightedPool struct {
 	ids  []uint32  // worker IDs, parallel to tree leaves
 	tree []float64 // Fenwick prefix-sum tree, 1-based
 	wts  []float64 // current leaf weights
+	sum  float64   // maintained total of wts; draws read it every sample
 }
 
 // newWeightedPool builds a pool over ids with the given initial weights.
@@ -30,21 +31,19 @@ func newWeightedPool(ids []uint32, weights []float64) *weightedPool {
 			p.tree[j] += p.tree[i]
 		}
 	}
+	for _, w := range weights {
+		p.sum += w
+	}
 	return p
 }
 
 // total returns the sum of current weights.
-func (p *weightedPool) total() float64 {
-	t := 0.0
-	for i := len(p.tree) - 1; i > 0; i -= i & -i {
-		t += p.tree[i]
-	}
-	return t
-}
+func (p *weightedPool) total() float64 { return p.sum }
 
 // add changes leaf i's weight by delta.
 func (p *weightedPool) add(i int, delta float64) {
 	p.wts[i] += delta
+	p.sum += delta
 	for j := i + 1; j < len(p.tree); j += j & -j {
 		p.tree[j] += delta
 	}
