@@ -127,9 +127,56 @@ func BenchmarkAnalysisPipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalysisNew compares the serial reference analysis front end
+// (Workers: 1) against the sharded parallel one (Workers: 0 = GOMAXPROCS)
+// on one shared dataset. The two produce identical Analysis values (see
+// core's TestAnalysisSerialParallelIdentical); only wall clock differs.
+func BenchmarkAnalysisNew(b *testing.B) {
+	ds := synth.Generate(synth.Config{Seed: 3, Scale: 0.002})
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.Workers = bc.workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a := core.New(ds, opts)
+				if a.Clustering.NumClusters() == 0 {
+					b.Fatal("no clusters")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClusterBatches times the clustering front end alone (page
+// render, one-pass shingling, MinHash signatures, LSH merge) over the
+// real sampled pages.
+func BenchmarkClusterBatches(b *testing.B) {
+	ctx := setup(b)
+	ids := ctx.A.SampledIDs[:2000]
+	html := ctx.A.DS.BatchHTML
+	opts := cluster.DefaultOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := cluster.Batches(ids, html, opts)
+		if c.NumClusters() == 0 {
+			b.Fatal("no clusters")
+		}
+	}
+}
+
 func BenchmarkComputeAllMetrics(b *testing.B) {
 	ctx := setup(b)
 	st := ctx.A.DS.Store
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		metrics.ComputeAll(st)

@@ -17,6 +17,7 @@ import (
 	"crowdscope/internal/core"
 	"crowdscope/internal/experiments"
 	"crowdscope/internal/model"
+	"crowdscope/internal/profiling"
 	"crowdscope/internal/report"
 	"crowdscope/internal/stats"
 	"crowdscope/internal/store"
@@ -27,9 +28,14 @@ import (
 func main() {
 	seed := flag.Uint64("seed", 1701, "generation seed")
 	scale := flag.Float64("scale", 0.02, "instance-volume scale in (0,1]")
-	workers := flag.Int("workers", 0, "generation pipeline shards (0 = GOMAXPROCS, 1 = serial); never changes the data")
+	workers := flag.Int("workers", 0, "generation and analysis goroutine bound (0 = GOMAXPROCS, 1 = serial); never changes the data")
 	top := flag.Int("top", 15, "rows to show in rollups")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles := profiling.Start(*cpuProfile, *memProfile)
+	defer stopProfiles()
 
 	cmd := flag.Arg(0)
 	if cmd == "" {
@@ -49,7 +55,9 @@ func main() {
 	case "load":
 		load(ds)
 	case "sources", "countries", "workers", "clusters":
-		analysis := core.New(ds, core.DefaultOptions())
+		copts := core.DefaultOptions()
+		copts.Workers = *workers
+		analysis := core.New(ds, copts)
 		ctx := experiments.NewContext(analysis)
 		switch cmd {
 		case "sources":

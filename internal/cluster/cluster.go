@@ -4,12 +4,20 @@
 // wording) almost surely carry the same unit of work. Similarity is
 // Jaccard over HTML shingles, computed scalably with MinHash signatures
 // and locality-sensitive banding, then merged with union-find.
+//
+// The expensive phases — shingling the pages and building MinHash
+// signatures — are embarrassingly parallel per batch and run on sharded
+// goroutines writing disjoint slots, so the result is identical for any
+// worker count. The LSH banding and union-find merge are the cheap
+// sequential tail.
 package cluster
 
 import (
+	"slices"
 	"sort"
 
 	"crowdscope/internal/htmlfeat"
+	"crowdscope/internal/par"
 	"crowdscope/internal/rng"
 )
 
@@ -30,11 +38,29 @@ type Options struct {
 	Exact bool
 	// Seed randomizes the hash family.
 	Seed uint64
+	// Workers bounds the goroutine fan-out of the shingling and
+	// signature phases. Zero or negative means GOMAXPROCS; 1 is the
+	// serial reference. The clustering is identical for every value.
+	Workers int
 }
 
 // DefaultOptions returns the tuned clustering configuration.
 func DefaultOptions() Options {
 	return Options{ShingleK: 4, Hashes: 64, Bands: 16, Threshold: 0.7, Seed: 0x5EED}
+}
+
+// Normalized replaces an invalid hash/band configuration with the
+// defaults, preserving the worker knob. Callers that shingle pages
+// themselves (core's page cache) must normalize before picking the
+// shingle width, or they would shingle with a width FromShingles is
+// about to discard.
+func (o Options) Normalized() Options {
+	if o.Hashes <= 0 || o.Bands <= 0 || o.Hashes%o.Bands != 0 {
+		w := o.Workers
+		o = DefaultOptions()
+		o.Workers = w
+	}
+	return o
 }
 
 // Clustering is the result: a cluster index per input batch and the
@@ -64,29 +90,82 @@ func (c *Clustering) Sizes() []int {
 // batch's sample page. Batches whose page is unavailable become singleton
 // clusters.
 func Batches(ids []uint32, html func(uint32) (string, bool), opts Options) *Clustering {
-	if opts.Hashes <= 0 || opts.Bands <= 0 || opts.Hashes%opts.Bands != 0 {
-		opts = DefaultOptions()
+	opts = opts.Normalized()
+	return FromShingles(ids, ShingleSets(ids, html, opts), opts)
+}
+
+// PageShingles computes the capped, sorted, deduped shingle set of one
+// tokenized page — the per-batch input FromShingles expects. The result
+// is never nil (FromShingles reserves nil for "no page"): a shingle-less
+// page yields an empty set, which carries the sentinel signature and so
+// still clusters with other empty pages. The scratch may be nil; passing
+// one reused across pages avoids per-page table allocations.
+func PageShingles(toks []htmlfeat.Token, shingleK int, sc *htmlfeat.ShingleScratch) []uint64 {
+	if sc == nil {
+		sc = &htmlfeat.ShingleScratch{}
 	}
+	out := bottomK(sc.AppendShingles(nil, toks, shingleK), maxShingles)
+	if out == nil {
+		out = []uint64{}
+	}
+	return out
+}
+
+// ShingleSets renders and shingles every batch page in parallel shards.
+// sets[i] is nil when html(ids[i]) reports no page.
+func ShingleSets(ids []uint32, html func(uint32) (string, bool), opts Options) [][]uint64 {
+	opts = opts.Normalized()
 	n := len(ids)
+	sets := make([][]uint64, n)
+	par.EachShard(n, opts.Workers, func(lo, hi int) {
+		var sc htmlfeat.ShingleScratch
+		for i := lo; i < hi; i++ {
+			page, ok := html(ids[i])
+			if !ok {
+				continue
+			}
+			sets[i] = PageShingles(htmlfeat.Tokenize(page), opts.ShingleK, &sc)
+		}
+	})
+	return sets
+}
+
+// FromShingles clusters batches given their shingle sets (as produced by
+// PageShingles/ShingleSets; a nil set marks a batch without a page, which
+// becomes a singleton). MinHash signatures are computed in parallel into
+// one flat buffer; the LSH banding and union-find merge run sequentially,
+// so the result is deterministic and identical for any Workers value.
+func FromShingles(ids []uint32, sets [][]uint64, opts Options) *Clustering {
+	opts = opts.Normalized()
+	return mergeSignatures(ids, sets, buildSignatures(sets, opts), opts)
+}
+
+// buildSignatures computes the MinHash signature of every non-nil set in
+// parallel shards into one flat buffer; sigs[i] stays nil for nil sets.
+// Signatures depend only on Hashes/Seed, never on Threshold, so threshold
+// sweeps reuse one build.
+func buildSignatures(sets [][]uint64, opts Options) [][]uint64 {
+	n := len(sets)
 	hasher := newMinHasher(opts.Hashes, opts.Seed)
-
 	sigs := make([][]uint64, n)
-	var shingleSets []map[uint64]struct{}
-	if opts.Exact {
-		shingleSets = make([]map[uint64]struct{}, n)
-	}
-	for i, id := range ids {
-		page, ok := html(id)
-		if !ok {
-			continue
+	sigBuf := make([]uint64, n*opts.Hashes)
+	par.EachShard(n, opts.Workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if sets[i] == nil {
+				continue
+			}
+			sig := sigBuf[i*opts.Hashes : (i+1)*opts.Hashes]
+			hasher.signatureInto(sig, sets[i])
+			sigs[i] = sig
 		}
-		set := bottomK(htmlfeat.Shingles(page, opts.ShingleK), maxShingles)
-		sigs[i] = hasher.signature(set)
-		if opts.Exact {
-			shingleSets[i] = set
-		}
-	}
+	})
+	return sigs
+}
 
+// mergeSignatures is the sequential clustering tail: LSH banding over the
+// signatures, threshold-verified union-find merge, cluster assembly.
+func mergeSignatures(ids []uint32, sets, sigs [][]uint64, opts Options) *Clustering {
+	n := len(ids)
 	uf := newUnionFind(n)
 	rowsPerBand := opts.Hashes / opts.Bands
 
@@ -114,7 +193,7 @@ func Batches(ids []uint32, html func(uint32) (string, bool), opts Options) *Clus
 				}
 				var sim float64
 				if opts.Exact {
-					sim = htmlfeat.Jaccard(shingleSets[anchor], shingleSets[other])
+					sim = htmlfeat.Jaccard(sets[anchor], sets[other])
 				} else {
 					sim = estimateJaccard(sigs[anchor], sigs[other])
 				}
@@ -175,20 +254,59 @@ func hashBand(rows []uint64, band uint64) uint64 {
 // cost for the rare 40k-word task pages.
 const maxShingles = 512
 
-func bottomK(set map[uint64]struct{}, k int) map[uint64]struct{} {
-	if len(set) <= k {
-		return set
+// bottomK keeps the k numerically smallest of the deduped vals, returned
+// sorted ascending. Quickselect partitions the k smallest to the front so
+// only those k ever get sorted; vals is reordered in place.
+func bottomK(vals []uint64, k int) []uint64 {
+	if len(vals) > k {
+		selectSmallest(vals, k)
+		vals = vals[:k]
 	}
-	vals := make([]uint64, 0, len(set))
-	for v := range set {
-		vals = append(vals, v)
+	slices.Sort(vals)
+	return vals
+}
+
+// selectSmallest partially sorts vals so its first k elements are the k
+// smallest, via iterative median-of-three quickselect (deterministic, no
+// allocation).
+func selectSmallest(vals []uint64, k int) {
+	lo, hi := 0, len(vals)-1
+	for lo < hi {
+		// Median-of-three pivot to dodge sorted-input worst cases.
+		mid := int(uint(lo+hi) >> 1)
+		if vals[mid] < vals[lo] {
+			vals[mid], vals[lo] = vals[lo], vals[mid]
+		}
+		if vals[hi] < vals[lo] {
+			vals[hi], vals[lo] = vals[lo], vals[hi]
+		}
+		if vals[hi] < vals[mid] {
+			vals[hi], vals[mid] = vals[mid], vals[hi]
+		}
+		pivot := vals[mid]
+		i, j := lo, hi
+		for i <= j {
+			for vals[i] < pivot {
+				i++
+			}
+			for vals[j] > pivot {
+				j--
+			}
+			if i <= j {
+				vals[i], vals[j] = vals[j], vals[i]
+				i++
+				j--
+			}
+		}
+		// [lo..j] <= pivot <= [i..hi]; recurse into the side holding k.
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			return
+		}
 	}
-	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
-	out := make(map[uint64]struct{}, k)
-	for _, v := range vals[:k] {
-		out[v] = struct{}{}
-	}
-	return out
 }
 
 // minHasher holds a family of pairwise-independent hash functions of the
@@ -207,23 +325,22 @@ func newMinHasher(k int, seed uint64) *minHasher {
 	return m
 }
 
-// signature computes the MinHash signature of a shingle set; empty sets
-// map to a sentinel all-max signature that never matches anything real.
-func (m *minHasher) signature(set map[uint64]struct{}) []uint64 {
-	k := len(m.a)
-	sig := make([]uint64, k)
+// signatureInto computes the MinHash signature of a shingle slice into
+// sig (len(sig) hash functions are used); empty sets map to a sentinel
+// all-max signature that never matches anything real. The shingle scan is
+// the innermost hot loop of clustering, so it walks the slice linearly.
+func (m *minHasher) signatureInto(sig []uint64, set []uint64) {
 	for i := range sig {
 		sig[i] = ^uint64(0)
 	}
-	for s := range set {
-		for i := 0; i < k; i++ {
+	for _, s := range set {
+		for i := range sig {
 			h := m.a[i]*s + m.b[i]
 			if h < sig[i] {
 				sig[i] = h
 			}
 		}
 	}
-	return sig
 }
 
 // unionFind is a weighted quick-union with path halving.

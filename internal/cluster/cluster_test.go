@@ -2,10 +2,13 @@ package cluster
 
 import (
 	"fmt"
+	"reflect"
+	"slices"
 	"testing"
 
 	"crowdscope/internal/htmlgen"
 	"crowdscope/internal/model"
+	"crowdscope/internal/rng"
 )
 
 // fakeCorpus builds HTML pages for nTypes distinct tasks, batchesPer each.
@@ -172,23 +175,190 @@ func TestEstimateJaccard(t *testing.T) {
 }
 
 func TestBottomK(t *testing.T) {
-	set := map[uint64]struct{}{}
+	vals := make([]uint64, 0, 100)
 	for i := uint64(0); i < 100; i++ {
-		set[i*i+7] = struct{}{}
+		vals = append(vals, i*i+7)
 	}
-	small := bottomK(set, 10)
+	// Shuffle deterministically so quickselect sees unsorted input.
+	r := rng.New(99)
+	for i := len(vals) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		vals[i], vals[j] = vals[j], vals[i]
+	}
+	small := bottomK(append([]uint64(nil), vals...), 10)
 	if len(small) != 10 {
 		t.Fatalf("bottomK size %d", len(small))
 	}
+	if !slices.IsSorted(small) {
+		t.Fatal("bottomK result not sorted")
+	}
 	// Must be the 10 smallest values.
-	for v := range small {
-		if v > 9*9+7 {
-			t.Fatalf("bottomK kept %d, not among smallest", v)
+	for i, v := range small {
+		if want := uint64(i*i + 7); v != want {
+			t.Fatalf("bottomK[%d] = %d, want %d", i, v, want)
 		}
 	}
-	same := bottomK(set, 1000)
-	if len(same) != len(set) {
+	same := bottomK(append([]uint64(nil), vals...), 1000)
+	if len(same) != len(vals) {
 		t.Fatal("bottomK should pass through small sets")
+	}
+}
+
+// TestBottomKQuickselectMatchesSort: quickselect keeps exactly the set a
+// full sort would keep, over adversarial shapes (sorted, reversed, heavy
+// duplicates, random).
+func TestBottomKQuickselectMatchesSort(t *testing.T) {
+	r := rng.New(7)
+	shapes := map[string]func(n int) []uint64{
+		"sorted": func(n int) []uint64 {
+			out := make([]uint64, n)
+			for i := range out {
+				out[i] = uint64(i) * 3
+			}
+			return out
+		},
+		"reversed": func(n int) []uint64 {
+			out := make([]uint64, n)
+			for i := range out {
+				out[i] = uint64(n-i) * 5
+			}
+			return out
+		},
+		"random": func(n int) []uint64 {
+			out := make([]uint64, n)
+			for i := range out {
+				out[i] = r.Uint64()
+			}
+			return out
+		},
+		// Heavy duplicates stress the equal-to-pivot partition path.
+		"duplicates": func(n int) []uint64 {
+			out := make([]uint64, n)
+			for i := range out {
+				out[i] = uint64(i % 3)
+			}
+			return out
+		},
+	}
+	for name, gen := range shapes {
+		for _, n := range []int{1, 2, 15, 100, 1000} {
+			for _, k := range []int{1, 2, 7, 99, 512} {
+				vals := gen(n)
+				want := append([]uint64(nil), vals...)
+				slices.Sort(want)
+				if k < len(want) {
+					want = want[:k]
+				}
+				got := bottomK(append([]uint64(nil), vals...), k)
+				if !slices.Equal(got, want) {
+					t.Fatalf("%s n=%d k=%d: bottomK != sorted prefix", name, n, k)
+				}
+			}
+		}
+	}
+}
+
+// signatureMapReference is the historical map-based MinHash kernel; the
+// slice scan must produce bit-identical signatures.
+func signatureMapReference(m *minHasher, set map[uint64]struct{}) []uint64 {
+	k := len(m.a)
+	sig := make([]uint64, k)
+	for i := range sig {
+		sig[i] = ^uint64(0)
+	}
+	for s := range set {
+		for i := 0; i < k; i++ {
+			h := m.a[i]*s + m.b[i]
+			if h < sig[i] {
+				sig[i] = h
+			}
+		}
+	}
+	return sig
+}
+
+func TestSignatureMatchesMapReference(t *testing.T) {
+	m := newMinHasher(64, 0x5EED)
+	r := rng.New(11)
+	for trial := 0; trial < 20; trial++ {
+		n := r.Intn(600)
+		set := make(map[uint64]struct{}, n)
+		vals := make([]uint64, 0, n)
+		for i := 0; i < n; i++ {
+			v := r.Uint64()
+			if _, dup := set[v]; !dup {
+				set[v] = struct{}{}
+				vals = append(vals, v)
+			}
+		}
+		want := signatureMapReference(m, set)
+		got := make([]uint64, 64)
+		m.signatureInto(got, vals)
+		if !slices.Equal(got, want) {
+			t.Fatalf("trial %d: slice signature differs from map reference", trial)
+		}
+	}
+}
+
+// TestSignatureAllocs: signatures land in caller-provided buffers; the
+// kernel itself must not allocate.
+func TestSignatureAllocs(t *testing.T) {
+	m := newMinHasher(64, 1)
+	set := make([]uint64, 512)
+	r := rng.New(5)
+	for i := range set {
+		set[i] = r.Uint64()
+	}
+	sig := make([]uint64, 64)
+	allocs := testing.AllocsPerRun(10, func() {
+		m.signatureInto(sig, set)
+	})
+	if allocs != 0 {
+		t.Errorf("signatureInto allocs = %v, want 0", allocs)
+	}
+}
+
+// TestClusteringWorkersInvariant: the parallel shingle/signature build
+// produces the identical clustering for every worker count, with
+// Workers=1 as the serial reference.
+func TestClusteringWorkersInvariant(t *testing.T) {
+	ids, html, _ := fakeCorpus(10, 6)
+	// Knock out one page so the nil-set (singleton) path is exercised.
+	delete(html, ids[7])
+	serial := DefaultOptions()
+	serial.Workers = 1
+	want := Batches(ids, lookup(html), serial)
+	for _, w := range []int{0, 2, 3, 8} {
+		opts := DefaultOptions()
+		opts.Workers = w
+		got := Batches(ids, lookup(html), opts)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d clustering differs from serial reference", w)
+		}
+	}
+	// Exact mode too: it reuses the shared shingle sets.
+	serial.Exact = true
+	wantExact := Batches(ids, lookup(html), serial)
+	exact := DefaultOptions()
+	exact.Exact = true
+	exact.Workers = 4
+	if got := Batches(ids, lookup(html), exact); !reflect.DeepEqual(got, wantExact) {
+		t.Fatal("exact-mode clustering differs across worker counts")
+	}
+}
+
+// TestFromShinglesEmptyVsMissing: a present-but-empty page carries the
+// sentinel signature (and merges with other empty pages), while a missing
+// page stays a singleton — the historical distinction.
+func TestFromShinglesEmptyVsMissing(t *testing.T) {
+	ids := []uint32{0, 1, 2, 3}
+	sets := [][]uint64{{}, {}, nil, nil}
+	c := FromShingles(ids, sets, DefaultOptions())
+	if c.ClusterOf[0] != c.ClusterOf[1] {
+		t.Error("two empty pages should cluster together")
+	}
+	if c.ClusterOf[2] == c.ClusterOf[3] || c.ClusterOf[2] == c.ClusterOf[0] {
+		t.Error("missing pages must stay singletons")
 	}
 }
 

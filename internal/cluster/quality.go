@@ -91,11 +91,17 @@ func comb2(n int) float64 {
 // Jaccard thresholds, returning the per-threshold quality. The best
 // threshold is the data-driven replacement for the paper's manual tuning.
 func SweepThreshold(ids []uint32, html func(uint32) (string, bool), truth []int, thresholds []float64, base Options) []Quality {
+	base = base.Normalized()
+	// The threshold only affects the merge step; shingle the pages and
+	// build the MinHash signatures once, then re-run only the cheap
+	// LSH + union-find tail per candidate.
+	sets := ShingleSets(ids, html, base)
+	sigs := buildSignatures(sets, base)
 	out := make([]Quality, len(thresholds))
 	for i, th := range thresholds {
 		opts := base
 		opts.Threshold = th
-		out[i] = Evaluate(Batches(ids, html, opts), truth)
+		out[i] = Evaluate(mergeSignatures(ids, sets, sigs, opts), truth)
 	}
 	return out
 }

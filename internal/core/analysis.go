@@ -8,12 +8,14 @@ package core
 
 import (
 	"math"
+	"sync"
 
 	"crowdscope/internal/cluster"
 	"crowdscope/internal/corr"
 	"crowdscope/internal/htmlfeat"
 	"crowdscope/internal/metrics"
 	"crowdscope/internal/model"
+	"crowdscope/internal/par"
 	"crowdscope/internal/stats"
 	"crowdscope/internal/synth"
 )
@@ -69,6 +71,15 @@ type Options struct {
 	// LabeledOnly restricts the correlation observations to manually
 	// labeled clusters, as the paper does (~83% of batches).
 	LabeledOnly bool
+	// Workers bounds the goroutine fan-out of each parallel phase of the
+	// analysis front end (page shingling/feature extraction, MinHash
+	// signatures, metrics, cluster table). Zero or negative means
+	// GOMAXPROCS; 1 is the serial reference, which also disables the
+	// clustering/metrics overlap — with Workers >= 2 those two
+	// independent phases run concurrently, so transient fan-out can
+	// reach twice the bound. The assembled Analysis is identical for
+	// every value.
+	Workers int
 }
 
 // DefaultOptions returns the paper-faithful configuration.
@@ -76,52 +87,122 @@ func DefaultOptions() Options {
 	return Options{Cluster: cluster.DefaultOptions(), LabeledOnly: true}
 }
 
-// New runs the full assembly over a dataset.
+// New runs the full assembly over a dataset. Each sampled page is
+// rendered and tokenized exactly once: design features and clustering
+// shingles both derive from that single token stream, and the cluster
+// table reuses the cached features instead of re-rendering its
+// representative pages. Clustering and batch metrics are independent and
+// run concurrently (except under Workers=1, the serial reference).
 func New(ds *synth.Dataset, opts Options) *Analysis {
 	a := &Analysis{DS: ds, SampledIDs: ds.SampledBatchIDs()}
-	a.Clustering = cluster.Batches(a.SampledIDs, ds.BatchHTML, opts.Cluster)
-	a.BatchMetrics = metrics.ComputeAll(ds.Store)
-	a.buildClusterTable()
+	copts := opts.Cluster
+	copts.Workers = opts.Workers
+	// Normalize before shingling so the page cache uses the same shingle
+	// width FromShingles will cluster with.
+	copts = copts.Normalized()
+	pages := prepPages(ds, a.SampledIDs, copts, opts.Workers)
+	if opts.Workers == 1 {
+		a.Clustering = cluster.FromShingles(a.SampledIDs, pages.sets, copts)
+		a.BatchMetrics = metrics.ComputeAllWorkers(ds.Store, 1)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a.BatchMetrics = metrics.ComputeAllWorkers(ds.Store, opts.Workers)
+		}()
+		a.Clustering = cluster.FromShingles(a.SampledIDs, pages.sets, copts)
+		wg.Wait()
+	}
+	a.buildClusterTable(pages, opts.Workers)
 	return a
 }
 
-func (a *Analysis) buildClusterTable() {
+// pageCache holds everything derived from one tokenization of each
+// sampled page, indexed parallel to SampledIDs.
+type pageCache struct {
+	feats []htmlfeat.Features
+	ok    []bool
+	sets  [][]uint64
+}
+
+// prepPages renders and tokenizes every sampled page once (in parallel
+// shards) and derives both the design features and the capped shingle
+// set from the same token stream.
+func prepPages(ds *synth.Dataset, ids []uint32, copts cluster.Options, workers int) *pageCache {
+	n := len(ids)
+	pc := &pageCache{
+		feats: make([]htmlfeat.Features, n),
+		ok:    make([]bool, n),
+		sets:  make([][]uint64, n),
+	}
+	par.EachShard(n, workers, func(lo, hi int) {
+		var sc htmlfeat.ShingleScratch
+		for i := lo; i < hi; i++ {
+			page, ok := ds.BatchHTML(ids[i])
+			if !ok {
+				continue
+			}
+			toks := htmlfeat.Tokenize(page)
+			pc.feats[i] = htmlfeat.FromTokens(toks)
+			pc.ok[i] = true
+			pc.sets[i] = cluster.PageShingles(toks, copts.ShingleK, &sc)
+		}
+	})
+	return pc
+}
+
+// buildClusterTable assembles one ClusterRow per cluster, parallel over
+// clusters. Rows are independent and indexed by cluster, so any worker
+// count produces the identical table; features come from the page cache,
+// never from a re-render.
+func (a *Analysis) buildClusterTable(pages *pageCache, workers int) {
 	ds := a.DS
-	for ci, members := range a.Clustering.Members {
-		row := ClusterRow{Cluster: ci}
+	rows := make([]ClusterRow, len(a.Clustering.Members))
+	par.EachShard(len(rows), workers, func(clo, chi int) {
 		var itemFeats, weekdays, hours []float64
 		typeVotes := map[uint32]int{}
-		for _, pos := range members {
-			bid := a.Clustering.IDs[pos]
-			row.Batches = append(row.Batches, bid)
-			b := &ds.Batches[bid]
-			typeVotes[b.TaskType]++
-			itemFeats = append(itemFeats, float64(b.Items))
-			weekdays = append(weekdays, float64((int(b.CreatedAt.Weekday())+6)%7))
-			hours = append(hours, float64(b.CreatedAt.Hour()))
-			lo, hi := ds.Store.BatchRange(bid)
-			row.Instances += hi - lo
-		}
-		// Dominant type carries the labels.
-		best, bestN := uint32(0), -1
-		for tt, n := range typeVotes {
-			if n > bestN {
-				best, bestN = tt, n
+		for ci := clo; ci < chi; ci++ {
+			members := a.Clustering.Members[ci]
+			row := ClusterRow{Cluster: ci, Batches: make([]uint32, 0, len(members))}
+			itemFeats, weekdays, hours = itemFeats[:0], weekdays[:0], hours[:0]
+			clear(typeVotes)
+			for _, pos := range members {
+				bid := a.Clustering.IDs[pos]
+				row.Batches = append(row.Batches, bid)
+				b := &ds.Batches[bid]
+				typeVotes[b.TaskType]++
+				itemFeats = append(itemFeats, float64(b.Items))
+				weekdays = append(weekdays, float64((int(b.CreatedAt.Weekday())+6)%7))
+				hours = append(hours, float64(b.CreatedAt.Hour()))
+				lo, hi := ds.Store.BatchRange(bid)
+				row.Instances += hi - lo
 			}
+			// Dominant type carries the labels; ties break toward the
+			// type seen first in member order, keeping the row
+			// deterministic (the historical map iteration was not).
+			best, bestN := uint32(0), -1
+			for _, pos := range members {
+				tt := ds.Batches[a.Clustering.IDs[pos]].TaskType
+				if typeVotes[tt] > bestN {
+					best, bestN = tt, typeVotes[tt]
+				}
+			}
+			row.TaskType = best
+			tt := &ds.TaskTypes[best]
+			row.Labels = tt.Labels
+			row.Labeled = tt.Labeled
+			row.ItemsFeature = stats.MedianInPlace(itemFeats)
+			row.IssueWeekday = stats.MedianInPlace(weekdays)
+			row.IssueHour = stats.MedianInPlace(hours)
+			if first := members[0]; pages.ok[first] {
+				row.Features = pages.feats[first]
+			}
+			row.Metrics = metrics.Reduce(a.BatchMetrics, row.Batches)
+			rows[ci] = row
 		}
-		row.TaskType = best
-		tt := &ds.TaskTypes[best]
-		row.Labels = tt.Labels
-		row.Labeled = tt.Labeled
-		row.ItemsFeature = stats.Median(itemFeats)
-		row.IssueWeekday = stats.Median(weekdays)
-		row.IssueHour = stats.Median(hours)
-		if page, ok := ds.BatchHTML(row.Batches[0]); ok {
-			row.Features = htmlfeat.Extract(page)
-		}
-		row.Metrics = metrics.Reduce(a.BatchMetrics, row.Batches)
-		a.Clusters = append(a.Clusters, row)
-	}
+	})
+	a.Clusters = rows
 }
 
 // Metric and feature names shared by the correlation experiments.

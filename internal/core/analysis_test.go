@@ -2,9 +2,11 @@ package core
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"crowdscope/internal/corr"
+	"crowdscope/internal/metrics"
 	"crowdscope/internal/model"
 	"crowdscope/internal/synth"
 )
@@ -472,6 +474,77 @@ func TestDrillDownObservations(t *testing.T) {
 		t.Errorf("LU drill down: examples mean %.3f not below %.3f (n=%d)",
 			res[0].Bin2.Mean, res[0].Bin1.Mean, res[0].Bin2.Count)
 	}
+}
+
+// TestAnalysisSerialParallelIdentical is the analysis front end's
+// determinism property, mirroring synth's
+// TestPipelineSerialParallelIdentical: for a fixed dataset, the parallel
+// page prep, signature build, metrics scan, and cluster-table build
+// produce an Analysis identical to the Workers=1 serial reference —
+// clustering, batch metrics (bit-equal floats, NaNs included), and every
+// cluster row.
+func TestAnalysisSerialParallelIdentical(t *testing.T) {
+	ds := synth.Generate(synth.Config{Seed: 777, Scale: 0.002})
+	serialOpts := DefaultOptions()
+	serialOpts.Workers = 1
+	serial := New(ds, serialOpts)
+	for _, w := range []int{0, 2, 5} {
+		opts := DefaultOptions()
+		opts.Workers = w
+		par := New(ds, opts)
+		if !reflect.DeepEqual(par.SampledIDs, serial.SampledIDs) {
+			t.Fatalf("workers=%d: sampled IDs differ", w)
+		}
+		if !reflect.DeepEqual(par.Clustering, serial.Clustering) {
+			t.Fatalf("workers=%d: clustering differs from serial reference", w)
+		}
+		if len(par.BatchMetrics) != len(serial.BatchMetrics) {
+			t.Fatalf("workers=%d: batch metric count differs", w)
+		}
+		for b := range par.BatchMetrics {
+			if !batchBitEqual(par.BatchMetrics[b], serial.BatchMetrics[b]) {
+				t.Fatalf("workers=%d: batch %d metrics differ", w, b)
+			}
+		}
+		if len(par.Clusters) != len(serial.Clusters) {
+			t.Fatalf("workers=%d: cluster row count differs", w)
+		}
+		for ci := range par.Clusters {
+			if !clusterRowBitEqual(&par.Clusters[ci], &serial.Clusters[ci]) {
+				t.Fatalf("workers=%d: cluster row %d differs:\n%+v\n%+v",
+					w, ci, par.Clusters[ci], serial.Clusters[ci])
+			}
+		}
+	}
+}
+
+// f64BitEqual compares floats bit-for-bit so NaN metric slots (pair-less
+// batches) compare equal instead of poisoning reflect.DeepEqual.
+func f64BitEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func batchBitEqual(a, b metrics.Batch) bool {
+	return f64BitEqual(a.Disagreement, b.Disagreement) && a.Pairs == b.Pairs &&
+		f64BitEqual(a.TaskTime, b.TaskTime) && f64BitEqual(a.PickupTime, b.PickupTime) &&
+		a.Instances == b.Instances
+}
+
+func clusterRowBitEqual(a, b *ClusterRow) bool {
+	return a.Cluster == b.Cluster &&
+		reflect.DeepEqual(a.Batches, b.Batches) &&
+		a.TaskType == b.TaskType &&
+		a.Labels == b.Labels &&
+		a.Labeled == b.Labeled &&
+		a.Features == b.Features &&
+		f64BitEqual(a.ItemsFeature, b.ItemsFeature) &&
+		f64BitEqual(a.IssueWeekday, b.IssueWeekday) &&
+		f64BitEqual(a.IssueHour, b.IssueHour) &&
+		f64BitEqual(a.Metrics.Disagreement, b.Metrics.Disagreement) &&
+		f64BitEqual(a.Metrics.TaskTime, b.Metrics.TaskTime) &&
+		f64BitEqual(a.Metrics.PickupTime, b.Metrics.PickupTime) &&
+		a.Metrics.Batches == b.Metrics.Batches &&
+		a.Instances == b.Instances
 }
 
 func medianOf(xs []float64) float64 {

@@ -174,70 +174,4 @@ func TagSequence(src string) []string {
 	return out
 }
 
-// Shingles produces the k-shingle set used for batch similarity: k-grams of
-// the combined tag/word stream, hashed to uint64 by FNV-1a. Identical task
-// interfaces share (nearly) identical shingle sets, so Jaccard similarity
-// over these recovers the paper's notion of "the same distinct task".
-func Shingles(src string, k int) map[uint64]struct{} {
-	if k <= 0 {
-		k = 4
-	}
-	stream := make([]string, 0, 64)
-	for _, t := range Tokenize(src) {
-		switch t.Type {
-		case StartTag, SelfClosingTag:
-			stream = append(stream, "<"+t.Name+">")
-		case Text:
-			for _, w := range strings.Fields(strings.ToLower(t.Text)) {
-				stream = append(stream, w)
-			}
-		}
-	}
-	set := make(map[uint64]struct{}, len(stream))
-	if len(stream) < k {
-		if len(stream) == 0 {
-			return set
-		}
-		set[fnv1a(strings.Join(stream, " "))] = struct{}{}
-		return set
-	}
-	for i := 0; i+k <= len(stream); i++ {
-		set[fnv1a(strings.Join(stream[i:i+k], " "))] = struct{}{}
-	}
-	return set
-}
-
-func fnv1a(s string) uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= prime
-	}
-	return h
-}
-
-// Jaccard returns |a∩b| / |a∪b|; 1 for two empty sets.
-func Jaccard(a, b map[uint64]struct{}) float64 {
-	if len(a) == 0 && len(b) == 0 {
-		return 1
-	}
-	small, large := a, b
-	if len(small) > len(large) {
-		small, large = large, small
-	}
-	inter := 0
-	for k := range small {
-		if _, ok := large[k]; ok {
-			inter++
-		}
-	}
-	union := len(a) + len(b) - inter
-	if union == 0 {
-		return 1
-	}
-	return float64(inter) / float64(union)
-}
+// Shingle construction and Jaccard similarity live in shingle.go.

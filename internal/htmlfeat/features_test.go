@@ -129,13 +129,15 @@ func TestShinglesShortDoc(t *testing.T) {
 }
 
 func TestJaccardEdgeCases(t *testing.T) {
-	empty := map[uint64]struct{}{}
-	if Jaccard(empty, empty) != 1 {
+	if Jaccard(nil, nil) != 1 {
 		t.Error("two empty sets should be identical")
 	}
-	one := map[uint64]struct{}{1: {}}
-	if Jaccard(empty, one) != 0 {
+	one := []uint64{1}
+	if Jaccard(nil, one) != 0 {
 		t.Error("empty vs non-empty should be 0")
+	}
+	if got := Jaccard([]uint64{1, 2, 3, 5}, []uint64{2, 3, 5, 9}); got != 0.6 {
+		t.Errorf("merge Jaccard = %v, want 3/5", got)
 	}
 }
 

@@ -11,6 +11,7 @@ package metrics
 
 import (
 	"math"
+	"slices"
 
 	"crowdscope/internal/stats"
 	"crowdscope/internal/store"
@@ -45,8 +46,26 @@ func (b Batch) Pruned() bool {
 	return b.Pairs == 0 || b.Disagreement > DisagreementPruneThreshold
 }
 
+// Scratch carries the reusable buffers of the per-batch metrics kernel:
+// duration and pickup arrays for the median selects and the run counters
+// of the disagreement pass. A zero value is ready to use; reusing one
+// across the batches of a scan chunk amortizes its allocations to zero.
+type Scratch struct {
+	durs, pickups []float64
+	runItems      []uint32 // first item value of each run, in run order
+	runCheck      []uint32 // sort buffer for the contiguity check
+	runAns        []uint32 // sort buffer for long single-item runs
+}
+
 // ComputeBatch computes metrics for one batch from its store rows.
 func ComputeBatch(st *store.Store, batchID uint32) Batch {
+	var sc Scratch
+	return sc.ComputeBatch(st, batchID)
+}
+
+// ComputeBatch computes metrics for one batch, reusing the scratch's
+// buffers instead of allocating per batch.
+func (sc *Scratch) ComputeBatch(st *store.Store, batchID uint32) Batch {
 	lo, hi := st.BatchRange(batchID)
 	n := hi - lo
 	if n == 0 {
@@ -57,8 +76,8 @@ func ComputeBatch(st *store.Store, batchID uint32) Batch {
 	items := st.Items()[lo:hi]
 	answers := st.Answers()[lo:hi]
 
-	// Durations and the earliest start.
-	durs := make([]float64, n)
+	// Fused first pass: durations and the earliest start in one scan.
+	durs := grow(sc.durs, n)
 	minStart := starts[0]
 	for i := 0; i < n; i++ {
 		durs[i] = float64(ends[i] - starts[i])
@@ -66,12 +85,13 @@ func ComputeBatch(st *store.Store, batchID uint32) Batch {
 			minStart = starts[i]
 		}
 	}
-	pickups := make([]float64, n)
+	pickups := grow(sc.pickups, n)
 	for i := 0; i < n; i++ {
 		pickups[i] = float64(starts[i] - minStart)
 	}
+	sc.durs, sc.pickups = durs, pickups
 
-	agree, total := disagreementCounts(items, answers)
+	agree, total := sc.disagreementCounts(items, answers)
 
 	out := Batch{
 		Pairs:      total,
@@ -87,11 +107,91 @@ func ComputeBatch(st *store.Store, batchID uint32) Batch {
 	return out
 }
 
-// disagreementCounts returns (#agreeing pairs, #pairs) across all items of
-// a batch. Rows of one item are contiguous in generated data but the
-// grouping does not assume it.
-func disagreementCounts(items []uint32, answers []uint32) (agree, total int) {
-	// Group rows by item.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n, n+n/2)
+	}
+	return buf[:n]
+}
+
+// disagreementCounts returns (#agreeing pairs, #pairs) across all items
+// of a batch. Generated data stores each item's rows contiguously, so the
+// hot path counts pairs run by run without any map; if the run scan finds
+// an item split across runs it falls back to the map-based grouping,
+// which computes the same counts for arbitrary row orders.
+func (sc *Scratch) disagreementCounts(items []uint32, answers []uint32) (agree, total int) {
+	runItems := sc.runItems[:0]
+	for i := 0; i < len(items); {
+		j := i + 1
+		for j < len(items) && items[j] == items[i] {
+			j++
+		}
+		runItems = append(runItems, items[i])
+		if k := j - i; k >= 2 {
+			agree += sc.equalPairs(answers[i:j])
+			total += k * (k - 1) / 2
+		}
+		i = j
+	}
+	sc.runItems = runItems
+	if sc.itemRepeatsAcrossRuns() {
+		return disagreementCountsByMap(items, answers)
+	}
+	return agree, total
+}
+
+// equalPairs counts the pairs of equal answers in one item's run. Runs
+// are redundancy-sized (a handful of answers), where the quadratic scan
+// beats any bookkeeping; long runs sort a scratch copy and sum
+// multiplicities c*(c-1)/2 instead.
+func (sc *Scratch) equalPairs(ans []uint32) int {
+	eq := 0
+	if len(ans) <= 16 {
+		for i := 1; i < len(ans); i++ {
+			for j := 0; j < i; j++ {
+				if ans[j] == ans[i] {
+					eq++
+				}
+			}
+		}
+		return eq
+	}
+	buf := append(sc.runAns[:0], ans...)
+	sc.runAns = buf
+	slices.Sort(buf)
+	for i := 0; i < len(buf); {
+		j := i + 1
+		for j < len(buf) && buf[j] == buf[i] {
+			j++
+		}
+		c := j - i
+		eq += c * (c - 1) / 2
+		i = j
+	}
+	return eq
+}
+
+// itemRepeatsAcrossRuns reports whether any item value started more than
+// one run, i.e. the batch's rows are not grouped by item.
+func (sc *Scratch) itemRepeatsAcrossRuns() bool {
+	if len(sc.runItems) < 2 {
+		return false
+	}
+	buf := append(sc.runCheck[:0], sc.runItems...)
+	sc.runCheck = buf
+	slices.Sort(buf)
+	for i := 1; i < len(buf); i++ {
+		if buf[i] == buf[i-1] {
+			return true
+		}
+	}
+	return false
+}
+
+// disagreementCountsByMap is the order-insensitive fallback (and the
+// reference the run-based counter is tested against): group answers by
+// item, then count equal pairs via answer multiplicities.
+func disagreementCountsByMap(items []uint32, answers []uint32) (agree, total int) {
 	byItem := make(map[uint32][]uint32, len(items)/3+1)
 	for i, it := range items {
 		byItem[it] = append(byItem[it], answers[i])
@@ -101,7 +201,6 @@ func disagreementCounts(items []uint32, answers []uint32) (agree, total int) {
 		if k < 2 {
 			continue
 		}
-		// Count equal pairs via answer multiplicities: sum c*(c-1)/2.
 		counts := make(map[uint32]int, k)
 		for _, a := range ans {
 			counts[a]++
@@ -117,14 +216,20 @@ func disagreementCounts(items []uint32, answers []uint32) (agree, total int) {
 // ComputeAll computes metrics for every batch with rows in the store.
 // The result is indexed by batch ID. Batches are processed in parallel
 // chunks aligned to the store's segment layout; each chunk writes a
-// disjoint slice of the result.
-func ComputeAll(st *store.Store) []Batch {
+// disjoint slice of the result through one reusable scratch.
+func ComputeAll(st *store.Store) []Batch { return ComputeAllWorkers(st, 0) }
+
+// ComputeAllWorkers is ComputeAll with an explicit goroutine bound:
+// 0 means GOMAXPROCS, 1 the serial reference. The result is identical
+// for every value.
+func ComputeAllWorkers(st *store.Store, workers int) []Batch {
 	out := make([]Batch, st.NumBatches())
-	store.ParallelScanBatches(st, 0, func(batchLo, batchHi uint32) struct{} {
+	store.ParallelScanBatches(st, workers, func(batchLo, batchHi uint32) struct{} {
+		var sc Scratch
 		for b := batchLo; b < batchHi; b++ {
 			lo, hi := st.BatchRange(b)
 			if lo < hi {
-				out[b] = ComputeBatch(st, b)
+				out[b] = sc.ComputeBatch(st, b)
 			}
 		}
 		return struct{}{}

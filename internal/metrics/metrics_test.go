@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"crowdscope/internal/model"
+	"crowdscope/internal/rng"
+	"crowdscope/internal/stats"
 	"crowdscope/internal/store"
 )
 
@@ -136,6 +138,153 @@ func TestComputeAll(t *testing.T) {
 	}
 	if all[0].Disagreement != 0 {
 		t.Errorf("batch 0 disagreement = %v", all[0].Disagreement)
+	}
+}
+
+// computeBatchReference is the historical allocation-heavy kernel:
+// per-batch slices plus the map-based disagreement grouping. The fused
+// scratch kernel must be bit-equal to it.
+func computeBatchReference(st *store.Store, batchID uint32) Batch {
+	lo, hi := st.BatchRange(batchID)
+	n := hi - lo
+	if n == 0 {
+		return Batch{}
+	}
+	starts := st.Starts()[lo:hi]
+	ends := st.Ends()[lo:hi]
+
+	durs := make([]float64, n)
+	minStart := starts[0]
+	for i := 0; i < n; i++ {
+		durs[i] = float64(ends[i] - starts[i])
+		if starts[i] < minStart {
+			minStart = starts[i]
+		}
+	}
+	pickups := make([]float64, n)
+	for i := 0; i < n; i++ {
+		pickups[i] = float64(starts[i] - minStart)
+	}
+	agree, total := disagreementCountsByMap(st.Items()[lo:hi], st.Answers()[lo:hi])
+	out := Batch{
+		Pairs:      total,
+		TaskTime:   stats.MedianInPlace(durs),
+		PickupTime: stats.MedianInPlace(pickups),
+		Instances:  n,
+	}
+	if total > 0 {
+		out.Disagreement = 1 - float64(agree)/float64(total)
+	} else {
+		out.Disagreement = math.NaN()
+	}
+	return out
+}
+
+func batchesBitEqual(a, b Batch) bool {
+	return math.Float64bits(a.Disagreement) == math.Float64bits(b.Disagreement) &&
+		a.Pairs == b.Pairs &&
+		math.Float64bits(a.TaskTime) == math.Float64bits(b.TaskTime) &&
+		math.Float64bits(a.PickupTime) == math.Float64bits(b.PickupTime) &&
+		a.Instances == b.Instances
+}
+
+// randomStore builds a multi-batch store with randomized redundancy,
+// durations, and answer agreement — contiguous item grouping, as the
+// generator produces.
+func randomStore(seed uint64, batches int) *store.Store {
+	r := rng.New(seed)
+	s := store.New(batches)
+	for b := 0; b < batches; b++ {
+		if r.Intn(5) == 0 {
+			continue // leave some batches empty
+		}
+		s.BeginBatch(uint32(b))
+		items := 1 + r.Intn(8)
+		base := int64(1000 + r.Intn(100000))
+		for it := 0; it < items; it++ {
+			reps := 1 + r.Intn(20)
+			for rep := 0; rep < reps; rep++ {
+				s.Append(model.Instance{
+					Batch: uint32(b), Item: uint32(it),
+					Worker: uint32(r.Intn(50)),
+					Start:  base + int64(r.Intn(5000)),
+					End:    base + int64(5000+r.Intn(5000)),
+					Answer: uint32(r.Intn(3)),
+				})
+			}
+		}
+	}
+	return s
+}
+
+// TestComputeBatchMatchesReference: the scratch kernel is bit-equal to
+// the historical map kernel across randomized batches, including when one
+// scratch is reused across every batch.
+func TestComputeBatchMatchesReference(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		s := randomStore(seed, 40)
+		var sc Scratch
+		for b := 0; b < 40; b++ {
+			want := computeBatchReference(s, uint32(b))
+			got := sc.ComputeBatch(s, uint32(b))
+			if !batchesBitEqual(got, want) {
+				t.Fatalf("seed %d batch %d: %+v != reference %+v", seed, b, got, want)
+			}
+		}
+	}
+}
+
+// TestDisagreementNonContiguousFallback: rows whose items interleave must
+// take the map fallback and still count every pair.
+func TestDisagreementNonContiguousFallback(t *testing.T) {
+	s := store.New(1)
+	s.BeginBatch(0)
+	// Items 0,1,0,1: each item has answers {1,1} and {1,2} respectively.
+	rows := []struct{ item, ans uint32 }{{0, 1}, {1, 1}, {0, 1}, {1, 2}}
+	for i, rw := range rows {
+		s.Append(model.Instance{Batch: 0, Item: rw.item, Worker: uint32(i), Start: 100, End: 160, Answer: rw.ans})
+	}
+	m := ComputeBatch(s, 0)
+	if m.Pairs != 2 {
+		t.Fatalf("Pairs = %d, want 2", m.Pairs)
+	}
+	if m.Disagreement != 0.5 {
+		t.Fatalf("Disagreement = %v, want 0.5", m.Disagreement)
+	}
+	if !batchesBitEqual(m, computeBatchReference(s, 0)) {
+		t.Fatal("fallback result differs from reference")
+	}
+}
+
+// TestComputeBatchAllocs: with a warm scratch the per-batch kernel is
+// allocation-free on contiguous (generator-shaped) batches.
+func TestComputeBatchAllocs(t *testing.T) {
+	s := buildBatch([][]uint32{{1, 1, 2}, {3, 3, 3}, {4, 5, 4}, {6, 6, 6, 6, 6}}, 1000, nil)
+	var sc Scratch
+	sc.ComputeBatch(s, 0) // warm the buffers
+	allocs := testing.AllocsPerRun(20, func() {
+		sc.ComputeBatch(s, 0)
+	})
+	if allocs != 0 {
+		t.Errorf("ComputeBatch allocs = %v, want 0 with warm scratch", allocs)
+	}
+}
+
+// TestComputeAllWorkersInvariant: chunked parallel metrics are bit-equal
+// to the serial reference for any worker count.
+func TestComputeAllWorkersInvariant(t *testing.T) {
+	s := randomStore(42, 60)
+	want := ComputeAllWorkers(s, 1)
+	for _, w := range []int{0, 2, 3, 7} {
+		got := ComputeAllWorkers(s, w)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d length %d != %d", w, len(got), len(want))
+		}
+		for b := range got {
+			if !batchesBitEqual(got[b], want[b]) {
+				t.Fatalf("workers=%d batch %d differs from serial reference", w, b)
+			}
+		}
 	}
 }
 

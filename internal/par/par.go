@@ -1,0 +1,41 @@
+// Package par holds the shared goroutine fan-out harness of the parallel
+// generation and analysis phases.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// EachShard splits [0, n) into at most `workers` contiguous ranges and
+// runs fn over each on its own goroutine; workers <= 0 means GOMAXPROCS,
+// 1 runs inline. Shards must write disjoint slots, which keeps callers
+// deterministic for every worker count.
+func EachShard(n, workers int, fn func(lo, hi int)) {
+	if n == 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

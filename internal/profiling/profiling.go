@@ -1,0 +1,50 @@
+// Package profiling wires the standard pprof profiles into CLI flags so
+// perf work on the generation and analysis pipelines never requires
+// editing code.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins a CPU profile and/or schedules a heap profile, either path
+// may be empty. The returned stop function flushes them; call it once,
+// before exit.
+func Start(cpuPath, memPath string) func() {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fatal("create %s: %v", cpuPath, err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("start cpu profile: %v", err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fatal("create %s: %v", memPath, err)
+			}
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal("write heap profile: %v", err)
+			}
+			f.Close()
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "profiling: "+format+"\n", args...)
+	os.Exit(1)
+}

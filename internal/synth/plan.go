@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"crowdscope/internal/model"
+	"crowdscope/internal/par"
 	"crowdscope/internal/rng"
 	"crowdscope/internal/store"
 )
@@ -103,51 +104,37 @@ func prepPlans(d *Dataset, stubs []batchStub, sampled []bool, seedBase uint64) [
 	}
 	plans := make([]*batchPlan, len(idx))
 
-	nsh := d.Cfg.shards()
-	if nsh > len(idx) {
-		nsh = len(idx)
-	}
-	if nsh < 1 {
-		nsh = 1
-	}
-	var wg sync.WaitGroup
-	for sh := 0; sh < nsh; sh++ {
-		lo, hi := sh*len(idx)/nsh, (sh+1)*len(idx)/nsh
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for k := lo; k < hi; k++ {
-				i := idx[k]
-				stb := &stubs[i]
-				tt := &d.TaskTypes[stb.taskType]
-				bp := &batchPlan{
-					id:         uint32(i),
-					taskType:   stb.taskType,
-					q:          deviationProb(tt.Ambiguity),
-					renderSeed: mixSeed(seedBase, uint64(i), 2),
-					items:      physicalItems(stb.declaredItems, d.Cfg.Scale),
-					red:        int(stb.redundancy),
-				}
-				pickRand := rng.New(mixSeed(seedBase, uint64(i), 1))
-				bp.slotStart = make([]int64, bp.items*bp.red)
-				maxStart := model.Horizon.Unix() - 3600
-				for s := range bp.slotStart {
-					pickup := pickRand.LogNormalMedian(stb.pickupMedian, 1.1)
-					start := stb.createdSec + int64(pickup)
-					// The observation window closes at the horizon;
-					// instances that would start beyond it are picked up at
-					// the very end instead (the real dataset likewise only
-					// contains observed work).
-					if start > maxStart {
-						start = maxStart
-					}
-					bp.slotStart[s] = start
-				}
-				plans[k] = bp
+	par.EachShard(len(idx), d.Cfg.shards(), func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			i := idx[k]
+			stb := &stubs[i]
+			tt := &d.TaskTypes[stb.taskType]
+			bp := &batchPlan{
+				id:         uint32(i),
+				taskType:   stb.taskType,
+				q:          deviationProb(tt.Ambiguity),
+				renderSeed: mixSeed(seedBase, uint64(i), 2),
+				items:      physicalItems(stb.declaredItems, d.Cfg.Scale),
+				red:        int(stb.redundancy),
 			}
-		}(lo, hi)
-	}
-	wg.Wait()
+			pickRand := rng.New(mixSeed(seedBase, uint64(i), 1))
+			bp.slotStart = make([]int64, bp.items*bp.red)
+			maxStart := model.Horizon.Unix() - 3600
+			for s := range bp.slotStart {
+				pickup := pickRand.LogNormalMedian(stb.pickupMedian, 1.1)
+				start := stb.createdSec + int64(pickup)
+				// The observation window closes at the horizon;
+				// instances that would start beyond it are picked up at
+				// the very end instead (the real dataset likewise only
+				// contains observed work).
+				if start > maxStart {
+					start = maxStart
+				}
+				bp.slotStart[s] = start
+			}
+			plans[k] = bp
+		}
+	})
 	return plans
 }
 
