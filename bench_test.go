@@ -7,6 +7,7 @@
 package crowdscope_test
 
 import (
+	"bytes"
 	"sync"
 	"testing"
 
@@ -15,6 +16,7 @@ import (
 	"crowdscope/internal/corr"
 	"crowdscope/internal/experiments"
 	"crowdscope/internal/metrics"
+	"crowdscope/internal/store"
 	"crowdscope/internal/synth"
 )
 
@@ -170,6 +172,76 @@ func BenchmarkClusterBatches(b *testing.B) {
 		if c.NumClusters() == 0 {
 			b.Fatal("no clusters")
 		}
+	}
+}
+
+// Snapshot codec benchmarks at the default 2% scale (~0.5M rows). The
+// serial/parallel variants bound the same worker knob the CLIs expose;
+// output and loaded stores are identical across them.
+
+var (
+	snapOnce sync.Once
+	snapDS   *synth.Dataset
+	snapRaw  []byte
+)
+
+func snapSetup(b *testing.B) {
+	b.Helper()
+	snapOnce.Do(func() {
+		snapDS = synth.Generate(synth.Config{Seed: 1701, Scale: 0.02})
+		var buf bytes.Buffer
+		if _, err := snapDS.Store.WriteTo(&buf); err != nil {
+			panic(err)
+		}
+		snapRaw = buf.Bytes()
+	})
+}
+
+func BenchmarkSnapshotWriteTo(b *testing.B) {
+	snapSetup(b)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(snapRaw)))
+			buf := bytes.NewBuffer(make([]byte, 0, len(snapRaw)+1024))
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				if _, err := snapDS.Store.WriteSnapshot(buf, store.WriteOptions{Workers: bc.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSnapshotReadFrom(b *testing.B) {
+	snapSetup(b)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(snapRaw)))
+			for i := 0; i < b.N; i++ {
+				var st store.Store
+				if _, err := st.ReadSnapshot(bytes.NewReader(snapRaw), store.LoadOptions{Workers: bc.workers}); err != nil {
+					b.Fatal(err)
+				}
+				if st.Len() != snapDS.Store.Len() {
+					b.Fatal("short load")
+				}
+			}
+		})
 	}
 }
 

@@ -4,10 +4,13 @@
 // Usage:
 //
 //	crowdgen -seed 1701 -scale 0.02 -out marketplace.crow
+//	crowdgen -verify-snapshot ...   # re-load and compare after writing
 //
 // Generation is deterministic in (seed, scale): tools that need the full
 // inventory (batches, workers, HTML) regenerate it from the same
-// parameters instead of deserializing it.
+// parameters instead of deserializing it. Snapshots embed a provenance
+// section (config hash, seed, tool) so downstream loads can check they
+// are analyzing under the config that produced the rows.
 package main
 
 import (
@@ -16,18 +19,24 @@ import (
 	"os"
 	"time"
 
+	"crowdscope/internal/store"
 	"crowdscope/internal/synth"
 )
+
+// toolVersion identifies this writer in snapshot provenance.
+const toolVersion = "crowdgen/3"
 
 func main() {
 	seed := flag.Uint64("seed", 1701, "generation seed")
 	scale := flag.Float64("scale", 0.02, "instance-volume scale in (0,1]; 1.0 ≈ 27M instances")
 	workers := flag.Int("workers", 0, "generation pipeline shards (0 = GOMAXPROCS, 1 = serial); never changes the data")
 	out := flag.String("out", "marketplace.crow", "snapshot output path")
+	verify := flag.Bool("verify-snapshot", false, "re-open the written snapshot, strict-load it, and compare column-for-column")
 	flag.Parse()
 
+	cfg := synth.Config{Seed: *seed, Scale: *scale, Parallelism: *workers}
 	t0 := time.Now()
-	ds := synth.Generate(synth.Config{Seed: *seed, Scale: *scale, Parallelism: *workers})
+	ds := synth.Generate(cfg)
 	genDur := time.Since(t0)
 
 	f, err := os.Create(*out)
@@ -35,7 +44,8 @@ func main() {
 		fatal("create %s: %v", *out, err)
 	}
 	defer f.Close()
-	n, err := ds.Store.WriteTo(f)
+	prov := &store.Provenance{ConfigHash: cfg.Hash(), Seed: cfg.Seed, Tool: toolVersion}
+	n, err := ds.Store.WriteSnapshot(f, store.WriteOptions{Provenance: prov, Workers: *workers})
 	if err != nil {
 		fatal("write snapshot: %v", err)
 	}
@@ -46,7 +56,55 @@ func main() {
 	fmt.Printf("  task types:   %d\n", len(ds.TaskTypes))
 	fmt.Printf("  workers:      %d observed (%d generated)\n", len(obs), len(ds.Workers))
 	fmt.Printf("  instances:    %d in %d segments\n", ds.Store.Len(), len(ds.Store.Segments()))
-	fmt.Printf("  snapshot:     %s (%.1f MB, %.1f bytes/row)\n", *out, float64(n)/1e6, float64(n)/float64(ds.Store.Len()))
+	fmt.Printf("  snapshot:     %s (%.1f MB, %.1f bytes/row, config %016x)\n", *out, float64(n)/1e6, float64(n)/float64(ds.Store.Len()), prov.ConfigHash)
+
+	if *verify {
+		t0 = time.Now()
+		if err := verifySnapshot(*out, ds.Store, *workers); err != nil {
+			fatal("verify %s: %v", *out, err)
+		}
+		fmt.Printf("  verified:     strict reload matches column-for-column (%v)\n", time.Since(t0).Round(time.Millisecond))
+	}
+}
+
+// verifySnapshot strict-loads the written file and compares it
+// column-for-column against the in-memory store, exercising the full
+// write→read path before the generator's output is trusted.
+func verifySnapshot(path string, want *store.Store, workers int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var got store.Store
+	if _, err := got.ReadSnapshot(f, store.LoadOptions{Workers: workers}); err != nil {
+		return err
+	}
+	if got.Len() != want.Len() || got.NumBatches() != want.NumBatches() {
+		return fmt.Errorf("shape mismatch: %d rows/%d batches, wrote %d/%d", got.Len(), got.NumBatches(), want.Len(), want.NumBatches())
+	}
+	for i := 0; i < want.Len(); i++ {
+		if got.Row(i) != want.Row(i) {
+			return fmt.Errorf("row %d differs after reload: %+v vs %+v", i, got.Row(i), want.Row(i))
+		}
+	}
+	for b := 0; b < want.NumBatches(); b++ {
+		glo, ghi := got.BatchRange(uint32(b))
+		wlo, whi := want.BatchRange(uint32(b))
+		if glo != wlo || ghi != whi {
+			return fmt.Errorf("batch %d range differs after reload", b)
+		}
+	}
+	ws, gs := want.Segments(), got.Segments()
+	if len(ws) != len(gs) {
+		return fmt.Errorf("segment count differs after reload: %d vs %d", len(gs), len(ws))
+	}
+	for i := range ws {
+		if ws[i] != gs[i] {
+			return fmt.Errorf("segment %d differs after reload", i)
+		}
+	}
+	return got.Validate()
 }
 
 func fatal(format string, args ...interface{}) {

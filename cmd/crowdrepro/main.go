@@ -6,6 +6,9 @@
 //	crowdrepro                        # run everything
 //	crowdrepro -run fig3,tab1,sec49   # run selected experiments
 //	crowdrepro -tsv out/              # also write TSV series for plotting
+//	crowdrepro -snapshot marketplace.crow   # analyze a crowdgen snapshot
+//	                                        # (provenance-checked) instead
+//	                                        # of rematerializing the log
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"crowdscope/internal/core"
 	"crowdscope/internal/experiments"
 	"crowdscope/internal/profiling"
+	"crowdscope/internal/store"
 	"crowdscope/internal/synth"
 )
 
@@ -27,6 +31,7 @@ func main() {
 	seed := flag.Uint64("seed", 1701, "generation seed")
 	scale := flag.Float64("scale", 0.02, "instance-volume scale in (0,1]")
 	workers := flag.Int("workers", 0, "generation and analysis goroutine bound (0 = GOMAXPROCS, 1 = serial); never changes the data")
+	snapshotPath := flag.String("snapshot", "", "load the instance log from this snapshot instead of rematerializing it (inventory still derives from -seed/-scale; provenance is checked)")
 	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	tsvDir := flag.String("tsv", "", "directory to write TSV series into")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
@@ -57,17 +62,36 @@ func main() {
 		}
 	}
 
-	fmt.Printf("generating marketplace (seed=%d scale=%g)...\n", *seed, *scale)
-	t0 := time.Now()
-	ds := synth.Generate(synth.Config{Seed: *seed, Scale: *scale, Parallelism: *workers})
-	fmt.Printf("  %d instances (%d segments), %d sampled batches in %v\n", ds.Store.Len(), len(ds.Store.Segments()), len(ds.SampledBatchIDs()), time.Since(t0).Round(time.Millisecond))
-
-	fmt.Println("running analysis pipeline (clustering, metrics, features)...")
-	t0 = time.Now()
+	cfg := synth.Config{Seed: *seed, Scale: *scale, Parallelism: *workers}
 	copts := core.DefaultOptions()
 	copts.Workers = *workers
-	analysis := core.New(ds, copts)
-	fmt.Printf("  %d clusters in %v\n", analysis.Clustering.NumClusters(), time.Since(t0).Round(time.Millisecond))
+
+	var analysis *core.Analysis
+	if *snapshotPath != "" {
+		fmt.Printf("loading snapshot %s (inventory from seed=%d scale=%g)...\n", *snapshotPath, *seed, *scale)
+		t0 := time.Now()
+		st, prov := loadSnapshot(*snapshotPath, *workers)
+		fmt.Printf("  %d instances (%d segments) loaded in %v\n", st.Len(), len(st.Segments()), time.Since(t0).Round(time.Millisecond))
+		fmt.Println("running analysis pipeline (clustering, metrics, features)...")
+		t0 = time.Now()
+		var err error
+		analysis, err = core.FromSnapshot(cfg, st, prov, copts)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("  %d clusters in %v\n", analysis.Clustering.NumClusters(), time.Since(t0).Round(time.Millisecond))
+	} else {
+		fmt.Printf("generating marketplace (seed=%d scale=%g)...\n", *seed, *scale)
+		t0 := time.Now()
+		ds := synth.Generate(cfg)
+		fmt.Printf("  %d instances (%d segments), %d sampled batches in %v\n", ds.Store.Len(), len(ds.Store.Segments()), len(ds.SampledBatchIDs()), time.Since(t0).Round(time.Millisecond))
+
+		fmt.Println("running analysis pipeline (clustering, metrics, features)...")
+		t0 = time.Now()
+		analysis = core.New(ds, copts)
+		fmt.Printf("  %d clusters in %v\n", analysis.Clustering.NumClusters(), time.Since(t0).Round(time.Millisecond))
+	}
+	ds := analysis.DS
 
 	ctx := experiments.NewContext(analysis)
 	var md *mdReport
@@ -116,6 +140,22 @@ func main() {
 		}
 		fmt.Printf("\nwrote %s\n", *checksMD)
 	}
+}
+
+// loadSnapshot strict-loads an instance-log snapshot; the provenance (if
+// present) is returned for core.FromSnapshot's config check.
+func loadSnapshot(path string, workers int) (*store.Store, *store.Provenance) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	var st store.Store
+	rep, err := st.ReadSnapshot(f, store.LoadOptions{Workers: workers})
+	if err != nil {
+		fatal("load snapshot %s: %v (run `crowdstats verify-snapshot %s` to inspect the damage)", path, err, path)
+	}
+	return &st, rep.Provenance
 }
 
 // mdReport accumulates the EXPERIMENTS.md paper-vs-measured report.

@@ -6,6 +6,9 @@
 //
 //	crowdstats -seed 1701 -scale 0.02 summary
 //	crowdstats sources | countries | clusters | load | workers
+//	crowdstats -snapshot marketplace.crow summary   # reuse a crowdgen snapshot
+//	crowdstats snapshot marketplace.crow            # inspect a snapshot file
+//	crowdstats verify-snapshot marketplace.crow     # check every section checksum
 package main
 
 import (
@@ -30,6 +33,7 @@ func main() {
 	scale := flag.Float64("scale", 0.02, "instance-volume scale in (0,1]")
 	workers := flag.Int("workers", 0, "generation and analysis goroutine bound (0 = GOMAXPROCS, 1 = serial); never changes the data")
 	top := flag.Int("top", 15, "rows to show in rollups")
+	snapshotPath := flag.String("snapshot", "", "load the instance log from this snapshot instead of regenerating it (inventory still derives from -seed/-scale; provenance is checked)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -46,8 +50,18 @@ func main() {
 		snapshotCmd(flag.Arg(1))
 		return
 	}
+	if cmd == "verify-snapshot" {
+		verifySnapshotCmd(flag.Arg(1), *workers)
+		return
+	}
 
-	ds := synth.Generate(synth.Config{Seed: *seed, Scale: *scale, Parallelism: *workers})
+	cfg := synth.Config{Seed: *seed, Scale: *scale, Parallelism: *workers}
+	var ds *synth.Dataset
+	if *snapshotPath != "" {
+		ds = loadDataset(cfg, *snapshotPath, *workers)
+	} else {
+		ds = synth.Generate(cfg)
+	}
 
 	switch cmd {
 	case "summary":
@@ -71,9 +85,38 @@ func main() {
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "crowdstats: unknown command %q\n", cmd)
-		fmt.Fprintln(os.Stderr, "commands: summary load sources countries workers clusters snapshot <file>")
+		fmt.Fprintln(os.Stderr, "commands: summary load sources countries workers clusters snapshot <file> verify-snapshot <file>")
 		os.Exit(1)
 	}
+}
+
+// loadDataset rebuilds a full dataset around a snapshot-restored instance
+// log: strict load, provenance check against the flags, then inventory
+// regeneration (synth.Rehydrate).
+func loadDataset(cfg synth.Config, path string, workers int) *synth.Dataset {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crowdstats: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	var st store.Store
+	rep, err := st.ReadSnapshot(f, store.LoadOptions{Workers: workers})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crowdstats: load snapshot: %v\n", err)
+		os.Exit(1)
+	}
+	if p := rep.Provenance; p != nil && p.ConfigHash != cfg.Hash() {
+		fmt.Fprintf(os.Stderr, "crowdstats: snapshot %s was written by %q under config %016x, but flags give %016x (seed %d, scale %g); pass the matching -seed/-scale\n",
+			path, p.Tool, p.ConfigHash, cfg.Hash(), cfg.Seed, cfg.Scale)
+		os.Exit(1)
+	}
+	ds, err := synth.Rehydrate(cfg, &st)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crowdstats: %v\n", err)
+		os.Exit(1)
+	}
+	return ds
 }
 
 // snapshotCmd inspects an instance-log snapshot written by crowdgen.
@@ -89,7 +132,7 @@ func snapshotCmd(path string) {
 	}
 	defer f.Close()
 	var st store.Store
-	n, err := st.ReadFrom(f)
+	rep, err := st.ReadSnapshot(f, store.LoadOptions{})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "crowdstats: read snapshot: %v\n", err)
 		os.Exit(1)
@@ -104,6 +147,10 @@ func snapshotCmd(path string) {
 			nonEmpty++
 		}
 	}
+	if st.Len() == 0 {
+		fmt.Printf("Snapshot %s: v%d, %d bytes, empty store\n", path, rep.Version, rep.Bytes)
+		return
+	}
 	starts := st.Starts()
 	minS, maxS := starts[0], starts[0]
 	for _, s := range starts {
@@ -116,15 +163,85 @@ func snapshotCmd(path string) {
 	}
 	tbl := report.NewTable("Snapshot " + path)
 	tbl.Headers = []string{"quantity", "value"}
-	tbl.AddRow("bytes", n)
+	tbl.AddRow("format version", rep.Version)
+	tbl.AddRow("bytes", rep.Bytes)
 	tbl.AddRow("rows", st.Len())
-	tbl.AddRow("bytes/row", float64(n)/float64(st.Len()))
+	tbl.AddRow("bytes/row", float64(rep.Bytes)/float64(st.Len()))
 	tbl.AddRow("batches with rows", nonEmpty)
 	tbl.AddRow("segments", len(st.Segments()))
 	tbl.AddRow("distinct workers", st.DistinctWorkers())
 	tbl.AddRow("first start week", model.WeekOfUnix(minS))
 	tbl.AddRow("last start week", model.WeekOfUnix(maxS))
+	if p := rep.Provenance; p != nil {
+		tbl.AddRow("written by", p.Tool)
+		tbl.AddRow("generator seed", p.Seed)
+		tbl.AddRow("config hash", fmt.Sprintf("%016x", p.ConfigHash))
+	} else {
+		tbl.AddRow("provenance", "none (pre-v3 snapshot)")
+	}
 	tbl.Render(os.Stdout)
+}
+
+// verifySnapshotCmd strict-loads a snapshot, reporting either a clean
+// bill (every section checksum verified, structure valid) or the precise
+// damaged sections — distinguishing truncation from corruption — via a
+// follow-up repair-mode pass.
+func verifySnapshotCmd(path string, workers int) {
+	if path == "" {
+		fmt.Fprintln(os.Stderr, "crowdstats: verify-snapshot requires a file path")
+		os.Exit(1)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crowdstats: %v\n", err)
+		os.Exit(1)
+	}
+	var st store.Store
+	rep, serr := st.ReadSnapshot(f, store.LoadOptions{Workers: workers})
+	f.Close()
+	if serr == nil {
+		if err := st.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "crowdstats: %s: sections OK but structure invalid: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: OK (v%d, %d bytes, %d rows, %d segments", path, rep.Version, rep.Bytes, st.Len(), st.NumSegments())
+		if p := rep.Provenance; p != nil {
+			fmt.Printf(", written by %s, config %016x", p.Tool, p.ConfigHash)
+		}
+		if rep.Version < 3 {
+			fmt.Printf("; note: pre-v3 format has no section checksums")
+		}
+		fmt.Println(")")
+		return
+	}
+	fmt.Fprintf(os.Stderr, "crowdstats: %s: strict load FAILED: %v\n", path, serr)
+	rf, err := os.Open(path)
+	if err == nil {
+		defer rf.Close()
+		var recovered store.Store
+		if rrep, rerr := recovered.ReadSnapshot(rf, store.LoadOptions{Mode: store.LoadRepair, Workers: workers}); rerr == nil {
+			fmt.Fprintf(os.Stderr, "  repair mode recovers %d of %d rows; damaged sections: %v\n",
+				recovered.Len()-damagedRows(rrep, &recovered), recovered.Len(), rrep.Damaged)
+		} else {
+			fmt.Fprintf(os.Stderr, "  repair mode also fails: %v\n", rerr)
+		}
+	}
+	os.Exit(1)
+}
+
+// damagedRows estimates how many rows repair mode zero-filled: rows whose
+// start time is zero never occur in generated data.
+func damagedRows(rep *store.LoadReport, st *store.Store) int {
+	if len(rep.Damaged) == 0 {
+		return 0
+	}
+	n := 0
+	for _, s := range st.Starts() {
+		if s == 0 {
+			n++
+		}
+	}
+	return n
 }
 
 func summary(ds *synth.Dataset) {

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"sync"
 
@@ -17,6 +18,7 @@ import (
 	"crowdscope/internal/model"
 	"crowdscope/internal/par"
 	"crowdscope/internal/stats"
+	"crowdscope/internal/store"
 	"crowdscope/internal/synth"
 )
 
@@ -116,6 +118,25 @@ func New(ds *synth.Dataset, opts Options) *Analysis {
 	}
 	a.buildClusterTable(pages, opts.Workers)
 	return a
+}
+
+// FromSnapshot runs the full assembly over an instance log restored from
+// a snapshot instead of a freshly materialized one: the inventory
+// regenerates deterministically from cfg (synth.Rehydrate) and the store
+// stands in for the generation phase. When the snapshot carries
+// provenance, its config hash must match cfg — analyzing rows under a
+// config that did not produce them silently skews every table, which is
+// exactly what provenance exists to catch.
+func FromSnapshot(cfg synth.Config, st *store.Store, prov *store.Provenance, opts Options) (*Analysis, error) {
+	if prov != nil && prov.ConfigHash != cfg.Hash() {
+		return nil, fmt.Errorf("core: snapshot provenance mismatch: snapshot written by %q under config hash %016x, analyzing under %016x (seed %d, scale %g)",
+			prov.Tool, prov.ConfigHash, cfg.Hash(), cfg.Seed, cfg.Scale)
+	}
+	ds, err := synth.Rehydrate(cfg, st)
+	if err != nil {
+		return nil, err
+	}
+	return New(ds, opts), nil
 }
 
 // pageCache holds everything derived from one tokenization of each

@@ -39,3 +39,42 @@ func EachShard(n, workers int, fn func(lo, hi int)) {
 	}
 	wg.Wait()
 }
+
+// EachShardErr is EachShard for shard bodies that can fail. All shards run
+// to completion (disjoint-slot writers cannot be cancelled midway without
+// losing determinism); the error of the lowest-indexed failing shard is
+// returned, so the reported failure is the same for every worker count.
+func EachShardErr(n, workers int, fn func(lo, hi int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return fn(0, n)
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = fn(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestEachShardCoversRange(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 3, 7, 100} {
+		n := 53
+		hit := make([]int32, n)
+		EachShard(n, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hit[i], 1)
+			}
+		})
+		for i, h := range hit {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestEachShardEmpty(t *testing.T) {
+	called := false
+	EachShard(0, 4, func(lo, hi int) { called = true })
+	if called {
+		t.Error("fn called for n=0")
+	}
+}
+
+func TestEachShardErrCoversRange(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 5, 64} {
+		n := 31
+		hit := make([]int32, n)
+		err := EachShardErr(n, workers, func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hit[i], 1)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hit {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+// TestEachShardErrFirstError: the lowest-indexed shard's error wins for
+// every worker count, so callers see a deterministic failure.
+func TestEachShardErrFirstError(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, workers := range []int{1, 2, 4, 16} {
+		err := EachShardErr(16, workers, func(lo, hi int) error {
+			if lo == 0 {
+				return errLow
+			}
+			if hi == 16 {
+				return errHigh
+			}
+			return nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("workers=%d: got %v, want %v", workers, err, errLow)
+		}
+	}
+}
+
+func TestEachShardErrNil(t *testing.T) {
+	if err := EachShardErr(0, 4, func(lo, hi int) error { return errors.New("boom") }); err != nil {
+		t.Errorf("n=0 should not run fn: %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -9,149 +10,167 @@ import (
 	"math"
 )
 
-// Snapshot format: a small header, then each column length-prefixed.
-// Integer columns are varint-encoded with delta coding where values are
-// near-sorted (start/end times ascend with batch order), which compresses
-// the dominant columns several-fold versus fixed-width.
+// Snapshot format, version 3: a fixed header (magic, version) followed by
+// a sequence of framed sections. Every section carries a one-byte kind, a
+// little-endian uint32 payload length, and a CRC32 (IEEE) of the payload,
+// so a truncated or bit-flipped file is caught at the damaged section —
+// with its name — instead of decoding into garbage.
 //
-// Version 2 appends the segment table (count, then per segment the row
-// span and batch interval as uvarints) after the batch ranges, so a
-// reloaded store keeps the shard layout its parallel scans align to.
-// Version 1 snapshots (no table) still load, as a single implicit segment.
+// Section order: meta, optional provenance, segment table, batch ranges,
+// then one column block per row span. Column blocks tile [0, rows) in
+// order; each block is self-contained (delta coding restarts at the block
+// boundary), which is what lets blocks be encoded and decoded in parallel
+// with bounded scratch memory. Integer columns are varint-encoded with
+// delta coding where values are near-sorted (start times ascend with
+// batch order), which compresses the dominant columns several-fold versus
+// fixed-width.
+//
+// Versions 1 (no segment table) and 2 (monolithic, unchecksummed) remain
+// readable through the legacy decoder in codec_legacy.go.
 const (
-	snapshotMagic      = 0x43524F57 // "CROW"
-	snapshotVersion    = 2
-	snapshotVersionPre = 1 // pre-segment format, still readable
+	snapshotMagic     = 0x43524F57 // "CROW"
+	snapshotVersion   = 3
+	snapshotVersionV2 = 2 // segment table, no sections/checksums
+	snapshotVersionV1 = 1 // pre-segment format
 )
 
-// WriteTo serializes the store. It implements io.WriterTo.
-func (s *Store) WriteTo(w io.Writer) (int64, error) {
-	cw := &countingWriter{w: bufio.NewWriterSize(w, 1<<20)}
+// Sentinel errors for snapshot decoding. Codec errors wrap one of these
+// plus the name of the section that failed, so callers can distinguish a
+// truncated file from a corrupt column with errors.Is.
+var (
+	ErrBadMagic   = errors.New("bad magic")
+	ErrBadVersion = errors.New("unsupported version")
+	ErrTruncated  = errors.New("truncated")
+	ErrChecksum   = errors.New("checksum mismatch")
+	ErrCorrupt    = errors.New("corrupt data")
+)
 
-	writeU32 := func(v uint32) { binary.Write(cw, binary.LittleEndian, v) }
-	writeU32(snapshotMagic)
-	writeU32(snapshotVersion)
-	writeU32(uint32(len(s.start)))
-	writeU32(uint32(len(s.ranges)))
-
-	putUvarints(cw, s.batch)
-	putUvarints(cw, s.taskType)
-	putUvarints(cw, s.item)
-	putUvarints(cw, s.worker)
-	putDeltaVarints(cw, s.start)
-	// End times stored as offsets from start: always small.
-	offs := make([]uint32, len(s.end))
-	for i := range s.end {
-		offs[i] = uint32(s.end[i] - s.start[i])
-	}
-	putUvarints(cw, offs)
-	putFloats(cw, s.trust)
-	putUvarints(cw, s.answer)
-	for _, rr := range s.ranges {
-		putUvarint(cw, uint64(rr.Lo))
-		putUvarint(cw, uint64(rr.Hi))
-	}
-	putUvarint(cw, uint64(len(s.segs)))
-	for _, si := range s.segs {
-		putUvarint(cw, uint64(si.RowLo))
-		putUvarint(cw, uint64(si.RowHi))
-		putUvarint(cw, uint64(si.BatchLo))
-		putUvarint(cw, uint64(si.BatchHi))
-	}
-	if err := cw.w.(*bufio.Writer).Flush(); err != nil {
-		return cw.n, err
-	}
-	return cw.n, cw.err
+// sectionErr wraps a sentinel (or an already-wrapped error) with the
+// snapshot section it occurred in.
+func sectionErr(section string, err error) error {
+	return fmt.Errorf("snapshot: %s: %w", section, err)
 }
 
-// ReadFrom deserializes a snapshot into the (empty) store. It implements
-// io.ReaderFrom.
+// asTruncated maps the raw EOF errors io readers return to the ErrTruncated
+// sentinel, keeping the underlying error text.
+func asTruncated(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	return err
+}
+
+// Provenance records where a snapshot came from: the hash of the generator
+// configuration that produced the rows, its seed, and the writing tool.
+// It is stored in its own checksummed section so a reloaded store can be
+// matched against the config a pipeline is about to analyze it under.
+type Provenance struct {
+	ConfigHash uint64
+	Seed       uint64
+	Tool       string
+}
+
+// WriteOptions tune WriteSnapshot.
+type WriteOptions struct {
+	// Provenance, when non-nil, is embedded in the snapshot.
+	Provenance *Provenance
+	// Workers bounds the goroutine fan-out of block encoding; zero or
+	// negative means GOMAXPROCS. The output bytes are identical for every
+	// value — block boundaries are fixed by the data, not the workers.
+	Workers int
+}
+
+// LoadMode selects how ReadSnapshot treats a damaged snapshot.
+type LoadMode int
+
+const (
+	// LoadStrict fails on the first damaged section and leaves the store
+	// untouched: a strict load never yields a half-populated store.
+	LoadStrict LoadMode = iota
+	// LoadRepair recovers what it can: a damaged or missing column block
+	// is zero-filled (batch IDs rebuilt from the range table so the store
+	// still validates) and recorded in the LoadReport. The structural
+	// sections (meta, segment table, batch ranges) are required in both
+	// modes, and a truncated tail is zero-filled only up to
+	// repairMaxFillRows — missing rows are claimed, not input-backed, so
+	// the fill is capped rather than trusting a possibly forged count.
+	LoadRepair
+)
+
+// LoadOptions tune ReadSnapshot.
+type LoadOptions struct {
+	Mode LoadMode
+	// Workers bounds the goroutine fan-out of block decoding; zero or
+	// negative means GOMAXPROCS. The loaded store is identical for every
+	// value.
+	Workers int
+}
+
+// LoadReport describes what ReadSnapshot found.
+type LoadReport struct {
+	// Version is the snapshot format version (1, 2 or 3).
+	Version uint32
+	// Bytes is the number of input bytes consumed.
+	Bytes int64
+	// Rows is the number of instance rows loaded.
+	Rows int
+	// Provenance is the embedded provenance section, nil when absent
+	// (always nil for v1/v2 snapshots).
+	Provenance *Provenance
+	// Damaged lists the sections repair mode zero-filled; empty after a
+	// clean load, and always empty in strict mode (strict fails instead).
+	Damaged []string
+}
+
+// WriteTo serializes the store in the current snapshot format with default
+// options. It implements io.WriterTo.
+func (s *Store) WriteTo(w io.Writer) (int64, error) {
+	return s.WriteSnapshot(w, WriteOptions{})
+}
+
+// ReadFrom deserializes a snapshot into the (empty) store, strictly. It
+// implements io.ReaderFrom.
 func (s *Store) ReadFrom(r io.Reader) (int64, error) {
+	rep, err := s.ReadSnapshot(r, LoadOptions{})
+	return rep.Bytes, err
+}
+
+// ReadSnapshot deserializes a snapshot of any supported version into the
+// (empty) store. On error in strict mode the store is left untouched.
+func (s *Store) ReadSnapshot(r io.Reader, opts LoadOptions) (*LoadReport, error) {
 	cr := &countingReader{r: bufio.NewReaderSize(r, 1<<20)}
-	var magic, version, n, nb uint32
-	for _, p := range []*uint32{&magic, &version, &n, &nb} {
+	rep := &LoadReport{}
+	loaded, err := readSnapshot(cr, opts, rep)
+	rep.Bytes = cr.n
+	if err != nil {
+		return rep, err
+	}
+	rep.Rows = loaded.Len()
+	*s = *loaded
+	return rep, nil
+}
+
+// readSnapshot decodes the header, dispatches on version, and returns the
+// fully decoded store; the caller installs it only on success.
+func readSnapshot(cr *countingReader, opts LoadOptions, rep *LoadReport) (*Store, error) {
+	var magic, version uint32
+	for _, p := range []*uint32{&magic, &version} {
 		if err := binary.Read(cr, binary.LittleEndian, p); err != nil {
-			return cr.n, err
+			return nil, sectionErr("header", asTruncated(err))
 		}
 	}
 	if magic != snapshotMagic {
-		return cr.n, errors.New("store: bad snapshot magic")
+		return nil, sectionErr("header", ErrBadMagic)
 	}
-	if version != snapshotVersion && version != snapshotVersionPre {
-		return cr.n, fmt.Errorf("store: unsupported snapshot version %d", version)
+	rep.Version = version
+	switch version {
+	case snapshotVersionV1, snapshotVersionV2:
+		return readLegacy(cr, version)
+	case snapshotVersion:
+		return readV3(cr, opts, rep)
+	default:
+		return nil, sectionErr("header", fmt.Errorf("%w %d", ErrBadVersion, version))
 	}
-	var err error
-	if s.batch, err = getUvarints(cr, int(n)); err != nil {
-		return cr.n, err
-	}
-	if s.taskType, err = getUvarints(cr, int(n)); err != nil {
-		return cr.n, err
-	}
-	if s.item, err = getUvarints(cr, int(n)); err != nil {
-		return cr.n, err
-	}
-	if s.worker, err = getUvarints(cr, int(n)); err != nil {
-		return cr.n, err
-	}
-	if s.start, err = getDeltaVarints(cr, int(n)); err != nil {
-		return cr.n, err
-	}
-	offs, err := getUvarints(cr, int(n))
-	if err != nil {
-		return cr.n, err
-	}
-	s.end = make([]int64, n)
-	for i := range offs {
-		s.end[i] = s.start[i] + int64(offs[i])
-	}
-	if s.trust, err = getFloats(cr, int(n)); err != nil {
-		return cr.n, err
-	}
-	if s.answer, err = getUvarints(cr, int(n)); err != nil {
-		return cr.n, err
-	}
-	s.ranges = make([]rowRange, nb)
-	for i := range s.ranges {
-		lo, err := getUvarint(cr)
-		if err != nil {
-			return cr.n, err
-		}
-		hi, err := getUvarint(cr)
-		if err != nil {
-			return cr.n, err
-		}
-		s.ranges[i] = rowRange{Lo: int32(lo), Hi: int32(hi)}
-	}
-	s.segs = nil
-	if version >= snapshotVersion {
-		ns, err := getUvarint(cr)
-		if err != nil {
-			return cr.n, err
-		}
-		// Segments cover disjoint batch intervals, so their count is
-		// bounded by the batch count (empty segments are legal; rows are
-		// not a valid bound).
-		if ns > uint64(nb)+1 {
-			return cr.n, fmt.Errorf("store: snapshot claims %d segments for %d batches", ns, nb)
-		}
-		if ns > 0 {
-			s.segs = make([]SegmentInfo, ns)
-			for i := range s.segs {
-				var v [4]uint64
-				for j := range v {
-					if v[j], err = getUvarint(cr); err != nil {
-						return cr.n, err
-					}
-				}
-				s.segs[i] = SegmentInfo{
-					RowLo: int(v[0]), RowHi: int(v[1]),
-					BatchLo: uint32(v[2]), BatchHi: uint32(v[3]),
-				}
-			}
-		}
-	}
-	s.workerIndex = nil
-	return cr.n, nil
 }
 
 type countingWriter struct {
@@ -187,58 +206,129 @@ func (c *countingReader) ReadByte() (byte, error) {
 	return b[0], err
 }
 
-func putUvarint(w io.Writer, v uint64) {
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(buf[:], v)
-	w.Write(buf[:n])
+// sliceReader decodes from an in-memory section payload; it implements
+// io.Reader and io.ByteReader over the remaining bytes.
+type sliceReader struct {
+	buf []byte
+	pos int
+}
+
+func (s *sliceReader) Read(p []byte) (int, error) {
+	if s.pos >= len(s.buf) {
+		return 0, io.EOF
+	}
+	n := copy(p, s.buf[s.pos:])
+	s.pos += n
+	return n, nil
+}
+
+func (s *sliceReader) ReadByte() (byte, error) {
+	if s.pos >= len(s.buf) {
+		return 0, io.EOF
+	}
+	b := s.buf[s.pos]
+	s.pos++
+	return b, nil
+}
+
+func (s *sliceReader) remaining() int { return len(s.buf) - s.pos }
+
+// putUvarint appends one varint to the section buffer. Taking the
+// concrete *bytes.Buffer (not io.Writer) keeps the encode loop
+// allocation-free: nothing escapes through an interface call.
+func putUvarint(b *bytes.Buffer, v uint64) {
+	for v >= 0x80 {
+		b.WriteByte(byte(v) | 0x80)
+		v >>= 7
+	}
+	b.WriteByte(byte(v))
 }
 
 func getUvarint(r io.ByteReader) (uint64, error) {
 	return binary.ReadUvarint(r)
 }
 
-func putUvarints(w io.Writer, vs []uint32) {
+func putUvarints(b *bytes.Buffer, vs []uint32) {
 	for _, v := range vs {
-		putUvarint(w, uint64(v))
+		putUvarint(b, uint64(v))
 	}
 }
 
-func getUvarints(r io.ByteReader, n int) ([]uint32, error) {
-	out := make([]uint32, n)
-	for i := range out {
+// getUvarintsInto decodes len(dst) uvarints into dst.
+func getUvarintsInto(r io.ByteReader, dst []uint32) error {
+	for i := range dst {
 		v, err := binary.ReadUvarint(r)
 		if err != nil {
-			return nil, err
+			return asTruncated(err)
 		}
 		if v > math.MaxUint32 {
-			return nil, errors.New("store: varint exceeds uint32")
+			return fmt.Errorf("%w: varint exceeds uint32", ErrCorrupt)
 		}
-		out[i] = uint32(v)
+		dst[i] = uint32(v)
+	}
+	return nil
+}
+
+// getUvarints decodes n uvarints. The slice grows as input is consumed —
+// each element costs at least one input byte — so a forged count cannot
+// allocate more than a small multiple of the bytes actually present.
+func getUvarints(r io.ByteReader, n int) ([]uint32, error) {
+	out := make([]uint32, 0, min(n, allocChunk))
+	for i := 0; i < n; i++ {
+		v, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, asTruncated(err)
+		}
+		if v > math.MaxUint32 {
+			return nil, fmt.Errorf("%w: varint exceeds uint32", ErrCorrupt)
+		}
+		out = append(out, uint32(v))
 	}
 	return out, nil
 }
 
+// allocChunk caps how far any decode allocates ahead of the input it has
+// actually consumed, bounding memory on forged counts.
+const allocChunk = 1 << 16
+
 // putDeltaVarints zig-zag encodes successive differences; near-sorted
-// columns become streams of tiny varints.
-func putDeltaVarints(w io.Writer, vs []int64) {
+// columns become streams of tiny varints. Decoding restarts from zero, so
+// independently encoded blocks stay independently decodable.
+func putDeltaVarints(b *bytes.Buffer, vs []int64) {
 	prev := int64(0)
 	for _, v := range vs {
 		d := v - prev
-		putUvarint(w, zigzag(d))
+		putUvarint(b, zigzag(d))
 		prev = v
 	}
 }
 
-func getDeltaVarints(r io.ByteReader, n int) ([]int64, error) {
-	out := make([]int64, n)
+// getDeltaVarintsInto decodes len(dst) delta-coded values into dst.
+func getDeltaVarintsInto(r io.ByteReader, dst []int64) error {
 	prev := int64(0)
-	for i := range out {
+	for i := range dst {
 		u, err := binary.ReadUvarint(r)
 		if err != nil {
-			return nil, err
+			return asTruncated(err)
 		}
 		prev += unzigzag(u)
-		out[i] = prev
+		dst[i] = prev
+	}
+	return nil
+}
+
+// getDeltaVarints decodes n delta-coded values with input-bounded growth
+// (see getUvarints).
+func getDeltaVarints(r io.ByteReader, n int) ([]int64, error) {
+	out := make([]int64, 0, min(n, allocChunk))
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		u, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, asTruncated(err)
+		}
+		prev += unzigzag(u)
+		out = append(out, prev)
 	}
 	return out, nil
 }
@@ -246,36 +336,48 @@ func getDeltaVarints(r io.ByteReader, n int) ([]int64, error) {
 func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
 func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
-func putFloats(w io.Writer, vs []float32) {
-	buf := make([]byte, 4*1024)
-	for off := 0; off < len(vs); {
-		chunk := len(vs) - off
-		if chunk > 1024 {
-			chunk = 1024
-		}
-		for i := 0; i < chunk; i++ {
-			binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(vs[off+i]))
-		}
-		w.Write(buf[:chunk*4])
-		off += chunk
+func putFloats(b *bytes.Buffer, vs []float32) {
+	var scratch [4]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint32(scratch[:], math.Float32bits(v))
+		b.Write(scratch[:])
 	}
 }
 
-func getFloats(r io.Reader, n int) ([]float32, error) {
-	out := make([]float32, n)
+// getFloatsInto decodes len(dst) fixed-width floats into dst.
+func getFloatsInto(r io.Reader, dst []float32) error {
 	buf := make([]byte, 4*1024)
-	for off := 0; off < n; {
-		chunk := n - off
+	for off := 0; off < len(dst); {
+		chunk := len(dst) - off
 		if chunk > 1024 {
 			chunk = 1024
 		}
 		if _, err := io.ReadFull(r, buf[:chunk*4]); err != nil {
-			return nil, err
+			return asTruncated(err)
 		}
 		for i := 0; i < chunk; i++ {
-			out[off+i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+			dst[off+i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
 		}
 		off += chunk
+	}
+	return nil
+}
+
+// getFloats decodes n fixed-width floats with input-bounded growth.
+func getFloats(r io.Reader, n int) ([]float32, error) {
+	out := make([]float32, 0, min(n, allocChunk))
+	buf := make([]byte, 4*1024)
+	for len(out) < n {
+		chunk := n - len(out)
+		if chunk > 1024 {
+			chunk = 1024
+		}
+		if _, err := io.ReadFull(r, buf[:chunk*4]); err != nil {
+			return nil, asTruncated(err)
+		}
+		for i := 0; i < chunk; i++ {
+			out = append(out, math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:])))
+		}
 	}
 	return out, nil
 }

@@ -1,0 +1,243 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"crowdscope/internal/model"
+)
+
+var updateFixtures = flag.Bool("update-fixtures", false,
+	"rewrite the committed snapshot fixtures and fuzz corpus under testdata/")
+
+// writeSnapshotLegacy encodes the store in the retired v1/v2 monolithic
+// layout, byte-for-byte what the old WriteTo produced. Tests and fixture
+// generation use it to prove those formats stay loadable.
+func writeSnapshotLegacy(s *Store, version uint32) []byte {
+	var buf bytes.Buffer
+	writeU32 := func(v uint32) { binary.Write(&buf, binary.LittleEndian, v) }
+	writeU32(snapshotMagic)
+	writeU32(version)
+	writeU32(uint32(len(s.start)))
+	writeU32(uint32(len(s.ranges)))
+	putUvarints(&buf, s.batch)
+	putUvarints(&buf, s.taskType)
+	putUvarints(&buf, s.item)
+	putUvarints(&buf, s.worker)
+	putDeltaVarints(&buf, s.start)
+	for i := range s.end {
+		putUvarint(&buf, uint64(s.end[i]-s.start[i]))
+	}
+	putFloats(&buf, s.trust)
+	putUvarints(&buf, s.answer)
+	for _, rr := range s.ranges {
+		putUvarint(&buf, uint64(rr.Lo))
+		putUvarint(&buf, uint64(rr.Hi))
+	}
+	if version >= snapshotVersionV2 {
+		putUvarint(&buf, uint64(len(s.segs)))
+		for _, si := range s.segs {
+			putUvarint(&buf, uint64(si.RowLo))
+			putUvarint(&buf, uint64(si.RowHi))
+			putUvarint(&buf, uint64(si.BatchLo))
+			putUvarint(&buf, uint64(si.BatchHi))
+		}
+	}
+	return buf.Bytes()
+}
+
+// fixtureStore builds the deterministic assembled store the committed
+// fixtures pin: three segments over eight batches, with empty batches,
+// a skipped batch range, and an empty segment interval.
+func fixtureStore(t testing.TB) *Store {
+	t.Helper()
+	fill := func(b *Builder, batch uint32, rows int) {
+		b.BeginBatch(batch)
+		for i := 0; i < rows; i++ {
+			start := int64(1_400_000_000) + int64(batch)*86400 + int64(i)*300
+			b.Append(model.Instance{
+				Batch:    batch,
+				TaskType: batch % 5,
+				Item:     uint32(i),
+				Worker:   (batch*13 + uint32(i)*7) % 50,
+				Start:    start,
+				End:      start + 40 + int64(i%7)*11,
+				Trust:    float32((batch*7+uint32(i)*3)%16) / 16,
+				Answer:   batch*1000 + uint32(i),
+			})
+		}
+	}
+	a := NewBuilder(0, 3)
+	fill(a, 0, 4)
+	fill(a, 2, 3)
+	b := NewBuilder(3, 3) // sealed empty interval: segments may outnumber batches' worth of rows
+	c := NewBuilder(3, 8)
+	fill(c, 3, 2)
+	fill(c, 5, 5)
+	s, err := Assemble(8, []*Segment{a.Seal(), b.Seal(), c.Seal()})
+	if err != nil {
+		t.Fatalf("fixture Assemble: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("fixture store invalid: %v", err)
+	}
+	return s
+}
+
+func fixtureProvenance() *Provenance {
+	return &Provenance{ConfigHash: 0x1122334455667788, Seed: 1701, Tool: "crowdscope-fixture/3"}
+}
+
+// fixtureBytes renders the fixture store in every supported format.
+func fixtureBytes(t testing.TB) map[string][]byte {
+	t.Helper()
+	s := fixtureStore(t)
+	var v3 bytes.Buffer
+	if _, err := s.WriteSnapshot(&v3, WriteOptions{Provenance: fixtureProvenance(), Workers: 1}); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	return map[string][]byte{
+		"snapshot_v1.crow": writeSnapshotLegacy(s, snapshotVersionV1),
+		"snapshot_v2.crow": writeSnapshotLegacy(s, snapshotVersionV2),
+		"snapshot_v3.crow": v3.Bytes(),
+	}
+}
+
+// TestSnapshotGoldenLayout pins the v3 byte layout to the committed
+// fixture: any codec change that reorders sections, changes framing, or
+// alters column encoding fails here instead of silently forking formats.
+func TestSnapshotGoldenLayout(t *testing.T) {
+	files := fixtureBytes(t)
+	if *updateFixtures {
+		writeFixtures(t, files)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "snapshot_v3.crow"))
+	if err != nil {
+		t.Fatalf("read golden (run `go test ./internal/store -run TestSnapshotGoldenLayout -update-fixtures` to create): %v", err)
+	}
+	if !bytes.Equal(files["snapshot_v3.crow"], want) {
+		t.Fatalf("v3 byte layout changed: got %d bytes, golden %d bytes; if intentional, bump the format version and regenerate fixtures",
+			len(files["snapshot_v3.crow"]), len(want))
+	}
+}
+
+// TestSnapshotBackwardCompat loads the committed v1, v2 and v3 fixture
+// files and checks them column-for-column against the fixture store.
+func TestSnapshotBackwardCompat(t *testing.T) {
+	want := fixtureStore(t)
+	for _, tc := range []struct {
+		file     string
+		version  uint32
+		segments int
+		prov     bool
+	}{
+		{"snapshot_v1.crow", 1, 0, false},
+		{"snapshot_v2.crow", 2, 3, false},
+		{"snapshot_v3.crow", 3, 3, true},
+	} {
+		t.Run(tc.file, func(t *testing.T) {
+			raw, err := os.ReadFile(filepath.Join("testdata", tc.file))
+			if err != nil {
+				t.Fatalf("read fixture: %v", err)
+			}
+			var got Store
+			rep, err := got.ReadSnapshot(bytes.NewReader(raw), LoadOptions{})
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			if rep.Version != tc.version {
+				t.Errorf("version = %d, want %d", rep.Version, tc.version)
+			}
+			if rep.Bytes != int64(len(raw)) {
+				t.Errorf("consumed %d of %d bytes", rep.Bytes, len(raw))
+			}
+			if tc.prov {
+				if rep.Provenance == nil || *rep.Provenance != *fixtureProvenance() {
+					t.Errorf("provenance = %+v, want %+v", rep.Provenance, fixtureProvenance())
+				}
+			} else if rep.Provenance != nil {
+				t.Errorf("unexpected provenance %+v", rep.Provenance)
+			}
+			if got.NumSegments() != tc.segments {
+				t.Errorf("segments = %d, want %d", got.NumSegments(), tc.segments)
+			}
+			compareStores(t, want, &got, tc.segments > 0)
+			if err := got.Validate(); err != nil {
+				t.Errorf("loaded store invalid: %v", err)
+			}
+		})
+	}
+}
+
+// compareStores checks every column, the batch range table, and (when
+// withSegs) the segment table for equality.
+func compareStores(t *testing.T, want, got *Store, withSegs bool) {
+	t.Helper()
+	if got.Len() != want.Len() || got.NumBatches() != want.NumBatches() {
+		t.Fatalf("shape: %d rows/%d batches, want %d/%d", got.Len(), got.NumBatches(), want.Len(), want.NumBatches())
+	}
+	for i := 0; i < want.Len(); i++ {
+		if want.Row(i) != got.Row(i) {
+			t.Fatalf("row %d differs: %+v vs %+v", i, want.Row(i), got.Row(i))
+		}
+	}
+	for b := 0; b < want.NumBatches(); b++ {
+		alo, ahi := want.BatchRange(uint32(b))
+		blo, bhi := got.BatchRange(uint32(b))
+		if alo != blo || ahi != bhi {
+			t.Fatalf("batch %d range [%d,%d) vs [%d,%d)", b, alo, ahi, blo, bhi)
+		}
+	}
+	if withSegs {
+		if got.NumSegments() != want.NumSegments() {
+			t.Fatalf("segments %d vs %d", got.NumSegments(), want.NumSegments())
+		}
+		for i, si := range want.Segments() {
+			if got.Segments()[i] != si {
+				t.Fatalf("segment %d differs: %+v vs %+v", i, got.Segments()[i], si)
+			}
+		}
+	}
+}
+
+func writeFixtures(t *testing.T, files map[string][]byte) {
+	t.Helper()
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range files {
+		if err := os.WriteFile(filepath.Join("testdata", name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Committed fuzz corpus: full snapshots of each version plus
+	// truncated and bit-flipped v3 variants.
+	dir := filepath.Join("testdata", "fuzz", "FuzzReadFrom")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	v3 := files["snapshot_v3.crow"]
+	corpus := map[string][]byte{
+		"seed_v1":           files["snapshot_v1.crow"],
+		"seed_v2":           files["snapshot_v2.crow"],
+		"seed_v3":           v3,
+		"seed_v3_truncated": v3[:len(v3)/3],
+		"seed_garbage":      []byte("not a snapshot at all"),
+	}
+	for i, off := range []int{4, 9, 14, len(v3) / 2, len(v3) - 5} {
+		flip := append([]byte(nil), v3...)
+		flip[off] ^= 0x40
+		corpus[fmt.Sprintf("seed_v3_bitflip_%d", i)] = flip
+	}
+	for name, data := range corpus {
+		entry := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(entry), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

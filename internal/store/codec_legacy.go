@@ -1,0 +1,103 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// readLegacy decodes the v1/v2 snapshot body (after the magic/version
+// header): one monolithic, unchecksummed stream of length-implied columns,
+// then the batch ranges, then (v2 only) the segment table. Kept so every
+// snapshot ever written stays loadable; new snapshots are always v3.
+func readLegacy(cr *countingReader, version uint32) (*Store, error) {
+	var n32, nb32 uint32
+	for _, p := range []*uint32{&n32, &nb32} {
+		if err := binary.Read(cr, binary.LittleEndian, p); err != nil {
+			return nil, sectionErr("header", asTruncated(err))
+		}
+	}
+	n, nb := int(n32), int(nb32)
+
+	st := &Store{}
+	var err error
+	if st.batch, err = getUvarints(cr, n); err != nil {
+		return nil, sectionErr("column batch", err)
+	}
+	if st.taskType, err = getUvarints(cr, n); err != nil {
+		return nil, sectionErr("column task-type", err)
+	}
+	if st.item, err = getUvarints(cr, n); err != nil {
+		return nil, sectionErr("column item", err)
+	}
+	if st.worker, err = getUvarints(cr, n); err != nil {
+		return nil, sectionErr("column worker", err)
+	}
+	if st.start, err = getDeltaVarints(cr, n); err != nil {
+		return nil, sectionErr("column start", err)
+	}
+	offs, err := getUvarints(cr, n)
+	if err != nil {
+		return nil, sectionErr("column end", err)
+	}
+	st.end = make([]int64, n)
+	for i := range offs {
+		st.end[i] = st.start[i] + int64(offs[i])
+	}
+	if st.trust, err = getFloats(cr, n); err != nil {
+		return nil, sectionErr("column trust", err)
+	}
+	if st.answer, err = getUvarints(cr, n); err != nil {
+		return nil, sectionErr("column answer", err)
+	}
+	st.ranges = make([]rowRange, 0, min(nb, allocChunk))
+	for i := 0; i < nb; i++ {
+		lo, err := getUvarint(cr)
+		if err != nil {
+			return nil, sectionErr("batch ranges", asTruncated(err))
+		}
+		hi, err := getUvarint(cr)
+		if err != nil {
+			return nil, sectionErr("batch ranges", asTruncated(err))
+		}
+		if lo > hi || hi > uint64(n) {
+			return nil, sectionErr("batch ranges", fmt.Errorf("%w: batch %d range [%d,%d) invalid for %d rows", ErrCorrupt, i, lo, hi, n))
+		}
+		st.ranges = append(st.ranges, rowRange{Lo: int32(lo), Hi: int32(hi)})
+	}
+	if version >= snapshotVersionV2 {
+		ns, err := getUvarint(cr)
+		if err != nil {
+			return nil, sectionErr("segment table", asTruncated(err))
+		}
+		if ns > math.MaxInt32 {
+			return nil, sectionErr("segment table", fmt.Errorf("%w: segment count overflow", ErrCorrupt))
+		}
+		// Segments are decoded one entry at a time with input-bounded
+		// growth: any count a valid Assembled store can write is accepted
+		// (empty batch intervals may make segments outnumber batches), and
+		// a forged count runs out of input long before it runs up memory.
+		// This replaces the old `ns > batches+1` bound, which rejected
+		// legal snapshots.
+		segs := make([]SegmentInfo, 0, min(int(ns), allocChunk))
+		for i := 0; i < int(ns); i++ {
+			var v [4]uint64
+			for j := range v {
+				if v[j], err = getUvarint(cr); err != nil {
+					return nil, sectionErr("segment table", asTruncated(err))
+				}
+				if v[j] > math.MaxInt32 {
+					return nil, sectionErr("segment table", fmt.Errorf("%w: segment %d field overflow", ErrCorrupt, i))
+				}
+			}
+			segs = append(segs, SegmentInfo{
+				RowLo: int(v[0]), RowHi: int(v[1]),
+				BatchLo: uint32(v[2]), BatchHi: uint32(v[3]),
+			})
+		}
+		if len(segs) > 0 {
+			st.segs = segs
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,645 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"runtime"
+
+	"crowdscope/internal/par"
+)
+
+// Section kinds of the v3 snapshot format, in their on-disk order.
+const (
+	secMeta       byte = 0x01
+	secProvenance byte = 0x02
+	secSegments   byte = 0x03
+	secRanges     byte = 0x04
+	secBlock      byte = 0x05
+)
+
+// metaFlagProvenance marks a provenance section between meta and the
+// segment table.
+const metaFlagProvenance = 1
+
+// blockTargetRows caps how many rows one column block holds. Blocks align
+// to segment row spans and larger spans split, so encode/decode
+// parallelism — and the per-block scratch bound — holds regardless of how
+// the store was built.
+const blockTargetRows = 1 << 18
+
+// blockMinRowBytes is the least space one encoded row can occupy (one
+// byte per varint column plus the fixed-width trust float): the
+// remaining-payload bound on a block's claimed row count.
+const blockMinRowBytes = 11
+
+// maxToolLen bounds the provenance tool string.
+const maxToolLen = 1 << 10
+
+// maxBlockWave bounds how many column blocks are buffered per decode or
+// encode wave; together with blockTargetRows it caps codec scratch memory.
+const maxBlockWave = 32
+
+// repairMaxFillRows caps how many missing tail rows repair mode will
+// zero-fill (~170MB of columns): a real truncation within this bound
+// still recovers, while a forged meta row count cannot make repair
+// allocate memory unbacked by input bytes.
+const repairMaxFillRows = 1 << 22
+
+// blockSpans returns the row spans column blocks are built over: segment
+// row spans, split so no block exceeds blockTargetRows. A store without a
+// (consistent) segment layout is treated as one span. The result depends
+// only on the store contents, never on worker counts.
+func (s *Store) blockSpans() [][2]int {
+	n := s.Len()
+	if n == 0 {
+		return nil
+	}
+	var spans [][2]int
+	add := func(lo, hi int) {
+		for lo < hi {
+			end := lo + blockTargetRows
+			if end > hi {
+				end = hi
+			}
+			spans = append(spans, [2]int{lo, end})
+			lo = end
+		}
+	}
+	segOK := len(s.segs) > 0
+	off := 0
+	for _, si := range s.segs {
+		if !segOK {
+			break
+		}
+		if si.RowLo != off || si.RowHi < si.RowLo || si.RowHi > n {
+			segOK = false
+		}
+		off = si.RowHi
+	}
+	if !segOK || off != n {
+		add(0, n)
+		return spans
+	}
+	for _, si := range s.segs {
+		add(si.RowLo, si.RowHi)
+	}
+	return spans
+}
+
+// encodeBlock writes the column block payload for rows [lo, hi). Blocks
+// are self-contained: the delta coding of start times restarts at lo.
+func encodeBlock(buf *bytes.Buffer, s *Store, lo, hi int) {
+	putUvarint(buf, uint64(lo))
+	putUvarint(buf, uint64(hi-lo))
+	putUvarints(buf, s.batch[lo:hi])
+	putUvarints(buf, s.taskType[lo:hi])
+	putUvarints(buf, s.item[lo:hi])
+	putUvarints(buf, s.worker[lo:hi])
+	putDeltaVarints(buf, s.start[lo:hi])
+	for i := lo; i < hi; i++ {
+		// End times as offsets from start: always small.
+		putUvarint(buf, uint64(s.end[i]-s.start[i]))
+	}
+	putFloats(buf, s.trust[lo:hi])
+	putUvarints(buf, s.answer[lo:hi])
+}
+
+// writeSection frames one section: kind, payload length, CRC32 (IEEE) of
+// the payload, then the payload itself.
+func writeSection(cw *countingWriter, kind byte, payload []byte) {
+	var hdr [9]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[5:9], crc32.ChecksumIEEE(payload))
+	cw.Write(hdr[:])
+	cw.Write(payload)
+}
+
+// WriteSnapshot serializes the store in the v3 sectioned format. The
+// output bytes are identical for every WriteOptions.Workers value.
+func (s *Store) WriteSnapshot(w io.Writer, opts WriteOptions) (int64, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	cw := &countingWriter{w: bw}
+
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], snapshotMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], snapshotVersion)
+	cw.Write(hdr[:])
+
+	spans := s.blockSpans()
+
+	var payload bytes.Buffer
+	putUvarint(&payload, uint64(s.Len()))
+	putUvarint(&payload, uint64(len(s.ranges)))
+	putUvarint(&payload, uint64(len(s.segs)))
+	putUvarint(&payload, uint64(len(spans)))
+	flags := uint64(0)
+	if opts.Provenance != nil {
+		flags |= metaFlagProvenance
+	}
+	putUvarint(&payload, flags)
+	writeSection(cw, secMeta, payload.Bytes())
+
+	if p := opts.Provenance; p != nil {
+		payload.Reset()
+		putUvarint(&payload, p.ConfigHash)
+		putUvarint(&payload, p.Seed)
+		tool := p.Tool
+		if len(tool) > maxToolLen {
+			tool = tool[:maxToolLen]
+		}
+		putUvarint(&payload, uint64(len(tool)))
+		payload.WriteString(tool)
+		writeSection(cw, secProvenance, payload.Bytes())
+	}
+
+	payload.Reset()
+	for _, si := range s.segs {
+		putUvarint(&payload, uint64(si.RowLo))
+		putUvarint(&payload, uint64(si.RowHi))
+		putUvarint(&payload, uint64(si.BatchLo))
+		putUvarint(&payload, uint64(si.BatchHi))
+	}
+	writeSection(cw, secSegments, payload.Bytes())
+
+	payload.Reset()
+	for _, rr := range s.ranges {
+		putUvarint(&payload, uint64(rr.Lo))
+		putUvarint(&payload, uint64(rr.Hi))
+	}
+	writeSection(cw, secRanges, payload.Bytes())
+
+	// Column blocks: encoded wave by wave into reused per-slot buffers
+	// (the scratch bound) in parallel, then written sequentially in block
+	// order — byte-identical output for any worker count, since block
+	// boundaries are fixed by the data.
+	wave := min(min(workers, maxBlockWave), len(spans))
+	bufs := make([]bytes.Buffer, wave)
+	for b := 0; b < len(spans); b += wave {
+		k := min(wave, len(spans)-b)
+		par.EachShard(k, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				bufs[i].Reset()
+				encodeBlock(&bufs[i], s, spans[b+i][0], spans[b+i][1])
+			}
+		})
+		for i := 0; i < k; i++ {
+			writeSection(cw, secBlock, bufs[i].Bytes())
+		}
+	}
+	if err := bw.Flush(); err != nil && cw.err == nil {
+		return cw.n, err
+	}
+	return cw.n, cw.err
+}
+
+// zeroChunk backs input-bounded buffer growth in readN.
+var zeroChunk [allocChunk]byte
+
+// readN reads exactly n bytes, reusing *scratch across calls. The buffer
+// grows only as input actually arrives, so a forged length header cannot
+// force a large allocation.
+func readN(cr *countingReader, n int, scratch *[]byte) ([]byte, error) {
+	buf := (*scratch)[:0]
+	for len(buf) < n {
+		k := min(n-len(buf), allocChunk)
+		off := len(buf)
+		buf = append(buf, zeroChunk[:k]...)
+		*scratch = buf[:0]
+		if _, err := io.ReadFull(cr, buf[off:]); err != nil {
+			return nil, asTruncated(err)
+		}
+	}
+	*scratch = buf[:0]
+	return buf, nil
+}
+
+// readSection reads one framed section, verifying kind and checksum. On a
+// checksum mismatch the (fully read) payload is returned alongside the
+// error, so repair mode can keep its framing position.
+func readSection(cr *countingReader, wantKind byte, name string, scratch *[]byte) ([]byte, error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(cr, hdr[:]); err != nil {
+		return nil, sectionErr(name, asTruncated(err))
+	}
+	if hdr[0] != wantKind {
+		return nil, sectionErr(name, fmt.Errorf("%w: unexpected section kind 0x%02x", ErrCorrupt, hdr[0]))
+	}
+	length := binary.LittleEndian.Uint32(hdr[1:5])
+	want := binary.LittleEndian.Uint32(hdr[5:9])
+	payload, err := readN(cr, int(length), scratch)
+	if err != nil {
+		return nil, sectionErr(name, err)
+	}
+	if crc32.ChecksumIEEE(payload) != want {
+		return payload, sectionErr(name, ErrChecksum)
+	}
+	return payload, nil
+}
+
+// grown extends s to length `to`, zeroing any region newly exposed from
+// spare capacity.
+func grown[T any](s []T, to int) []T {
+	if to <= len(s) {
+		return s
+	}
+	if to > cap(s) {
+		c := 2 * cap(s)
+		if c < to {
+			c = to
+		}
+		ns := make([]T, to, c)
+		copy(ns, s)
+		return ns
+	}
+	var zero T
+	s2 := s[:to]
+	for i := len(s); i < to; i++ {
+		s2[i] = zero
+	}
+	return s2
+}
+
+// peekBlockHeader parses a block payload's row span header, returning its
+// encoded size so decodeBlock resumes at the exact byte that follows.
+func peekBlockHeader(payload []byte) (lo, count, hdrLen int, err error) {
+	sr := &sliceReader{buf: payload}
+	l, err := getUvarint(sr)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	c, err := getUvarint(sr)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if l > math.MaxInt32 || c > math.MaxInt32 {
+		return 0, 0, 0, fmt.Errorf("%w: block span overflow", ErrCorrupt)
+	}
+	return int(l), int(c), sr.pos, nil
+}
+
+// decodeBlock decodes a column block payload into rows [expectLo,
+// expectLo+count) of the column arrays.
+func decodeBlock(payload []byte, expectLo int, st *Store) error {
+	lo, count, hdrLen, err := peekBlockHeader(payload)
+	if err != nil {
+		return asTruncated(err)
+	}
+	sr := &sliceReader{buf: payload, pos: hdrLen}
+	if lo != expectLo {
+		return fmt.Errorf("%w: block starts at row %d, want %d", ErrCorrupt, lo, expectLo)
+	}
+	hi := lo + count
+	if hi > len(st.batch) {
+		return fmt.Errorf("%w: block rows [%d,%d) exceed %d", ErrCorrupt, lo, hi, len(st.batch))
+	}
+	if err := getUvarintsInto(sr, st.batch[lo:hi]); err != nil {
+		return err
+	}
+	if err := getUvarintsInto(sr, st.taskType[lo:hi]); err != nil {
+		return err
+	}
+	if err := getUvarintsInto(sr, st.item[lo:hi]); err != nil {
+		return err
+	}
+	if err := getUvarintsInto(sr, st.worker[lo:hi]); err != nil {
+		return err
+	}
+	if err := getDeltaVarintsInto(sr, st.start[lo:hi]); err != nil {
+		return err
+	}
+	for i := lo; i < hi; i++ {
+		v, err := getUvarint(sr)
+		if err != nil {
+			return asTruncated(err)
+		}
+		if v > math.MaxUint32 {
+			return fmt.Errorf("%w: end offset exceeds uint32", ErrCorrupt)
+		}
+		st.end[i] = st.start[i] + int64(v)
+	}
+	if err := getFloatsInto(sr, st.trust[lo:hi]); err != nil {
+		return err
+	}
+	if err := getUvarintsInto(sr, st.answer[lo:hi]); err != nil {
+		return err
+	}
+	if sr.remaining() != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, sr.remaining())
+	}
+	return nil
+}
+
+// readV3 decodes a v3 snapshot body (after the magic/version header) into
+// a fresh store.
+func readV3(cr *countingReader, opts LoadOptions, rep *LoadReport) (*Store, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	repair := opts.Mode == LoadRepair
+
+	var scratch []byte
+	payload, err := readSection(cr, secMeta, "meta", &scratch)
+	if err != nil {
+		return nil, err
+	}
+	sr := &sliceReader{buf: payload}
+	var counts [5]uint64 // rows, batches, segments, blocks, flags
+	for i := range counts {
+		if counts[i], err = getUvarint(sr); err != nil {
+			return nil, sectionErr("meta", asTruncated(err))
+		}
+	}
+	n, nb, ns, nblocks, flags := counts[0], counts[1], counts[2], counts[3], counts[4]
+	if n > math.MaxInt32 || nb > math.MaxInt32 || ns > math.MaxInt32 || nblocks > math.MaxInt32 {
+		return nil, sectionErr("meta", fmt.Errorf("%w: counts overflow", ErrCorrupt))
+	}
+	if sr.remaining() != 0 {
+		return nil, sectionErr("meta", fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, sr.remaining()))
+	}
+
+	if flags&metaFlagProvenance != 0 {
+		payload, err = readSection(cr, secProvenance, "provenance", &scratch)
+		if err == nil {
+			rep.Provenance, err = decodeProvenance(payload)
+		}
+		if err != nil {
+			// A damaged provenance section does not affect the data; in
+			// repair mode record it and move on. Truncation still aborts:
+			// the stream position is lost.
+			if !repair || errors.Is(err, ErrTruncated) || payload == nil {
+				return nil, err
+			}
+			rep.Provenance = nil
+			rep.Damaged = append(rep.Damaged, "provenance")
+		}
+	}
+
+	payload, err = readSection(cr, secSegments, "segment table", &scratch)
+	if err != nil {
+		return nil, err
+	}
+	segs, err := decodeSegments(payload, int(ns), int(n), int(nb))
+	if err != nil {
+		return nil, sectionErr("segment table", err)
+	}
+
+	payload, err = readSection(cr, secRanges, "batch ranges", &scratch)
+	if err != nil {
+		return nil, err
+	}
+	ranges, err := decodeRanges(payload, int(nb), int(n))
+	if err != nil {
+		return nil, sectionErr("batch ranges", err)
+	}
+
+	st := &Store{ranges: ranges, segs: segs}
+	var damagedSpans [][2]int
+
+	// Column blocks: read one wave of payloads sequentially (into reused
+	// buffers — the scratch bound), then decode the wave in parallel; each
+	// block writes a disjoint row span, so the result is identical for
+	// every worker count.
+	type waveBlock struct {
+		lo, hi  int
+		payload []byte
+		skip    bool // checksum-damaged (repair): zero-fill instead
+		failed  bool // decode error (repair): zero-fill after the fact
+	}
+	wave := min(min(max(workers, 1), maxBlockWave), int(nblocks))
+	blockBufs := make([][]byte, wave)
+	wbs := make([]waveBlock, 0, wave)
+	rowsDone := 0
+	stopped := false
+	for idx := 0; idx < int(nblocks) && !stopped; idx += len(wbs) {
+		wbs = wbs[:0]
+		for i := 0; i < wave && idx+len(wbs) < int(nblocks); i++ {
+			name := fmt.Sprintf("column block %d", idx+i)
+			payload, err := readSection(cr, secBlock, name, &blockBufs[i])
+			checksumBad := err != nil && errors.Is(err, ErrChecksum) && payload != nil
+			if err != nil && !(repair && checksumBad) {
+				if repair {
+					// Truncated or unframeable: recover everything read so
+					// far and zero-fill the rest.
+					rep.Damaged = append(rep.Damaged, name)
+					stopped = true
+					break
+				}
+				return nil, err
+			}
+			lo, count, _, herr := peekBlockHeader(payload)
+			if herr != nil || lo != rowsDone || count < 0 || rowsDone+count > int(n) ||
+				count*blockMinRowBytes > len(payload) {
+				if repair {
+					// Row geometry untrustworthy: stop and zero-fill.
+					rep.Damaged = append(rep.Damaged, name)
+					stopped = true
+					break
+				}
+				if herr != nil {
+					return nil, sectionErr(name, fmt.Errorf("%w: bad block header: %v", ErrCorrupt, herr))
+				}
+				return nil, sectionErr(name, fmt.Errorf("%w: block claims rows [%d,%d) (have %d/%d rows, %d payload bytes)",
+					ErrCorrupt, lo, lo+count, rowsDone, n, len(payload)))
+			}
+			if checksumBad {
+				rep.Damaged = append(rep.Damaged, name)
+				damagedSpans = append(damagedSpans, [2]int{rowsDone, rowsDone + count})
+			}
+			wbs = append(wbs, waveBlock{lo: rowsDone, hi: rowsDone + count, payload: payload, skip: checksumBad})
+			rowsDone += count
+		}
+		growColumns(st, rowsDone)
+		derr := par.EachShardErr(len(wbs), workers, func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				if wbs[i].skip {
+					continue
+				}
+				if err := decodeBlock(wbs[i].payload, wbs[i].lo, st); err != nil {
+					if repair {
+						wbs[i].failed = true
+						continue
+					}
+					return sectionErr(fmt.Sprintf("column block %d", idx+i), err)
+				}
+			}
+			return nil
+		})
+		if derr != nil {
+			return nil, derr
+		}
+		for i := range wbs {
+			if wbs[i].failed {
+				zeroColumns(st, wbs[i].lo, wbs[i].hi)
+				rep.Damaged = append(rep.Damaged, fmt.Sprintf("column block %d", idx+i))
+				damagedSpans = append(damagedSpans, [2]int{wbs[i].lo, wbs[i].hi})
+			}
+		}
+	}
+	if rowsDone != int(n) {
+		if !repair {
+			return nil, sectionErr("column blocks", fmt.Errorf("%w: blocks cover %d of %d rows", ErrCorrupt, rowsDone, n))
+		}
+		// The meta row count is a claim, not evidence: rows backed by
+		// decoded blocks are input-bounded, but this tail fill is not, so
+		// cap it — otherwise a forged count repair-"recovers" into an
+		// arbitrarily large zeroed store.
+		if int(n)-rowsDone > repairMaxFillRows {
+			return nil, sectionErr("column blocks", fmt.Errorf("%w: %d of %d claimed rows missing, beyond repair", ErrCorrupt, int(n)-rowsDone, n))
+		}
+		growColumns(st, int(n))
+		damagedSpans = append(damagedSpans, [2]int{rowsDone, int(n)})
+		if len(rep.Damaged) == 0 || !stopped {
+			rep.Damaged = append(rep.Damaged, "column blocks")
+		}
+	}
+
+	// Zero-filled spans carry batch ID zero, which would break the
+	// range-partition invariant; rebuild their batch column from the
+	// range table so the repaired store still validates.
+	for _, sp := range damagedSpans {
+		for b, rr := range st.ranges {
+			lo, hi := max(int(rr.Lo), sp[0]), min(int(rr.Hi), sp[1])
+			for i := lo; i < hi; i++ {
+				st.batch[i] = uint32(b)
+			}
+		}
+	}
+	return st, nil
+}
+
+// growColumns extends every column array to n rows (zero-filled).
+func growColumns(st *Store, n int) {
+	st.batch = grown(st.batch, n)
+	st.taskType = grown(st.taskType, n)
+	st.item = grown(st.item, n)
+	st.worker = grown(st.worker, n)
+	st.start = grown(st.start, n)
+	st.end = grown(st.end, n)
+	st.trust = grown(st.trust, n)
+	st.answer = grown(st.answer, n)
+}
+
+// zeroColumns clears rows [lo, hi) of every column.
+func zeroColumns(st *Store, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		st.batch[i] = 0
+		st.taskType[i] = 0
+		st.item[i] = 0
+		st.worker[i] = 0
+		st.start[i] = 0
+		st.end[i] = 0
+		st.trust[i] = 0
+		st.answer[i] = 0
+	}
+}
+
+func decodeProvenance(payload []byte) (*Provenance, error) {
+	sr := &sliceReader{buf: payload}
+	var p Provenance
+	var err error
+	if p.ConfigHash, err = getUvarint(sr); err != nil {
+		return nil, sectionErr("provenance", asTruncated(err))
+	}
+	if p.Seed, err = getUvarint(sr); err != nil {
+		return nil, sectionErr("provenance", asTruncated(err))
+	}
+	tl, err := getUvarint(sr)
+	if err != nil {
+		return nil, sectionErr("provenance", asTruncated(err))
+	}
+	if tl > maxToolLen || int(tl) != sr.remaining() {
+		return nil, sectionErr("provenance", fmt.Errorf("%w: bad tool string length %d", ErrCorrupt, tl))
+	}
+	p.Tool = string(sr.buf[sr.pos:])
+	return &p, nil
+}
+
+// decodeSegments decodes the segment table, bounding the claimed count
+// against the payload bytes actually present (each entry needs at least
+// four) — the remaining-input bound that replaced the old batch-count
+// heuristic — and enforcing the same layout invariants Validate checks.
+func decodeSegments(payload []byte, ns, n, nb int) ([]SegmentInfo, error) {
+	if ns == 0 {
+		if len(payload) != 0 {
+			return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(payload))
+		}
+		return nil, nil
+	}
+	if ns*4 > len(payload) {
+		return nil, fmt.Errorf("%w: %d segments cannot fit in %d bytes", ErrCorrupt, ns, len(payload))
+	}
+	sr := &sliceReader{buf: payload}
+	segs := make([]SegmentInfo, ns)
+	rowOff, batchOff := 0, uint32(0)
+	for i := range segs {
+		var v [4]uint64
+		for j := range v {
+			var err error
+			if v[j], err = getUvarint(sr); err != nil {
+				return nil, asTruncated(err)
+			}
+			if v[j] > math.MaxInt32 {
+				return nil, fmt.Errorf("%w: segment %d field overflow", ErrCorrupt, i)
+			}
+		}
+		si := SegmentInfo{
+			RowLo: int(v[0]), RowHi: int(v[1]),
+			BatchLo: uint32(v[2]), BatchHi: uint32(v[3]),
+		}
+		if si.RowLo != rowOff || si.RowHi < si.RowLo || si.RowHi > n {
+			return nil, fmt.Errorf("%w: segment %d rows [%d,%d) not contiguous at %d", ErrCorrupt, i, si.RowLo, si.RowHi, rowOff)
+		}
+		if si.BatchLo < batchOff || si.BatchHi < si.BatchLo || int(si.BatchHi) > nb {
+			return nil, fmt.Errorf("%w: segment %d batch interval [%d,%d) invalid", ErrCorrupt, i, si.BatchLo, si.BatchHi)
+		}
+		rowOff, batchOff = si.RowHi, si.BatchHi
+		segs[i] = si
+	}
+	if rowOff != n {
+		return nil, fmt.Errorf("%w: segments cover %d of %d rows", ErrCorrupt, rowOff, n)
+	}
+	if sr.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, sr.remaining())
+	}
+	return segs, nil
+}
+
+// decodeRanges decodes the batch range table with the same
+// remaining-input bound (each entry needs at least two bytes).
+func decodeRanges(payload []byte, nb, n int) ([]rowRange, error) {
+	if nb*2 > len(payload) {
+		return nil, fmt.Errorf("%w: %d ranges cannot fit in %d bytes", ErrCorrupt, nb, len(payload))
+	}
+	sr := &sliceReader{buf: payload}
+	ranges := make([]rowRange, nb)
+	for i := range ranges {
+		lo, err := getUvarint(sr)
+		if err != nil {
+			return nil, asTruncated(err)
+		}
+		hi, err := getUvarint(sr)
+		if err != nil {
+			return nil, asTruncated(err)
+		}
+		if lo > hi || hi > uint64(n) {
+			return nil, fmt.Errorf("%w: batch %d range [%d,%d) invalid for %d rows", ErrCorrupt, i, lo, hi, n)
+		}
+		ranges[i] = rowRange{Lo: int32(lo), Hi: int32(hi)}
+	}
+	if sr.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, sr.remaining())
+	}
+	return ranges, nil
+}

@@ -133,16 +133,61 @@ func TestPropertyZigzag(t *testing.T) {
 }
 
 // TestPropertySnapshotDeterministic: serialization is a pure function of
-// the store contents.
+// the store contents — byte-identical for repeated writes AND for every
+// parallel section-writer count, with or without provenance.
 func TestPropertySnapshotDeterministic(t *testing.T) {
+	prov := &Provenance{ConfigHash: 0xABCD, Seed: 11, Tool: "prop/3"}
 	f := func(seed uint64) bool {
 		s := randomStore(seed, 10, 20)
-		var a, b bytes.Buffer
-		s.WriteTo(&a)
-		s.WriteTo(&b)
-		return bytes.Equal(a.Bytes(), b.Bytes())
+		var ref bytes.Buffer
+		s.WriteTo(&ref)
+		var refProv bytes.Buffer
+		s.WriteSnapshot(&refProv, WriteOptions{Provenance: prov, Workers: 1})
+		for _, w := range []int{0, 1, 2, 3, 8} {
+			var b bytes.Buffer
+			s.WriteSnapshot(&b, WriteOptions{Workers: w})
+			if !bytes.Equal(ref.Bytes(), b.Bytes()) {
+				return false
+			}
+			b.Reset()
+			s.WriteSnapshot(&b, WriteOptions{Provenance: prov, Workers: w})
+			if !bytes.Equal(refProv.Bytes(), b.Bytes()) {
+				return false
+			}
+		}
+		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyLegacyRoundTrip: any structurally valid store serialized in
+// the retired v1/v2 layouts still loads row-for-row through the legacy
+// readers.
+func TestPropertyLegacyRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := randomStore(seed, 15, 30)
+		for _, version := range []uint32{snapshotVersionV1, snapshotVersionV2} {
+			var back Store
+			if _, err := back.ReadFrom(bytes.NewReader(writeSnapshotLegacy(s, version))); err != nil {
+				return false
+			}
+			if back.Len() != s.Len() {
+				return false
+			}
+			for i := 0; i < s.Len(); i++ {
+				if s.Row(i) != back.Row(i) {
+					return false
+				}
+			}
+			if back.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
 	}
 }

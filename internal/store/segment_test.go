@@ -263,15 +263,7 @@ func TestSnapshotRoundTripEmptySegments(t *testing.T) {
 // table) still loads and reports a single implicit segment.
 func TestSnapshotReadsPreSegmentFormat(t *testing.T) {
 	s := sampleStore()
-	var buf bytes.Buffer
-	if _, err := s.WriteTo(&buf); err != nil {
-		t.Fatal(err)
-	}
-	raw := buf.Bytes()
-	// Rewrite the version field to 1 and drop the trailing segment table
-	// (a single zero-count byte for a direct store).
-	raw[4] = 1
-	raw = raw[:len(raw)-1]
+	raw := writeSnapshotLegacy(s, snapshotVersionV1)
 	var back Store
 	if _, err := back.ReadFrom(bytes.NewReader(raw)); err != nil {
 		t.Fatalf("ReadFrom v1: %v", err)

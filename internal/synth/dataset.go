@@ -1,7 +1,9 @@
 package synth
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"time"
 
@@ -68,9 +70,66 @@ type Dataset struct {
 	experience []float64
 }
 
+// Hash fingerprints the parts of the configuration that determine the
+// generated data, for snapshot provenance: a reloaded instance log can be
+// checked against the config a pipeline is about to analyze it under.
+// Parallelism is deliberately excluded — it never changes the rows.
+func (c Config) Hash() uint64 {
+	h := fnv.New64a()
+	binary.Write(h, binary.LittleEndian, c.Seed)
+	binary.Write(h, binary.LittleEndian, c.Scale)
+	binary.Write(h, binary.LittleEndian, c.LearningGamma)
+	return h.Sum64()
+}
+
 // Generate builds a dataset from the configuration. Generation is
 // deterministic in Config.
 func Generate(cfg Config) *Dataset {
+	d, stubs, sampled, matRand := newInventory(cfg)
+	d.Store = materialize(matRand, d, stubs, sampled)
+	observeWorkerActivity(d)
+	return d
+}
+
+// Rehydrate rebuilds a dataset around an instance log restored from a
+// snapshot: the inventory tables (sources, countries, workers, task
+// types, batches) regenerate deterministically from the config — exactly
+// as Generate builds them — and the given store stands in for the
+// materialization phase. Snapshot provenance (when present) is the
+// caller's first line of defense against a config mismatch; because
+// pre-v3 snapshots carry none, Rehydrate additionally refuses any store
+// whose worker or batch IDs fall outside the regenerated inventory
+// instead of letting downstream indexing panic. With a matching store
+// the result is indistinguishable from Generate's.
+func Rehydrate(cfg Config, st *store.Store) (*Dataset, error) {
+	d, _, _, _ := newInventory(cfg)
+	if st.NumBatches() > len(d.Batches) {
+		return nil, fmt.Errorf("synth: snapshot holds %d batch ranges but seed %d / scale %g generates %d batches — was it written under a different config?",
+			st.NumBatches(), cfg.Seed, cfg.Scale, len(d.Batches))
+	}
+	nw := uint32(len(d.Workers))
+	nb := uint32(len(d.Batches))
+	workers, batches := st.Workers(), st.Batches()
+	for i := range workers {
+		if workers[i] >= nw {
+			return nil, fmt.Errorf("synth: snapshot row %d references worker %d but seed %d / scale %g generates only %d workers — was it written under a different config?",
+				i, workers[i], cfg.Seed, cfg.Scale, nw)
+		}
+		if batches[i] >= nb {
+			return nil, fmt.Errorf("synth: snapshot row %d references batch %d but seed %d / scale %g generates only %d batches — was it written under a different config?",
+				i, batches[i], cfg.Seed, cfg.Scale, nb)
+		}
+	}
+	d.Store = st
+	observeWorkerActivity(d)
+	return d, nil
+}
+
+// newInventory builds everything that precedes instance materialization.
+// The rng.Split sequence must stay identical between callers: Split mixes
+// the receiver's stream position, so inventory content depends on the
+// order of these calls.
+func newInventory(cfg Config) (*Dataset, []batchStub, []bool, *rng.Rand) {
 	if cfg.Scale <= 0 || cfg.Scale > 1 {
 		panic(fmt.Sprintf("synth: scale %v out of (0,1]", cfg.Scale))
 	}
@@ -108,10 +167,7 @@ func Generate(cfg Config) *Dataset {
 			Title:      batchTitle(tt),
 		}
 	}
-
-	d.Store = materialize(root.Split(5), d, stubs, sampled)
-	observeWorkerActivity(d)
-	return d
+	return d, stubs, sampled, root.Split(5)
 }
 
 // batchTitle writes a short textual description like the one-sentence

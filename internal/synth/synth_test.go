@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"bytes"
 	"math"
 	"sort"
 	"testing"
@@ -8,6 +9,7 @@ import (
 	"crowdscope/internal/model"
 	"crowdscope/internal/rng"
 	"crowdscope/internal/stats"
+	"crowdscope/internal/store"
 	"crowdscope/internal/timeseries"
 )
 
@@ -605,5 +607,95 @@ func TestScaleValidation(t *testing.T) {
 			}()
 			Generate(Config{Seed: 1, Scale: bad})
 		}()
+	}
+}
+
+// TestRehydrateMatchesGenerate: rebuilding a dataset around a
+// snapshot-restored store is indistinguishable from generating it — the
+// load path every -snapshot CLI flow rides on.
+func TestRehydrateMatchesGenerate(t *testing.T) {
+	cfg := Config{Seed: 4242, Scale: 0.004}
+	gen := Generate(cfg)
+
+	var buf bytes.Buffer
+	if _, err := gen.Store.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	var restored store.Store
+	if _, err := restored.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	re, err := Rehydrate(cfg, &restored)
+	if err != nil {
+		t.Fatalf("Rehydrate: %v", err)
+	}
+
+	if re.Store.Len() != gen.Store.Len() {
+		t.Fatalf("rows %d vs %d", re.Store.Len(), gen.Store.Len())
+	}
+	for i := 0; i < gen.Store.Len(); i += 499 {
+		if re.Store.Row(i) != gen.Store.Row(i) {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+	if len(re.Batches) != len(gen.Batches) || len(re.Workers) != len(gen.Workers) ||
+		len(re.TaskTypes) != len(gen.TaskTypes) || len(re.Sources) != len(gen.Sources) {
+		t.Fatal("inventory shapes differ")
+	}
+	for i := range gen.Batches {
+		if re.Batches[i].Title != gen.Batches[i].Title || re.Batches[i].CreatedAt != gen.Batches[i].CreatedAt {
+			t.Fatalf("batch %d differs", i)
+		}
+	}
+	// Worker activity windows derive from the store, so the observed
+	// populations must agree too.
+	if got, want := len(re.ObservedWorkers()), len(gen.ObservedWorkers()); got != want {
+		t.Fatalf("observed workers %d vs %d", got, want)
+	}
+	for i := range gen.Workers {
+		if re.Workers[i] != gen.Workers[i] {
+			t.Fatalf("worker %d differs: %+v vs %+v", i, re.Workers[i], gen.Workers[i])
+		}
+	}
+	// Sampled HTML must render identically (clustering depends on it).
+	for _, id := range gen.SampledBatchIDs()[:10] {
+		a, _ := gen.BatchHTML(id)
+		b, _ := re.BatchHTML(id)
+		if a != b {
+			t.Fatalf("batch %d HTML differs", id)
+		}
+	}
+}
+
+// TestConfigHash: the provenance hash tracks data-affecting fields only.
+func TestConfigHash(t *testing.T) {
+	base := Config{Seed: 1701, Scale: 0.02}
+	if base.Hash() != (Config{Seed: 1701, Scale: 0.02, Parallelism: 8}).Hash() {
+		t.Error("Parallelism must not affect the config hash")
+	}
+	if base.Hash() == (Config{Seed: 1702, Scale: 0.02}).Hash() {
+		t.Error("seed change should change the hash")
+	}
+	if base.Hash() == (Config{Seed: 1701, Scale: 0.04}).Hash() {
+		t.Error("scale change should change the hash")
+	}
+	if base.Hash() == (Config{Seed: 1701, Scale: 0.02, LearningGamma: 0.3}).Hash() {
+		t.Error("learning gamma change should change the hash")
+	}
+}
+
+// TestRehydrateRejectsForeignStore: a snapshot whose worker IDs exceed
+// the inventory regenerated from the config (e.g. a pre-v3 snapshot with
+// no provenance, loaded under the wrong -scale) must error, not panic in
+// observeWorkerActivity.
+func TestRehydrateRejectsForeignStore(t *testing.T) {
+	big := Generate(Config{Seed: 9, Scale: 0.008}) // larger worker population
+	if _, err := Rehydrate(Config{Seed: 9, Scale: 0.004}, big.Store); err == nil {
+		t.Fatal("foreign store accepted")
+	}
+	// A store with out-of-inventory batch ranges is refused too.
+	st := store.New(int(1e6))
+	if _, err := Rehydrate(Config{Seed: 9, Scale: 0.004}, st); err == nil {
+		t.Fatal("oversized batch table accepted")
 	}
 }
