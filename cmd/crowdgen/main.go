@@ -14,8 +14,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -27,12 +29,28 @@ import (
 const toolVersion = "crowdgen/3"
 
 func main() {
-	seed := flag.Uint64("seed", 1701, "generation seed")
-	scale := flag.Float64("scale", 0.02, "instance-volume scale in (0,1]; 1.0 ≈ 27M instances")
-	workers := flag.Int("workers", 0, "generation pipeline shards (0 = GOMAXPROCS, 1 = serial); never changes the data")
-	out := flag.String("out", "marketplace.crow", "snapshot output path")
-	verify := flag.Bool("verify-snapshot", false, "re-open the written snapshot, strict-load it, and compare column-for-column")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "crowdgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: it parses args, writes everything to
+// the given writers, and returns instead of exiting.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("crowdgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Uint64("seed", 1701, "generation seed")
+	scale := fs.Float64("scale", 0.02, "instance-volume scale in (0,1]; 1.0 ≈ 27M instances")
+	workers := fs.Int("workers", 0, "generation pipeline shards (0 = GOMAXPROCS, 1 = serial); never changes the data")
+	out := fs.String("out", "marketplace.crow", "snapshot output path")
+	verify := fs.Bool("verify-snapshot", false, "re-open the written snapshot, strict-load it, and compare column-for-column")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed to stderr
+		}
+		return err
+	}
 
 	cfg := synth.Config{Seed: *seed, Scale: *scale, Parallelism: *workers}
 	t0 := time.Now()
@@ -41,30 +59,31 @@ func main() {
 
 	f, err := os.Create(*out)
 	if err != nil {
-		fatal("create %s: %v", *out, err)
+		return fmt.Errorf("create %s: %v", *out, err)
 	}
 	defer f.Close()
 	prov := &store.Provenance{ConfigHash: cfg.Hash(), Seed: cfg.Seed, Tool: toolVersion}
 	n, err := ds.Store.WriteSnapshot(f, store.WriteOptions{Provenance: prov, Workers: *workers})
 	if err != nil {
-		fatal("write snapshot: %v", err)
+		return fmt.Errorf("write snapshot: %v", err)
 	}
 
 	obs := ds.ObservedWorkers()
-	fmt.Printf("generated in %v\n", genDur.Round(time.Millisecond))
-	fmt.Printf("  batches:      %d (%d sampled)\n", len(ds.Batches), len(ds.SampledBatchIDs()))
-	fmt.Printf("  task types:   %d\n", len(ds.TaskTypes))
-	fmt.Printf("  workers:      %d observed (%d generated)\n", len(obs), len(ds.Workers))
-	fmt.Printf("  instances:    %d in %d segments\n", ds.Store.Len(), len(ds.Store.Segments()))
-	fmt.Printf("  snapshot:     %s (%.1f MB, %.1f bytes/row, config %016x)\n", *out, float64(n)/1e6, float64(n)/float64(ds.Store.Len()), prov.ConfigHash)
+	fmt.Fprintf(stdout, "generated in %v\n", genDur.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "  batches:      %d (%d sampled)\n", len(ds.Batches), len(ds.SampledBatchIDs()))
+	fmt.Fprintf(stdout, "  task types:   %d\n", len(ds.TaskTypes))
+	fmt.Fprintf(stdout, "  workers:      %d observed (%d generated)\n", len(obs), len(ds.Workers))
+	fmt.Fprintf(stdout, "  instances:    %d in %d segments\n", ds.Store.Len(), len(ds.Store.Segments()))
+	fmt.Fprintf(stdout, "  snapshot:     %s (%.1f MB, %.1f bytes/row, config %016x)\n", *out, float64(n)/1e6, float64(n)/float64(ds.Store.Len()), prov.ConfigHash)
 
 	if *verify {
 		t0 = time.Now()
 		if err := verifySnapshot(*out, ds.Store, *workers); err != nil {
-			fatal("verify %s: %v", *out, err)
+			return fmt.Errorf("verify %s: %v", *out, err)
 		}
-		fmt.Printf("  verified:     strict reload matches column-for-column (%v)\n", time.Since(t0).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "  verified:     strict reload matches column-for-column (%v)\n", time.Since(t0).Round(time.Millisecond))
 	}
+	return nil
 }
 
 // verifySnapshot strict-loads the written file and compares it
@@ -105,9 +124,4 @@ func verifySnapshot(path string, want *store.Store, workers int) error {
 		}
 	}
 	return got.Validate()
-}
-
-func fatal(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "crowdgen: "+format+"\n", args...)
-	os.Exit(1)
 }

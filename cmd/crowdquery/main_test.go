@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"crowdscope/internal/model"
+	"crowdscope/internal/store"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/tiny.crow and the golden CLI outputs")
+
+// fixtureStore builds the deterministic four-segment store behind the
+// committed testdata/tiny.crow snapshot: each segment covers its own week
+// and worker band, so zone-map pruning is observable from the CLI.
+func fixtureStore(t testing.TB) *store.Store {
+	t.Helper()
+	var segs []*store.Segment
+	for k := 0; k < 4; k++ {
+		b := store.NewBuilder(uint32(2*k), uint32(2*k+2))
+		for bi := 0; bi < 2; bi++ {
+			batch := uint32(2*k + bi)
+			b.BeginBatch(batch)
+			for i := 0; i < 30; i++ {
+				start := model.DayUnix(int32(7*k)) + int64(bi)*43200 + int64(i)*3600
+				b.Append(model.Instance{
+					Batch:    batch,
+					TaskType: uint32(k),
+					Item:     uint32(i),
+					Worker:   uint32(10*k + i%5),
+					Start:    start,
+					End:      start + 120 + int64(i%5)*60,
+					Trust:    float32(50+10*k+i%10) / 100,
+					Answer:   uint32(i % 3),
+				})
+			}
+		}
+		segs = append(segs, b.Seal())
+	}
+	s, err := store.Assemble(8, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+const fixturePath = "testdata/tiny.crow"
+
+// fixture returns the committed snapshot path, rewriting it under
+// -update-golden and always verifying it matches fixtureStore.
+func fixture(t *testing.T) string {
+	t.Helper()
+	var want bytes.Buffer
+	if _, err := fixtureStore(t).WriteSnapshot(&want, store.WriteOptions{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(fixturePath, want.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := os.ReadFile(fixturePath)
+	if err != nil {
+		t.Fatalf("read fixture (run `go test ./cmd/crowdquery -update-golden` to create): %v", err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatal("committed tiny.crow no longer matches fixtureStore; regenerate with -update-golden")
+	}
+	return fixturePath
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run `go test ./cmd/crowdquery -update-golden` to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n got:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+// TestWeekWindowGolden: a one-week window on the four-week fixture must
+// report three of four segments pruned.
+func TestWeekWindowGolden(t *testing.T) {
+	snap := fixture(t)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-snapshot", snap,
+		"-where", "start in [week:1, week:2)",
+		"-group", "batch", "-value", "duration"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "3 of 4 segments zone-map-pruned") {
+		t.Errorf("pruning not reported:\n%s", stdout.String())
+	}
+	checkGolden(t, "week_window.golden", stdout.String())
+}
+
+// TestWorkerRollupGolden: grouped aggregates with p50, distinct and
+// count-ordering through the full flag surface.
+func TestWorkerRollupGolden(t *testing.T) {
+	snap := fixture(t)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-snapshot", snap,
+		"-where", "trust >= 0.6",
+		"-group", "tasktype", "-value", "trust", "-p50",
+		"-distinct", "worker", "-sort", "count", "-top", "3"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	checkGolden(t, "worker_rollup.golden", stdout.String())
+}
+
+// TestNoMatchGolden: a fully-pruned query still renders cleanly.
+func TestNoMatchGolden(t *testing.T) {
+	snap := fixture(t)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-snapshot", snap, "-where", "worker == 999"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "no rows matched") ||
+		!strings.Contains(stdout.String(), "4 of 4 segments zone-map-pruned") {
+		t.Errorf("unexpected output:\n%s", stdout.String())
+	}
+}
+
+// TestHelpExitsClean: -h prints usage and succeeds (exit 0), like the
+// pre-refactor flag.ExitOnError behavior.
+func TestHelpExitsClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-h"}, &stdout, &stderr); err != nil {
+		t.Fatalf("-h returned %v", err)
+	}
+	if !strings.Contains(stderr.String(), "Usage of crowdquery") {
+		t.Errorf("usage not printed: %s", stderr.String())
+	}
+}
+
+func TestBadPredicate(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-snapshot", fixturePath, "-where", "bogus == 1"}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "unknown column") {
+		t.Fatalf("err = %v, want unknown column", err)
+	}
+}
+
+func TestBadFlagCombos(t *testing.T) {
+	for name, args := range map[string][]string{
+		"bad group":    {"-snapshot", fixturePath, "-group", "bogus"},
+		"bad value":    {"-snapshot", fixturePath, "-value", "bogus"},
+		"bad distinct": {"-snapshot", fixturePath, "-distinct", "bogus"},
+		"bad sort":     {"-snapshot", fixturePath, "-sort", "sideways"},
+		"positional":   {"-snapshot", fixturePath, "worker == 1"},
+		"missing file": {"-snapshot", "testdata/nope.crow"},
+		"p50 no value": {"-snapshot", fixturePath, "-p50"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if err := run(args, &stdout, &stderr); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -12,8 +12,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -28,35 +30,51 @@ import (
 )
 
 func main() {
-	seed := flag.Uint64("seed", 1701, "generation seed")
-	scale := flag.Float64("scale", 0.02, "instance-volume scale in (0,1]")
-	workers := flag.Int("workers", 0, "generation and analysis goroutine bound (0 = GOMAXPROCS, 1 = serial); never changes the data")
-	snapshotPath := flag.String("snapshot", "", "load the instance log from this snapshot instead of rematerializing it (inventory still derives from -seed/-scale; provenance is checked)")
-	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
-	tsvDir := flag.String("tsv", "", "directory to write TSV series into")
-	list := flag.Bool("list", false, "list experiment IDs and exit")
-	checksMD := flag.String("checks-md", "", "write a paper-vs-measured markdown report to this file")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "crowdrepro: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: it parses args, writes everything to
+// the given writers, and returns instead of exiting.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("crowdrepro", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Uint64("seed", 1701, "generation seed")
+	scale := fs.Float64("scale", 0.02, "instance-volume scale in (0,1]")
+	workers := fs.Int("workers", 0, "generation and analysis goroutine bound (0 = GOMAXPROCS, 1 = serial); never changes the data")
+	snapshotPath := fs.String("snapshot", "", "load the instance log from this snapshot instead of rematerializing it (inventory still derives from -seed/-scale; provenance is checked)")
+	runIDs := fs.String("run", "", "comma-separated experiment IDs (default: all)")
+	tsvDir := fs.String("tsv", "", "directory to write TSV series into")
+	list := fs.Bool("list", false, "list experiment IDs and exit")
+	checksMD := fs.String("checks-md", "", "write a paper-vs-measured markdown report to this file")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed to stderr
+		}
+		return err
+	}
 
 	stopProfiles := profiling.Start(*cpuProfile, *memProfile)
 	defer stopProfiles()
 
 	if *list {
 		for _, e := range experiments.All() {
-			fmt.Printf("%-7s %-12s %s\n", e.ID, e.Paper, e.Title)
+			fmt.Fprintf(stdout, "%-7s %-12s %s\n", e.ID, e.Paper, e.Title)
 		}
-		return
+		return nil
 	}
 
 	selected := experiments.All()
-	if *run != "" {
+	if *runIDs != "" {
 		selected = selected[:0]
-		for _, id := range strings.Split(*run, ",") {
+		for _, id := range strings.Split(*runIDs, ",") {
 			e, ok := experiments.Lookup(strings.TrimSpace(id))
 			if !ok {
-				fatal("unknown experiment %q (use -list)", id)
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
 			}
 			selected = append(selected, e)
 		}
@@ -68,45 +86,48 @@ func main() {
 
 	var analysis *core.Analysis
 	if *snapshotPath != "" {
-		fmt.Printf("loading snapshot %s (inventory from seed=%d scale=%g)...\n", *snapshotPath, *seed, *scale)
+		fmt.Fprintf(stdout, "loading snapshot %s (inventory from seed=%d scale=%g)...\n", *snapshotPath, *seed, *scale)
 		t0 := time.Now()
-		st, prov := loadSnapshot(*snapshotPath, *workers)
-		fmt.Printf("  %d instances (%d segments) loaded in %v\n", st.Len(), len(st.Segments()), time.Since(t0).Round(time.Millisecond))
-		fmt.Println("running analysis pipeline (clustering, metrics, features)...")
+		st, prov, err := loadSnapshot(*snapshotPath, *workers)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "  %d instances (%d segments) loaded in %v\n", st.Len(), len(st.Segments()), time.Since(t0).Round(time.Millisecond))
+		fmt.Fprintln(stdout, "running analysis pipeline (clustering, metrics, features)...")
 		t0 = time.Now()
-		var err error
 		analysis, err = core.FromSnapshot(cfg, st, prov, copts)
 		if err != nil {
-			fatal("%v", err)
+			return err
 		}
-		fmt.Printf("  %d clusters in %v\n", analysis.Clustering.NumClusters(), time.Since(t0).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "  %d clusters in %v\n", analysis.Clustering.NumClusters(), time.Since(t0).Round(time.Millisecond))
 	} else {
-		fmt.Printf("generating marketplace (seed=%d scale=%g)...\n", *seed, *scale)
+		fmt.Fprintf(stdout, "generating marketplace (seed=%d scale=%g)...\n", *seed, *scale)
 		t0 := time.Now()
 		ds := synth.Generate(cfg)
-		fmt.Printf("  %d instances (%d segments), %d sampled batches in %v\n", ds.Store.Len(), len(ds.Store.Segments()), len(ds.SampledBatchIDs()), time.Since(t0).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "  %d instances (%d segments), %d sampled batches in %v\n", ds.Store.Len(), len(ds.Store.Segments()), len(ds.SampledBatchIDs()), time.Since(t0).Round(time.Millisecond))
 
-		fmt.Println("running analysis pipeline (clustering, metrics, features)...")
+		fmt.Fprintln(stdout, "running analysis pipeline (clustering, metrics, features)...")
 		t0 = time.Now()
 		analysis = core.New(ds, copts)
-		fmt.Printf("  %d clusters in %v\n", analysis.Clustering.NumClusters(), time.Since(t0).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "  %d clusters in %v\n", analysis.Clustering.NumClusters(), time.Since(t0).Round(time.Millisecond))
 	}
 	ds := analysis.DS
 
 	ctx := experiments.NewContext(analysis)
+	ctx.ScanWorkers = *workers
 	var md *mdReport
 	if *checksMD != "" {
 		md = newMDReport(*seed, *scale, ds.Store.Len(), analysis.Clustering.NumClusters())
 	}
 	for _, e := range selected {
-		fmt.Printf("\n==== %s — %s: %s ====\n", e.ID, e.Paper, e.Title)
+		fmt.Fprintf(stdout, "\n==== %s — %s: %s ====\n", e.ID, e.Paper, e.Title)
 		out := e.Run(ctx)
-		fmt.Print(out.Text)
+		fmt.Fprint(stdout, out.Text)
 		if md != nil {
 			md.add(e, out)
 		}
 		if len(out.Checks) > 0 {
-			fmt.Println("  paper-vs-measured:")
+			fmt.Fprintln(stdout, "  paper-vs-measured:")
 			for _, c := range out.Checks {
 				paper := "—"
 				if !math.IsNaN(c.Paper) {
@@ -116,18 +137,18 @@ func main() {
 				if c.Note != "" {
 					note = "  (" + c.Note + ")"
 				}
-				fmt.Printf("    %-55s paper=%-9s measured=%-9.4g %s%s\n", c.Name, paper, c.Measured, c.Unit, note)
+				fmt.Fprintf(stdout, "    %-55s paper=%-9s measured=%-9.4g %s%s\n", c.Name, paper, c.Measured, c.Unit, note)
 			}
 		}
 		if *tsvDir != "" {
 			if err := os.MkdirAll(*tsvDir, 0o755); err != nil {
-				fatal("mkdir %s: %v", *tsvDir, err)
+				return fmt.Errorf("mkdir %s: %v", *tsvDir, err)
 			}
 			for name, series := range out.Series {
 				path := filepath.Join(*tsvDir, name+".tsv")
 				f, err := os.Create(path)
 				if err != nil {
-					fatal("create %s: %v", path, err)
+					return fmt.Errorf("create %s: %v", path, err)
 				}
 				series.Render(f)
 				f.Close()
@@ -136,26 +157,27 @@ func main() {
 	}
 	if md != nil {
 		if err := os.WriteFile(*checksMD, []byte(md.String()), 0o644); err != nil {
-			fatal("write %s: %v", *checksMD, err)
+			return fmt.Errorf("write %s: %v", *checksMD, err)
 		}
-		fmt.Printf("\nwrote %s\n", *checksMD)
+		fmt.Fprintf(stdout, "\nwrote %s\n", *checksMD)
 	}
+	return nil
 }
 
 // loadSnapshot strict-loads an instance-log snapshot; the provenance (if
 // present) is returned for core.FromSnapshot's config check.
-func loadSnapshot(path string, workers int) (*store.Store, *store.Provenance) {
+func loadSnapshot(path string, workers int) (*store.Store, *store.Provenance, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		fatal("%v", err)
+		return nil, nil, err
 	}
 	defer f.Close()
 	var st store.Store
 	rep, err := st.ReadSnapshot(f, store.LoadOptions{Workers: workers})
 	if err != nil {
-		fatal("load snapshot %s: %v (run `crowdstats verify-snapshot %s` to inspect the damage)", path, err, path)
+		return nil, nil, fmt.Errorf("load snapshot %s: %v (run `crowdstats verify-snapshot %s` to inspect the damage)", path, err, path)
 	}
-	return &st, rep.Provenance
+	return &st, rep.Provenance, nil
 }
 
 // mdReport accumulates the EXPERIMENTS.md paper-vs-measured report.
@@ -193,8 +215,3 @@ func (m *mdReport) add(e experiments.Experiment, out *experiments.Outcome) {
 }
 
 func (m *mdReport) String() string { return m.b.String() }
-
-func fatal(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "crowdrepro: "+format+"\n", args...)
-	os.Exit(1)
-}

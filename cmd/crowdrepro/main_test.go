@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestListExperiments: -list enumerates the paper artifacts without
+// generating anything.
+func TestListExperiments(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-list"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+	out := stdout.String()
+	for _, id := range []string{"fig1", "fig5b", "fig29", "tab4", "sec49"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("-list output missing %s:\n%s", id, out)
+		}
+	}
+	if strings.Count(out, "\n") < 20 {
+		t.Errorf("-list shows only %d lines", strings.Count(out, "\n"))
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-run", "nope"}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v, want unknown experiment", err)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-bogus"}, &stdout, &stderr); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestMissingSnapshot(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-snapshot", "testdata/nope.crow"}, &stdout, &stderr); err == nil {
+		t.Fatal("missing snapshot accepted")
+	}
+}

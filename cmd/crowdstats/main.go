@@ -12,8 +12,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -21,6 +23,7 @@ import (
 	"crowdscope/internal/experiments"
 	"crowdscope/internal/model"
 	"crowdscope/internal/profiling"
+	"crowdscope/internal/query"
 	"crowdscope/internal/report"
 	"crowdscope/internal/stats"
 	"crowdscope/internal/store"
@@ -29,117 +32,125 @@ import (
 )
 
 func main() {
-	seed := flag.Uint64("seed", 1701, "generation seed")
-	scale := flag.Float64("scale", 0.02, "instance-volume scale in (0,1]")
-	workers := flag.Int("workers", 0, "generation and analysis goroutine bound (0 = GOMAXPROCS, 1 = serial); never changes the data")
-	top := flag.Int("top", 15, "rows to show in rollups")
-	snapshotPath := flag.String("snapshot", "", "load the instance log from this snapshot instead of regenerating it (inventory still derives from -seed/-scale; provenance is checked)")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "crowdstats: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: it parses args, writes everything to
+// the given writers, and returns instead of exiting.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("crowdstats", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Uint64("seed", 1701, "generation seed")
+	scale := fs.Float64("scale", 0.02, "instance-volume scale in (0,1]")
+	workers := fs.Int("workers", 0, "generation and analysis goroutine bound (0 = GOMAXPROCS, 1 = serial); never changes the data")
+	top := fs.Int("top", 15, "rows to show in rollups")
+	snapshotPath := fs.String("snapshot", "", "load the instance log from this snapshot instead of regenerating it (inventory still derives from -seed/-scale; provenance is checked)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed to stderr
+		}
+		return err
+	}
 
 	stopProfiles := profiling.Start(*cpuProfile, *memProfile)
 	defer stopProfiles()
 
-	cmd := flag.Arg(0)
+	cmd := fs.Arg(0)
 	if cmd == "" {
 		cmd = "summary"
 	}
 
 	if cmd == "snapshot" {
-		snapshotCmd(flag.Arg(1))
-		return
+		return snapshotCmd(fs.Arg(1), *workers, stdout)
 	}
 	if cmd == "verify-snapshot" {
-		verifySnapshotCmd(flag.Arg(1), *workers)
-		return
+		return verifySnapshotCmd(fs.Arg(1), *workers, stdout, stderr)
 	}
 
 	cfg := synth.Config{Seed: *seed, Scale: *scale, Parallelism: *workers}
 	var ds *synth.Dataset
 	if *snapshotPath != "" {
-		ds = loadDataset(cfg, *snapshotPath, *workers)
+		var err error
+		if ds, err = loadDataset(cfg, *snapshotPath, *workers); err != nil {
+			return err
+		}
 	} else {
 		ds = synth.Generate(cfg)
 	}
 
 	switch cmd {
 	case "summary":
-		summary(ds)
+		summary(ds, stdout)
 	case "load":
-		load(ds)
+		load(ds, stdout)
 	case "sources", "countries", "workers", "clusters":
 		copts := core.DefaultOptions()
 		copts.Workers = *workers
 		analysis := core.New(ds, copts)
 		ctx := experiments.NewContext(analysis)
+		ctx.ScanWorkers = *workers
 		switch cmd {
 		case "sources":
-			sourcesCmd(analysis, ctx, *top)
+			sourcesCmd(analysis, ctx, *top, stdout)
 		case "countries":
-			countriesCmd(analysis, ctx, *top)
+			countriesCmd(analysis, ctx, *top, stdout)
 		case "workers":
-			workersCmd(ctx, *top)
+			workersCmd(ctx, *top, stdout)
 		case "clusters":
-			clustersCmd(analysis, *top)
+			clustersCmd(analysis, *top, stdout)
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "crowdstats: unknown command %q\n", cmd)
-		fmt.Fprintln(os.Stderr, "commands: summary load sources countries workers clusters snapshot <file> verify-snapshot <file>")
-		os.Exit(1)
+		fmt.Fprintln(stderr, "commands: summary load sources countries workers clusters snapshot <file> verify-snapshot <file>")
+		return fmt.Errorf("unknown command %q", cmd)
 	}
+	return nil
 }
 
 // loadDataset rebuilds a full dataset around a snapshot-restored instance
 // log: strict load, provenance check against the flags, then inventory
 // regeneration (synth.Rehydrate).
-func loadDataset(cfg synth.Config, path string, workers int) *synth.Dataset {
+func loadDataset(cfg synth.Config, path string, workers int) (*synth.Dataset, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "crowdstats: %v\n", err)
-		os.Exit(1)
+		return nil, err
 	}
 	defer f.Close()
 	var st store.Store
 	rep, err := st.ReadSnapshot(f, store.LoadOptions{Workers: workers})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "crowdstats: load snapshot: %v\n", err)
-		os.Exit(1)
+		return nil, fmt.Errorf("load snapshot: %v", err)
 	}
 	if p := rep.Provenance; p != nil && p.ConfigHash != cfg.Hash() {
-		fmt.Fprintf(os.Stderr, "crowdstats: snapshot %s was written by %q under config %016x, but flags give %016x (seed %d, scale %g); pass the matching -seed/-scale\n",
+		return nil, fmt.Errorf("snapshot %s was written by %q under config %016x, but flags give %016x (seed %d, scale %g); pass the matching -seed/-scale",
 			path, p.Tool, p.ConfigHash, cfg.Hash(), cfg.Seed, cfg.Scale)
-		os.Exit(1)
 	}
-	ds, err := synth.Rehydrate(cfg, &st)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "crowdstats: %v\n", err)
-		os.Exit(1)
-	}
-	return ds
+	return synth.Rehydrate(cfg, &st)
 }
 
-// snapshotCmd inspects an instance-log snapshot written by crowdgen.
-func snapshotCmd(path string) {
+// snapshotCmd inspects an instance-log snapshot written by crowdgen. The
+// span and workforce numbers come from one query-engine pass (min/max
+// start, distinct workers) instead of hand-rolled column scans.
+func snapshotCmd(path string, workers int, stdout io.Writer) error {
 	if path == "" {
-		fmt.Fprintln(os.Stderr, "crowdstats: snapshot requires a file path")
-		os.Exit(1)
+		return fmt.Errorf("snapshot requires a file path")
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "crowdstats: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	defer f.Close()
 	var st store.Store
-	rep, err := st.ReadSnapshot(f, store.LoadOptions{})
+	rep, err := st.ReadSnapshot(f, store.LoadOptions{Workers: workers})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "crowdstats: read snapshot: %v\n", err)
-		os.Exit(1)
+		return fmt.Errorf("read snapshot: %v", err)
 	}
 	if err := st.Validate(); err != nil {
-		fmt.Fprintf(os.Stderr, "crowdstats: snapshot invalid: %v\n", err)
-		os.Exit(1)
+		return fmt.Errorf("snapshot invalid: %v", err)
 	}
 	nonEmpty := 0
 	for b := 0; b < st.NumBatches(); b++ {
@@ -148,19 +159,14 @@ func snapshotCmd(path string) {
 		}
 	}
 	if st.Len() == 0 {
-		fmt.Printf("Snapshot %s: v%d, %d bytes, empty store\n", path, rep.Version, rep.Bytes)
-		return
+		fmt.Fprintf(stdout, "Snapshot %s: v%d, %d bytes, empty store\n", path, rep.Version, rep.Bytes)
+		return nil
 	}
-	starts := st.Starts()
-	minS, maxS := starts[0], starts[0]
-	for _, s := range starts {
-		if s < minS {
-			minS = s
-		}
-		if s > maxS {
-			maxS = s
-		}
+	res, err := query.Run(&st, query.Query{Value: query.ValueStart, Distinct: query.ColWorker, Workers: workers})
+	if err != nil {
+		return err
 	}
+	span := res.Groups[0]
 	tbl := report.NewTable("Snapshot " + path)
 	tbl.Headers = []string{"quantity", "value"}
 	tbl.AddRow("format version", rep.Version)
@@ -169,9 +175,9 @@ func snapshotCmd(path string) {
 	tbl.AddRow("bytes/row", float64(rep.Bytes)/float64(st.Len()))
 	tbl.AddRow("batches with rows", nonEmpty)
 	tbl.AddRow("segments", len(st.Segments()))
-	tbl.AddRow("distinct workers", st.DistinctWorkers())
-	tbl.AddRow("first start week", model.WeekOfUnix(minS))
-	tbl.AddRow("last start week", model.WeekOfUnix(maxS))
+	tbl.AddRow("distinct workers", span.Distinct)
+	tbl.AddRow("first start week", model.WeekOfUnix(int64(span.Min)))
+	tbl.AddRow("last start week", model.WeekOfUnix(int64(span.Max)))
 	if p := rep.Provenance; p != nil {
 		tbl.AddRow("written by", p.Tool)
 		tbl.AddRow("generator seed", p.Seed)
@@ -179,54 +185,52 @@ func snapshotCmd(path string) {
 	} else {
 		tbl.AddRow("provenance", "none (pre-v3 snapshot)")
 	}
-	tbl.Render(os.Stdout)
+	tbl.Render(stdout)
+	return nil
 }
 
 // verifySnapshotCmd strict-loads a snapshot, reporting either a clean
 // bill (every section checksum verified, structure valid) or the precise
 // damaged sections — distinguishing truncation from corruption — via a
 // follow-up repair-mode pass.
-func verifySnapshotCmd(path string, workers int) {
+func verifySnapshotCmd(path string, workers int, stdout, stderr io.Writer) error {
 	if path == "" {
-		fmt.Fprintln(os.Stderr, "crowdstats: verify-snapshot requires a file path")
-		os.Exit(1)
+		return fmt.Errorf("verify-snapshot requires a file path")
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "crowdstats: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	var st store.Store
 	rep, serr := st.ReadSnapshot(f, store.LoadOptions{Workers: workers})
 	f.Close()
 	if serr == nil {
 		if err := st.Validate(); err != nil {
-			fmt.Fprintf(os.Stderr, "crowdstats: %s: sections OK but structure invalid: %v\n", path, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: sections OK but structure invalid: %v", path, err)
 		}
-		fmt.Printf("%s: OK (v%d, %d bytes, %d rows, %d segments", path, rep.Version, rep.Bytes, st.Len(), st.NumSegments())
+		fmt.Fprintf(stdout, "%s: OK (v%d, %d bytes, %d rows, %d segments", path, rep.Version, rep.Bytes, st.Len(), st.NumSegments())
 		if p := rep.Provenance; p != nil {
-			fmt.Printf(", written by %s, config %016x", p.Tool, p.ConfigHash)
+			fmt.Fprintf(stdout, ", written by %s, config %016x", p.Tool, p.ConfigHash)
 		}
 		if rep.Version < 3 {
-			fmt.Printf("; note: pre-v3 format has no section checksums")
+			fmt.Fprintf(stdout, "; note: pre-v3 format has no section checksums")
 		}
-		fmt.Println(")")
-		return
+		fmt.Fprintln(stdout, ")")
+		return nil
 	}
-	fmt.Fprintf(os.Stderr, "crowdstats: %s: strict load FAILED: %v\n", path, serr)
+	fmt.Fprintf(stderr, "crowdstats: %s: strict load FAILED: %v\n", path, serr)
 	rf, err := os.Open(path)
 	if err == nil {
 		defer rf.Close()
 		var recovered store.Store
 		if rrep, rerr := recovered.ReadSnapshot(rf, store.LoadOptions{Mode: store.LoadRepair, Workers: workers}); rerr == nil {
-			fmt.Fprintf(os.Stderr, "  repair mode recovers %d of %d rows; damaged sections: %v\n",
+			fmt.Fprintf(stderr, "  repair mode recovers %d of %d rows; damaged sections: %v\n",
 				recovered.Len()-damagedRows(rrep, &recovered), recovered.Len(), rrep.Damaged)
 		} else {
-			fmt.Fprintf(os.Stderr, "  repair mode also fails: %v\n", rerr)
+			fmt.Fprintf(stderr, "  repair mode also fails: %v\n", rerr)
 		}
 	}
-	os.Exit(1)
+	return fmt.Errorf("%s: strict load failed", path)
 }
 
 // damagedRows estimates how many rows repair mode zero-filled: rows whose
@@ -244,7 +248,7 @@ func damagedRows(rep *store.LoadReport, st *store.Store) int {
 	return n
 }
 
-func summary(ds *synth.Dataset) {
+func summary(ds *synth.Dataset, stdout io.Writer) {
 	obs := ds.ObservedWorkers()
 	tbl := report.NewTable("Marketplace summary")
 	tbl.Headers = []string{"quantity", "value"}
@@ -256,10 +260,10 @@ func summary(ds *synth.Dataset) {
 	tbl.AddRow("workers observed", len(obs))
 	tbl.AddRow("labor sources", len(ds.Sources))
 	tbl.AddRow("countries", len(ds.Countries))
-	tbl.Render(os.Stdout)
+	tbl.Render(stdout)
 }
 
-func load(ds *synth.Dataset) {
+func load(ds *synth.Dataset, stdout io.Writer) {
 	daily := timeseries.NewDaily()
 	for i := range ds.Batches {
 		b := &ds.Batches[i]
@@ -269,17 +273,17 @@ func load(ds *synth.Dataset) {
 	}
 	post := daily.Slice(int(model.PostBoomWeek)*7, daily.Len())
 	ls := timeseries.SummarizeLoad(post)
-	fmt.Printf("post-2015 daily load: median=%.0f max=%.0f peak=%.1fx trough=%.5fx\n",
+	fmt.Fprintf(stdout, "post-2015 daily load: median=%.0f max=%.0f peak=%.1fx trough=%.5fx\n",
 		ls.Median, ls.Max, ls.PeakRatio, ls.TroughRatio)
 	fold := timeseries.WeekdayFold(daily)
 	chart := report.NewChart("By weekday")
 	for i, name := range timeseries.WeekdayNames {
 		chart.Add(name, fold[i])
 	}
-	chart.Render(os.Stdout)
+	chart.Render(stdout)
 }
 
-func sourcesCmd(a *core.Analysis, ctx *experiments.Context, top int) {
+func sourcesCmd(a *core.Analysis, ctx *experiments.Context, top int, stdout io.Writer) {
 	sources := a.SourceTable(ctx.Workers())
 	tbl := report.NewTable("Sources by task volume", "source", "workers", "tasks", "tasks/worker", "trust", "rel-time")
 	for i, s := range sources {
@@ -288,10 +292,10 @@ func sourcesCmd(a *core.Analysis, ctx *experiments.Context, top int) {
 		}
 		tbl.AddRow(s.Name, s.Workers, s.Tasks, s.AvgTasksPerWorker, s.MeanTrust, s.MeanRelTime)
 	}
-	tbl.Render(os.Stdout)
+	tbl.Render(stdout)
 }
 
-func countriesCmd(a *core.Analysis, ctx *experiments.Context, top int) {
+func countriesCmd(a *core.Analysis, ctx *experiments.Context, top int, stdout io.Writer) {
 	countries := a.CountryTable(ctx.Workers())
 	chart := report.NewChart("Workers by country")
 	for i, c := range countries {
@@ -300,10 +304,10 @@ func countriesCmd(a *core.Analysis, ctx *experiments.Context, top int) {
 		}
 		chart.Add(c.Name, float64(c.Workers))
 	}
-	chart.Render(os.Stdout)
+	chart.Render(stdout)
 }
 
-func workersCmd(ctx *experiments.Context, top int) {
+func workersCmd(ctx *experiments.Context, top int, stdout io.Writer) {
 	workers := ctx.Workers()
 	tbl := report.NewTable("Top workers", "rank", "class", "tasks", "working-days", "lifetime-d", "hours", "trust")
 	for i, w := range workers {
@@ -312,16 +316,16 @@ func workersCmd(ctx *experiments.Context, top int) {
 		}
 		tbl.AddRow(i+1, w.Class.String(), w.Tasks, w.WorkingDays, w.Lifetime, w.HoursTotal(), w.MeanTrust)
 	}
-	tbl.Render(os.Stdout)
+	tbl.Render(stdout)
 	loads := make([]float64, len(workers))
 	for i := range workers {
 		loads[i] = float64(workers[i].Tasks)
 	}
-	fmt.Printf("\ntop-10%% of %d workers perform %.0f%% of tasks (Gini %.2f)\n",
+	fmt.Fprintf(stdout, "\ntop-10%% of %d workers perform %.0f%% of tasks (Gini %.2f)\n",
 		len(workers), 100*stats.TopShare(loads, 0.10), stats.Gini(loads))
 }
 
-func clustersCmd(a *core.Analysis, top int) {
+func clustersCmd(a *core.Analysis, top int, stdout io.Writer) {
 	rows := append([]core.ClusterRow(nil), a.Clusters...)
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Instances > rows[j].Instances })
 	tbl := report.NewTable("Largest clusters", "cluster", "batches", "instances", "goal", "ops", "data", "disagreement", "task-time-s", "pickup-s")
@@ -332,6 +336,6 @@ func clustersCmd(a *core.Analysis, top int) {
 		tbl.AddRow(c.Cluster, len(c.Batches), c.Instances, c.Labels.Goals.String(), c.Labels.Operators.String(), c.Labels.Data.String(),
 			c.Metrics.Disagreement, c.Metrics.TaskTime, c.Metrics.PickupTime)
 	}
-	tbl.Render(os.Stdout)
-	fmt.Printf("\n%d clusters over %d sampled batches\n", len(a.Clusters), len(a.SampledIDs))
+	tbl.Render(stdout)
+	fmt.Fprintf(stdout, "\n%d clusters over %d sampled batches\n", len(a.Clusters), len(a.SampledIDs))
 }

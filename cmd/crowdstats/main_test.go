@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"crowdscope/internal/store"
+	"crowdscope/internal/synth"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden CLI outputs under testdata/")
+
+// chainSnapshot writes the same tiny snapshot cmd/crowdgen's golden test
+// pins byte-for-byte (seed 1701, scale 0.001), so these tests cover the
+// crowdgen → crowdstats leg of the CLI chain without a cross-package
+// dependency.
+func chainSnapshot(t *testing.T) string {
+	t.Helper()
+	cfg := synth.Config{Seed: 1701, Scale: 0.001, Parallelism: 4}
+	ds := synth.Generate(cfg)
+	path := filepath.Join(t.TempDir(), "chain.crow")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	prov := &store.Provenance{ConfigHash: cfg.Hash(), Seed: cfg.Seed, Tool: "crowdgen/3"}
+	if _, err := ds.Store.WriteSnapshot(f, store.WriteOptions{Provenance: prov}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// checkGolden compares got against the committed golden file, rewriting
+// it under -update-golden.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run `go test ./cmd/... -update-golden` to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n got:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+// TestSummaryFromSnapshotGolden: load the chain snapshot (provenance
+// checked against the flags) and golden-compare the summary table.
+func TestSummaryFromSnapshotGolden(t *testing.T) {
+	snap := chainSnapshot(t)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-seed", "1701", "-scale", "0.001", "-snapshot", snap, "summary"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	checkGolden(t, "summary.golden", stdout.String())
+}
+
+// TestSnapshotInspectGolden: the snapshot command's table (span and
+// distinct workers now computed by the query engine).
+func TestSnapshotInspectGolden(t *testing.T) {
+	snap := chainSnapshot(t)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"snapshot", snap}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := strings.ReplaceAll(stdout.String(), snap, "SNAPSHOT")
+	checkGolden(t, "snapshot.golden", got)
+}
+
+// TestVerifySnapshotClean: a freshly written snapshot passes every
+// checksum.
+func TestVerifySnapshotClean(t *testing.T) {
+	snap := chainSnapshot(t)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"verify-snapshot", snap}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), ": OK (v3") {
+		t.Errorf("unexpected verify output: %s", stdout.String())
+	}
+}
+
+// TestVerifySnapshotDamaged: a bit-flipped snapshot fails verification
+// and reports what repair mode can recover.
+func TestVerifySnapshotDamaged(t *testing.T) {
+	snap := chainSnapshot(t)
+	raw, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-100] ^= 0x40
+	if err := os.WriteFile(snap, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"verify-snapshot", snap}, &stdout, &stderr); err == nil {
+		t.Fatal("damaged snapshot verified clean")
+	}
+	if !strings.Contains(stderr.String(), "strict load FAILED") || !strings.Contains(stderr.String(), "repair mode") {
+		t.Errorf("unexpected verify output: %s", stderr.String())
+	}
+}
+
+// TestProvenanceMismatch: loading under the wrong scale is refused.
+func TestProvenanceMismatch(t *testing.T) {
+	snap := chainSnapshot(t)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-seed", "1701", "-scale", "0.002", "-snapshot", snap, "summary"}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "pass the matching -seed/-scale") {
+		t.Fatalf("err = %v, want provenance mismatch", err)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-scale", "0.001", "bogus"}, &stdout, &stderr); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+}

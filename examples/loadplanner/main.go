@@ -35,14 +35,12 @@ func main() {
 	fmt.Printf("Arrivals (post-2015): median %.0f/day, peak %.1fx, trough %.5fx\n", ls.Median, ls.PeakRatio, ls.TroughRatio)
 	fmt.Println("Provisioning for the median wastes the peak; provisioning for the peak idles 30x capacity.")
 
-	// Workforce absorption: distinct workers vs load, weekly.
-	distinct := timeseries.NewWeeklyDistinct()
-	starts := ds.Store.Starts()
-	workersCol := ds.Store.Workers()
-	for i := range starts {
-		distinct.Observe(starts[i], workersCol[i])
+	// Workforce absorption: distinct workers vs load, weekly — a
+	// group-by-week distinct-count on the query engine.
+	wSeries, err := timeseries.ActiveWorkerSeries(ds.Store, 0)
+	if err != nil {
+		panic(err)
 	}
-	wSeries := distinct.Series()
 	wVals := wSeries.Slice(int(model.PostBoomWeek), wSeries.Len()).NonZero()
 	aVals := weekly.Slice(int(model.PostBoomWeek), weekly.Len()).NonZero()
 	fmt.Printf("\nWorkforce: weekly active-worker CV %.2f vs load CV %.2f — the pool flexes, headcount does not.\n",

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"time"
 
@@ -17,10 +18,12 @@ import (
 )
 
 func main() {
+	scale := flag.Float64("scale", 0.01, "instance-volume scale in (0,1]")
+	flag.Parse()
 	t0 := time.Now()
 	// Parallelism: 0 fans the generation pipeline out to every core; the
 	// dataset is identical to the serial path (Parallelism: 1).
-	ds := synth.Generate(synth.Config{Seed: 42, Scale: 0.01, Parallelism: 0})
+	ds := synth.Generate(synth.Config{Seed: 42, Scale: *scale, Parallelism: 0})
 	analysis := core.New(ds, core.DefaultOptions())
 	fmt.Printf("marketplace: %d instances in %d segments, %d sampled batches, %d clusters (built in %v)\n\n",
 		ds.Store.Len(), len(ds.Store.Segments()), len(ds.SampledBatchIDs()), analysis.Clustering.NumClusters(), time.Since(t0).Round(time.Millisecond))

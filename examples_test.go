@@ -1,0 +1,69 @@
+// Smoke coverage for the examples/ programs: every example must keep
+// compiling against the internal APIs, and quickstart must actually run
+// end-to-end at a tiny scale — the examples are the de-facto API docs,
+// and nothing else exercised them.
+package crowdscope_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// examplesDirs enumerates the example programs; a new example is covered
+// the moment its directory lands.
+func exampleDirs(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, filepath.Join("examples", e.Name()))
+		}
+	}
+	if len(dirs) < 5 {
+		t.Fatalf("expected at least the five examples, found %v", dirs)
+	}
+	return dirs
+}
+
+// TestExamplesBuild vets (and thereby compiles) every example program.
+func TestExamplesBuild(t *testing.T) {
+	dirs := exampleDirs(t)
+	args := append([]string{"vet"}, func() []string {
+		out := make([]string, len(dirs))
+		for i, d := range dirs {
+			out[i] = "./" + d
+		}
+		return out
+	}()...)
+	cmd := exec.Command("go", args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go vet examples failed: %v\n%s", err, out)
+	}
+}
+
+// TestQuickstartRuns executes the quickstart example at a tiny scale and
+// checks its three headline findings appear — the closest thing to an
+// end-to-end test of the public pipeline surface.
+func TestQuickstartRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full analysis pipeline")
+	}
+	cmd := exec.Command("go", "run", "./examples/quickstart", "-scale", "0.001")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("quickstart failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"marketplace:", "1. load:", "2. design:", "3. workers:"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("quickstart output missing %q:\n%s", want, out)
+		}
+	}
+}

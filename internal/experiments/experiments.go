@@ -17,6 +17,11 @@ import (
 // Context carries the shared analysis state experiments run against.
 type Context struct {
 	A *core.Analysis
+	// ScanWorkers bounds the goroutine fan-out of the store scans
+	// experiments run through the query engine (0 = GOMAXPROCS, 1 =
+	// serial). It mirrors the CLIs' -workers flag and never changes any
+	// result.
+	ScanWorkers int
 	// workers memoizes the worker table across experiments.
 	workers []core.WorkerStats
 }

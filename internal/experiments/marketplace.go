@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"crowdscope/internal/model"
+	"crowdscope/internal/query"
 	"crowdscope/internal/report"
 	"crowdscope/internal/stats"
 	"crowdscope/internal/timeseries"
@@ -207,14 +208,12 @@ func runFig3(ctx *Context) *Outcome {
 }
 
 func runFig4(ctx *Context) *Outcome {
-	st := ctx.A.DS.Store
-	distinct := timeseries.NewWeeklyDistinct()
-	starts := st.Starts()
-	workers := st.Workers()
-	for i := range starts {
-		distinct.Observe(starts[i], workers[i])
+	// Weekly distinct workers via the query engine (group by week, count
+	// distinct worker) instead of a hand-rolled full scan.
+	s, err := timeseries.ActiveWorkerSeries(ctx.A.DS.Store, ctx.ScanWorkers)
+	if err != nil {
+		panic(err) // the query is static; an error is a programming bug
 	}
-	s := distinct.Series()
 	arr := weeklyArrivals(ctx)
 
 	out := &Outcome{}
@@ -265,32 +264,31 @@ func runFig5a(ctx *Context) *Outcome {
 
 func runFig5b(ctx *Context) *Outcome {
 	workers := ctx.Workers()
-	// Identify top-10% by total tasks.
+	// Identify top-10% by total tasks. Only that small set is queried
+	// with a worker filter; the bottom-90% series are the exact
+	// complement of the unfiltered totals (counts and duration sums are
+	// integer-valued, so the subtraction loses nothing), saving a second
+	// full scan with an almost-always-true membership test.
 	topCut := len(workers) / 10
-	isTop := map[uint32]bool{}
-	for i, w := range workers {
-		if i < topCut {
-			isTop[w.ID] = true
-		}
+	topIDs := make([]uint32, 0, topCut)
+	for i := 0; i < topCut; i++ {
+		topIDs = append(topIDs, workers[i].ID)
 	}
 	st := ctx.A.DS.Store
-	starts := st.Starts()
-	ends := st.Ends()
-	wcol := st.Workers()
-	topTasks := timeseries.NewWeekly()
-	botTasks := timeseries.NewWeekly()
-	topTime := timeseries.NewWeekly()
-	botTime := timeseries.NewWeekly()
-	for i := range starts {
-		dur := float64(ends[i] - starts[i])
-		if isTop[wcol[i]] {
-			topTasks.IncrAt(starts[i])
-			topTime.AddAt(starts[i], dur)
-		} else {
-			botTasks.IncrAt(starts[i])
-			botTime.AddAt(starts[i], dur)
+	totTasks, totTime, err := timeseries.WorkerEngagementSeries(st, ctx.ScanWorkers)
+	if err != nil {
+		panic(err) // the query is static; an error is a programming bug
+	}
+	// The top cohort can be empty at tiny scales (fewer than 10 observed
+	// workers); its series are then all-zero.
+	topTasks, topTime := timeseries.NewWeekly(), timeseries.NewWeekly()
+	if len(topIDs) > 0 {
+		if topTasks, topTime, err = timeseries.WorkerEngagementSeries(st, ctx.ScanWorkers, query.In(query.ColWorker, topIDs...)); err != nil {
+			panic(err)
 		}
 	}
+	botTasks := totTasks.Minus(topTasks)
+	botTime := totTime.Minus(topTime)
 
 	out := &Outcome{}
 	tsv := report.NewTSV("week", "top10_tasks", "bot90_tasks", "top10_secs", "bot90_secs")

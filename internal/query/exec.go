@@ -1,0 +1,429 @@
+package query
+
+import (
+	"math"
+	"math/bits"
+
+	"crowdscope/internal/store"
+)
+
+// setBitsetMaxSpan bounds the value span a set predicate turns into a
+// membership bitset (at most 256 KiB of bits); wider sets fall back to
+// binary search over the sorted values.
+const setBitsetMaxSpan = 1 << 21
+
+// compiled is a predicate prepared for the scan kernels: normalized
+// bounds plus a fast membership structure for set predicates.
+type compiled struct {
+	col      Column
+	lo, hi   int64
+	flo, fhi float64
+	set      []uint32 // sorted; nil unless a set predicate
+	bs       []uint64 // membership bitset over [bsBase, bsBase+64*len)
+	bsBase   uint32
+}
+
+func compile(where []Predicate) []compiled {
+	out := make([]compiled, len(where))
+	for i, p := range where {
+		c := compiled{col: p.Col, lo: p.Lo, hi: p.Hi, flo: p.FLo, fhi: p.FHi, set: p.Set}
+		if len(p.Set) > 0 {
+			last := p.Set[len(p.Set)-1]
+			c.lo, c.hi = int64(p.Set[0]), int64(last)
+			if span := last - p.Set[0]; span < setBitsetMaxSpan {
+				c.bsBase = p.Set[0]
+				c.bs = make([]uint64, span/64+1)
+				for _, v := range p.Set {
+					d := v - c.bsBase
+					c.bs[d/64] |= 1 << (d % 64)
+				}
+			}
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// matchesU32 reports set membership for the slow path.
+func (c *compiled) matchesU32(v uint32) bool {
+	if c.set == nil {
+		return int64(v) >= c.lo && int64(v) <= c.hi
+	}
+	if c.bs != nil {
+		if v < c.bsBase {
+			return false
+		}
+		d := v - c.bsBase
+		return d/64 < uint32(len(c.bs)) && c.bs[d/64]&(1<<(d%64)) != 0
+	}
+	lo, hi := 0, len(c.set)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.set[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(c.set) && c.set[lo] == v
+}
+
+// scratch holds one shard's reusable selection bitmap.
+type scratch struct {
+	bm []uint64
+}
+
+// acc accumulates one group's aggregates within a chunk. Integer-valued
+// columns (duration, start) sum exactly in sumI; trust sums in sumF.
+type acc struct {
+	count      int64
+	sumI       int64
+	sumF       float64
+	minF, maxF float64
+	vals       []float64
+	distinct   map[uint32]struct{}
+}
+
+// partial is one chunk's aggregation output.
+type partial struct {
+	groups  map[int64]*acc
+	matched int64
+}
+
+// evalChunk filters rows [lo, hi) through the compiled predicates into a
+// selection bitmap, then folds the surviving rows into per-group
+// accumulators.
+func evalChunk(st *store.Store, q *Query, preds []compiled, lo, hi int, sc *scratch) partial {
+	n := hi - lo
+	words := (n + 63) / 64
+	if cap(sc.bm) < words {
+		sc.bm = make([]uint64, words)
+	}
+	bm := sc.bm[:words]
+
+	if len(preds) == 0 {
+		for i := range bm {
+			bm[i] = ^uint64(0)
+		}
+	} else {
+		for pi := range preds {
+			evalPredicate(st, &preds[pi], lo, hi, bm, pi == 0)
+		}
+	}
+	// Mask the tail bits beyond the chunk.
+	if tail := n % 64; tail != 0 {
+		bm[words-1] &= (1 << tail) - 1
+	}
+
+	p := partial{groups: make(map[int64]*acc)}
+	starts := st.Starts()
+	ends := st.Ends()
+	trusts := st.Trusts()
+	var keyCol []uint32
+	switch q.GroupBy {
+	case GroupBatch:
+		keyCol = st.Batches()
+	case GroupWorker:
+		keyCol = st.Workers()
+	case GroupTaskType:
+		keyCol = st.TaskTypes()
+	}
+	var distCol []uint32
+	switch q.Distinct {
+	case ColBatch:
+		distCol = st.Batches()
+	case ColTaskType:
+		distCol = st.TaskTypes()
+	case ColItem:
+		distCol = st.Items()
+	case ColWorker:
+		distCol = st.Workers()
+	case ColAnswer:
+		distCol = st.Answers()
+	}
+
+	// Group keys arrive in long runs (rows are batch-contiguous and
+	// time-sorted, and GroupNone is a single run), so memoizing the last
+	// accumulator removes almost every map lookup.
+	var lastAcc *acc
+	lastKey := int64(math.MinInt64)
+	for w, word := range bm {
+		for word != 0 {
+			row := lo + w*64 + bits.TrailingZeros64(word)
+			word &= word - 1
+			p.matched++
+
+			var key int64
+			switch q.GroupBy {
+			case GroupNone:
+			case GroupWeek:
+				key = weekKey(starts[row])
+			case GroupDay:
+				key = dayKey(starts[row])
+			default:
+				key = int64(keyCol[row])
+			}
+			a := lastAcc
+			if a == nil || key != lastKey {
+				a = p.groups[key]
+				if a == nil {
+					a = &acc{minF: math.Inf(1), maxF: math.Inf(-1)}
+					if q.Value == ValueNone {
+						a.minF, a.maxF = 0, 0
+					}
+					if q.Distinct != ColNone {
+						a.distinct = make(map[uint32]struct{})
+					}
+					p.groups[key] = a
+				}
+				lastAcc, lastKey = a, key
+			}
+			a.count++
+			switch q.Value {
+			case ValueDuration:
+				d := ends[row] - starts[row]
+				a.sumI += d
+				a.minF = math.Min(a.minF, float64(d))
+				a.maxF = math.Max(a.maxF, float64(d))
+				if q.P50 {
+					a.vals = append(a.vals, float64(d))
+				}
+			case ValueTrust:
+				v := float64(trusts[row])
+				a.sumF += v
+				a.minF = math.Min(a.minF, v)
+				a.maxF = math.Max(a.maxF, v)
+				if q.P50 {
+					a.vals = append(a.vals, v)
+				}
+			case ValueStart:
+				v := starts[row]
+				a.sumI += v
+				a.minF = math.Min(a.minF, float64(v))
+				a.maxF = math.Max(a.maxF, float64(v))
+				if q.P50 {
+					a.vals = append(a.vals, float64(v))
+				}
+			}
+			if distCol != nil {
+				a.distinct[distCol[row]] = struct{}{}
+			}
+		}
+	}
+	return p
+}
+
+// evalPredicate vectorizes one predicate over rows [lo, hi): it builds a
+// 64-row word of match bits at a time and either installs (first) or ANDs
+// it into the selection bitmap. Already-dead words are skipped.
+func evalPredicate(st *store.Store, c *compiled, lo, hi int, bm []uint64, first bool) {
+	switch c.col {
+	case ColStart:
+		evalI64(st.Starts(), c.lo, c.hi, lo, hi, bm, first)
+	case ColEnd:
+		evalI64(st.Ends(), c.lo, c.hi, lo, hi, bm, first)
+	case ColTrust:
+		evalF32(st.Trusts(), c.flo, c.fhi, lo, hi, bm, first)
+	default:
+		var col []uint32
+		switch c.col {
+		case ColBatch:
+			col = st.Batches()
+		case ColTaskType:
+			col = st.TaskTypes()
+		case ColItem:
+			col = st.Items()
+		case ColWorker:
+			col = st.Workers()
+		case ColAnswer:
+			col = st.Answers()
+		}
+		if c.set == nil {
+			evalU32Range(col, c.lo, c.hi, lo, hi, bm, first)
+		} else {
+			evalU32Set(col, c, lo, hi, bm, first)
+		}
+	}
+}
+
+func evalU32Range(col []uint32, plo, phi int64, lo, hi int, bm []uint64, first bool) {
+	for w := range bm {
+		if !first && bm[w] == 0 {
+			continue
+		}
+		base := lo + w*64
+		n := min(64, hi-base)
+		var word uint64
+		for b := 0; b < n; b++ {
+			v := int64(col[base+b])
+			if v >= plo && v <= phi {
+				word |= 1 << b
+			}
+		}
+		if first {
+			bm[w] = word
+		} else {
+			bm[w] &= word
+		}
+	}
+}
+
+func evalU32Set(col []uint32, c *compiled, lo, hi int, bm []uint64, first bool) {
+	for w := range bm {
+		if !first && bm[w] == 0 {
+			continue
+		}
+		base := lo + w*64
+		n := min(64, hi-base)
+		var word uint64
+		for b := 0; b < n; b++ {
+			if c.matchesU32(col[base+b]) {
+				word |= 1 << b
+			}
+		}
+		if first {
+			bm[w] = word
+		} else {
+			bm[w] &= word
+		}
+	}
+}
+
+func evalI64(col []int64, plo, phi int64, lo, hi int, bm []uint64, first bool) {
+	for w := range bm {
+		if !first && bm[w] == 0 {
+			continue
+		}
+		base := lo + w*64
+		n := min(64, hi-base)
+		var word uint64
+		for b := 0; b < n; b++ {
+			v := col[base+b]
+			if v >= plo && v <= phi {
+				word |= 1 << b
+			}
+		}
+		if first {
+			bm[w] = word
+		} else {
+			bm[w] &= word
+		}
+	}
+}
+
+func evalF32(col []float32, plo, phi float64, lo, hi int, bm []uint64, first bool) {
+	for w := range bm {
+		if !first && bm[w] == 0 {
+			continue
+		}
+		base := lo + w*64
+		n := min(64, hi-base)
+		var word uint64
+		for b := 0; b < n; b++ {
+			v := float64(col[base+b])
+			if v >= plo && v <= phi {
+				word |= 1 << b
+			}
+		}
+		if first {
+			bm[w] = word
+		} else {
+			bm[w] &= word
+		}
+	}
+}
+
+// prune reports whether a segment provably contains no matching rows: any
+// conjunct whose admissible values cannot intersect the segment's zone
+// kills the whole segment.
+func prune(z *store.ZoneMap, si store.SegmentInfo, preds []compiled) bool {
+	for i := range preds {
+		c := &preds[i]
+		switch c.col {
+		case ColBatch:
+			// Batch bounds come from the segment table itself.
+			if si.BatchHi == si.BatchLo || c.hi < int64(si.BatchLo) || c.lo > int64(si.BatchHi-1) {
+				return true
+			}
+			if c.set != nil && !setIntersectsRange(c.set, int64(si.BatchLo), int64(si.BatchHi-1)) {
+				return true
+			}
+		case ColTaskType:
+			if pruneU32(c, int64(z.TaskTypeMin), int64(z.TaskTypeMax), z.TaskTypes) {
+				return true
+			}
+		case ColItem:
+			if pruneU32(c, int64(z.ItemMin), int64(z.ItemMax), nil) {
+				return true
+			}
+		case ColWorker:
+			if pruneU32(c, int64(z.WorkerMin), int64(z.WorkerMax), nil) {
+				return true
+			}
+		case ColAnswer:
+			if pruneU32(c, int64(z.AnswerMin), int64(z.AnswerMax), z.Answers) {
+				return true
+			}
+		case ColStart:
+			if c.hi < z.StartMin || c.lo > z.StartMax {
+				return true
+			}
+		case ColEnd:
+			if c.hi < z.EndMin || c.lo > z.EndMax {
+				return true
+			}
+		case ColTrust:
+			if c.fhi < float64(z.TrustMin) || c.flo > float64(z.TrustMax) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pruneU32 decides one uint32 conjunct against a zone's [zmin, zmax]
+// bounds and, when available, its exact distinct-value set.
+func pruneU32(c *compiled, zmin, zmax int64, zset []uint32) bool {
+	if c.hi < zmin || c.lo > zmax {
+		return true
+	}
+	if zset == nil {
+		return false
+	}
+	if c.set == nil {
+		return !setIntersectsRange(zset, c.lo, c.hi)
+	}
+	return !sortedIntersect(c.set, zset)
+}
+
+// setIntersectsRange reports whether a sorted set has a member in
+// [lo, hi].
+func setIntersectsRange(set []uint32, lo, hi int64) bool {
+	a, b := 0, len(set)
+	for a < b {
+		mid := (a + b) / 2
+		if int64(set[mid]) < lo {
+			a = mid + 1
+		} else {
+			b = mid
+		}
+	}
+	return a < len(set) && int64(set[a]) <= hi
+}
+
+// sortedIntersect reports whether two ascending uint32 slices share an
+// element.
+func sortedIntersect(a, b []uint32) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}

@@ -1,0 +1,329 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"crowdscope/internal/model"
+	"crowdscope/internal/stats"
+	"crowdscope/internal/store"
+)
+
+// randStore builds a random multi-segment store: segment count, batch
+// sizes, and all column values are drawn from r.
+func randStore(r *rand.Rand, rowsTarget int) *store.Store {
+	numSegs := 1 + r.Intn(5)
+	batchesPerSeg := 1 + r.Intn(3)
+	numBatches := numSegs * batchesPerSeg
+	rowsPerBatch := rowsTarget / numBatches
+
+	var segs []*store.Segment
+	for k := 0; k < numSegs; k++ {
+		lo, hi := uint32(k*batchesPerSeg), uint32((k+1)*batchesPerSeg)
+		b := store.NewBuilder(lo, hi)
+		for batch := lo; batch < hi; batch++ {
+			b.BeginBatch(batch)
+			n := rowsPerBatch/2 + r.Intn(rowsPerBatch+1)
+			for i := 0; i < n; i++ {
+				start := model.Epoch.Unix() + int64(r.Intn(200*7*86400)) - 86400 // occasionally pre-epoch
+				b.Append(model.Instance{
+					Batch:    batch,
+					TaskType: uint32(r.Intn(10)),
+					Item:     uint32(r.Intn(200)),
+					Worker:   uint32(r.Intn(60)),
+					Start:    start,
+					End:      start + int64(r.Intn(3600)),
+					Trust:    float32(r.Intn(1000)) / 999,
+					Answer:   uint32(r.Intn(40)),
+				})
+			}
+		}
+		segs = append(segs, b.Seal())
+	}
+	s, err := store.Assemble(numBatches, segs)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// randQuery draws a random predicate set, grouping and aggregate shape.
+func randQuery(r *rand.Rand) Query {
+	q := Query{
+		GroupBy: GroupBy(r.Intn(6)),
+		Value:   Value(r.Intn(4)),
+	}
+	if q.Value != ValueNone && r.Intn(2) == 0 {
+		q.P50 = true
+	}
+	if r.Intn(3) == 0 {
+		q.Distinct = []Column{ColBatch, ColTaskType, ColItem, ColWorker, ColAnswer}[r.Intn(5)]
+	}
+	for n := r.Intn(4); n > 0; n-- {
+		var p Predicate
+		switch r.Intn(7) {
+		case 0:
+			p = WorkerEq(uint32(r.Intn(70)))
+		case 1:
+			vs := make([]uint32, 1+r.Intn(3))
+			for i := range vs {
+				vs[i] = uint32(r.Intn(12))
+			}
+			p = TaskTypeIn(vs...)
+		case 2:
+			lo := model.Epoch.Unix() + int64(r.Intn(200*7*86400))
+			p = StartIn(lo, lo+int64(r.Intn(30*86400)))
+		case 3:
+			lo, hi := float64(r.Intn(100))/100, float64(r.Intn(120))/100
+			p = TrustRange(lo, hi) // sometimes inverted: matches nothing
+		case 4:
+			lo := int64(r.Intn(250))
+			p = Range(ColItem, lo, lo+int64(r.Intn(50)))
+		case 5:
+			p = Eq(ColBatch, uint32(r.Intn(16)))
+		case 6:
+			vs := make([]uint32, 1+r.Intn(4))
+			for i := range vs {
+				vs[i] = uint32(r.Intn(50))
+			}
+			p = In(ColAnswer, vs...)
+		}
+		q.Where = append(q.Where, p)
+	}
+	return q
+}
+
+// refMatches evaluates one predicate against a row the slow, obvious way.
+func refMatches(st *store.Store, p Predicate, row int) bool {
+	var v int64
+	switch p.Col {
+	case ColBatch:
+		v = int64(st.Batches()[row])
+	case ColTaskType:
+		v = int64(st.TaskTypes()[row])
+	case ColItem:
+		v = int64(st.Items()[row])
+	case ColWorker:
+		v = int64(st.Workers()[row])
+	case ColAnswer:
+		v = int64(st.Answers()[row])
+	case ColStart:
+		v = st.Starts()[row]
+	case ColEnd:
+		v = st.Ends()[row]
+	case ColTrust:
+		f := float64(st.Trusts()[row])
+		return f >= p.FLo && f <= p.FHi
+	}
+	if p.Set != nil {
+		for _, s := range p.Set {
+			if int64(s) == v {
+				return true
+			}
+		}
+		return false
+	}
+	return v >= p.Lo && v <= p.Hi
+}
+
+type refAcc struct {
+	count      int64
+	sumI       int64
+	sumF       float64
+	minF, maxF float64
+	vals       []float64
+	distinct   map[uint32]struct{}
+}
+
+// referenceRun is an independent, deliberately naive implementation of
+// the query semantics: a plain row loop with no bitmaps, no zone maps and
+// no parallelism. Floating-point Sums follow the documented contract —
+// folded per ChunkRows-sized chunk within each segment, chunk subtotals
+// folded in order — which is the one aggregation detail a naive
+// implementation must share for bit-identical results.
+func referenceRun(st *store.Store, q Query) []Group {
+	groups := map[int64]*refAcc{}
+	var keys []int64
+	for _, si := range st.Segments() {
+		for chunkLo := si.RowLo; chunkLo < si.RowHi; chunkLo += ChunkRows {
+			chunkHi := chunkLo + ChunkRows
+			if chunkHi > si.RowHi {
+				chunkHi = si.RowHi
+			}
+			chunkSums := map[int64]float64{}
+			var chunkKeys []int64
+		rows:
+			for row := chunkLo; row < chunkHi; row++ {
+				for _, p := range q.Where {
+					if !refMatches(st, p, row) {
+						continue rows
+					}
+				}
+				var key int64
+				switch q.GroupBy {
+				case GroupBatch:
+					key = int64(st.Batches()[row])
+				case GroupWorker:
+					key = int64(st.Workers()[row])
+				case GroupTaskType:
+					key = int64(st.TaskTypes()[row])
+				case GroupWeek:
+					key = int64(model.WeekOfUnix(st.Starts()[row]))
+				case GroupDay:
+					key = int64(model.DayOfUnix(st.Starts()[row]))
+				}
+				a := groups[key]
+				if a == nil {
+					a = &refAcc{minF: math.Inf(1), maxF: math.Inf(-1), distinct: map[uint32]struct{}{}}
+					if q.Value == ValueNone {
+						a.minF, a.maxF = 0, 0
+					}
+					groups[key] = a
+					keys = append(keys, key)
+				}
+				a.count++
+				var v float64
+				switch q.Value {
+				case ValueDuration:
+					d := st.Ends()[row] - st.Starts()[row]
+					a.sumI += d
+					v = float64(d)
+				case ValueTrust:
+					v = float64(st.Trusts()[row])
+				case ValueStart:
+					s := st.Starts()[row]
+					a.sumI += s
+					v = float64(s)
+				}
+				if q.Value != ValueNone {
+					a.minF = math.Min(a.minF, v)
+					a.maxF = math.Max(a.maxF, v)
+					if q.P50 {
+						a.vals = append(a.vals, v)
+					}
+					if q.Value == ValueTrust {
+						if _, ok := chunkSums[key]; !ok {
+							chunkKeys = append(chunkKeys, key)
+						}
+						chunkSums[key] += v
+					}
+				}
+				switch q.Distinct {
+				case ColBatch:
+					a.distinct[st.Batches()[row]] = struct{}{}
+				case ColTaskType:
+					a.distinct[st.TaskTypes()[row]] = struct{}{}
+				case ColItem:
+					a.distinct[st.Items()[row]] = struct{}{}
+				case ColWorker:
+					a.distinct[st.Workers()[row]] = struct{}{}
+				case ColAnswer:
+					a.distinct[st.Answers()[row]] = struct{}{}
+				}
+			}
+			for _, k := range chunkKeys {
+				groups[k].sumF += chunkSums[k]
+			}
+		}
+	}
+
+	sortInt64s(keys)
+	out := make([]Group, len(keys))
+	for i, k := range keys {
+		a := groups[k]
+		g := Group{Key: k, Count: a.count}
+		switch q.Value {
+		case ValueDuration, ValueStart:
+			g.Sum, g.Min, g.Max = float64(a.sumI), a.minF, a.maxF
+		case ValueTrust:
+			g.Sum, g.Min, g.Max = a.sumF, a.minF, a.maxF
+		}
+		if q.P50 {
+			g.P50 = stats.Median(a.vals)
+		}
+		if q.Distinct != ColNone {
+			g.Distinct = len(a.distinct)
+		}
+		out[i] = g
+	}
+	return out
+}
+
+func sortInt64s(xs []int64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// TestPropertyEngineMatchesReference: for random stores, random
+// predicates and random group-bys, the engine's result is bit-identical
+// to the naive reference scan for workers 0, 1, 2 and 8. Runs under
+// -race in CI's race tier.
+func TestPropertyEngineMatchesReference(t *testing.T) {
+	workerCounts := []int{0, 1, 2, 8}
+	queriesPerStore := 24
+	stores := 6
+	if testing.Short() {
+		stores, queriesPerStore = 2, 8
+	}
+	for si := 0; si < stores; si++ {
+		r := rand.New(rand.NewSource(int64(1000 + si)))
+		st := randStore(r, 2000+r.Intn(4000))
+		for qi := 0; qi < queriesPerStore; qi++ {
+			q := randQuery(r)
+			want := referenceRun(st, q)
+			for _, w := range workerCounts {
+				q.Workers = w
+				res, err := Run(st, q)
+				if err != nil {
+					t.Fatalf("store %d query %d (%+v): %v", si, qi, q, err)
+				}
+				if !reflect.DeepEqual(res.Groups, want) && !(len(res.Groups) == 0 && len(want) == 0) {
+					t.Fatalf("store %d query %d workers %d: engine result differs\n query: %+v\n got:  %+v\n want: %+v",
+						si, qi, w, q, res.Groups, want)
+				}
+				if res.Stats.RowsMatched != totalCount(want) {
+					t.Fatalf("store %d query %d workers %d: matched %d rows, reference %d",
+						si, qi, w, res.Stats.RowsMatched, totalCount(want))
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyChunkBoundary runs the same equivalence across a store
+// large enough that single segments span multiple execution chunks, so
+// the chunked float-sum contract and bitmap tail masking are exercised.
+func TestPropertyChunkBoundary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large store")
+	}
+	r := rand.New(rand.NewSource(7))
+	st := randStore(r, ChunkRows*2+1234)
+	for qi := 0; qi < 6; qi++ {
+		q := randQuery(r)
+		want := referenceRun(st, q)
+		for _, w := range []int{0, 1, 2, 8} {
+			q.Workers = w
+			res, err := Run(st, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res.Groups, want) && !(len(res.Groups) == 0 && len(want) == 0) {
+				t.Fatalf("query %d workers %d: engine differs from reference (query %+v)", qi, w, q)
+			}
+		}
+	}
+}
+
+func totalCount(gs []Group) int64 {
+	var n int64
+	for _, g := range gs {
+		n += g.Count
+	}
+	return n
+}

@@ -1,0 +1,423 @@
+// Package query is a small composable analytical engine over the sealed
+// segment store: typed conjunctive predicates evaluated vectorized into
+// selection bitmaps, zone-map pruning that skips whole segments before a
+// row is touched, and grouped aggregates (count, sum, mean, min, max,
+// p50, distinct) keyed by batch, worker, task type, or time bucket.
+//
+// The paper's analyses are all column scans with predicates and group-bys
+// over the instance log (arrivals per week, per-worker throughput,
+// per-source trust); this package replaces the hand-rolled full scans
+// those consumers each carried. Execution fans out over fixed row chunks
+// via par.EachShard and merges partials in chunk order, so results are
+// invariant for every Workers value; the Sum contract below makes that
+// invariance exact even for floating-point aggregates.
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"crowdscope/internal/model"
+	"crowdscope/internal/par"
+	"crowdscope/internal/stats"
+	"crowdscope/internal/store"
+)
+
+// Column identifies one store column in predicates and distinct counts.
+type Column uint8
+
+// The queryable columns. ColNone is the zero value so an unset optional
+// column slot (Query.Distinct, an unfilled Predicate) reads as "none".
+const (
+	ColNone Column = iota
+	ColBatch
+	ColTaskType
+	ColItem
+	ColWorker
+	ColStart
+	ColEnd
+	ColTrust
+	ColAnswer
+)
+
+var columnNames = map[Column]string{
+	ColNone: "none", ColBatch: "batch", ColTaskType: "tasktype", ColItem: "item",
+	ColWorker: "worker", ColStart: "start", ColEnd: "end", ColTrust: "trust", ColAnswer: "answer",
+}
+
+// String names the column as the predicate syntax spells it.
+func (c Column) String() string {
+	if n, ok := columnNames[c]; ok {
+		return n
+	}
+	return fmt.Sprintf("column(%d)", uint8(c))
+}
+
+// isU32 reports whether the column holds uint32 values.
+func (c Column) isU32() bool {
+	switch c {
+	case ColBatch, ColTaskType, ColItem, ColWorker, ColAnswer:
+		return true
+	}
+	return false
+}
+
+// isTime reports whether the column holds int64 unix seconds.
+func (c Column) isTime() bool { return c == ColStart || c == ColEnd }
+
+// A Predicate constrains one column; a query's predicates are conjunctive.
+// Integer and time columns match Lo <= v <= Hi (inclusive bounds) unless
+// Set is non-nil, in which case v must be a member; ColTrust matches
+// FLo <= v <= FHi. Use the constructors — they normalize the half-open
+// and equality forms into this representation.
+type Predicate struct {
+	Col      Column
+	Lo, Hi   int64
+	FLo, FHi float64
+	Set      []uint32 // sorted ascending, deduped
+}
+
+// Eq matches rows whose integer column equals v.
+func Eq(col Column, v uint32) Predicate {
+	return Predicate{Col: col, Lo: int64(v), Hi: int64(v)}
+}
+
+// In matches rows whose integer column is one of vs.
+func In(col Column, vs ...uint32) Predicate {
+	set := append([]uint32(nil), vs...)
+	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+	n := 0
+	for i, v := range set {
+		if i == 0 || v != set[n-1] {
+			set[n] = v
+			n++
+		}
+	}
+	return Predicate{Col: col, Set: set[:n]}
+}
+
+// Range matches rows with lo <= v < hi (the natural half-open form for
+// time windows) on an integer or time column.
+func Range(col Column, lo, hi int64) Predicate {
+	if hi == math.MinInt64 {
+		// hi-1 would wrap to MaxInt64 and match everything above lo; an
+		// empty half-open range matches nothing.
+		return Predicate{Col: col, Lo: 1, Hi: 0}
+	}
+	return normalizeInt(Predicate{Col: col, Lo: lo, Hi: hi - 1})
+}
+
+// AtLeast matches rows with v >= lo on an integer or time column.
+func AtLeast(col Column, lo int64) Predicate {
+	return normalizeInt(Predicate{Col: col, Lo: lo, Hi: math.MaxInt64})
+}
+
+// AtMost matches rows with v <= hi on an integer or time column.
+func AtMost(col Column, hi int64) Predicate {
+	return normalizeInt(Predicate{Col: col, Lo: math.MinInt64, Hi: hi})
+}
+
+// normalizeInt canonicalizes integer bounds: uint32 columns clamp to the
+// value range (so every predicate String() renders reparses), and any
+// inverted interval becomes the canonical empty [1, 0].
+func normalizeInt(p Predicate) Predicate {
+	if p.Col.isU32() && p.Set == nil {
+		p.Lo = max(p.Lo, 0)
+		p.Hi = min(p.Hi, math.MaxUint32)
+	}
+	if p.Hi < p.Lo {
+		p.Lo, p.Hi = 1, 0
+	}
+	return p
+}
+
+// TrustRange matches rows with lo <= trust <= hi (inclusive).
+func TrustRange(lo, hi float64) Predicate {
+	return Predicate{Col: ColTrust, FLo: lo, FHi: hi}
+}
+
+// WorkerEq matches one worker's rows.
+func WorkerEq(w uint32) Predicate { return Eq(ColWorker, w) }
+
+// TaskTypeIn matches rows of the given task types.
+func TaskTypeIn(ts ...uint32) Predicate { return In(ColTaskType, ts...) }
+
+// StartIn matches rows starting in [lo, hi) unix seconds.
+func StartIn(lo, hi int64) Predicate { return Range(ColStart, lo, hi) }
+
+// GroupBy selects the grouping key.
+type GroupBy uint8
+
+const (
+	// GroupNone aggregates everything into one group with key 0.
+	GroupNone GroupBy = iota
+	// GroupBatch keys by batch ID.
+	GroupBatch
+	// GroupWorker keys by worker ID.
+	GroupWorker
+	// GroupTaskType keys by task type.
+	GroupTaskType
+	// GroupWeek keys by the week index of the start time (pre-epoch
+	// rows land in key -1).
+	GroupWeek
+	// GroupDay keys by the day index of the start time.
+	GroupDay
+)
+
+var groupNames = map[GroupBy]string{
+	GroupNone: "none", GroupBatch: "batch", GroupWorker: "worker",
+	GroupTaskType: "tasktype", GroupWeek: "week", GroupDay: "day",
+}
+
+// String names the grouping as the CLI spells it.
+func (g GroupBy) String() string {
+	if n, ok := groupNames[g]; ok {
+		return n
+	}
+	return fmt.Sprintf("group(%d)", uint8(g))
+}
+
+// Value selects the column the numeric aggregates run over.
+type Value uint8
+
+const (
+	// ValueNone aggregates counts only.
+	ValueNone Value = iota
+	// ValueDuration aggregates End-Start seconds.
+	ValueDuration
+	// ValueTrust aggregates the trust score.
+	ValueTrust
+	// ValueStart aggregates the start time in unix seconds (min/max give
+	// a group's covered span).
+	ValueStart
+)
+
+var valueNames = map[Value]string{
+	ValueNone: "count", ValueDuration: "duration", ValueTrust: "trust", ValueStart: "start",
+}
+
+// String names the value column as the CLI spells it.
+func (v Value) String() string {
+	if n, ok := valueNames[v]; ok {
+		return n
+	}
+	return fmt.Sprintf("value(%d)", uint8(v))
+}
+
+// A Query selects rows with conjunctive predicates and aggregates them
+// into groups.
+type Query struct {
+	// Where is the conjunctive predicate list; empty selects every row.
+	Where []Predicate
+	// GroupBy keys the aggregation.
+	GroupBy GroupBy
+	// Value picks the column Sum/Min/Max/P50 run over; ValueNone keeps
+	// only counts.
+	Value Value
+	// P50 additionally computes each group's median Value. It buffers the
+	// matching values, so enable it only when needed.
+	P50 bool
+	// Distinct, when not ColNone, counts each group's distinct values of
+	// this uint32 column (e.g. distinct workers per week).
+	Distinct Column
+	// Workers bounds the goroutine fan-out; 0 or negative means
+	// GOMAXPROCS, 1 runs serially. Results are identical for every value.
+	Workers int
+}
+
+// Group is one aggregation bucket. Unrequested aggregates are zero: Sum,
+// Min, Max and P50 are 0 when Value is ValueNone (or P50 unset), Distinct
+// is 0 when no distinct column was requested. Groups exist only for keys
+// with at least one matching row.
+type Group struct {
+	Key      int64
+	Count    int64
+	Sum      float64
+	Min, Max float64
+	P50      float64
+	Distinct int
+}
+
+// Mean returns Sum/Count.
+func (g Group) Mean() float64 { return g.Sum / float64(g.Count) }
+
+// Stats reports how much work the scan did — the zone-map pruning
+// effectiveness in particular.
+type Stats struct {
+	// Segments is the store's segment count; SegmentsPruned of them were
+	// skipped whole via zone maps (or because they were empty).
+	Segments, SegmentsPruned int
+	// RowsScanned counts rows the filter kernels touched; RowsMatched
+	// counts rows that passed every predicate.
+	RowsScanned, RowsMatched int64
+}
+
+// Result is a query's output: groups in ascending key order.
+type Result struct {
+	Groups []Group
+	Stats  Stats
+}
+
+// Group returns the group with the given key, if present.
+func (r *Result) Group(key int64) (Group, bool) {
+	i := sort.Search(len(r.Groups), func(i int) bool { return r.Groups[i].Key >= key })
+	if i < len(r.Groups) && r.Groups[i].Key == key {
+		return r.Groups[i], true
+	}
+	return Group{}, false
+}
+
+// TotalCount returns the summed count over all groups.
+func (r *Result) TotalCount() int64 {
+	var n int64
+	for _, g := range r.Groups {
+		n += g.Count
+	}
+	return n
+}
+
+// validate rejects malformed queries before any scan work.
+func (q *Query) validate() error {
+	for i, p := range q.Where {
+		switch {
+		case p.Col == ColTrust:
+			if p.Set != nil {
+				return fmt.Errorf("query: predicate %d: set membership on trust", i)
+			}
+			if math.IsNaN(p.FLo) || math.IsNaN(p.FHi) {
+				return fmt.Errorf("query: predicate %d: NaN trust bound", i)
+			}
+		case p.Col.isU32() || p.Col.isTime():
+			if p.Set != nil {
+				if p.Col.isTime() {
+					return fmt.Errorf("query: predicate %d: set membership on %s", i, p.Col)
+				}
+				if len(p.Set) == 0 {
+					return fmt.Errorf("query: predicate %d: empty set", i)
+				}
+			}
+		default:
+			return fmt.Errorf("query: predicate %d: unknown column", i)
+		}
+	}
+	if _, ok := groupNames[q.GroupBy]; !ok {
+		return fmt.Errorf("query: unknown group-by")
+	}
+	if _, ok := valueNames[q.Value]; !ok {
+		return fmt.Errorf("query: unknown value column")
+	}
+	if q.P50 && q.Value == ValueNone {
+		return fmt.Errorf("query: p50 requires a value column")
+	}
+	if q.Distinct != ColNone && !q.Distinct.isU32() {
+		return fmt.Errorf("query: distinct over %s (want a uint32 column)", q.Distinct)
+	}
+	return nil
+}
+
+// ChunkRows is the fixed execution granularity: segments are scanned in
+// row chunks of this size, and chunk partials merge in row order. The
+// boundaries depend only on the store's segment layout — never on
+// Workers — which is what makes floating-point Sums (trust) identical
+// for every worker count: each chunk folds its rows in row order, and
+// chunk sums fold in chunk order.
+const ChunkRows = 1 << 16
+
+// Run executes the query against a store.
+func Run(st *store.Store, q Query) (*Result, error) {
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	preds := compile(q.Where)
+	segs := st.Segments()
+	zones := st.ZoneMaps()
+
+	res := &Result{}
+	res.Stats.Segments = len(segs)
+	type span struct{ lo, hi int }
+	var tasks []span
+	for i, si := range segs {
+		if si.Rows() == 0 || prune(&zones[i], si, preds) {
+			res.Stats.SegmentsPruned++
+			continue
+		}
+		for lo := si.RowLo; lo < si.RowHi; lo += ChunkRows {
+			tasks = append(tasks, span{lo, min(lo+ChunkRows, si.RowHi)})
+		}
+	}
+
+	partials := make([]partial, len(tasks))
+	par.EachShard(len(tasks), q.Workers, func(lo, hi int) {
+		var sc scratch
+		for i := lo; i < hi; i++ {
+			partials[i] = evalChunk(st, &q, preds, tasks[i].lo, tasks[i].hi, &sc)
+		}
+	})
+
+	// Merge in chunk order: per-key accumulators fold deterministically
+	// because each key occurs at most once per chunk partial.
+	merged := make(map[int64]*acc)
+	for i := range partials {
+		p := &partials[i]
+		res.Stats.RowsScanned += int64(tasks[i].hi - tasks[i].lo)
+		res.Stats.RowsMatched += p.matched
+		for key, a := range p.groups {
+			m := merged[key]
+			if m == nil {
+				merged[key] = a
+				continue
+			}
+			m.count += a.count
+			m.sumI += a.sumI
+			m.sumF += a.sumF
+			m.minF = math.Min(m.minF, a.minF)
+			m.maxF = math.Max(m.maxF, a.maxF)
+			m.vals = append(m.vals, a.vals...)
+			for v := range a.distinct {
+				m.distinct[v] = struct{}{}
+			}
+		}
+	}
+
+	keys := make([]int64, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	res.Groups = make([]Group, len(keys))
+	for i, k := range keys {
+		a := merged[k]
+		g := Group{Key: k, Count: a.count}
+		switch q.Value {
+		case ValueDuration, ValueStart:
+			g.Sum, g.Min, g.Max = float64(a.sumI), a.minF, a.maxF
+		case ValueTrust:
+			g.Sum, g.Min, g.Max = a.sumF, a.minF, a.maxF
+		}
+		if q.P50 {
+			g.P50 = stats.MedianInPlace(a.vals)
+		}
+		if q.Distinct != ColNone {
+			g.Distinct = len(a.distinct)
+		}
+		res.Groups[i] = g
+	}
+	return res, nil
+}
+
+// Count runs a count-only, ungrouped query and returns the matching row
+// count.
+func Count(st *store.Store, workers int, where ...Predicate) (int64, error) {
+	res, err := Run(st, Query{Where: where, Workers: workers})
+	if err != nil {
+		return 0, err
+	}
+	return res.Stats.RowsMatched, nil
+}
+
+// weekKey buckets a start time like model.WeekOfUnix.
+func weekKey(sec int64) int64 { return int64(model.WeekOfUnix(sec)) }
+
+// dayKey buckets a start time like model.DayOfUnix.
+func dayKey(sec int64) int64 { return int64(model.DayOfUnix(sec)) }

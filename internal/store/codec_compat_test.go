@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"flag"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -93,6 +94,39 @@ func fixtureProvenance() *Provenance {
 	return &Provenance{ConfigHash: 0x1122334455667788, Seed: 1701, Tool: "crowdscope-fixture/3"}
 }
 
+// stripZones rewrites a current v3 snapshot into the flag-less form the
+// writer produced before zone maps existed: the zone-map section is
+// removed and its meta flag cleared (with the meta checksum refreshed).
+// Early-v3 snapshots in the wild have exactly this shape, so the
+// committed snapshot_v3.crow fixture stays regenerable.
+func stripZones(t testing.TB, v3 []byte) []byte {
+	t.Helper()
+	out := append([]byte(nil), v3[:8]...)
+	for pos := 8; pos < len(v3); {
+		kind := v3[pos]
+		length := int(binary.LittleEndian.Uint32(v3[pos+1 : pos+5]))
+		end := pos + 9 + length
+		if kind == secZones {
+			pos = end
+			continue
+		}
+		sec := append([]byte(nil), v3[pos:end]...)
+		if kind == secMeta {
+			payload := sec[9:]
+			// flags is the meta section's final uvarint; every defined flag
+			// fits one byte.
+			if payload[len(payload)-1]&0x80 != 0 {
+				t.Fatal("meta flags no longer fit one varint byte")
+			}
+			payload[len(payload)-1] &^= metaFlagZoneMaps
+			binary.LittleEndian.PutUint32(sec[5:9], crc32.ChecksumIEEE(payload))
+		}
+		out = append(out, sec...)
+		pos = end
+	}
+	return out
+}
+
 // fixtureBytes renders the fixture store in every supported format.
 func fixtureBytes(t testing.TB) map[string][]byte {
 	t.Helper()
@@ -102,9 +136,10 @@ func fixtureBytes(t testing.TB) map[string][]byte {
 		t.Fatalf("WriteSnapshot: %v", err)
 	}
 	return map[string][]byte{
-		"snapshot_v1.crow": writeSnapshotLegacy(s, snapshotVersionV1),
-		"snapshot_v2.crow": writeSnapshotLegacy(s, snapshotVersionV2),
-		"snapshot_v3.crow": v3.Bytes(),
+		"snapshot_v1.crow":  writeSnapshotLegacy(s, snapshotVersionV1),
+		"snapshot_v2.crow":  writeSnapshotLegacy(s, snapshotVersionV2),
+		"snapshot_v3.crow":  stripZones(t, v3.Bytes()),
+		"snapshot_v3z.crow": v3.Bytes(),
 	}
 }
 
@@ -116,13 +151,15 @@ func TestSnapshotGoldenLayout(t *testing.T) {
 	if *updateFixtures {
 		writeFixtures(t, files)
 	}
-	want, err := os.ReadFile(filepath.Join("testdata", "snapshot_v3.crow"))
-	if err != nil {
-		t.Fatalf("read golden (run `go test ./internal/store -run TestSnapshotGoldenLayout -update-fixtures` to create): %v", err)
-	}
-	if !bytes.Equal(files["snapshot_v3.crow"], want) {
-		t.Fatalf("v3 byte layout changed: got %d bytes, golden %d bytes; if intentional, bump the format version and regenerate fixtures",
-			len(files["snapshot_v3.crow"]), len(want))
+	for _, name := range []string{"snapshot_v3.crow", "snapshot_v3z.crow"} {
+		want, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatalf("read golden (run `go test ./internal/store -run TestSnapshotGoldenLayout -update-fixtures` to create): %v", err)
+		}
+		if !bytes.Equal(files[name], want) {
+			t.Fatalf("%s byte layout changed: got %d bytes, golden %d bytes; if intentional, bump the format version and regenerate fixtures",
+				name, len(files[name]), len(want))
+		}
 	}
 }
 
@@ -135,10 +172,12 @@ func TestSnapshotBackwardCompat(t *testing.T) {
 		version  uint32
 		segments int
 		prov     bool
+		zones    bool
 	}{
-		{"snapshot_v1.crow", 1, 0, false},
-		{"snapshot_v2.crow", 2, 3, false},
-		{"snapshot_v3.crow", 3, 3, true},
+		{"snapshot_v1.crow", 1, 0, false, false},
+		{"snapshot_v2.crow", 2, 3, false, false},
+		{"snapshot_v3.crow", 3, 3, true, false}, // early v3: no zone-map section
+		{"snapshot_v3z.crow", 3, 3, true, true},
 	} {
 		t.Run(tc.file, func(t *testing.T) {
 			raw, err := os.ReadFile(filepath.Join("testdata", tc.file))
@@ -165,6 +204,9 @@ func TestSnapshotBackwardCompat(t *testing.T) {
 			}
 			if got.NumSegments() != tc.segments {
 				t.Errorf("segments = %d, want %d", got.NumSegments(), tc.segments)
+			}
+			if loaded := len(got.zones) > 0; loaded != tc.zones {
+				t.Errorf("zone maps loaded = %v, want %v", loaded, tc.zones)
 			}
 			compareStores(t, want, &got, tc.segments > 0)
 			if err := got.Validate(); err != nil {
@@ -222,17 +264,25 @@ func writeFixtures(t *testing.T, files map[string][]byte) {
 		t.Fatal(err)
 	}
 	v3 := files["snapshot_v3.crow"]
+	v3z := files["snapshot_v3z.crow"]
 	corpus := map[string][]byte{
-		"seed_v1":           files["snapshot_v1.crow"],
-		"seed_v2":           files["snapshot_v2.crow"],
-		"seed_v3":           v3,
-		"seed_v3_truncated": v3[:len(v3)/3],
-		"seed_garbage":      []byte("not a snapshot at all"),
+		"seed_v1":            files["snapshot_v1.crow"],
+		"seed_v2":            files["snapshot_v2.crow"],
+		"seed_v3":            v3,
+		"seed_v3z":           v3z,
+		"seed_v3_truncated":  v3[:len(v3)/3],
+		"seed_v3z_truncated": v3z[:2*len(v3z)/3],
+		"seed_garbage":       []byte("not a snapshot at all"),
 	}
 	for i, off := range []int{4, 9, 14, len(v3) / 2, len(v3) - 5} {
 		flip := append([]byte(nil), v3...)
 		flip[off] ^= 0x40
 		corpus[fmt.Sprintf("seed_v3_bitflip_%d", i)] = flip
+	}
+	for i, off := range []int{9, len(v3z) / 3, len(v3z) - 5} {
+		flip := append([]byte(nil), v3z...)
+		flip[off] ^= 0x40
+		corpus[fmt.Sprintf("seed_v3z_bitflip_%d", i)] = flip
 	}
 	for name, data := range corpus {
 		entry := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)

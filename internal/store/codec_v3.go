@@ -21,11 +21,18 @@ const (
 	secSegments   byte = 0x03
 	secRanges     byte = 0x04
 	secBlock      byte = 0x05
+	secZones      byte = 0x06
 )
 
 // metaFlagProvenance marks a provenance section between meta and the
-// segment table.
-const metaFlagProvenance = 1
+// segment table; metaFlagZoneMaps marks a zone-map section between the
+// batch ranges and the column blocks. Both are optional: v3 snapshots
+// written before a flag existed simply lack the bit, and stores loaded
+// from them recompute zone maps lazily.
+const (
+	metaFlagProvenance = 1 << 0
+	metaFlagZoneMaps   = 1 << 1
+)
 
 // blockTargetRows caps how many rows one column block holds. Blocks align
 // to segment row spans and larger spans split, so encode/decode
@@ -138,6 +145,14 @@ func (s *Store) WriteSnapshot(w io.Writer, opts WriteOptions) (int64, error) {
 
 	spans := s.blockSpans()
 
+	// Zone maps persist only for explicitly segmented stores (the layout
+	// the maps are keyed by); sealed-in zones are reused, otherwise they
+	// are computed here once.
+	var zones []ZoneMap
+	if len(s.segs) > 0 {
+		zones = s.ZoneMaps()
+	}
+
 	var payload bytes.Buffer
 	putUvarint(&payload, uint64(s.Len()))
 	putUvarint(&payload, uint64(len(s.ranges)))
@@ -146,6 +161,9 @@ func (s *Store) WriteSnapshot(w io.Writer, opts WriteOptions) (int64, error) {
 	flags := uint64(0)
 	if opts.Provenance != nil {
 		flags |= metaFlagProvenance
+	}
+	if len(zones) > 0 {
+		flags |= metaFlagZoneMaps
 	}
 	putUvarint(&payload, flags)
 	writeSection(cw, secMeta, payload.Bytes())
@@ -178,6 +196,12 @@ func (s *Store) WriteSnapshot(w io.Writer, opts WriteOptions) (int64, error) {
 		putUvarint(&payload, uint64(rr.Hi))
 	}
 	writeSection(cw, secRanges, payload.Bytes())
+
+	if len(zones) > 0 {
+		payload.Reset()
+		encodeZones(&payload, zones)
+		writeSection(cw, secZones, payload.Bytes())
+	}
 
 	// Column blocks: encoded wave by wave into reused per-slot buffers
 	// (the scratch bound) in parallel, then written sequentially in block
@@ -405,6 +429,31 @@ func readV3(cr *countingReader, opts LoadOptions, rep *LoadReport) (*Store, erro
 	}
 
 	st := &Store{ranges: ranges, segs: segs}
+
+	if flags&metaFlagZoneMaps != 0 {
+		payload, err = readSection(cr, secZones, "zone maps", &scratch)
+		switch {
+		case err != nil:
+			// A damaged zone-map section loses no data — zones are derived
+			// — so repair mode drops it and recomputes lazily. Truncation
+			// still aborts: the stream position is lost.
+			if !repair || errors.Is(err, ErrTruncated) || payload == nil {
+				return nil, err
+			}
+			rep.Damaged = append(rep.Damaged, "zone maps")
+		case repair:
+			// Repair mode may zero-fill column blocks below, which would
+			// falsify persisted zones; never trust them — recompute from
+			// whatever data actually loads.
+		default:
+			zones, zerr := decodeZones(payload, segs)
+			if zerr != nil {
+				return nil, sectionErr("zone maps", zerr)
+			}
+			st.zones = zones
+		}
+	}
+
 	var damagedSpans [][2]int
 
 	// Column blocks: read one wave of payloads sequentially (into reused
@@ -614,6 +663,110 @@ func decodeSegments(payload []byte, ns, n, nb int) ([]SegmentInfo, error) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, sr.remaining())
 	}
 	return segs, nil
+}
+
+// encodeZones writes one zone map per segment: the integer column bounds
+// as uvarints, the time bounds zig-zag coded, trust as fixed-width floats,
+// then the length-prefixed distinct sets.
+func encodeZones(b *bytes.Buffer, zones []ZoneMap) {
+	for _, z := range zones {
+		putUvarint(b, uint64(z.Rows))
+		for _, v := range []uint32{z.TaskTypeMin, z.TaskTypeMax, z.ItemMin, z.ItemMax,
+			z.WorkerMin, z.WorkerMax, z.AnswerMin, z.AnswerMax} {
+			putUvarint(b, uint64(v))
+		}
+		for _, v := range []int64{z.StartMin, z.StartMax, z.EndMin, z.EndMax} {
+			putUvarint(b, zigzag(v))
+		}
+		putFloats(b, []float32{z.TrustMin, z.TrustMax})
+		for _, set := range [][]uint32{z.TaskTypes, z.Answers} {
+			putUvarint(b, uint64(len(set)))
+			putUvarints(b, set)
+		}
+	}
+}
+
+// decodeZones decodes one zone map per segment, enforcing the invariants
+// pruning relies on: row counts match the segment table, bounds are
+// ordered, and the distinct sets are small, strictly ascending, and inside
+// the column bounds.
+func decodeZones(payload []byte, segs []SegmentInfo) ([]ZoneMap, error) {
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("%w: zone maps without a segment table", ErrCorrupt)
+	}
+	sr := &sliceReader{buf: payload}
+	zones := make([]ZoneMap, len(segs))
+	for i := range zones {
+		z := &zones[i]
+		rows, err := getUvarint(sr)
+		if err != nil {
+			return nil, asTruncated(err)
+		}
+		if int(rows) != segs[i].Rows() {
+			return nil, fmt.Errorf("%w: zone map %d covers %d rows, segment has %d", ErrCorrupt, i, rows, segs[i].Rows())
+		}
+		z.Rows = int(rows)
+		u32s := [...]*uint32{&z.TaskTypeMin, &z.TaskTypeMax, &z.ItemMin, &z.ItemMax,
+			&z.WorkerMin, &z.WorkerMax, &z.AnswerMin, &z.AnswerMax}
+		for _, p := range u32s {
+			v, err := getUvarint(sr)
+			if err != nil {
+				return nil, asTruncated(err)
+			}
+			if v > math.MaxUint32 {
+				return nil, fmt.Errorf("%w: zone map %d field exceeds uint32", ErrCorrupt, i)
+			}
+			*p = uint32(v)
+		}
+		i64s := [...]*int64{&z.StartMin, &z.StartMax, &z.EndMin, &z.EndMax}
+		for _, p := range i64s {
+			v, err := getUvarint(sr)
+			if err != nil {
+				return nil, asTruncated(err)
+			}
+			*p = unzigzag(v)
+		}
+		var tr [2]float32
+		if err := getFloatsInto(sr, tr[:]); err != nil {
+			return nil, err
+		}
+		z.TrustMin, z.TrustMax = tr[0], tr[1]
+		if z.Rows > 0 && (z.TaskTypeMin > z.TaskTypeMax || z.ItemMin > z.ItemMax ||
+			z.WorkerMin > z.WorkerMax || z.AnswerMin > z.AnswerMax ||
+			z.StartMin > z.StartMax || z.EndMin > z.EndMax || z.TrustMin > z.TrustMax) {
+			return nil, fmt.Errorf("%w: zone map %d bounds inverted", ErrCorrupt, i)
+		}
+		for si, bounds := range [][2]uint32{{z.TaskTypeMin, z.TaskTypeMax}, {z.AnswerMin, z.AnswerMax}} {
+			cnt, err := getUvarint(sr)
+			if err != nil {
+				return nil, asTruncated(err)
+			}
+			if cnt == 0 {
+				continue
+			}
+			if cnt > zoneEnumCap {
+				return nil, fmt.Errorf("%w: zone map %d distinct set of %d exceeds cap %d", ErrCorrupt, i, cnt, zoneEnumCap)
+			}
+			set, err := getUvarints(sr, int(cnt))
+			if err != nil {
+				return nil, err
+			}
+			for j, v := range set {
+				if (j > 0 && v <= set[j-1]) || v < bounds[0] || v > bounds[1] {
+					return nil, fmt.Errorf("%w: zone map %d distinct set not ascending within bounds", ErrCorrupt, i)
+				}
+			}
+			if si == 0 {
+				z.TaskTypes = set
+			} else {
+				z.Answers = set
+			}
+		}
+	}
+	if sr.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, sr.remaining())
+	}
+	return zones, nil
 }
 
 // decodeRanges decodes the batch range table with the same

@@ -27,6 +27,9 @@ type Segment struct {
 	// ranges[b-batchLo] is the segment-local [lo,hi) row range of batch b;
 	// covered batches with no rows have lo == hi.
 	ranges []rowRange
+
+	// zone summarizes the segment's column values; computed by Seal.
+	zone ZoneMap
 }
 
 // Len returns the number of rows in the segment.
@@ -111,14 +114,16 @@ func (b *Builder) Append(in model.Instance) {
 // Len returns the number of rows appended so far.
 func (b *Builder) Len() int { return b.seg.Len() }
 
-// Seal freezes the builder's rows into an immutable Segment. The builder
-// must not be used afterwards.
+// Seal freezes the builder's rows into an immutable Segment, computing
+// its zone map. The builder must not be used afterwards.
 func (b *Builder) Seal() *Segment {
 	if b.sealed {
 		panic("store: Seal on sealed builder")
 	}
 	b.sealed = true
-	return b.seg
+	g := b.seg
+	g.zone = computeZoneMap(g.taskType, g.item, g.worker, g.answer, g.start, g.end, g.trust, 0, g.Len())
+	return g
 }
 
 // SegmentInfo describes one sealed segment's position inside an assembled
@@ -167,11 +172,13 @@ func Assemble(numBatches int, segs []*Segment) (*Store, error) {
 	s.trust = make([]float32, total)
 	s.answer = make([]uint32, total)
 	s.segs = make([]SegmentInfo, len(segs))
+	s.zones = make([]ZoneMap, len(segs))
 
 	var wg sync.WaitGroup
 	off := 0
 	for i, g := range segs {
 		s.segs[i] = SegmentInfo{RowLo: off, RowHi: off + g.Len(), BatchLo: g.batchLo, BatchHi: g.batchHi}
+		s.zones[i] = g.zone
 		wg.Add(1)
 		go func(g *Segment, off int) {
 			defer wg.Done()

@@ -35,6 +35,11 @@ type Store struct {
 	// the monolithic view.
 	segs []SegmentInfo
 
+	// zones holds one zone map per segment when known (sealed in by
+	// Assemble, loaded from a v3 snapshot, or computed lazily by
+	// ZoneMaps); nil until then.
+	zones []ZoneMap
+
 	workerIndex map[uint32][]int32 // lazy posting lists, built on demand
 }
 
@@ -64,6 +69,7 @@ func (s *Store) BeginBatch(batchID uint32) {
 	n := int32(len(s.start))
 	s.ranges[batchID] = rowRange{Lo: n, Hi: n}
 	s.segs = nil
+	s.zones = nil
 }
 
 // Append adds one instance row to the currently open batch.
@@ -79,6 +85,7 @@ func (s *Store) Append(in model.Instance) {
 	s.ranges[in.Batch].Hi = int32(len(s.start))
 	s.workerIndex = nil
 	s.segs = nil
+	s.zones = nil
 }
 
 // Row materializes row i as an Instance.
@@ -254,6 +261,20 @@ func (s *Store) Validate() error {
 		}
 		if rowOff != n {
 			return fmt.Errorf("store: segments cover %d of %d rows", rowOff, n)
+		}
+	}
+	// Zone maps, when present, must pair one-to-one with the segment
+	// layout they summarize. Read under the fill mutex: Validate may run
+	// alongside queries whose first ZoneMaps call fills the cache.
+	if zones := s.zoneSnapshot(); len(zones) > 0 {
+		segs := s.Segments()
+		if len(zones) != len(segs) {
+			return fmt.Errorf("store: %d zone maps for %d segments", len(zones), len(segs))
+		}
+		for i, z := range zones {
+			if z.Rows != segs[i].Rows() {
+				return fmt.Errorf("store: zone map %d covers %d rows, segment has %d", i, z.Rows, segs[i].Rows())
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,187 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"crowdscope/internal/model"
+)
+
+// TestZoneMapSealMatchesRecompute: the zone map sealed into a segment (and
+// carried into the assembled store) equals a from-scratch recomputation
+// over the assembled columns.
+func TestZoneMapSealMatchesRecompute(t *testing.T) {
+	s := fixtureStore(t)
+	segs := s.Segments()
+	if len(s.zones) != len(segs) {
+		t.Fatalf("assembled store has %d zones for %d segments", len(s.zones), len(segs))
+	}
+	for i, si := range segs {
+		want := computeZoneMap(s.taskType, s.item, s.worker, s.answer, s.start, s.end, s.trust, si.RowLo, si.RowHi)
+		if !reflect.DeepEqual(s.zones[i], want) {
+			t.Errorf("segment %d sealed zone %+v != recomputed %+v", i, s.zones[i], want)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+// TestZoneMapLazyRecompute: a direct-append store (no sealed segments) and
+// a legacy-loaded store compute zone maps on demand over the implicit
+// segment layout.
+func TestZoneMapLazyRecompute(t *testing.T) {
+	fixture := fixtureStore(t)
+	s := New(fixture.NumBatches())
+	for b := 0; b < fixture.NumBatches(); b++ {
+		lo, hi := fixture.BatchRange(uint32(b))
+		if lo == hi {
+			continue
+		}
+		s.BeginBatch(uint32(b))
+		for i := lo; i < hi; i++ {
+			s.Append(fixture.Row(i))
+		}
+	}
+	zones := s.ZoneMaps()
+	if len(zones) != 1 {
+		t.Fatalf("monolithic store has %d zones, want 1", len(zones))
+	}
+	want := computeZoneMap(s.taskType, s.item, s.worker, s.answer, s.start, s.end, s.trust, 0, s.Len())
+	if !reflect.DeepEqual(zones[0], want) {
+		t.Errorf("lazy zone %+v != recomputed %+v", zones[0], want)
+	}
+	// Mutation invalidates the cached zones.
+	s.BeginBatch(0)
+	if len(s.zones) != 0 {
+		t.Error("mutation did not drop cached zone maps")
+	}
+}
+
+// TestZoneMapEnumSetOverflow: more than zoneEnumCap distinct values in an
+// enum column degrades the set to nil while min/max stay exact.
+func TestZoneMapEnumSetOverflow(t *testing.T) {
+	b := NewBuilder(0, 1)
+	b.BeginBatch(0)
+	for i := 0; i < zoneEnumCap+5; i++ {
+		b.Append(model.Instance{Batch: 0, TaskType: uint32(i % 3), Answer: uint32(1000 - i), Start: 10, End: 20})
+	}
+	z := b.Seal().Zone()
+	if z.Answers != nil {
+		t.Errorf("answer set survived overflow: %v", z.Answers)
+	}
+	if z.AnswerMin != uint32(1000-(zoneEnumCap+4)) || z.AnswerMax != 1000 {
+		t.Errorf("answer bounds [%d,%d] wrong", z.AnswerMin, z.AnswerMax)
+	}
+	if want := []uint32{0, 1, 2}; !reflect.DeepEqual(z.TaskTypes, want) {
+		t.Errorf("task-type set = %v, want %v", z.TaskTypes, want)
+	}
+}
+
+// TestZoneMapSnapshotRoundTrip: zone maps written into a v3 snapshot
+// survive a strict load bit-for-bit — the loaded store trusts the
+// persisted section instead of rescanning.
+func TestZoneMapSnapshotRoundTrip(t *testing.T) {
+	s := fixtureStore(t)
+	var buf bytes.Buffer
+	if _, err := s.WriteSnapshot(&buf, WriteOptions{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var got Store
+	if _, err := got.ReadSnapshot(bytes.NewReader(buf.Bytes()), LoadOptions{}); err != nil {
+		t.Fatalf("strict load: %v", err)
+	}
+	if len(got.zones) != len(s.zones) {
+		t.Fatalf("strict load installed %d zones, want %d", len(got.zones), len(s.zones))
+	}
+	if !reflect.DeepEqual(got.zones, s.zones) {
+		t.Errorf("zones after round trip differ:\n got %+v\nwant %+v", got.zones, s.zones)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("Validate after round trip: %v", err)
+	}
+}
+
+// TestZoneMapRepairRecomputes: repair mode never trusts the persisted
+// zone-map section — even on an undamaged snapshot the zones are dropped
+// and recomputed from the loaded columns on demand.
+func TestZoneMapRepairRecomputes(t *testing.T) {
+	s := fixtureStore(t)
+	var buf bytes.Buffer
+	if _, err := s.WriteSnapshot(&buf, WriteOptions{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var got Store
+	rep, err := got.ReadSnapshot(bytes.NewReader(buf.Bytes()), LoadOptions{Mode: LoadRepair})
+	if err != nil {
+		t.Fatalf("repair load: %v", err)
+	}
+	if len(rep.Damaged) != 0 {
+		t.Fatalf("clean snapshot reported damage: %v", rep.Damaged)
+	}
+	if len(got.zones) != 0 {
+		t.Fatal("repair mode trusted the persisted zone maps")
+	}
+	if zones := got.ZoneMaps(); !reflect.DeepEqual(zones, s.ZoneMaps()) {
+		t.Errorf("recomputed zones differ:\n got %+v\nwant %+v", zones, s.ZoneMaps())
+	}
+}
+
+// TestZoneMapDamagedSection: a bit-flipped zone-map section fails a strict
+// load with a checksum error naming the section, while repair mode records
+// the damage and recomputes correct zones from the (intact) column data.
+func TestZoneMapDamagedSection(t *testing.T) {
+	s := fixtureStore(t)
+	var buf bytes.Buffer
+	if _, err := s.WriteSnapshot(&buf, WriteOptions{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	raw := append([]byte(nil), buf.Bytes()...)
+	sec := findSection(t, parseSections(t, raw), secZones, 0)
+	raw[sec.payloadOff] ^= 0x40
+
+	var strict Store
+	_, err := strict.ReadSnapshot(bytes.NewReader(raw), LoadOptions{})
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("strict load error = %v, want ErrChecksum", err)
+	}
+	if strict.Len() != 0 {
+		t.Fatal("strict load populated the store despite the error")
+	}
+
+	var repaired Store
+	rep, err := repaired.ReadSnapshot(bytes.NewReader(raw), LoadOptions{Mode: LoadRepair})
+	if err != nil {
+		t.Fatalf("repair load: %v", err)
+	}
+	if len(rep.Damaged) != 1 || rep.Damaged[0] != "zone maps" {
+		t.Fatalf("damaged = %v, want [zone maps]", rep.Damaged)
+	}
+	compareStores(t, s, &repaired, true)
+	if !reflect.DeepEqual(repaired.ZoneMaps(), s.ZoneMaps()) {
+		t.Error("recomputed zones differ after zone-section damage")
+	}
+}
+
+// TestZoneMapForgedRowsStrict: a zone map whose row count disagrees with
+// the segment table is rejected by a strict load even when its checksum is
+// valid — persisted pruning metadata must be structurally consistent.
+func TestZoneMapForgedRowsStrict(t *testing.T) {
+	s := fixtureStore(t)
+	var buf bytes.Buffer
+	if _, err := s.WriteSnapshot(&buf, WriteOptions{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	raw := append([]byte(nil), buf.Bytes()...)
+	sec := findSection(t, parseSections(t, raw), secZones, 0)
+	raw[sec.payloadOff]++ // first zone's row-count varint (small, single byte)
+	refreshCRC(raw, sec)
+
+	var st Store
+	_, err := st.ReadSnapshot(bytes.NewReader(raw), LoadOptions{})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("strict load error = %v, want ErrCorrupt", err)
+	}
+}

@@ -1,0 +1,70 @@
+package timeseries
+
+import (
+	"crowdscope/internal/query"
+	"crowdscope/internal/store"
+)
+
+// Store-backed series: the weekly rollups that used to be hand-rolled
+// full scans over the instance log now run through the query engine, so
+// they chunk, parallelize, and zone-map-prune like every other query.
+// Results are identical for every workers value (0 = GOMAXPROCS).
+
+// WeeklyOf folds query groups keyed by week index into a weekly Series;
+// out-of-span groups (pre-epoch key -1) are dropped, matching AddAt.
+func WeeklyOf(groups []query.Group, val func(query.Group) float64) *Series {
+	s := NewWeekly()
+	for _, g := range groups {
+		if g.Key >= 0 && g.Key < int64(len(s.Values)) {
+			s.Values[g.Key] += val(g)
+		}
+	}
+	return s
+}
+
+// ActiveWorkerSeries counts distinct active workers per week over the
+// instance log (the paper's Figure 4), optionally restricted by where.
+func ActiveWorkerSeries(st *store.Store, workers int, where ...query.Predicate) (*Series, error) {
+	res, err := query.Run(st, query.Query{
+		Where:    where,
+		GroupBy:  query.GroupWeek,
+		Distinct: query.ColWorker,
+		Workers:  workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return WeeklyOf(res.Groups, func(g query.Group) float64 { return float64(g.Distinct) }), nil
+}
+
+// InstanceArrivalSeries counts materialized instance starts per week,
+// optionally restricted by where (e.g. one worker set, one task type).
+func InstanceArrivalSeries(st *store.Store, workers int, where ...query.Predicate) (*Series, error) {
+	res, err := query.Run(st, query.Query{
+		Where:   where,
+		GroupBy: query.GroupWeek,
+		Workers: workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return WeeklyOf(res.Groups, func(g query.Group) float64 { return float64(g.Count) }), nil
+}
+
+// WorkerEngagementSeries returns, per week, the task count and the total
+// task seconds of the rows matching where (e.g. the top-10% worker set —
+// the paper's Figure 5b split) in one scan.
+func WorkerEngagementSeries(st *store.Store, workers int, where ...query.Predicate) (tasks, seconds *Series, err error) {
+	res, err := query.Run(st, query.Query{
+		Where:   where,
+		GroupBy: query.GroupWeek,
+		Value:   query.ValueDuration,
+		Workers: workers,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	tasks = WeeklyOf(res.Groups, func(g query.Group) float64 { return float64(g.Count) })
+	seconds = WeeklyOf(res.Groups, func(g query.Group) float64 { return g.Sum })
+	return tasks, seconds, nil
+}

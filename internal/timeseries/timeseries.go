@@ -102,6 +102,16 @@ func (s *Series) Cumulative() *Series {
 	return out
 }
 
+// Minus returns a new series holding s - o per bucket (o clamped to s's
+// length); the complement of a cohort series given the totals.
+func (s *Series) Minus(o *Series) *Series {
+	out := &Series{Step: s.Step, Values: make([]float64, len(s.Values))}
+	for i, v := range s.Values {
+		out.Values[i] = v - o.At(i)
+	}
+	return out
+}
+
 // Slice returns the sub-series covering buckets [from, to).
 func (s *Series) Slice(from, to int) *Series {
 	if from < 0 {

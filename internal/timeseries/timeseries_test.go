@@ -61,6 +61,21 @@ func TestCumulative(t *testing.T) {
 	}
 }
 
+func TestMinus(t *testing.T) {
+	s := &Series{Step: time.Hour, Values: []float64{5, 3, 2, 7}}
+	o := &Series{Step: time.Hour, Values: []float64{1, 3, 2}} // shorter: missing buckets read as 0
+	d := s.Minus(o)
+	want := []float64{4, 0, 0, 7}
+	for i := range want {
+		if d.Values[i] != want[i] {
+			t.Errorf("minus[%d] = %v, want %v", i, d.Values[i], want[i])
+		}
+	}
+	if s.Values[0] != 5 || o.Values[0] != 1 {
+		t.Error("Minus mutated an operand")
+	}
+}
+
 func TestMaxAndSlice(t *testing.T) {
 	s := &Series{Step: time.Hour, Values: []float64{1, 9, 2}}
 	v, i := s.Max()
