@@ -348,10 +348,27 @@ func BenchmarkAblationDisagreementVariants(b *testing.B) {
 // measures pure time-range pruning. Engine results are asserted equal to
 // the naive counts, and the engine runs with Workers: 1, so the speedup
 // is pruning, not parallelism.
+//
+// The `encoded` variants run the same queries against the same store
+// loaded back from its compressed snapshot with raw columns never
+// materialized: the filter kernels scan the RLE/dictionary/FOR-packed
+// columns directly, so the comparison isolates scan-on-encoded against
+// the raw-column scan (`engine`) and the full naive pass (`scan`).
 func BenchmarkQuery(b *testing.B) {
 	ds := synth.Generate(synth.Config{Seed: 1701, Scale: 0.02, Parallelism: 16})
 	st := ds.Store
 	st.ZoneMaps() // sealed in at generation; warm the implicit path too
+
+	// The encoded twin: count-only queries on it never materialize a raw
+	// column, so its scans stay on the encoded form.
+	var snapBuf bytes.Buffer
+	if _, err := st.WriteTo(&snapBuf); err != nil {
+		b.Fatal(err)
+	}
+	var stEnc store.Store
+	if _, err := stEnc.ReadFrom(bytes.NewReader(snapBuf.Bytes())); err != nil {
+		b.Fatal(err)
+	}
 
 	// A one-day worker makes the most selective target; fall back to the
 	// shortest-lived observed worker.
@@ -401,6 +418,21 @@ func BenchmarkQuery(b *testing.B) {
 			}
 		}
 	})
+	b.Run("worker-day/encoded", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := query.Run(&stEnc, query.Query{
+				Where:   []query.Predicate{query.WorkerEq(target.ID), query.StartIn(winLo, winHi)},
+				Workers: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Stats.RowsMatched != wantWorker {
+				b.Fatalf("encoded scan matched %d rows, naive scan %d", res.Stats.RowsMatched, wantWorker)
+			}
+		}
+	})
 	b.Run("worker-day/scan", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -433,6 +465,21 @@ func BenchmarkQuery(b *testing.B) {
 			}
 			if res.Stats.RowsMatched != wantWeek {
 				b.Fatalf("engine matched %d rows, naive scan %d", res.Stats.RowsMatched, wantWeek)
+			}
+		}
+	})
+	b.Run("week-window/encoded", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := query.Run(&stEnc, query.Query{
+				Where:   []query.Predicate{query.StartIn(weekLo, weekHi)},
+				Workers: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Stats.RowsMatched != wantWeek {
+				b.Fatalf("encoded scan matched %d rows, naive scan %d", res.Stats.RowsMatched, wantWeek)
 			}
 		}
 	})

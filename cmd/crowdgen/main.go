@@ -18,7 +18,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"strings"
 	"time"
 
 	"crowdscope/internal/store"
@@ -74,7 +76,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "  task types:   %d\n", len(ds.TaskTypes))
 	fmt.Fprintf(stdout, "  workers:      %d observed (%d generated)\n", len(obs), len(ds.Workers))
 	fmt.Fprintf(stdout, "  instances:    %d in %d segments\n", ds.Store.Len(), len(ds.Store.Segments()))
-	fmt.Fprintf(stdout, "  snapshot:     %s (%.1f MB, %.1f bytes/row, config %016x)\n", *out, float64(n)/1e6, float64(n)/float64(ds.Store.Len()), prov.ConfigHash)
+	fmt.Fprintf(stdout, "  snapshot:     %s (%.1f MB, %.2f bytes/row, config %016x)\n", *out, float64(n)/1e6, float64(n)/float64(ds.Store.Len()), prov.ConfigHash)
+	if stats := ds.Store.CompressionStats(); stats != nil {
+		var rawTot, encTot int64
+		parts := make([]string, 0, len(stats))
+		for _, c := range stats {
+			rawTot += c.RawBytes
+			encTot += c.EncodedBytes
+			parts = append(parts, fmt.Sprintf("%s %.1fx", c.Name, c.Ratio()))
+		}
+		fmt.Fprintf(stdout, "  columns:      %.1f MB encoded from %.1f MB raw (%.2fx)\n",
+			float64(encTot)/1e6, float64(rawTot)/1e6, float64(rawTot)/float64(encTot))
+		fmt.Fprintf(stdout, "  compression:  %s\n", strings.Join(parts, ", "))
+	}
 
 	if *verify {
 		t0 = time.Now()
@@ -102,9 +116,23 @@ func verifySnapshot(path string, want *store.Store, workers int) error {
 	if got.Len() != want.Len() || got.NumBatches() != want.NumBatches() {
 		return fmt.Errorf("shape mismatch: %d rows/%d batches, wrote %d/%d", got.Len(), got.NumBatches(), want.Len(), want.NumBatches())
 	}
-	for i := 0; i < want.Len(); i++ {
-		if got.Row(i) != want.Row(i) {
-			return fmt.Errorf("row %d differs after reload: %+v vs %+v", i, got.Row(i), want.Row(i))
+	// Compare whole columns (one accessor call each) rather than
+	// materializing rows one at a time.
+	for _, c := range []struct {
+		name     string
+		got, ref any
+	}{
+		{"batch", got.Batches(), want.Batches()},
+		{"tasktype", got.TaskTypes(), want.TaskTypes()},
+		{"item", got.Items(), want.Items()},
+		{"worker", got.Workers(), want.Workers()},
+		{"start", got.Starts(), want.Starts()},
+		{"end", got.Ends(), want.Ends()},
+		{"trust", got.Trusts(), want.Trusts()},
+		{"answer", got.Answers(), want.Answers()},
+	} {
+		if i := firstColumnDiff(c.got, c.ref); i >= 0 {
+			return fmt.Errorf("column %s row %d differs after reload", c.name, i)
 		}
 	}
 	for b := 0; b < want.NumBatches(); b++ {
@@ -124,4 +152,34 @@ func verifySnapshot(path string, want *store.Store, workers int) error {
 		}
 	}
 	return got.Validate()
+}
+
+// firstColumnDiff returns the first differing index of two same-typed
+// column slices, or -1 when equal. Trust compares bit patterns, so the
+// check is exact even for NaN payloads.
+func firstColumnDiff(a, b any) int {
+	switch av := a.(type) {
+	case []uint32:
+		bv := b.([]uint32)
+		for i := range av {
+			if av[i] != bv[i] {
+				return i
+			}
+		}
+	case []int64:
+		bv := b.([]int64)
+		for i := range av {
+			if av[i] != bv[i] {
+				return i
+			}
+		}
+	case []float32:
+		bv := b.([]float32)
+		for i := range av {
+			if math.Float32bits(av[i]) != math.Float32bits(bv[i]) {
+				return i
+			}
+		}
+	}
+	return -1
 }

@@ -32,9 +32,16 @@ func TestRunWritesVerifiedSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
 	}
-	for _, want := range []string{"instances:", "segments", "verified:     strict reload matches column-for-column"} {
+	for _, want := range []string{"instances:", "segments", "verified:     strict reload matches column-for-column",
+		"columns:", "compression:  batch "} {
 		if !strings.Contains(stdout.String(), want) {
 			t.Errorf("output missing %q:\n%s", want, stdout.String())
+		}
+	}
+	// The compression report must cover every column of the log.
+	for _, col := range []string{"batch", "tasktype", "item", "worker", "start", "end", "trust", "answer"} {
+		if !strings.Contains(stdout.String(), col+" ") {
+			t.Errorf("compression report missing column %q:\n%s", col, stdout.String())
 		}
 	}
 

@@ -12,6 +12,10 @@ import (
 // binary search over the sorted values.
 const setBitsetMaxSpan = 1 << 21
 
+// rleKernelMinRunLen is the average run length below which the RLE scan
+// kernel loses to a flat compare over the resident raw column.
+const rleKernelMinRunLen = 4
+
 // compiled is a predicate prepared for the scan kernels: normalized
 // bounds plus a fast membership structure for set predicates.
 type compiled struct {
@@ -68,6 +72,384 @@ func (c *compiled) matchesU32(v uint32) bool {
 	return lo < len(c.set) && c.set[lo] == v
 }
 
+// predKind selects the scan kernel one predicate uses within one segment.
+// The choice is made once per (predicate, segment) at plan time: RLE and
+// dictionary kernels always beat their raw counterparts (run-level tests,
+// one shift per row), while FOR unpacking is used only when the raw
+// column is not resident — unpacking trades a couple of ALU ops per row
+// for touching a fraction of the bytes, which wins exactly when it also
+// avoids materializing the column.
+type predKind uint8
+
+const (
+	// kAll marks a predicate the segment's zone proves true for every
+	// row; the kernel loop skips it entirely.
+	kAll predKind = iota
+	// kU32/kI64/kF32 run the flat-array kernels over either the global
+	// raw column or a segment-local raw-coded encoded column.
+	kU32
+	kI64
+	kF32
+	// kRLE ANDs run-level matches into the bitmap without per-row work.
+	kRLE
+	// kDict tests one bit of a per-segment code mask per row.
+	kDict
+	// kFOR32/kFOR64 compare packed deltas against pre-translated bounds.
+	kFOR32
+	kFOR64
+	// kF32FOR decodes FOR-packed float32 bit patterns and compares the
+	// reconstructed value against the trust bounds.
+	kF32FOR
+)
+
+// segPred is one predicate resolved against one segment.
+type segPred struct {
+	kind  predKind
+	local bool // slices below index segment-local rows
+
+	u32 []uint32
+	i64 []int64
+	f32 []float32
+
+	runVals, runEnds []uint32 // kRLE
+
+	packed []uint64 // kDict, kFOR32, kFOR64
+	width  uint8
+	mask   uint64 // kDict: bit c set when dict code c matches
+
+	hasRange bool   // kFOR32: translated range valid (set predicates scan via compiled)
+	ref32    uint32 // kFOR32: frame of reference for set predicates
+	dlo, dhi uint64 // kFOR32/kFOR64: translated inclusive delta bounds
+}
+
+// segPlan is a query's execution plan for one segment.
+type segPlan struct {
+	preds []segPred
+}
+
+// rawCols memoizes raw column fetches so plan building touches each store
+// accessor (and its possible materialization) at most once.
+type rawCols struct {
+	st     *store.Store
+	u32    [ColAnswer + 1][]uint32
+	starts []int64
+	ends   []int64
+	trusts []float32
+}
+
+func (g *rawCols) u32Col(col Column) []uint32 {
+	if g.u32[col] == nil {
+		switch col {
+		case ColBatch:
+			g.u32[col] = g.st.Batches()
+		case ColTaskType:
+			g.u32[col] = g.st.TaskTypes()
+		case ColItem:
+			g.u32[col] = g.st.Items()
+		case ColWorker:
+			g.u32[col] = g.st.Workers()
+		case ColAnswer:
+			g.u32[col] = g.st.Answers()
+		}
+	}
+	return g.u32[col]
+}
+
+func (g *rawCols) startCol() []int64 {
+	if g.starts == nil {
+		g.starts = g.st.Starts()
+	}
+	return g.starts
+}
+
+func (g *rawCols) endCol() []int64 {
+	if g.ends == nil {
+		g.ends = g.st.Ends()
+	}
+	return g.ends
+}
+
+func (g *rawCols) trustCol() []float32 {
+	if g.trusts == nil {
+		g.trusts = g.st.Trusts()
+	}
+	return g.trusts
+}
+
+func u32Resident(r store.Residency, col Column) bool {
+	switch col {
+	case ColBatch:
+		return r.Batch
+	case ColTaskType:
+		return r.TaskType
+	case ColItem:
+		return r.Item
+	case ColWorker:
+		return r.Worker
+	case ColAnswer:
+		return r.Answer
+	}
+	return false
+}
+
+// buildSegPlan resolves every predicate against one segment. It returns
+// empty=true when some predicate provably matches nothing in the segment
+// (an empty dictionary mask, a FOR range outside the segment's span) —
+// the segment is then skipped like a zone-pruned one.
+func buildSegPlan(preds []compiled, z *store.ZoneMap, si store.SegmentInfo, enc *store.SegmentEnc, resd store.Residency, raw *rawCols) (segPlan, bool) {
+	plan := segPlan{preds: make([]segPred, len(preds))}
+	for i := range preds {
+		c := &preds[i]
+		if containsSeg(c, z, si) {
+			plan.preds[i] = segPred{kind: kAll}
+			continue
+		}
+		sp, empty := resolvePred(c, enc, resd, raw)
+		if empty {
+			return plan, true
+		}
+		plan.preds[i] = sp
+	}
+	return plan, false
+}
+
+// resolvePred picks the kernel for one predicate in one segment.
+func resolvePred(c *compiled, enc *store.SegmentEnc, resd store.Residency, raw *rawCols) (segPred, bool) {
+	switch c.col {
+	case ColStart:
+		if enc != nil {
+			switch e := &enc.Start; e.Code {
+			case store.CodeRaw:
+				return segPred{kind: kI64, i64: e.Raw, local: true}, false
+			case store.CodeFOR:
+				if !resd.Start {
+					return resolveFOR64(c, e)
+				}
+			}
+		}
+		return segPred{kind: kI64, i64: raw.startCol()}, false
+	case ColEnd:
+		// End is encoded as an offset from start, which no single-column
+		// kernel can filter; scan the raw column (materializing it on an
+		// encoded-only store — end predicates are rare).
+		return segPred{kind: kI64, i64: raw.endCol()}, false
+	case ColTrust:
+		if enc == nil || resd.Trust {
+			return segPred{kind: kF32, f32: raw.trustCol()}, false
+		}
+		switch e := &enc.Trust; e.Code {
+		case store.CodeRaw:
+			return segPred{kind: kF32, f32: e.Raw, local: true}, false
+		case store.CodeDict:
+			// Resolve the float range to a pattern-code mask once per
+			// segment, exactly like the uint32 dictionary path.
+			var mask uint64
+			for ci, p := range e.Dict {
+				v := float64(math.Float32frombits(p))
+				if v >= c.flo && v <= c.fhi {
+					mask |= 1 << ci
+				}
+			}
+			switch {
+			case mask == 0:
+				return segPred{}, true
+			case mask == uint64(1)<<len(e.Dict)-1, e.Width == 0:
+				return segPred{kind: kAll}, false
+			}
+			return segPred{kind: kDict, packed: e.Packed, width: e.Width, mask: mask, local: true}, false
+		default: // CodeFOR over bit patterns
+			if e.Width == 0 {
+				v := float64(math.Float32frombits(e.Ref))
+				if v >= c.flo && v <= c.fhi {
+					return segPred{kind: kAll}, false
+				}
+				return segPred{}, true
+			}
+			return segPred{kind: kF32FOR, packed: e.Packed, width: e.Width, ref32: e.Ref, local: true}, false
+		}
+	}
+	if enc == nil {
+		return segPred{kind: kU32, u32: raw.u32Col(c.col)}, false
+	}
+	var e *store.EncodedU32
+	switch c.col {
+	case ColBatch:
+		e = &enc.Batch
+	case ColTaskType:
+		e = &enc.TaskType
+	case ColItem:
+		e = &enc.Item
+	case ColWorker:
+		e = &enc.Worker
+	case ColAnswer:
+		e = &enc.Answer
+	}
+	switch e.Code {
+	case store.CodeRaw:
+		return segPred{kind: kU32, u32: e.Raw, local: true}, false
+	case store.CodeRLE:
+		// Long runs make the run-level kernel nearly free; short runs
+		// (e.g. per-assignment worker repeats) cost more per row than a
+		// flat compare, so prefer the raw column when it is resident.
+		if e.N < rleKernelMinRunLen*len(e.RunVals) && u32Resident(resd, c.col) {
+			return segPred{kind: kU32, u32: raw.u32Col(c.col)}, false
+		}
+		return segPred{kind: kRLE, runVals: e.RunVals, runEnds: e.RunEnds, local: true}, false
+	case store.CodeDict:
+		var mask uint64
+		for ci, v := range e.Dict {
+			if c.matchesU32(v) {
+				mask |= 1 << ci
+			}
+		}
+		switch {
+		case mask == 0:
+			return segPred{}, true
+		case mask == uint64(1)<<len(e.Dict)-1:
+			return segPred{kind: kAll}, false
+		case e.Width == 0:
+			// One dict entry: mask is all-or-nothing, handled above.
+			return segPred{kind: kAll}, false
+		}
+		return segPred{kind: kDict, packed: e.Packed, width: e.Width, mask: mask, local: true}, false
+	default: // CodeFOR
+		if e.Width == 0 {
+			if c.matchesU32(e.Ref) {
+				return segPred{kind: kAll}, false
+			}
+			return segPred{}, true
+		}
+		if u32Resident(resd, c.col) {
+			return segPred{kind: kU32, u32: raw.u32Col(c.col)}, false
+		}
+		sp := segPred{kind: kFOR32, packed: e.Packed, width: e.Width, ref32: e.Ref, local: true}
+		if c.set == nil {
+			maxD := uint64(1)<<e.Width - 1
+			lo, hi := c.lo-int64(e.Ref), c.hi-int64(e.Ref)
+			if hi < 0 || lo > int64(maxD) {
+				return segPred{}, true
+			}
+			sp.hasRange = true
+			sp.dlo, sp.dhi = uint64(max(lo, 0)), min(uint64(hi), maxD)
+		}
+		return sp, false
+	}
+}
+
+// resolveFOR64 translates an int64 range predicate into the packed delta
+// domain of a FOR-coded time column.
+func resolveFOR64(c *compiled, e *store.EncodedI64) (segPred, bool) {
+	if e.Width == 0 {
+		if e.Ref >= c.lo && e.Ref <= c.hi {
+			return segPred{kind: kAll}, false
+		}
+		return segPred{}, true
+	}
+	maxD := uint64(1)<<e.Width - 1
+	if c.hi < e.Ref {
+		return segPred{}, true
+	}
+	dhi := uint64(c.hi) - uint64(e.Ref) // c.hi >= e.Ref, so this cannot wrap
+	if dhi > maxD {
+		dhi = maxD
+	}
+	var dlo uint64
+	if c.lo > e.Ref {
+		dlo = uint64(c.lo) - uint64(e.Ref)
+		if dlo > maxD {
+			return segPred{}, true
+		}
+	}
+	return segPred{kind: kFOR64, packed: e.Packed, width: e.Width, dlo: dlo, dhi: dhi, local: true}, false
+}
+
+// containsSeg reports whether the predicate provably matches every row of
+// the segment: its admissible values cover the segment's exact zone
+// bounds (or distinct sets). Such predicates cost nothing at scan time.
+func containsSeg(c *compiled, z *store.ZoneMap, si store.SegmentInfo) bool {
+	switch c.col {
+	case ColBatch:
+		if si.BatchHi == si.BatchLo {
+			return true
+		}
+		lo, hi := int64(si.BatchLo), int64(si.BatchHi-1)
+		if c.set == nil {
+			return c.lo <= lo && c.hi >= hi
+		}
+		return setContainsRange(c.set, lo, hi)
+	case ColTaskType:
+		return u32Contains(c, int64(z.TaskTypeMin), int64(z.TaskTypeMax), z.TaskTypes)
+	case ColItem:
+		return u32Contains(c, int64(z.ItemMin), int64(z.ItemMax), nil)
+	case ColWorker:
+		return u32Contains(c, int64(z.WorkerMin), int64(z.WorkerMax), nil)
+	case ColAnswer:
+		return u32Contains(c, int64(z.AnswerMin), int64(z.AnswerMax), z.Answers)
+	case ColStart:
+		return c.lo <= z.StartMin && c.hi >= z.StartMax
+	case ColEnd:
+		return c.lo <= z.EndMin && c.hi >= z.EndMax
+	case ColTrust:
+		return c.flo <= float64(z.TrustMin) && c.fhi >= float64(z.TrustMax)
+	}
+	return false
+}
+
+func u32Contains(c *compiled, zmin, zmax int64, zset []uint32) bool {
+	if c.set == nil {
+		return c.lo <= zmin && c.hi >= zmax
+	}
+	if zset != nil {
+		return sortedSubset(zset, c.set)
+	}
+	return setContainsRange(c.set, zmin, zmax)
+}
+
+// setContainsRange reports whether a sorted set contains every integer in
+// [lo, hi].
+func setContainsRange(set []uint32, lo, hi int64) bool {
+	n := hi - lo + 1
+	if n <= 0 {
+		return true
+	}
+	if n > int64(len(set)) {
+		return false
+	}
+	a, b := 0, len(set)
+	for a < b {
+		mid := (a + b) / 2
+		if int64(set[mid]) < lo {
+			a = mid + 1
+		} else {
+			b = mid
+		}
+	}
+	if int64(a)+n > int64(len(set)) {
+		return false
+	}
+	for k := int64(0); k < n; k++ {
+		if int64(set[a+int(k)]) != lo+k {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedSubset reports whether every element of a appears in b (both
+// ascending).
+func sortedSubset(a, b []uint32) bool {
+	j := 0
+	for _, v := range a {
+		for j < len(b) && b[j] < v {
+			j++
+		}
+		if j == len(b) || b[j] != v {
+			return false
+		}
+	}
+	return true
+}
+
 // scratch holds one shard's reusable selection bitmap.
 type scratch struct {
 	bm []uint64
@@ -90,24 +472,68 @@ type partial struct {
 	matched int64
 }
 
-// evalChunk filters rows [lo, hi) through the compiled predicates into a
-// selection bitmap, then folds the surviving rows into per-group
-// accumulators.
-func evalChunk(st *store.Store, q *Query, preds []compiled, lo, hi int, sc *scratch) partial {
+// chunkCtx carries everything evalChunk needs: the per-segment plans plus
+// the fold-phase columns the query's aggregates read (fetched once in
+// Run; nil when the query does not need them, so count-only queries over
+// an encoded store never materialize a column).
+type chunkCtx struct {
+	q     *Query
+	preds []compiled
+	segs  []store.SegmentInfo
+	plans []segPlan
+
+	starts, ends    []int64
+	trusts          []float32
+	keyCol, distCol []uint32
+}
+
+// evalChunk filters rows [lo, hi) of one segment through that segment's
+// plan into a selection bitmap, then folds the surviving rows into
+// per-group accumulators.
+func evalChunk(cc *chunkCtx, seg, lo, hi int, sc *scratch) partial {
 	n := hi - lo
 	words := (n + 63) / 64
 	if cap(sc.bm) < words {
 		sc.bm = make([]uint64, words)
 	}
 	bm := sc.bm[:words]
+	segLo := cc.segs[seg].RowLo
+	plan := &cc.plans[seg]
 
-	if len(preds) == 0 {
+	applied := 0
+	for pi := range plan.preds {
+		sp := &plan.preds[pi]
+		if sp.kind == kAll {
+			continue
+		}
+		first := applied == 0
+		applied++
+		llo, lhi := lo, hi
+		if sp.local {
+			llo, lhi = lo-segLo, hi-segLo
+		}
+		switch sp.kind {
+		case kU32:
+			evalU32(sp.u32, &cc.preds[pi], llo, lhi, bm, first)
+		case kI64:
+			evalI64(sp.i64, &cc.preds[pi], llo, lhi, bm, first)
+		case kF32:
+			evalF32(sp.f32, &cc.preds[pi], llo, lhi, bm, first)
+		case kRLE:
+			evalRLE(sp.runVals, sp.runEnds, &cc.preds[pi], llo, lhi, bm, first)
+		case kDict:
+			evalDict(sp.packed, sp.width, sp.mask, llo, lhi, bm, first)
+		case kFOR32:
+			evalFOR32(sp, &cc.preds[pi], llo, lhi, bm, first)
+		case kFOR64:
+			evalFOR64(sp.packed, sp.width, sp.dlo, sp.dhi, llo, lhi, bm, first)
+		case kF32FOR:
+			evalF32FOR(sp.packed, sp.width, sp.ref32, &cc.preds[pi], llo, lhi, bm, first)
+		}
+	}
+	if applied == 0 {
 		for i := range bm {
 			bm[i] = ^uint64(0)
-		}
-	} else {
-		for pi := range preds {
-			evalPredicate(st, &preds[pi], lo, hi, bm, pi == 0)
 		}
 	}
 	// Mask the tail bits beyond the chunk.
@@ -115,33 +541,8 @@ func evalChunk(st *store.Store, q *Query, preds []compiled, lo, hi int, sc *scra
 		bm[words-1] &= (1 << tail) - 1
 	}
 
+	q := cc.q
 	p := partial{groups: make(map[int64]*acc)}
-	starts := st.Starts()
-	ends := st.Ends()
-	trusts := st.Trusts()
-	var keyCol []uint32
-	switch q.GroupBy {
-	case GroupBatch:
-		keyCol = st.Batches()
-	case GroupWorker:
-		keyCol = st.Workers()
-	case GroupTaskType:
-		keyCol = st.TaskTypes()
-	}
-	var distCol []uint32
-	switch q.Distinct {
-	case ColBatch:
-		distCol = st.Batches()
-	case ColTaskType:
-		distCol = st.TaskTypes()
-	case ColItem:
-		distCol = st.Items()
-	case ColWorker:
-		distCol = st.Workers()
-	case ColAnswer:
-		distCol = st.Answers()
-	}
-
 	// Group keys arrive in long runs (rows are batch-contiguous and
 	// time-sorted, and GroupNone is a single run), so memoizing the last
 	// accumulator removes almost every map lookup.
@@ -157,11 +558,11 @@ func evalChunk(st *store.Store, q *Query, preds []compiled, lo, hi int, sc *scra
 			switch q.GroupBy {
 			case GroupNone:
 			case GroupWeek:
-				key = weekKey(starts[row])
+				key = weekKey(cc.starts[row])
 			case GroupDay:
-				key = dayKey(starts[row])
+				key = dayKey(cc.starts[row])
 			default:
-				key = int64(keyCol[row])
+				key = int64(cc.keyCol[row])
 			}
 			a := lastAcc
 			if a == nil || key != lastKey {
@@ -181,7 +582,7 @@ func evalChunk(st *store.Store, q *Query, preds []compiled, lo, hi int, sc *scra
 			a.count++
 			switch q.Value {
 			case ValueDuration:
-				d := ends[row] - starts[row]
+				d := cc.ends[row] - cc.starts[row]
 				a.sumI += d
 				a.minF = math.Min(a.minF, float64(d))
 				a.maxF = math.Max(a.maxF, float64(d))
@@ -189,7 +590,7 @@ func evalChunk(st *store.Store, q *Query, preds []compiled, lo, hi int, sc *scra
 					a.vals = append(a.vals, float64(d))
 				}
 			case ValueTrust:
-				v := float64(trusts[row])
+				v := float64(cc.trusts[row])
 				a.sumF += v
 				a.minF = math.Min(a.minF, v)
 				a.maxF = math.Max(a.maxF, v)
@@ -197,7 +598,7 @@ func evalChunk(st *store.Store, q *Query, preds []compiled, lo, hi int, sc *scra
 					a.vals = append(a.vals, v)
 				}
 			case ValueStart:
-				v := starts[row]
+				v := cc.starts[row]
 				a.sumI += v
 				a.minF = math.Min(a.minF, float64(v))
 				a.maxF = math.Max(a.maxF, float64(v))
@@ -205,45 +606,23 @@ func evalChunk(st *store.Store, q *Query, preds []compiled, lo, hi int, sc *scra
 					a.vals = append(a.vals, float64(v))
 				}
 			}
-			if distCol != nil {
-				a.distinct[distCol[row]] = struct{}{}
+			if cc.distCol != nil {
+				a.distinct[cc.distCol[row]] = struct{}{}
 			}
 		}
 	}
 	return p
 }
 
-// evalPredicate vectorizes one predicate over rows [lo, hi): it builds a
+// evalU32 vectorizes one uint32 predicate over a flat array: it builds a
 // 64-row word of match bits at a time and either installs (first) or ANDs
 // it into the selection bitmap. Already-dead words are skipped.
-func evalPredicate(st *store.Store, c *compiled, lo, hi int, bm []uint64, first bool) {
-	switch c.col {
-	case ColStart:
-		evalI64(st.Starts(), c.lo, c.hi, lo, hi, bm, first)
-	case ColEnd:
-		evalI64(st.Ends(), c.lo, c.hi, lo, hi, bm, first)
-	case ColTrust:
-		evalF32(st.Trusts(), c.flo, c.fhi, lo, hi, bm, first)
-	default:
-		var col []uint32
-		switch c.col {
-		case ColBatch:
-			col = st.Batches()
-		case ColTaskType:
-			col = st.TaskTypes()
-		case ColItem:
-			col = st.Items()
-		case ColWorker:
-			col = st.Workers()
-		case ColAnswer:
-			col = st.Answers()
-		}
-		if c.set == nil {
-			evalU32Range(col, c.lo, c.hi, lo, hi, bm, first)
-		} else {
-			evalU32Set(col, c, lo, hi, bm, first)
-		}
+func evalU32(col []uint32, c *compiled, lo, hi int, bm []uint64, first bool) {
+	if c.set == nil {
+		evalU32Range(col, c.lo, c.hi, lo, hi, bm, first)
+		return
 	}
+	evalU32Set(col, c, lo, hi, bm, first)
 }
 
 func evalU32Range(col []uint32, plo, phi int64, lo, hi int, bm []uint64, first bool) {
@@ -289,7 +668,11 @@ func evalU32Set(col []uint32, c *compiled, lo, hi int, bm []uint64, first bool) 
 	}
 }
 
-func evalI64(col []int64, plo, phi int64, lo, hi int, bm []uint64, first bool) {
+func evalI64(col []int64, c *compiled, lo, hi int, bm []uint64, first bool) {
+	evalI64Range(col, c.lo, c.hi, lo, hi, bm, first)
+}
+
+func evalI64Range(col []int64, plo, phi int64, lo, hi int, bm []uint64, first bool) {
 	for w := range bm {
 		if !first && bm[w] == 0 {
 			continue
@@ -311,7 +694,8 @@ func evalI64(col []int64, plo, phi int64, lo, hi int, bm []uint64, first bool) {
 	}
 }
 
-func evalF32(col []float32, plo, phi float64, lo, hi int, bm []uint64, first bool) {
+func evalF32(col []float32, c *compiled, lo, hi int, bm []uint64, first bool) {
+	plo, phi := c.flo, c.fhi
 	for w := range bm {
 		if !first && bm[w] == 0 {
 			continue
@@ -324,6 +708,201 @@ func evalF32(col []float32, plo, phi float64, lo, hi int, bm []uint64, first boo
 			if v >= plo && v <= phi {
 				word |= 1 << b
 			}
+		}
+		if first {
+			bm[w] = word
+		} else {
+			bm[w] &= word
+		}
+	}
+}
+
+// evalRLE evaluates a predicate over an RLE column with one test per run
+// (memoized across the words a long run spans): matching runs translate
+// to whole bit ranges, so a chunk costs work proportional to its run
+// count, not its row count. The loop is word-centric like the other
+// kernels, which keeps short-run columns (e.g. per-assignment workers)
+// competitive with a raw scan while long-run columns (batch, task type)
+// cost almost nothing. Coordinates are segment-local.
+func evalRLE(runVals, runEnds []uint32, c *compiled, lo, hi int, bm []uint64, first bool) {
+	// First run whose end exceeds lo.
+	ri, rhi := 0, len(runEnds)
+	for ri < rhi {
+		mid := (ri + rhi) / 2
+		if int(runEnds[mid]) <= lo {
+			ri = mid + 1
+		} else {
+			rhi = mid
+		}
+	}
+	memoRi, memoMatch := -1, false
+	for w := range bm {
+		base := lo + w*64
+		wend := min(base+64, hi)
+		if !first && bm[w] == 0 {
+			for ri < len(runEnds) && int(runEnds[ri]) <= wend {
+				ri++
+			}
+			continue
+		}
+		var word uint64
+		pos := base
+		for pos < wend {
+			end := min(int(runEnds[ri]), wend)
+			if ri != memoRi {
+				memoRi, memoMatch = ri, c.matchesU32(runVals[ri])
+			}
+			if memoMatch {
+				n := end - pos
+				word |= (^uint64(0) >> (64 - n)) << (pos - base)
+			}
+			pos = end
+			if int(runEnds[ri]) <= wend {
+				ri++
+			}
+		}
+		if first {
+			bm[w] = word
+		} else {
+			bm[w] &= word
+		}
+	}
+}
+
+// evalDict evaluates a predicate over a dictionary column: the predicate
+// was resolved to a code mask once per segment, so each row costs one
+// unpack and one mask test. Coordinates are segment-local; width >= 1.
+func evalDict(packed []uint64, width uint8, mask uint64, lo, hi int, bm []uint64, first bool) {
+	wd := int(width)
+	bit := lo * wd
+	for w := range bm {
+		base := lo + w*64
+		n := min(64, hi-base)
+		if !first && bm[w] == 0 {
+			bit += n * wd
+			continue
+		}
+		var word uint64
+		for b := 0; b < n; b++ {
+			wi, sh := bit>>6, uint(bit&63)
+			code := packed[wi] >> sh
+			if sh+uint(width) > 64 {
+				code |= packed[wi+1] << (64 - sh)
+			}
+			code &= uint64(1)<<width - 1
+			word |= ((mask >> code) & 1) << b
+			bit += wd
+		}
+		if first {
+			bm[w] = word
+		} else {
+			bm[w] &= word
+		}
+	}
+}
+
+// evalFOR32 evaluates a predicate over a FOR-packed uint32 column.
+// Range predicates compare deltas against pre-translated bounds; set
+// predicates reconstruct the value. Coordinates are segment-local;
+// width >= 1.
+func evalFOR32(sp *segPred, c *compiled, lo, hi int, bm []uint64, first bool) {
+	packed, width := sp.packed, sp.width
+	wd := int(width)
+	bit := lo * wd
+	for w := range bm {
+		base := lo + w*64
+		n := min(64, hi-base)
+		if !first && bm[w] == 0 {
+			bit += n * wd
+			continue
+		}
+		var word uint64
+		for b := 0; b < n; b++ {
+			wi, sh := bit>>6, uint(bit&63)
+			d := packed[wi] >> sh
+			if sh+uint(width) > 64 {
+				d |= packed[wi+1] << (64 - sh)
+			}
+			d &= uint64(1)<<width - 1
+			if sp.hasRange {
+				if d >= sp.dlo && d <= sp.dhi {
+					word |= 1 << b
+				}
+			} else if c.matchesU32(sp.ref32 + uint32(d)) {
+				word |= 1 << b
+			}
+			bit += wd
+		}
+		if first {
+			bm[w] = word
+		} else {
+			bm[w] &= word
+		}
+	}
+}
+
+// evalFOR64 evaluates a time-range predicate over a FOR-packed int64
+// column against pre-translated delta bounds. Coordinates are
+// segment-local; width >= 1.
+func evalFOR64(packed []uint64, width uint8, dlo, dhi uint64, lo, hi int, bm []uint64, first bool) {
+	wd := int(width)
+	bit := lo * wd
+	for w := range bm {
+		base := lo + w*64
+		n := min(64, hi-base)
+		if !first && bm[w] == 0 {
+			bit += n * wd
+			continue
+		}
+		var word uint64
+		for b := 0; b < n; b++ {
+			wi, sh := bit>>6, uint(bit&63)
+			d := packed[wi] >> sh
+			if sh+uint(width) > 64 {
+				d |= packed[wi+1] << (64 - sh)
+			}
+			d &= uint64(1)<<width - 1
+			if d >= dlo && d <= dhi {
+				word |= 1 << b
+			}
+			bit += wd
+		}
+		if first {
+			bm[w] = word
+		} else {
+			bm[w] &= word
+		}
+	}
+}
+
+// evalF32FOR evaluates a trust predicate over a FOR-packed float32
+// pattern column: each packed delta reconstructs the bit pattern, and the
+// float it encodes is compared against the bounds. Coordinates are
+// segment-local; width >= 1.
+func evalF32FOR(packed []uint64, width uint8, ref uint32, c *compiled, lo, hi int, bm []uint64, first bool) {
+	plo, phi := c.flo, c.fhi
+	wd := int(width)
+	bit := lo * wd
+	for w := range bm {
+		base := lo + w*64
+		n := min(64, hi-base)
+		if !first && bm[w] == 0 {
+			bit += n * wd
+			continue
+		}
+		var word uint64
+		for b := 0; b < n; b++ {
+			wi, sh := bit>>6, uint(bit&63)
+			d := packed[wi] >> sh
+			if sh+uint(width) > 64 {
+				d |= packed[wi+1] << (64 - sh)
+			}
+			d &= uint64(1)<<width - 1
+			v := float64(math.Float32frombits(ref + uint32(d)))
+			if v >= plo && v <= phi {
+				word |= 1 << b
+			}
+			bit += wd
 		}
 		if first {
 			bm[w] = word

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"bytes"
 	"math"
 	"math/rand"
 	"reflect"
@@ -261,8 +262,11 @@ func sortInt64s(xs []int64) {
 
 // TestPropertyEngineMatchesReference: for random stores, random
 // predicates and random group-bys, the engine's result is bit-identical
-// to the naive reference scan for workers 0, 1, 2 and 8. Runs under
-// -race in CI's race tier.
+// to the naive reference scan for workers 0, 1, 2 and 8 — both on the
+// assembled store (raw columns resident, encoded kernels used where they
+// win) and on the same store freshly loaded from a compressed snapshot
+// (encoded-resident, where the filter kernels run entirely on the
+// encoded columns). Runs under -race in CI's race tier.
 func TestPropertyEngineMatchesReference(t *testing.T) {
 	workerCounts := []int{0, 1, 2, 8}
 	queriesPerStore := 24
@@ -273,22 +277,43 @@ func TestPropertyEngineMatchesReference(t *testing.T) {
 	for si := 0; si < stores; si++ {
 		r := rand.New(rand.NewSource(int64(1000 + si)))
 		st := randStore(r, 2000+r.Intn(4000))
+		// The encoded twin: a strict snapshot round trip leaves raw
+		// columns unmaterialized, so its filter scans run on the encoded
+		// kernels. Grouped queries materialize their fold columns as they
+		// go, so across the query mix this store covers every residency
+		// combination the planner can see.
+		var buf bytes.Buffer
+		if _, err := st.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		encoded := &store.Store{}
+		if _, err := encoded.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatal(err)
+		}
 		for qi := 0; qi < queriesPerStore; qi++ {
 			q := randQuery(r)
-			want := referenceRun(st, q)
 			for _, w := range workerCounts {
 				q.Workers = w
+				resEnc, err := Run(encoded, q)
+				if err != nil {
+					t.Fatalf("store %d query %d (%+v) on encoded store: %v", si, qi, q, err)
+				}
 				res, err := Run(st, q)
 				if err != nil {
 					t.Fatalf("store %d query %d (%+v): %v", si, qi, q, err)
 				}
+				want := referenceRun(st, q)
 				if !reflect.DeepEqual(res.Groups, want) && !(len(res.Groups) == 0 && len(want) == 0) {
 					t.Fatalf("store %d query %d workers %d: engine result differs\n query: %+v\n got:  %+v\n want: %+v",
 						si, qi, w, q, res.Groups, want)
 				}
-				if res.Stats.RowsMatched != totalCount(want) {
-					t.Fatalf("store %d query %d workers %d: matched %d rows, reference %d",
-						si, qi, w, res.Stats.RowsMatched, totalCount(want))
+				if !reflect.DeepEqual(resEnc.Groups, want) && !(len(resEnc.Groups) == 0 && len(want) == 0) {
+					t.Fatalf("store %d query %d workers %d: encoded-store result differs\n query: %+v\n got:  %+v\n want: %+v",
+						si, qi, w, q, resEnc.Groups, want)
+				}
+				if res.Stats.RowsMatched != totalCount(want) || resEnc.Stats.RowsMatched != totalCount(want) {
+					t.Fatalf("store %d query %d workers %d: matched %d/%d rows, reference %d",
+						si, qi, w, res.Stats.RowsMatched, resEnc.Stats.RowsMatched, totalCount(want))
 				}
 			}
 		}

@@ -325,6 +325,18 @@ func (q *Query) validate() error {
 const ChunkRows = 1 << 16
 
 // Run executes the query against a store.
+//
+// Execution is plan-then-scan: each predicate is resolved once per
+// segment — pruned outright when it cannot intersect the segment's zone,
+// satisfied for free when it provably covers it, and otherwise bound to
+// the cheapest kernel for that segment's column form. On stores carrying
+// segment encodings the filter kernels scan the encoded columns directly
+// (RLE runs AND into bitmap words run-by-run, dictionary predicates
+// become a per-segment code mask, FOR-packed columns compare packed
+// deltas against translated bounds), so a count-style query over a
+// freshly loaded compressed snapshot never materializes a raw column.
+// Aggregation columns (group keys, values, distinct) are fetched once up
+// front and only when the query shape needs them.
 func Run(st *store.Store, q Query) (*Result, error) {
 	if err := q.validate(); err != nil {
 		return nil, err
@@ -332,26 +344,67 @@ func Run(st *store.Store, q Query) (*Result, error) {
 	preds := compile(q.Where)
 	segs := st.Segments()
 	zones := st.ZoneMaps()
+	encs := st.SegmentEncodings()
+	resd := st.Residency()
+	raw := &rawCols{st: st}
 
 	res := &Result{}
 	res.Stats.Segments = len(segs)
-	type span struct{ lo, hi int }
+	cc := &chunkCtx{q: &q, preds: preds, segs: segs, plans: make([]segPlan, len(segs))}
+	type span struct{ lo, hi, seg int }
 	var tasks []span
 	for i, si := range segs {
 		if si.Rows() == 0 || prune(&zones[i], si, preds) {
 			res.Stats.SegmentsPruned++
 			continue
 		}
-		for lo := si.RowLo; lo < si.RowHi; lo += ChunkRows {
-			tasks = append(tasks, span{lo, min(lo+ChunkRows, si.RowHi)})
+		var enc *store.SegmentEnc
+		if len(encs) == len(segs) {
+			enc = &encs[i]
 		}
+		plan, empty := buildSegPlan(preds, &zones[i], si, enc, resd, raw)
+		if empty {
+			// Some predicate matches nothing in this segment (empty
+			// dictionary mask, FOR range outside the span): pruned without
+			// the zone test noticing.
+			res.Stats.SegmentsPruned++
+			continue
+		}
+		cc.plans[i] = plan
+		for lo := si.RowLo; lo < si.RowHi; lo += ChunkRows {
+			tasks = append(tasks, span{lo, min(lo+ChunkRows, si.RowHi), i})
+		}
+	}
+
+	// Fold-phase columns, fetched only when the query shape reads them.
+	switch q.GroupBy {
+	case GroupWeek, GroupDay:
+		cc.starts = raw.startCol()
+	case GroupBatch:
+		cc.keyCol = raw.u32Col(ColBatch)
+	case GroupWorker:
+		cc.keyCol = raw.u32Col(ColWorker)
+	case GroupTaskType:
+		cc.keyCol = raw.u32Col(ColTaskType)
+	}
+	switch q.Value {
+	case ValueDuration:
+		cc.starts = raw.startCol()
+		cc.ends = raw.endCol()
+	case ValueStart:
+		cc.starts = raw.startCol()
+	case ValueTrust:
+		cc.trusts = raw.trustCol()
+	}
+	if q.Distinct != ColNone {
+		cc.distCol = raw.u32Col(q.Distinct)
 	}
 
 	partials := make([]partial, len(tasks))
 	par.EachShard(len(tasks), q.Workers, func(lo, hi int) {
 		var sc scratch
 		for i := lo; i < hi; i++ {
-			partials[i] = evalChunk(st, &q, preds, tasks[i].lo, tasks[i].hi, &sc)
+			partials[i] = evalChunk(cc, tasks[i].seg, tasks[i].lo, tasks[i].hi, &sc)
 		}
 	})
 

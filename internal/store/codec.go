@@ -78,6 +78,11 @@ type WriteOptions struct {
 	// negative means GOMAXPROCS. The output bytes are identical for every
 	// value — block boundaries are fixed by the data, not the workers.
 	Workers int
+	// Uncompressed writes the pre-compression v3 layout (varint column
+	// blocks) instead of the encoded column blocks a segmented store
+	// defaults to. Mainly useful for fixtures and size comparisons; the
+	// resulting snapshot loads everywhere a compressed one does.
+	Uncompressed bool
 }
 
 // LoadMode selects how ReadSnapshot treats a damaged snapshot.

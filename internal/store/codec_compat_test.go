@@ -127,12 +127,18 @@ func stripZones(t testing.TB, v3 []byte) []byte {
 	return out
 }
 
-// fixtureBytes renders the fixture store in every supported format.
+// fixtureBytes renders the fixture store in every supported format:
+// the retired v1/v2 layouts, the flag-less early v3, the zone-mapped
+// uncompressed v3, and the current compressed (encoded-block) v3.
 func fixtureBytes(t testing.TB) map[string][]byte {
 	t.Helper()
 	s := fixtureStore(t)
 	var v3 bytes.Buffer
-	if _, err := s.WriteSnapshot(&v3, WriteOptions{Provenance: fixtureProvenance(), Workers: 1}); err != nil {
+	if _, err := s.WriteSnapshot(&v3, WriteOptions{Provenance: fixtureProvenance(), Workers: 1, Uncompressed: true}); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	var v3c bytes.Buffer
+	if _, err := s.WriteSnapshot(&v3c, WriteOptions{Provenance: fixtureProvenance(), Workers: 1}); err != nil {
 		t.Fatalf("WriteSnapshot: %v", err)
 	}
 	return map[string][]byte{
@@ -140,6 +146,7 @@ func fixtureBytes(t testing.TB) map[string][]byte {
 		"snapshot_v2.crow":  writeSnapshotLegacy(s, snapshotVersionV2),
 		"snapshot_v3.crow":  stripZones(t, v3.Bytes()),
 		"snapshot_v3z.crow": v3.Bytes(),
+		"snapshot_v3c.crow": v3c.Bytes(),
 	}
 }
 
@@ -151,7 +158,7 @@ func TestSnapshotGoldenLayout(t *testing.T) {
 	if *updateFixtures {
 		writeFixtures(t, files)
 	}
-	for _, name := range []string{"snapshot_v3.crow", "snapshot_v3z.crow"} {
+	for _, name := range []string{"snapshot_v3.crow", "snapshot_v3z.crow", "snapshot_v3c.crow"} {
 		want, err := os.ReadFile(filepath.Join("testdata", name))
 		if err != nil {
 			t.Fatalf("read golden (run `go test ./internal/store -run TestSnapshotGoldenLayout -update-fixtures` to create): %v", err)
@@ -173,11 +180,13 @@ func TestSnapshotBackwardCompat(t *testing.T) {
 		segments int
 		prov     bool
 		zones    bool
+		encoded  bool
 	}{
-		{"snapshot_v1.crow", 1, 0, false, false},
-		{"snapshot_v2.crow", 2, 3, false, false},
-		{"snapshot_v3.crow", 3, 3, true, false}, // early v3: no zone-map section
-		{"snapshot_v3z.crow", 3, 3, true, true},
+		{"snapshot_v1.crow", 1, 0, false, false, false},
+		{"snapshot_v2.crow", 2, 3, false, false, false},
+		{"snapshot_v3.crow", 3, 3, true, false, false}, // early v3: no zone-map section
+		{"snapshot_v3z.crow", 3, 3, true, true, false}, // pre-compression v3: varint blocks
+		{"snapshot_v3c.crow", 3, 3, true, true, true},  // current v3: encoded column blocks
 	} {
 		t.Run(tc.file, func(t *testing.T) {
 			raw, err := os.ReadFile(filepath.Join("testdata", tc.file))
@@ -207,6 +216,9 @@ func TestSnapshotBackwardCompat(t *testing.T) {
 			}
 			if loaded := len(got.zones) > 0; loaded != tc.zones {
 				t.Errorf("zone maps loaded = %v, want %v", loaded, tc.zones)
+			}
+			if loaded := len(got.encs) > 0; loaded != tc.encoded {
+				t.Errorf("segment encodings loaded = %v, want %v", loaded, tc.encoded)
 			}
 			compareStores(t, want, &got, tc.segments > 0)
 			if err := got.Validate(); err != nil {
@@ -265,13 +277,16 @@ func writeFixtures(t *testing.T, files map[string][]byte) {
 	}
 	v3 := files["snapshot_v3.crow"]
 	v3z := files["snapshot_v3z.crow"]
+	v3c := files["snapshot_v3c.crow"]
 	corpus := map[string][]byte{
 		"seed_v1":            files["snapshot_v1.crow"],
 		"seed_v2":            files["snapshot_v2.crow"],
 		"seed_v3":            v3,
 		"seed_v3z":           v3z,
+		"seed_v3c":           v3c,
 		"seed_v3_truncated":  v3[:len(v3)/3],
 		"seed_v3z_truncated": v3z[:2*len(v3z)/3],
+		"seed_v3c_truncated": v3c[:2*len(v3c)/3],
 		"seed_garbage":       []byte("not a snapshot at all"),
 	}
 	for i, off := range []int{4, 9, 14, len(v3) / 2, len(v3) - 5} {
@@ -284,9 +299,47 @@ func writeFixtures(t *testing.T, files map[string][]byte) {
 		flip[off] ^= 0x40
 		corpus[fmt.Sprintf("seed_v3z_bitflip_%d", i)] = flip
 	}
+	for i, off := range []int{9, len(v3c) / 3, len(v3c) / 2, len(v3c) - 5} {
+		flip := append([]byte(nil), v3c...)
+		flip[off] ^= 0x40
+		corpus[fmt.Sprintf("seed_v3c_bitflip_%d", i)] = flip
+	}
 	for name, data := range corpus {
 		entry := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
 		if err := os.WriteFile(filepath.Join(dir, name), []byte(entry), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Committed corpus for the encoded-block reader: the valid payload of
+	// each non-empty fixture segment plus truncated and bit-flipped forms.
+	blockDir := filepath.Join("testdata", "fuzz", "FuzzDecodeColumnBlock")
+	if err := os.MkdirAll(blockDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	s := fixtureStore(t)
+	encs := s.Encodings()
+	blockCorpus := map[string][]byte{"seed_garbage": []byte("not a block at all")}
+	bi := 0
+	for i, si := range s.Segments() {
+		if si.Rows() == 0 {
+			continue
+		}
+		var buf bytes.Buffer
+		serializeEncBlock(&buf, &encs[i])
+		raw := buf.Bytes()
+		blockCorpus[fmt.Sprintf("seed_block_%d", bi)] = append([]byte(nil), raw...)
+		blockCorpus[fmt.Sprintf("seed_block_%d_truncated", bi)] = append([]byte(nil), raw[:len(raw)/2]...)
+		for j, off := range []int{0, 2, len(raw) / 3, len(raw) - 3} {
+			flip := append([]byte(nil), raw...)
+			flip[off] ^= 0x40
+			blockCorpus[fmt.Sprintf("seed_block_%d_bitflip_%d", bi, j)] = flip
+		}
+		bi++
+	}
+	for name, data := range blockCorpus {
+		entry := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(blockDir, name), []byte(entry), 0o644); err != nil {
 			t.Fatal(err)
 		}
 	}

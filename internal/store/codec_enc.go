@@ -1,0 +1,911 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"crowdscope/internal/par"
+)
+
+// Encoded column blocks (secEncBlock): the on-disk form of one segment's
+// SegmentEnc, written when meta carries metaFlagEncoded. Layout:
+//
+//	uvarint rows
+//	5 × uint32 column   (batch, taskType, item, worker, answer):
+//	    byte code
+//	    CodeRaw:  rows × uint32 LE
+//	    CodeRLE:  uvarint nruns, uint32 valRef LE, byte wv, byte wl,
+//	              run values bitstream (nruns × wv, offsets from valRef),
+//	              run lengths bitstream (nruns × wl, length-1 each)
+//	    CodeDict: byte width, uvarint dictLen, dictLen × uint32 LE,
+//	              packedWords(rows,width) × uint64 LE
+//	    CodeFOR:  byte uw, uint32 ref LE, then (uw > 0) the frame
+//	              streams: one width byte per 64-row frame, frame
+//	              reference offsets bitstream (uw bits each), frame
+//	              payload bitstream (rows × per-frame width)
+//	2 × int64 column    (start, end-offset): as CodeRaw (int64 LE) or
+//	    CodeFOR with an int64 reference
+//	1 × float32 column  (trust): CodeRaw (float32 LE), CodeDict or
+//	    uniform CodeFOR over the IEEE-754 bit patterns
+//
+// FOR columns are frame-packed on disk only: the decoder transcodes the
+// 64-row frames back to the uniform-width in-memory form the scan
+// kernels index in O(1). Every length is derived from rows/width/counts
+// and checked against the remaining payload *before* it is allocated,
+// and the decoder enforces the canonical form the encoder produces
+// (references are true minima, widths are exact, runs are maximal,
+// every dictionary code is used), so forged run counts, bit widths or
+// dictionary sizes error out without over-allocating. Block row counts
+// are additionally capped at encBlockMaxRows — segments too large for
+// that cap snapshot through the uncompressed varint path instead.
+
+// encBlockMaxRows bounds the rows one encoded block may claim. A fully
+// constant segment legally encodes to a few dozen bytes, so rows are not
+// input-backed the way varint blocks were; the cap bounds what any block
+// can make the loader (or a later materialization) allocate.
+const encBlockMaxRows = 1 << 22
+
+// --- bit streams ----------------------------------------------------
+
+// bitWriter packs values LSB-first into a byte stream, emitting whole
+// little-endian words so the hot path costs no per-byte calls.
+type bitWriter struct {
+	buf   *bytes.Buffer
+	acc   uint64
+	nbits uint
+}
+
+func (w *bitWriter) write(v uint64, width uint8) {
+	if width == 0 {
+		return
+	}
+	v &= uint64(1)<<width - 1
+	w.acc |= v << w.nbits
+	if w.nbits+uint(width) >= 64 {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], w.acc)
+		w.buf.Write(b[:])
+		// Go defines x>>64 as 0, so a word-aligned boundary resets acc.
+		w.acc = v >> (64 - w.nbits)
+		w.nbits = w.nbits + uint(width) - 64
+	} else {
+		w.nbits += uint(width)
+	}
+}
+
+func (w *bitWriter) flush() {
+	for w.nbits > 0 {
+		w.buf.WriteByte(byte(w.acc))
+		w.acc >>= 8
+		if w.nbits >= 8 {
+			w.nbits -= 8
+		} else {
+			w.nbits = 0
+		}
+	}
+}
+
+// bitReader reads values LSB-first from a byte stream. Reading past the
+// end yields zero bits; callers size the stream exactly, and the
+// canonical-form checks reject any mismatch that zero padding could hide.
+type bitReader struct {
+	b     []byte
+	pos   int
+	acc   uint64
+	nbits uint
+}
+
+func (r *bitReader) read(width uint8) uint64 {
+	if width == 0 {
+		return 0
+	}
+	if width > 32 {
+		lo := r.read(32)
+		return lo | r.read(width-32)<<32
+	}
+	for r.nbits < uint(width) && r.pos < len(r.b) {
+		r.acc |= uint64(r.b[r.pos]) << r.nbits
+		r.pos++
+		r.nbits += 8
+	}
+	v := r.acc & (1<<width - 1)
+	r.acc >>= width
+	if r.nbits >= uint(width) {
+		r.nbits -= uint(width)
+	} else {
+		r.nbits = 0
+	}
+	return v
+}
+
+// wordPacker writes sequential fixed-width values into a word array (the
+// in-memory packed form).
+type wordPacker struct {
+	words []uint64
+	bit   int
+}
+
+func (p *wordPacker) put(v uint64, width uint8) {
+	w, b := p.bit>>6, uint(p.bit&63)
+	p.words[w] |= v << b
+	if b+uint(width) > 64 {
+		p.words[w+1] |= v >> (64 - b)
+	}
+	p.bit += int(width)
+}
+
+func bitStreamBytes(count int, width uint8) int {
+	return (count*int(width) + 7) / 8
+}
+
+// --- fixed-width array helpers --------------------------------------
+
+func putU32sLE(b *bytes.Buffer, vs []uint32) {
+	var scratch [4 * 1024]byte
+	for len(vs) > 0 {
+		n := min(len(vs), 1024)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(scratch[i*4:], vs[i])
+		}
+		b.Write(scratch[:n*4])
+		vs = vs[n:]
+	}
+}
+
+func putU64sLE(b *bytes.Buffer, vs []uint64) {
+	var scratch [8 * 1024]byte
+	for len(vs) > 0 {
+		n := min(len(vs), 1024)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(scratch[i*8:], vs[i])
+		}
+		b.Write(scratch[:n*8])
+		vs = vs[n:]
+	}
+}
+
+func putI64sLE(b *bytes.Buffer, vs []int64) {
+	var scratch [8 * 1024]byte
+	for len(vs) > 0 {
+		n := min(len(vs), 1024)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(scratch[i*8:], uint64(vs[i]))
+		}
+		b.Write(scratch[:n*8])
+		vs = vs[n:]
+	}
+}
+
+func putF32sLE(b *bytes.Buffer, vs []float32) {
+	var scratch [4 * 1024]byte
+	for len(vs) > 0 {
+		n := min(len(vs), 1024)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(scratch[i*4:], math.Float32bits(vs[i]))
+		}
+		b.Write(scratch[:n*4])
+		vs = vs[n:]
+	}
+}
+
+// take returns the next n payload bytes without copying, or ErrCorrupt
+// when fewer remain — the pre-allocation bound every decoded array goes
+// through.
+func (s *sliceReader) take(n int) ([]byte, error) {
+	if n < 0 || s.remaining() < n {
+		return nil, fmt.Errorf("%w: %d bytes needed, %d remain", ErrCorrupt, n, s.remaining())
+	}
+	b := s.buf[s.pos : s.pos+n]
+	s.pos += n
+	return b, nil
+}
+
+func getU32sLE(b []byte) []uint32 {
+	out := make([]uint32, len(b)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[i*4:])
+	}
+	return out
+}
+
+func getU64sLE(b []byte) []uint64 {
+	out := make([]uint64, len(b)/8)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[i*8:])
+	}
+	return out
+}
+
+func getI64sLE(b []byte) []int64 {
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}
+
+func getF32sLE(b []byte) []float32 {
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+// --- FOR frame stream ------------------------------------------------
+
+// frameShape describes one FOR column's disk frames, derived from the
+// uniform-width packed deltas.
+type frameShape struct {
+	refOffs []uint64 // per-frame minimum delta
+	widths  []uint8  // per-frame local width
+	bits    int      // total payload bits
+}
+
+func forFrameShape(packed []uint64, uw uint8, n int) frameShape {
+	nf := (n + frameRows - 1) / frameRows
+	sh := frameShape{refOffs: make([]uint64, nf), widths: make([]uint8, nf)}
+	for f := 0; f < nf; f++ {
+		lo, hi := f*frameRows, min((f+1)*frameRows, n)
+		mn, mx := unpackAt(packed, uw, lo), unpackAt(packed, uw, lo)
+		for i := lo + 1; i < hi; i++ {
+			d := unpackAt(packed, uw, i)
+			mn, mx = min(mn, d), max(mx, d)
+		}
+		sh.refOffs[f] = mn
+		sh.widths[f] = bitsForU64(mx - mn)
+		sh.bits += int(sh.widths[f]) * (hi - lo)
+	}
+	return sh
+}
+
+// forDiskBytes returns the serialized size of the frame streams.
+func (sh *frameShape) diskBytes(uw uint8) int {
+	return len(sh.widths) + bitStreamBytes(len(sh.refOffs), uw) + (sh.bits+7)/8
+}
+
+// writeFORFrames serializes the frame streams of one FOR column.
+func writeFORFrames(b *bytes.Buffer, packed []uint64, uw uint8, n int) {
+	sh := forFrameShape(packed, uw, n)
+	b.Write(sh.widths[:])
+	bw := bitWriter{buf: b}
+	for _, off := range sh.refOffs {
+		bw.write(off, uw)
+	}
+	bw.flush()
+	for f := range sh.widths {
+		lo, hi := f*frameRows, min((f+1)*frameRows, n)
+		fw := sh.widths[f]
+		for i := lo; i < hi; i++ {
+			bw.write(unpackAt(packed, uw, i)-sh.refOffs[f], fw)
+		}
+	}
+	bw.flush()
+}
+
+// readFORFrames decodes the frame streams back into uniform-width packed
+// deltas, enforcing the canonical form: every frame width is exact and
+// locally anchored at zero, the global minimum delta is zero, and the
+// global maximum needs exactly uw bits. Returns the packed words and the
+// maximum delta (for the caller's overflow check against its reference).
+func readFORFrames(sr *sliceReader, rows int, uw uint8) ([]uint64, uint64, error) {
+	nf := (rows + frameRows - 1) / frameRows
+	widths, err := sr.take(nf)
+	if err != nil {
+		return nil, 0, err
+	}
+	payloadBits := 0
+	for f, fw := range widths {
+		if fw > uw {
+			return nil, 0, fmt.Errorf("%w: frame width %d exceeds column width %d", ErrCorrupt, fw, uw)
+		}
+		lo, hi := f*frameRows, min((f+1)*frameRows, rows)
+		payloadBits += int(fw) * (hi - lo)
+	}
+	refBytes, err := sr.take(bitStreamBytes(nf, uw))
+	if err != nil {
+		return nil, 0, err
+	}
+	payload, err := sr.take((payloadBits + 7) / 8)
+	if err != nil {
+		return nil, 0, err
+	}
+	packed := make([]uint64, packedWords(rows, uw))
+	wp := wordPacker{words: packed}
+	refs := bitReader{b: refBytes}
+	vals := bitReader{b: payload}
+	maxUW := uint64(1)<<uw - 1
+	globalMin, globalMax := ^uint64(0), uint64(0)
+	for f := 0; f < nf; f++ {
+		refOff := refs.read(uw)
+		fw := widths[f]
+		lo, hi := f*frameRows, min((f+1)*frameRows, rows)
+		localMin, localMax := ^uint64(0), uint64(0)
+		for i := lo; i < hi; i++ {
+			d := vals.read(fw)
+			localMin, localMax = min(localMin, d), max(localMax, d)
+			v := refOff + d
+			if v > maxUW {
+				return nil, 0, fmt.Errorf("%w: FOR delta exceeds column width", ErrCorrupt)
+			}
+			wp.put(v, uw)
+			globalMin, globalMax = min(globalMin, v), max(globalMax, v)
+		}
+		if localMin != 0 || bitsForU64(localMax) != fw {
+			return nil, 0, fmt.Errorf("%w: non-canonical FOR frame", ErrCorrupt)
+		}
+	}
+	if globalMin != 0 || bitsForU64(globalMax) != uw {
+		return nil, 0, fmt.Errorf("%w: non-canonical FOR column", ErrCorrupt)
+	}
+	return packed, globalMax, nil
+}
+
+// --- column serializers ----------------------------------------------
+
+func rleShape(e *EncodedU32) (ref uint32, wv, wl uint8) {
+	mn, mx := e.RunVals[0], e.RunVals[0]
+	maxLen := uint32(0)
+	prev := uint32(0)
+	for i, v := range e.RunVals {
+		mn, mx = min(mn, v), max(mx, v)
+		l := e.RunEnds[i] - prev
+		maxLen = max(maxLen, l)
+		prev = e.RunEnds[i]
+	}
+	return mn, bitsForU64(uint64(mx - mn)), bitsForU64(uint64(maxLen - 1))
+}
+
+func writeEncU32(b *bytes.Buffer, e *EncodedU32) {
+	b.WriteByte(byte(e.Code))
+	switch e.Code {
+	case CodeRaw:
+		putU32sLE(b, e.Raw)
+	case CodeRLE:
+		ref, wv, wl := rleShape(e)
+		putUvarint(b, uint64(len(e.RunVals)))
+		var r [4]byte
+		binary.LittleEndian.PutUint32(r[:], ref)
+		b.Write(r[:])
+		b.WriteByte(wv)
+		b.WriteByte(wl)
+		bw := bitWriter{buf: b}
+		for _, v := range e.RunVals {
+			bw.write(uint64(v-ref), wv)
+		}
+		bw.flush()
+		prev := uint32(0)
+		for _, end := range e.RunEnds {
+			bw.write(uint64(end-prev-1), wl)
+			prev = end
+		}
+		bw.flush()
+	case CodeDict:
+		b.WriteByte(e.Width)
+		putUvarint(b, uint64(len(e.Dict)))
+		putU32sLE(b, e.Dict)
+		putU64sLE(b, e.Packed)
+	case CodeFOR:
+		b.WriteByte(e.Width)
+		var r [4]byte
+		binary.LittleEndian.PutUint32(r[:], e.Ref)
+		b.Write(r[:])
+		if e.Width > 0 {
+			writeFORFrames(b, e.Packed, e.Width, e.N)
+		}
+	}
+}
+
+func writeEncI64(b *bytes.Buffer, e *EncodedI64) {
+	b.WriteByte(byte(e.Code))
+	if e.Code == CodeRaw {
+		putI64sLE(b, e.Raw)
+		return
+	}
+	b.WriteByte(e.Width)
+	var r [8]byte
+	binary.LittleEndian.PutUint64(r[:], uint64(e.Ref))
+	b.Write(r[:])
+	if e.Width > 0 {
+		writeFORFrames(b, e.Packed, e.Width, e.N)
+	}
+}
+
+func writeEncF32(b *bytes.Buffer, e *EncodedF32) {
+	b.WriteByte(byte(e.Code))
+	switch e.Code {
+	case CodeRaw:
+		putF32sLE(b, e.Raw)
+	case CodeDict:
+		b.WriteByte(e.Width)
+		putUvarint(b, uint64(len(e.Dict)))
+		putU32sLE(b, e.Dict)
+		putU64sLE(b, e.Packed)
+	case CodeFOR:
+		b.WriteByte(e.Width)
+		var r [4]byte
+		binary.LittleEndian.PutUint32(r[:], e.Ref)
+		b.Write(r[:])
+		if e.Width > 0 {
+			writeFORFrames(b, e.Packed, e.Width, e.N)
+		}
+	}
+}
+
+// serializeEncBlock writes one segment's encoded columns as a block
+// payload.
+func serializeEncBlock(b *bytes.Buffer, e *SegmentEnc) {
+	putUvarint(b, uint64(e.Rows))
+	writeEncU32(b, &e.Batch)
+	writeEncU32(b, &e.TaskType)
+	writeEncU32(b, &e.Item)
+	writeEncU32(b, &e.Worker)
+	writeEncU32(b, &e.Answer)
+	writeEncI64(b, &e.Start)
+	writeEncI64(b, &e.EndOff)
+	writeEncF32(b, &e.Trust)
+}
+
+// --- serialized-size accounting --------------------------------------
+
+func (e *EncodedU32) encodedBytes() int64 {
+	switch e.Code {
+	case CodeRLE:
+		_, wv, wl := rleShape(e)
+		nr := len(e.RunVals)
+		return int64(1 + uvarintLen(uint64(nr)) + 4 + 2 + bitStreamBytes(nr, wv) + bitStreamBytes(nr, wl))
+	case CodeDict:
+		return int64(2 + uvarintLen(uint64(len(e.Dict))) + 4*len(e.Dict) + 8*len(e.Packed))
+	case CodeFOR:
+		if e.Width == 0 {
+			return 6
+		}
+		sh := forFrameShape(e.Packed, e.Width, e.N)
+		return int64(6 + sh.diskBytes(e.Width))
+	default:
+		return int64(1 + 4*len(e.Raw))
+	}
+}
+
+func (e *EncodedI64) encodedBytes() int64 {
+	if e.Code == CodeFOR {
+		if e.Width == 0 {
+			return 10
+		}
+		sh := forFrameShape(e.Packed, e.Width, e.N)
+		return int64(10 + sh.diskBytes(e.Width))
+	}
+	return int64(1 + 8*len(e.Raw))
+}
+
+func (e *EncodedF32) encodedBytes() int64 {
+	switch e.Code {
+	case CodeDict:
+		return int64(2 + uvarintLen(uint64(len(e.Dict))) + 4*len(e.Dict) + 8*len(e.Packed))
+	case CodeFOR:
+		if e.Width == 0 {
+			return 6
+		}
+		sh := forFrameShape(e.Packed, e.Width, e.N)
+		return int64(6 + sh.diskBytes(e.Width))
+	default:
+		return int64(1 + 4*len(e.Raw))
+	}
+}
+
+// encodedPayloadBytes returns a fast upper bound on the serialized size
+// of one encoded block; the writer uses it only to group blocks into
+// bounded waves, so it avoids the per-value frame scan the exact
+// accounting (encodedBytes) performs.
+func (e *SegmentEnc) encodedPayloadBytes() int64 {
+	frames := int64((e.Rows + frameRows - 1) / frameRows)
+	boundU32 := func(c *EncodedU32) int64 {
+		return int64(16+4*len(c.Raw)+8*len(c.RunVals)+4*len(c.Dict)+8*len(c.Packed)) + 9*frames
+	}
+	boundI64 := func(c *EncodedI64) int64 {
+		return int64(16+8*len(c.Raw)+8*len(c.Packed)) + 9*frames
+	}
+	return boundU32(&e.Batch) + boundU32(&e.TaskType) + boundU32(&e.Item) +
+		boundU32(&e.Worker) + boundU32(&e.Answer) +
+		boundI64(&e.Start) + boundI64(&e.EndOff) +
+		int64(16+4*len(e.Trust.Raw)+4*len(e.Trust.Dict)+8*len(e.Trust.Packed)) + 9*frames
+}
+
+// --- column deserializers --------------------------------------------
+
+// readDict decodes and fully validates one dictionary (shared by the
+// uint32 and float32 columns): sorted strictly ascending, canonical
+// width, every code in range and used.
+func readDict(sr *sliceReader, rows int) (dict []uint32, width uint8, packed []uint64, err error) {
+	if width, err = sr.ReadByte(); err != nil {
+		return nil, 0, nil, asTruncated(err)
+	}
+	nd, err := getUvarint(sr)
+	if err != nil {
+		return nil, 0, nil, asTruncated(err)
+	}
+	if nd == 0 || nd > dictMaxEntries || width != bitsForU64(nd-1) {
+		return nil, 0, nil, fmt.Errorf("%w: dictionary of %d entries at width %d", ErrCorrupt, nd, width)
+	}
+	db, err := sr.take(int(nd) * 4)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	dict = getU32sLE(db)
+	for i := 1; i < len(dict); i++ {
+		if dict[i] <= dict[i-1] {
+			return nil, 0, nil, fmt.Errorf("%w: dictionary not strictly ascending", ErrCorrupt)
+		}
+	}
+	pb, err := sr.take(packedWords(rows, width) * 8)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	packed = getU64sLE(pb)
+	var seen uint64
+	if width == 0 {
+		seen = 1
+	} else {
+		for i := 0; i < rows; i++ {
+			code := unpackAt(packed, width, i)
+			if code >= nd {
+				return nil, 0, nil, fmt.Errorf("%w: dictionary code out of range", ErrCorrupt)
+			}
+			seen |= 1 << code
+		}
+	}
+	if seen != uint64(1)<<nd-1 {
+		return nil, 0, nil, fmt.Errorf("%w: unused dictionary entries", ErrCorrupt)
+	}
+	return dict, width, packed, nil
+}
+
+func readEncU32(sr *sliceReader, rows int, e *EncodedU32) error {
+	code, err := sr.ReadByte()
+	if err != nil {
+		return asTruncated(err)
+	}
+	e.Code, e.N = ColumnCode(code), rows
+	switch e.Code {
+	case CodeRaw:
+		b, err := sr.take(4 * rows)
+		if err != nil {
+			return err
+		}
+		e.Raw = getU32sLE(b)
+	case CodeRLE:
+		nruns, err := getUvarint(sr)
+		if err != nil {
+			return asTruncated(err)
+		}
+		if nruns == 0 || nruns > uint64(rows) {
+			return fmt.Errorf("%w: %d runs for %d rows", ErrCorrupt, nruns, rows)
+		}
+		hdr, err := sr.take(6)
+		if err != nil {
+			return err
+		}
+		ref := binary.LittleEndian.Uint32(hdr)
+		wv, wl := hdr[4], hdr[5]
+		if wv > 32 || wl > 31 {
+			return fmt.Errorf("%w: run widths %d/%d", ErrCorrupt, wv, wl)
+		}
+		nr := int(nruns)
+		valBytes, err := sr.take(bitStreamBytes(nr, wv))
+		if err != nil {
+			return err
+		}
+		lenBytes, err := sr.take(bitStreamBytes(nr, wl))
+		if err != nil {
+			return err
+		}
+		e.RunVals = make([]uint32, nr)
+		e.RunEnds = make([]uint32, nr)
+		br := bitReader{b: valBytes}
+		maxD := uint64(0)
+		minD := ^uint64(0)
+		for i := 0; i < nr; i++ {
+			d := br.read(wv)
+			minD, maxD = min(minD, d), max(maxD, d)
+			if d > uint64(math.MaxUint32)-uint64(ref) {
+				return fmt.Errorf("%w: run value overflows uint32", ErrCorrupt)
+			}
+			v := ref + uint32(d)
+			if i > 0 && v == e.RunVals[i-1] {
+				return fmt.Errorf("%w: non-maximal runs", ErrCorrupt)
+			}
+			e.RunVals[i] = v
+		}
+		if minD != 0 || bitsForU64(maxD) != wv {
+			return fmt.Errorf("%w: non-canonical run values", ErrCorrupt)
+		}
+		br = bitReader{b: lenBytes}
+		total := uint64(0)
+		maxL := uint64(0)
+		for i := 0; i < nr; i++ {
+			l := br.read(wl) + 1
+			maxL = max(maxL, l)
+			total += l
+			if total > uint64(rows) {
+				return fmt.Errorf("%w: runs cover more than %d rows", ErrCorrupt, rows)
+			}
+			e.RunEnds[i] = uint32(total)
+		}
+		if total != uint64(rows) {
+			return fmt.Errorf("%w: runs cover %d of %d rows", ErrCorrupt, total, rows)
+		}
+		if bitsForU64(maxL-1) != wl {
+			return fmt.Errorf("%w: non-canonical run lengths", ErrCorrupt)
+		}
+	case CodeDict:
+		if e.Dict, e.Width, e.Packed, err = readDict(sr, rows); err != nil {
+			return err
+		}
+	case CodeFOR:
+		if e.Width, err = sr.ReadByte(); err != nil {
+			return asTruncated(err)
+		}
+		if e.Width > 32 {
+			return fmt.Errorf("%w: FOR width %d exceeds 32", ErrCorrupt, e.Width)
+		}
+		rb, err := sr.take(4)
+		if err != nil {
+			return err
+		}
+		e.Ref = binary.LittleEndian.Uint32(rb)
+		if e.Width > 0 {
+			packed, maxD, err := readFORFrames(sr, rows, e.Width)
+			if err != nil {
+				return err
+			}
+			if maxD > uint64(math.MaxUint32)-uint64(e.Ref) {
+				return fmt.Errorf("%w: FOR delta overflows uint32", ErrCorrupt)
+			}
+			e.Packed = packed
+		}
+	default:
+		return fmt.Errorf("%w: unknown column code %d", ErrCorrupt, code)
+	}
+	return nil
+}
+
+func readEncI64(sr *sliceReader, rows int, e *EncodedI64) error {
+	code, err := sr.ReadByte()
+	if err != nil {
+		return asTruncated(err)
+	}
+	e.Code, e.N = ColumnCode(code), rows
+	switch e.Code {
+	case CodeRaw:
+		b, err := sr.take(8 * rows)
+		if err != nil {
+			return err
+		}
+		e.Raw = getI64sLE(b)
+	case CodeFOR:
+		if e.Width, err = sr.ReadByte(); err != nil {
+			return asTruncated(err)
+		}
+		if e.Width > maxFORWidthI64 {
+			return fmt.Errorf("%w: FOR width %d exceeds %d", ErrCorrupt, e.Width, maxFORWidthI64)
+		}
+		rb, err := sr.take(8)
+		if err != nil {
+			return err
+		}
+		e.Ref = int64(binary.LittleEndian.Uint64(rb))
+		if e.Width > 0 {
+			packed, maxD, err := readFORFrames(sr, rows, e.Width)
+			if err != nil {
+				return err
+			}
+			if e.Ref >= 0 && maxD > uint64(math.MaxInt64)-uint64(e.Ref) {
+				return fmt.Errorf("%w: FOR delta overflows int64", ErrCorrupt)
+			}
+			e.Packed = packed
+		}
+	default:
+		return fmt.Errorf("%w: column code %d invalid for int64", ErrCorrupt, code)
+	}
+	return nil
+}
+
+func readEncF32(sr *sliceReader, rows int, e *EncodedF32) error {
+	code, err := sr.ReadByte()
+	if err != nil {
+		return asTruncated(err)
+	}
+	e.Code, e.N = ColumnCode(code), rows
+	switch e.Code {
+	case CodeRaw:
+		b, err := sr.take(4 * rows)
+		if err != nil {
+			return err
+		}
+		e.Raw = getF32sLE(b)
+	case CodeDict:
+		if e.Dict, e.Width, e.Packed, err = readDict(sr, rows); err != nil {
+			return err
+		}
+	case CodeFOR:
+		if e.Width, err = sr.ReadByte(); err != nil {
+			return asTruncated(err)
+		}
+		if e.Width > 32 {
+			return fmt.Errorf("%w: FOR width %d exceeds 32", ErrCorrupt, e.Width)
+		}
+		rb, err := sr.take(4)
+		if err != nil {
+			return err
+		}
+		e.Ref = binary.LittleEndian.Uint32(rb)
+		if e.Width > 0 {
+			packed, maxD, err := readFORFrames(sr, rows, e.Width)
+			if err != nil {
+				return err
+			}
+			if maxD > uint64(math.MaxUint32)-uint64(e.Ref) {
+				return fmt.Errorf("%w: FOR delta overflows uint32", ErrCorrupt)
+			}
+			e.Packed = packed
+		}
+	default:
+		return fmt.Errorf("%w: column code %d invalid for float32", ErrCorrupt, code)
+	}
+	return nil
+}
+
+// decodeEncBlock decodes and validates one encoded block payload into a
+// self-contained SegmentEnc (all arrays copied out of the payload).
+func decodeEncBlock(payload []byte, rows int) (SegmentEnc, error) {
+	var e SegmentEnc
+	sr := &sliceReader{buf: payload}
+	claimed, err := getUvarint(sr)
+	if err != nil {
+		return e, asTruncated(err)
+	}
+	if claimed > encBlockMaxRows || int(claimed) != rows {
+		return e, fmt.Errorf("%w: block claims %d rows, segment has %d", ErrCorrupt, claimed, rows)
+	}
+	e.Rows = rows
+	for _, col := range []*EncodedU32{&e.Batch, &e.TaskType, &e.Item, &e.Worker, &e.Answer} {
+		if err := readEncU32(sr, rows, col); err != nil {
+			return e, err
+		}
+	}
+	if err := readEncI64(sr, rows, &e.Start); err != nil {
+		return e, err
+	}
+	if err := readEncI64(sr, rows, &e.EndOff); err != nil {
+		return e, err
+	}
+	if err := readEncF32(sr, rows, &e.Trust); err != nil {
+		return e, err
+	}
+	if sr.remaining() != 0 {
+		return e, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, sr.remaining())
+	}
+	return e, nil
+}
+
+// materializeInto decodes the block's columns into rows [lo, lo+Rows) of
+// the store's raw arrays (which must already be grown past lo+Rows).
+func (e *SegmentEnc) materializeInto(st *Store, lo int) {
+	hi := lo + e.Rows
+	e.Batch.DecodeInto(st.batch[lo:hi])
+	e.TaskType.DecodeInto(st.taskType[lo:hi])
+	e.Item.DecodeInto(st.item[lo:hi])
+	e.Worker.DecodeInto(st.worker[lo:hi])
+	e.Answer.DecodeInto(st.answer[lo:hi])
+	e.Start.DecodeInto(st.start[lo:hi])
+	e.EndOff.DecodeInto(st.end[lo:hi])
+	for i := lo; i < hi; i++ {
+		st.end[i] += st.start[i]
+	}
+	e.Trust.DecodeInto(st.trust[lo:hi])
+}
+
+// readEncodedBlocks decodes the encoded column blocks of a v3 snapshot.
+// In strict mode the store ends up encoded-resident (raw columns
+// materialize lazily later); in repair mode blocks decode straight into
+// raw columns, damaged blocks zero-fill (appended to damagedSpans for the
+// batch-column rebuild), and claimed-but-unbacked rows are capped so a
+// forged segment table cannot out-allocate the input.
+func readEncodedBlocks(cr *countingReader, st *Store, n, nblocks, workers int, repair bool, rep *LoadReport, damagedSpans *[][2]int) error {
+	var nonEmpty []int
+	for i := range st.segs {
+		if st.segs[i].Rows() > 0 {
+			nonEmpty = append(nonEmpty, i)
+		}
+	}
+	if nblocks != len(nonEmpty) {
+		return sectionErr("meta", fmt.Errorf("%w: %d encoded blocks for %d non-empty segments", ErrCorrupt, nblocks, len(nonEmpty)))
+	}
+
+	if !repair {
+		st.encs = make([]SegmentEnc, len(st.segs))
+		bufs := make([][]byte, max(min(maxBlockWave, len(nonEmpty)), 1))
+		type wb struct {
+			blockIdx, segIdx int
+			payload          []byte
+		}
+		wave := make([]wb, 0, len(bufs))
+		for b := 0; b < len(nonEmpty); b += len(wave) {
+			wave = wave[:0]
+			waveBytes := 0
+			for b+len(wave) < len(nonEmpty) && len(wave) < len(bufs) &&
+				(len(wave) == 0 || waveBytes < blockWaveBytes) {
+				i := b + len(wave)
+				payload, err := readSection(cr, secEncBlock, fmt.Sprintf("column block %d", i), &bufs[len(wave)])
+				if err != nil {
+					return err
+				}
+				wave = append(wave, wb{blockIdx: i, segIdx: nonEmpty[i], payload: payload})
+				waveBytes += len(payload)
+			}
+			if err := par.EachShardErr(len(wave), workers, func(lo, hi int) error {
+				for k := lo; k < hi; k++ {
+					enc, err := decodeEncBlock(wave[k].payload, st.segs[wave[k].segIdx].Rows())
+					if err != nil {
+						return sectionErr(fmt.Sprintf("column block %d", wave[k].blockIdx), err)
+					}
+					st.encs[wave[k].segIdx] = enc
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Repair: sequential, materializing. unbacked tracks zero-filled rows
+	// beyond what the damaged payload bytes plausibly back (legitimate
+	// blocks carry several bytes per row; one per row is a generous
+	// floor), so a forged segment table cannot repair-"recover" into an
+	// arbitrarily large zeroed store.
+	var buf []byte
+	unbacked := 0
+	for bi, segIdx := range nonEmpty {
+		si := st.segs[segIdx]
+		name := fmt.Sprintf("column block %d", bi)
+		payload, err := readSection(cr, secEncBlock, name, &buf)
+		checksumBad := err != nil && errors.Is(err, ErrChecksum) && payload != nil
+		if err != nil && !checksumBad {
+			// Truncated or unframeable: recover everything before this
+			// block and zero-fill the rest, capped — the remaining rows are
+			// claimed by the segment table, not backed by input.
+			rep.Damaged = append(rep.Damaged, name)
+			if n-si.RowLo > repairMaxFillRows {
+				return sectionErr(name, fmt.Errorf("%w: %d of %d claimed rows missing, beyond repair", ErrCorrupt, n-si.RowLo, n))
+			}
+			growColumns(st, n)
+			*damagedSpans = append(*damagedSpans, [2]int{si.RowLo, n})
+			return nil
+		}
+		damaged := checksumBad
+		var enc SegmentEnc
+		if !damaged {
+			if enc, err = decodeEncBlock(payload, si.Rows()); err != nil {
+				damaged = true
+			}
+		}
+		if damaged {
+			unbacked += max(0, si.Rows()-len(payload))
+			if unbacked > repairMaxFillRows {
+				return sectionErr(name, fmt.Errorf("%w: %d claimed rows unbacked by input, beyond repair", ErrCorrupt, unbacked))
+			}
+			growColumns(st, si.RowHi)
+			rep.Damaged = append(rep.Damaged, name)
+			*damagedSpans = append(*damagedSpans, [2]int{si.RowLo, si.RowHi})
+			continue
+		}
+		growColumns(st, si.RowHi)
+		enc.materializeInto(st, si.RowLo)
+	}
+	growColumns(st, n)
+	return nil
+}

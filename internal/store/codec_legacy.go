@@ -19,7 +19,7 @@ func readLegacy(cr *countingReader, version uint32) (*Store, error) {
 	}
 	n, nb := int(n32), int(nb32)
 
-	st := &Store{}
+	st := &Store{fill: &fillState{}}
 	var err error
 	if st.batch, err = getUvarints(cr, n); err != nil {
 		return nil, sectionErr("column batch", err)
@@ -50,6 +50,7 @@ func readLegacy(cr *countingReader, version uint32) (*Store, error) {
 	if st.answer, err = getUvarints(cr, n); err != nil {
 		return nil, sectionErr("column answer", err)
 	}
+	st.rows = len(st.start)
 	st.ranges = make([]rowRange, 0, min(nb, allocChunk))
 	for i := 0; i < nb; i++ {
 		lo, err := getUvarint(cr)

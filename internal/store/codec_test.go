@@ -252,10 +252,11 @@ func TestSnapshotRepairChecksumDamage(t *testing.T) {
 	s := fixtureStore(t)
 	raw := snapshotV3(t, s)
 	secs := parseSections(t, raw)
-	// The fixture spans two column blocks (segment rows 7 + 0 + 7).
-	block1 := findSection(t, secs, secBlock, 1)
+	// The fixture spans two encoded column blocks, one per non-empty
+	// segment (rows 7 + 0 + 7).
+	block1 := findSection(t, secs, secEncBlock, 1)
 	bad := append([]byte(nil), raw...)
-	bad[block1.payloadOff+5] ^= 0x10 // inside the columns, past the span header
+	bad[block1.payloadOff+5] ^= 0x10 // inside the columns, past the row header
 
 	var strict Store
 	_, err := strict.ReadFrom(bytes.NewReader(bad))
@@ -301,13 +302,73 @@ func TestSnapshotRepairChecksumDamage(t *testing.T) {
 	}
 }
 
+// TestSnapshotRepairCompressedBlockZones: repairing a snapshot whose
+// compressed column block is damaged must zero-fill the block's rows AND
+// recompute zone maps from the repaired data — the persisted zone-map
+// section still describes the original values, so trusting it would let
+// pruning skip (or fail to skip) the zero-filled span. Mirrors PR 4's
+// zone-map repair case for the encoded-block path.
+func TestSnapshotRepairCompressedBlockZones(t *testing.T) {
+	s := fixtureStore(t)
+	raw := snapshotV3(t, s)
+	secs := parseSections(t, raw)
+	if findSection(t, secs, secZones, 0).payloadLen == 0 {
+		t.Fatal("fixture snapshot carries no zone-map section")
+	}
+	block1 := findSection(t, secs, secEncBlock, 1)
+	bad := append([]byte(nil), raw...)
+	bad[block1.payloadOff+7] ^= 0x04
+
+	var rep Store
+	report, err := rep.ReadSnapshot(bytes.NewReader(bad), LoadOptions{Mode: LoadRepair})
+	if err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if len(report.Damaged) != 1 || report.Damaged[0] != "column block 1" {
+		t.Fatalf("damaged = %v", report.Damaged)
+	}
+	// The repaired store must not have trusted the encoded block: no
+	// segment encodings survive a repair load.
+	if rep.SegmentEncodings() != nil {
+		t.Error("repair mode kept segment encodings from a damaged snapshot")
+	}
+	// Zone maps are recomputed from the zero-filled data, not loaded: the
+	// damaged segment's zone must describe zeros, while the persisted
+	// zones (still intact in the file) describe the original values.
+	zones := rep.ZoneMaps()
+	segs := rep.Segments()
+	origZones := s.ZoneMaps()
+	for i, si := range segs {
+		if si.Rows() == 0 {
+			continue
+		}
+		z := zones[i]
+		if si.RowLo >= 7 { // rows of the damaged block
+			if z.StartMin != 0 || z.StartMax != 0 || z.WorkerMax != 0 || z.TrustMax != 0 {
+				t.Errorf("segment %d zone not recomputed from zero-fill: %+v", i, z)
+			}
+			if origZones[i].StartMax == 0 {
+				t.Errorf("fixture segment %d had no nonzero data to lose", i)
+			}
+		} else if z.StartMax == 0 {
+			t.Errorf("undamaged segment %d zone lost its data: %+v", i, z)
+		}
+	}
+	// Pruning on the recomputed zones must reflect repaired reality: a
+	// query over the original time range of the damaged segment finds
+	// nothing there.
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("repaired store invalid: %v", err)
+	}
+}
+
 // TestSnapshotRepairTruncated: a snapshot cut mid-block strict-fails but
 // repairs into a structurally valid store with the tail zero-filled.
 func TestSnapshotRepairTruncated(t *testing.T) {
 	s := fixtureStore(t)
 	raw := snapshotV3(t, s)
 	secs := parseSections(t, raw)
-	block1 := findSection(t, secs, secBlock, 1)
+	block1 := findSection(t, secs, secEncBlock, 1)
 	cut := raw[:block1.payloadOff+4]
 
 	var strict Store
@@ -381,20 +442,21 @@ func TestSnapshotStrictLeavesStoreUntouched(t *testing.T) {
 }
 
 // TestSnapshotLoadWorkersInvariant: the loaded store is identical for
-// every decode worker count.
+// every decode worker count, on both the varint and encoded block paths.
 func TestSnapshotLoadWorkersInvariant(t *testing.T) {
-	s := randomStore(99, 30, 60)
-	raw := snapshotV3(t, s)
-	var ref Store
-	if _, err := ref.ReadSnapshot(bytes.NewReader(raw), LoadOptions{Workers: 1}); err != nil {
-		t.Fatal(err)
-	}
-	for _, w := range []int{2, 3, 8, 0} {
-		var got Store
-		if _, err := got.ReadSnapshot(bytes.NewReader(raw), LoadOptions{Workers: w}); err != nil {
-			t.Fatalf("workers=%d: %v", w, err)
+	for _, s := range []*Store{randomStore(99, 30, 60), randomSegmentedStore(99)} {
+		raw := snapshotV3(t, s)
+		var ref Store
+		if _, err := ref.ReadSnapshot(bytes.NewReader(raw), LoadOptions{Workers: 1}); err != nil {
+			t.Fatal(err)
 		}
-		compareStores(t, &ref, &got, false)
+		for _, w := range []int{2, 3, 8, 0} {
+			var got Store
+			if _, err := got.ReadSnapshot(bytes.NewReader(raw), LoadOptions{Workers: w}); err != nil {
+				t.Fatalf("workers=%d: %v", w, err)
+			}
+			compareStores(t, &ref, &got, false)
+		}
 	}
 }
 

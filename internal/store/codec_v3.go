@@ -22,6 +22,7 @@ const (
 	secRanges     byte = 0x04
 	secBlock      byte = 0x05
 	secZones      byte = 0x06
+	secEncBlock   byte = 0x07
 )
 
 // metaFlagProvenance marks a provenance section between meta and the
@@ -29,9 +30,17 @@ const (
 // batch ranges and the column blocks. Both are optional: v3 snapshots
 // written before a flag existed simply lack the bit, and stores loaded
 // from them recompute zone maps lazily.
+//
+// metaFlagEncoded marks that the column blocks are encoded-column blocks
+// (secEncBlock, one per non-empty segment, holding the segment's RLE/
+// dictionary/FOR-packed columns verbatim — see colenc.go) instead of the
+// original varint blocks. Flag-less v3 snapshots keep loading through the
+// varint path; segmented stores write the encoded form by default, and
+// WriteOptions.Uncompressed restores the old layout.
 const (
 	metaFlagProvenance = 1 << 0
 	metaFlagZoneMaps   = 1 << 1
+	metaFlagEncoded    = 1 << 2
 )
 
 // blockTargetRows caps how many rows one column block holds. Blocks align
@@ -51,6 +60,11 @@ const maxToolLen = 1 << 10
 // maxBlockWave bounds how many column blocks are buffered per decode or
 // encode wave; together with blockTargetRows it caps codec scratch memory.
 const maxBlockWave = 32
+
+// blockWaveBytes additionally bounds one encoded-block wave by payload
+// bytes: encoded blocks are per-segment (they cannot split a packed
+// array), so at full scale a count-only cap would buffer too much.
+const blockWaveBytes = 64 << 20
 
 // repairMaxFillRows caps how many missing tail rows repair mode will
 // zero-fill (~170MB of columns): a real truncation within this bound
@@ -143,7 +157,35 @@ func (s *Store) WriteSnapshot(w io.Writer, opts WriteOptions) (int64, error) {
 	binary.LittleEndian.PutUint32(hdr[4:8], snapshotVersion)
 	cw.Write(hdr[:])
 
-	spans := s.blockSpans()
+	// Segmented stores default to encoded column blocks: the sealed-in
+	// per-segment encodings (computed here once for stores loaded from
+	// pre-compression snapshots) are persisted verbatim. Unsegmented
+	// stores, Uncompressed writes, and stores with a segment too large
+	// for the per-block row cap use the varint block layout instead.
+	useEnc := !opts.Uncompressed && len(s.segs) > 0
+	for _, si := range s.segs {
+		if si.Rows() > encBlockMaxRows {
+			useEnc = false
+		}
+	}
+	var encs []SegmentEnc
+	var encIdx []int
+	var spans [][2]int
+	if useEnc {
+		encs = s.Encodings()
+		for i := range s.segs {
+			if s.segs[i].Rows() > 0 {
+				encIdx = append(encIdx, i)
+			}
+		}
+	} else {
+		s.ensure(colMaskAll)
+		spans = s.blockSpans()
+	}
+	nblocks := len(spans)
+	if useEnc {
+		nblocks = len(encIdx)
+	}
 
 	// Zone maps persist only for explicitly segmented stores (the layout
 	// the maps are keyed by); sealed-in zones are reused, otherwise they
@@ -157,13 +199,16 @@ func (s *Store) WriteSnapshot(w io.Writer, opts WriteOptions) (int64, error) {
 	putUvarint(&payload, uint64(s.Len()))
 	putUvarint(&payload, uint64(len(s.ranges)))
 	putUvarint(&payload, uint64(len(s.segs)))
-	putUvarint(&payload, uint64(len(spans)))
+	putUvarint(&payload, uint64(nblocks))
 	flags := uint64(0)
 	if opts.Provenance != nil {
 		flags |= metaFlagProvenance
 	}
 	if len(zones) > 0 {
 		flags |= metaFlagZoneMaps
+	}
+	if useEnc {
+		flags |= metaFlagEncoded
 	}
 	putUvarint(&payload, flags)
 	writeSection(cw, secMeta, payload.Bytes())
@@ -206,19 +251,44 @@ func (s *Store) WriteSnapshot(w io.Writer, opts WriteOptions) (int64, error) {
 	// Column blocks: encoded wave by wave into reused per-slot buffers
 	// (the scratch bound) in parallel, then written sequentially in block
 	// order — byte-identical output for any worker count, since block
-	// boundaries are fixed by the data.
-	wave := min(min(workers, maxBlockWave), len(spans))
-	bufs := make([]bytes.Buffer, wave)
-	for b := 0; b < len(spans); b += wave {
-		k := min(wave, len(spans)-b)
-		par.EachShard(k, workers, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				bufs[i].Reset()
-				encodeBlock(&bufs[i], s, spans[b+i][0], spans[b+i][1])
+	// boundaries and wave grouping are fixed by the data.
+	if useEnc {
+		bufs := make([]bytes.Buffer, min(maxBlockWave, len(encIdx)))
+		for b := 0; b < len(encIdx); {
+			k, waveBytes := 0, int64(0)
+			for b+k < len(encIdx) && k < len(bufs) {
+				sz := encs[encIdx[b+k]].encodedPayloadBytes()
+				if k > 0 && waveBytes+sz > blockWaveBytes {
+					break
+				}
+				waveBytes += sz
+				k++
 			}
-		})
-		for i := 0; i < k; i++ {
-			writeSection(cw, secBlock, bufs[i].Bytes())
+			par.EachShard(k, workers, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					bufs[i].Reset()
+					serializeEncBlock(&bufs[i], &encs[encIdx[b+i]])
+				}
+			})
+			for i := 0; i < k; i++ {
+				writeSection(cw, secEncBlock, bufs[i].Bytes())
+			}
+			b += k
+		}
+	} else {
+		wave := min(min(workers, maxBlockWave), len(spans))
+		bufs := make([]bytes.Buffer, wave)
+		for b := 0; b < len(spans); b += wave {
+			k := min(wave, len(spans)-b)
+			par.EachShard(k, workers, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					bufs[i].Reset()
+					encodeBlock(&bufs[i], s, spans[b+i][0], spans[b+i][1])
+				}
+			})
+			for i := 0; i < k; i++ {
+				writeSection(cw, secBlock, bufs[i].Bytes())
+			}
 		}
 	}
 	if err := bw.Flush(); err != nil && cw.err == nil {
@@ -428,7 +498,7 @@ func readV3(cr *countingReader, opts LoadOptions, rep *LoadReport) (*Store, erro
 		return nil, sectionErr("batch ranges", err)
 	}
 
-	st := &Store{ranges: ranges, segs: segs}
+	st := &Store{ranges: ranges, segs: segs, fill: &fillState{}}
 
 	if flags&metaFlagZoneMaps != 0 {
 		payload, err = readSection(cr, secZones, "zone maps", &scratch)
@@ -455,6 +525,20 @@ func readV3(cr *countingReader, opts LoadOptions, rep *LoadReport) (*Store, erro
 	}
 
 	var damagedSpans [][2]int
+
+	if flags&metaFlagEncoded != 0 {
+		// Encoded column blocks: one per non-empty segment, holding the
+		// segment's column encodings verbatim.
+		if len(segs) == 0 && n > 0 {
+			return nil, sectionErr("meta", fmt.Errorf("%w: encoded blocks without a segment table", ErrCorrupt))
+		}
+		if err := readEncodedBlocks(cr, st, int(n), int(nblocks), workers, repair, rep, &damagedSpans); err != nil {
+			return nil, err
+		}
+		st.rows = int(n)
+		rebuildBatchSpans(st, damagedSpans)
+		return st, nil
+	}
 
 	// Column blocks: read one wave of payloads sequentially (into reused
 	// buffers — the scratch bound), then decode the wave in parallel; each
@@ -554,9 +638,15 @@ func readV3(cr *countingReader, opts LoadOptions, rep *LoadReport) (*Store, erro
 		}
 	}
 
-	// Zero-filled spans carry batch ID zero, which would break the
-	// range-partition invariant; rebuild their batch column from the
-	// range table so the repaired store still validates.
+	st.rows = int(n)
+	rebuildBatchSpans(st, damagedSpans)
+	return st, nil
+}
+
+// rebuildBatchSpans repairs the batch column over zero-filled spans:
+// zeroed rows carry batch ID zero, which would break the range-partition
+// invariant, so their batch IDs are rebuilt from the range table.
+func rebuildBatchSpans(st *Store, damagedSpans [][2]int) {
 	for _, sp := range damagedSpans {
 		for b, rr := range st.ranges {
 			lo, hi := max(int(rr.Lo), sp[0]), min(int(rr.Hi), sp[1])
@@ -565,7 +655,6 @@ func readV3(cr *countingReader, opts LoadOptions, rep *LoadReport) (*Store, erro
 			}
 		}
 	}
-	return st, nil
 }
 
 // growColumns extends every column array to n rows (zero-filled).

@@ -1,0 +1,356 @@
+package store
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"crowdscope/internal/model"
+	"crowdscope/internal/rng"
+)
+
+// randomSegmentedStore builds a random multi-segment store whose columns
+// exercise every encoding: sorted batches (RLE), tiny task-type domains
+// (dict), clustered starts (FOR), repeated answers (short-run RLE), and
+// quantized or continuous trust values.
+func randomSegmentedStore(seed uint64) *Store {
+	r := rng.New(seed)
+	numSegs := 1 + int(r.Uint64n(4))
+	batchesPerSeg := 1 + int(r.Uint64n(4))
+	nb := numSegs * batchesPerSeg
+	quantTrust := r.Uint64n(2) == 0
+	segs := make([]*Segment, 0, numSegs)
+	for k := 0; k < numSegs; k++ {
+		lo, hi := uint32(k*batchesPerSeg), uint32((k+1)*batchesPerSeg)
+		b := NewBuilder(lo, hi)
+		base := model.Epoch.Unix() + int64(k)*1000000
+		for batch := lo; batch < hi; batch++ {
+			b.BeginBatch(batch)
+			rows := int(r.Uint64n(120))
+			answer := uint32(r.Uint64n(1 << 30))
+			for i := 0; i < rows; i++ {
+				if r.Uint64n(3) == 0 {
+					answer = uint32(r.Uint64n(1 << 30)) // runs of ~3
+				}
+				start := base + int64(r.Uint64n(500000))
+				trust := float32(r.Float64())
+				if quantTrust {
+					trust = float32(r.Uint64n(16)) / 16
+				}
+				b.Append(model.Instance{
+					Batch:    batch,
+					TaskType: uint32(r.Uint64n(6)),
+					Item:     uint32(r.Uint64n(200)),
+					Worker:   uint32(r.Uint64n(5000)),
+					Start:    start,
+					End:      start + int64(r.Uint64n(4000)),
+					Trust:    trust,
+					Answer:   answer,
+				})
+			}
+		}
+		segs = append(segs, b.Seal())
+	}
+	s, err := Assemble(nb, segs)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// TestPropertyEncodedRoundTrip: for random stores, every sealed segment
+// encoding decodes bit-identically back to the raw columns it was built
+// from — per column, including the float32 trust patterns.
+func TestPropertyEncodedRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := randomSegmentedStore(seed)
+		encs := s.Encodings()
+		for i, si := range s.Segments() {
+			e := &encs[i]
+			n := si.Rows()
+			if e.Rows != n {
+				return false
+			}
+			if n == 0 {
+				continue
+			}
+			u32 := make([]uint32, n)
+			for _, c := range []struct {
+				enc *EncodedU32
+				raw []uint32
+			}{
+				{&e.Batch, s.batch[si.RowLo:si.RowHi]},
+				{&e.TaskType, s.taskType[si.RowLo:si.RowHi]},
+				{&e.Item, s.item[si.RowLo:si.RowHi]},
+				{&e.Worker, s.worker[si.RowLo:si.RowHi]},
+				{&e.Answer, s.answer[si.RowLo:si.RowHi]},
+			} {
+				c.enc.DecodeInto(u32)
+				for j := range c.raw {
+					if u32[j] != c.raw[j] || c.enc.Value(j) != c.raw[j] {
+						return false
+					}
+				}
+			}
+			i64 := make([]int64, n)
+			e.Start.DecodeInto(i64)
+			for j, want := range s.start[si.RowLo:si.RowHi] {
+				if i64[j] != want {
+					return false
+				}
+			}
+			e.EndOff.DecodeInto(i64)
+			for j := si.RowLo; j < si.RowHi; j++ {
+				if s.start[j]+i64[j-si.RowLo] != s.end[j] {
+					return false
+				}
+			}
+			f32 := make([]float32, n)
+			e.Trust.DecodeInto(f32)
+			for j, want := range s.trust[si.RowLo:si.RowHi] {
+				if math.Float32bits(f32[j]) != math.Float32bits(want) {
+					return false
+				}
+			}
+			if err := e.validate(n); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyEncodedBlockSerializeRoundTrip: serializing a sealed
+// segment encoding and decoding the payload reproduces the same column
+// values, and the decoder accepts exactly what the writer emits.
+func TestPropertyEncodedBlockSerializeRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := randomSegmentedStore(seed)
+		encs := s.Encodings()
+		for i, si := range s.Segments() {
+			if si.Rows() == 0 {
+				continue
+			}
+			var buf bytes.Buffer
+			serializeEncBlock(&buf, &encs[i])
+			back, err := decodeEncBlock(buf.Bytes(), si.Rows())
+			if err != nil {
+				t.Logf("decode: %v", err)
+				return false
+			}
+			n := si.Rows()
+			for j := 0; j < n; j++ {
+				row := si.RowLo + j
+				if back.Batch.Value(j) != s.batch[row] || back.TaskType.Value(j) != s.taskType[row] ||
+					back.Item.Value(j) != s.item[row] || back.Worker.Value(j) != s.worker[row] ||
+					back.Answer.Value(j) != s.answer[row] ||
+					back.Start.Value(j) != s.start[row] ||
+					back.Start.Value(j)+back.EndOff.Value(j) != s.end[row] ||
+					math.Float32bits(back.Trust.Value(j)) != math.Float32bits(s.trust[row]) {
+					return false
+				}
+			}
+			// Re-serializing the decoded form is byte-identical: the
+			// decoder only accepts the canonical encoding.
+			var again bytes.Buffer
+			serializeEncBlock(&again, &back)
+			if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAppendAfterEncodedLoad: direct mutation of a store loaded from a
+// compressed snapshot must materialize first — an Append extends the
+// loaded rows instead of silently orphaning them (regression: Append
+// lacked BeginBatch's degrade-to-raw guard and reset a 450-row store to
+// one row).
+func TestAppendAfterEncodedLoad(t *testing.T) {
+	s := randomSegmentedStore(5)
+	if s.Len() == 0 {
+		t.Fatal("fixture store empty")
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var loaded Store
+	if _, err := loaded.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	n := loaded.Len()
+	lastBatch := s.Batches()[n-1]
+	in := s.Row(n - 1)
+	in.Batch = lastBatch
+	loaded.Append(in)
+	if loaded.Len() != n+1 {
+		t.Fatalf("Len after append = %d, want %d", loaded.Len(), n+1)
+	}
+	for i := 0; i < n; i++ {
+		if loaded.Row(i) != s.Row(i) {
+			t.Fatalf("row %d lost after append: %+v vs %+v", i, loaded.Row(i), s.Row(i))
+		}
+	}
+	if loaded.Row(n) != in {
+		t.Fatalf("appended row = %+v, want %+v", loaded.Row(n), in)
+	}
+	if err := loaded.Validate(); err != nil {
+		t.Fatalf("store invalid after append: %v", err)
+	}
+}
+
+// TestEncodeChooser pins the encoding each column shape should get.
+func TestEncodeChooser(t *testing.T) {
+	n := 4096
+	sorted := make([]uint32, n)   // long runs -> RLE
+	smallDom := make([]uint32, n) // 6 distinct values -> dict
+	clustered := make([]uint32, n)
+	random := make([]uint32, n)
+	r := rng.New(7)
+	for i := range sorted {
+		sorted[i] = uint32(i / 128)
+		smallDom[i] = uint32(r.Uint64n(6))
+		clustered[i] = 1_000_000 + uint32(r.Uint64n(2000))
+		random[i] = uint32(r.Uint64())
+	}
+	if e := encodeU32Column(sorted); e.Code != CodeRLE {
+		t.Errorf("sorted column encoded as %d, want RLE", e.Code)
+	}
+	if e := encodeU32Column(smallDom); e.Code != CodeDict {
+		t.Errorf("small-domain column encoded as %d, want dict", e.Code)
+	} else if len(e.Dict) != 6 || e.Width != 3 {
+		t.Errorf("dict shape: %d entries width %d", len(e.Dict), e.Width)
+	}
+	if e := encodeU32Column(clustered); e.Code != CodeFOR {
+		t.Errorf("clustered column encoded as %d, want FOR", e.Code)
+	} else if e.Ref != 1_000_000 || e.Width != 11 {
+		t.Errorf("FOR shape: ref %d width %d", e.Ref, e.Width)
+	}
+	if e := encodeU32Column(random); e.Code != CodeFOR && e.Code != CodeRaw {
+		t.Errorf("random column encoded as %d", e.Code)
+	}
+
+	constant := make([]uint32, n)
+	for i := range constant {
+		constant[i] = 42
+	}
+	e := encodeU32Column(constant)
+	if e.Code == CodeFOR && (e.Width != 0 || e.Ref != 42) {
+		t.Errorf("constant FOR shape: ref %d width %d", e.Ref, e.Width)
+	}
+	if e.Value(17) != 42 {
+		t.Errorf("constant Value = %d", e.Value(17))
+	}
+
+	starts := make([]int64, n)
+	base := model.Epoch.Unix()
+	for i := range starts {
+		starts[i] = base + int64(i)*37
+	}
+	if e := encodeI64Column(starts); e.Code != CodeFOR {
+		t.Errorf("timestamps encoded as %d, want FOR", e.Code)
+	}
+}
+
+// TestRunIndex checks the RLE run binary search on the boundaries.
+func TestRunIndex(t *testing.T) {
+	e := EncodedU32{Code: CodeRLE, N: 10,
+		RunVals: []uint32{5, 9, 5}, RunEnds: []uint32{3, 7, 10}}
+	wants := []uint32{5, 5, 5, 9, 9, 9, 9, 5, 5, 5}
+	for i, want := range wants {
+		if got := e.Value(i); got != want {
+			t.Errorf("Value(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// FuzzDecodeColumnBlock drives the encoded-block reader with arbitrary
+// bytes. The committed corpus under testdata/fuzz/FuzzDecodeColumnBlock
+// (regenerated with -update-fixtures) holds valid block payloads of every
+// encoding plus truncated and bit-flipped variants. The invariants:
+// decoding never panics, never allocates beyond a small multiple of the
+// input (forged run counts, bit widths and dictionary sizes are bounded
+// against the payload before allocation, and row counts are capped), and
+// anything that decodes is in canonical form — re-serializing it
+// reproduces the accepted payload byte-for-byte.
+func FuzzDecodeColumnBlock(f *testing.F) {
+	s := fixtureStore(f)
+	for i, si := range s.Segments() {
+		if si.Rows() == 0 {
+			continue
+		}
+		var buf bytes.Buffer
+		serializeEncBlock(&buf, &s.Encodings()[i])
+		f.Add(buf.Bytes())
+		f.Add(buf.Bytes()[:buf.Len()/2])
+		flip := append([]byte(nil), buf.Bytes()...)
+		flip[buf.Len()/3] ^= 0x20
+		f.Add(flip)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("not a block"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sr := &sliceReader{buf: data}
+		claimed, err := getUvarint(sr)
+		if err != nil {
+			claimed = 0
+		}
+		rows := int(min(claimed, encBlockMaxRows))
+		enc, err := decodeEncBlock(data, rows)
+		if err != nil {
+			return
+		}
+		if err := enc.validate(rows); err != nil {
+			t.Fatalf("decoded block fails validate: %v", err)
+		}
+		// Decoded values must be safe to read everywhere.
+		for _, i := range []int{0, rows / 2, rows - 1} {
+			if i < 0 || i >= rows {
+				continue
+			}
+			enc.Batch.Value(i)
+			enc.Start.Value(i)
+			enc.EndOff.Value(i)
+			enc.Trust.Value(i)
+		}
+		var again bytes.Buffer
+		serializeEncBlock(&again, &enc)
+		if !bytes.Equal(data, again.Bytes()) {
+			// The only tolerated difference is a non-minimal uvarint in
+			// the original input; re-decoding must at least be idempotent.
+			back, err := decodeEncBlock(again.Bytes(), rows)
+			if err != nil {
+				t.Fatalf("re-decode of re-serialized block failed: %v", err)
+			}
+			var third bytes.Buffer
+			serializeEncBlock(&third, &back)
+			if !bytes.Equal(again.Bytes(), third.Bytes()) {
+				t.Fatal("re-serialization is not idempotent")
+			}
+		}
+	})
+}
+
+// TestFuzzCorpusCommitted guards against the committed corpus being
+// silently dropped: the fuzz smoke tier in CI is only as good as the
+// seeds it starts from.
+func TestFuzzCorpusCommitted(t *testing.T) {
+	for _, dir := range []string{"FuzzReadFrom", "FuzzDecodeColumnBlock"} {
+		entries, err := os.ReadDir(filepath.Join("testdata", "fuzz", dir))
+		if err != nil || len(entries) == 0 {
+			t.Errorf("committed fuzz corpus %s missing (regenerate with -update-fixtures): %v", dir, err)
+		}
+	}
+}

@@ -30,6 +30,11 @@ type Segment struct {
 
 	// zone summarizes the segment's column values; computed by Seal.
 	zone ZoneMap
+
+	// enc is the segment's encoded column form; computed by Seal and
+	// carried into the assembled store for scan-on-encoded execution and
+	// compressed snapshots.
+	enc SegmentEnc
 }
 
 // Len returns the number of rows in the segment.
@@ -115,7 +120,8 @@ func (b *Builder) Append(in model.Instance) {
 func (b *Builder) Len() int { return b.seg.Len() }
 
 // Seal freezes the builder's rows into an immutable Segment, computing
-// its zone map. The builder must not be used afterwards.
+// its zone map and column encodings. The builder must not be used
+// afterwards.
 func (b *Builder) Seal() *Segment {
 	if b.sealed {
 		panic("store: Seal on sealed builder")
@@ -123,8 +129,12 @@ func (b *Builder) Seal() *Segment {
 	b.sealed = true
 	g := b.seg
 	g.zone = computeZoneMap(g.taskType, g.item, g.worker, g.answer, g.start, g.end, g.trust, 0, g.Len())
+	g.enc = encodeSegmentColumns(g.batch, g.taskType, g.item, g.worker, g.answer, g.start, g.end, g.trust)
 	return g
 }
+
+// Enc returns the segment's encoded column form (computed at Seal).
+func (g *Segment) Enc() *SegmentEnc { return &g.enc }
 
 // SegmentInfo describes one sealed segment's position inside an assembled
 // store: its row span and the batch-ID interval it covers.
@@ -163,6 +173,7 @@ func Assemble(numBatches int, segs []*Segment) (*Store, error) {
 	}
 
 	s := New(numBatches)
+	s.rows = total
 	s.batch = make([]uint32, total)
 	s.taskType = make([]uint32, total)
 	s.item = make([]uint32, total)
@@ -173,12 +184,14 @@ func Assemble(numBatches int, segs []*Segment) (*Store, error) {
 	s.answer = make([]uint32, total)
 	s.segs = make([]SegmentInfo, len(segs))
 	s.zones = make([]ZoneMap, len(segs))
+	s.encs = make([]SegmentEnc, len(segs))
 
 	var wg sync.WaitGroup
 	off := 0
 	for i, g := range segs {
 		s.segs[i] = SegmentInfo{RowLo: off, RowHi: off + g.Len(), BatchLo: g.batchLo, BatchHi: g.batchHi}
 		s.zones[i] = g.zone
+		s.encs[i] = g.enc
 		wg.Add(1)
 		go func(g *Segment, off int) {
 			defer wg.Done()

@@ -9,12 +9,22 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"crowdscope/internal/model"
+	"crowdscope/internal/par"
 )
 
 // Store is the columnar instance log. Rows are ordered by batch: all
 // instances of a batch are contiguous, recorded in Ranges.
+//
+// A store carries its rows in up to two forms: the flat raw column
+// arrays below, and per-segment lightweight encodings (see colenc.go).
+// Stores built by Assemble hold both; stores loaded from a compressed v3
+// snapshot arrive encoded-only and materialize raw columns lazily, one
+// column at a time, on first accessor use. The query engine scans the
+// encoded form directly, so count-style queries over a loaded snapshot
+// never pay for materialization.
 type Store struct {
 	batch    []uint32
 	taskType []uint32
@@ -24,6 +34,10 @@ type Store struct {
 	end      []int64
 	trust    []float32
 	answer   []uint32
+
+	// rows is the authoritative row count; with lazy materialization the
+	// raw arrays above may be shorter (nil) than the store is long.
+	rows int
 
 	// ranges[batchID] is the [lo,hi) row range of a batch; batches with
 	// no materialized instances have lo == hi.
@@ -40,26 +54,266 @@ type Store struct {
 	// ZoneMaps); nil until then.
 	zones []ZoneMap
 
+	// encs holds one column encoding per segment when known (sealed in at
+	// Builder.Seal and carried through Assemble, or loaded from a
+	// compressed v3 snapshot); nil when the store is raw-only.
+	encs []SegmentEnc
+
 	workerIndex map[uint32][]int32 // lazy posting lists, built on demand
+
+	// fill guards the store's lazy fills: raw-column materialization,
+	// zone maps, segment encodings. It sits behind a pointer because the
+	// Store itself is installed by value in ReadSnapshot (a contained
+	// mutex would outlaw that); every constructor allocates one, and
+	// copies share it. Zero-value stores (no constructor) fall back to a
+	// package-level mutex — they can carry no encodings, so the fallback
+	// only ever guards a lazy zone-map fill.
+	fill *fillState
+}
+
+type fillState struct{ mu sync.Mutex }
+
+// zeroStoreFillMu serves stores built without a constructor.
+var zeroStoreFillMu sync.Mutex
+
+// fillMutex returns the mutex guarding this store's lazy fills.
+func (s *Store) fillMutex() *sync.Mutex {
+	if s.fill != nil {
+		return &s.fill.mu
+	}
+	return &zeroStoreFillMu
 }
 
 type rowRange struct{ Lo, Hi int32 }
 
+// colMask names the raw columns a caller needs materialized.
+type colMask uint16
+
+const (
+	colMaskBatch colMask = 1 << iota
+	colMaskTaskType
+	colMaskItem
+	colMaskWorker
+	colMaskStart
+	colMaskEnd
+	colMaskTrust
+	colMaskAnswer
+
+	colMaskAll colMask = colMaskBatch | colMaskTaskType | colMaskItem |
+		colMaskWorker | colMaskStart | colMaskEnd | colMaskTrust | colMaskAnswer
+)
+
+// ensure materializes the requested raw columns from the segment
+// encodings if they are not yet resident. It is safe under concurrent
+// readers; a no-op for raw-backed stores.
+func (s *Store) ensure(mask colMask) {
+	mu := s.fillMutex()
+	mu.Lock()
+	s.ensureLocked(mask)
+	mu.Unlock()
+}
+
+// ensureLocked is ensure with the fill mutex already held.
+func (s *Store) ensureLocked(mask colMask) {
+	if len(s.encs) == 0 || s.rows == 0 {
+		return
+	}
+	if mask&colMaskEnd != 0 {
+		// End reconstructs as Start + EndOff.
+		mask |= colMaskStart
+	}
+	type fill struct {
+		m   colMask
+		run func()
+	}
+	n := s.rows
+	fills := []fill{
+		{colMaskBatch, func() { s.batch = s.decodeU32(func(e *SegmentEnc) *EncodedU32 { return &e.Batch }) }},
+		{colMaskTaskType, func() { s.taskType = s.decodeU32(func(e *SegmentEnc) *EncodedU32 { return &e.TaskType }) }},
+		{colMaskItem, func() { s.item = s.decodeU32(func(e *SegmentEnc) *EncodedU32 { return &e.Item }) }},
+		{colMaskWorker, func() { s.worker = s.decodeU32(func(e *SegmentEnc) *EncodedU32 { return &e.Worker }) }},
+		{colMaskAnswer, func() { s.answer = s.decodeU32(func(e *SegmentEnc) *EncodedU32 { return &e.Answer }) }},
+		{colMaskStart, func() {
+			dst := make([]int64, n)
+			par.EachShard(len(s.segs), 0, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					si := s.segs[i]
+					if si.Rows() > 0 {
+						s.encs[i].Start.DecodeInto(dst[si.RowLo:si.RowHi])
+					}
+				}
+			})
+			s.start = dst
+		}},
+		{colMaskTrust, func() {
+			dst := make([]float32, n)
+			par.EachShard(len(s.segs), 0, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					si := s.segs[i]
+					if si.Rows() > 0 {
+						s.encs[i].Trust.DecodeInto(dst[si.RowLo:si.RowHi])
+					}
+				}
+			})
+			s.trust = dst
+		}},
+	}
+	for _, f := range fills {
+		if mask&f.m != 0 && s.colLen(f.m) != n {
+			f.run()
+		}
+	}
+	if mask&colMaskEnd != 0 && len(s.end) != n {
+		dst := make([]int64, n)
+		starts := s.start
+		par.EachShard(len(s.segs), 0, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				si := s.segs[i]
+				if si.Rows() == 0 {
+					continue
+				}
+				s.encs[i].EndOff.DecodeInto(dst[si.RowLo:si.RowHi])
+				for r := si.RowLo; r < si.RowHi; r++ {
+					dst[r] += starts[r]
+				}
+			}
+		})
+		s.end = dst
+	}
+}
+
+// colLen returns the current length of one raw column array.
+func (s *Store) colLen(m colMask) int {
+	switch m {
+	case colMaskBatch:
+		return len(s.batch)
+	case colMaskTaskType:
+		return len(s.taskType)
+	case colMaskItem:
+		return len(s.item)
+	case colMaskWorker:
+		return len(s.worker)
+	case colMaskStart:
+		return len(s.start)
+	case colMaskEnd:
+		return len(s.end)
+	case colMaskTrust:
+		return len(s.trust)
+	case colMaskAnswer:
+		return len(s.answer)
+	}
+	return 0
+}
+
+// decodeU32 materializes one uint32 column across all segments.
+func (s *Store) decodeU32(pick func(*SegmentEnc) *EncodedU32) []uint32 {
+	dst := make([]uint32, s.rows)
+	par.EachShard(len(s.segs), 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			si := s.segs[i]
+			if si.Rows() > 0 {
+				pick(&s.encs[i]).DecodeInto(dst[si.RowLo:si.RowHi])
+			}
+		}
+	})
+	return dst
+}
+
+// SegmentEncodings returns the per-segment column encodings, or nil when
+// the store carries none (direct-append stores, pre-compression
+// snapshots). It never computes encodings; use Encodings for that.
+func (s *Store) SegmentEncodings() []SegmentEnc {
+	mu := s.fillMutex()
+	mu.Lock()
+	defer mu.Unlock()
+	return s.encs
+}
+
+// Encodings returns one SegmentEnc per explicit segment, encoding the raw
+// columns on first use for stores that predate encodings (old snapshots).
+// It returns nil for stores without an explicit segment layout.
+func (s *Store) Encodings() []SegmentEnc {
+	mu := s.fillMutex()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(s.segs) == 0 {
+		return nil
+	}
+	if len(s.encs) == len(s.segs) {
+		return s.encs
+	}
+	s.ensureLocked(colMaskAll)
+	encs := make([]SegmentEnc, len(s.segs))
+	par.EachShard(len(s.segs), 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			si := s.segs[i]
+			encs[i] = encodeSegmentColumns(
+				s.batch[si.RowLo:si.RowHi], s.taskType[si.RowLo:si.RowHi],
+				s.item[si.RowLo:si.RowHi], s.worker[si.RowLo:si.RowHi],
+				s.answer[si.RowLo:si.RowHi],
+				s.start[si.RowLo:si.RowHi], s.end[si.RowLo:si.RowHi],
+				s.trust[si.RowLo:si.RowHi])
+		}
+	})
+	s.encs = encs
+	return encs
+}
+
+// Residency reports which raw columns are currently materialized, without
+// triggering materialization. The query planner uses it to choose between
+// raw and encoded scan kernels; a stale answer only costs performance,
+// never correctness.
+type Residency struct {
+	Batch, TaskType, Item, Worker, Start, End, Trust, Answer bool
+}
+
+// Residency returns the store's current raw-column residency.
+func (s *Store) Residency() Residency {
+	mu := s.fillMutex()
+	mu.Lock()
+	defer mu.Unlock()
+	if s.rows == 0 {
+		return Residency{true, true, true, true, true, true, true, true}
+	}
+	n := s.rows
+	return Residency{
+		Batch: len(s.batch) == n, TaskType: len(s.taskType) == n,
+		Item: len(s.item) == n, Worker: len(s.worker) == n,
+		Start: len(s.start) == n, End: len(s.end) == n,
+		Trust: len(s.trust) == n, Answer: len(s.answer) == n,
+	}
+}
+
 // New returns an empty store sized for the given number of batches.
 func New(numBatches int) *Store {
-	return &Store{ranges: make([]rowRange, numBatches)}
+	return &Store{ranges: make([]rowRange, numBatches), fill: &fillState{}}
 }
 
 // Len returns the number of instance rows.
-func (s *Store) Len() int { return len(s.start) }
+func (s *Store) Len() int { return s.rows }
 
 // NumBatches returns the size of the batch range table.
 func (s *Store) NumBatches() int { return len(s.ranges) }
 
+// degradeToRaw prepares an encoded store for direct mutation: every raw
+// column is materialized and the encodings dropped, so appends cannot
+// silently orphan encoded rows. Mutators require exclusive access (like
+// every other Store mutation), which makes the unlocked check safe and
+// keeps the hot append path lock-free for raw-backed stores.
+func (s *Store) degradeToRaw() {
+	if len(s.encs) > 0 {
+		s.ensure(colMaskAll)
+		s.encs = nil
+	}
+}
+
 // BeginBatch marks the start of batchID's rows; all Append calls until the
 // next BeginBatch belong to it. Batches must be appended in ascending
-// row order (any batch ID order is fine).
+// row order (any batch ID order is fine). Direct mutation degrades an
+// encoded store to the raw monolithic view: columns are materialized and
+// the segment layout, zones and encodings are dropped.
 func (s *Store) BeginBatch(batchID uint32) {
+	s.degradeToRaw()
 	if int(batchID) >= len(s.ranges) {
 		// Grow the range table; batch IDs are dense in practice.
 		grown := make([]rowRange, batchID+1)
@@ -70,10 +324,12 @@ func (s *Store) BeginBatch(batchID uint32) {
 	s.ranges[batchID] = rowRange{Lo: n, Hi: n}
 	s.segs = nil
 	s.zones = nil
+	s.encs = nil
 }
 
 // Append adds one instance row to the currently open batch.
 func (s *Store) Append(in model.Instance) {
+	s.degradeToRaw()
 	s.batch = append(s.batch, in.Batch)
 	s.taskType = append(s.taskType, in.TaskType)
 	s.item = append(s.item, in.Item)
@@ -82,14 +338,17 @@ func (s *Store) Append(in model.Instance) {
 	s.end = append(s.end, in.End)
 	s.trust = append(s.trust, in.Trust)
 	s.answer = append(s.answer, in.Answer)
+	s.rows = len(s.start)
 	s.ranges[in.Batch].Hi = int32(len(s.start))
 	s.workerIndex = nil
 	s.segs = nil
 	s.zones = nil
+	s.encs = nil
 }
 
 // Row materializes row i as an Instance.
 func (s *Store) Row(i int) model.Instance {
+	s.ensure(colMaskAll)
 	return model.Instance{
 		Batch:    s.batch[i],
 		TaskType: s.taskType[i],
@@ -104,31 +363,33 @@ func (s *Store) Row(i int) model.Instance {
 
 // Column accessors return the backing arrays; callers must not modify
 // them. They exist because scans over one column are the hot path of every
-// experiment.
+// experiment. On an encoded-only store (loaded from a compressed
+// snapshot) the first access to a column materializes it — that column
+// alone — from the segment encodings.
 
 // Batches returns the batch-ID column.
-func (s *Store) Batches() []uint32 { return s.batch }
+func (s *Store) Batches() []uint32 { s.ensure(colMaskBatch); return s.batch }
 
 // TaskTypes returns the task-type column.
-func (s *Store) TaskTypes() []uint32 { return s.taskType }
+func (s *Store) TaskTypes() []uint32 { s.ensure(colMaskTaskType); return s.taskType }
 
 // Items returns the item-ID column.
-func (s *Store) Items() []uint32 { return s.item }
+func (s *Store) Items() []uint32 { s.ensure(colMaskItem); return s.item }
 
 // Workers returns the worker-ID column.
-func (s *Store) Workers() []uint32 { return s.worker }
+func (s *Store) Workers() []uint32 { s.ensure(colMaskWorker); return s.worker }
 
 // Starts returns the start-time column (unix seconds).
-func (s *Store) Starts() []int64 { return s.start }
+func (s *Store) Starts() []int64 { s.ensure(colMaskStart); return s.start }
 
 // Ends returns the end-time column (unix seconds).
-func (s *Store) Ends() []int64 { return s.end }
+func (s *Store) Ends() []int64 { s.ensure(colMaskEnd); return s.end }
 
 // Trusts returns the trust-score column.
-func (s *Store) Trusts() []float32 { return s.trust }
+func (s *Store) Trusts() []float32 { s.ensure(colMaskTrust); return s.trust }
 
 // Answers returns the answer-token column.
-func (s *Store) Answers() []uint32 { return s.answer }
+func (s *Store) Answers() []uint32 { s.ensure(colMaskAnswer); return s.answer }
 
 // BatchRange returns the [lo,hi) row range of a batch.
 func (s *Store) BatchRange(batchID uint32) (lo, hi int) {
@@ -185,6 +446,7 @@ func (s *Store) EachWorker(fn func(workerID uint32, rows []int32)) {
 const workerIndexParallelMin = 1 << 16
 
 func (s *Store) buildWorkerIndex() {
+	s.ensure(colMaskWorker)
 	if s.Len() < workerIndexParallelMin {
 		idx := make(map[uint32][]int32)
 		for i, w := range s.worker {
@@ -213,10 +475,12 @@ func (s *Store) buildWorkerIndex() {
 }
 
 // Validate checks the structural invariants: ranges partition the rows
-// they cover, per-row batch IDs match their range, and end >= start.
+// they cover, per-row batch IDs match their range, and end >= start. It
+// inspects every column, so an encoded-only store materializes first.
 func (s *Store) Validate() error {
-	n := len(s.start)
-	for _, col := range []int{len(s.batch), len(s.taskType), len(s.item), len(s.worker), len(s.end), len(s.trust), len(s.answer)} {
+	s.ensure(colMaskAll)
+	n := s.rows
+	for _, col := range []int{len(s.batch), len(s.taskType), len(s.item), len(s.worker), len(s.start), len(s.end), len(s.trust), len(s.answer)} {
 		if col != n {
 			return errors.New("store: column length mismatch")
 		}
@@ -274,6 +538,19 @@ func (s *Store) Validate() error {
 		for i, z := range zones {
 			if z.Rows != segs[i].Rows() {
 				return fmt.Errorf("store: zone map %d covers %d rows, segment has %d", i, z.Rows, segs[i].Rows())
+			}
+		}
+	}
+	// Segment encodings, when present, must pair one-to-one with the
+	// segment layout and satisfy their own structural invariants.
+	if encs := s.SegmentEncodings(); len(encs) > 0 {
+		segs := s.Segments()
+		if len(encs) != len(segs) {
+			return fmt.Errorf("store: %d segment encodings for %d segments", len(encs), len(segs))
+		}
+		for i := range encs {
+			if err := encs[i].validate(segs[i].Rows()); err != nil {
+				return fmt.Errorf("store: segment %d encoding: %v", i, err)
 			}
 		}
 	}

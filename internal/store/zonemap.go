@@ -1,8 +1,6 @@
 package store
 
 import (
-	"sync"
-
 	"crowdscope/internal/par"
 )
 
@@ -43,8 +41,10 @@ type ZoneMap struct {
 }
 
 // enumSet accumulates a small sorted distinct-value set, degrading to nil
-// once it exceeds zoneEnumCap.
+// once it exceeds its cap (zoneEnumCap for zone maps, dictMaxEntries for
+// the dictionary encoder).
 type enumSet struct {
+	cap      int
 	vals     []uint32
 	overflow bool
 }
@@ -67,7 +67,7 @@ func (e *enumSet) add(v uint32) {
 	if lo < len(e.vals) && e.vals[lo] == v {
 		return
 	}
-	if len(e.vals) == zoneEnumCap {
+	if len(e.vals) == e.cap {
 		e.vals, e.overflow = nil, true
 		return
 	}
@@ -89,7 +89,7 @@ func computeZoneMap(taskType, item, worker, answer []uint32, start, end []int64,
 	z.StartMin, z.StartMax = start[lo], start[lo]
 	z.EndMin, z.EndMax = end[lo], end[lo]
 	z.TrustMin, z.TrustMax = trust[lo], trust[lo]
-	var tts, ans enumSet
+	tts, ans := enumSet{cap: zoneEnumCap}, enumSet{cap: zoneEnumCap}
 	for i := lo; i < hi; i++ {
 		z.TaskTypeMin = min(z.TaskTypeMin, taskType[i])
 		z.TaskTypeMax = max(z.TaskTypeMax, taskType[i])
@@ -115,19 +115,13 @@ func computeZoneMap(taskType, item, worker, answer []uint32, start, end []int64,
 // Zone returns the segment's zone map (computed at Seal).
 func (g *Segment) Zone() ZoneMap { return g.zone }
 
-// zoneFillMu guards the lazy zone-map fill below. Store itself stays
-// lock-free (it is installed by value in ReadSnapshot, which a contained
-// mutex would outlaw); a package-level mutex is enough because the fill
-// is a cold path — stores built by Assemble or loaded from current
-// snapshots arrive with zones sealed in.
-var zoneFillMu sync.Mutex
-
 // zoneSnapshot reads the current zones slice under the fill mutex, so
 // read-only callers (Validate) stay safe alongside a concurrent lazy
 // fill.
 func (s *Store) zoneSnapshot() []ZoneMap {
-	zoneFillMu.Lock()
-	defer zoneFillMu.Unlock()
+	mu := s.fillMutex()
+	mu.Lock()
+	defer mu.Unlock()
 	return s.zones
 }
 
@@ -142,11 +136,13 @@ func (s *Store) ZoneMaps() []ZoneMap {
 	if len(segs) == 0 {
 		return nil
 	}
-	zoneFillMu.Lock()
-	defer zoneFillMu.Unlock()
+	mu := s.fillMutex()
+	mu.Lock()
+	defer mu.Unlock()
 	if len(s.zones) == len(segs) {
 		return s.zones
 	}
+	s.ensureLocked(colMaskAll)
 	zones := make([]ZoneMap, len(segs))
 	par.EachShard(len(segs), 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {

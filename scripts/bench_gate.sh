@@ -1,0 +1,24 @@
+#!/bin/sh
+# bench_gate.sh <current.json> <baseline.json> <benchmark-name> <factor>
+#
+# Fails when the named benchmark's ns/op in current.json exceeds
+# factor × its committed baseline. One-iteration CI runs are noisy, so
+# the factor is deliberately loose: the gate catches order-of-magnitude
+# regressions (an accidental O(n^2), a dropped fast path), not percent
+# drift.
+set -eu
+current=$1
+baseline=$2
+name=$3
+factor=$4
+
+cur=$(jq -er --arg n "$name" '.[$n]' "$current") || { echo "FAIL: $name missing from $current"; exit 1; }
+base=$(jq -er --arg n "$name" '.[$n]' "$baseline") || { echo "FAIL: $name missing from $baseline"; exit 1; }
+
+awk -v c="$cur" -v b="$base" -v f="$factor" -v n="$name" 'BEGIN {
+    if (c > b * f) {
+        printf "FAIL: %s at %.0f ns/op exceeds %.1fx committed baseline %.0f ns/op\n", n, c, f, b
+        exit 1
+    }
+    printf "OK: %s at %.0f ns/op within %.1fx of baseline %.0f ns/op\n", n, c, f, b
+}'
