@@ -20,6 +20,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -45,7 +46,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Uint64("seed", 1701, "generation seed")
 	scale := fs.Float64("scale", 0.02, "instance-volume scale in (0,1]; 1.0 ≈ 27M instances")
 	workers := fs.Int("workers", 0, "generation pipeline shards (0 = GOMAXPROCS, 1 = serial); never changes the data")
-	out := fs.String("out", "marketplace.crow", "snapshot output path")
+	out := fs.String("out", "marketplace.crow", "snapshot output path (with -shards: the manifest path; shards are written alongside)")
+	shards := fs.Int("shards", 0, "split the snapshot into this many shard files plus a manifest (0 = single file)")
 	verify := fs.Bool("verify-snapshot", false, "re-open the written snapshot, strict-load it, and compare column-for-column")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -59,15 +61,34 @@ func run(args []string, stdout, stderr io.Writer) error {
 	ds := synth.Generate(cfg)
 	genDur := time.Since(t0)
 
-	f, err := os.Create(*out)
-	if err != nil {
-		return fmt.Errorf("create %s: %v", *out, err)
-	}
-	defer f.Close()
 	prov := &store.Provenance{ConfigHash: cfg.Hash(), Seed: cfg.Seed, Tool: toolVersion}
-	n, err := ds.Store.WriteSnapshot(f, store.WriteOptions{Provenance: prov, Workers: *workers})
-	if err != nil {
-		return fmt.Errorf("write snapshot: %v", err)
+	opts := store.WriteOptions{Provenance: prov, Workers: *workers}
+	var n int64
+	var man *store.Manifest
+	if *shards > 0 {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("create %s: %v", *out, err)
+		}
+		defer f.Close()
+		dir := filepath.Dir(*out)
+		stem := strings.TrimSuffix(filepath.Base(*out), ".crow")
+		man, err = ds.Store.WriteDataset(f, *shards, stem, func(name string) (io.WriteCloser, error) {
+			return os.Create(filepath.Join(dir, name))
+		}, opts)
+		if err != nil {
+			return fmt.Errorf("write dataset: %v", err)
+		}
+		n = man.TotalBytes()
+	} else {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("create %s: %v", *out, err)
+		}
+		defer f.Close()
+		if n, err = ds.Store.WriteSnapshot(f, opts); err != nil {
+			return fmt.Errorf("write snapshot: %v", err)
+		}
 	}
 
 	obs := ds.ObservedWorkers()
@@ -76,7 +97,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "  task types:   %d\n", len(ds.TaskTypes))
 	fmt.Fprintf(stdout, "  workers:      %d observed (%d generated)\n", len(obs), len(ds.Workers))
 	fmt.Fprintf(stdout, "  instances:    %d in %d segments\n", ds.Store.Len(), len(ds.Store.Segments()))
-	fmt.Fprintf(stdout, "  snapshot:     %s (%.1f MB, %.2f bytes/row, config %016x)\n", *out, float64(n)/1e6, float64(n)/float64(ds.Store.Len()), prov.ConfigHash)
+	if man != nil {
+		fmt.Fprintf(stdout, "  dataset:      %s + %d shards (%.1f MB, %.2f bytes/row, config %016x)\n", *out, len(man.Shards), float64(n)/1e6, float64(n)/float64(ds.Store.Len()), prov.ConfigHash)
+	} else {
+		fmt.Fprintf(stdout, "  snapshot:     %s (%.1f MB, %.2f bytes/row, config %016x)\n", *out, float64(n)/1e6, float64(n)/float64(ds.Store.Len()), prov.ConfigHash)
+	}
 	if stats := ds.Store.CompressionStats(); stats != nil {
 		var rawTot, encTot int64
 		parts := make([]string, 0, len(stats))
@@ -92,8 +117,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	if *verify {
 		t0 = time.Now()
-		if err := verifySnapshot(*out, ds.Store, *workers); err != nil {
-			return fmt.Errorf("verify %s: %v", *out, err)
+		var verr error
+		if man != nil {
+			verr = verifyDataset(*out, ds.Store, *workers)
+		} else {
+			verr = verifySnapshot(*out, ds.Store, *workers)
+		}
+		if verr != nil {
+			return fmt.Errorf("verify %s: %v", *out, verr)
 		}
 		fmt.Fprintf(stdout, "  verified:     strict reload matches column-for-column (%v)\n", time.Since(t0).Round(time.Millisecond))
 	}
@@ -113,6 +144,27 @@ func verifySnapshot(path string, want *store.Store, workers int) error {
 	if _, err := got.ReadSnapshot(f, store.LoadOptions{Workers: workers}); err != nil {
 		return err
 	}
+	return compareStores(&got, want)
+}
+
+// verifyDataset strict-loads every shard of the written dataset through
+// the manifest and compares the assembled store column-for-column.
+func verifyDataset(path string, want *store.Store, workers int) error {
+	d, err := store.OpenDatasetPath(path)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	got, _, err := d.LoadStore(store.LoadOptions{Workers: workers})
+	if err != nil {
+		return err
+	}
+	return compareStores(got, want)
+}
+
+// compareStores checks the reloaded store matches the written one in
+// every column, batch range and segment.
+func compareStores(got, want *store.Store) error {
 	if got.Len() != want.Len() || got.NumBatches() != want.NumBatches() {
 		return fmt.Errorf("shape mismatch: %d rows/%d batches, wrote %d/%d", got.Len(), got.NumBatches(), want.Len(), want.NumBatches())
 	}

@@ -104,17 +104,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown -sort %q (want key or count)", *sortS)
 	}
 
-	st, source, err := openStore(*snapshotPath, *seed, *scale, *workers)
+	st, ds, source, err := openSource(*snapshotPath, *seed, *scale, *workers)
 	if err != nil {
 		return err
 	}
 
-	res, err := query.Run(st, q)
+	var res *query.Result
+	var totalRows int
+	if ds != nil {
+		defer ds.Close()
+		totalRows = ds.Manifest().TotalRows()
+		res, err = query.RunDataset(ds, q)
+	} else {
+		totalRows = st.Len()
+		res, err = query.Run(st, q)
+	}
 	if err != nil {
 		return err
 	}
 
-	fmt.Fprintf(stdout, "source: %s (%d rows, %d segments)\n", source, st.Len(), res.Stats.Segments)
+	fmt.Fprintf(stdout, "source: %s (%d rows, %d segments)\n", source, totalRows, res.Stats.Segments)
 	fmt.Fprintf(stdout, "query:  %s\n", describe(&q))
 	groups := append([]query.Group(nil), res.Groups...)
 	if *sortS == "count" {
@@ -122,31 +131,47 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	renderGroups(stdout, &q, groups, *top)
 	pct := 100.0
-	if st.Len() > 0 {
-		pct = 100 * float64(res.Stats.RowsScanned) / float64(st.Len())
+	if totalRows > 0 {
+		pct = 100 * float64(res.Stats.RowsScanned) / float64(totalRows)
 	}
 	fmt.Fprintf(stdout, "scanned %d of %d rows (%.1f%%; %d of %d segments zone-map-pruned), matched %d in %d groups\n",
-		res.Stats.RowsScanned, st.Len(), pct, res.Stats.SegmentsPruned, res.Stats.Segments, res.Stats.RowsMatched, len(res.Groups))
+		res.Stats.RowsScanned, totalRows, pct, res.Stats.SegmentsPruned, res.Stats.Segments, res.Stats.RowsMatched, len(res.Groups))
 	return nil
 }
 
-// openStore loads the snapshot when given, otherwise generates the
-// dataset deterministically from (seed, scale).
-func openStore(path string, seed uint64, scale float64, workers int) (*store.Store, string, error) {
+// openSource opens the file at path — a snapshot or a sharded-dataset
+// manifest, told apart by magic bytes — or generates the marketplace
+// deterministically from (seed, scale) when no path is given. Exactly
+// one of the store and dataset returns is non-nil.
+func openSource(path string, seed uint64, scale float64, workers int) (*store.Store, *store.Dataset, string, error) {
 	if path == "" {
 		ds := synth.Generate(synth.Config{Seed: seed, Scale: scale, Parallelism: workers})
-		return ds.Store, fmt.Sprintf("generated seed=%d scale=%g", seed, scale), nil
+		return ds.Store, nil, fmt.Sprintf("generated seed=%d scale=%g", seed, scale), nil
 	}
-	f, err := os.Open(path)
+	kind, err := store.DetectPath(path)
 	if err != nil {
-		return nil, "", err
+		return nil, nil, "", err
 	}
-	defer f.Close()
-	var st store.Store
-	if _, err := st.ReadSnapshot(f, store.LoadOptions{Workers: workers}); err != nil {
-		return nil, "", fmt.Errorf("load snapshot %s: %v", path, err)
+	switch kind {
+	case store.KindManifest:
+		d, err := store.OpenDatasetPath(path)
+		if err != nil {
+			return nil, nil, "", fmt.Errorf("load dataset %s: %v", path, err)
+		}
+		return nil, d, path, nil
+	case store.KindSnapshot:
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		defer f.Close()
+		var st store.Store
+		if _, err := st.ReadSnapshot(f, store.LoadOptions{Workers: workers}); err != nil {
+			return nil, nil, "", fmt.Errorf("load snapshot %s: %v", path, err)
+		}
+		return &st, nil, path, nil
 	}
-	return &st, path, nil
+	return nil, nil, "", fmt.Errorf("%s: not a crowdscope snapshot or manifest", path)
 }
 
 // describe echoes the canonical form of the query actually executed —

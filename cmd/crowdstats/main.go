@@ -111,17 +111,54 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
-// loadDataset rebuilds a full dataset around a snapshot-restored instance
-// log: strict load, provenance check against the flags, then inventory
-// regeneration (synth.Rehydrate).
-func loadDataset(cfg synth.Config, path string, workers int) (*synth.Dataset, error) {
-	f, err := os.Open(path)
+// openLog loads an instance log from a snapshot file or a sharded
+// dataset manifest, told apart by magic bytes. nshards is 0 for a
+// single-file snapshot; per-shard damage flattens into Damaged with the
+// shard name prefixed.
+func openLog(path string, opts store.LoadOptions) (*store.Store, *store.LoadReport, int, error) {
+	kind, err := store.DetectPath(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, 0, err
 	}
-	defer f.Close()
-	var st store.Store
-	rep, err := st.ReadSnapshot(f, store.LoadOptions{Workers: workers})
+	switch kind {
+	case store.KindSnapshot:
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		defer f.Close()
+		var st store.Store
+		rep, err := st.ReadSnapshot(f, opts)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		return &st, rep, 0, nil
+	case store.KindManifest:
+		d, err := store.OpenDatasetPath(path)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		defer d.Close()
+		st, drep, err := d.LoadStore(opts)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		rep := &store.LoadReport{Version: 3, Bytes: drep.Bytes, Rows: drep.Rows, Provenance: drep.Provenance}
+		for _, sh := range drep.Shards {
+			for _, dmg := range sh.Damaged {
+				rep.Damaged = append(rep.Damaged, fmt.Sprintf("shard %s: %s", sh.Name, dmg))
+			}
+		}
+		return st, rep, d.NumShards(), nil
+	}
+	return nil, nil, 0, fmt.Errorf("%s: not a crowdscope snapshot or manifest", path)
+}
+
+// loadDataset rebuilds a full dataset around a snapshot-restored instance
+// log (single-file or sharded): strict load, provenance check against
+// the flags, then inventory regeneration (synth.Rehydrate).
+func loadDataset(cfg synth.Config, path string, workers int) (*synth.Dataset, error) {
+	st, rep, _, err := openLog(path, store.LoadOptions{Workers: workers})
 	if err != nil {
 		return nil, fmt.Errorf("load snapshot: %v", err)
 	}
@@ -129,7 +166,7 @@ func loadDataset(cfg synth.Config, path string, workers int) (*synth.Dataset, er
 		return nil, fmt.Errorf("snapshot %s was written by %q under config %016x, but flags give %016x (seed %d, scale %g); pass the matching -seed/-scale",
 			path, p.Tool, p.ConfigHash, cfg.Hash(), cfg.Seed, cfg.Scale)
 	}
-	return synth.Rehydrate(cfg, &st)
+	return synth.Rehydrate(cfg, st)
 }
 
 // snapshotCmd inspects an instance-log snapshot written by crowdgen. The
@@ -139,13 +176,7 @@ func snapshotCmd(path string, workers int, stdout io.Writer) error {
 	if path == "" {
 		return fmt.Errorf("snapshot requires a file path")
 	}
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	var st store.Store
-	rep, err := st.ReadSnapshot(f, store.LoadOptions{Workers: workers})
+	st, rep, nshards, err := openLog(path, store.LoadOptions{Workers: workers})
 	if err != nil {
 		return fmt.Errorf("read snapshot: %v", err)
 	}
@@ -162,7 +193,7 @@ func snapshotCmd(path string, workers int, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "Snapshot %s: v%d, %d bytes, empty store\n", path, rep.Version, rep.Bytes)
 		return nil
 	}
-	res, err := query.Run(&st, query.Query{Value: query.ValueStart, Distinct: query.ColWorker, Workers: workers})
+	res, err := query.Run(st, query.Query{Value: query.ValueStart, Distinct: query.ColWorker, Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -175,6 +206,9 @@ func snapshotCmd(path string, workers int, stdout io.Writer) error {
 	tbl.AddRow("bytes/row", float64(rep.Bytes)/float64(st.Len()))
 	tbl.AddRow("batches with rows", nonEmpty)
 	tbl.AddRow("segments", len(st.Segments()))
+	if nshards > 0 {
+		tbl.AddRow("shards", nshards)
+	}
 	tbl.AddRow("distinct workers", span.Distinct)
 	tbl.AddRow("first start week", model.WeekOfUnix(int64(span.Min)))
 	tbl.AddRow("last start week", model.WeekOfUnix(int64(span.Max)))
@@ -197,13 +231,7 @@ func verifySnapshotCmd(path string, workers int, stdout, stderr io.Writer) error
 	if path == "" {
 		return fmt.Errorf("verify-snapshot requires a file path")
 	}
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	var st store.Store
-	rep, serr := st.ReadSnapshot(f, store.LoadOptions{Workers: workers})
-	f.Close()
+	st, rep, _, serr := openLog(path, store.LoadOptions{Workers: workers})
 	if serr == nil {
 		if err := st.Validate(); err != nil {
 			return fmt.Errorf("%s: sections OK but structure invalid: %v", path, err)
@@ -219,16 +247,11 @@ func verifySnapshotCmd(path string, workers int, stdout, stderr io.Writer) error
 		return nil
 	}
 	fmt.Fprintf(stderr, "crowdstats: %s: strict load FAILED: %v\n", path, serr)
-	rf, err := os.Open(path)
-	if err == nil {
-		defer rf.Close()
-		var recovered store.Store
-		if rrep, rerr := recovered.ReadSnapshot(rf, store.LoadOptions{Mode: store.LoadRepair, Workers: workers}); rerr == nil {
-			fmt.Fprintf(stderr, "  repair mode recovers %d of %d rows; damaged sections: %v\n",
-				recovered.Len()-damagedRows(rrep, &recovered), recovered.Len(), rrep.Damaged)
-		} else {
-			fmt.Fprintf(stderr, "  repair mode also fails: %v\n", rerr)
-		}
+	if recovered, rrep, _, rerr := openLog(path, store.LoadOptions{Mode: store.LoadRepair, Workers: workers}); rerr == nil {
+		fmt.Fprintf(stderr, "  repair mode recovers %d of %d rows; damaged sections: %v\n",
+			recovered.Len()-damagedRows(rrep, recovered), recovered.Len(), rrep.Damaged)
+	} else {
+		fmt.Fprintf(stderr, "  repair mode also fails: %v\n", rerr)
 	}
 	return fmt.Errorf("%s: strict load failed", path)
 }

@@ -1,0 +1,342 @@
+// End-to-end acceptance for sharded out-of-core datasets: the selective
+// I/O budget (a narrow query reads a fraction of the dataset's bytes),
+// bit-identity between the dataset engine and the single-snapshot
+// engine, and the open/query benchmarks the CI gate pins.
+package crowdscope_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"crowdscope/internal/model"
+	"crowdscope/internal/query"
+	"crowdscope/internal/store"
+	"crowdscope/internal/synth"
+)
+
+// shardFiles is an in-memory dataset: manifest bytes plus shard files,
+// with byte-level read accounting on every open reader.
+type shardFiles struct {
+	manifest []byte
+	files    map[string][]byte
+
+	mu        sync.Mutex
+	opened    map[string]bool
+	bytesRead atomic.Int64
+}
+
+type closingBuffer struct {
+	bytes.Buffer
+	name string
+	fs   *shardFiles
+}
+
+func (c *closingBuffer) Close() error {
+	c.fs.files[c.name] = append([]byte(nil), c.Buffer.Bytes()...)
+	return nil
+}
+
+type meteredReaderAt struct {
+	r  *bytes.Reader
+	fs *shardFiles
+}
+
+func (m *meteredReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	n, err := m.r.ReadAt(p, off)
+	m.fs.bytesRead.Add(int64(n))
+	return n, err
+}
+
+func (fs *shardFiles) open(name string) (io.ReaderAt, int64, error) {
+	data, ok := fs.files[name]
+	if !ok {
+		return nil, 0, fmt.Errorf("%s: no such shard", name)
+	}
+	fs.mu.Lock()
+	fs.opened[name] = true
+	fs.mu.Unlock()
+	return &meteredReaderAt{r: bytes.NewReader(data), fs: fs}, int64(len(data)), nil
+}
+
+func (fs *shardFiles) totalShardBytes() int64 {
+	var n int64
+	for _, data := range fs.files {
+		n += int64(len(data))
+	}
+	return n
+}
+
+func (fs *shardFiles) reset() {
+	fs.mu.Lock()
+	fs.opened = make(map[string]bool)
+	fs.mu.Unlock()
+	fs.bytesRead.Store(0)
+}
+
+// dataset returns a freshly opened Dataset over the in-memory files.
+func (fs *shardFiles) dataset(tb testing.TB) *store.Dataset {
+	tb.Helper()
+	man, _, err := store.ReadManifest(bytes.NewReader(fs.manifest))
+	if err != nil {
+		tb.Fatalf("ReadManifest: %v", err)
+	}
+	d, err := store.OpenDataset(man, fs.open)
+	if err != nil {
+		tb.Fatalf("OpenDataset: %v", err)
+	}
+	return d
+}
+
+var (
+	e2eOnce  sync.Once
+	e2eStore *store.Store // the generated 16-segment store
+	e2eSnap  []byte       // its single-file snapshot
+	e2eFS    *shardFiles  // its 8-shard dataset
+)
+
+// e2eSetup builds the shared acceptance fixture once: the scale-0.02
+// marketplace with 16 segments, its single-file snapshot, and its
+// 8-shard dataset.
+func e2eSetup(tb testing.TB) {
+	tb.Helper()
+	e2eOnce.Do(func() {
+		ds := synth.Generate(synth.Config{Seed: 1701, Scale: 0.02, Parallelism: 16})
+		e2eStore = ds.Store
+		var snap bytes.Buffer
+		if _, err := e2eStore.WriteTo(&snap); err != nil {
+			panic(err)
+		}
+		e2eSnap = snap.Bytes()
+
+		fs := &shardFiles{files: make(map[string][]byte), opened: make(map[string]bool)}
+		var man bytes.Buffer
+		_, err := e2eStore.WriteDataset(&man, 8, "market", func(name string) (io.WriteCloser, error) {
+			return &closingBuffer{name: name, fs: fs}, nil
+		}, store.WriteOptions{})
+		if err != nil {
+			panic(err)
+		}
+		fs.manifest = man.Bytes()
+		e2eFS = fs
+	})
+	e2eFS.reset()
+}
+
+// TestDatasetSelectiveReadBudget pins the tentpole's I/O contract: a
+// single-column count query over the 8-shard scale-0.02 dataset with a
+// one-week window reads less than 25% of the dataset's total bytes, and
+// shards excluded by manifest-level zone pruning are never opened.
+func TestDatasetSelectiveReadBudget(t *testing.T) {
+	e2eSetup(t)
+	d := e2eFS.dataset(t)
+	weekLo, weekHi := model.DayUnix(7*130), model.DayUnix(7*131)
+	res, err := query.RunDataset(d, query.Query{
+		Where: []query.Predicate{query.StartIn(weekLo, weekHi)},
+	})
+	if err != nil {
+		t.Fatalf("RunDataset: %v", err)
+	}
+	var wantWeek int64
+	for _, s := range e2eStore.Starts() {
+		if s >= weekLo && s < weekHi {
+			wantWeek++
+		}
+	}
+	if res.Stats.RowsMatched != wantWeek {
+		t.Fatalf("matched %d rows, naive scan %d", res.Stats.RowsMatched, wantWeek)
+	}
+
+	total := e2eFS.totalShardBytes()
+	read := e2eFS.bytesRead.Load()
+	if total == 0 || read == 0 {
+		t.Fatalf("degenerate accounting: read %d of %d", read, total)
+	}
+	if read*4 >= total {
+		t.Fatalf("one-week count read %d of %d dataset bytes (%.1f%%), budget is < 25%%",
+			read, total, 100*float64(read)/float64(total))
+	}
+	t.Logf("one-week count read %d of %d dataset bytes (%.1f%%), %d/%d shards opened",
+		read, total, 100*float64(read)/float64(total), len(e2eFS.opened), d.NumShards())
+
+	// Time-ranged sharding must let the window prune whole shards, and a
+	// pruned shard is never opened.
+	if len(e2eFS.opened) >= d.NumShards() {
+		t.Fatalf("every shard was opened; manifest pruning is not excluding any of the %d shards", d.NumShards())
+	}
+}
+
+// groupsEqual compares result groups bit-exactly (float aggregates via
+// their bit patterns, so NaN payloads and signed zeros count too).
+func groupsEqual(a, b []query.Group) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Key != y.Key || x.Count != y.Count || x.Distinct != y.Distinct {
+			return false
+		}
+		if math.Float64bits(x.Sum) != math.Float64bits(y.Sum) ||
+			math.Float64bits(x.Min) != math.Float64bits(y.Min) ||
+			math.Float64bits(x.Max) != math.Float64bits(y.Max) ||
+			math.Float64bits(x.P50) != math.Float64bits(y.P50) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDatasetQueryBitIdentity is the property test the tentpole promises:
+// for every Workers value, RunDataset over the sharded dataset produces
+// bit-identical grouped results to Run over (a) the store assembled from
+// the shards and (b) the store loaded from the single-file snapshot twin.
+func TestDatasetQueryBitIdentity(t *testing.T) {
+	e2eSetup(t)
+	weekLo, weekHi := model.DayUnix(7*128), model.DayUnix(7*134)
+
+	var twin store.Store
+	if _, err := twin.ReadFrom(bytes.NewReader(e2eSnap)); err != nil {
+		t.Fatalf("load snapshot twin: %v", err)
+	}
+	assembled, _, err := e2eFS.dataset(t).LoadStore(store.LoadOptions{})
+	if err != nil {
+		t.Fatalf("assemble dataset: %v", err)
+	}
+
+	shapes := []struct {
+		name string
+		q    query.Query
+	}{
+		{"count-week-window", query.Query{Where: []query.Predicate{query.StartIn(weekLo, weekHi)}}},
+		{"group-week-duration-p50", query.Query{
+			Where:   []query.Predicate{query.StartIn(weekLo, weekHi)},
+			GroupBy: query.GroupWeek, Value: query.ValueDuration, P50: true,
+		}},
+		{"group-worker-trust", query.Query{
+			Where:   []query.Predicate{query.TrustRange(0.5, 1.0)},
+			GroupBy: query.GroupWorker, Value: query.ValueTrust,
+		}},
+		{"group-tasktype-distinct-worker", query.Query{
+			GroupBy: query.GroupTaskType, Distinct: query.ColWorker,
+		}},
+		{"group-batch-start", query.Query{
+			Where:   []query.Predicate{query.AtLeast(query.ColBatch, 100), query.AtMost(query.ColBatch, 900)},
+			GroupBy: query.GroupBatch, Value: query.ValueStart,
+		}},
+	}
+	for _, shape := range shapes {
+		t.Run(shape.name, func(t *testing.T) {
+			var ref *query.Result
+			for _, workers := range []int{0, 1, 2, 3, 8} {
+				q := shape.q
+				q.Workers = workers
+				fromDataset, err := query.RunDataset(e2eFS.dataset(t), q)
+				if err != nil {
+					t.Fatalf("RunDataset workers=%d: %v", workers, err)
+				}
+				fromAssembled, err := query.Run(assembled, q)
+				if err != nil {
+					t.Fatalf("Run(assembled) workers=%d: %v", workers, err)
+				}
+				fromTwin, err := query.Run(&twin, q)
+				if err != nil {
+					t.Fatalf("Run(twin) workers=%d: %v", workers, err)
+				}
+				for _, pair := range []struct {
+					name string
+					res  *query.Result
+				}{{"assembled", fromAssembled}, {"twin", fromTwin}} {
+					if !groupsEqual(fromDataset.Groups, pair.res.Groups) {
+						t.Fatalf("workers=%d: dataset groups differ from %s", workers, pair.name)
+					}
+					if fromDataset.Stats.RowsMatched != pair.res.Stats.RowsMatched {
+						t.Fatalf("workers=%d: matched %d vs %s %d", workers,
+							fromDataset.Stats.RowsMatched, pair.name, pair.res.Stats.RowsMatched)
+					}
+				}
+				if ref == nil {
+					ref = fromDataset
+				} else if !groupsEqual(ref.Groups, fromDataset.Groups) {
+					t.Fatalf("workers=%d changed the dataset result", workers)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDatasetOpen compares bringing a dataset to query-readiness
+// (manifest + per-shard footer and metadata validation, no column bytes)
+// against strict-loading the equivalent single-file snapshot.
+func BenchmarkDatasetOpen(b *testing.B) {
+	e2eSetup(b)
+	b.Run("dataset", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d := e2eFS.dataset(b)
+			for s := 0; s < d.NumShards(); s++ {
+				if _, err := d.Shard(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("fullload", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var st store.Store
+			if _, err := st.ReadFrom(bytes.NewReader(e2eSnap)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDatasetQuery compares the one-week count end to end: the
+// dataset path (open manifest, prune shards, read one column of the
+// survivors, scan) against full-snapshot load plus the same query. The
+// dataset side re-opens everything per iteration, so the win is
+// selective I/O, not caching.
+func BenchmarkDatasetQuery(b *testing.B) {
+	e2eSetup(b)
+	weekLo, weekHi := model.DayUnix(7*130), model.DayUnix(7*131)
+	q := query.Query{Where: []query.Predicate{query.StartIn(weekLo, weekHi)}, Workers: 1}
+	var want int64
+	for _, s := range e2eStore.Starts() {
+		if s >= weekLo && s < weekHi {
+			want++
+		}
+	}
+	b.Run("dataset", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := query.RunDataset(e2eFS.dataset(b), q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Stats.RowsMatched != want {
+				b.Fatalf("matched %d, want %d", res.Stats.RowsMatched, want)
+			}
+		}
+	})
+	b.Run("fullload", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var st store.Store
+			if _, err := st.ReadFrom(bytes.NewReader(e2eSnap)); err != nil {
+				b.Fatal(err)
+			}
+			res, err := query.Run(&st, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Stats.RowsMatched != want {
+				b.Fatalf("matched %d, want %d", res.Stats.RowsMatched, want)
+			}
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package query
+
+import (
+	"crowdscope/internal/par"
+	"crowdscope/internal/store"
+)
+
+// colSet maps a query column to its store column-set bit.
+func colSet(c Column) store.ColumnSet {
+	switch c {
+	case ColBatch:
+		return store.ColSetBatch
+	case ColTaskType:
+		return store.ColSetTaskType
+	case ColItem:
+		return store.ColSetItem
+	case ColWorker:
+		return store.ColSetWorker
+	case ColStart:
+		return store.ColSetStart
+	case ColEnd:
+		return store.ColSetEnd
+	case ColTrust:
+		return store.ColSetTrust
+	case ColAnswer:
+		return store.ColSetAnswer
+	}
+	return 0
+}
+
+// neededColumns derives the exact column set a query touches: every
+// predicate column, the group key's backing column, the value's inputs,
+// and the distinct column. This is what makes dataset scans selective —
+// a count grouped by week with a time-window predicate reads Start and
+// nothing else.
+func neededColumns(q *Query) store.ColumnSet {
+	var need store.ColumnSet
+	for _, p := range q.Where {
+		need |= colSet(p.Col)
+	}
+	switch q.GroupBy {
+	case GroupWeek, GroupDay:
+		need |= store.ColSetStart
+	case GroupBatch:
+		need |= store.ColSetBatch
+	case GroupWorker:
+		need |= store.ColSetWorker
+	case GroupTaskType:
+		need |= store.ColSetTaskType
+	}
+	switch q.Value {
+	case ValueDuration:
+		need |= store.ColSetStart | store.ColSetEnd
+	case ValueStart:
+		need |= store.ColSetStart
+	case ValueTrust:
+		need |= store.ColSetTrust
+	}
+	if q.Distinct != ColNone {
+		need |= colSet(q.Distinct)
+	}
+	return need
+}
+
+// RunDataset executes the query against a sharded dataset without
+// assembling it: shards whose manifest zone cannot intersect the
+// predicates are never opened, surviving shards load only the columns
+// the query touches (via the shard footer index), and per-shard chunk
+// partials concatenate in shard order before the usual chunk-order
+// merge.
+//
+// Results are bit-identical to Run over the assembled store for every
+// Workers value: chunk boundaries step from each segment's RowLo, which
+// is the same relative position in a shard-local store as in the global
+// one, group keys are global (batch intervals are preserved through
+// sharding), and the merge folds the same partials in the same order.
+func RunDataset(d *store.Dataset, q Query) (*Result, error) {
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	preds := compile(q.Where)
+	man := d.Manifest()
+	res := &Result{}
+
+	// Manifest-level pruning: a shard's merged zone is a segment-shaped
+	// summary of all its rows, so the segment prune applies verbatim.
+	var keep []int
+	for i := range man.Shards {
+		si := &man.Shards[i]
+		res.Stats.Segments += si.Segments
+		shape := store.SegmentInfo{RowLo: 0, RowHi: si.Rows, BatchLo: si.BatchLo, BatchHi: si.BatchHi}
+		if si.Rows == 0 || prune(&si.Zone, shape, preds) {
+			res.Stats.SegmentsPruned += si.Segments
+			continue
+		}
+		keep = append(keep, i)
+	}
+
+	need := neededColumns(&q)
+	type shardOut struct {
+		partials []partial
+		tasks    []span
+		pruned   int
+	}
+	outs := make([]shardOut, len(keep))
+	err := par.EachShardErr(len(keep), q.Workers, func(lo, hi int) error {
+		for k := lo; k < hi; k++ {
+			sh, err := d.Shard(keep[k])
+			if err != nil {
+				return err
+			}
+			if err := sh.EnsureColumns(need); err != nil {
+				return err
+			}
+			// Scan serially inside the shard — the fan-out is across
+			// shards — and keep only the pruned count: Segments was
+			// already counted from the manifest.
+			var qs Stats
+			partials, tasks := scanStore(sh.Store(), &q, preds, 1, &qs)
+			outs[k] = shardOut{partials, tasks, qs.SegmentsPruned}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var partials []partial
+	var tasks []span
+	for k := range outs {
+		res.Stats.SegmentsPruned += outs[k].pruned
+		partials = append(partials, outs[k].partials...)
+		tasks = append(tasks, outs[k].tasks...)
+	}
+	mergeFinalize(res, &q, tasks, partials)
+	return res, nil
+}

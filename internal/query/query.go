@@ -342,20 +342,36 @@ func Run(st *store.Store, q Query) (*Result, error) {
 		return nil, err
 	}
 	preds := compile(q.Where)
+	res := &Result{}
+	partials, tasks := scanStore(st, &q, preds, q.Workers, &res.Stats)
+	mergeFinalize(res, &q, tasks, partials)
+	return res, nil
+}
+
+// span is one fixed-size scan chunk: rows [lo, hi) of segment seg. Chunk
+// boundaries step from each segment's RowLo, so they depend only on the
+// segment layout — the invariance Run's doc comment promises, and what
+// lets RunDataset concatenate per-shard chunk lists into the same global
+// chunk order the assembled store would produce.
+type span struct{ lo, hi, seg int }
+
+// scanStore plans and scans one store: zone-pruned per-segment plans,
+// chunk fan-out across the given worker count, one partial per chunk in
+// chunk order. Segments and SegmentsPruned accumulate into qs; rows
+// statistics are deferred to mergeFinalize.
+func scanStore(st *store.Store, q *Query, preds []compiled, workers int, qs *Stats) ([]partial, []span) {
 	segs := st.Segments()
 	zones := st.ZoneMaps()
 	encs := st.SegmentEncodings()
 	resd := st.Residency()
 	raw := &rawCols{st: st}
 
-	res := &Result{}
-	res.Stats.Segments = len(segs)
-	cc := &chunkCtx{q: &q, preds: preds, segs: segs, plans: make([]segPlan, len(segs))}
-	type span struct{ lo, hi, seg int }
+	qs.Segments += len(segs)
+	cc := &chunkCtx{q: q, preds: preds, segs: segs, plans: make([]segPlan, len(segs))}
 	var tasks []span
 	for i, si := range segs {
 		if si.Rows() == 0 || prune(&zones[i], si, preds) {
-			res.Stats.SegmentsPruned++
+			qs.SegmentsPruned++
 			continue
 		}
 		var enc *store.SegmentEnc
@@ -367,7 +383,7 @@ func Run(st *store.Store, q Query) (*Result, error) {
 			// Some predicate matches nothing in this segment (empty
 			// dictionary mask, FOR range outside the span): pruned without
 			// the zone test noticing.
-			res.Stats.SegmentsPruned++
+			qs.SegmentsPruned++
 			continue
 		}
 		cc.plans[i] = plan
@@ -401,13 +417,18 @@ func Run(st *store.Store, q Query) (*Result, error) {
 	}
 
 	partials := make([]partial, len(tasks))
-	par.EachShard(len(tasks), q.Workers, func(lo, hi int) {
+	par.EachShard(len(tasks), workers, func(lo, hi int) {
 		var sc scratch
 		for i := lo; i < hi; i++ {
 			partials[i] = evalChunk(cc, tasks[i].seg, tasks[i].lo, tasks[i].hi, &sc)
 		}
 	})
+	return partials, tasks
+}
 
+// mergeFinalize folds chunk partials (in chunk order) into sorted result
+// groups and accumulates the row statistics.
+func mergeFinalize(res *Result, q *Query, tasks []span, partials []partial) {
 	// Merge in chunk order: per-key accumulators fold deterministically
 	// because each key occurs at most once per chunk partial.
 	merged := make(map[int64]*acc)
@@ -456,7 +477,6 @@ func Run(st *store.Store, q Query) (*Result, error) {
 		}
 		res.Groups[i] = g
 	}
-	return res, nil
 }
 
 // Count runs a count-only, ungrouped query and returns the matching row

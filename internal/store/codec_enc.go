@@ -436,17 +436,31 @@ func writeEncF32(b *bytes.Buffer, e *EncodedF32) {
 }
 
 // serializeEncBlock writes one segment's encoded columns as a block
-// payload.
-func serializeEncBlock(b *bytes.Buffer, e *SegmentEnc) {
+// payload. It returns the base-relative split offsets the footer index
+// records: offs[0] is the end of the leading rows uvarint and disk
+// column c spans [offs[c], offs[c+1]), so offs[8] is the payload length.
+func serializeEncBlock(b *bytes.Buffer, e *SegmentEnc) [9]int {
+	var offs [9]int
+	base := b.Len()
 	putUvarint(b, uint64(e.Rows))
+	offs[0] = b.Len() - base
 	writeEncU32(b, &e.Batch)
+	offs[1] = b.Len() - base
 	writeEncU32(b, &e.TaskType)
+	offs[2] = b.Len() - base
 	writeEncU32(b, &e.Item)
+	offs[3] = b.Len() - base
 	writeEncU32(b, &e.Worker)
+	offs[4] = b.Len() - base
 	writeEncU32(b, &e.Answer)
+	offs[5] = b.Len() - base
 	writeEncI64(b, &e.Start)
+	offs[6] = b.Len() - base
 	writeEncI64(b, &e.EndOff)
+	offs[7] = b.Len() - base
 	writeEncF32(b, &e.Trust)
+	offs[8] = b.Len() - base
+	return offs
 }
 
 // --- serialized-size accounting --------------------------------------

@@ -23,6 +23,7 @@ const (
 	secBlock      byte = 0x05
 	secZones      byte = 0x06
 	secEncBlock   byte = 0x07
+	secFooter     byte = 0x08
 )
 
 // metaFlagProvenance marks a provenance section between meta and the
@@ -37,10 +38,15 @@ const (
 // original varint blocks. Flag-less v3 snapshots keep loading through the
 // varint path; segmented stores write the encoded form by default, and
 // WriteOptions.Uncompressed restores the old layout.
+// metaFlagFooter marks that the snapshot ends with a footer offset index
+// (secFooter) plus the fixed trailer — see footer.go. Encoded snapshots
+// write it unconditionally; it is what makes a shard file usable through
+// the random-access dataset reader.
 const (
 	metaFlagProvenance = 1 << 0
 	metaFlagZoneMaps   = 1 << 1
 	metaFlagEncoded    = 1 << 2
+	metaFlagFooter     = 1 << 3
 )
 
 // blockTargetRows caps how many rows one column block holds. Blocks align
@@ -195,6 +201,20 @@ func (s *Store) WriteSnapshot(w io.Writer, opts WriteOptions) (int64, error) {
 		zones = s.ZoneMaps()
 	}
 
+	// Encoded snapshots carry a footer offset index so random-access
+	// readers can fetch sections and single columns without streaming;
+	// writeIndexed records each section's extent as it goes out.
+	var foot *footerIndex
+	if useEnc {
+		foot = &footerIndex{}
+	}
+	writeIndexed := func(kind byte, p []byte) {
+		if foot != nil {
+			foot.secs = append(foot.secs, footerSec{kind: kind, off: cw.n, len: int64(len(p))})
+		}
+		writeSection(cw, kind, p)
+	}
+
 	var payload bytes.Buffer
 	putUvarint(&payload, uint64(s.Len()))
 	putUvarint(&payload, uint64(len(s.ranges)))
@@ -208,10 +228,10 @@ func (s *Store) WriteSnapshot(w io.Writer, opts WriteOptions) (int64, error) {
 		flags |= metaFlagZoneMaps
 	}
 	if useEnc {
-		flags |= metaFlagEncoded
+		flags |= metaFlagEncoded | metaFlagFooter
 	}
 	putUvarint(&payload, flags)
-	writeSection(cw, secMeta, payload.Bytes())
+	writeIndexed(secMeta, payload.Bytes())
 
 	if p := opts.Provenance; p != nil {
 		payload.Reset()
@@ -223,7 +243,7 @@ func (s *Store) WriteSnapshot(w io.Writer, opts WriteOptions) (int64, error) {
 		}
 		putUvarint(&payload, uint64(len(tool)))
 		payload.WriteString(tool)
-		writeSection(cw, secProvenance, payload.Bytes())
+		writeIndexed(secProvenance, payload.Bytes())
 	}
 
 	payload.Reset()
@@ -233,19 +253,19 @@ func (s *Store) WriteSnapshot(w io.Writer, opts WriteOptions) (int64, error) {
 		putUvarint(&payload, uint64(si.BatchLo))
 		putUvarint(&payload, uint64(si.BatchHi))
 	}
-	writeSection(cw, secSegments, payload.Bytes())
+	writeIndexed(secSegments, payload.Bytes())
 
 	payload.Reset()
 	for _, rr := range s.ranges {
 		putUvarint(&payload, uint64(rr.Lo))
 		putUvarint(&payload, uint64(rr.Hi))
 	}
-	writeSection(cw, secRanges, payload.Bytes())
+	writeIndexed(secRanges, payload.Bytes())
 
 	if len(zones) > 0 {
 		payload.Reset()
 		encodeZones(&payload, zones)
-		writeSection(cw, secZones, payload.Bytes())
+		writeIndexed(secZones, payload.Bytes())
 	}
 
 	// Column blocks: encoded wave by wave into reused per-slot buffers
@@ -254,6 +274,7 @@ func (s *Store) WriteSnapshot(w io.Writer, opts WriteOptions) (int64, error) {
 	// boundaries and wave grouping are fixed by the data.
 	if useEnc {
 		bufs := make([]bytes.Buffer, min(maxBlockWave, len(encIdx)))
+		splits := make([][9]int, len(bufs))
 		for b := 0; b < len(encIdx); {
 			k, waveBytes := 0, int64(0)
 			for b+k < len(encIdx) && k < len(bufs) {
@@ -267,14 +288,31 @@ func (s *Store) WriteSnapshot(w io.Writer, opts WriteOptions) (int64, error) {
 			par.EachShard(k, workers, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					bufs[i].Reset()
-					serializeEncBlock(&bufs[i], &encs[encIdx[b+i]])
+					splits[i] = serializeEncBlock(&bufs[i], &encs[encIdx[b+i]])
 				}
 			})
 			for i := 0; i < k; i++ {
-				writeSection(cw, secEncBlock, bufs[i].Bytes())
+				p := bufs[i].Bytes()
+				fb := footerBlock{payloadOff: cw.n + 9, rowsLen: int64(splits[i][0])}
+				for c := 0; c < 8; c++ {
+					lo, hi := splits[i][c], splits[i][c+1]
+					fb.colLen[c] = int64(hi - lo)
+					fb.colCRC[c] = crc32.ChecksumIEEE(p[lo:hi])
+				}
+				foot.blocks = append(foot.blocks, fb)
+				writeSection(cw, secEncBlock, p)
 			}
 			b += k
 		}
+		payload.Reset()
+		encodeFooter(&payload, foot)
+		footOff := cw.n
+		writeSection(cw, secFooter, payload.Bytes())
+		var tr [footerTrailerLen]byte
+		binary.LittleEndian.PutUint64(tr[0:8], uint64(footOff))
+		binary.LittleEndian.PutUint32(tr[8:12], uint32(payload.Len()))
+		binary.LittleEndian.PutUint32(tr[12:16], footerMagic)
+		cw.Write(tr[:])
 	} else {
 		wave := min(min(workers, maxBlockWave), len(spans))
 		bufs := make([]bytes.Buffer, wave)
@@ -535,9 +573,17 @@ func readV3(cr *countingReader, opts LoadOptions, rep *LoadReport) (*Store, erro
 		if err := readEncodedBlocks(cr, st, int(n), int(nblocks), workers, repair, rep, &damagedSpans); err != nil {
 			return nil, err
 		}
+		if flags&metaFlagFooter != 0 {
+			if err := consumeFooter(cr, int(nblocks), repair, rep, &scratch); err != nil {
+				return nil, err
+			}
+		}
 		st.rows = int(n)
 		rebuildBatchSpans(st, damagedSpans)
 		return st, nil
+	}
+	if flags&metaFlagFooter != 0 {
+		return nil, sectionErr("meta", fmt.Errorf("%w: footer flag without encoded blocks", ErrCorrupt))
 	}
 
 	// Column blocks: read one wave of payloads sequentially (into reused
@@ -754,24 +800,30 @@ func decodeSegments(payload []byte, ns, n, nb int) ([]SegmentInfo, error) {
 	return segs, nil
 }
 
-// encodeZones writes one zone map per segment: the integer column bounds
-// as uvarints, the time bounds zig-zag coded, trust as fixed-width floats,
-// then the length-prefixed distinct sets.
+// encodeZone writes one zone map: the integer column bounds as uvarints,
+// the time bounds zig-zag coded, trust as fixed-width floats, then the
+// length-prefixed distinct sets. Shared by the snapshot zone section and
+// the manifest's per-shard zones.
+func encodeZone(b *bytes.Buffer, z *ZoneMap) {
+	putUvarint(b, uint64(z.Rows))
+	for _, v := range []uint32{z.TaskTypeMin, z.TaskTypeMax, z.ItemMin, z.ItemMax,
+		z.WorkerMin, z.WorkerMax, z.AnswerMin, z.AnswerMax} {
+		putUvarint(b, uint64(v))
+	}
+	for _, v := range []int64{z.StartMin, z.StartMax, z.EndMin, z.EndMax} {
+		putUvarint(b, zigzag(v))
+	}
+	putFloats(b, []float32{z.TrustMin, z.TrustMax})
+	for _, set := range [][]uint32{z.TaskTypes, z.Answers} {
+		putUvarint(b, uint64(len(set)))
+		putUvarints(b, set)
+	}
+}
+
+// encodeZones writes one zone map per segment.
 func encodeZones(b *bytes.Buffer, zones []ZoneMap) {
-	for _, z := range zones {
-		putUvarint(b, uint64(z.Rows))
-		for _, v := range []uint32{z.TaskTypeMin, z.TaskTypeMax, z.ItemMin, z.ItemMax,
-			z.WorkerMin, z.WorkerMax, z.AnswerMin, z.AnswerMax} {
-			putUvarint(b, uint64(v))
-		}
-		for _, v := range []int64{z.StartMin, z.StartMax, z.EndMin, z.EndMax} {
-			putUvarint(b, zigzag(v))
-		}
-		putFloats(b, []float32{z.TrustMin, z.TrustMax})
-		for _, set := range [][]uint32{z.TaskTypes, z.Answers} {
-			putUvarint(b, uint64(len(set)))
-			putUvarints(b, set)
-		}
+	for i := range zones {
+		encodeZone(b, &zones[i])
 	}
 }
 
@@ -786,76 +838,89 @@ func decodeZones(payload []byte, segs []SegmentInfo) ([]ZoneMap, error) {
 	sr := &sliceReader{buf: payload}
 	zones := make([]ZoneMap, len(segs))
 	for i := range zones {
-		z := &zones[i]
-		rows, err := getUvarint(sr)
+		z, err := decodeZone(sr, segs[i].Rows(), i)
 		if err != nil {
-			return nil, asTruncated(err)
-		}
-		if int(rows) != segs[i].Rows() {
-			return nil, fmt.Errorf("%w: zone map %d covers %d rows, segment has %d", ErrCorrupt, i, rows, segs[i].Rows())
-		}
-		z.Rows = int(rows)
-		u32s := [...]*uint32{&z.TaskTypeMin, &z.TaskTypeMax, &z.ItemMin, &z.ItemMax,
-			&z.WorkerMin, &z.WorkerMax, &z.AnswerMin, &z.AnswerMax}
-		for _, p := range u32s {
-			v, err := getUvarint(sr)
-			if err != nil {
-				return nil, asTruncated(err)
-			}
-			if v > math.MaxUint32 {
-				return nil, fmt.Errorf("%w: zone map %d field exceeds uint32", ErrCorrupt, i)
-			}
-			*p = uint32(v)
-		}
-		i64s := [...]*int64{&z.StartMin, &z.StartMax, &z.EndMin, &z.EndMax}
-		for _, p := range i64s {
-			v, err := getUvarint(sr)
-			if err != nil {
-				return nil, asTruncated(err)
-			}
-			*p = unzigzag(v)
-		}
-		var tr [2]float32
-		if err := getFloatsInto(sr, tr[:]); err != nil {
 			return nil, err
 		}
-		z.TrustMin, z.TrustMax = tr[0], tr[1]
-		if z.Rows > 0 && (z.TaskTypeMin > z.TaskTypeMax || z.ItemMin > z.ItemMax ||
-			z.WorkerMin > z.WorkerMax || z.AnswerMin > z.AnswerMax ||
-			z.StartMin > z.StartMax || z.EndMin > z.EndMax || z.TrustMin > z.TrustMax) {
-			return nil, fmt.Errorf("%w: zone map %d bounds inverted", ErrCorrupt, i)
-		}
-		for si, bounds := range [][2]uint32{{z.TaskTypeMin, z.TaskTypeMax}, {z.AnswerMin, z.AnswerMax}} {
-			cnt, err := getUvarint(sr)
-			if err != nil {
-				return nil, asTruncated(err)
-			}
-			if cnt == 0 {
-				continue
-			}
-			if cnt > zoneEnumCap {
-				return nil, fmt.Errorf("%w: zone map %d distinct set of %d exceeds cap %d", ErrCorrupt, i, cnt, zoneEnumCap)
-			}
-			set, err := getUvarints(sr, int(cnt))
-			if err != nil {
-				return nil, err
-			}
-			for j, v := range set {
-				if (j > 0 && v <= set[j-1]) || v < bounds[0] || v > bounds[1] {
-					return nil, fmt.Errorf("%w: zone map %d distinct set not ascending within bounds", ErrCorrupt, i)
-				}
-			}
-			if si == 0 {
-				z.TaskTypes = set
-			} else {
-				z.Answers = set
-			}
-		}
+		zones[i] = z
 	}
 	if sr.remaining() != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, sr.remaining())
 	}
 	return zones, nil
+}
+
+// decodeZone decodes one zone map, enforcing the invariants pruning
+// relies on: the row count matches wantRows, bounds are ordered, and the
+// distinct sets are small, strictly ascending, and inside the column
+// bounds. The index i only labels errors.
+func decodeZone(sr *sliceReader, wantRows, i int) (ZoneMap, error) {
+	var z ZoneMap
+	rows, err := getUvarint(sr)
+	if err != nil {
+		return z, asTruncated(err)
+	}
+	if int(rows) != wantRows {
+		return z, fmt.Errorf("%w: zone map %d covers %d rows, expected %d", ErrCorrupt, i, rows, wantRows)
+	}
+	z.Rows = int(rows)
+	u32s := [...]*uint32{&z.TaskTypeMin, &z.TaskTypeMax, &z.ItemMin, &z.ItemMax,
+		&z.WorkerMin, &z.WorkerMax, &z.AnswerMin, &z.AnswerMax}
+	for _, p := range u32s {
+		v, err := getUvarint(sr)
+		if err != nil {
+			return z, asTruncated(err)
+		}
+		if v > math.MaxUint32 {
+			return z, fmt.Errorf("%w: zone map %d field exceeds uint32", ErrCorrupt, i)
+		}
+		*p = uint32(v)
+	}
+	i64s := [...]*int64{&z.StartMin, &z.StartMax, &z.EndMin, &z.EndMax}
+	for _, p := range i64s {
+		v, err := getUvarint(sr)
+		if err != nil {
+			return z, asTruncated(err)
+		}
+		*p = unzigzag(v)
+	}
+	var tr [2]float32
+	if err := getFloatsInto(sr, tr[:]); err != nil {
+		return z, err
+	}
+	z.TrustMin, z.TrustMax = tr[0], tr[1]
+	if z.Rows > 0 && (z.TaskTypeMin > z.TaskTypeMax || z.ItemMin > z.ItemMax ||
+		z.WorkerMin > z.WorkerMax || z.AnswerMin > z.AnswerMax ||
+		z.StartMin > z.StartMax || z.EndMin > z.EndMax || z.TrustMin > z.TrustMax) {
+		return z, fmt.Errorf("%w: zone map %d bounds inverted", ErrCorrupt, i)
+	}
+	for si, bounds := range [][2]uint32{{z.TaskTypeMin, z.TaskTypeMax}, {z.AnswerMin, z.AnswerMax}} {
+		cnt, err := getUvarint(sr)
+		if err != nil {
+			return z, asTruncated(err)
+		}
+		if cnt == 0 {
+			continue
+		}
+		if cnt > zoneEnumCap {
+			return z, fmt.Errorf("%w: zone map %d distinct set of %d exceeds cap %d", ErrCorrupt, i, cnt, zoneEnumCap)
+		}
+		set, err := getUvarints(sr, int(cnt))
+		if err != nil {
+			return z, err
+		}
+		for j, v := range set {
+			if (j > 0 && v <= set[j-1]) || v < bounds[0] || v > bounds[1] {
+				return z, fmt.Errorf("%w: zone map %d distinct set not ascending within bounds", ErrCorrupt, i)
+			}
+		}
+		if si == 0 {
+			z.TaskTypes = set
+		} else {
+			z.Answers = set
+		}
+	}
+	return z, nil
 }
 
 // decodeRanges decodes the batch range table with the same

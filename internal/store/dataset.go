@@ -1,0 +1,711 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// This file is the out-of-core side of the store: a Dataset is a
+// manifest plus its shard snapshot files, accessed through io.ReaderAt
+// instead of streaming loads. Opening a shard validates only its footer
+// and metadata sections; column bytes are read lazily, per shard and per
+// column, with exact byte ranges taken from the footer offset index. A
+// query touching two of the eight columns reads only those columns'
+// bytes, and shards pruned at the manifest level are never opened.
+
+// OpenShard opens one shard file by its manifest name, returning a
+// random-access reader and the file size. Readers that also implement
+// io.Closer are closed by Dataset.Close.
+type OpenShard func(name string) (io.ReaderAt, int64, error)
+
+// Dataset is an open sharded dataset: the manifest plus lazily opened
+// shards.
+type Dataset struct {
+	man  *Manifest
+	open OpenShard
+
+	shards []*Shard
+
+	mu      sync.Mutex
+	closers []io.Closer
+}
+
+// OpenDataset opens a dataset over a validated manifest. Shard files are
+// not touched here; each opens on first use.
+func OpenDataset(man *Manifest, open OpenShard) (*Dataset, error) {
+	if err := man.validate(); err != nil {
+		return nil, err
+	}
+	d := &Dataset{man: man, open: open, shards: make([]*Shard, len(man.Shards))}
+	for i := range d.shards {
+		d.shards[i] = &Shard{d: d, info: &man.Shards[i]}
+	}
+	return d, nil
+}
+
+// OpenDatasetPath reads the manifest at path and opens its dataset, with
+// shard files resolved relative to the manifest's directory.
+func OpenDatasetPath(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	man, _, err := ReadManifest(f)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	dir := filepath.Dir(path)
+	return OpenDataset(man, func(name string) (io.ReaderAt, int64, error) {
+		sf, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, 0, err
+		}
+		st, err := sf.Stat()
+		if err != nil {
+			sf.Close()
+			return nil, 0, err
+		}
+		return sf, st.Size(), nil
+	})
+}
+
+// Manifest returns the dataset's manifest.
+func (d *Dataset) Manifest() *Manifest { return d.man }
+
+// NumShards returns the shard count.
+func (d *Dataset) NumShards() int { return len(d.shards) }
+
+// Close closes every shard reader opened so far.
+func (d *Dataset) Close() error {
+	d.mu.Lock()
+	closers := d.closers
+	d.closers = nil
+	d.mu.Unlock()
+	var first error
+	for _, c := range closers {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (d *Dataset) track(ra io.ReaderAt) {
+	if c, ok := ra.(io.Closer); ok {
+		d.mu.Lock()
+		d.closers = append(d.closers, c)
+		d.mu.Unlock()
+	}
+}
+
+// Shard opens shard i if needed and returns it. The open validates the
+// footer, metadata, segment table, batch ranges and zone maps — all via
+// exact reads — and cross-checks them against the manifest entry; no
+// column bytes are read.
+func (d *Dataset) Shard(i int) (*Shard, error) {
+	sh := d.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.st == nil {
+		if err := sh.openLocked(); err != nil {
+			return nil, fmt.Errorf("shard %s: %w", sh.info.Name, err)
+		}
+	}
+	return sh, nil
+}
+
+// Shard is one lazily opened dataset shard: a partial Store whose
+// columns load on demand through the shard's footer index.
+type Shard struct {
+	d    *Dataset
+	info *ShardInfo
+
+	mu       sync.Mutex
+	ra       io.ReaderAt
+	size     int64
+	foot     *footerIndex
+	blockSeg []int // footer block index -> segment index
+	st       *Store
+	loaded   colMask
+	scratch  []byte
+}
+
+// buf returns the shard's reused read buffer, sized to n bytes.
+func (sh *Shard) buf(n int) []byte {
+	if cap(sh.scratch) < n {
+		sh.scratch = make([]byte, n)
+	}
+	return sh.scratch[:n]
+}
+
+// readSecAt reads and verifies one framed section at an absolute offset.
+func (sh *Shard) readSecAt(fs footerSec, name string) ([]byte, error) {
+	if fs.off < 8 || fs.len < 0 || fs.off+9+fs.len > sh.size {
+		return nil, sectionErr(name, fmt.Errorf("%w: extent [%d,+%d) outside file", ErrCorrupt, fs.off, fs.len))
+	}
+	buf := sh.buf(int(9 + fs.len))
+	if _, err := sh.ra.ReadAt(buf, fs.off); err != nil {
+		return nil, sectionErr(name, asTruncated(err))
+	}
+	if buf[0] != fs.kind {
+		return nil, sectionErr(name, fmt.Errorf("%w: found section kind %#x, footer says %#x", ErrCorrupt, buf[0], fs.kind))
+	}
+	if got := binary.LittleEndian.Uint32(buf[1:5]); int64(got) != fs.len {
+		return nil, sectionErr(name, fmt.Errorf("%w: section length %d, footer says %d", ErrCorrupt, got, fs.len))
+	}
+	payload := buf[9:]
+	if crc := crc32.ChecksumIEEE(payload); crc != binary.LittleEndian.Uint32(buf[5:9]) {
+		return nil, sectionErr(name, ErrChecksum)
+	}
+	return payload, nil
+}
+
+// openLocked opens the shard file and validates footer + metadata.
+func (sh *Shard) openLocked() error {
+	ra, size, err := sh.d.open(sh.info.Name)
+	if err != nil {
+		return err
+	}
+	sh.d.track(ra)
+	sh.ra, sh.size = ra, size
+
+	if size < 8+9+footerTrailerLen {
+		return fmt.Errorf("%w: %d-byte file cannot hold a footer", ErrTruncated, size)
+	}
+	var tr [footerTrailerLen]byte
+	if _, err := ra.ReadAt(tr[:], size-footerTrailerLen); err != nil {
+		return asTruncated(err)
+	}
+	if magic := binary.LittleEndian.Uint32(tr[12:16]); magic != footerMagic {
+		return fmt.Errorf("%w: no footer trailer (snapshot predates the footer index or is uncompressed)", ErrFormatNoFooter)
+	}
+	footOff := int64(binary.LittleEndian.Uint64(tr[0:8]))
+	footLen := int64(binary.LittleEndian.Uint32(tr[8:12]))
+	if footOff < 8 || footOff+9+footLen+footerTrailerLen != size {
+		return sectionErr("footer trailer", fmt.Errorf("%w: footer extent [%d,+%d) does not end the %d-byte file", ErrCorrupt, footOff, footLen, size))
+	}
+	payload, err := sh.readSecAt(footerSec{kind: secFooter, off: footOff, len: footLen}, "footer index")
+	if err != nil {
+		return err
+	}
+	foot, err := decodeFooter(payload)
+	if err != nil {
+		return sectionErr("footer index", err)
+	}
+
+	var hdr [8]byte
+	if _, err := ra.ReadAt(hdr[:], 0); err != nil {
+		return asTruncated(err)
+	}
+	if magic := binary.LittleEndian.Uint32(hdr[0:4]); magic != snapshotMagic {
+		return fmt.Errorf("%w: %#x", ErrBadMagic, magic)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != snapshotVersion {
+		return fmt.Errorf("%w: shard snapshot version %d", ErrBadVersion, v)
+	}
+
+	metaSec, ok := foot.sec(secMeta)
+	if !ok {
+		return sectionErr("footer index", fmt.Errorf("%w: no meta section indexed", ErrCorrupt))
+	}
+	if payload, err = sh.readSecAt(metaSec, "meta"); err != nil {
+		return err
+	}
+	sr := &sliceReader{buf: payload}
+	var counts [5]uint64 // rows, batches, segments, blocks, flags
+	for i := range counts {
+		if counts[i], err = getUvarint(sr); err != nil {
+			return sectionErr("meta", asTruncated(err))
+		}
+	}
+	n, nb, ns, nblocks, flags := int(counts[0]), int(counts[1]), int(counts[2]), int(counts[3]), counts[4]
+	if sr.remaining() != 0 {
+		return sectionErr("meta", fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, sr.remaining()))
+	}
+	if flags&metaFlagEncoded == 0 || flags&metaFlagFooter == 0 {
+		return sectionErr("meta", fmt.Errorf("%w: shard snapshot is not footer-indexed encoded", ErrCorrupt))
+	}
+	if len(foot.blocks) != nblocks {
+		return sectionErr("footer index", fmt.Errorf("%w: %d blocks indexed, meta claims %d", ErrCorrupt, len(foot.blocks), nblocks))
+	}
+
+	// Cross-check the shard against its manifest entry before trusting
+	// either: row count, batch table size, segment count, batch interval.
+	if n != sh.info.Rows {
+		return fmt.Errorf("%w: shard holds %d rows, manifest claims %d", ErrCorrupt, n, sh.info.Rows)
+	}
+	if nb != sh.d.man.NumBatches {
+		return fmt.Errorf("%w: shard has %d batches, manifest has %d", ErrCorrupt, nb, sh.d.man.NumBatches)
+	}
+	if ns != sh.info.Segments {
+		return fmt.Errorf("%w: shard holds %d segments, manifest claims %d", ErrCorrupt, ns, sh.info.Segments)
+	}
+
+	segSec, ok := foot.sec(secSegments)
+	if !ok {
+		return sectionErr("footer index", fmt.Errorf("%w: no segment table indexed", ErrCorrupt))
+	}
+	if payload, err = sh.readSecAt(segSec, "segment table"); err != nil {
+		return err
+	}
+	segs, err := decodeSegments(payload, ns, n, nb)
+	if err != nil {
+		return sectionErr("segment table", err)
+	}
+	if len(segs) > 0 {
+		if lo, hi := segs[0].BatchLo, segs[len(segs)-1].BatchHi; lo != sh.info.BatchLo || hi != sh.info.BatchHi {
+			return fmt.Errorf("%w: shard covers batches [%d,%d), manifest claims [%d,%d)", ErrCorrupt, lo, hi, sh.info.BatchLo, sh.info.BatchHi)
+		}
+	}
+
+	rngSec, ok := foot.sec(secRanges)
+	if !ok {
+		return sectionErr("footer index", fmt.Errorf("%w: no batch ranges indexed", ErrCorrupt))
+	}
+	if payload, err = sh.readSecAt(rngSec, "batch ranges"); err != nil {
+		return err
+	}
+	ranges, err := decodeRanges(payload, nb, n)
+	if err != nil {
+		return sectionErr("batch ranges", err)
+	}
+
+	zoneSec, ok := foot.sec(secZones)
+	if !ok || flags&metaFlagZoneMaps == 0 {
+		return sectionErr("footer index", fmt.Errorf("%w: no zone maps indexed", ErrCorrupt))
+	}
+	if payload, err = sh.readSecAt(zoneSec, "zone maps"); err != nil {
+		return err
+	}
+	zones, err := decodeZones(payload, segs)
+	if err != nil {
+		return sectionErr("zone maps", err)
+	}
+
+	// Block directory sanity: one block per non-empty segment, extents
+	// inside the file before the footer.
+	var blockSeg []int
+	for i := range segs {
+		if segs[i].Rows() > 0 {
+			blockSeg = append(blockSeg, i)
+		}
+	}
+	if len(blockSeg) != len(foot.blocks) {
+		return sectionErr("footer index", fmt.Errorf("%w: %d blocks for %d non-empty segments", ErrCorrupt, len(foot.blocks), len(blockSeg)))
+	}
+	for i := range foot.blocks {
+		fb := &foot.blocks[i]
+		if fb.payloadOff < 8 || fb.end() > footOff {
+			return sectionErr("footer index", fmt.Errorf("%w: block %d extent [%d,%d) outside file body", ErrCorrupt, i, fb.payloadOff, fb.end()))
+		}
+	}
+
+	st := &Store{
+		rows:    n,
+		ranges:  ranges,
+		segs:    segs,
+		zones:   zones,
+		encs:    make([]SegmentEnc, len(segs)),
+		partial: true,
+		fill:    &fillState{},
+	}
+	for i := range st.encs {
+		st.encs[i].Rows = segs[i].Rows()
+	}
+	sh.foot, sh.blockSeg, sh.st = foot, blockSeg, st
+	return nil
+}
+
+// ErrFormatNoFooter reports a shard snapshot without a footer index
+// (written before the footer existed, or uncompressed); such files load
+// through ReadSnapshot but cannot be opened for selective reads.
+var ErrFormatNoFooter = errors.New("snapshot has no footer index")
+
+// diskColOrder maps serializeEncBlock's on-disk column order to column
+// masks.
+var diskColOrder = [8]colMask{
+	colMaskBatch, colMaskTaskType, colMaskItem, colMaskWorker,
+	colMaskAnswer, colMaskStart, colMaskEnd, colMaskTrust,
+}
+
+// EnsureColumns reads and decodes the selected columns' bytes — and
+// nothing else — for every segment of the shard. Requesting End also
+// loads Start (End reconstructs as Start + EndOff). Loaded columns stay
+// resident; repeated calls are no-ops; the decode scratch is reused
+// across reads, so peak memory is one column of one segment plus the
+// decoded encodings.
+func (sh *Shard) EnsureColumns(cols ColumnSet) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.st == nil {
+		if err := sh.openLocked(); err != nil {
+			return fmt.Errorf("shard %s: %w", sh.info.Name, err)
+		}
+	}
+	if cols&colMaskEnd != 0 {
+		cols |= colMaskStart
+	}
+	missing := cols &^ sh.loaded
+	if missing == 0 {
+		return nil
+	}
+	for bi, segIdx := range sh.blockSeg {
+		fb := &sh.foot.blocks[bi]
+		rows := sh.st.segs[segIdx].Rows()
+		e := &sh.st.encs[segIdx]
+		for c := 0; c < 8; c++ {
+			m := diskColOrder[c]
+			if missing&m == 0 {
+				continue
+			}
+			if err := sh.readColumn(fb, c, rows, e); err != nil {
+				return fmt.Errorf("shard %s: segment %d: %w", sh.info.Name, segIdx, err)
+			}
+		}
+	}
+	sh.loaded |= cols
+	// Publish to the partial store so its materialization guard accepts
+	// the loaded columns.
+	fs := sh.st.fillRef()
+	fs.mu.Lock()
+	sh.st.loadedCols |= cols
+	fs.mu.Unlock()
+	return nil
+}
+
+// colName labels disk columns in errors.
+var colName = [8]string{"batch", "taskType", "item", "worker", "answer", "start", "endOff", "trust"}
+
+// readColumn reads, checksums and decodes one column of one block.
+func (sh *Shard) readColumn(fb *footerBlock, c, rows int, e *SegmentEnc) error {
+	off, length := fb.colOff(c), fb.colLen[c]
+	buf := sh.buf(int(length))
+	if _, err := sh.ra.ReadAt(buf, off); err != nil {
+		return fmt.Errorf("column %s: %w", colName[c], asTruncated(err))
+	}
+	if crc := crc32.ChecksumIEEE(buf); crc != fb.colCRC[c] {
+		return fmt.Errorf("column %s: %w", colName[c], ErrChecksum)
+	}
+	sr := &sliceReader{buf: buf}
+	var err error
+	switch c {
+	case 0:
+		err = readEncU32(sr, rows, &e.Batch)
+	case 1:
+		err = readEncU32(sr, rows, &e.TaskType)
+	case 2:
+		err = readEncU32(sr, rows, &e.Item)
+	case 3:
+		err = readEncU32(sr, rows, &e.Worker)
+	case 4:
+		err = readEncU32(sr, rows, &e.Answer)
+	case 5:
+		err = readEncI64(sr, rows, &e.Start)
+	case 6:
+		err = readEncI64(sr, rows, &e.EndOff)
+	case 7:
+		err = readEncF32(sr, rows, &e.Trust)
+	}
+	if err != nil {
+		return fmt.Errorf("column %s: %w", colName[c], err)
+	}
+	if sr.remaining() != 0 {
+		return fmt.Errorf("column %s: %w: %d trailing bytes", colName[c], ErrCorrupt, sr.remaining())
+	}
+	return nil
+}
+
+// Store returns the shard's partial store. Only columns loaded through
+// EnsureColumns may be scanned or materialized; the store panics on any
+// other column access.
+func (sh *Shard) Store() *Store { return sh.st }
+
+// Info returns the shard's manifest entry.
+func (sh *Shard) Info() *ShardInfo { return sh.info }
+
+// --- full-dataset loading --------------------------------------------
+
+// ShardLoadReport describes one shard of a dataset load.
+type ShardLoadReport struct {
+	Name    string
+	Rows    int
+	Damaged []string // per-shard damage, empty when the shard loaded clean
+}
+
+// DatasetReport summarizes a Dataset.LoadStore.
+type DatasetReport struct {
+	Bytes      int64
+	Rows       int
+	Provenance *Provenance // first shard's provenance, when present
+	Shards     []ShardLoadReport
+}
+
+// LoadStore streams every shard through ReadSnapshot and assembles one
+// resident store — the bridge from a sharded dataset to everything that
+// wants a plain Store. In strict mode the first failing shard aborts the
+// load with an error naming it; in repair mode damage stays isolated to
+// the shard it hit — other shards recover fully, and a shard beyond
+// repair is skipped with its rows absent and its batches left empty.
+func (d *Dataset) LoadStore(opts LoadOptions) (*Store, *DatasetReport, error) {
+	rep := &DatasetReport{}
+	repair := opts.Mode == LoadRepair
+	stores := make([]*Store, len(d.man.Shards))
+	for i := range d.man.Shards {
+		si := &d.man.Shards[i]
+		ra, size, err := d.open(si.Name)
+		if err != nil {
+			if !repair {
+				return nil, nil, fmt.Errorf("shard %s: %w", si.Name, err)
+			}
+			rep.Shards = append(rep.Shards, ShardLoadReport{Name: si.Name, Damaged: []string{fmt.Sprintf("unrecoverable: %v", err)}})
+			continue
+		}
+		var st Store
+		lrep, err := st.ReadSnapshot(io.NewSectionReader(ra, 0, size), opts)
+		if c, ok := ra.(io.Closer); ok {
+			c.Close()
+		}
+		rep.Bytes += lrep.Bytes
+		if err == nil && st.Len() != si.Rows {
+			err = fmt.Errorf("%w: shard holds %d rows, manifest claims %d", ErrCorrupt, st.Len(), si.Rows)
+		}
+		if err != nil {
+			if !repair {
+				return nil, nil, fmt.Errorf("shard %s: %w", si.Name, err)
+			}
+			rep.Shards = append(rep.Shards, ShardLoadReport{Name: si.Name, Damaged: append(lrep.Damaged, fmt.Sprintf("unrecoverable: %v", err))})
+			continue
+		}
+		if rep.Provenance == nil {
+			rep.Provenance = lrep.Provenance
+		}
+		rep.Shards = append(rep.Shards, ShardLoadReport{Name: si.Name, Rows: st.Len(), Damaged: lrep.Damaged})
+		stores[i] = &st
+	}
+	merged := mergeShardStores(d.man, stores)
+	rep.Rows = merged.Len()
+	return merged, rep, nil
+}
+
+// mergeShardStores concatenates per-shard stores (nil entries were
+// skipped as unrecoverable) into one global store, mirroring Assemble:
+// row spans shift by the running offset, batch intervals are already
+// global, and empty batches keep the zero range.
+func mergeShardStores(man *Manifest, stores []*Store) *Store {
+	out := New(man.NumBatches)
+	total := 0
+	allEnc, allZones := true, true
+	for _, st := range stores {
+		if st == nil {
+			continue
+		}
+		total += st.rows
+		if len(st.encs) != len(st.segs) {
+			allEnc = false // repair materialized raw and dropped encodings
+		}
+		if len(st.zones) != len(st.segs) {
+			allZones = false
+		}
+	}
+	base := 0
+	for _, st := range stores {
+		if st == nil {
+			continue
+		}
+		for _, sg := range st.segs {
+			out.segs = append(out.segs, SegmentInfo{
+				RowLo: sg.RowLo + base, RowHi: sg.RowHi + base,
+				BatchLo: sg.BatchLo, BatchHi: sg.BatchHi,
+			})
+		}
+		if allZones {
+			out.zones = append(out.zones, st.zones...)
+		}
+		if allEnc {
+			out.encs = append(out.encs, st.encs...)
+		}
+		for b, rr := range st.ranges {
+			if rr.Hi > rr.Lo {
+				out.ranges[b] = rowRange{Lo: rr.Lo + int32(base), Hi: rr.Hi + int32(base)}
+			}
+		}
+		base += st.rows
+	}
+	out.rows = total
+	if !allEnc {
+		// At least one shard is raw-only: materialize everything and copy.
+		growColumns(out, total)
+		base = 0
+		for _, st := range stores {
+			if st == nil {
+				continue
+			}
+			st.ensure(colMaskAll)
+			copy(out.batch[base:], st.batch)
+			copy(out.taskType[base:], st.taskType)
+			copy(out.item[base:], st.item)
+			copy(out.worker[base:], st.worker)
+			copy(out.start[base:], st.start)
+			copy(out.end[base:], st.end)
+			copy(out.trust[base:], st.trust)
+			copy(out.answer[base:], st.answer)
+			base += st.rows
+		}
+		out.encs = nil
+	}
+	return out
+}
+
+// --- dataset writing -------------------------------------------------
+
+// WriteDataset writes the store as a sharded dataset: nshards (at most
+// one per segment) encoded shard snapshots named "<stem>.shardNN.crow",
+// created through the create callback, plus the manifest on w. Segments
+// partition into contiguous groups balanced by row count, so shards
+// split by batch range exactly like the store's segments do. The
+// returned manifest is the one written.
+func (s *Store) WriteDataset(w io.Writer, nshards int, stem string, create func(name string) (io.WriteCloser, error), opts WriteOptions) (*Manifest, error) {
+	if opts.Uncompressed {
+		return nil, errors.New("store: sharded datasets require the encoded layout")
+	}
+	if len(s.segs) == 0 {
+		return nil, errors.New("store: sharded datasets require an explicit segment layout (Assemble)")
+	}
+	for _, si := range s.segs {
+		if si.Rows() > encBlockMaxRows {
+			return nil, fmt.Errorf("store: segment of %d rows exceeds the encoded-block cap", si.Rows())
+		}
+	}
+	if nshards < 1 {
+		nshards = 1
+	}
+	encs := s.Encodings()
+	zones := s.ZoneMaps()
+	cuts := segmentCuts(s.segs, min(nshards, len(s.segs)))
+	man := &Manifest{NumBatches: s.NumBatches()}
+	for k := 0; k+1 < len(cuts); k++ {
+		gLo, gHi := cuts[k], cuts[k+1]
+		name := fmt.Sprintf("%s.shard%02d.crow", stem, k)
+		view := s.shardView(gLo, gHi, encs, zones)
+		out, err := create(name)
+		if err != nil {
+			return nil, fmt.Errorf("shard %s: %w", name, err)
+		}
+		nbytes, werr := view.WriteSnapshot(out, opts)
+		cerr := out.Close()
+		if werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return nil, fmt.Errorf("shard %s: %w", name, werr)
+		}
+		man.Shards = append(man.Shards, ShardInfo{
+			Name:     name,
+			Rows:     view.rows,
+			BatchLo:  s.segs[gLo].BatchLo,
+			BatchHi:  s.segs[gHi-1].BatchHi,
+			Segments: gHi - gLo,
+			FileSize: nbytes,
+			Zone:     mergeShardZones(zones[gLo:gHi]),
+		})
+	}
+	if _, err := WriteManifest(w, man); err != nil {
+		return nil, err
+	}
+	return man, nil
+}
+
+// segmentCuts partitions segments into nsh contiguous groups of roughly
+// equal row counts; returns nsh+1 ascending indexes with cuts[0]=0 and
+// cuts[nsh]=len(segs).
+func segmentCuts(segs []SegmentInfo, nsh int) []int {
+	total := 0
+	for _, si := range segs {
+		total += si.Rows()
+	}
+	cuts := make([]int, 1, nsh+1)
+	acc := 0
+	for i, si := range segs {
+		if len(cuts) == nsh {
+			break
+		}
+		acc += si.Rows()
+		if acc*nsh >= total*len(cuts) && i+1 < len(segs) {
+			cuts = append(cuts, i+1)
+		}
+	}
+	return append(cuts, len(segs))
+}
+
+// shardView builds a snapshot-writable store over segments [gLo, gHi):
+// row spans rebased to zero, batch intervals kept global, the full-size
+// batch table with only this shard's batches populated, and the parent's
+// encodings and zones shared by reference. Raw columns are not carried —
+// the encoded snapshot writer never touches them.
+func (s *Store) shardView(gLo, gHi int, encs []SegmentEnc, zones []ZoneMap) *Store {
+	segs := s.segs[gLo:gHi]
+	rowBase := segs[0].RowLo
+	v := &Store{
+		rows:  segs[len(segs)-1].RowHi - rowBase,
+		segs:  make([]SegmentInfo, len(segs)),
+		zones: zones[gLo:gHi],
+		encs:  encs[gLo:gHi],
+		fill:  &fillState{},
+	}
+	for i, sg := range segs {
+		v.segs[i] = SegmentInfo{
+			RowLo: sg.RowLo - rowBase, RowHi: sg.RowHi - rowBase,
+			BatchLo: sg.BatchLo, BatchHi: sg.BatchHi,
+		}
+	}
+	v.ranges = make([]rowRange, len(s.ranges))
+	for b := segs[0].BatchLo; b < segs[len(segs)-1].BatchHi; b++ {
+		if rr := s.ranges[b]; rr.Hi > rr.Lo {
+			v.ranges[b] = rowRange{Lo: rr.Lo - int32(rowBase), Hi: rr.Hi - int32(rowBase)}
+		}
+	}
+	return v
+}
+
+// --- file-kind sniffing ----------------------------------------------
+
+// FileKind identifies what a .crow file holds, from its magic bytes.
+type FileKind int
+
+const (
+	KindUnknown FileKind = iota
+	KindSnapshot
+	KindManifest
+)
+
+// DetectKind classifies the first four bytes of a file.
+func DetectKind(magic [4]byte) FileKind {
+	switch binary.LittleEndian.Uint32(magic[:]) {
+	case snapshotMagic:
+		return KindSnapshot
+	case manifestMagic:
+		return KindManifest
+	}
+	return KindUnknown
+}
+
+// DetectPath classifies the file at path by its magic bytes.
+func DetectPath(path string) (FileKind, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return KindUnknown, err
+	}
+	defer f.Close()
+	var magic [4]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return KindUnknown, nil // too short to be either: unknown, not an I/O failure
+	}
+	return DetectKind(magic), nil
+}

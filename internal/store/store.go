@@ -8,6 +8,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync"
 
@@ -61,28 +62,48 @@ type Store struct {
 
 	workerIndex map[uint32][]int32 // lazy posting lists, built on demand
 
+	// partial marks a store backed by a dataset shard whose encodings are
+	// loaded selectively (see dataset.go): only columns recorded in
+	// loadedCols hold real data, and materializing any other column is a
+	// programming error the fill path turns into a panic.
+	partial    bool
+	loadedCols colMask // guarded by fill.mu
+
 	// fill guards the store's lazy fills: raw-column materialization,
 	// zone maps, segment encodings. It sits behind a pointer because the
 	// Store itself is installed by value in ReadSnapshot (a contained
 	// mutex would outlaw that); every constructor allocates one, and
 	// copies share it. Zero-value stores (no constructor) fall back to a
-	// package-level mutex — they can carry no encodings, so the fallback
+	// package-level state — they can carry no encodings, so the fallback
 	// only ever guards a lazy zone-map fill.
 	fill *fillState
 }
 
-type fillState struct{ mu sync.Mutex }
-
-// zeroStoreFillMu serves stores built without a constructor.
-var zeroStoreFillMu sync.Mutex
-
-// fillMutex returns the mutex guarding this store's lazy fills.
-func (s *Store) fillMutex() *sync.Mutex {
-	if s.fill != nil {
-		return &s.fill.mu
-	}
-	return &zeroStoreFillMu
+// fillState carries the lazy-fill guards: mu for the shared slices
+// (zones, encs, loadedCols) and one mutex per raw column, so concurrent
+// queries materializing different columns never serialize on each other.
+// Lock ordering: a column mutex is never acquired while holding mu.
+type fillState struct {
+	mu   sync.Mutex
+	cols [8]sync.Mutex // indexed by colIndex, i.e. colMask bit order
 }
+
+// zeroStoreFill serves stores built without a constructor.
+var zeroStoreFill fillState
+
+// fillRef returns the state guarding this store's lazy fills.
+func (s *Store) fillRef() *fillState {
+	if s.fill != nil {
+		return s.fill
+	}
+	return &zeroStoreFill
+}
+
+// fillMutex returns the mutex guarding this store's shared lazy fills.
+func (s *Store) fillMutex() *sync.Mutex { return &s.fillRef().mu }
+
+// colIndex maps a single-column mask to its fillState.cols slot.
+func colIndex(m colMask) int { return bits.TrailingZeros16(uint16(m)) }
 
 type rowRange struct{ Lo, Hi int32 }
 
@@ -103,68 +124,107 @@ const (
 		colMaskWorker | colMaskStart | colMaskEnd | colMaskTrust | colMaskAnswer
 )
 
+// ColumnSet selects raw columns for selective loading and
+// materialization; dataset shards (see dataset.go) read only the
+// selected columns' bytes.
+type ColumnSet = colMask
+
+// Exported column selectors, one per store column.
+const (
+	ColSetBatch    ColumnSet = colMaskBatch
+	ColSetTaskType ColumnSet = colMaskTaskType
+	ColSetItem     ColumnSet = colMaskItem
+	ColSetWorker   ColumnSet = colMaskWorker
+	ColSetStart    ColumnSet = colMaskStart
+	ColSetEnd      ColumnSet = colMaskEnd
+	ColSetTrust    ColumnSet = colMaskTrust
+	ColSetAnswer   ColumnSet = colMaskAnswer
+	ColSetAll      ColumnSet = colMaskAll
+)
+
 // ensure materializes the requested raw columns from the segment
 // encodings if they are not yet resident. It is safe under concurrent
-// readers; a no-op for raw-backed stores.
+// readers — each column fills under its own guard, so queries
+// materializing different columns proceed in parallel — and a no-op for
+// raw-backed stores.
 func (s *Store) ensure(mask colMask) {
-	mu := s.fillMutex()
-	mu.Lock()
-	s.ensureLocked(mask)
-	mu.Unlock()
-}
-
-// ensureLocked is ensure with the fill mutex already held.
-func (s *Store) ensureLocked(mask colMask) {
-	if len(s.encs) == 0 || s.rows == 0 {
+	if s.rows == 0 {
 		return
 	}
 	if mask&colMaskEnd != 0 {
 		// End reconstructs as Start + EndOff.
 		mask |= colMaskStart
 	}
-	type fill struct {
-		m   colMask
-		run func()
+	fs := s.fillRef()
+	fs.mu.Lock()
+	encs := s.encs
+	var notLoaded colMask
+	if s.partial {
+		notLoaded = mask &^ s.loadedCols
 	}
-	n := s.rows
-	fills := []fill{
-		{colMaskBatch, func() { s.batch = s.decodeU32(func(e *SegmentEnc) *EncodedU32 { return &e.Batch }) }},
-		{colMaskTaskType, func() { s.taskType = s.decodeU32(func(e *SegmentEnc) *EncodedU32 { return &e.TaskType }) }},
-		{colMaskItem, func() { s.item = s.decodeU32(func(e *SegmentEnc) *EncodedU32 { return &e.Item }) }},
-		{colMaskWorker, func() { s.worker = s.decodeU32(func(e *SegmentEnc) *EncodedU32 { return &e.Worker }) }},
-		{colMaskAnswer, func() { s.answer = s.decodeU32(func(e *SegmentEnc) *EncodedU32 { return &e.Answer }) }},
-		{colMaskStart, func() {
-			dst := make([]int64, n)
-			par.EachShard(len(s.segs), 0, func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					si := s.segs[i]
-					if si.Rows() > 0 {
-						s.encs[i].Start.DecodeInto(dst[si.RowLo:si.RowHi])
-					}
-				}
-			})
-			s.start = dst
-		}},
-		{colMaskTrust, func() {
-			dst := make([]float32, n)
-			par.EachShard(len(s.segs), 0, func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					si := s.segs[i]
-					if si.Rows() > 0 {
-						s.encs[i].Trust.DecodeInto(dst[si.RowLo:si.RowHi])
-					}
-				}
-			})
-			s.trust = dst
-		}},
+	fs.mu.Unlock()
+	if notLoaded != 0 {
+		panic(fmt.Sprintf("store: columns %#x not loaded in partial dataset shard; call Shard.EnsureColumns first", uint16(notLoaded)))
 	}
-	for _, f := range fills {
-		if mask&f.m != 0 && s.colLen(f.m) != n {
-			f.run()
+	if len(encs) == 0 {
+		return
+	}
+	// Fixed fill order with Start strictly before End: the End fill reads
+	// the materialized Start column.
+	for _, m := range [...]colMask{colMaskBatch, colMaskTaskType, colMaskItem,
+		colMaskWorker, colMaskStart, colMaskTrust, colMaskAnswer, colMaskEnd} {
+		if mask&m != 0 {
+			s.ensureCol(fs, m, encs)
 		}
 	}
-	if mask&colMaskEnd != 0 && len(s.end) != n {
+}
+
+// ensureCol fills one raw column under its per-column guard.
+func (s *Store) ensureCol(fs *fillState, m colMask, encs []SegmentEnc) {
+	fs.cols[colIndex(m)].Lock()
+	defer fs.cols[colIndex(m)].Unlock()
+	n := s.rows
+	if s.colLen(m) == n {
+		return
+	}
+	switch m {
+	case colMaskBatch:
+		s.batch = s.decodeU32(encs, func(e *SegmentEnc) *EncodedU32 { return &e.Batch })
+	case colMaskTaskType:
+		s.taskType = s.decodeU32(encs, func(e *SegmentEnc) *EncodedU32 { return &e.TaskType })
+	case colMaskItem:
+		s.item = s.decodeU32(encs, func(e *SegmentEnc) *EncodedU32 { return &e.Item })
+	case colMaskWorker:
+		s.worker = s.decodeU32(encs, func(e *SegmentEnc) *EncodedU32 { return &e.Worker })
+	case colMaskAnswer:
+		s.answer = s.decodeU32(encs, func(e *SegmentEnc) *EncodedU32 { return &e.Answer })
+	case colMaskStart:
 		dst := make([]int64, n)
+		par.EachShard(len(s.segs), 0, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				si := s.segs[i]
+				if si.Rows() > 0 {
+					encs[i].Start.DecodeInto(dst[si.RowLo:si.RowHi])
+				}
+			}
+		})
+		s.start = dst
+	case colMaskTrust:
+		dst := make([]float32, n)
+		par.EachShard(len(s.segs), 0, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				si := s.segs[i]
+				if si.Rows() > 0 {
+					encs[i].Trust.DecodeInto(dst[si.RowLo:si.RowHi])
+				}
+			}
+		})
+		s.trust = dst
+	case colMaskEnd:
+		dst := make([]int64, n)
+		// Safe unsynchronized read: this goroutine held the Start guard in
+		// ensure's fixed fill order before reaching End, and a filled
+		// column is never written again.
 		starts := s.start
 		par.EachShard(len(s.segs), 0, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
@@ -172,7 +232,7 @@ func (s *Store) ensureLocked(mask colMask) {
 				if si.Rows() == 0 {
 					continue
 				}
-				s.encs[i].EndOff.DecodeInto(dst[si.RowLo:si.RowHi])
+				encs[i].EndOff.DecodeInto(dst[si.RowLo:si.RowHi])
 				for r := si.RowLo; r < si.RowHi; r++ {
 					dst[r] += starts[r]
 				}
@@ -206,13 +266,13 @@ func (s *Store) colLen(m colMask) int {
 }
 
 // decodeU32 materializes one uint32 column across all segments.
-func (s *Store) decodeU32(pick func(*SegmentEnc) *EncodedU32) []uint32 {
+func (s *Store) decodeU32(encs []SegmentEnc, pick func(*SegmentEnc) *EncodedU32) []uint32 {
 	dst := make([]uint32, s.rows)
 	par.EachShard(len(s.segs), 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			si := s.segs[i]
 			if si.Rows() > 0 {
-				pick(&s.encs[i]).DecodeInto(dst[si.RowLo:si.RowHi])
+				pick(&encs[i]).DecodeInto(dst[si.RowLo:si.RowHi])
 			}
 		}
 	})
@@ -233,16 +293,21 @@ func (s *Store) SegmentEncodings() []SegmentEnc {
 // columns on first use for stores that predate encodings (old snapshots).
 // It returns nil for stores without an explicit segment layout.
 func (s *Store) Encodings() []SegmentEnc {
-	mu := s.fillMutex()
-	mu.Lock()
-	defer mu.Unlock()
+	fs := s.fillRef()
+	fs.mu.Lock()
 	if len(s.segs) == 0 {
+		fs.mu.Unlock()
 		return nil
 	}
 	if len(s.encs) == len(s.segs) {
-		return s.encs
+		encs := s.encs
+		fs.mu.Unlock()
+		return encs
 	}
-	s.ensureLocked(colMaskAll)
+	fs.mu.Unlock()
+	// Encode outside the shared mutex: ensure takes the per-column
+	// guards, which are never acquired while fs.mu is held.
+	s.ensure(colMaskAll)
 	encs := make([]SegmentEnc, len(s.segs))
 	par.EachShard(len(s.segs), 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -255,7 +320,13 @@ func (s *Store) Encodings() []SegmentEnc {
 				s.trust[si.RowLo:si.RowHi])
 		}
 	})
-	s.encs = encs
+	fs.mu.Lock()
+	if len(s.encs) == len(s.segs) {
+		encs = s.encs // a concurrent fill won; both results are identical
+	} else {
+		s.encs = encs
+	}
+	fs.mu.Unlock()
 	return encs
 }
 
@@ -267,21 +338,30 @@ type Residency struct {
 	Batch, TaskType, Item, Worker, Start, End, Trust, Answer bool
 }
 
-// Residency returns the store's current raw-column residency.
+// Residency returns the store's current raw-column residency. Each
+// column's length is read under that column's fill guard, so the answer
+// is consistent per column alongside concurrent materialization.
 func (s *Store) Residency() Residency {
-	mu := s.fillMutex()
-	mu.Lock()
-	defer mu.Unlock()
 	if s.rows == 0 {
 		return Residency{true, true, true, true, true, true, true, true}
 	}
+	fs := s.fillRef()
 	n := s.rows
-	return Residency{
-		Batch: len(s.batch) == n, TaskType: len(s.taskType) == n,
-		Item: len(s.item) == n, Worker: len(s.worker) == n,
-		Start: len(s.start) == n, End: len(s.end) == n,
-		Trust: len(s.trust) == n, Answer: len(s.answer) == n,
+	var r Residency
+	read := func(m colMask, dst *bool) {
+		fs.cols[colIndex(m)].Lock()
+		*dst = s.colLen(m) == n
+		fs.cols[colIndex(m)].Unlock()
 	}
+	read(colMaskBatch, &r.Batch)
+	read(colMaskTaskType, &r.TaskType)
+	read(colMaskItem, &r.Item)
+	read(colMaskWorker, &r.Worker)
+	read(colMaskStart, &r.Start)
+	read(colMaskEnd, &r.End)
+	read(colMaskTrust, &r.Trust)
+	read(colMaskAnswer, &r.Answer)
+	return r
 }
 
 // New returns an empty store sized for the given number of batches.

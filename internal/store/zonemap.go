@@ -136,19 +136,29 @@ func (s *Store) ZoneMaps() []ZoneMap {
 	if len(segs) == 0 {
 		return nil
 	}
-	mu := s.fillMutex()
-	mu.Lock()
-	defer mu.Unlock()
+	fs := s.fillRef()
+	fs.mu.Lock()
 	if len(s.zones) == len(segs) {
-		return s.zones
+		zones := s.zones
+		fs.mu.Unlock()
+		return zones
 	}
-	s.ensureLocked(colMaskAll)
+	fs.mu.Unlock()
+	// Compute outside the shared mutex: ensure takes the per-column
+	// guards, which are never acquired while fs.mu is held.
+	s.ensure(colMaskAll)
 	zones := make([]ZoneMap, len(segs))
 	par.EachShard(len(segs), 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			zones[i] = computeZoneMap(s.taskType, s.item, s.worker, s.answer, s.start, s.end, s.trust, segs[i].RowLo, segs[i].RowHi)
 		}
 	})
-	s.zones = zones
+	fs.mu.Lock()
+	if len(s.zones) == len(segs) {
+		zones = s.zones // a concurrent fill won; both results are identical
+	} else {
+		s.zones = zones
+	}
+	fs.mu.Unlock()
 	return zones
 }
