@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"crowdscope/internal/cli"
 	"crowdscope/internal/store"
 	"crowdscope/internal/synth"
 )
@@ -34,7 +35,7 @@ const toolVersion = "crowdgen/3"
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "crowdgen: %v\n", err)
-		os.Exit(1)
+		os.Exit(cli.ExitCode(err))
 	}
 }
 
@@ -68,7 +69,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *shards > 0 {
 		f, err := os.Create(*out)
 		if err != nil {
-			return fmt.Errorf("create %s: %v", *out, err)
+			return fmt.Errorf("create %s: %w", *out, err)
 		}
 		defer f.Close()
 		dir := filepath.Dir(*out)
@@ -77,17 +78,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return os.Create(filepath.Join(dir, name))
 		}, opts)
 		if err != nil {
-			return fmt.Errorf("write dataset: %v", err)
+			return fmt.Errorf("write dataset: %w", err)
 		}
 		n = man.TotalBytes()
 	} else {
 		f, err := os.Create(*out)
 		if err != nil {
-			return fmt.Errorf("create %s: %v", *out, err)
+			return fmt.Errorf("create %s: %w", *out, err)
 		}
 		defer f.Close()
 		if n, err = ds.Store.WriteSnapshot(f, opts); err != nil {
-			return fmt.Errorf("write snapshot: %v", err)
+			return fmt.Errorf("write snapshot: %w", err)
 		}
 	}
 
@@ -124,7 +125,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			verr = verifySnapshot(*out, ds.Store, *workers)
 		}
 		if verr != nil {
-			return fmt.Errorf("verify %s: %v", *out, verr)
+			return fmt.Errorf("verify %s: %w", *out, verr)
 		}
 		fmt.Fprintf(stdout, "  verified:     strict reload matches column-for-column (%v)\n", time.Since(t0).Round(time.Millisecond))
 	}

@@ -30,6 +30,7 @@ import (
 	"sort"
 	"strings"
 
+	"crowdscope/internal/cli"
 	"crowdscope/internal/model"
 	"crowdscope/internal/query"
 	"crowdscope/internal/report"
@@ -40,7 +41,7 @@ import (
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "crowdquery: %v\n", err)
-		os.Exit(1)
+		os.Exit(cli.ExitCode(err))
 	}
 }
 
@@ -70,6 +71,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Uint64("seed", 1701, "generation seed when no -snapshot is given")
 	scale := fs.Float64("scale", 0.02, "generation scale when no -snapshot is given")
 	workers := fs.Int("workers", 0, "scan goroutine bound (0 = GOMAXPROCS, 1 = serial); never changes the result")
+	degraded := fs.Bool("degraded", false, "skip dataset shards that fail to read instead of aborting; skipped shards are reported")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // usage already printed to stderr
@@ -114,7 +116,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if ds != nil {
 		defer ds.Close()
 		totalRows = ds.Manifest().TotalRows()
-		res, err = query.RunDataset(ds, q)
+		res, err = query.RunDatasetOpts(ds, q, query.DatasetOptions{SkipFailedShards: *degraded})
 	} else {
 		totalRows = st.Len()
 		res, err = query.Run(st, q)
@@ -136,6 +138,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "scanned %d of %d rows (%.1f%%; %d of %d segments zone-map-pruned), matched %d in %d groups\n",
 		res.Stats.RowsScanned, totalRows, pct, res.Stats.SegmentsPruned, res.Stats.Segments, res.Stats.RowsMatched, len(res.Groups))
+	if ds != nil {
+		fmt.Fprintf(stdout, "shards: %d opened, %d pruned, %d skipped\n",
+			res.Stats.ShardsOpened, res.Stats.ShardsPruned, res.Stats.ShardsSkipped)
+		for _, sk := range res.SkippedShards {
+			fmt.Fprintf(stderr, "crowdquery: warning: skipped shard %s: %v\n", sk.Name, sk.Err)
+		}
+		if len(res.SkippedShards) > 0 {
+			fmt.Fprintf(stderr, "crowdquery: warning: result is a PARTIAL aggregate over %d of %d shards\n",
+				res.Stats.ShardsOpened, res.Stats.ShardsOpened+res.Stats.ShardsPruned+res.Stats.ShardsSkipped)
+		}
+	}
 	return nil
 }
 
@@ -156,7 +169,7 @@ func openSource(path string, seed uint64, scale float64, workers int) (*store.St
 	case store.KindManifest:
 		d, err := store.OpenDatasetPath(path)
 		if err != nil {
-			return nil, nil, "", fmt.Errorf("load dataset %s: %v", path, err)
+			return nil, nil, "", fmt.Errorf("load dataset %s: %w", path, err)
 		}
 		return nil, d, path, nil
 	case store.KindSnapshot:
@@ -167,11 +180,11 @@ func openSource(path string, seed uint64, scale float64, workers int) (*store.St
 		defer f.Close()
 		var st store.Store
 		if _, err := st.ReadSnapshot(f, store.LoadOptions{Workers: workers}); err != nil {
-			return nil, nil, "", fmt.Errorf("load snapshot %s: %v", path, err)
+			return nil, nil, "", fmt.Errorf("load snapshot %s: %w", path, err)
 		}
 		return &st, nil, path, nil
 	}
-	return nil, nil, "", fmt.Errorf("%s: not a crowdscope snapshot or manifest", path)
+	return nil, nil, "", fmt.Errorf("%s: not a crowdscope snapshot or manifest: %w", path, store.ErrBadMagic)
 }
 
 // describe echoes the canonical form of the query actually executed —

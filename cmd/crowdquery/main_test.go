@@ -3,11 +3,13 @@ package main
 import (
 	"bytes"
 	"flag"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"crowdscope/internal/cli"
 	"crowdscope/internal/model"
 	"crowdscope/internal/store"
 )
@@ -136,6 +138,107 @@ func TestNoMatchGolden(t *testing.T) {
 	if !strings.Contains(stdout.String(), "no rows matched") ||
 		!strings.Contains(stdout.String(), "4 of 4 segments zone-map-pruned") {
 		t.Errorf("unexpected output:\n%s", stdout.String())
+	}
+}
+
+// TestDegradedDataset: with a shard file gone, the strict default fails
+// loudly while -degraded answers from the surviving shards and reports
+// the partial coverage on both streams.
+func TestDegradedDataset(t *testing.T) {
+	dir := t.TempDir()
+	manPath := filepath.Join(dir, "fix.manifest")
+	f, err := os.Create(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := fixtureStore(t).WriteDataset(f, 3, "fix", func(name string) (io.WriteCloser, error) {
+		return os.Create(filepath.Join(dir, name))
+	}, store.WriteOptions{Workers: 1})
+	if cerr := f.Close(); err != nil || cerr != nil {
+		t.Fatalf("write dataset: %v / %v", err, cerr)
+	}
+	if err := os.Remove(filepath.Join(dir, man.Shards[1].Name)); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-snapshot", manPath, "-group", "batch"}, &stdout, &stderr); err == nil {
+		t.Fatal("strict query over a missing shard succeeded")
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	err = run([]string{"-snapshot", manPath, "-group", "batch", "-degraded"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("degraded run: %v (stderr: %s)", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "shards: 2 opened, 0 pruned, 1 skipped") {
+		t.Errorf("coverage not reported:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), man.Shards[1].Name) ||
+		!strings.Contains(stderr.String(), "PARTIAL aggregate over 2 of 3 shards") {
+		t.Errorf("skip warning missing:\n%s", stderr.String())
+	}
+}
+
+// TestExitCodeTaxonomy drives real damaged and missing inputs through
+// run and checks that the shared exit-code classification sees through
+// every layer of wrapping: corrupt input exits 2, missing input exits
+// 3, everything else 1.
+func TestExitCodeTaxonomy(t *testing.T) {
+	snap := fixture(t)
+	dir := t.TempDir()
+
+	good, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte deep in the payload: magic survives, a section CRC dies.
+	bad := append([]byte(nil), good...)
+	bad[len(bad)/2] ^= 0x40
+	corrupt := filepath.Join(dir, "corrupt.crow")
+	if err := os.WriteFile(corrupt, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Garbage magic: not recognizably ours at all.
+	garbage := filepath.Join(dir, "garbage.crow")
+	if err := os.WriteFile(garbage, []byte("definitely not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A dataset whose manifest names a shard that is gone.
+	manPath := filepath.Join(dir, "gone.manifest")
+	f, err := os.Create(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := fixtureStore(t).WriteDataset(f, 2, "gone", func(name string) (io.WriteCloser, error) {
+		return os.Create(filepath.Join(dir, name))
+	}, store.WriteOptions{Workers: 1})
+	if cerr := f.Close(); err != nil || cerr != nil {
+		t.Fatalf("write dataset: %v / %v", err, cerr)
+	}
+	if err := os.Remove(filepath.Join(dir, man.Shards[0].Name)); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"ok", []string{"-snapshot", snap}, cli.ExitOK},
+		{"bad flag", []string{"-snapshot", snap, "-sort", "sideways"}, cli.ExitError},
+		{"corrupt snapshot", []string{"-snapshot", corrupt}, cli.ExitCorrupt},
+		{"garbage file", []string{"-snapshot", garbage}, cli.ExitCorrupt},
+		{"missing snapshot", []string{"-snapshot", filepath.Join(dir, "nope.crow")}, cli.ExitMissing},
+		{"missing shard", []string{"-snapshot", manPath, "-group", "batch"}, cli.ExitMissing},
+	}
+	for _, c := range cases {
+		var stdout, stderr bytes.Buffer
+		err := run(c.args, &stdout, &stderr)
+		if got := cli.ExitCode(err); got != c.want {
+			t.Errorf("%s: exit %d (err %v), want %d", c.name, got, err, c.want)
+		}
 	}
 }
 

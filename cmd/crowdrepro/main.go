@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"crowdscope/internal/cli"
 	"crowdscope/internal/core"
 	"crowdscope/internal/experiments"
 	"crowdscope/internal/profiling"
@@ -32,7 +33,7 @@ import (
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "crowdrepro: %v\n", err)
-		os.Exit(1)
+		os.Exit(cli.ExitCode(err))
 	}
 }
 
@@ -142,13 +143,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		if *tsvDir != "" {
 			if err := os.MkdirAll(*tsvDir, 0o755); err != nil {
-				return fmt.Errorf("mkdir %s: %v", *tsvDir, err)
+				return fmt.Errorf("mkdir %s: %w", *tsvDir, err)
 			}
 			for name, series := range out.Series {
 				path := filepath.Join(*tsvDir, name+".tsv")
 				f, err := os.Create(path)
 				if err != nil {
-					return fmt.Errorf("create %s: %v", path, err)
+					return fmt.Errorf("create %s: %w", path, err)
 				}
 				series.Render(f)
 				f.Close()
@@ -157,7 +158,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if md != nil {
 		if err := os.WriteFile(*checksMD, []byte(md.String()), 0o644); err != nil {
-			return fmt.Errorf("write %s: %v", *checksMD, err)
+			return fmt.Errorf("write %s: %w", *checksMD, err)
 		}
 		fmt.Fprintf(stdout, "\nwrote %s\n", *checksMD)
 	}
@@ -175,7 +176,7 @@ func loadSnapshot(path string, workers int) (*store.Store, *store.Provenance, er
 	var st store.Store
 	rep, err := st.ReadSnapshot(f, store.LoadOptions{Workers: workers})
 	if err != nil {
-		return nil, nil, fmt.Errorf("load snapshot %s: %v (run `crowdstats verify-snapshot %s` to inspect the damage)", path, err, path)
+		return nil, nil, fmt.Errorf("load snapshot %s: %w (run `crowdstats verify-snapshot %s` to inspect the damage)", path, err, path)
 	}
 	return &st, rep.Provenance, nil
 }

@@ -19,6 +19,7 @@ import (
 	"os"
 	"sort"
 
+	"crowdscope/internal/cli"
 	"crowdscope/internal/core"
 	"crowdscope/internal/experiments"
 	"crowdscope/internal/model"
@@ -34,7 +35,7 @@ import (
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "crowdstats: %v\n", err)
-		os.Exit(1)
+		os.Exit(cli.ExitCode(err))
 	}
 }
 
@@ -151,7 +152,7 @@ func openLog(path string, opts store.LoadOptions) (*store.Store, *store.LoadRepo
 		}
 		return st, rep, d.NumShards(), nil
 	}
-	return nil, nil, 0, fmt.Errorf("%s: not a crowdscope snapshot or manifest", path)
+	return nil, nil, 0, fmt.Errorf("%s: not a crowdscope snapshot or manifest: %w", path, store.ErrBadMagic)
 }
 
 // loadDataset rebuilds a full dataset around a snapshot-restored instance
@@ -160,7 +161,7 @@ func openLog(path string, opts store.LoadOptions) (*store.Store, *store.LoadRepo
 func loadDataset(cfg synth.Config, path string, workers int) (*synth.Dataset, error) {
 	st, rep, _, err := openLog(path, store.LoadOptions{Workers: workers})
 	if err != nil {
-		return nil, fmt.Errorf("load snapshot: %v", err)
+		return nil, fmt.Errorf("load snapshot: %w", err)
 	}
 	if p := rep.Provenance; p != nil && p.ConfigHash != cfg.Hash() {
 		return nil, fmt.Errorf("snapshot %s was written by %q under config %016x, but flags give %016x (seed %d, scale %g); pass the matching -seed/-scale",
@@ -178,10 +179,10 @@ func snapshotCmd(path string, workers int, stdout io.Writer) error {
 	}
 	st, rep, nshards, err := openLog(path, store.LoadOptions{Workers: workers})
 	if err != nil {
-		return fmt.Errorf("read snapshot: %v", err)
+		return fmt.Errorf("read snapshot: %w", err)
 	}
 	if err := st.Validate(); err != nil {
-		return fmt.Errorf("snapshot invalid: %v", err)
+		return fmt.Errorf("snapshot invalid: %w", err)
 	}
 	nonEmpty := 0
 	for b := 0; b < st.NumBatches(); b++ {
@@ -234,7 +235,7 @@ func verifySnapshotCmd(path string, workers int, stdout, stderr io.Writer) error
 	st, rep, _, serr := openLog(path, store.LoadOptions{Workers: workers})
 	if serr == nil {
 		if err := st.Validate(); err != nil {
-			return fmt.Errorf("%s: sections OK but structure invalid: %v", path, err)
+			return fmt.Errorf("%s: sections OK but structure invalid: %w", path, err)
 		}
 		fmt.Fprintf(stdout, "%s: OK (v%d, %d bytes, %d rows, %d segments", path, rep.Version, rep.Bytes, st.Len(), st.NumSegments())
 		if p := rep.Provenance; p != nil {

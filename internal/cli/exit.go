@@ -1,0 +1,41 @@
+// Package cli holds the small conventions shared by the crowdscope
+// command-line tools: a common error-to-exit-code taxonomy so scripts
+// and CI can tell a damaged input from a missing one without parsing
+// stderr.
+package cli
+
+import (
+	"errors"
+	"io/fs"
+
+	"crowdscope/internal/store"
+)
+
+// Exit codes shared by every crowdscope CLI.
+const (
+	ExitOK      = 0
+	ExitError   = 1 // usage errors, bad flags, anything unclassified
+	ExitCorrupt = 2 // input exists but is damaged (bad magic, checksum, truncation)
+	ExitMissing = 3 // input file or shard does not exist
+)
+
+// ExitCode maps an error from a CLI's run function onto the shared
+// taxonomy. Classification is by errors.Is, so it survives any amount
+// of %w wrapping; corruption is checked before absence because a
+// dataset with a missing shard referenced by an intact manifest is
+// reported by the store layer as the more specific sentinel it chose.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return ExitOK
+	case errors.Is(err, store.ErrBadMagic),
+		errors.Is(err, store.ErrBadVersion),
+		errors.Is(err, store.ErrChecksum),
+		errors.Is(err, store.ErrTruncated),
+		errors.Is(err, store.ErrCorrupt):
+		return ExitCorrupt
+	case errors.Is(err, fs.ErrNotExist):
+		return ExitMissing
+	}
+	return ExitError
+}

@@ -1,0 +1,39 @@
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"testing"
+
+	"crowdscope/internal/store"
+)
+
+func TestExitCodeTaxonomy(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, ExitOK},
+		{"plain", errors.New("boom"), ExitError},
+		{"bad magic", store.ErrBadMagic, ExitCorrupt},
+		{"bad version", store.ErrBadVersion, ExitCorrupt},
+		{"checksum", store.ErrChecksum, ExitCorrupt},
+		{"truncated", store.ErrTruncated, ExitCorrupt},
+		{"corrupt", store.ErrCorrupt, ExitCorrupt},
+		{"missing", fs.ErrNotExist, ExitMissing},
+		// The codes must survive the wrapping every CLI layer adds.
+		{"wrapped corrupt", fmt.Errorf("load dataset x: %w",
+			fmt.Errorf("shard 2: %w", store.ErrChecksum)), ExitCorrupt},
+		{"wrapped missing", fmt.Errorf("open %s: %w", "nope.crow", fs.ErrNotExist), ExitMissing},
+		// A manifest naming a shard that is gone classifies as missing,
+		// not generic, even when the store layer wraps it.
+		{"missing shard", fmt.Errorf("shard fix-00001.crow: %w", fs.ErrNotExist), ExitMissing},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("%s: ExitCode = %d, want %d", c.name, got, c.want)
+		}
+	}
+}

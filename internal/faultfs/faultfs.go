@@ -1,0 +1,302 @@
+// Package faultfs is the fault-injection harness behind the crash-
+// recovery tests: a vfs.FS wrapper that fails at scripted points — a
+// torn write at a chosen byte offset of the global write stream, a
+// permanent failure at the N-th mutating operation, a failed fsync, or
+// transient read errors. "Crash" here means what it means for
+// durability testing: once the armed point is reached, every further
+// mutation fails, so the bytes on disk are frozen exactly as a real
+// crash would freeze them; the test then re-opens the directory with a
+// clean filesystem and asserts the recovery contract over what
+// survived.
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"sync"
+
+	"crowdscope/internal/vfs"
+)
+
+// ErrInjected is the permanent failure every mutating operation returns
+// once the armed crash point has been reached.
+var ErrInjected = errors.New("faultfs: injected crash")
+
+// ErrTransient is the error injected reads fail with; unlike a crash it
+// clears on its own, modeling a flaky device or network filesystem.
+var ErrTransient = errors.New("faultfs: injected transient read error")
+
+// FS wraps an inner filesystem and injects faults. Arm the fault points
+// before handing it to the code under test; the zero configuration
+// passes everything through. All methods are safe for concurrent use.
+type FS struct {
+	inner vfs.FS
+
+	mu             sync.Mutex
+	crashAtBytes   int64 // -1 disabled; tear the write crossing this offset
+	crashAtOps     int   // 0 disabled; the N-th mutating op fails
+	failSyncAt     int   // 0 disabled; the K-th Sync fails and crashes
+	transientReads int   // next N ReadAt calls fail with ErrTransient
+
+	bytes   int64 // file bytes successfully persisted through writes
+	ops     int   // mutating operations attempted
+	syncs   int   // Sync calls attempted
+	reads   int   // ReadAt calls
+	crashed bool
+}
+
+// New wraps inner with no faults armed.
+func New(inner vfs.FS) *FS {
+	return &FS{inner: inner, crashAtBytes: -1}
+}
+
+// CrashAfterBytes arms a torn-write crash: the write that would carry
+// the cumulative data stream past n bytes persists only the prefix up
+// to n, fails, and crashes the filesystem.
+func (f *FS) CrashAfterBytes(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAtBytes = n
+}
+
+// CrashAfterOps arms an operation-count crash: the n-th mutating
+// operation (write, sync, create, rename, remove, truncate, directory
+// sync) fails without any effect, and the filesystem stays failed.
+func (f *FS) CrashAfterOps(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAtOps = n
+}
+
+// FailSyncAt arms an fsync failure: the k-th Sync call (1-based) fails
+// and crashes the filesystem. Data already written stays on disk — an
+// fsync failure loses nothing in this model, it only denies the
+// durability acknowledgment.
+func (f *FS) FailSyncAt(k int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failSyncAt = k
+}
+
+// FailReads arms n transient read errors: the next n ReadAt calls
+// (across every file opened through this FS, and every reader wrapped
+// with WrapReaderAt) fail with ErrTransient, then reads succeed again.
+func (f *FS) FailReads(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.transientReads = n
+}
+
+// Crashed reports whether an armed crash point has been reached.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Stats returns the operation counters: cumulative data bytes written,
+// mutating operations, and sync calls. A fault-free dry run measures a
+// workload with these; the crash campaign then sweeps the recorded
+// ranges.
+func (f *FS) Stats() (bytes int64, ops, syncs int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.bytes, f.ops, f.syncs
+}
+
+// beginOp accounts one mutating operation and decides whether it fails.
+func (f *FS) beginOp() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrInjected
+	}
+	f.ops++
+	if f.crashAtOps > 0 && f.ops >= f.crashAtOps {
+		f.crashed = true
+		return ErrInjected
+	}
+	return nil
+}
+
+// admitWrite decides how much of an n-byte write persists. It returns
+// the number of bytes to pass through and whether the write then fails.
+func (f *FS) admitWrite(n int) (int, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashAtBytes >= 0 && f.bytes+int64(n) > f.crashAtBytes {
+		keep := int(f.crashAtBytes - f.bytes)
+		if keep < 0 {
+			keep = 0
+		}
+		f.bytes += int64(keep)
+		f.crashed = true
+		return keep, true
+	}
+	f.bytes += int64(n)
+	return n, false
+}
+
+// admitSync decides whether a Sync call fails.
+func (f *FS) admitSync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncs++
+	if f.failSyncAt > 0 && f.syncs >= f.failSyncAt {
+		f.crashed = true
+		return ErrInjected
+	}
+	return nil
+}
+
+// admitRead decides whether a ReadAt call fails transiently.
+func (f *FS) admitRead() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.reads++
+	if f.transientReads > 0 {
+		f.transientReads--
+		return ErrTransient
+	}
+	return nil
+}
+
+type faultFile struct {
+	fs    *FS
+	inner vfs.File
+}
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	if err := w.fs.beginOp(); err != nil {
+		return 0, err
+	}
+	keep, torn := w.fs.admitWrite(len(p))
+	if !torn {
+		return w.inner.Write(p)
+	}
+	// Torn write: persist the admitted prefix, then fail. The inner
+	// write's own error (if any) is subsumed by the injection.
+	if keep > 0 {
+		w.inner.Write(p[:keep])
+	}
+	return keep, ErrInjected
+}
+
+func (w *faultFile) Sync() error {
+	if err := w.fs.beginOp(); err != nil {
+		return err
+	}
+	if err := w.fs.admitSync(); err != nil {
+		return err
+	}
+	return w.inner.Sync()
+}
+
+func (w *faultFile) Close() error { return w.inner.Close() }
+
+type faultReadFile struct {
+	fs    *FS
+	inner vfs.ReadFile
+}
+
+func (r *faultReadFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := r.fs.admitRead(); err != nil {
+		return 0, err
+	}
+	return r.inner.ReadAt(p, off)
+}
+
+func (r *faultReadFile) Size() (int64, error) { return r.inner.Size() }
+func (r *faultReadFile) Close() error         { return r.inner.Close() }
+
+// Create opens name for writing through the fault plan.
+func (f *FS) Create(name string) (vfs.File, error) {
+	if err := f.beginOp(); err != nil {
+		return nil, err
+	}
+	w, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: w}, nil
+}
+
+// OpenAppend opens name for appending through the fault plan.
+func (f *FS) OpenAppend(name string) (vfs.File, error) {
+	if err := f.beginOp(); err != nil {
+		return nil, err
+	}
+	w, err := f.inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: w}, nil
+}
+
+// OpenRead opens name for reading; reads may fail transiently.
+func (f *FS) OpenRead(name string) (vfs.ReadFile, error) {
+	r, err := f.inner.OpenRead(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultReadFile{fs: f, inner: r}, nil
+}
+
+// Truncate is a mutating operation under the fault plan.
+func (f *FS) Truncate(name string, size int64) error {
+	if err := f.beginOp(); err != nil {
+		return err
+	}
+	return f.inner.Truncate(name, size)
+}
+
+// Rename is a mutating operation under the fault plan.
+func (f *FS) Rename(oldname, newname string) error {
+	if err := f.beginOp(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldname, newname)
+}
+
+// Remove is a mutating operation under the fault plan.
+func (f *FS) Remove(name string) error {
+	if err := f.beginOp(); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+// ReadDir passes through; listing a directory is not a durability
+// operation.
+func (f *FS) ReadDir(dir string) ([]string, error) { return f.inner.ReadDir(dir) }
+
+// MkdirAll passes through: directory scaffolding happens before the
+// workload under test, and failing it tests nothing interesting.
+func (f *FS) MkdirAll(dir string) error { return f.inner.MkdirAll(dir) }
+
+// SyncDir is a mutating operation under the fault plan.
+func (f *FS) SyncDir(dir string) error {
+	if err := f.beginOp(); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// WrapReaderAt wraps any io.ReaderAt so its reads draw from the same
+// transient-failure budget as the filesystem's files. This is how the
+// dataset-shard read path is exercised without routing it through vfs.
+func (f *FS) WrapReaderAt(ra io.ReaderAt) io.ReaderAt {
+	return flakyReaderAt{fs: f, ra: ra}
+}
+
+type flakyReaderAt struct {
+	fs *FS
+	ra io.ReaderAt
+}
+
+func (r flakyReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if err := r.fs.admitRead(); err != nil {
+		return 0, err
+	}
+	return r.ra.ReadAt(p, off)
+}

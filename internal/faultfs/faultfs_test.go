@@ -1,0 +1,126 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"crowdscope/internal/vfs"
+)
+
+func TestTornWriteAtByteBoundary(t *testing.T) {
+	dir := t.TempDir()
+	f := New(vfs.OS{})
+	f.CrashAfterBytes(10)
+	w, err := f.Create(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := w.Write([]byte("12345678")); n != 8 || err != nil {
+		t.Fatalf("write under the boundary: n=%d err=%v", n, err)
+	}
+	n, err := w.Write([]byte("abcdefgh"))
+	if n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("crossing write: n=%d err=%v, want torn at 2 bytes", n, err)
+	}
+	w.Close()
+	if !f.Crashed() {
+		t.Fatal("FS not crashed after torn write")
+	}
+	// Everything after the crash fails.
+	if _, err := f.Create(filepath.Join(dir, "b")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("create after crash: %v", err)
+	}
+	if err := f.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "c")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename after crash: %v", err)
+	}
+	// The torn prefix is what survived on disk.
+	got, err := os.ReadFile(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("12345678ab")) {
+		t.Fatalf("on-disk bytes %q, want the 10-byte torn prefix", got)
+	}
+}
+
+func TestCrashAfterOpsFailsWithoutEffect(t *testing.T) {
+	dir := t.TempDir()
+	f := New(vfs.OS{})
+	f.CrashAfterOps(3) // create=1, write=2, rename=3 fails
+	w, err := f.Create(filepath.Join(dir, "a.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if err := f.Rename(filepath.Join(dir, "a.tmp"), filepath.Join(dir, "a")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("3rd op: %v, want injected failure", err)
+	}
+	// The rename did not happen: the temp file is still there.
+	if _, err := os.Stat(filepath.Join(dir, "a.tmp")); err != nil {
+		t.Fatalf("temp file gone after failed rename: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "a")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("rename target exists after injected failure: %v", err)
+	}
+}
+
+func TestFailSyncKeepsData(t *testing.T) {
+	dir := t.TempDir()
+	f := New(vfs.OS{})
+	f.FailSyncAt(1)
+	w, err := f.Create(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("written-before-sync")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync: %v, want injected failure", err)
+	}
+	w.Close()
+	// A failed fsync denies the acknowledgment but loses nothing here.
+	got, _ := os.ReadFile(filepath.Join(dir, "a"))
+	if string(got) != "written-before-sync" {
+		t.Fatalf("data lost across failed sync: %q", got)
+	}
+}
+
+func TestTransientReadsClear(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a"), []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f := New(vfs.OS{})
+	f.FailReads(2)
+	r, err := f.OpenRead(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	buf := make([]byte, 5)
+	for i := 0; i < 2; i++ {
+		if _, err := r.ReadAt(buf, 0); !errors.Is(err, ErrTransient) {
+			t.Fatalf("read %d: %v, want transient error", i, err)
+		}
+	}
+	if _, err := r.ReadAt(buf, 0); err != nil || string(buf) != "hello" {
+		t.Fatalf("read after budget drained: %q, %v", buf, err)
+	}
+	// WrapReaderAt draws from the same budget.
+	f.FailReads(1)
+	ra := f.WrapReaderAt(strings.NewReader("world"))
+	if _, err := ra.ReadAt(buf, 0); !errors.Is(err, ErrTransient) {
+		t.Fatalf("wrapped reader: %v, want transient error", err)
+	}
+	if _, err := ra.ReadAt(buf, 0); err != nil || string(buf) != "world" {
+		t.Fatalf("wrapped reader after budget: %q, %v", buf, err)
+	}
+}

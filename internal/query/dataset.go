@@ -62,6 +62,23 @@ func neededColumns(q *Query) store.ColumnSet {
 	return need
 }
 
+// DatasetOptions tune RunDatasetOpts beyond the query itself.
+type DatasetOptions struct {
+	// SkipFailedShards runs the query in degraded mode: a shard that
+	// fails to open or read is skipped instead of failing the whole
+	// query, and the result is annotated — Stats counts the skip and
+	// Result.SkippedShards names it, with the error that sidelined it.
+	// The default (strict) fails on the first shard error, so a damaged
+	// dataset can never silently report partial aggregates.
+	SkipFailedShards bool
+}
+
+// SkippedShard names one shard a degraded query left out, and why.
+type SkippedShard struct {
+	Name string
+	Err  error
+}
+
 // RunDataset executes the query against a sharded dataset without
 // assembling it: shards whose manifest zone cannot intersect the
 // predicates are never opened, surviving shards load only the columns
@@ -75,6 +92,12 @@ func neededColumns(q *Query) store.ColumnSet {
 // one, group keys are global (batch intervals are preserved through
 // sharding), and the merge folds the same partials in the same order.
 func RunDataset(d *store.Dataset, q Query) (*Result, error) {
+	return RunDatasetOpts(d, q, DatasetOptions{})
+}
+
+// RunDatasetOpts is RunDataset with dataset-level options; see
+// DatasetOptions for the degraded mode.
+func RunDatasetOpts(d *store.Dataset, q Query, opts DatasetOptions) (*Result, error) {
 	if err := q.validate(); err != nil {
 		return nil, err
 	}
@@ -91,6 +114,7 @@ func RunDataset(d *store.Dataset, q Query) (*Result, error) {
 		shape := store.SegmentInfo{RowLo: 0, RowHi: si.Rows, BatchLo: si.BatchLo, BatchHi: si.BatchHi}
 		if si.Rows == 0 || prune(&si.Zone, shape, preds) {
 			res.Stats.SegmentsPruned += si.Segments
+			res.Stats.ShardsPruned++
 			continue
 		}
 		keep = append(keep, i)
@@ -101,15 +125,20 @@ func RunDataset(d *store.Dataset, q Query) (*Result, error) {
 		partials []partial
 		tasks    []span
 		pruned   int
+		err      error
 	}
 	outs := make([]shardOut, len(keep))
 	err := par.EachShardErr(len(keep), q.Workers, func(lo, hi int) error {
 		for k := lo; k < hi; k++ {
 			sh, err := d.Shard(keep[k])
-			if err != nil {
-				return err
+			if err == nil {
+				err = sh.EnsureColumns(need)
 			}
-			if err := sh.EnsureColumns(need); err != nil {
+			if err != nil {
+				if opts.SkipFailedShards {
+					outs[k].err = err
+					continue
+				}
 				return err
 			}
 			// Scan serially inside the shard — the fan-out is across
@@ -117,7 +146,7 @@ func RunDataset(d *store.Dataset, q Query) (*Result, error) {
 			// already counted from the manifest.
 			var qs Stats
 			partials, tasks := scanStore(sh.Store(), &q, preds, 1, &qs)
-			outs[k] = shardOut{partials, tasks, qs.SegmentsPruned}
+			outs[k] = shardOut{partials: partials, tasks: tasks, pruned: qs.SegmentsPruned}
 		}
 		return nil
 	})
@@ -128,6 +157,13 @@ func RunDataset(d *store.Dataset, q Query) (*Result, error) {
 	var partials []partial
 	var tasks []span
 	for k := range outs {
+		if outs[k].err != nil {
+			si := &man.Shards[keep[k]]
+			res.Stats.ShardsSkipped++
+			res.SkippedShards = append(res.SkippedShards, SkippedShard{Name: si.Name, Err: outs[k].err})
+			continue
+		}
+		res.Stats.ShardsOpened++
 		res.Stats.SegmentsPruned += outs[k].pruned
 		partials = append(partials, outs[k].partials...)
 		tasks = append(tasks, outs[k].tasks...)

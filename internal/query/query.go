@@ -251,12 +251,23 @@ type Stats struct {
 	// RowsScanned counts rows the filter kernels touched; RowsMatched
 	// counts rows that passed every predicate.
 	RowsScanned, RowsMatched int64
+	// Shard coverage, filled by RunDataset only: every non-empty shard is
+	// exactly one of opened (scanned), pruned (manifest zone excluded it),
+	// or skipped (failed and left out by degraded mode — see
+	// DatasetOptions.SkipFailedShards). Skipped is always zero for a
+	// strict query.
+	ShardsOpened, ShardsPruned, ShardsSkipped int
 }
 
 // Result is a query's output: groups in ascending key order.
 type Result struct {
 	Groups []Group
 	Stats  Stats
+	// SkippedShards names the shards a degraded dataset query left out
+	// (with the errors that sidelined them); empty for strict queries and
+	// in-memory runs. A result with skipped shards covers a subset of the
+	// data — callers presenting it must surface that.
+	SkippedShards []SkippedShard
 }
 
 // Group returns the group with the given key, if present.

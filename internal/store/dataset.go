@@ -27,13 +27,28 @@ type OpenShard func(name string) (io.ReaderAt, int64, error)
 // Dataset is an open sharded dataset: the manifest plus lazily opened
 // shards.
 type Dataset struct {
-	man  *Manifest
-	open OpenShard
+	man   *Manifest
+	open  OpenShard
+	retry RetryPolicy
 
 	shards []*Shard
 
 	mu      sync.Mutex
 	closers []io.Closer
+}
+
+// SetRetry installs a transient-read retry policy on every shard reader
+// opened from now on (see RetryPolicy). Call it before the first read;
+// already-open shards keep their readers.
+func (d *Dataset) SetRetry(p RetryPolicy) { d.retry = p }
+
+// openShard opens a shard reader with the dataset's retry policy applied.
+func (d *Dataset) openShard(name string) (io.ReaderAt, int64, error) {
+	ra, size, err := d.open(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	return WithRetry(ra, d.retry), size, nil
 }
 
 // OpenDataset opens a dataset over a validated manifest. Shard files are
@@ -62,7 +77,7 @@ func OpenDatasetPath(path string) (*Dataset, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	dir := filepath.Dir(path)
-	return OpenDataset(man, func(name string) (io.ReaderAt, int64, error) {
+	d, err := OpenDataset(man, func(name string) (io.ReaderAt, int64, error) {
 		sf, err := os.Open(filepath.Join(dir, name))
 		if err != nil {
 			return nil, 0, err
@@ -74,6 +89,11 @@ func OpenDatasetPath(path string) (*Dataset, error) {
 		}
 		return sf, st.Size(), nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	d.SetRetry(DefaultRetryPolicy)
+	return d, nil
 }
 
 // Manifest returns the dataset's manifest.
@@ -169,7 +189,7 @@ func (sh *Shard) readSecAt(fs footerSec, name string) ([]byte, error) {
 
 // openLocked opens the shard file and validates footer + metadata.
 func (sh *Shard) openLocked() error {
-	ra, size, err := sh.d.open(sh.info.Name)
+	ra, size, err := sh.d.openShard(sh.info.Name)
 	if err != nil {
 		return err
 	}
@@ -459,7 +479,7 @@ func (d *Dataset) LoadStore(opts LoadOptions) (*Store, *DatasetReport, error) {
 	stores := make([]*Store, len(d.man.Shards))
 	for i := range d.man.Shards {
 		si := &d.man.Shards[i]
-		ra, size, err := d.open(si.Name)
+		ra, size, err := d.openShard(si.Name)
 		if err != nil {
 			if !repair {
 				return nil, nil, fmt.Errorf("shard %s: %w", si.Name, err)

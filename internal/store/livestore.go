@@ -1,0 +1,696 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"crowdscope/internal/model"
+	"crowdscope/internal/vfs"
+	"crowdscope/internal/wal"
+)
+
+// LiveStore is the durable ingest front of the store: appended instance
+// rows are WAL-logged (and synced, under the default policy) before they
+// are acknowledged, accumulated in a growable open builder, sealed into
+// the ordinary immutable segments at a row threshold, and periodically
+// checkpointed — a v3 snapshot of the sealed segments plus the WAL
+// position the snapshot covers, written atomically via temp-file rename.
+// OpenLive recovers a crashed directory by loading the checkpoint and
+// replaying the WAL suffix through the same apply path the live process
+// used, which makes the recovered state bit-identical to an uncrashed
+// process that ingested the same records.
+//
+// Determinism is the load-bearing property. Recovery replays the record
+// stream, so everything the in-memory state depends on must be a pure
+// function of that stream (plus the configured thresholds): records are
+// validated BEFORE they are logged, so apply can never fail; seal
+// decisions happen only at record boundaries; and a batch never splits
+// across segments because a seal additionally waits for the batch ID to
+// advance. Reopen a directory with the thresholds it was written under.
+//
+// The directory layout is
+//
+//	dir/wal/wal-*.log    the record log (see internal/wal)
+//	dir/ckpt-%08d.crow   checkpoint snapshots (ordinary v3 snapshots)
+//	dir/CHECKPOINT       points at the live snapshot + its WAL position
+type LiveStore struct {
+	dir string
+	cfg LiveConfig
+	fs  vfs.FS
+
+	mu        sync.Mutex
+	log       *wal.Log
+	sealed    []*Segment
+	open      *Builder // nil when no unsealed rows
+	openStart wal.LSN  // LSN of the first record in the open builder
+	curBatch  uint32   // highest batch ID appended
+	haveRows  bool
+	ackRows   int // rows acknowledged (or recovered) so far
+	sealRows  int // rows in sealed segments
+	ckptSeq   uint64
+	ckptRows  int // sealed rows covered by the live checkpoint
+	closed    bool
+	failed    bool
+}
+
+// LiveConfig tunes a LiveStore. The thresholds are part of the recovery
+// contract: reopen a directory with the values it was written under.
+type LiveConfig struct {
+	// SealRows is the open-builder row count at which the next batch
+	// boundary seals it into an immutable segment. Zero means 1 << 16.
+	SealRows int
+	// CheckpointRows checkpoints automatically once that many sealed rows
+	// are not yet covered by a checkpoint. Zero means 4 * SealRows;
+	// negative disables auto-checkpointing (Checkpoint still works).
+	CheckpointRows int
+	// Sync is the WAL fsync policy; the zero value is SyncAlways, under
+	// which an acknowledged append survives any crash.
+	Sync wal.SyncPolicy
+	// SegmentBytes is the WAL rotation threshold; zero means the WAL
+	// default.
+	SegmentBytes int64
+	// FS is the filesystem everything lives on; nil means the real one.
+	// The fault-injection tests swap in internal/faultfs here.
+	FS vfs.FS
+}
+
+func (c *LiveConfig) fill() {
+	if c.SealRows <= 0 {
+		c.SealRows = 1 << 16
+	}
+	if c.CheckpointRows == 0 {
+		c.CheckpointRows = 4 * c.SealRows
+	}
+	if c.FS == nil {
+		c.FS = vfs.OS{}
+	}
+}
+
+// ErrLiveFailed poisons a LiveStore after a write, sync or checkpoint
+// failure: the on-disk tail is undefined, so further appends are refused.
+// Reopen the directory to recover the durable prefix.
+var ErrLiveFailed = errors.New("store: live store failed; reopen to recover")
+
+// Record payload layout (the WAL stores opaque payloads; this is the
+// live store's record codec). A record is one acknowledged Append call:
+//
+//	byte   kind (1 = instance rows)
+//	uvarint row count
+//	per row: uvarint batch delta (from previous row; batches ascend),
+//	         uvarint taskType, item, worker, answer,
+//	         uvarint zigzag(start delta), uvarint zigzag(end - start),
+//	         4-byte LE float32 trust bits
+//
+// Every field is input-bounded on decode; a record that fails validation
+// is never written, so replay of a CRC-clean log cannot fail.
+const (
+	recKindRows = 1
+	// MaxAppendRows bounds one Append call (and so one WAL record).
+	MaxAppendRows = 1 << 20
+)
+
+// encodeRecord serializes rows, which must already be validated.
+func encodeRecord(rows []model.Instance) []byte {
+	var b bytes.Buffer
+	b.WriteByte(recKindRows)
+	putUvarint(&b, uint64(len(rows)))
+	prevBatch := uint32(0)
+	prevStart := int64(0)
+	var f [4]byte
+	for _, in := range rows {
+		putUvarint(&b, uint64(in.Batch-prevBatch))
+		prevBatch = in.Batch
+		putUvarint(&b, uint64(in.TaskType))
+		putUvarint(&b, uint64(in.Item))
+		putUvarint(&b, uint64(in.Worker))
+		putUvarint(&b, uint64(in.Answer))
+		putUvarint(&b, zigzag(in.Start-prevStart))
+		prevStart = in.Start
+		putUvarint(&b, zigzag(in.End-in.Start))
+		binary.LittleEndian.PutUint32(f[:], math.Float32bits(in.Trust))
+		b.Write(f[:])
+	}
+	return b.Bytes()
+}
+
+// decodeRecord inverts encodeRecord, validating every bound. The rows of
+// a valid record have non-decreasing batch IDs by construction.
+func decodeRecord(p []byte) ([]model.Instance, error) {
+	sr := &sliceReader{buf: p}
+	kind, err := sr.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("record kind: %w", ErrTruncated)
+	}
+	if kind != recKindRows {
+		return nil, fmt.Errorf("record kind %d: %w", kind, ErrCorrupt)
+	}
+	n, err := getUvarint(sr)
+	if err != nil {
+		return nil, fmt.Errorf("record row count: %w", asTruncated(err))
+	}
+	if n == 0 || n > MaxAppendRows {
+		return nil, fmt.Errorf("record row count %d: %w", n, ErrCorrupt)
+	}
+	// Bound the allocation by the input: every row costs ≥ 11 bytes.
+	if int(n) > sr.remaining()/11+1 {
+		return nil, fmt.Errorf("record row count %d exceeds payload: %w", n, ErrCorrupt)
+	}
+	rows := make([]model.Instance, n)
+	prevBatch := uint64(0)
+	prevStart := int64(0)
+	var f [4]byte
+	for i := range rows {
+		d, err := getUvarint(sr)
+		if err != nil {
+			return nil, fmt.Errorf("row %d batch: %w", i, asTruncated(err))
+		}
+		batch := prevBatch + d
+		if batch > math.MaxUint32 {
+			return nil, fmt.Errorf("row %d batch %d: %w", i, batch, ErrCorrupt)
+		}
+		prevBatch = batch
+		rows[i].Batch = uint32(batch)
+		for _, dst := range []*uint32{&rows[i].TaskType, &rows[i].Item, &rows[i].Worker, &rows[i].Answer} {
+			v, err := getUvarint(sr)
+			if err != nil || v > math.MaxUint32 {
+				return nil, fmt.Errorf("row %d column: %w", i, ErrCorrupt)
+			}
+			*dst = uint32(v)
+		}
+		sd, err := getUvarint(sr)
+		if err != nil {
+			return nil, fmt.Errorf("row %d start: %w", i, asTruncated(err))
+		}
+		rows[i].Start = prevStart + unzigzag(sd)
+		prevStart = rows[i].Start
+		ed, err := getUvarint(sr)
+		if err != nil {
+			return nil, fmt.Errorf("row %d end: %w", i, asTruncated(err))
+		}
+		rows[i].End = rows[i].Start + unzigzag(ed)
+		if _, err := io.ReadFull(sr, f[:]); err != nil {
+			return nil, fmt.Errorf("row %d trust: %w", i, ErrTruncated)
+		}
+		rows[i].Trust = math.Float32frombits(binary.LittleEndian.Uint32(f[:]))
+	}
+	if sr.remaining() != 0 {
+		return nil, fmt.Errorf("%d trailing record bytes: %w", sr.remaining(), ErrCorrupt)
+	}
+	return rows, nil
+}
+
+// Checkpoint meta file: a single fixed-size frame naming the live
+// snapshot and the WAL position it covers. Written via temp-file rename,
+// so it is either the old version or the new one, never a mix; the CRC
+// catches bit rot, which (unlike a torn tail) is not recoverable here —
+// the meta is the root of trust for what the WAL may have discarded.
+const (
+	ckptMagic = 0x504B4343 // "CCKP"
+	ckptLen   = 4 + 4 + 8 + 8 + 8 + 8 + 4
+)
+
+type ckptMeta struct {
+	seq  uint64  // snapshot sequence: the live snapshot is ckptName(seq)
+	lsn  wal.LSN // replay resumes here; everything before is in the snapshot
+	rows uint64  // rows in the snapshot, cross-checked after load
+}
+
+func ckptName(seq uint64) string { return fmt.Sprintf("ckpt-%08d.crow", seq) }
+
+func encodeCkptMeta(m ckptMeta) []byte {
+	b := make([]byte, ckptLen)
+	binary.LittleEndian.PutUint32(b[0:4], ckptMagic)
+	binary.LittleEndian.PutUint32(b[4:8], 1) // meta format version
+	binary.LittleEndian.PutUint64(b[8:16], m.seq)
+	binary.LittleEndian.PutUint64(b[16:24], m.lsn.Seg)
+	binary.LittleEndian.PutUint64(b[24:32], uint64(m.lsn.Off))
+	binary.LittleEndian.PutUint64(b[32:40], m.rows)
+	binary.LittleEndian.PutUint32(b[40:44], crc32.ChecksumIEEE(b[:40]))
+	return b
+}
+
+func decodeCkptMeta(b []byte) (ckptMeta, error) {
+	var m ckptMeta
+	if len(b) != ckptLen {
+		return m, fmt.Errorf("checkpoint meta is %d bytes, want %d: %w", len(b), ckptLen, ErrTruncated)
+	}
+	if binary.LittleEndian.Uint32(b[0:4]) != ckptMagic {
+		return m, fmt.Errorf("checkpoint meta: %w", ErrBadMagic)
+	}
+	if crc32.ChecksumIEEE(b[:40]) != binary.LittleEndian.Uint32(b[40:44]) {
+		return m, fmt.Errorf("checkpoint meta: %w", ErrChecksum)
+	}
+	if v := binary.LittleEndian.Uint32(b[4:8]); v != 1 {
+		return m, fmt.Errorf("checkpoint meta version %d: %w", v, ErrBadVersion)
+	}
+	m.seq = binary.LittleEndian.Uint64(b[8:16])
+	m.lsn = wal.LSN{Seg: binary.LittleEndian.Uint64(b[16:24]), Off: int64(binary.LittleEndian.Uint64(b[24:32]))}
+	m.rows = binary.LittleEndian.Uint64(b[32:40])
+	return m, nil
+}
+
+// OpenLive opens (creating if needed) the live store in dir and recovers
+// it: the checkpoint snapshot is loaded strictly, the WAL is opened —
+// which truncates any torn tail — and the surviving record suffix is
+// replayed through the ordinary apply path. The recovered rows are
+// exactly a prefix of the record stream past appends submitted, and
+// include every acknowledged append (under the default sync policy).
+func OpenLive(dir string, cfg LiveConfig) (*LiveStore, error) {
+	cfg.fill()
+	fs := cfg.FS
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, err
+	}
+	ls := &LiveStore{dir: dir, cfg: cfg, fs: fs}
+
+	// Root of trust: the CHECKPOINT meta, absent on a fresh directory.
+	var ckptLSN wal.LSN
+	meta, ok, err := ls.readCkptMeta()
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		if err := ls.loadCheckpoint(meta); err != nil {
+			return nil, err
+		}
+		ckptLSN = meta.lsn
+		ls.ckptSeq = meta.seq
+	}
+	ls.ckptRows = ls.sealRows
+	ls.ackRows = ls.sealRows
+
+	log, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{
+		SegmentBytes: cfg.SegmentBytes, Sync: cfg.Sync, FS: fs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ls.log = log
+	err = log.Replay(ckptLSN, func(lsn wal.LSN, payload []byte) error {
+		rows, err := decodeRecord(payload)
+		if err != nil {
+			return fmt.Errorf("wal record at %v: %w", lsn, err)
+		}
+		if ls.haveRows && rows[0].Batch < ls.curBatch {
+			return fmt.Errorf("wal record at %v: batch %d regresses below %d: %w",
+				lsn, rows[0].Batch, ls.curBatch, ErrCorrupt)
+		}
+		ls.applyLocked(lsn, rows)
+		ls.ackRows += len(rows)
+		return nil
+	})
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	// If damage tore the WAL back behind the checkpoint position, appending
+	// there would hide new records behind the replay start; skip forward.
+	if err := log.AdvancePast(ckptLSN); err != nil {
+		log.Close()
+		return nil, err
+	}
+	if err := ls.removeStaleFiles(); err != nil {
+		log.Close()
+		return nil, err
+	}
+	return ls, nil
+}
+
+// readCkptMeta reads and validates dir/CHECKPOINT; ok is false when the
+// file does not exist (a fresh or never-checkpointed directory).
+func (ls *LiveStore) readCkptMeta() (ckptMeta, bool, error) {
+	f, err := ls.fs.OpenRead(filepath.Join(ls.dir, "CHECKPOINT"))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return ckptMeta{}, false, nil
+		}
+		return ckptMeta{}, false, err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return ckptMeta{}, false, err
+	}
+	if size > ckptLen {
+		size = ckptLen + 1 // oversize fails decode with a length error
+	}
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return ckptMeta{}, false, err
+	}
+	m, err := decodeCkptMeta(buf)
+	if err != nil {
+		return ckptMeta{}, false, err
+	}
+	return m, true, nil
+}
+
+// loadCheckpoint strict-loads the snapshot meta points at and rebuilds
+// the sealed segment list from it.
+func (ls *LiveStore) loadCheckpoint(meta ckptMeta) error {
+	path := filepath.Join(ls.dir, ckptName(meta.seq))
+	f, err := ls.fs.OpenRead(path)
+	if err != nil {
+		return fmt.Errorf("checkpoint snapshot %s: %w", ckptName(meta.seq), err)
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return err
+	}
+	st := New(0)
+	if _, err := st.ReadSnapshot(io.NewSectionReader(f, 0, size), LoadOptions{Mode: LoadStrict}); err != nil {
+		return fmt.Errorf("checkpoint snapshot %s: %w", ckptName(meta.seq), err)
+	}
+	if st.Len() != int(meta.rows) {
+		return fmt.Errorf("checkpoint snapshot %s holds %d rows, meta says %d: %w",
+			ckptName(meta.seq), st.Len(), meta.rows, ErrCorrupt)
+	}
+	segs, err := segmentsFromStore(st)
+	if err != nil {
+		return fmt.Errorf("checkpoint snapshot %s: %w", ckptName(meta.seq), err)
+	}
+	ls.sealed = segs
+	ls.sealRows = st.Len()
+	if n := len(segs); n > 0 {
+		ls.curBatch = segs[n-1].batchHi - 1
+		ls.haveRows = true
+	}
+	return nil
+}
+
+// segmentsFromStore re-slices an assembled (or snapshot-loaded) store
+// into its sealed segments. Zone maps and encodings are carried over,
+// not recomputed — Seal computed them from the same bytes, so the round
+// trip through a snapshot is bit-identical.
+func segmentsFromStore(st *Store) ([]*Segment, error) {
+	infos := st.segs
+	if st.Len() == 0 {
+		return nil, nil
+	}
+	if len(infos) == 0 || len(st.zones) != len(infos) || len(st.encs) != len(infos) {
+		return nil, fmt.Errorf("store lacks a segment layout: %w", ErrCorrupt)
+	}
+	st.ensure(colMaskAll)
+	segs := make([]*Segment, len(infos))
+	for i, si := range infos {
+		g := &Segment{
+			batchLo:  si.BatchLo,
+			batchHi:  si.BatchHi,
+			batch:    st.batch[si.RowLo:si.RowHi:si.RowHi],
+			taskType: st.taskType[si.RowLo:si.RowHi:si.RowHi],
+			item:     st.item[si.RowLo:si.RowHi:si.RowHi],
+			worker:   st.worker[si.RowLo:si.RowHi:si.RowHi],
+			start:    st.start[si.RowLo:si.RowHi:si.RowHi],
+			end:      st.end[si.RowLo:si.RowHi:si.RowHi],
+			trust:    st.trust[si.RowLo:si.RowHi:si.RowHi],
+			answer:   st.answer[si.RowLo:si.RowHi:si.RowHi],
+			ranges:   make([]rowRange, si.BatchHi-si.BatchLo),
+			zone:     st.zones[i],
+			enc:      st.encs[i],
+		}
+		for b := si.BatchLo; b < si.BatchHi; b++ {
+			rr := st.ranges[b]
+			if rr.Hi > rr.Lo {
+				g.ranges[b-si.BatchLo] = rowRange{Lo: rr.Lo - int32(si.RowLo), Hi: rr.Hi - int32(si.RowLo)}
+			}
+		}
+		segs[i] = g
+	}
+	return segs, nil
+}
+
+// removeStaleFiles deletes temp files and snapshots other than the live
+// one — leftovers of a crash mid-checkpoint.
+func (ls *LiveStore) removeStaleFiles() error {
+	names, err := ls.fs.ReadDir(ls.dir)
+	if err != nil {
+		return err
+	}
+	live := ckptName(ls.ckptSeq)
+	for _, name := range names {
+		var seq uint64
+		stale := false
+		if _, err := fmt.Sscanf(name, "ckpt-%08d.crow", &seq); err == nil && name == ckptName(seq) {
+			stale = name != live
+		}
+		if filepath.Ext(name) == ".tmp" {
+			stale = true
+		}
+		if stale {
+			if err := ls.fs.Remove(filepath.Join(ls.dir, name)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Append validates rows, logs them as one WAL record, and — only after
+// the log accepts (and, under SyncAlways, syncs) the record — applies
+// them to the open builder and acknowledges. Rows must arrive in batch
+// order: batch IDs non-decreasing within the call and no lower than the
+// store's highest batch. A nil error means the rows are durable under
+// the configured sync policy; after any error the store is poisoned and
+// must be reopened.
+func (ls *LiveStore) Append(rows []model.Instance) error {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	switch {
+	case ls.closed:
+		return fmt.Errorf("store: live store closed")
+	case ls.failed:
+		return ErrLiveFailed
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	if len(rows) > MaxAppendRows {
+		return fmt.Errorf("store: %d rows exceed the %d-row append cap", len(rows), MaxAppendRows)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Batch < rows[i-1].Batch {
+			return fmt.Errorf("store: append rows out of batch order (%d after %d)", rows[i].Batch, rows[i-1].Batch)
+		}
+	}
+	if ls.haveRows && rows[0].Batch < ls.curBatch {
+		return fmt.Errorf("store: append batch %d regresses below %d", rows[0].Batch, ls.curBatch)
+	}
+	// With no open builder, the highest batch is inside a sealed segment;
+	// continuing it would split the batch across segments.
+	if ls.haveRows && ls.open == nil && rows[0].Batch == ls.curBatch {
+		return fmt.Errorf("store: append batch %d is already sealed", rows[0].Batch)
+	}
+	lsn, err := ls.log.Append(encodeRecord(rows))
+	if err != nil {
+		ls.failed = true
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	ls.applyLocked(lsn, rows)
+	ls.ackRows += len(rows)
+	if ls.cfg.CheckpointRows > 0 && ls.sealRows-ls.ckptRows >= ls.cfg.CheckpointRows {
+		if err := ls.checkpointLocked(); err != nil {
+			ls.failed = true
+			return fmt.Errorf("store: checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// applyLocked folds one validated record into the in-memory state. It is
+// the single apply path — live appends and recovery replay both go
+// through it — and it cannot fail: everything it depends on was
+// validated before the record reached the WAL.
+func (ls *LiveStore) applyLocked(lsn wal.LSN, rows []model.Instance) {
+	// Seal only at a record boundary, and only once the batch ID advances:
+	// a batch never splits across segments, so the decision is a pure
+	// function of the record stream and the configured threshold.
+	if ls.open != nil && ls.open.Len() >= ls.cfg.SealRows && rows[0].Batch > ls.curBatch {
+		ls.sealed = append(ls.sealed, ls.open.Seal())
+		ls.sealRows += ls.open.Len()
+		ls.open = nil
+	}
+	if ls.open == nil {
+		ls.open = NewLiveBuilder(rows[0].Batch)
+		ls.openStart = lsn
+	}
+	for _, in := range rows {
+		if !ls.haveRows || in.Batch != ls.curBatch {
+			ls.open.BeginBatch(in.Batch)
+			ls.curBatch = in.Batch
+		}
+		ls.open.Append(in)
+		ls.haveRows = true
+	}
+}
+
+// Checkpoint writes a checkpoint now: a v3 snapshot of the sealed
+// segments, the CHECKPOINT meta naming it, and a WAL truncation
+// releasing the log prefix the snapshot covers. Each step is atomic
+// (temp-file rename) and ordered so that a crash at any point leaves a
+// recoverable directory: at worst an orphaned snapshot or an
+// un-truncated WAL, never a checkpoint that names missing data.
+func (ls *LiveStore) Checkpoint() error {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	switch {
+	case ls.closed:
+		return fmt.Errorf("store: live store closed")
+	case ls.failed:
+		return ErrLiveFailed
+	}
+	if err := ls.checkpointLocked(); err != nil {
+		ls.failed = true
+		return fmt.Errorf("store: checkpoint: %w", err)
+	}
+	return nil
+}
+
+func (ls *LiveStore) checkpointLocked() error {
+	numBatches := 0
+	if n := len(ls.sealed); n > 0 {
+		numBatches = int(ls.sealed[n-1].batchHi)
+	}
+	st, err := Assemble(numBatches, ls.sealed)
+	if err != nil {
+		return err
+	}
+	lsn := ls.log.End()
+	if ls.open != nil {
+		lsn = ls.openStart
+	}
+	seq := ls.ckptSeq + 1
+
+	// Step 1: the snapshot, durable under its final name.
+	path := filepath.Join(ls.dir, ckptName(seq))
+	if err := ls.writeFileAtomic(path, func(w vfs.File) error {
+		_, err := st.WriteSnapshot(w, WriteOptions{})
+		return err
+	}); err != nil {
+		return err
+	}
+	// Step 2: the meta, flipping recovery over to the new snapshot.
+	meta := encodeCkptMeta(ckptMeta{seq: seq, lsn: lsn, rows: uint64(st.Len())})
+	if err := ls.writeFileAtomic(filepath.Join(ls.dir, "CHECKPOINT"), func(w vfs.File) error {
+		_, err := w.Write(meta)
+		return err
+	}); err != nil {
+		return err
+	}
+	// Step 3: release what the snapshot covers. Failures past this point
+	// leave garbage, not damage; recovery ignores both leftovers.
+	if err := ls.log.TruncateBefore(lsn); err != nil {
+		return err
+	}
+	if ls.ckptSeq != 0 {
+		if err := ls.fs.Remove(filepath.Join(ls.dir, ckptName(ls.ckptSeq))); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	ls.ckptSeq = seq
+	ls.ckptRows = ls.sealRows
+	return nil
+}
+
+// writeFileAtomic writes path via a synced temp file and rename, then
+// syncs the directory: the file is either absent (or its old version) or
+// complete, never partial.
+func (ls *LiveStore) writeFileAtomic(path string, fill func(vfs.File) error) error {
+	tmp := path + ".tmp"
+	w, err := ls.fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := fill(w); err != nil {
+		w.Close()
+		return err
+	}
+	if err := w.Sync(); err != nil {
+		w.Close()
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	if err := ls.fs.Rename(tmp, path); err != nil {
+		return err
+	}
+	return ls.fs.SyncDir(ls.dir)
+}
+
+// Store assembles the current contents — sealed segments plus a sealed
+// copy of the open builder — into an immutable Store for querying. The
+// live store remains usable; the returned store does not change as more
+// rows arrive.
+func (ls *LiveStore) Store() (*Store, error) {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	segs := ls.sealed
+	numBatches := 0
+	if n := len(segs); n > 0 {
+		numBatches = int(segs[n-1].batchHi)
+	}
+	if ls.open != nil && ls.open.Len() > 0 {
+		copyB := NewLiveBuilder(ls.open.seg.batchLo)
+		g := ls.open.seg
+		prev := uint32(math.MaxUint32)
+		for i := 0; i < g.Len(); i++ {
+			if g.batch[i] != prev {
+				prev = g.batch[i]
+				copyB.BeginBatch(prev)
+			}
+			copyB.Append(g.Row(i))
+		}
+		segs = append(append([]*Segment(nil), segs...), copyB.Seal())
+		numBatches = int(segs[len(segs)-1].batchHi)
+	}
+	return Assemble(numBatches, segs)
+}
+
+// Rows returns the number of acknowledged (or recovered) rows.
+func (ls *LiveStore) Rows() int {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.ackRows
+}
+
+// NextBatch returns the lowest batch ID a future Append is always
+// allowed to open: one past the highest batch ingested so far, or zero
+// on an empty store. Ingest drivers use it to resume after recovery
+// without tracking batch IDs themselves.
+func (ls *LiveStore) NextBatch() uint32 {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if !ls.haveRows {
+		return 0
+	}
+	return ls.curBatch + 1
+}
+
+// SealedSegments returns how many immutable segments have been sealed.
+func (ls *LiveStore) SealedSegments() int {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return len(ls.sealed)
+}
+
+// Close syncs and closes the WAL. The open builder's rows stay durable
+// in the log and are rebuilt on the next OpenLive; Close does not
+// checkpoint (call Checkpoint first to bound reopen replay).
+func (ls *LiveStore) Close() error {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if ls.closed {
+		return nil
+	}
+	ls.closed = true
+	return ls.log.Close()
+}

@@ -1,0 +1,451 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"crowdscope/internal/faultfs"
+	"crowdscope/internal/model"
+	"crowdscope/internal/vfs"
+	"crowdscope/internal/wal"
+)
+
+// genStream produces a deterministic append stream: records of varied
+// sizes whose batch IDs advance non-decreasingly, the shape live ingest
+// promises. Row values exercise every column's coding (deltas, zigzag,
+// float bits).
+func genStream(seed int64, nRecs int) [][]model.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	batch := uint32(0)
+	start := int64(1_700_000_000_000)
+	recs := make([][]model.Instance, nRecs)
+	for r := range recs {
+		rows := make([]model.Instance, 1+rng.Intn(40))
+		for i := range rows {
+			if rng.Intn(3) == 0 {
+				batch += uint32(rng.Intn(3))
+			}
+			start += int64(rng.Intn(5000))
+			rows[i] = model.Instance{
+				Batch:    batch,
+				TaskType: uint32(rng.Intn(8)),
+				Item:     uint32(rng.Intn(10000)),
+				Worker:   uint32(rng.Intn(500)),
+				Start:    start,
+				End:      start + int64(rng.Intn(120000)),
+				Trust:    rng.Float32(),
+				Answer:   uint32(rng.Intn(4)),
+			}
+		}
+		recs[r] = rows
+	}
+	return recs
+}
+
+func streamRows(recs [][]model.Instance) []model.Instance {
+	var all []model.Instance
+	for _, r := range recs {
+		all = append(all, r...)
+	}
+	return all
+}
+
+var liveTestCfg = LiveConfig{SealRows: 100, CheckpointRows: 300, Sync: wal.SyncNone, SegmentBytes: 4096}
+
+// snapshotBytes serializes a live store's current contents; bit-equality
+// of these bytes is the equivalence the recovery contract promises.
+func snapshotBytes(t testing.TB, ls *LiveStore) []byte {
+	t.Helper()
+	st, err := ls.Store()
+	if err != nil {
+		t.Fatalf("assemble live store: %v", err)
+	}
+	if err := st.Validate(); err != nil {
+		t.Fatalf("live store contents invalid: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := st.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLiveStoreAppendAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	recs := genStream(1, 50)
+	want := streamRows(recs)
+
+	ls, err := OpenLive(dir, liveTestCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range recs {
+		if err := ls.Append(rec); err != nil {
+			t.Fatalf("append record %d: %v", i, err)
+		}
+	}
+	if ls.Rows() != len(want) {
+		t.Fatalf("acked %d rows, want %d", ls.Rows(), len(want))
+	}
+	if ls.SealedSegments() == 0 {
+		t.Fatal("no segments sealed at this volume")
+	}
+	st, err := ls.Store()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != len(want) {
+		t.Fatalf("store holds %d rows, want %d", st.Len(), len(want))
+	}
+	// Row order is the canonical batch-contiguous order, which for a
+	// batch-ordered append stream is exactly submission order.
+	for i, in := range want {
+		if st.Row(i) != in {
+			t.Fatalf("row %d = %+v, want %+v", i, st.Row(i), in)
+		}
+	}
+	before := snapshotBytes(t, ls)
+	if err := ls.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A clean reopen rebuilds the identical state and accepts appends.
+	ls, err = OpenLive(dir, liveTestCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ls.Close()
+	if ls.Rows() != len(want) {
+		t.Fatalf("recovered %d rows, want %d", ls.Rows(), len(want))
+	}
+	if !bytes.Equal(snapshotBytes(t, ls), before) {
+		t.Fatal("reopened store differs from the one that was closed")
+	}
+	extra := genStream(2, 1)[0]
+	for i := range extra {
+		extra[i].Batch += 1 << 20 // far past everything ingested
+	}
+	if err := ls.Append(extra); err != nil {
+		t.Fatalf("append after reopen: %v", err)
+	}
+	if ls.Rows() != len(want)+len(extra) {
+		t.Fatalf("rows %d after post-reopen append", ls.Rows())
+	}
+}
+
+func TestLiveStoreRejectsBadAppends(t *testing.T) {
+	dir := t.TempDir()
+	ls, err := OpenLive(dir, liveTestCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ls.Close()
+	if err := ls.Append([]model.Instance{{Batch: 5}, {Batch: 3}}); err == nil {
+		t.Fatal("out-of-order batches accepted")
+	}
+	if err := ls.Append([]model.Instance{{Batch: 7}}); err != nil {
+		t.Fatalf("store poisoned by a rejected append: %v", err)
+	}
+	if err := ls.Append([]model.Instance{{Batch: 3}}); err == nil {
+		t.Fatal("regressing batch accepted")
+	}
+	if got := ls.Rows(); got != 1 {
+		t.Fatalf("rows %d after rejected appends, want 1", got)
+	}
+}
+
+func TestLiveStoreCheckpointBoundsReplay(t *testing.T) {
+	dir := t.TempDir()
+	recs := genStream(3, 80)
+	ls, err := OpenLive(dir, liveTestCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := ls.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ls.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	before := snapshotBytes(t, ls)
+	if err := ls.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The checkpoint must exist and the WAL prefix it covers be released.
+	if _, err := os.Stat(filepath.Join(dir, "CHECKPOINT")); err != nil {
+		t.Fatalf("no CHECKPOINT meta: %v", err)
+	}
+	ls, err = OpenLive(dir, liveTestCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ls.Close()
+	if !bytes.Equal(snapshotBytes(t, ls), before) {
+		t.Fatal("recovered store differs after manual checkpoint")
+	}
+}
+
+// TestCrashRecoveryProperty is the fault-injection property test: across
+// randomized injected crash points — torn writes at byte granularity,
+// failed fsyncs, and kills between arbitrary mutating operations
+// (including every step of the checkpoint protocol) — recovery must
+// yield a record-aligned prefix of the submitted stream containing every
+// acknowledged append, bit-identical to an uncrashed process fed the
+// same prefix.
+func TestCrashRecoveryProperty(t *testing.T) {
+	recs := genStream(4, 60)
+	cfg := liveTestCfg
+	cfg.Sync = wal.SyncAlways
+
+	// Dry run: measure the workload's fault surface.
+	dry := faultfs.New(vfs.OS{})
+	{
+		cfgDry := cfg
+		cfgDry.FS = dry
+		ls, err := OpenLive(t.TempDir(), cfgDry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range recs {
+			if err := ls.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ls.Close()
+	}
+	totalBytes, totalOps, totalSyncs := dry.Stats()
+	if totalBytes == 0 || totalOps == 0 || totalSyncs == 0 {
+		t.Fatalf("dry run measured nothing: %d bytes, %d ops, %d syncs", totalBytes, totalOps, totalSyncs)
+	}
+
+	// Reference states: refBytes[k] is the canonical serialized contents
+	// after ingesting records [0, k).
+	refBytes := make([][]byte, len(recs)+1)
+	prefixRows := make([]int, len(recs)+1)
+	{
+		ls, err := OpenLive(t.TempDir(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refBytes[0] = snapshotBytes(t, ls)
+		for k, rec := range recs {
+			if err := ls.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+			refBytes[k+1] = snapshotBytes(t, ls)
+			prefixRows[k+1] = prefixRows[k] + len(rec)
+		}
+		ls.Close()
+	}
+
+	const trials = 120
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < trials; trial++ {
+		dir := t.TempDir()
+		ffs := faultfs.New(vfs.OS{})
+		kind := trial % 3
+		switch kind {
+		case 0:
+			ffs.CrashAfterBytes(rng.Int63n(totalBytes + 1))
+		case 1:
+			ffs.CrashAfterOps(1 + rng.Intn(totalOps))
+		case 2:
+			ffs.FailSyncAt(1 + rng.Intn(totalSyncs))
+		}
+
+		// Run the workload until the injected crash stops it.
+		acked, submitted := 0, 0
+		cfgF := cfg
+		cfgF.FS = ffs
+		if ls, err := OpenLive(dir, cfgF); err == nil {
+			for _, rec := range recs {
+				submitted++
+				if err := ls.Append(rec); err != nil {
+					break
+				}
+				acked++
+			}
+			ls.Close()
+		}
+
+		// Recover on a clean filesystem; recovery must always succeed.
+		rec, err := OpenLive(dir, cfg)
+		if err != nil {
+			t.Fatalf("trial %d (kind %d): recovery failed: %v", trial, kind, err)
+		}
+		got := rec.Rows()
+		// Prefix property: a record-aligned prefix, no shorter than what
+		// was acknowledged, no longer than what was submitted.
+		if got < prefixRows[acked] || got > prefixRows[submitted] {
+			t.Fatalf("trial %d (kind %d): recovered %d rows, acked %d..%d submitted",
+				trial, kind, got, prefixRows[acked], prefixRows[submitted])
+		}
+		k := acked
+		for ; k <= submitted; k++ {
+			if prefixRows[k] == got {
+				break
+			}
+		}
+		if k > submitted {
+			t.Fatalf("trial %d (kind %d): recovered %d rows is not a record boundary", trial, kind, got)
+		}
+		// Bit-identical to an uncrashed process fed the same k records.
+		if !bytes.Equal(snapshotBytes(t, rec), refBytes[k]) {
+			t.Fatalf("trial %d (kind %d): recovered store differs from reference after %d records", trial, kind, k)
+		}
+		rec.Close()
+	}
+}
+
+// TestRecoverAfterWALTornBehindCheckpoint covers the nasty corner where
+// damage truncates the WAL to before the checkpointed position: new
+// appends must not land at LSNs the next recovery would skip.
+func TestRecoverAfterWALTornBehindCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	recs := genStream(6, 40)
+	ls, err := OpenLive(dir, liveTestCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := ls.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ls.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ls.Close()
+	// Destroy the whole WAL directory contents: everything sealed is in
+	// the checkpoint, the open tail is lost.
+	names, err := os.ReadDir(filepath.Join(dir, "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range names {
+		if err := os.Remove(filepath.Join(dir, "wal", e.Name())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ls, err = OpenLive(dir, liveTestCfg)
+	if err != nil {
+		t.Fatalf("recovery with destroyed WAL: %v", err)
+	}
+	recovered := ls.Rows()
+	// Appends after this recovery must survive the next recovery.
+	extra := []model.Instance{{Batch: 1 << 20, Start: 1, End: 2}}
+	if err := ls.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	ls.Close()
+	ls, err = OpenLive(dir, liveTestCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ls.Close()
+	if ls.Rows() != recovered+1 {
+		t.Fatalf("post-recovery append lost: %d rows, want %d", ls.Rows(), recovered+1)
+	}
+}
+
+func TestRecordCodecRoundTrip(t *testing.T) {
+	for _, rec := range genStream(7, 20) {
+		got, err := decodeRecord(encodeRecord(rec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(rec) {
+			t.Fatalf("decoded %d rows, want %d", len(got), len(rec))
+		}
+		for i := range rec {
+			if got[i] != rec[i] {
+				t.Fatalf("row %d = %+v, want %+v", i, got[i], rec[i])
+			}
+		}
+	}
+	// Damage must surface as an error, never as wrong rows.
+	enc := encodeRecord(genStream(8, 1)[0])
+	for _, bad := range [][]byte{
+		{},
+		{99},
+		enc[:len(enc)-1],
+		append(append([]byte(nil), enc...), 0),
+	} {
+		if _, err := decodeRecord(bad); err == nil {
+			t.Fatalf("damaged record %x decoded", bad)
+		}
+	}
+}
+
+func TestLiveStorePoisonedAfterInjectedFailure(t *testing.T) {
+	ffs := faultfs.New(vfs.OS{})
+	cfg := liveTestCfg
+	cfg.FS = ffs
+	ls, err := OpenLive(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ls.Close()
+	if err := ls.Append([]model.Instance{{Batch: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	ffs.CrashAfterOps(1)
+	if err := ls.Append([]model.Instance{{Batch: 2}}); err == nil {
+		t.Fatal("append succeeded through a crashed filesystem")
+	}
+	if err := ls.Append([]model.Instance{{Batch: 3}}); !errors.Is(err, ErrLiveFailed) {
+		t.Fatalf("append on poisoned store: %v, want ErrLiveFailed", err)
+	}
+}
+
+func BenchmarkRecover(b *testing.B) {
+	dir := b.TempDir()
+	cfg := LiveConfig{SealRows: 4096, CheckpointRows: -1, Sync: wal.SyncNone}
+	ls, err := OpenLive(dir, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := genStream(9, 200) // ~4k rows
+	var rows int
+	for _, rec := range recs {
+		if err := ls.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+		rows += len(rec)
+	}
+	// Half the rows behind a checkpoint, half replayed from the WAL, so
+	// the benchmark weighs both recovery paths.
+	if err := ls.Checkpoint(); err != nil {
+		b.Fatal(err)
+	}
+	for _, rec := range genStream(10, 200) {
+		for i := range rec {
+			rec[i].Batch += 1 << 20
+		}
+		if err := ls.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+		rows += len(rec)
+	}
+	if err := ls.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(rows), "rows")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ls, err := OpenLive(dir, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ls.Rows() != rows {
+			b.Fatalf("recovered %d rows, want %d", ls.Rows(), rows)
+		}
+		ls.Close()
+	}
+}

@@ -1,0 +1,102 @@
+package store
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Transient read failures — a flaky disk, a network filesystem hiccup —
+// should not fail a whole analytical query, so the dataset read path
+// retries them with jittered exponential backoff before surfacing the
+// error. Only plausibly-transient errors retry: a short read (EOF on an
+// exact-extent read means a truncated file), a missing file, or a
+// permission error is permanent and fails immediately, keeping the
+// corruption taxonomy crisp — retrying cannot turn a damaged shard into
+// a slow-but-successful read.
+
+// RetryPolicy configures transient-read retries on the dataset path.
+type RetryPolicy struct {
+	// Attempts is the total number of tries per read; 0 or 1 disables
+	// retrying.
+	Attempts int
+	// Backoff is the delay before the first retry; each further retry
+	// doubles it, and every delay is jittered down by up to half.
+	Backoff time.Duration
+	// Sleep replaces time.Sleep in tests; nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// DefaultRetryPolicy is what OpenDatasetPath installs: three tries with
+// a couple of milliseconds of backoff — enough to ride out a hiccup,
+// too little to matter on a healthy disk.
+var DefaultRetryPolicy = RetryPolicy{Attempts: 3, Backoff: 2 * time.Millisecond}
+
+// retryableRead reports whether a ReadAt error is worth retrying.
+func retryableRead(err error) bool {
+	switch {
+	case errors.Is(err, io.EOF),
+		errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, fs.ErrNotExist),
+		errors.Is(err, fs.ErrPermission),
+		errors.Is(err, fs.ErrClosed),
+		errors.Is(err, fs.ErrInvalid):
+		return false
+	}
+	return true
+}
+
+// WithRetry wraps ra so every ReadAt retries transient failures per the
+// policy. The wrapper forwards Close to the underlying reader when it
+// has one, so ownership semantics don't change.
+func WithRetry(ra io.ReaderAt, p RetryPolicy) io.ReaderAt {
+	if p.Attempts <= 1 {
+		return ra
+	}
+	return &retryReaderAt{ra: ra, p: p, rng: rand.New(rand.NewSource(time.Now().UnixNano()))}
+}
+
+type retryReaderAt struct {
+	ra io.ReaderAt
+	p  RetryPolicy
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// jitter returns d shrunk by a random factor in [1/2, 1].
+func (r *retryReaderAt) jitter(d time.Duration) time.Duration {
+	r.mu.Lock()
+	f := r.rng.Int63n(int64(d)/2 + 1)
+	r.mu.Unlock()
+	return d - time.Duration(f)
+}
+
+func (r *retryReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	sleep := r.p.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	delay := r.p.Backoff
+	for attempt := 1; ; attempt++ {
+		n, err := r.ra.ReadAt(p, off)
+		if err == nil || attempt >= r.p.Attempts || !retryableRead(err) {
+			return n, err
+		}
+		if delay > 0 {
+			sleep(r.jitter(delay))
+			delay *= 2
+		}
+	}
+}
+
+// Close forwards to the underlying reader when it is a Closer.
+func (r *retryReaderAt) Close() error {
+	if c, ok := r.ra.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}

@@ -64,6 +64,7 @@ type Builder struct {
 	seg    *Segment
 	cur    int // index into seg.ranges of the open batch, -1 when none
 	sealed bool
+	grow   bool // live builder: the interval extends as higher batches begin
 }
 
 // NewBuilder returns a builder for the batch-ID interval [batchLo, batchHi).
@@ -81,12 +82,29 @@ func NewBuilder(batchLo, batchHi uint32) *Builder {
 	}
 }
 
+// NewLiveBuilder returns a growable builder starting at batchLo: its
+// batch interval extends as higher batches begin. The live ingest path
+// uses it because the final interval of an open segment is unknown until
+// it seals — the sealed segment covers [batchLo, lastBatch+1).
+func NewLiveBuilder(batchLo uint32) *Builder {
+	return &Builder{
+		seg: &Segment{batchLo: batchLo, batchHi: batchLo},
+		cur: -1, grow: true,
+	}
+}
+
 // BeginBatch marks the start of batchID's rows; all Append calls until the
 // next BeginBatch belong to it. The batch must lie inside the builder's
-// interval.
+// interval (a live builder instead grows its interval to cover it).
 func (b *Builder) BeginBatch(batchID uint32) {
 	if b.sealed {
 		panic("store: BeginBatch on sealed builder")
+	}
+	if b.grow && batchID >= b.seg.batchHi {
+		for hi := b.seg.batchHi; hi <= batchID; hi++ {
+			b.seg.ranges = append(b.seg.ranges, rowRange{})
+		}
+		b.seg.batchHi = batchID + 1
 	}
 	if batchID < b.seg.batchLo || batchID >= b.seg.batchHi {
 		panic(fmt.Sprintf("store: batch %d outside builder interval [%d,%d)", batchID, b.seg.batchLo, b.seg.batchHi))

@@ -1,0 +1,151 @@
+// Package vfs is the narrow filesystem seam the durability layer writes
+// through: the write-ahead log and the checkpoint protocol never touch
+// the os package directly, they go through an FS. Production code uses
+// the OS implementation below; the crash-recovery tests swap in
+// internal/faultfs, which wraps any FS and injects torn writes, fsync
+// failures and transient read errors at chosen points. The interface is
+// deliberately small — exactly the operations a log-structured store
+// needs, nothing a generic filesystem abstraction would grow.
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"syscall"
+)
+
+// File is a writable file handle. Writers must treat a failed Write or
+// Sync as fatal for the file: the on-disk suffix is undefined after one.
+type File interface {
+	Write(p []byte) (int, error)
+	// Sync flushes written data to stable storage (fsync).
+	Sync() error
+	Close() error
+}
+
+// ReadFile is a random-access read handle.
+type ReadFile interface {
+	ReadAt(p []byte, off int64) (int, error)
+	Size() (int64, error)
+	Close() error
+}
+
+// FS is the filesystem the durability layer runs on. Path semantics
+// follow the os package; implementations need not be safe for concurrent
+// mutation of the same name.
+type FS interface {
+	// Create creates (or truncates) the named file for writing.
+	Create(name string) (File, error)
+	// OpenAppend opens an existing file positioned at its end.
+	OpenAppend(name string) (File, error)
+	// OpenRead opens the named file for random-access reads.
+	OpenRead(name string) (ReadFile, error)
+	// Truncate cuts the named file to size bytes.
+	Truncate(name string, size int64) error
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// ReadDir returns the sorted names of the entries in dir.
+	ReadDir(dir string) ([]string, error)
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// SyncDir flushes dir's entry table, making renames and creates in
+	// it durable.
+	SyncDir(dir string) error
+}
+
+// OS is the production FS: a thin veneer over the os package.
+type OS struct{}
+
+type osFile struct{ f *os.File }
+
+func (o osFile) Write(p []byte) (int, error) { return o.f.Write(p) }
+func (o osFile) Sync() error                 { return o.f.Sync() }
+func (o osFile) Close() error                { return o.f.Close() }
+
+type osReadFile struct{ f *os.File }
+
+func (o osReadFile) ReadAt(p []byte, off int64) (int, error) { return o.f.ReadAt(p, off) }
+func (o osReadFile) Close() error                            { return o.f.Close() }
+func (o osReadFile) Size() (int64, error) {
+	st, err := o.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Create creates or truncates name for writing.
+func (OS) Create(name string) (File, error) {
+	f, err := os.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// OpenAppend opens name for appending.
+func (OS) OpenAppend(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// OpenRead opens name for random-access reads.
+func (OS) OpenRead(name string) (ReadFile, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return osReadFile{f}, nil
+}
+
+// Truncate cuts name to size bytes.
+func (OS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// Rename atomically replaces newname with oldname.
+func (OS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove deletes name.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// ReadDir returns dir's entry names, sorted.
+func (OS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name()
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// MkdirAll creates dir and any missing parents.
+func (OS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// SyncDir fsyncs the directory itself, making its entry table durable.
+// Filesystems that cannot sync directories (EINVAL/ENOTSUP) report
+// success: the rename was still atomic, only its durability timing is
+// weaker there.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}

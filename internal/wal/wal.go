@@ -1,0 +1,576 @@
+// Package wal is a segmented write-ahead log of opaque records: the
+// durability substrate the live store acknowledges appends against. A
+// log is a directory of fixed-prefix segment files; every record is
+// framed with a length prefix and a CRC32 of its payload, so recovery
+// can always tell a complete record from a torn tail. The contract is
+// the prefix property: whatever Open recovers is an exact prefix of the
+// record sequence Append accepted — a damaged frame truncates the log
+// at that point, and a partially written record is never replayed.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"crowdscope/internal/vfs"
+)
+
+// Segment file layout: a 16-byte header (magic, format version, segment
+// sequence number) followed by frames back to back. Each frame is
+//
+//	uint32 payload length | uint32 CRC32(payload) | payload bytes
+//
+// all little-endian. A frame is valid only if the header is complete,
+// the length fits the remaining file, and the checksum matches; the
+// first violation ends the log — everything before it replays,
+// everything at and after it is truncated. Segments rotate at a size
+// threshold; the sequence number in the header pins a file to its name
+// so a misnamed or cross-copied segment is rejected instead of spliced
+// into the wrong position.
+const (
+	segMagic   = 0x4C415743 // "CWAL"
+	segVersion = 1
+
+	segHeaderLen   = 16
+	frameHeaderLen = 8
+
+	// MaxRecordBytes bounds a single record; larger appends are rejected
+	// rather than written, which keeps replay allocation input-bounded.
+	MaxRecordBytes = 1 << 26
+)
+
+// Sentinel errors. Callers distinguish log damage (ErrCorrupt — the
+// recovery path handles it by truncation) from misuse and from a log
+// poisoned by an earlier write failure.
+var (
+	// ErrCorrupt marks structural damage in a segment file.
+	ErrCorrupt = errors.New("wal: corrupt segment")
+	// ErrClosed is returned by operations on a closed log.
+	ErrClosed = errors.New("wal: log closed")
+	// ErrFailed poisons a log after a write or sync error: the on-disk
+	// tail is undefined, so further appends are refused. Reopen the
+	// directory to recover the durable prefix.
+	ErrFailed = errors.New("wal: log failed; reopen to recover")
+	// ErrTruncatedLSN reports a Replay from a position that has been
+	// released by TruncateBefore.
+	ErrTruncatedLSN = errors.New("wal: lsn precedes retained log")
+)
+
+// LSN locates a record: the segment sequence number and the byte offset
+// of its frame inside that segment. The zero LSN orders before every
+// record (segment numbering starts at 1), so Replay from the zero LSN
+// replays the whole retained log.
+type LSN struct {
+	Seg uint64
+	Off int64
+}
+
+// Before reports whether l orders strictly before m.
+func (l LSN) Before(m LSN) bool {
+	return l.Seg < m.Seg || (l.Seg == m.Seg && l.Off < m.Off)
+}
+
+// String renders the LSN as seg:off.
+func (l LSN) String() string { return fmt.Sprintf("%d:%d", l.Seg, l.Off) }
+
+// SyncPolicy selects when appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged record is
+	// durable. The default, and the policy the recovery guarantees are
+	// stated under.
+	SyncAlways SyncPolicy = iota
+	// SyncRotate fsyncs only when a segment fills (and on explicit
+	// Sync): a crash can lose the unsynced tail of the open segment,
+	// but never reorder or tear acknowledged-and-synced records.
+	SyncRotate
+	// SyncNone never fsyncs implicitly; durability rides on the OS.
+	SyncNone
+)
+
+// Options tune Open.
+type Options struct {
+	// SegmentBytes is the rotation threshold; a segment closes once its
+	// size reaches it. Zero means 4 MiB.
+	SegmentBytes int64
+	// Sync is the fsync policy; the zero value is SyncAlways.
+	Sync SyncPolicy
+	// FS is the filesystem the log lives on; nil means the real one.
+	FS vfs.FS
+}
+
+func (o *Options) fill() {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.FS == nil {
+		o.FS = vfs.OS{}
+	}
+}
+
+// Log is an open write-ahead log. Append, Sync and TruncateBefore are
+// safe for concurrent use; Replay runs against the durable prefix and
+// must not race appends to the segment it is reading (the live store
+// replays only before serving writes).
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	firstSeq uint64 // lowest retained segment sequence
+	seq      uint64 // open segment sequence
+	w        vfs.File
+	off      int64 // write offset in the open segment
+	closed   bool
+	failed   bool
+}
+
+// segName renders the file name of segment seq.
+func segName(seq uint64) string { return fmt.Sprintf("wal-%08d.log", seq) }
+
+// parseSegName inverts segName.
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	var seq uint64
+	if _, err := fmt.Sscanf(name, "wal-%08d.log", &seq); err != nil || seq == 0 {
+		return 0, false
+	}
+	if segName(seq) != name {
+		return 0, false
+	}
+	return seq, true
+}
+
+// Open opens (creating if needed) the log in dir and recovers its tail:
+// segments are scanned in sequence order and the log is truncated at the
+// first damaged or torn frame — the file holding it is cut back to the
+// last valid frame boundary and all later segments are deleted. After
+// Open returns, every retained frame is valid and End is the durable
+// append position.
+func Open(dir string, opts Options) (*Log, error) {
+	opts.fill()
+	fs := opts.FS
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, err
+	}
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, name := range names {
+		if seq, ok := parseSegName(name); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	// A sequence gap is damage like any other: the log ends at the gap.
+	// Orphan segments past it are deleted — their records are not a
+	// prefix of anything.
+	var orphans []uint64
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] != seqs[i-1]+1 {
+			orphans, seqs = seqs[i:], seqs[:i]
+			break
+		}
+	}
+
+	l := &Log{dir: dir, opts: opts}
+	for _, seq := range orphans {
+		if err := fs.Remove(l.path(seq)); err != nil {
+			return nil, err
+		}
+	}
+	if len(seqs) == 0 {
+		l.firstSeq = 1
+		if err := l.createSegmentLocked(1); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	l.firstSeq = seqs[0]
+
+	// Scan every retained segment; the first damage truncates the log
+	// there (cut the file, drop all later segments) so the surviving
+	// frames are exactly a prefix of what was appended.
+	for i, seq := range seqs {
+		validEnd, clean, err := scanSegment(fs, l.path(seq), seq)
+		if err != nil {
+			return nil, err
+		}
+		if clean && i < len(seqs)-1 {
+			continue
+		}
+		// Damaged, or the last segment: this becomes the open segment.
+		if err := fs.Truncate(l.path(seq), validEnd); err != nil {
+			return nil, err
+		}
+		for _, later := range seqs[i+1:] {
+			if err := fs.Remove(l.path(later)); err != nil {
+				return nil, err
+			}
+		}
+		if err := fs.SyncDir(dir); err != nil {
+			return nil, err
+		}
+		if validEnd < segHeaderLen {
+			// Even the segment header was torn: rewrite the file fresh.
+			if err := l.createSegmentLocked(seq); err != nil {
+				return nil, err
+			}
+			return l, nil
+		}
+		w, err := fs.OpenAppend(l.path(seq))
+		if err != nil {
+			return nil, err
+		}
+		l.seq, l.w, l.off = seq, w, validEnd
+		return l, nil
+	}
+	panic("unreachable")
+}
+
+func (l *Log) path(seq uint64) string { return filepath.Join(l.dir, segName(seq)) }
+
+// scanSegment walks one segment's frames. It returns the offset just
+// past the last valid frame and whether the file was fully valid.
+// Structural damage never returns an error — damage is what truncation
+// is for — only I/O failures do.
+func scanSegment(fs vfs.FS, path string, seq uint64) (validEnd int64, clean bool, err error) {
+	f, err := fs.OpenRead(path)
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return 0, false, err
+	}
+	var hdr [segHeaderLen]byte
+	if size < segHeaderLen {
+		// A torn segment header: nothing in this file is usable. Callers
+		// truncate to zero; re-creating the header is the writer's job.
+		return 0, false, nil
+	}
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return 0, false, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != segMagic ||
+		binary.LittleEndian.Uint32(hdr[4:8]) != segVersion ||
+		binary.LittleEndian.Uint64(hdr[8:16]) != seq {
+		// A damaged or mismatched header invalidates the whole segment,
+		// exactly like a damaged first frame.
+		return 0, false, nil
+	}
+	off := int64(segHeaderLen)
+	var fh [frameHeaderLen]byte
+	buf := make([]byte, 4096)
+	for {
+		if off+frameHeaderLen > size {
+			return off, off == size, nil
+		}
+		if _, err := f.ReadAt(fh[:], off); err != nil {
+			return 0, false, err
+		}
+		n := int64(binary.LittleEndian.Uint32(fh[0:4]))
+		if n > MaxRecordBytes || off+frameHeaderLen+n > size {
+			return off, false, nil
+		}
+		if int64(cap(buf)) < n {
+			buf = make([]byte, n)
+		}
+		b := buf[:n]
+		if _, err := f.ReadAt(b, off+frameHeaderLen); err != nil {
+			return 0, false, err
+		}
+		if crc32.ChecksumIEEE(b) != binary.LittleEndian.Uint32(fh[4:8]) {
+			return off, false, nil
+		}
+		off += frameHeaderLen + n
+	}
+}
+
+// createSegmentLocked starts segment seq as the open segment.
+func (l *Log) createSegmentLocked(seq uint64) error {
+	fs := l.opts.FS
+	w, err := fs.Create(l.path(seq))
+	if err != nil {
+		return err
+	}
+	var hdr [segHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], segMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], segVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], seq)
+	if _, err := w.Write(hdr[:]); err != nil {
+		w.Close()
+		return err
+	}
+	if err := fs.SyncDir(l.dir); err != nil {
+		w.Close()
+		return err
+	}
+	l.seq, l.w, l.off = seq, w, segHeaderLen
+	return nil
+}
+
+// End returns the append position: the LSN the next record will get.
+func (l *Log) End() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LSN{Seg: l.seq, Off: l.off}
+}
+
+// Start returns the lowest retained position (the oldest segment's first
+// frame).
+func (l *Log) Start() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LSN{Seg: l.firstSeq, Off: segHeaderLen}
+}
+
+// Append frames payload, writes it to the open segment (rotating first
+// if the segment is full), and syncs per the log's policy. It returns
+// the LSN the record was written at. After a write or sync failure the
+// log is poisoned: the on-disk tail is undefined, every later Append
+// returns ErrFailed, and the caller must reopen the directory to
+// recover the durable prefix.
+func (l *Log) Append(payload []byte) (LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch {
+	case l.closed:
+		return LSN{}, ErrClosed
+	case l.failed:
+		return LSN{}, ErrFailed
+	case int64(len(payload)) > MaxRecordBytes:
+		return LSN{}, fmt.Errorf("wal: %d-byte record exceeds the %d-byte cap", len(payload), MaxRecordBytes)
+	}
+	if l.off >= l.opts.SegmentBytes && l.off > segHeaderLen {
+		if err := l.rotateLocked(); err != nil {
+			l.failed = true
+			return LSN{}, err
+		}
+	}
+	lsn := LSN{Seg: l.seq, Off: l.off}
+	frame := make([]byte, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeaderLen:], payload)
+	if _, err := l.w.Write(frame); err != nil {
+		l.failed = true
+		return LSN{}, err
+	}
+	l.off += int64(len(frame))
+	if l.opts.Sync == SyncAlways {
+		if err := l.w.Sync(); err != nil {
+			l.failed = true
+			return LSN{}, err
+		}
+	}
+	return lsn, nil
+}
+
+// rotateLocked seals the open segment (always synced, whatever the
+// policy: rotation must not orphan an unsynced tail behind a synced
+// successor) and opens the next one.
+func (l *Log) rotateLocked() error {
+	if err := l.w.Sync(); err != nil {
+		return err
+	}
+	if err := l.w.Close(); err != nil {
+		return err
+	}
+	return l.createSegmentLocked(l.seq + 1)
+}
+
+// AdvancePast rotates until the append position orders at or after lsn,
+// so every future record replays after it. Recovery uses it when damage
+// truncated the log behind an already-checkpointed position: appending
+// at the torn-back position would hide new records behind the checkpoint
+// LSN. Rotation is cheap — intermediate segments hold only a header.
+func (l *Log) AdvancePast(lsn LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch {
+	case l.closed:
+		return ErrClosed
+	case l.failed:
+		return ErrFailed
+	}
+	for (LSN{Seg: l.seq, Off: l.off}).Before(lsn) {
+		if err := l.rotateLocked(); err != nil {
+			l.failed = true
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync flushes the open segment to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch {
+	case l.closed:
+		return ErrClosed
+	case l.failed:
+		return ErrFailed
+	}
+	if err := l.w.Sync(); err != nil {
+		l.failed = true
+		return err
+	}
+	return nil
+}
+
+// Replay calls fn for every record at or after from, in append order,
+// with the record's LSN and payload. The payload slice is reused across
+// calls; fn must copy what it keeps. A zero from replays the whole
+// retained log. Replaying a position older than the retained log
+// returns ErrTruncatedLSN; structural damage returns ErrCorrupt (Open
+// truncates damage away, so a log that was opened by this process
+// replays cleanly).
+func (l *Log) Replay(from LSN, fn func(lsn LSN, payload []byte) error) error {
+	l.mu.Lock()
+	firstSeq, lastSeq, end := l.firstSeq, l.seq, l.off
+	fs := l.opts.FS
+	closed := l.closed
+	l.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if from.Seg == 0 {
+		from = LSN{Seg: firstSeq, Off: segHeaderLen}
+	}
+	if from.Seg < firstSeq {
+		return fmt.Errorf("%w: %v before %v", ErrTruncatedLSN, from, LSN{Seg: firstSeq, Off: segHeaderLen})
+	}
+	var buf []byte
+	for seq := from.Seg; seq <= lastSeq; seq++ {
+		off := int64(segHeaderLen)
+		if seq == from.Seg && from.Off > off {
+			off = from.Off
+		}
+		stop := int64(-1)
+		if seq == lastSeq {
+			stop = end
+		}
+		var err error
+		buf, err = replaySegment(fs, l.path(seq), seq, off, stop, buf, fn)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replaySegment replays one segment's frames from off; stop bounds the
+// scan for the open segment (-1 means to EOF). The scratch buffer is
+// returned for reuse.
+func replaySegment(fs vfs.FS, path string, seq uint64, off, stop int64, buf []byte, fn func(LSN, []byte) error) ([]byte, error) {
+	f, err := fs.OpenRead(path)
+	if err != nil {
+		return buf, err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return buf, err
+	}
+	if stop < 0 || stop > size {
+		stop = size
+	}
+	var hdr [segHeaderLen]byte
+	if size < segHeaderLen {
+		return buf, fmt.Errorf("%w: %s: no segment header", ErrCorrupt, path)
+	}
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return buf, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != segMagic ||
+		binary.LittleEndian.Uint32(hdr[4:8]) != segVersion ||
+		binary.LittleEndian.Uint64(hdr[8:16]) != seq {
+		return buf, fmt.Errorf("%w: %s: bad segment header", ErrCorrupt, path)
+	}
+	var fh [frameHeaderLen]byte
+	for off < stop {
+		if off+frameHeaderLen > stop {
+			return buf, fmt.Errorf("%w: %s: torn frame header at %d", ErrCorrupt, path, off)
+		}
+		if _, err := f.ReadAt(fh[:], off); err != nil {
+			return buf, err
+		}
+		n := int64(binary.LittleEndian.Uint32(fh[0:4]))
+		if n > MaxRecordBytes || off+frameHeaderLen+n > stop {
+			return buf, fmt.Errorf("%w: %s: frame at %d overruns segment", ErrCorrupt, path, off)
+		}
+		if int64(cap(buf)) < n {
+			buf = make([]byte, n)
+		}
+		b := buf[:n]
+		if _, err := f.ReadAt(b, off+frameHeaderLen); err != nil {
+			return buf, err
+		}
+		if crc32.ChecksumIEEE(b) != binary.LittleEndian.Uint32(fh[4:8]) {
+			return buf, fmt.Errorf("%w: %s: checksum mismatch at %d", ErrCorrupt, path, off)
+		}
+		if err := fn(LSN{Seg: seq, Off: off}, b); err != nil {
+			return buf, err
+		}
+		off += frameHeaderLen + n
+	}
+	return buf, nil
+}
+
+// TruncateBefore releases log space up to lsn: segments whose every
+// record precedes lsn are deleted. The segment containing lsn is kept
+// whole (replay skips into it), so the operation is metadata-only and
+// crash-safe — a crash mid-truncation leaves extra segments, never
+// missing ones.
+func (l *Log) TruncateBefore(lsn LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch {
+	case l.closed:
+		return ErrClosed
+	case l.failed:
+		return ErrFailed
+	}
+	fs := l.opts.FS
+	for l.firstSeq < lsn.Seg && l.firstSeq < l.seq {
+		if err := fs.Remove(l.path(l.firstSeq)); err != nil {
+			return err
+		}
+		l.firstSeq++
+	}
+	return fs.SyncDir(l.dir)
+}
+
+// Close syncs and closes the open segment. The log cannot be used
+// afterwards; reopen the directory instead.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.failed {
+		l.w.Close()
+		return nil
+	}
+	if err := l.w.Sync(); err != nil {
+		l.w.Close()
+		return err
+	}
+	return l.w.Close()
+}

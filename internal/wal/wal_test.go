@@ -1,0 +1,330 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"crowdscope/internal/faultfs"
+	"crowdscope/internal/vfs"
+)
+
+// collect replays the whole log into memory.
+func collect(t testing.TB, l *Log, from LSN) (lsns []LSN, recs [][]byte) {
+	t.Helper()
+	err := l.Replay(from, func(lsn LSN, payload []byte) error {
+		lsns = append(lsns, lsn)
+		recs = append(recs, append([]byte(nil), payload...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return lsns, recs
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	var wantLSNs []LSN
+	for i := 0; i < 100; i++ {
+		rec := []byte(fmt.Sprintf("record-%03d-%s", i, bytes.Repeat([]byte{byte(i)}, i)))
+		lsn, err := l.Append(rec)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		want = append(want, rec)
+		wantLSNs = append(wantLSNs, lsn)
+	}
+	check := func(l *Log) {
+		lsns, recs := collect(t, l, LSN{})
+		if len(recs) != len(want) {
+			t.Fatalf("replayed %d records, want %d", len(recs), len(want))
+		}
+		for i := range want {
+			if !bytes.Equal(recs[i], want[i]) {
+				t.Fatalf("record %d differs", i)
+			}
+			if lsns[i] != wantLSNs[i] {
+				t.Fatalf("record %d at %v, appended at %v", i, lsns[i], wantLSNs[i])
+			}
+		}
+	}
+	check(l)
+	end := l.End()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: same records, same end.
+	l, err = Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.End() != end {
+		t.Fatalf("end %v after reopen, want %v", l.End(), end)
+	}
+	check(l)
+	// Replay from a mid-log LSN yields exactly the suffix.
+	_, recs := collect(t, l, wantLSNs[42])
+	if len(recs) != len(want)-42 || !bytes.Equal(recs[0], want[42]) {
+		t.Fatalf("suffix replay from record 42: got %d records", len(recs))
+	}
+}
+
+func TestRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNone, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := bytes.Repeat([]byte("x"), 100)
+	var lsns []LSN
+	for i := 0; i < 10; i++ {
+		lsn, err := l.Append(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	if l.End().Seg < 3 {
+		t.Fatalf("expected several segments, open segment is %d", l.End().Seg)
+	}
+	if _, recs := collect(t, l, LSN{}); len(recs) != 10 {
+		t.Fatalf("replayed %d of 10 records across segments", len(recs))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, err = Open(dir, Options{Sync: SyncNone, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, recs := collect(t, l, LSN{}); len(recs) != 10 {
+		t.Fatalf("replayed %d of 10 records after reopen", len(recs))
+	}
+	// Truncating before the last record's LSN drops whole leading
+	// segments; the suffix still replays.
+	if err := l.TruncateBefore(lsns[9]); err != nil {
+		t.Fatal(err)
+	}
+	if l.Start().Seg != lsns[9].Seg {
+		t.Fatalf("start segment %d after truncate, want %d", l.Start().Seg, lsns[9].Seg)
+	}
+	if _, recs := collect(t, l, lsns[9]); len(recs) != 1 {
+		t.Fatalf("replayed %d records after truncation, want 1", len(recs))
+	}
+	// Replaying a released position fails loudly.
+	if err := l.Replay(lsns[0], func(LSN, []byte) error { return nil }); !errors.Is(err, ErrTruncatedLSN) {
+		t.Fatalf("replay of truncated LSN: %v", err)
+	}
+}
+
+// damage helpers operate on the raw segment files.
+func segPath(dir string, seq uint64) string { return filepath.Join(dir, segName(seq)) }
+
+func writeLog(t *testing.T, dir string, n int, segBytes int64) ([]LSN, [][]byte) {
+	t.Helper()
+	l, err := Open(dir, Options{Sync: SyncNone, SegmentBytes: segBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lsns []LSN
+	var recs [][]byte
+	for i := 0; i < n; i++ {
+		rec := []byte(fmt.Sprintf("rec-%04d-%s", i, bytes.Repeat([]byte{byte(i%251 + 1)}, i%61)))
+		lsn, err := l.Append(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+		recs = append(recs, rec)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return lsns, recs
+}
+
+// reopenAndCount reopens the log and returns the replayed records.
+func reopenAndCount(t *testing.T, dir string) [][]byte {
+	t.Helper()
+	l, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l.Close()
+	_, recs := collect(t, l, LSN{})
+	return recs
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	_, want := writeLog(t, dir, 20, 1<<20)
+	// Tear the tail: cut the single segment 3 bytes into the last frame.
+	path := segPath(dir, 1)
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	recs := reopenAndCount(t, dir)
+	if len(recs) != 19 {
+		t.Fatalf("recovered %d records from torn tail, want 19", len(recs))
+	}
+	for i, r := range recs {
+		if !bytes.Equal(r, want[i]) {
+			t.Fatalf("recovered record %d differs", i)
+		}
+	}
+	// Recovery is idempotent and the log accepts appends again.
+	l, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("after-recovery")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if got := reopenAndCount(t, dir); len(got) != 20 || string(got[19]) != "after-recovery" {
+		t.Fatalf("append after recovery: %d records", len(got))
+	}
+}
+
+func TestMidLogDamageTruncatesRest(t *testing.T) {
+	dir := t.TempDir()
+	lsns, want := writeLog(t, dir, 60, 512)
+	if lsns[59].Seg < 3 {
+		t.Fatalf("test wants >2 segments, got %d", lsns[59].Seg)
+	}
+	// Flip a payload byte of a record in segment 2: everything from that
+	// record on — including later, intact segments — must be dropped.
+	var victim int
+	for i, lsn := range lsns {
+		if lsn.Seg == 2 {
+			victim = i
+			break
+		}
+	}
+	path := segPath(dir, 2)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[lsns[victim].Off+frameHeaderLen] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs := reopenAndCount(t, dir)
+	if len(recs) != victim {
+		t.Fatalf("recovered %d records, want the %d before the damage", len(recs), victim)
+	}
+	for i, r := range recs {
+		if !bytes.Equal(r, want[i]) {
+			t.Fatalf("recovered record %d differs", i)
+		}
+	}
+	// The orphaned later segments are gone from disk.
+	if _, err := os.Stat(segPath(dir, 3)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("segment 3 still present after mid-log damage: %v", err)
+	}
+}
+
+func TestMissingSegmentTruncatesAtGap(t *testing.T) {
+	dir := t.TempDir()
+	lsns, _ := writeLog(t, dir, 60, 512)
+	if lsns[59].Seg < 4 {
+		t.Fatalf("test wants >3 segments, got %d", lsns[59].Seg)
+	}
+	if err := os.Remove(segPath(dir, 2)); err != nil {
+		t.Fatal(err)
+	}
+	var wantRecs int
+	for _, lsn := range lsns {
+		if lsn.Seg == 1 {
+			wantRecs++
+		}
+	}
+	recs := reopenAndCount(t, dir)
+	if len(recs) != wantRecs {
+		t.Fatalf("recovered %d records, want segment 1's %d", len(recs), wantRecs)
+	}
+}
+
+func TestLogPoisonedAfterWriteFailure(t *testing.T) {
+	dir := t.TempDir()
+	// Segment header (16B) + frame for "ok" (8+2B) land at byte 26; arm a
+	// torn write 4 bytes into the next frame.
+	ffs := faultfs.New(vfs.OS{})
+	ffs.CrashAfterBytes(30)
+	l, err := Open(dir, Options{Sync: SyncNone, FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("boom")); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("expected injected write failure, got %v", err)
+	}
+	if _, err := l.Append([]byte("after")); !errors.Is(err, ErrFailed) {
+		t.Fatalf("append on poisoned log: %v, want ErrFailed", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrFailed) {
+		t.Fatalf("sync on poisoned log: %v, want ErrFailed", err)
+	}
+	l.Close()
+	// The durable prefix survives.
+	if recs := reopenAndCount(t, dir); len(recs) != 1 || string(recs[0]) != "ok" {
+		t.Fatalf("recovered %d records after poisoned log", len(recs))
+	}
+}
+
+func TestOversizeRecordRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append(make([]byte, MaxRecordBytes+1)); err == nil {
+		t.Fatal("oversize record accepted")
+	}
+	if _, err := l.Append([]byte("still fine")); err != nil {
+		t.Fatalf("log poisoned by a rejected record: %v", err)
+	}
+}
+
+func BenchmarkWALAppend(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		sync SyncPolicy
+	}{{"nosync", SyncNone}, {"fsync", SyncAlways}} {
+		b.Run(tc.name, func(b *testing.B) {
+			dir := b.TempDir()
+			l, err := Open(dir, Options{Sync: tc.sync, SegmentBytes: 64 << 20})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			rec := bytes.Repeat([]byte("r"), 1024)
+			b.SetBytes(int64(len(rec)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Append(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
