@@ -5,20 +5,36 @@
 //
 // Usage:
 //
-//	crowdquery -snapshot marketplace.crow -where "worker == 12"
-//	crowdquery -snapshot marketplace.crow \
-//	    -where "start in [week:130, week:140)" -where "trust >= 0.8" \
-//	    -group week -value duration -p50
-//	crowdquery -seed 1701 -scale 0.02 -group tasktype -distinct worker -sort count
+//	crowdquery -snapshot marketplace.crow -q "where worker == 12"
+//	crowdquery -snapshot marketplace.crow -explain \
+//	    -q "where start in [week:130, week:140) and trust >= 0.8 | group week | value duration | p50"
+//	crowdquery -seed 1701 -scale 0.02 \
+//	    -q "where worker.class == super or batch.sampled == true | group tasktype, worker.country | value trust | sort count"
+//	crowdquery -snapshot marketplace.crow -where "worker == 12"    # flag form, same engine
 //
-// Predicate syntax (one conjunct per -where flag):
+// The -q text query is a pipeline of stages (any order, `where` first by
+// convention): where, group (one or two comma-separated keys), value,
+// p50, distinct, sort, top. The where expression combines predicates
+// with `and`/`or` and parentheses:
 //
 //	column op value          op: == (or =), <, <=, >, >=
 //	column in {v, v, ...}    set membership (integer columns)
 //	column in [lo, hi)       range; ) excludes hi, ] includes it
 //
-// Columns: batch, tasktype, item, worker, start, end, trust, answer.
-// start/end values are unix seconds, or week:N / day:N dataset buckets.
+// Columns: batch, tasktype, item, worker, start, end, trust, answer, the
+// derived duration (end-start, seconds), and the joined attribute
+// columns worker.source, worker.country, worker.class, batch.items,
+// batch.redundancy, batch.sampled, batch.week. start/end values are unix
+// seconds, or week:N / day:N dataset buckets; worker.class also takes
+// the class names (one-day, casual, active, super) and batch.sampled
+// takes true/false. Joined columns need the marketplace inventory: it is
+// generated from -seed/-scale, which must match the snapshot's
+// generation parameters.
+//
+// The stage flags (-where, -group, -value, ...) remain and compile onto
+// the same query; when both are given, the text query wins for the
+// stages it sets and -where conjuncts are ANDed in. -explain prints the
+// plan — greedy clause order and zone-map pruning — before the results.
 package main
 
 import (
@@ -33,6 +49,7 @@ import (
 	"crowdscope/internal/cli"
 	"crowdscope/internal/model"
 	"crowdscope/internal/query"
+	"crowdscope/internal/query/lang"
 	"crowdscope/internal/report"
 	"crowdscope/internal/store"
 	"crowdscope/internal/synth"
@@ -59,9 +76,11 @@ func (m *multiFlag) Set(s string) error {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("crowdquery", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	qText := fs.String("q", "", "full text query, e.g. 'where trust >= 0.8 and (worker.class == super or duration < 300) | group week | value trust'")
+	explain := fs.Bool("explain", false, "print the query plan (greedy clause order, zone-map pruning) before the results")
 	var wheres multiFlag
 	fs.Var(&wheres, "where", "predicate conjunct (repeatable), e.g. 'worker == 12', 'start in [week:130, week:140)'")
-	groupS := fs.String("group", "none", "group rows by: none, batch, worker, tasktype, week or day")
+	groupS := fs.String("group", "none", "group rows by: none, batch, worker, tasktype, week, day or a joined attribute (e.g. worker.country)")
 	valueS := fs.String("value", "count", "aggregate column: count, duration, trust or start")
 	p50 := fs.Bool("p50", false, "also report each group's median value")
 	distinctS := fs.String("distinct", "", "also count distinct values of this column per group (e.g. worker)")
@@ -102,13 +121,68 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 	}
-	if *sortS != "key" && *sortS != "count" {
-		return fmt.Errorf("unknown -sort %q (want key or count)", *sortS)
+	sortBy, topN := *sortS, *top
+	if *qText != "" {
+		lq, err := lang.Parse(*qText)
+		if err != nil {
+			return err
+		}
+		tq, err := query.Compile(lq)
+		if err != nil {
+			return err
+		}
+		// The text query wins for the stages it sets; -where conjuncts
+		// are ANDed in after its clauses.
+		tq.Where = append(tq.Where, q.Where...)
+		tq.Workers = q.Workers
+		if len(lq.Group) == 0 {
+			tq.GroupBy = q.GroupBy
+		}
+		if lq.Value == "" {
+			tq.Value = q.Value
+		}
+		tq.P50 = tq.P50 || q.P50
+		if lq.Distinct == "" {
+			tq.Distinct = q.Distinct
+		}
+		if lq.Sort != "" {
+			sortBy = lq.Sort
+		}
+		if lq.HasTop {
+			topN = lq.Top
+		}
+		q = tq
+	}
+	if sortBy != "key" && sortBy != "count" {
+		return fmt.Errorf("unknown sort %q (want key or count)", sortBy)
 	}
 
-	st, ds, source, err := openSource(*snapshotPath, *seed, *scale, *workers)
+	st, ds, gen, source, err := openSource(*snapshotPath, *seed, *scale, *workers)
 	if err != nil {
 		return err
+	}
+	if q.NeedsTables() {
+		if gen == nil {
+			// Joined columns probe the marketplace inventory; a snapshot
+			// carries only the instance log, so rebuild the inventory from
+			// the generation parameters (no instances are synthesized).
+			gen = synth.Inventory(synth.Config{Seed: *seed, Scale: *scale})
+		}
+		q.Tables = query.NewTables(gen.Workers, gen.Batches)
+	}
+
+	if *explain {
+		var pl fmt.Stringer
+		if ds != nil {
+			pl, err = query.ExplainDataset(ds, q)
+		} else {
+			pl, err = query.Explain(st, q)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, pl.String())
+		fmt.Fprintln(stdout)
 	}
 
 	var res *query.Result
@@ -126,12 +200,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	fmt.Fprintf(stdout, "source: %s (%d rows, %d segments)\n", source, totalRows, res.Stats.Segments)
-	fmt.Fprintf(stdout, "query:  %s\n", describe(&q))
+	fmt.Fprintf(stdout, "query:  %s\n", q.Text())
 	groups := append([]query.Group(nil), res.Groups...)
-	if *sortS == "count" {
+	if sortBy == "count" {
 		sort.SliceStable(groups, func(i, j int) bool { return groups[i].Count > groups[j].Count })
 	}
-	renderGroups(stdout, &q, groups, *top)
+	renderGroups(stdout, &q, groups, topN)
 	pct := 100.0
 	if totalRows > 0 {
 		pct = 100 * float64(res.Stats.RowsScanned) / float64(totalRows)
@@ -155,59 +229,47 @@ func run(args []string, stdout, stderr io.Writer) error {
 // openSource opens the file at path — a snapshot or a sharded-dataset
 // manifest, told apart by magic bytes — or generates the marketplace
 // deterministically from (seed, scale) when no path is given. Exactly
-// one of the store and dataset returns is non-nil.
-func openSource(path string, seed uint64, scale float64, workers int) (*store.Store, *store.Dataset, string, error) {
+// one of the store and dataset returns is non-nil; the synth dataset is
+// non-nil only for the generated source (its worker/batch inventory
+// backs joined columns without regenerating).
+func openSource(path string, seed uint64, scale float64, workers int) (*store.Store, *store.Dataset, *synth.Dataset, string, error) {
 	if path == "" {
 		ds := synth.Generate(synth.Config{Seed: seed, Scale: scale, Parallelism: workers})
-		return ds.Store, nil, fmt.Sprintf("generated seed=%d scale=%g", seed, scale), nil
+		return ds.Store, nil, ds, fmt.Sprintf("generated seed=%d scale=%g", seed, scale), nil
 	}
 	kind, err := store.DetectPath(path)
 	if err != nil {
-		return nil, nil, "", err
+		return nil, nil, nil, "", err
 	}
 	switch kind {
 	case store.KindManifest:
 		d, err := store.OpenDatasetPath(path)
 		if err != nil {
-			return nil, nil, "", fmt.Errorf("load dataset %s: %w", path, err)
+			return nil, nil, nil, "", fmt.Errorf("load dataset %s: %w", path, err)
 		}
-		return nil, d, path, nil
+		return nil, d, nil, path, nil
 	case store.KindSnapshot:
 		f, err := os.Open(path)
 		if err != nil {
-			return nil, nil, "", err
+			return nil, nil, nil, "", err
 		}
 		defer f.Close()
 		var st store.Store
 		if _, err := st.ReadSnapshot(f, store.LoadOptions{Workers: workers}); err != nil {
-			return nil, nil, "", fmt.Errorf("load snapshot %s: %w", path, err)
+			return nil, nil, nil, "", fmt.Errorf("load snapshot %s: %w", path, err)
 		}
-		return &st, nil, path, nil
+		return &st, nil, nil, path, nil
 	}
-	return nil, nil, "", fmt.Errorf("%s: not a crowdscope snapshot or manifest: %w", path, store.ErrBadMagic)
+	return nil, nil, nil, "", fmt.Errorf("%s: not a crowdscope snapshot or manifest: %w", path, store.ErrBadMagic)
 }
 
-// describe echoes the canonical form of the query actually executed —
-// every -where replayed through its parsed predicate's String.
-func describe(q *query.Query) string {
-	var b strings.Builder
-	if len(q.Where) == 0 {
-		b.WriteString("all rows")
+// groupCols resolves the group key list the result table renders: the
+// two-key list when the query grouped by two keys, else the single key.
+func groupCols(q *query.Query) []query.GroupBy {
+	if len(q.GroupBys) > 0 {
+		return q.GroupBys
 	}
-	for i, p := range q.Where {
-		if i > 0 {
-			b.WriteString(" && ")
-		}
-		b.WriteString(p.String())
-	}
-	fmt.Fprintf(&b, " | group %s | value %s", q.GroupBy, q.Value)
-	if q.P50 {
-		b.WriteString(" p50")
-	}
-	if q.Distinct != query.ColNone {
-		fmt.Fprintf(&b, " | distinct %s", q.Distinct)
-	}
-	return b.String()
+	return []query.GroupBy{q.GroupBy}
 }
 
 // renderGroups prints the result table with only the requested aggregate
@@ -217,7 +279,12 @@ func renderGroups(stdout io.Writer, q *query.Query, groups []query.Group, top in
 		fmt.Fprintln(stdout, "no rows matched")
 		return
 	}
-	headers := []string{q.GroupBy.String(), "count"}
+	keys := groupCols(q)
+	var headers []string
+	for _, g := range keys {
+		headers = append(headers, g.String())
+	}
+	headers = append(headers, "count")
 	withValue := q.Value != query.ValueNone
 	if withValue {
 		headers = append(headers, "sum", "mean", "min", "max")
@@ -233,7 +300,11 @@ func renderGroups(stdout io.Writer, q *query.Query, groups []query.Group, top in
 		if top > 0 && i >= top {
 			break
 		}
-		row := []interface{}{keyLabel(q.GroupBy, g.Key), g.Count}
+		row := []interface{}{keyLabel(keys[0], g.Key)}
+		if len(keys) > 1 {
+			row = append(row, keyLabel(keys[1], g.Key2))
+		}
+		row = append(row, g.Count)
 		if withValue {
 			row = append(row, g.Sum, g.Mean(), g.Min, g.Max)
 		}

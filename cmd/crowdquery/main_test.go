@@ -127,6 +127,50 @@ func TestWorkerRollupGolden(t *testing.T) {
 	checkGolden(t, "worker_rollup.golden", stdout.String())
 }
 
+// TestExplainPlanGolden: -explain over a -q text query prints the plan —
+// greedy clause order with selectivity/cost scores, and zone-map prune
+// counts — before the results. The narrow week window must be chosen as
+// the driving clause over the wide tasktype range.
+func TestExplainPlanGolden(t *testing.T) {
+	snap := fixture(t)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-snapshot", snap, "-explain",
+		"-q", "where start in [week:1, week:2) and tasktype <= 2 | group batch | value duration"},
+		&stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "[driving]") {
+		t.Errorf("no driving clause in plan:\n%s", out)
+	}
+	if !strings.Contains(out, "segments: 1 of 4 scanned (3 zone-map-pruned)") {
+		t.Errorf("segment pruning not in plan:\n%s", out)
+	}
+	if strings.Index(out, "start in") > strings.Index(out, "tasktype") {
+		t.Errorf("week window is not the driving clause:\n%s", out)
+	}
+	checkGolden(t, "explain_plan.golden", out)
+}
+
+// TestJoinOrGolden: the full language surface end to end from -q — a
+// worker-attribute join, an OR-group mixing a batch attribute with the
+// derived duration, and a two-key group-by — over the generated
+// marketplace, whose inventory backs the joined columns.
+func TestJoinOrGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-seed", "1701", "-scale", "0.005",
+		"-q", "where worker.class == super and (batch.sampled == true or duration >= 600) | group tasktype, worker.country | value trust | sort count | top 5"},
+		&stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	if strings.Contains(stdout.String(), "no rows matched") {
+		t.Fatalf("join query matched nothing:\n%s", stdout.String())
+	}
+	checkGolden(t, "join_or.golden", stdout.String())
+}
+
 // TestNoMatchGolden: a fully-pruned query still renders cleanly.
 func TestNoMatchGolden(t *testing.T) {
 	snap := fixture(t)
@@ -179,6 +223,26 @@ func TestDegradedDataset(t *testing.T) {
 		!strings.Contains(stderr.String(), "PARTIAL aggregate over 2 of 3 shards") {
 		t.Errorf("skip warning missing:\n%s", stderr.String())
 	}
+
+	// The text-query path degrades identically: same engine, same
+	// partial-coverage accounting, plan and results golden-pinned.
+	stdout.Reset()
+	stderr.Reset()
+	err = run([]string{"-snapshot", manPath, "-degraded", "-explain",
+		"-q", "where trust >= 0.6 or answer == 0 | group tasktype | value trust"},
+		&stdout, &stderr)
+	if err != nil {
+		t.Fatalf("degraded -q run: %v (stderr: %s)", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "shards: 2 opened, 0 pruned, 1 skipped") {
+		t.Errorf("coverage not reported:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "PARTIAL aggregate over 2 of 3 shards") {
+		t.Errorf("skip warning missing:\n%s", stderr.String())
+	}
+	// The manifest lives in a per-run temp dir; pin the golden on a
+	// stable name.
+	checkGolden(t, "degraded_q.golden", strings.ReplaceAll(stdout.String(), manPath, "fix.manifest"))
 }
 
 // TestExitCodeTaxonomy drives real damaged and missing inputs through

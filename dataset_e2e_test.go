@@ -94,9 +94,10 @@ func (fs *shardFiles) dataset(tb testing.TB) *store.Dataset {
 
 var (
 	e2eOnce  sync.Once
-	e2eStore *store.Store // the generated 16-segment store
-	e2eSnap  []byte       // its single-file snapshot
-	e2eFS    *shardFiles  // its 8-shard dataset
+	e2eStore *store.Store      // the generated 16-segment store
+	e2eSnap  []byte            // its single-file snapshot
+	e2eFS    *shardFiles       // its 8-shard dataset
+	e2eTabs  *query.SideTables // worker/batch attribute tables for joins
 )
 
 // e2eSetup builds the shared acceptance fixture once: the scale-0.02
@@ -107,6 +108,7 @@ func e2eSetup(tb testing.TB) {
 	e2eOnce.Do(func() {
 		ds := synth.Generate(synth.Config{Seed: 1701, Scale: 0.02, Parallelism: 16})
 		e2eStore = ds.Store
+		e2eTabs = query.NewTables(ds.Workers, ds.Batches)
 		var snap bytes.Buffer
 		if _, err := e2eStore.WriteTo(&snap); err != nil {
 			panic(err)
@@ -178,7 +180,7 @@ func groupsEqual(a, b []query.Group) bool {
 	}
 	for i := range a {
 		x, y := a[i], b[i]
-		if x.Key != y.Key || x.Count != y.Count || x.Distinct != y.Distinct {
+		if x.Key != y.Key || x.Key2 != y.Key2 || x.Count != y.Count || x.Distinct != y.Distinct {
 			return false
 		}
 		if math.Float64bits(x.Sum) != math.Float64bits(y.Sum) ||
@@ -269,6 +271,121 @@ func TestDatasetQueryBitIdentity(t *testing.T) {
 	}
 }
 
+// TestTrustSumChunkOrderIdentity pins the floating-point caveat of the
+// §7 merge contract. Sum over trust is a float fold, and float addition
+// is not associative, so the exact bits of a trust sum depend on fold
+// order. The engine fixes that order — rows fold in row order within
+// each ChunkRows chunk, chunk subtotals merge in chunk order — and every
+// execution path shares it: the direct streaming scan (Run), the
+// cached-plan path (Planner.Run) and the sharded dataset path
+// (RunDataset), at every Workers value. A path that folded in a
+// different order would still be numerically "correct" to an epsilon;
+// this test fails it on Float64bits instead, because reproducibility is
+// part of the query contract.
+func TestTrustSumChunkOrderIdentity(t *testing.T) {
+	e2eSetup(t)
+	q, err := query.ParseQuery("where trust >= 0.25 and (tasktype == 2 or trust >= 0.9) | group week | value trust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var twin store.Store
+	if _, err := twin.ReadFrom(bytes.NewReader(e2eSnap)); err != nil {
+		t.Fatalf("load snapshot twin: %v", err)
+	}
+	pl := query.NewPlanner(4)
+	var ref []query.Group
+	for _, workers := range []int{0, 1, 2, 3, 8} {
+		q.Workers = workers
+		fromRun, err := query.Run(&twin, q)
+		if err != nil {
+			t.Fatalf("Run workers=%d: %v", workers, err)
+		}
+		fromPlanner, err := pl.Run(&twin, q)
+		if err != nil {
+			t.Fatalf("Planner.Run workers=%d: %v", workers, err)
+		}
+		fromDataset, err := query.RunDataset(e2eFS.dataset(t), q)
+		if err != nil {
+			t.Fatalf("RunDataset workers=%d: %v", workers, err)
+		}
+		if len(fromRun.Groups) == 0 {
+			t.Fatal("trust-sum query matched nothing; fixture too small")
+		}
+		if !groupsEqual(fromRun.Groups, fromPlanner.Groups) {
+			t.Fatalf("workers=%d: cached-plan trust sums differ from Run's", workers)
+		}
+		if !groupsEqual(fromRun.Groups, fromDataset.Groups) {
+			t.Fatalf("workers=%d: dataset trust sums differ from Run's", workers)
+		}
+		if ref == nil {
+			ref = fromRun.Groups
+		} else if !groupsEqual(ref, fromRun.Groups) {
+			t.Fatalf("workers=%d changed the trust-sum bits", workers)
+		}
+	}
+}
+
+// acceptanceQuery is this PR's headline query — inexpressible before the
+// language existed: a worker-attribute join, an OR-group mixing a batch
+// attribute with the derived duration column, and a two-key group-by.
+const acceptanceQuery = "where worker.class == super and (batch.sampled == true or duration >= 600) | group tasktype, worker.country | value trust"
+
+// TestLanguageQueryAcceptance runs acceptanceQuery end to end from its
+// text form, on both the snapshot store and the sharded dataset, and
+// requires bit-identical grouped results for workers 0, 1, 2 and 8.
+func TestLanguageQueryAcceptance(t *testing.T) {
+	e2eSetup(t)
+	q, err := query.ParseQuery(acceptanceQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Tables = e2eTabs
+	var twin store.Store
+	if _, err := twin.ReadFrom(bytes.NewReader(e2eSnap)); err != nil {
+		t.Fatalf("load snapshot twin: %v", err)
+	}
+	var ref []query.Group
+	for _, workers := range []int{0, 1, 2, 8} {
+		q.Workers = workers
+		fromSnap, err := query.Run(&twin, q)
+		if err != nil {
+			t.Fatalf("Run workers=%d: %v", workers, err)
+		}
+		fromDataset, err := query.RunDataset(e2eFS.dataset(t), q)
+		if err != nil {
+			t.Fatalf("RunDataset workers=%d: %v", workers, err)
+		}
+		if len(fromSnap.Groups) == 0 {
+			t.Fatal("acceptance query matched nothing; fixture too small")
+		}
+		if !groupsEqual(fromSnap.Groups, fromDataset.Groups) {
+			t.Fatalf("workers=%d: dataset result differs from snapshot result", workers)
+		}
+		if ref == nil {
+			ref = fromSnap.Groups
+		} else if !groupsEqual(ref, fromSnap.Groups) {
+			t.Fatalf("workers=%d changed the result", workers)
+		}
+	}
+
+	// The plan must show the greedy clause order and zone-map pruning
+	// stats; the dataset plan additionally shows shard pruning.
+	pl, err := query.Explain(&twin, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Order) != 2 || pl.Rows == 0 {
+		t.Fatalf("store plan incomplete: %s", pl)
+	}
+	dpl, err := query.ExplainDataset(e2eFS.dataset(t), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dpl.Source != "dataset" || len(dpl.Clauses) != 2 {
+		t.Fatalf("dataset plan incomplete: %s", dpl)
+	}
+}
+
 // BenchmarkDatasetOpen compares bringing a dataset to query-readiness
 // (manifest + per-shard footer and metadata validation, no column bytes)
 // against strict-loading the equivalent single-file snapshot.
@@ -339,4 +456,51 @@ func BenchmarkDatasetQuery(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkPlan measures a cold plan of the headline join+OR query:
+// parse nothing (the Query is pre-built), score every clause against the
+// store's zone maps, and order them greedily. Planning is metadata-only
+// — no column bytes move — so it must stay microsecond-scale.
+func BenchmarkPlan(b *testing.B) {
+	e2eSetup(b)
+	q, err := query.ParseQuery(acceptanceQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q.Tables = e2eTabs
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := query.Explain(e2eStore, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanCache measures the same plan served from the planner's
+// LRU, keyed by canonical query text. The CI gate pins this at least 2x
+// faster than the cold path above.
+func BenchmarkPlanCache(b *testing.B) {
+	e2eSetup(b)
+	q, err := query.ParseQuery(acceptanceQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q.Tables = e2eTabs
+	pn := query.NewPlanner(8)
+	if _, err := pn.Explain(e2eStore, q); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl, err := pn.Explain(e2eStore, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !pl.Cached {
+			b.Fatal("plan not served from cache")
+		}
+	}
 }

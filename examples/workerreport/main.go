@@ -5,8 +5,11 @@ package main
 
 import (
 	"fmt"
+	"sort"
 
 	"crowdscope/internal/core"
+	"crowdscope/internal/model"
+	"crowdscope/internal/query"
 	"crowdscope/internal/report"
 	"crowdscope/internal/stats"
 	"crowdscope/internal/synth"
@@ -32,16 +35,29 @@ func main() {
 	fmt.Print(tbl.String())
 	fmt.Printf("top-10 sources carry %.0f%% of tasks (paper: 95%%)\n\n", 100*float64(topTasks)/float64(total))
 
-	// Geography.
-	countries := analysis.CountryTable(workers)
+	// Geography — through the query language's worker-attribute join:
+	// one grouped distinct-count over the instance log (the same query
+	// crowdquery -q runs) replaces the per-worker rollup.
+	tabs := query.NewTables(ds.Workers, ds.Batches)
+	q, err := query.ParseQuery("group worker.country | distinct worker")
+	if err != nil {
+		panic(err)
+	}
+	q.Tables = tabs
+	res, err := query.Run(ds.Store, q)
+	if err != nil {
+		panic(err)
+	}
+	byCountry := append([]query.Group(nil), res.Groups...)
+	sort.Slice(byCountry, func(i, j int) bool { return byCountry[i].Distinct > byCountry[j].Distinct })
 	chart := report.NewChart("Workforce geography (top 8 countries)")
 	top5 := 0
-	for i, c := range countries {
+	for i, g := range byCountry {
 		if i < 8 {
-			chart.Add(c.Name, float64(c.Workers))
+			chart.Add(ds.Countries[g.Key], float64(g.Distinct))
 		}
 		if i < 5 {
-			top5 += c.Workers
+			top5 += g.Distinct
 		}
 	}
 	fmt.Print(chart.String())
@@ -68,6 +84,23 @@ func main() {
 		active, 100*float64(activeTasks)/float64(allTasks))
 	fmt.Printf("  top-10%% of workers perform %.0f%% of tasks; workload Gini %.2f\n",
 		100*stats.TopShare(loads, 0.10), stats.Gini(loads))
+
+	// Engagement classes through the language's boolean surface: tasks
+	// that ran long (10+ minutes) or came from the visible batch sample,
+	// grouped by the joined engagement class.
+	q2, err := query.ParseQuery("where batch.sampled == true or duration >= 600 | group worker.class | value trust")
+	if err != nil {
+		panic(err)
+	}
+	q2.Tables = tabs
+	res2, err := query.Run(ds.Store, q2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\nLong or sampled-batch tasks by engagement class:")
+	for _, g := range res2.Groups {
+		fmt.Printf("  %-8v %7d tasks, mean trust %.2f\n", model.EngagementClass(g.Key), g.Count, g.Mean())
+	}
 
 	// Daily hours of the busiest workers.
 	fmt.Println("\nHeaviest workers:")

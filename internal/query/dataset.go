@@ -24,29 +24,43 @@ func colSet(c Column) store.ColumnSet {
 		return store.ColSetTrust
 	case ColAnswer:
 		return store.ColSetAnswer
+	case ColDuration:
+		return store.ColSetStart | store.ColSetEnd
+	}
+	if base := c.joinBase(); base != ColNone {
+		// A join predicate lowers to a set over its base ID column; only
+		// that column is ever read from the shard.
+		return colSet(base)
 	}
 	return 0
 }
 
 // neededColumns derives the exact column set a query touches: every
-// predicate column, the group key's backing column, the value's inputs,
-// and the distinct column. This is what makes dataset scans selective —
-// a count grouped by week with a time-window predicate reads Start and
-// nothing else.
+// predicate column (conjuncts and OR-leaves), each group key's backing
+// column, the value's inputs, and the distinct column. This is what
+// makes dataset scans selective — a count grouped by week with a
+// time-window predicate reads Start and nothing else.
 func neededColumns(q *Query) store.ColumnSet {
 	var need store.ColumnSet
 	for _, p := range q.Where {
 		need |= colSet(p.Col)
 	}
-	switch q.GroupBy {
-	case GroupWeek, GroupDay:
-		need |= store.ColSetStart
-	case GroupBatch:
-		need |= store.ColSetBatch
-	case GroupWorker:
-		need |= store.ColSetWorker
-	case GroupTaskType:
-		need |= store.ColSetTaskType
+	for _, g := range q.Or {
+		for _, p := range g {
+			need |= colSet(p.Col)
+		}
+	}
+	for _, g := range q.groupKeys() {
+		switch g {
+		case GroupWeek, GroupDay:
+			need |= store.ColSetStart
+		case GroupBatch, GroupBatchWeek:
+			need |= store.ColSetBatch
+		case GroupWorker, GroupWorkerSource, GroupWorkerCountry, GroupWorkerClass:
+			need |= store.ColSetWorker
+		case GroupTaskType:
+			need |= store.ColSetTaskType
+		}
 	}
 	switch q.Value {
 	case ValueDuration:
@@ -98,21 +112,22 @@ func RunDataset(d *store.Dataset, q Query) (*Result, error) {
 // RunDatasetOpts is RunDataset with dataset-level options; see
 // DatasetOptions for the degraded mode.
 func RunDatasetOpts(d *store.Dataset, q Query, opts DatasetOptions) (*Result, error) {
-	if err := q.validate(); err != nil {
+	pr, err := prepareDataset(d, &q)
+	if err != nil {
 		return nil, err
 	}
-	preds := compile(q.Where)
 	man := d.Manifest()
 	res := &Result{}
 
 	// Manifest-level pruning: a shard's merged zone is a segment-shaped
-	// summary of all its rows, so the segment prune applies verbatim.
+	// summary of all its rows, so the clause-level zone test applies
+	// verbatim.
 	var keep []int
 	for i := range man.Shards {
 		si := &man.Shards[i]
 		res.Stats.Segments += si.Segments
 		shape := store.SegmentInfo{RowLo: 0, RowHi: si.Rows, BatchLo: si.BatchLo, BatchHi: si.BatchHi}
-		if si.Rows == 0 || prune(&si.Zone, shape, preds) {
+		if si.Rows == 0 || shardPruned(pr, &si.Zone, shape) {
 			res.Stats.SegmentsPruned += si.Segments
 			res.Stats.ShardsPruned++
 			continue
@@ -128,7 +143,7 @@ func RunDatasetOpts(d *store.Dataset, q Query, opts DatasetOptions) (*Result, er
 		err      error
 	}
 	outs := make([]shardOut, len(keep))
-	err := par.EachShardErr(len(keep), q.Workers, func(lo, hi int) error {
+	err = par.EachShardErr(len(keep), q.Workers, func(lo, hi int) error {
 		for k := lo; k < hi; k++ {
 			sh, err := d.Shard(keep[k])
 			if err == nil {
@@ -145,7 +160,7 @@ func RunDatasetOpts(d *store.Dataset, q Query, opts DatasetOptions) (*Result, er
 			// shards — and keep only the pruned count: Segments was
 			// already counted from the manifest.
 			var qs Stats
-			partials, tasks := scanStore(sh.Store(), &q, preds, 1, &qs)
+			partials, tasks := scanStore(sh.Store(), &q, pr, 1, &qs)
 			outs[k] = shardOut{partials: partials, tasks: tasks, pruned: qs.SegmentsPruned}
 		}
 		return nil

@@ -2,7 +2,6 @@ package query
 
 import (
 	"math"
-	"math/bits"
 
 	"crowdscope/internal/store"
 )
@@ -100,6 +99,9 @@ const (
 	// kF32FOR decodes FOR-packed float32 bit patterns and compares the
 	// reconstructed value against the trust bounds.
 	kF32FOR
+	// kDur reconstructs the virtual duration column (end-start) from the
+	// two raw time columns and compares it against the bounds.
+	kDur
 )
 
 // segPred is one predicate resolved against one segment.
@@ -107,9 +109,10 @@ type segPred struct {
 	kind  predKind
 	local bool // slices below index segment-local rows
 
-	u32 []uint32
-	i64 []int64
-	f32 []float32
+	u32  []uint32
+	i64  []int64
+	i64b []int64 // kDur: the end column (i64 holds starts)
+	f32  []float32
 
 	runVals, runEnds []uint32 // kRLE
 
@@ -122,9 +125,24 @@ type segPred struct {
 	dlo, dhi uint64 // kFOR32/kFOR64: translated inclusive delta bounds
 }
 
-// segPlan is a query's execution plan for one segment.
-type segPlan struct {
-	preds []segPred
+// leafEval is one OR-leaf bound to a segment: the kernel choice plus the
+// compiled predicate the slow paths consult.
+type leafEval struct {
+	sp segPred
+	c  *compiled
+}
+
+// boundClause is one clause bound to a segment. Leaves that cannot match
+// any row of the segment are dropped; a clause some leaf provably
+// satisfies for every row is omitted from segBound entirely.
+type boundClause struct {
+	leaves []leafEval
+}
+
+// segBound is a query's execution plan for one segment: the surviving
+// clauses in execution order.
+type segBound struct {
+	clauses []boundClause
 }
 
 // rawCols memoizes raw column fetches so plan building touches each store
@@ -192,25 +210,49 @@ func u32Resident(r store.Residency, col Column) bool {
 	return false
 }
 
-// buildSegPlan resolves every predicate against one segment. It returns
-// empty=true when some predicate provably matches nothing in the segment
-// (an empty dictionary mask, a FOR range outside the segment's span) —
-// the segment is then skipped like a zone-pruned one.
-func buildSegPlan(preds []compiled, z *store.ZoneMap, si store.SegmentInfo, enc *store.SegmentEnc, resd store.Residency, raw *rawCols) (segPlan, bool) {
-	plan := segPlan{preds: make([]segPred, len(preds))}
-	for i := range preds {
-		c := &preds[i]
-		if containsSeg(c, z, si) {
-			plan.preds[i] = segPred{kind: kAll}
+// bindSegment resolves every prepared clause against one segment. Per
+// clause, each OR-leaf is zone-tested first: leaves disjoint from the
+// segment are dropped, and a leaf that provably covers the whole segment
+// satisfies the clause for free (it is omitted from the binding). A
+// clause left with no leaf can match no row, so the whole segment is
+// skipped (skip=true) exactly like a zone-pruned one — for a
+// single-conjunct clause this is the classic zone-map prune.
+func bindSegment(pr *prepared, z *store.ZoneMap, si store.SegmentInfo, enc *store.SegmentEnc, resd store.Residency, raw *rawCols) (segBound, bool) {
+	sb := segBound{clauses: make([]boundClause, 0, len(pr.clauses))}
+	for ci := range pr.clauses {
+		cl := &pr.clauses[ci]
+		var leaves []leafEval
+		satisfied := false
+		for li := range cl.leaves {
+			c := &cl.leaves[li]
+			if leafDisjoint(c, z, si) {
+				continue
+			}
+			if containsSeg(c, z, si) {
+				satisfied = true
+				break
+			}
+			sp, empty := resolvePred(c, enc, resd, raw)
+			if empty {
+				// The encoding refined the zone test: an empty dictionary
+				// mask or a FOR range outside the span matches nothing.
+				continue
+			}
+			if sp.kind == kAll {
+				satisfied = true
+				break
+			}
+			leaves = append(leaves, leafEval{sp: sp, c: c})
+		}
+		if satisfied {
 			continue
 		}
-		sp, empty := resolvePred(c, enc, resd, raw)
-		if empty {
-			return plan, true
+		if len(leaves) == 0 {
+			return segBound{}, true
 		}
-		plan.preds[i] = sp
+		sb.clauses = append(sb.clauses, boundClause{leaves: leaves})
 	}
-	return plan, false
+	return sb, false
 }
 
 // resolvePred picks the kernel for one predicate in one segment.
@@ -233,6 +275,10 @@ func resolvePred(c *compiled, enc *store.SegmentEnc, resd store.Residency, raw *
 		// kernel can filter; scan the raw column (materializing it on an
 		// encoded-only store — end predicates are rare).
 		return segPred{kind: kI64, i64: raw.endCol()}, false
+	case ColDuration:
+		// The virtual end-start column reconstructs per row from both raw
+		// time columns; no encoded form exists for it.
+		return segPred{kind: kDur, i64: raw.startCol(), i64b: raw.endCol()}, false
 	case ColTrust:
 		if enc == nil || resd.Trust {
 			return segPred{kind: kF32, f32: raw.trustCol()}, false
@@ -389,6 +435,10 @@ func containsSeg(c *compiled, z *store.ZoneMap, si store.SegmentInfo) bool {
 		return c.lo <= z.StartMin && c.hi >= z.StartMax
 	case ColEnd:
 		return c.lo <= z.EndMin && c.hi >= z.EndMax
+	case ColDuration:
+		// [EndMin-StartMax, EndMax-StartMin] conservatively contains every
+		// actual duration, so covering it covers every row.
+		return c.lo <= z.EndMin-z.StartMax && c.hi >= z.EndMax-z.StartMin
 	case ColTrust:
 		return c.flo <= float64(z.TrustMin) && c.fhi >= float64(z.TrustMax)
 	}
@@ -450,9 +500,11 @@ func sortedSubset(a, b []uint32) bool {
 	return true
 }
 
-// scratch holds one shard's reusable selection bitmap.
+// scratch holds one shard's reusable selection bitmaps: the main bitmap
+// plus the two OR-group buffers (the group accumulator and the per-leaf
+// install target).
 type scratch struct {
-	bm []uint64
+	bm, or, tmp []uint64
 }
 
 // acc accumulates one group's aggregates within a chunk. Integer-valued
@@ -468,28 +520,30 @@ type acc struct {
 
 // partial is one chunk's aggregation output.
 type partial struct {
-	groups  map[int64]*acc
+	groups  map[gkey]*acc
 	matched int64
 }
 
-// chunkCtx carries everything evalChunk needs: the per-segment plans plus
-// the fold-phase columns the query's aggregates read (fetched once in
-// Run; nil when the query does not need them, so count-only queries over
-// an encoded store never materialize a column).
+// chunkCtx carries everything evalChunk needs: the per-segment clause
+// bindings plus the fold-phase columns the query's aggregates read
+// (fetched once in Run; nil when the query does not need them, so
+// count-only queries over an encoded store never materialize a column).
 type chunkCtx struct {
 	q     *Query
-	preds []compiled
 	segs  []store.SegmentInfo
-	plans []segPlan
+	bound []segBound
 
-	starts, ends    []int64
-	trusts          []float32
-	keyCol, distCol []uint32
+	starts, ends []int64
+	trusts       []float32
+	distCol      []uint32
+	keys         []keySel
 }
 
-// evalChunk filters rows [lo, hi) of one segment through that segment's
-// plan into a selection bitmap, then folds the surviving rows into
-// per-group accumulators.
+// evalChunk runs the streaming stages for rows [lo, hi) of one segment:
+// filter the chunk through the segment's bound clauses into a selection
+// bitmap, then fold the surviving rows (in row order) into per-group
+// accumulators. The stages compose via the selection bitmap and rowIter —
+// see iter.go for the probe and fold halves.
 func evalChunk(cc *chunkCtx, seg, lo, hi int, sc *scratch) partial {
 	n := hi - lo
 	words := (n + 63) / 64
@@ -498,40 +552,43 @@ func evalChunk(cc *chunkCtx, seg, lo, hi int, sc *scratch) partial {
 	}
 	bm := sc.bm[:words]
 	segLo := cc.segs[seg].RowLo
-	plan := &cc.plans[seg]
+	sb := &cc.bound[seg]
 
-	applied := 0
-	for pi := range plan.preds {
-		sp := &plan.preds[pi]
-		if sp.kind == kAll {
+	for ci := range sb.clauses {
+		cl := &sb.clauses[ci]
+		first := ci == 0
+		if len(cl.leaves) == 1 {
+			evalLeaf(&cl.leaves[0], lo, hi, segLo, bm, first)
 			continue
 		}
-		first := applied == 0
-		applied++
-		llo, lhi := lo, hi
-		if sp.local {
-			llo, lhi = lo-segLo, hi-segLo
+		// OR-group: install each leaf into its own buffer (install mode
+		// writes every word, so no clearing is needed), OR the leaves
+		// together, then combine the group into the main bitmap like any
+		// other clause.
+		if cap(sc.or) < words {
+			sc.or = make([]uint64, words)
+			sc.tmp = make([]uint64, words)
 		}
-		switch sp.kind {
-		case kU32:
-			evalU32(sp.u32, &cc.preds[pi], llo, lhi, bm, first)
-		case kI64:
-			evalI64(sp.i64, &cc.preds[pi], llo, lhi, bm, first)
-		case kF32:
-			evalF32(sp.f32, &cc.preds[pi], llo, lhi, bm, first)
-		case kRLE:
-			evalRLE(sp.runVals, sp.runEnds, &cc.preds[pi], llo, lhi, bm, first)
-		case kDict:
-			evalDict(sp.packed, sp.width, sp.mask, llo, lhi, bm, first)
-		case kFOR32:
-			evalFOR32(sp, &cc.preds[pi], llo, lhi, bm, first)
-		case kFOR64:
-			evalFOR64(sp.packed, sp.width, sp.dlo, sp.dhi, llo, lhi, bm, first)
-		case kF32FOR:
-			evalF32FOR(sp.packed, sp.width, sp.ref32, &cc.preds[pi], llo, lhi, bm, first)
+		or, tmp := sc.or[:words], sc.tmp[:words]
+		for li := range cl.leaves {
+			if li == 0 {
+				evalLeaf(&cl.leaves[0], lo, hi, segLo, or, true)
+				continue
+			}
+			evalLeaf(&cl.leaves[li], lo, hi, segLo, tmp, true)
+			for w := range or {
+				or[w] |= tmp[w]
+			}
+		}
+		if first {
+			copy(bm, or)
+		} else {
+			for w := range bm {
+				bm[w] &= or[w]
+			}
 		}
 	}
-	if applied == 0 {
+	if len(sb.clauses) == 0 {
 		for i := range bm {
 			bm[i] = ^uint64(0)
 		}
@@ -541,77 +598,39 @@ func evalChunk(cc *chunkCtx, seg, lo, hi int, sc *scratch) partial {
 		bm[words-1] &= (1 << tail) - 1
 	}
 
-	q := cc.q
-	p := partial{groups: make(map[int64]*acc)}
-	// Group keys arrive in long runs (rows are batch-contiguous and
-	// time-sorted, and GroupNone is a single run), so memoizing the last
-	// accumulator removes almost every map lookup.
-	var lastAcc *acc
-	lastKey := int64(math.MinInt64)
-	for w, word := range bm {
-		for word != 0 {
-			row := lo + w*64 + bits.TrailingZeros64(word)
-			word &= word - 1
-			p.matched++
+	return foldRows(cc, newRowIter(bm, lo))
+}
 
-			var key int64
-			switch q.GroupBy {
-			case GroupNone:
-			case GroupWeek:
-				key = weekKey(cc.starts[row])
-			case GroupDay:
-				key = dayKey(cc.starts[row])
-			default:
-				key = int64(cc.keyCol[row])
-			}
-			a := lastAcc
-			if a == nil || key != lastKey {
-				a = p.groups[key]
-				if a == nil {
-					a = &acc{minF: math.Inf(1), maxF: math.Inf(-1)}
-					if q.Value == ValueNone {
-						a.minF, a.maxF = 0, 0
-					}
-					if q.Distinct != ColNone {
-						a.distinct = make(map[uint32]struct{})
-					}
-					p.groups[key] = a
-				}
-				lastAcc, lastKey = a, key
-			}
-			a.count++
-			switch q.Value {
-			case ValueDuration:
-				d := cc.ends[row] - cc.starts[row]
-				a.sumI += d
-				a.minF = math.Min(a.minF, float64(d))
-				a.maxF = math.Max(a.maxF, float64(d))
-				if q.P50 {
-					a.vals = append(a.vals, float64(d))
-				}
-			case ValueTrust:
-				v := float64(cc.trusts[row])
-				a.sumF += v
-				a.minF = math.Min(a.minF, v)
-				a.maxF = math.Max(a.maxF, v)
-				if q.P50 {
-					a.vals = append(a.vals, v)
-				}
-			case ValueStart:
-				v := cc.starts[row]
-				a.sumI += v
-				a.minF = math.Min(a.minF, float64(v))
-				a.maxF = math.Max(a.maxF, float64(v))
-				if q.P50 {
-					a.vals = append(a.vals, float64(v))
-				}
-			}
-			if cc.distCol != nil {
-				a.distinct[cc.distCol[row]] = struct{}{}
-			}
-		}
+// evalLeaf dispatches one bound leaf to its kernel, translating the chunk
+// window into segment-local coordinates when the kernel scans an encoded
+// (segment-local) column. With first=true the kernel installs its match
+// word into every bitmap word; otherwise it ANDs and skips dead words.
+func evalLeaf(le *leafEval, lo, hi, segLo int, bm []uint64, first bool) {
+	sp := &le.sp
+	llo, lhi := lo, hi
+	if sp.local {
+		llo, lhi = lo-segLo, hi-segLo
 	}
-	return p
+	switch sp.kind {
+	case kU32:
+		evalU32(sp.u32, le.c, llo, lhi, bm, first)
+	case kI64:
+		evalI64(sp.i64, le.c, llo, lhi, bm, first)
+	case kF32:
+		evalF32(sp.f32, le.c, llo, lhi, bm, first)
+	case kRLE:
+		evalRLE(sp.runVals, sp.runEnds, le.c, llo, lhi, bm, first)
+	case kDict:
+		evalDict(sp.packed, sp.width, sp.mask, llo, lhi, bm, first)
+	case kFOR32:
+		evalFOR32(sp, le.c, llo, lhi, bm, first)
+	case kFOR64:
+		evalFOR64(sp.packed, sp.width, sp.dlo, sp.dhi, llo, lhi, bm, first)
+	case kF32FOR:
+		evalF32FOR(sp.packed, sp.width, sp.ref32, le.c, llo, lhi, bm, first)
+	case kDur:
+		evalDur(sp.i64, sp.i64b, le.c.lo, le.c.hi, llo, lhi, bm, first)
+	}
 }
 
 // evalU32 vectorizes one uint32 predicate over a flat array: it builds a
@@ -912,50 +931,68 @@ func evalF32FOR(packed []uint64, width uint8, ref uint32, c *compiled, lo, hi in
 	}
 }
 
-// prune reports whether a segment provably contains no matching rows: any
-// conjunct whose admissible values cannot intersect the segment's zone
-// kills the whole segment.
-func prune(z *store.ZoneMap, si store.SegmentInfo, preds []compiled) bool {
-	for i := range preds {
-		c := &preds[i]
-		switch c.col {
-		case ColBatch:
-			// Batch bounds come from the segment table itself.
-			if si.BatchHi == si.BatchLo || c.hi < int64(si.BatchLo) || c.lo > int64(si.BatchHi-1) {
-				return true
-			}
-			if c.set != nil && !setIntersectsRange(c.set, int64(si.BatchLo), int64(si.BatchHi-1)) {
-				return true
-			}
-		case ColTaskType:
-			if pruneU32(c, int64(z.TaskTypeMin), int64(z.TaskTypeMax), z.TaskTypes) {
-				return true
-			}
-		case ColItem:
-			if pruneU32(c, int64(z.ItemMin), int64(z.ItemMax), nil) {
-				return true
-			}
-		case ColWorker:
-			if pruneU32(c, int64(z.WorkerMin), int64(z.WorkerMax), nil) {
-				return true
-			}
-		case ColAnswer:
-			if pruneU32(c, int64(z.AnswerMin), int64(z.AnswerMax), z.Answers) {
-				return true
-			}
-		case ColStart:
-			if c.hi < z.StartMin || c.lo > z.StartMax {
-				return true
-			}
-		case ColEnd:
-			if c.hi < z.EndMin || c.lo > z.EndMax {
-				return true
-			}
-		case ColTrust:
-			if c.fhi < float64(z.TrustMin) || c.flo > float64(z.TrustMax) {
-				return true
+// evalDur evaluates a duration predicate by reconstructing end-start per
+// row from the two raw time columns. Coordinates are global (both columns
+// are raw).
+func evalDur(starts, ends []int64, plo, phi int64, lo, hi int, bm []uint64, first bool) {
+	for w := range bm {
+		if !first && bm[w] == 0 {
+			continue
+		}
+		base := lo + w*64
+		n := min(64, hi-base)
+		var word uint64
+		for b := 0; b < n; b++ {
+			d := ends[base+b] - starts[base+b]
+			if d >= plo && d <= phi {
+				word |= 1 << b
 			}
 		}
+		if first {
+			bm[w] = word
+		} else {
+			bm[w] &= word
+		}
+	}
+}
+
+// leafDisjoint reports whether one leaf provably matches no row of the
+// segment — its admissible values cannot intersect the segment's zone.
+// For a conjunct that kills the whole segment; for an OR-leaf it only
+// removes the leaf from its group.
+func leafDisjoint(c *compiled, z *store.ZoneMap, si store.SegmentInfo) bool {
+	if c.col != ColTrust && c.set == nil && c.hi < c.lo {
+		// The canonical empty range — an inverted window, or a join
+		// predicate that matched no entity — matches nothing anywhere.
+		return true
+	}
+	switch c.col {
+	case ColBatch:
+		// Batch bounds come from the segment table itself.
+		if si.BatchHi == si.BatchLo || c.hi < int64(si.BatchLo) || c.lo > int64(si.BatchHi-1) {
+			return true
+		}
+		if c.set != nil && !setIntersectsRange(c.set, int64(si.BatchLo), int64(si.BatchHi-1)) {
+			return true
+		}
+	case ColTaskType:
+		return pruneU32(c, int64(z.TaskTypeMin), int64(z.TaskTypeMax), z.TaskTypes)
+	case ColItem:
+		return pruneU32(c, int64(z.ItemMin), int64(z.ItemMax), nil)
+	case ColWorker:
+		return pruneU32(c, int64(z.WorkerMin), int64(z.WorkerMax), nil)
+	case ColAnswer:
+		return pruneU32(c, int64(z.AnswerMin), int64(z.AnswerMax), z.Answers)
+	case ColStart:
+		return c.hi < z.StartMin || c.lo > z.StartMax
+	case ColEnd:
+		return c.hi < z.EndMin || c.lo > z.EndMax
+	case ColDuration:
+		// Disjoint from the conservative duration range implies disjoint
+		// from every actual duration.
+		return c.hi < z.EndMin-z.StartMax || c.lo > z.EndMax-z.StartMin
+	case ColTrust:
+		return c.fhi < float64(z.TrustMin) || c.flo > float64(z.TrustMax)
 	}
 	return false
 }

@@ -1,0 +1,194 @@
+package query
+
+import (
+	"math"
+	"math/bits"
+)
+
+// This file holds the streaming half of chunk execution. A chunk flows
+// through three composable stages — scan/filter (evalChunk's kernel loop,
+// exec.go), probe (keySel resolving each surviving row to its group key,
+// possibly through a joined attribute table), and fold (foldRows
+// accumulating aggregates) — connected by the selection bitmap and
+// rowIter. Every stage consumes rows in ascending row order within the
+// chunk, which together with chunk-order merging (mergeFinalize) is what
+// makes results, including floating-point sums, bit-identical for every
+// Workers value.
+
+// rowIter streams the set rows of a chunk's selection bitmap in ascending
+// row order — the iterator contract between the filter and fold stages.
+type rowIter struct {
+	bm   []uint64
+	lo   int
+	w    int
+	word uint64
+}
+
+func newRowIter(bm []uint64, lo int) rowIter {
+	it := rowIter{bm: bm, lo: lo, w: 0}
+	if len(bm) > 0 {
+		it.word = bm[0]
+	}
+	return it
+}
+
+// next returns the next selected row, or ok=false when the chunk is
+// drained.
+func (it *rowIter) next() (int, bool) {
+	for it.word == 0 {
+		it.w++
+		if it.w >= len(it.bm) {
+			return 0, false
+		}
+		it.word = it.bm[it.w]
+	}
+	row := it.lo + it.w*64 + bits.TrailingZeros64(it.word)
+	it.word &= it.word - 1
+	return row, true
+}
+
+// keySel is the probe stage for one group key: it resolves a row to its
+// int64 key, either directly from a physical column (or time bucket) or
+// by probing a joined attribute array through the row's worker/batch ID.
+type keySel struct {
+	g      GroupBy
+	col    []uint32 // key/ID column for direct and probe keys
+	attr   []int64  // dense attribute array; nil for direct keys
+	starts []int64  // start column for the time buckets
+}
+
+func (ks *keySel) keyAt(row int) int64 {
+	switch ks.g {
+	case GroupNone:
+		return 0
+	case GroupWeek:
+		return weekKey(ks.starts[row])
+	case GroupDay:
+		return dayKey(ks.starts[row])
+	}
+	if ks.attr != nil {
+		return ks.attr[ks.col[row]]
+	}
+	return int64(ks.col[row])
+}
+
+// resolveKeys binds the query's group keys to their probe sources: the
+// raw key column, the start column for time buckets, and the dense
+// attribute array for joined keys (coverage was verified at prepare
+// time, so the probes cannot index out of range).
+func (cc *chunkCtx) resolveKeys(q *Query, raw *rawCols, tabs *SideTables) {
+	gks := q.groupKeys()
+	cc.keys = make([]keySel, len(gks))
+	for i, g := range gks {
+		ks := keySel{g: g}
+		switch g {
+		case GroupWeek, GroupDay:
+			ks.starts = raw.startCol()
+		case GroupBatch:
+			ks.col = raw.u32Col(ColBatch)
+		case GroupWorker:
+			ks.col = raw.u32Col(ColWorker)
+		case GroupTaskType:
+			ks.col = raw.u32Col(ColTaskType)
+		case GroupWorkerSource:
+			ks.col, ks.attr = raw.u32Col(ColWorker), tabs.wSource
+		case GroupWorkerCountry:
+			ks.col, ks.attr = raw.u32Col(ColWorker), tabs.wCountry
+		case GroupWorkerClass:
+			ks.col, ks.attr = raw.u32Col(ColWorker), tabs.wClass
+		case GroupBatchWeek:
+			ks.col, ks.attr = raw.u32Col(ColBatch), tabs.bWeek
+		}
+		cc.keys[i] = ks
+	}
+}
+
+// groupCol returns the join column a grouped attribute key reads, or
+// ColNone for direct keys — the planner's coverage check uses it.
+func (g GroupBy) groupCol() Column {
+	switch g {
+	case GroupWorkerSource:
+		return ColWorkerSource
+	case GroupWorkerCountry:
+		return ColWorkerCountry
+	case GroupWorkerClass:
+		return ColWorkerClass
+	case GroupBatchWeek:
+		return ColBatchWeek
+	}
+	return ColNone
+}
+
+// foldRows is the fold stage: it drains the row iterator in row order,
+// probes each row's group key(s), and accumulates the requested
+// aggregates. Row order in, chunk order out (mergeFinalize) is the §7
+// determinism contract.
+func foldRows(cc *chunkCtx, it rowIter) partial {
+	q := cc.q
+	p := partial{groups: make(map[gkey]*acc)}
+	twoKeys := len(cc.keys) > 1
+	// Group keys arrive in long runs (rows are batch-contiguous and
+	// time-sorted, and GroupNone is a single run), so memoizing the last
+	// accumulator removes almost every map lookup.
+	var lastAcc *acc
+	var lastKey gkey
+	for {
+		row, ok := it.next()
+		if !ok {
+			break
+		}
+		p.matched++
+
+		var key gkey
+		key[0] = cc.keys[0].keyAt(row)
+		if twoKeys {
+			key[1] = cc.keys[1].keyAt(row)
+		}
+		a := lastAcc
+		if a == nil || key != lastKey {
+			a = p.groups[key]
+			if a == nil {
+				a = &acc{minF: math.Inf(1), maxF: math.Inf(-1)}
+				if q.Value == ValueNone {
+					a.minF, a.maxF = 0, 0
+				}
+				if q.Distinct != ColNone {
+					a.distinct = make(map[uint32]struct{})
+				}
+				p.groups[key] = a
+			}
+			lastAcc, lastKey = a, key
+		}
+		a.count++
+		switch q.Value {
+		case ValueDuration:
+			d := cc.ends[row] - cc.starts[row]
+			a.sumI += d
+			a.minF = math.Min(a.minF, float64(d))
+			a.maxF = math.Max(a.maxF, float64(d))
+			if q.P50 {
+				a.vals = append(a.vals, float64(d))
+			}
+		case ValueTrust:
+			v := float64(cc.trusts[row])
+			a.sumF += v
+			a.minF = math.Min(a.minF, v)
+			a.maxF = math.Max(a.maxF, v)
+			if q.P50 {
+				a.vals = append(a.vals, v)
+			}
+		case ValueStart:
+			v := cc.starts[row]
+			a.sumI += v
+			a.minF = math.Min(a.minF, float64(v))
+			a.maxF = math.Max(a.maxF, float64(v))
+			if q.P50 {
+				a.vals = append(a.vals, float64(v))
+			}
+		}
+		if cc.distCol != nil {
+			a.distinct[cc.distCol[row]] = struct{}{}
+		}
+	}
+	return p
+}

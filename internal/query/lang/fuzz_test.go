@@ -1,0 +1,46 @@
+package lang
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseQuery: Parse must never panic, and everything it accepts
+// must round-trip — canonical String() re-parses to a DeepEqual AST and
+// is a fixed point. This is the property the planner's canonical-text
+// plan-cache key depends on.
+func FuzzParseQuery(f *testing.F) {
+	for _, s := range []string{
+		"where worker == 12",
+		"where trust >= 0.8 | group week | value duration | p50",
+		"where start in [week:130, week:140) and trust < 0.9",
+		"where worker in {1, 2, 3} or tasktype == 7",
+		"where (worker.class == super or worker.class == active) and batch.sampled == true",
+		"group worker.country, week | value trust | sort count | top 10",
+		"where duration >= 300 | distinct worker",
+		"where batch.items in [10, 50] | group batch.week",
+		"value count",
+		"where trust in [0.25, 0.75) | group tasktype",
+		"p50 | value start | top 0",
+		"where worker = 5 and (item < 100 or item >= 200)",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		q, err := Parse(s)
+		if err != nil {
+			return
+		}
+		canon := q.String()
+		q2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, s, err)
+		}
+		if !reflect.DeepEqual(q, q2) {
+			t.Fatalf("round trip changed AST for %q:\n canon %q\n %#v\n %#v", s, canon, q, q2)
+		}
+		if got := q2.String(); got != canon {
+			t.Fatalf("String not a fixed point: %q -> %q", canon, got)
+		}
+	})
+}

@@ -1,0 +1,229 @@
+// Package lang defines the parsed form of crowdscope's text query
+// language: a pipeline of stages (where, group, value, p50, distinct,
+// sort, top) whose boolean expressions support conjunction, disjunction
+// and parentheses over column predicates.
+//
+// The package is purely syntactic. It knows nothing about which columns
+// exist, which values are legal for them, or how predicates execute —
+// that lives in internal/query's compiler. Every AST node has a
+// canonical String form, and Parse(String()) round-trips exactly; that
+// property is fuzzed.
+package lang
+
+import (
+	"strconv"
+	"strings"
+)
+
+// ValueKind discriminates the literal forms a predicate value can take.
+type ValueKind uint8
+
+const (
+	VInt   ValueKind = iota // integer literal: 42, -7
+	VFloat                  // float literal: 0.8, 1e-3
+	VWord                   // bare word: super, true (resolved at compile)
+	VWeek                   // week:N dataset-week sugar
+	VDay                    // day:N dataset-day sugar
+)
+
+// Value is one literal operand in a predicate.
+type Value struct {
+	Kind  ValueKind
+	Int   int64   // VInt, VWeek, VDay
+	Float float64 // VFloat; never NaN or Inf (the lexer rejects them)
+	Word  string  // VWord
+}
+
+// String renders the canonical literal form. Floats that would print as
+// a bare integer gain a ".0" so they re-lex as floats.
+func (v Value) String() string {
+	switch v.Kind {
+	case VInt:
+		return strconv.FormatInt(v.Int, 10)
+	case VFloat:
+		s := strconv.FormatFloat(v.Float, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case VWeek:
+		return "week:" + strconv.FormatInt(v.Int, 10)
+	case VDay:
+		return "day:" + strconv.FormatInt(v.Int, 10)
+	default:
+		return v.Word
+	}
+}
+
+// Expr is a boolean expression over predicates. Implementations are
+// *Pred, *And and *Or.
+type Expr interface {
+	String() string
+	prec() int
+}
+
+// Precedence levels: or < and < predicate. String() parenthesizes a
+// child whose precedence is lower than its parent's.
+const (
+	precOr   = 1
+	precAnd  = 2
+	precPred = 3
+)
+
+// Pred is a single column predicate. Op is one of "==", "<", "<=", ">",
+// ">=" (Arg holds the operand) or "in" (Set holds a {…} membership
+// list when non-nil, otherwise Lo/Hi/HiIncl hold a range).
+type Pred struct {
+	Col    string
+	Op     string
+	Arg    Value   // comparison ops
+	Set    []Value // "in {a, b}"
+	Lo, Hi Value   // "in [lo, hi)" or "[lo, hi]"
+	HiIncl bool
+}
+
+func (p *Pred) prec() int { return precPred }
+
+func (p *Pred) String() string {
+	var b strings.Builder
+	b.WriteString(p.Col)
+	if p.Op != "in" {
+		b.WriteByte(' ')
+		b.WriteString(p.Op)
+		b.WriteByte(' ')
+		b.WriteString(p.Arg.String())
+		return b.String()
+	}
+	b.WriteString(" in ")
+	if p.Set != nil {
+		b.WriteByte('{')
+		for i, v := range p.Set {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(v.String())
+		}
+		b.WriteByte('}')
+		return b.String()
+	}
+	b.WriteByte('[')
+	b.WriteString(p.Lo.String())
+	b.WriteString(", ")
+	b.WriteString(p.Hi.String())
+	if p.HiIncl {
+		b.WriteByte(']')
+	} else {
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// And is an n-ary conjunction; construction flattens nested Ands so the
+// canonical form has a single level.
+type And struct{ X []Expr }
+
+func (a *And) prec() int      { return precAnd }
+func (a *And) String() string { return joinExprs(a.X, " and ", precAnd) }
+
+// Or is an n-ary disjunction; construction flattens nested Ors.
+type Or struct{ X []Expr }
+
+func (o *Or) prec() int      { return precOr }
+func (o *Or) String() string { return joinExprs(o.X, " or ", precOr) }
+
+func joinExprs(xs []Expr, sep string, parent int) string {
+	var b strings.Builder
+	for i, x := range xs {
+		if i > 0 {
+			b.WriteString(sep)
+		}
+		if x.prec() < parent {
+			b.WriteByte('(')
+			b.WriteString(x.String())
+			b.WriteByte(')')
+		} else {
+			b.WriteString(x.String())
+		}
+	}
+	return b.String()
+}
+
+// newAnd flattens operands and unwraps the single-operand case, so
+// structurally-identical expressions always share one AST shape.
+func newAnd(xs []Expr) Expr {
+	out := make([]Expr, 0, len(xs))
+	for _, x := range xs {
+		if a, ok := x.(*And); ok {
+			out = append(out, a.X...)
+		} else {
+			out = append(out, x)
+		}
+	}
+	if len(out) == 1 {
+		return out[0]
+	}
+	return &And{X: out}
+}
+
+func newOr(xs []Expr) Expr {
+	out := make([]Expr, 0, len(xs))
+	for _, x := range xs {
+		if o, ok := x.(*Or); ok {
+			out = append(out, o.X...)
+		} else {
+			out = append(out, x)
+		}
+	}
+	if len(out) == 1 {
+		return out[0]
+	}
+	return &Or{X: out}
+}
+
+// Query is one parsed pipeline query. Fields are stored exactly as
+// written (no normalization): Where is nil when there was no where
+// stage, Value/Distinct/Sort are "" when absent, Top is meaningful only
+// when HasTop is set.
+type Query struct {
+	Where    Expr
+	Group    []string // group keys in written order; empty = no group stage
+	Value    string
+	P50      bool
+	Distinct string
+	Sort     string
+	Top      int
+	HasTop   bool
+}
+
+// String renders the canonical pipeline: stages in fixed order (where,
+// group, value, p50, distinct, sort, top), joined by " | ". A query
+// with no stages at all renders as "value count", the implicit
+// aggregate every query carries.
+func (q *Query) String() string {
+	var parts []string
+	if q.Where != nil {
+		parts = append(parts, "where "+q.Where.String())
+	}
+	if len(q.Group) > 0 {
+		parts = append(parts, "group "+strings.Join(q.Group, ", "))
+	}
+	if q.Value != "" {
+		parts = append(parts, "value "+q.Value)
+	}
+	if q.P50 {
+		parts = append(parts, "p50")
+	}
+	if q.Distinct != "" {
+		parts = append(parts, "distinct "+q.Distinct)
+	}
+	if q.Sort != "" {
+		parts = append(parts, "sort "+q.Sort)
+	}
+	if q.HasTop {
+		parts = append(parts, "top "+strconv.Itoa(q.Top))
+	}
+	if len(parts) == 0 {
+		return "value count"
+	}
+	return strings.Join(parts, " | ")
+}

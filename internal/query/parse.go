@@ -6,7 +6,7 @@ import (
 	"strconv"
 	"strings"
 
-	"crowdscope/internal/model"
+	"crowdscope/internal/query/lang"
 )
 
 // The crowdquery predicate syntax, one conjunct per string:
@@ -15,10 +15,15 @@ import (
 //	column in {v, v, ...}    set membership (integer columns)
 //	column in [lo, hi)       range, ) exclusive or ] inclusive
 //
-// Columns: batch, tasktype, item, worker, start, end, trust, answer.
-// Values are non-negative integers for the ID columns, floats for trust,
-// and unix seconds for start/end — with `week:N` and `day:N` accepted as
-// sugar for the dataset's week/day bucket boundaries.
+// Columns: batch, tasktype, item, worker, start, end, trust, answer,
+// duration, plus the joined attribute columns (worker.source,
+// worker.country, worker.class, batch.items, batch.redundancy,
+// batch.sampled, batch.week). Values are non-negative integers for the ID
+// columns, floats for trust, and unix seconds for start/end — with
+// `week:N` and `day:N` accepted as sugar for the dataset's week/day
+// bucket boundaries. The grammar is the predicate production of the full
+// query language (internal/query/lang); ParsePredicate parses through it
+// and compiles the single leaf.
 
 // ParseColumn resolves a column name.
 func ParseColumn(s string) (Column, error) {
@@ -37,7 +42,7 @@ func ParseGroupBy(s string) (GroupBy, error) {
 			return g, nil
 		}
 	}
-	return GroupNone, fmt.Errorf("query: unknown group-by %q (want none, batch, worker, tasktype, week or day)", s)
+	return GroupNone, fmt.Errorf("query: unknown group-by %q (want none, batch, worker, tasktype, week, day or a joined attribute)", s)
 }
 
 // ParseValue resolves a value-column name.
@@ -52,195 +57,15 @@ func ParseValue(s string) (Value, error) {
 
 // ParsePredicate parses one conjunct of the crowdquery predicate syntax.
 func ParsePredicate(s string) (Predicate, error) {
-	rest := strings.TrimSpace(s)
-	i := 0
-	for i < len(rest) && rest[i] >= 'a' && rest[i] <= 'z' {
-		i++
-	}
-	colName := rest[:i]
-	col, err := ParseColumn(colName)
+	e, err := lang.ParseExpr(s)
 	if err != nil {
 		return Predicate{}, err
 	}
-	rest = strings.TrimSpace(rest[i:])
-
-	var op string
-	switch {
-	case strings.HasPrefix(rest, "=="):
-		op, rest = "==", rest[2:]
-	case strings.HasPrefix(rest, "="):
-		op, rest = "==", rest[1:]
-	case strings.HasPrefix(rest, "<="):
-		op, rest = "<=", rest[2:]
-	case strings.HasPrefix(rest, ">="):
-		op, rest = ">=", rest[2:]
-	case strings.HasPrefix(rest, "<"):
-		op, rest = "<", rest[1:]
-	case strings.HasPrefix(rest, ">"):
-		op, rest = ">", rest[1:]
-	case strings.HasPrefix(rest, "in "), strings.HasPrefix(rest, "in{"), strings.HasPrefix(rest, "in["):
-		op, rest = "in", rest[2:]
-	default:
-		return Predicate{}, fmt.Errorf("query: %q: expected an operator (==, <, <=, >, >=, in) after %q", s, colName)
+	lp, ok := e.(*lang.Pred)
+	if !ok {
+		return Predicate{}, fmt.Errorf("query: %q: a single predicate is required here (combine conjuncts with repeated -where flags, or use -q for and/or)", s)
 	}
-	rest = strings.TrimSpace(rest)
-	if rest == "" {
-		return Predicate{}, fmt.Errorf("query: %q: missing value", s)
-	}
-
-	if op == "in" {
-		switch rest[0] {
-		case '{':
-			return parseSet(col, s, rest)
-		case '[':
-			return parseRange(col, s, rest)
-		default:
-			return Predicate{}, fmt.Errorf("query: %q: `in` expects {a, b, ...} or [lo, hi)", s)
-		}
-	}
-	if col == ColTrust {
-		v, err := strconv.ParseFloat(rest, 64)
-		if err != nil || math.IsNaN(v) {
-			return Predicate{}, fmt.Errorf("query: %q: bad trust value %q", s, rest)
-		}
-		p := Predicate{Col: col, FLo: math.Inf(-1), FHi: math.Inf(1)}
-		switch op {
-		case "==":
-			p.FLo, p.FHi = v, v
-		case "<=":
-			p.FHi = v
-		case ">=":
-			p.FLo = v
-		case "<":
-			p.FHi = math.Nextafter(v, math.Inf(-1))
-		case ">":
-			p.FLo = math.Nextafter(v, math.Inf(1))
-		}
-		return p, nil
-	}
-
-	v, err := parseIntValue(col, rest)
-	if err != nil {
-		return Predicate{}, fmt.Errorf("query: %q: %v", s, err)
-	}
-	p := Predicate{Col: col, Lo: math.MinInt64, Hi: math.MaxInt64}
-	switch op {
-	case "==":
-		p.Lo, p.Hi = v, v
-	case "<=":
-		p.Hi = v
-	case ">=":
-		p.Lo = v
-	case "<":
-		if v == math.MinInt64 {
-			p.Lo, p.Hi = 1, 0 // matches nothing
-		} else {
-			p.Hi = v - 1
-		}
-	case ">":
-		if v == math.MaxInt64 {
-			p.Lo, p.Hi = 1, 0
-		} else {
-			p.Lo = v + 1
-		}
-	}
-	return normalizeInt(p), nil
-}
-
-func parseSet(col Column, orig, rest string) (Predicate, error) {
-	if !col.isU32() {
-		return Predicate{}, fmt.Errorf("query: %q: set membership needs an integer ID column, not %s", orig, col)
-	}
-	if !strings.HasSuffix(rest, "}") {
-		return Predicate{}, fmt.Errorf("query: %q: unterminated set", orig)
-	}
-	var vs []uint32
-	for _, part := range strings.Split(rest[1:len(rest)-1], ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			return Predicate{}, fmt.Errorf("query: %q: empty set element", orig)
-		}
-		v, err := strconv.ParseUint(part, 10, 32)
-		if err != nil {
-			return Predicate{}, fmt.Errorf("query: %q: bad set element %q", orig, part)
-		}
-		vs = append(vs, uint32(v))
-	}
-	if len(vs) == 0 {
-		return Predicate{}, fmt.Errorf("query: %q: empty set", orig)
-	}
-	return In(col, vs...), nil
-}
-
-func parseRange(col Column, orig, rest string) (Predicate, error) {
-	inclusive := strings.HasSuffix(rest, "]")
-	if !inclusive && !strings.HasSuffix(rest, ")") {
-		return Predicate{}, fmt.Errorf("query: %q: range must end with ) or ]", orig)
-	}
-	parts := strings.Split(rest[1:len(rest)-1], ",")
-	if len(parts) != 2 {
-		return Predicate{}, fmt.Errorf("query: %q: range wants exactly [lo, hi)", orig)
-	}
-	loS, hiS := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
-	if col == ColTrust {
-		flo, err1 := strconv.ParseFloat(loS, 64)
-		fhi, err2 := strconv.ParseFloat(hiS, 64)
-		if err1 != nil || err2 != nil || math.IsNaN(flo) || math.IsNaN(fhi) {
-			return Predicate{}, fmt.Errorf("query: %q: bad trust range bounds", orig)
-		}
-		if !inclusive {
-			fhi = math.Nextafter(fhi, math.Inf(-1))
-		}
-		return Predicate{Col: col, FLo: flo, FHi: fhi}, nil
-	}
-	lo, err := parseIntValue(col, loS)
-	if err != nil {
-		return Predicate{}, fmt.Errorf("query: %q: %v", orig, err)
-	}
-	hi, err := parseIntValue(col, hiS)
-	if err != nil {
-		return Predicate{}, fmt.Errorf("query: %q: %v", orig, err)
-	}
-	if !inclusive {
-		if hi == math.MinInt64 {
-			return Predicate{Col: col, Lo: 1, Hi: 0}, nil // matches nothing
-		}
-		hi--
-	}
-	return normalizeInt(Predicate{Col: col, Lo: lo, Hi: hi}), nil
-}
-
-// parseIntValue parses a value for an integer or time column; start/end
-// accept the week:N / day:N bucket sugar.
-func parseIntValue(col Column, s string) (int64, error) {
-	if col.isTime() {
-		if n, ok := strings.CutPrefix(s, "week:"); ok {
-			w, err := strconv.ParseInt(n, 10, 32)
-			if err != nil || w > math.MaxInt32/7 || w < math.MinInt32/7 {
-				// The bound keeps w*7 inside the int32 day index — beyond
-				// it the multiply would wrap to a silently wrong instant.
-				return 0, fmt.Errorf("bad week index %q", n)
-			}
-			return model.DayUnix(int32(w) * 7), nil
-		}
-		if n, ok := strings.CutPrefix(s, "day:"); ok {
-			d, err := strconv.ParseInt(n, 10, 32)
-			if err != nil {
-				return 0, fmt.Errorf("bad day index %q", n)
-			}
-			return model.DayUnix(int32(d)), nil
-		}
-		v, err := strconv.ParseInt(s, 10, 64)
-		if err != nil {
-			return 0, fmt.Errorf("bad %s value %q (unix seconds, week:N or day:N)", col, s)
-		}
-		return v, nil
-	}
-	v, err := strconv.ParseUint(s, 10, 32)
-	if err != nil {
-		return 0, fmt.Errorf("bad %s value %q (want a uint32)", col, s)
-	}
-	return int64(v), nil
+	return compilePred(lp)
 }
 
 // String renders the predicate in a canonical form ParsePredicate

@@ -1,0 +1,68 @@
+package plan
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a small, concurrency-safe LRU keyed by canonical query text
+// (plus whatever source identity the caller folds into the key). Values
+// are opaque so the query layer can cache its bound plans without this
+// package importing it.
+type Cache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*list.Element
+	l   *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// NewCache returns an LRU holding at most capacity entries; capacity
+// < 1 is treated as 1.
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{cap: capacity, m: make(map[string]*list.Element), l: list.New()}
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.l.MoveToFront(e)
+	return e.Value.(*cacheEntry).val, true
+}
+
+// Put inserts or refreshes key, evicting the least recently used entry
+// when over capacity.
+func (c *Cache) Put(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[key]; ok {
+		e.Value.(*cacheEntry).val = val
+		c.l.MoveToFront(e)
+		return
+	}
+	c.m[key] = c.l.PushFront(&cacheEntry{key: key, val: val})
+	if c.l.Len() > c.cap {
+		last := c.l.Back()
+		c.l.Remove(last)
+		delete(c.m, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.l.Len()
+}

@@ -2,9 +2,11 @@ package query
 
 import (
 	"bytes"
+	"io"
 	"math"
 	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
 
 	"crowdscope/internal/model"
@@ -50,6 +52,60 @@ func randStore(r *rand.Rand, rowsTarget int) *store.Store {
 	return s
 }
 
+// randLeaf draws one random predicate over the physical columns.
+func randLeaf(r *rand.Rand) Predicate {
+	switch r.Intn(7) {
+	case 0:
+		return WorkerEq(uint32(r.Intn(70)))
+	case 1:
+		vs := make([]uint32, 1+r.Intn(3))
+		for i := range vs {
+			vs[i] = uint32(r.Intn(12))
+		}
+		return TaskTypeIn(vs...)
+	case 2:
+		lo := model.Epoch.Unix() + int64(r.Intn(200*7*86400))
+		return StartIn(lo, lo+int64(r.Intn(30*86400)))
+	case 3:
+		lo, hi := float64(r.Intn(100))/100, float64(r.Intn(120))/100
+		return TrustRange(lo, hi) // sometimes inverted: matches nothing
+	case 4:
+		lo := int64(r.Intn(250))
+		return Range(ColItem, lo, lo+int64(r.Intn(50)))
+	case 5:
+		return Eq(ColBatch, uint32(r.Intn(16)))
+	default:
+		vs := make([]uint32, 1+r.Intn(4))
+		for i := range vs {
+			vs[i] = uint32(r.Intn(50))
+		}
+		return In(ColAnswer, vs...)
+	}
+}
+
+// randLeafEx draws a predicate from the full column space: physical
+// columns plus the derived duration and the joined attribute columns.
+func randLeafEx(r *rand.Rand) Predicate {
+	switch r.Intn(10) {
+	case 0:
+		lo := int64(r.Intn(1800))
+		return Range(ColDuration, lo, lo+int64(r.Intn(1800)))
+	case 1:
+		return Eq(ColWorkerClass, uint32(r.Intn(4)))
+	case 2:
+		return In(ColWorkerCountry, uint32(r.Intn(12)), uint32(r.Intn(12)))
+	case 3:
+		lo := int64(r.Intn(400))
+		return Range(ColBatchItems, lo, lo+int64(r.Intn(200)))
+	case 4:
+		return Eq(ColBatchSampled, uint32(r.Intn(2)))
+	case 5:
+		return Eq(ColWorkerSource, uint32(r.Intn(8)))
+	default:
+		return randLeaf(r)
+	}
+}
+
 // randQuery draws a random predicate set, grouping and aggregate shape.
 func randQuery(r *rand.Rand) Query {
 	q := Query{
@@ -63,41 +119,75 @@ func randQuery(r *rand.Rand) Query {
 		q.Distinct = []Column{ColBatch, ColTaskType, ColItem, ColWorker, ColAnswer}[r.Intn(5)]
 	}
 	for n := r.Intn(4); n > 0; n-- {
-		var p Predicate
-		switch r.Intn(7) {
-		case 0:
-			p = WorkerEq(uint32(r.Intn(70)))
-		case 1:
-			vs := make([]uint32, 1+r.Intn(3))
-			for i := range vs {
-				vs[i] = uint32(r.Intn(12))
-			}
-			p = TaskTypeIn(vs...)
-		case 2:
-			lo := model.Epoch.Unix() + int64(r.Intn(200*7*86400))
-			p = StartIn(lo, lo+int64(r.Intn(30*86400)))
-		case 3:
-			lo, hi := float64(r.Intn(100))/100, float64(r.Intn(120))/100
-			p = TrustRange(lo, hi) // sometimes inverted: matches nothing
-		case 4:
-			lo := int64(r.Intn(250))
-			p = Range(ColItem, lo, lo+int64(r.Intn(50)))
-		case 5:
-			p = Eq(ColBatch, uint32(r.Intn(16)))
-		case 6:
-			vs := make([]uint32, 1+r.Intn(4))
-			for i := range vs {
-				vs[i] = uint32(r.Intn(50))
-			}
-			p = In(ColAnswer, vs...)
-		}
-		q.Where = append(q.Where, p)
+		q.Where = append(q.Where, randLeaf(r))
 	}
 	return q
 }
 
-// refMatches evaluates one predicate against a row the slow, obvious way.
-func refMatches(st *store.Store, p Predicate, row int) bool {
+// randQueryEx widens randQuery to the full language surface: joined
+// attribute predicates, duration predicates, OR-groups, joined group
+// keys, and two-key grouping. Queries drawn here require Query.Tables.
+func randQueryEx(r *rand.Rand) Query {
+	q := Query{Value: Value(r.Intn(4))}
+	if q.Value != ValueNone && r.Intn(2) == 0 {
+		q.P50 = true
+	}
+	if r.Intn(4) == 0 {
+		q.Distinct = []Column{ColBatch, ColTaskType, ColItem, ColWorker, ColAnswer}[r.Intn(5)]
+	}
+	keys := []GroupBy{
+		GroupNone, GroupBatch, GroupWorker, GroupTaskType, GroupWeek, GroupDay,
+		GroupWorkerSource, GroupWorkerCountry, GroupWorkerClass, GroupBatchWeek,
+	}
+	q.GroupBy = keys[r.Intn(len(keys))]
+	if q.GroupBy != GroupNone && r.Intn(3) == 0 {
+		k2 := keys[1+r.Intn(len(keys)-1)]
+		if k2 != q.GroupBy {
+			q.GroupBys = []GroupBy{q.GroupBy, k2}
+			q.GroupBy = GroupNone
+		}
+	}
+	for n := r.Intn(4); n > 0; n-- {
+		q.Where = append(q.Where, randLeafEx(r))
+	}
+	for n := r.Intn(3); n > 0; n-- {
+		group := make([]Predicate, 0, 3)
+		for m := 2 + r.Intn(2); m > 0; m-- {
+			group = append(group, randLeafEx(r))
+		}
+		q.Or = append(q.Or, group)
+	}
+	return q
+}
+
+// randTables draws random worker and batch attribute tables sized to
+// cover every ID randStore can emit.
+func randTables(r *rand.Rand, numWorkers, numBatches int) *SideTables {
+	ws := make([]model.Worker, numWorkers)
+	for i := range ws {
+		ws[i] = model.Worker{
+			ID:      uint32(i),
+			Source:  uint16(r.Intn(8)),
+			Country: uint16(r.Intn(12)),
+			Class:   model.EngagementClass(r.Intn(model.NumEngagementClasses)),
+		}
+	}
+	bs := make([]model.Batch, numBatches)
+	for i := range bs {
+		bs[i] = model.Batch{
+			ID:         uint32(i),
+			Items:      int32(1 + r.Intn(500)),
+			Redundancy: int16(1 + r.Intn(9)),
+			Sampled:    r.Intn(2) == 0,
+			CreatedAt:  model.Epoch.AddDate(0, 0, r.Intn(200*7)),
+		}
+	}
+	return NewTables(ws, bs)
+}
+
+// refMatches evaluates one predicate against a row the slow, obvious way:
+// derived and joined columns are computed per row, never lowered.
+func refMatches(st *store.Store, tabs *SideTables, p Predicate, row int) bool {
 	var v int64
 	switch p.Col {
 	case ColBatch:
@@ -114,9 +204,19 @@ func refMatches(st *store.Store, p Predicate, row int) bool {
 		v = st.Starts()[row]
 	case ColEnd:
 		v = st.Ends()[row]
+	case ColDuration:
+		v = st.Ends()[row] - st.Starts()[row]
 	case ColTrust:
 		f := float64(st.Trusts()[row])
 		return f >= p.FLo && f <= p.FHi
+	default:
+		if base := p.Col.joinBase(); base != ColNone {
+			id := st.Workers()[row]
+			if base == ColBatch {
+				id = st.Batches()[row]
+			}
+			v = tabs.attrArray(p.Col)[id]
+		}
 	}
 	if p.Set != nil {
 		for _, s := range p.Set {
@@ -127,6 +227,52 @@ func refMatches(st *store.Store, p Predicate, row int) bool {
 		return false
 	}
 	return v >= p.Lo && v <= p.Hi
+}
+
+// refMatchesQuery evaluates the full clause set: every conjunct, and at
+// least one leaf of every OR-group.
+func refMatchesQuery(st *store.Store, tabs *SideTables, q *Query, row int) bool {
+	for _, p := range q.Where {
+		if !refMatches(st, tabs, p, row) {
+			return false
+		}
+	}
+groups:
+	for _, g := range q.Or {
+		for _, p := range g {
+			if refMatches(st, tabs, p, row) {
+				continue groups
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// refKey resolves one group key for a row, probing the attribute tables
+// for joined keys.
+func refKey(st *store.Store, tabs *SideTables, g GroupBy, row int) int64 {
+	switch g {
+	case GroupBatch:
+		return int64(st.Batches()[row])
+	case GroupWorker:
+		return int64(st.Workers()[row])
+	case GroupTaskType:
+		return int64(st.TaskTypes()[row])
+	case GroupWeek:
+		return int64(model.WeekOfUnix(st.Starts()[row]))
+	case GroupDay:
+		return int64(model.DayOfUnix(st.Starts()[row]))
+	case GroupWorkerSource:
+		return tabs.wSource[st.Workers()[row]]
+	case GroupWorkerCountry:
+		return tabs.wCountry[st.Workers()[row]]
+	case GroupWorkerClass:
+		return tabs.wClass[st.Workers()[row]]
+	case GroupBatchWeek:
+		return tabs.bWeek[st.Batches()[row]]
+	}
+	return 0
 }
 
 type refAcc struct {
@@ -144,36 +290,25 @@ type refAcc struct {
 // folded per ChunkRows-sized chunk within each segment, chunk subtotals
 // folded in order — which is the one aggregation detail a naive
 // implementation must share for bit-identical results.
-func referenceRun(st *store.Store, q Query) []Group {
-	groups := map[int64]*refAcc{}
-	var keys []int64
+func referenceRun(st *store.Store, tabs *SideTables, q Query) []Group {
+	gks := q.groupKeys()
+	groups := map[gkey]*refAcc{}
+	var keys []gkey
 	for _, si := range st.Segments() {
 		for chunkLo := si.RowLo; chunkLo < si.RowHi; chunkLo += ChunkRows {
 			chunkHi := chunkLo + ChunkRows
 			if chunkHi > si.RowHi {
 				chunkHi = si.RowHi
 			}
-			chunkSums := map[int64]float64{}
-			var chunkKeys []int64
-		rows:
+			chunkSums := map[gkey]float64{}
+			var chunkKeys []gkey
 			for row := chunkLo; row < chunkHi; row++ {
-				for _, p := range q.Where {
-					if !refMatches(st, p, row) {
-						continue rows
-					}
+				if !refMatchesQuery(st, tabs, &q, row) {
+					continue
 				}
-				var key int64
-				switch q.GroupBy {
-				case GroupBatch:
-					key = int64(st.Batches()[row])
-				case GroupWorker:
-					key = int64(st.Workers()[row])
-				case GroupTaskType:
-					key = int64(st.TaskTypes()[row])
-				case GroupWeek:
-					key = int64(model.WeekOfUnix(st.Starts()[row]))
-				case GroupDay:
-					key = int64(model.DayOfUnix(st.Starts()[row]))
+				var key gkey
+				for i, g := range gks {
+					key[i] = refKey(st, tabs, g, row)
 				}
 				a := groups[key]
 				if a == nil {
@@ -230,11 +365,11 @@ func referenceRun(st *store.Store, q Query) []Group {
 		}
 	}
 
-	sortInt64s(keys)
+	sortGKeys(keys)
 	out := make([]Group, len(keys))
 	for i, k := range keys {
 		a := groups[k]
-		g := Group{Key: k, Count: a.count}
+		g := Group{Key: k[0], Key2: k[1], Count: a.count}
 		switch q.Value {
 		case ValueDuration, ValueStart:
 			g.Sum, g.Min, g.Max = float64(a.sumI), a.minF, a.maxF
@@ -252,9 +387,10 @@ func referenceRun(st *store.Store, q Query) []Group {
 	return out
 }
 
-func sortInt64s(xs []int64) {
+func sortGKeys(xs []gkey) {
+	less := func(a, b gkey) bool { return a[0] < b[0] || (a[0] == b[0] && a[1] < b[1]) }
 	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+		for j := i; j > 0 && less(xs[j], xs[j-1]); j-- {
 			xs[j], xs[j-1] = xs[j-1], xs[j]
 		}
 	}
@@ -302,7 +438,7 @@ func TestPropertyEngineMatchesReference(t *testing.T) {
 				if err != nil {
 					t.Fatalf("store %d query %d (%+v): %v", si, qi, q, err)
 				}
-				want := referenceRun(st, q)
+				want := referenceRun(st, nil, q)
 				if !reflect.DeepEqual(res.Groups, want) && !(len(res.Groups) == 0 && len(want) == 0) {
 					t.Fatalf("store %d query %d workers %d: engine result differs\n query: %+v\n got:  %+v\n want: %+v",
 						si, qi, w, q, res.Groups, want)
@@ -331,7 +467,7 @@ func TestPropertyChunkBoundary(t *testing.T) {
 	st := randStore(r, ChunkRows*2+1234)
 	for qi := 0; qi < 6; qi++ {
 		q := randQuery(r)
-		want := referenceRun(st, q)
+		want := referenceRun(st, nil, q)
 		for _, w := range []int{0, 1, 2, 8} {
 			q.Workers = w
 			res, err := Run(st, q)
@@ -351,4 +487,98 @@ func totalCount(gs []Group) int64 {
 		n += g.Count
 	}
 	return n
+}
+
+// datasetFrom shards an arbitrary store into an in-memory dataset.
+func datasetFrom(t *testing.T, st *store.Store, nshards int) *store.Dataset {
+	t.Helper()
+	var mu sync.Mutex
+	files := make(map[string][]byte)
+	var manBuf bytes.Buffer
+	man, err := st.WriteDataset(&manBuf, nshards, "prop", func(name string) (io.WriteCloser, error) {
+		buf := &bytes.Buffer{}
+		return closeWriter{buf, func() {
+			mu.Lock()
+			files[name] = buf.Bytes()
+			mu.Unlock()
+		}}, nil
+	}, store.WriteOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := store.OpenDataset(man, openFrom(files, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// checkGroups fails the test when an engine result differs from the
+// reference, labelling which execution path diverged.
+func checkGroups(t *testing.T, path string, si, qi, w int, got, want []Group, q Query) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
+		t.Fatalf("store %d query %d workers %d: %s result differs\n query: %s\n got:  %+v\n want: %+v",
+			si, qi, w, path, q.Text(), got, want)
+	}
+}
+
+// TestPropertyPlannerEquivalence draws queries over the full language
+// surface — OR-groups, join predicates, duration predicates, joined and
+// two-key group keys — and checks four execution paths against the naive
+// reference scan for workers 0, 1, 2 and 8: the planner's greedy clause
+// order, the unplanned written order (noReorder), the cached-plan path
+// (Planner.Run), and the sharded dataset path (RunDataset). Reordering,
+// caching and sharding must all be invisible in the results, bit for
+// bit. Runs under -race in CI's race tier.
+func TestPropertyPlannerEquivalence(t *testing.T) {
+	workerCounts := []int{0, 1, 2, 8}
+	stores, queriesPerStore := 4, 16
+	if testing.Short() {
+		stores, queriesPerStore = 2, 6
+	}
+	for si := 0; si < stores; si++ {
+		r := rand.New(rand.NewSource(int64(4200 + si)))
+		st := randStore(r, 1500+r.Intn(3000))
+		tabs := randTables(r, 70, 16)
+		d := datasetFrom(t, st, 1+r.Intn(4))
+		pl := NewPlanner(8)
+		for qi := 0; qi < queriesPerStore; qi++ {
+			q := randQueryEx(r)
+			q.Tables = tabs
+			want := referenceRun(st, tabs, q)
+			for _, w := range workerCounts {
+				q.Workers = w
+				res, err := Run(st, q)
+				if err != nil {
+					t.Fatalf("store %d query %d (%s): %v", si, qi, q.Text(), err)
+				}
+				checkGroups(t, "planned", si, qi, w, res.Groups, want, q)
+				if res.Stats.RowsMatched != totalCount(want) {
+					t.Fatalf("store %d query %d workers %d: matched %d rows, reference %d",
+						si, qi, w, res.Stats.RowsMatched, totalCount(want))
+				}
+
+				qn := q
+				qn.noReorder = true
+				resN, err := Run(st, qn)
+				if err != nil {
+					t.Fatalf("store %d query %d (%s) unplanned: %v", si, qi, q.Text(), err)
+				}
+				checkGroups(t, "unplanned written-order", si, qi, w, resN.Groups, want, q)
+
+				resC, err := pl.Run(st, q)
+				if err != nil {
+					t.Fatalf("store %d query %d (%s) cached: %v", si, qi, q.Text(), err)
+				}
+				checkGroups(t, "cached-plan", si, qi, w, resC.Groups, want, q)
+
+				resD, err := RunDataset(d, q)
+				if err != nil {
+					t.Fatalf("store %d query %d (%s) dataset: %v", si, qi, q.Text(), err)
+				}
+				checkGroups(t, "dataset", si, qi, w, resD.Groups, want, q)
+			}
+		}
+	}
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"crowdscope/internal/model"
 	"crowdscope/internal/par"
@@ -39,11 +40,28 @@ const (
 	ColEnd
 	ColTrust
 	ColAnswer
+	// ColDuration is the virtual End-Start column (seconds); predicates
+	// on it scan both raw time columns.
+	ColDuration
+	// Joined worker-attribute columns: predicates and group keys on
+	// these probe the worker table in Query.Tables through the row's
+	// worker ID.
+	ColWorkerSource
+	ColWorkerCountry
+	ColWorkerClass
+	// Joined batch-metadata columns, probed through the row's batch ID.
+	ColBatchItems
+	ColBatchRedundancy
+	ColBatchSampled
+	ColBatchWeek
 )
 
 var columnNames = map[Column]string{
 	ColNone: "none", ColBatch: "batch", ColTaskType: "tasktype", ColItem: "item",
 	ColWorker: "worker", ColStart: "start", ColEnd: "end", ColTrust: "trust", ColAnswer: "answer",
+	ColDuration: "duration", ColWorkerSource: "worker.source", ColWorkerCountry: "worker.country",
+	ColWorkerClass: "worker.class", ColBatchItems: "batch.items", ColBatchRedundancy: "batch.redundancy",
+	ColBatchSampled: "batch.sampled", ColBatchWeek: "batch.week",
 }
 
 // String names the column as the predicate syntax spells it.
@@ -65,6 +83,19 @@ func (c Column) isU32() bool {
 
 // isTime reports whether the column holds int64 unix seconds.
 func (c Column) isTime() bool { return c == ColStart || c == ColEnd }
+
+// joinBase returns the physical ID column a joined attribute column
+// probes through (ColWorker or ColBatch), or ColNone for physical
+// columns.
+func (c Column) joinBase() Column {
+	switch c {
+	case ColWorkerSource, ColWorkerCountry, ColWorkerClass:
+		return ColWorker
+	case ColBatchItems, ColBatchRedundancy, ColBatchSampled, ColBatchWeek:
+		return ColBatch
+	}
+	return ColNone
+}
 
 // A Predicate constrains one column; a query's predicates are conjunctive.
 // Integer and time columns match Lo <= v <= Hi (inclusive bounds) unless
@@ -163,11 +194,19 @@ const (
 	GroupWeek
 	// GroupDay keys by the day index of the start time.
 	GroupDay
+	// Joined-attribute groupings: the key is an attribute probed from
+	// Query.Tables through the row's worker or batch ID.
+	GroupWorkerSource
+	GroupWorkerCountry
+	GroupWorkerClass
+	GroupBatchWeek
 )
 
 var groupNames = map[GroupBy]string{
 	GroupNone: "none", GroupBatch: "batch", GroupWorker: "worker",
 	GroupTaskType: "tasktype", GroupWeek: "week", GroupDay: "day",
+	GroupWorkerSource: "worker.source", GroupWorkerCountry: "worker.country",
+	GroupWorkerClass: "worker.class", GroupBatchWeek: "batch.week",
 }
 
 // String names the grouping as the CLI spells it.
@@ -210,8 +249,16 @@ func (v Value) String() string {
 type Query struct {
 	// Where is the conjunctive predicate list; empty selects every row.
 	Where []Predicate
+	// Or holds disjunctive clauses ANDed with Where: each inner slice is
+	// an OR-group of predicates, at least one of which must match. The
+	// group evaluates as a bitmap-OR over the same vectorized kernels the
+	// conjuncts use.
+	Or [][]Predicate
 	// GroupBy keys the aggregation.
 	GroupBy GroupBy
+	// GroupBys, when non-empty, overrides GroupBy with a multi-key
+	// grouping (at most two keys); the second key lands in Group.Key2.
+	GroupBys []GroupBy
 	// Value picks the column Sum/Min/Max/P50 run over; ValueNone keeps
 	// only counts.
 	Value Value
@@ -224,14 +271,57 @@ type Query struct {
 	// Workers bounds the goroutine fan-out; 0 or negative means
 	// GOMAXPROCS, 1 runs serially. Results are identical for every value.
 	Workers int
+	// Tables provides the worker/batch attribute tables that predicates
+	// and group keys on joined columns (worker.*, batch.*) probe into.
+	// Queries touching only physical columns leave it nil.
+	Tables *SideTables
+	// noReorder pins clause execution to the written order, bypassing
+	// the greedy planner — the test hook that lets the property suite
+	// compare planned against unplanned execution.
+	noReorder bool
+}
+
+// groupKeys resolves the effective grouping key list: GroupBys when set,
+// else the single GroupBy (possibly GroupNone).
+func (q *Query) groupKeys() []GroupBy {
+	if len(q.GroupBys) > 0 {
+		return q.GroupBys
+	}
+	return []GroupBy{q.GroupBy}
+}
+
+// NeedsTables reports whether the query references a joined attribute
+// column — in a predicate or a group key — and so requires Query.Tables
+// to execute.
+func (q *Query) NeedsTables() bool {
+	for i := range q.Where {
+		if q.Where[i].Col.joinBase() != ColNone {
+			return true
+		}
+	}
+	for _, g := range q.Or {
+		for i := range g {
+			if g[i].Col.joinBase() != ColNone {
+				return true
+			}
+		}
+	}
+	for _, g := range q.groupKeys() {
+		if g.groupCol() != ColNone {
+			return true
+		}
+	}
+	return false
 }
 
 // Group is one aggregation bucket. Unrequested aggregates are zero: Sum,
 // Min, Max and P50 are 0 when Value is ValueNone (or P50 unset), Distinct
-// is 0 when no distinct column was requested. Groups exist only for keys
-// with at least one matching row.
+// is 0 when no distinct column was requested, Key2 is 0 unless the query
+// grouped by two keys. Groups exist only for keys with at least one
+// matching row.
 type Group struct {
 	Key      int64
+	Key2     int64
 	Count    int64
 	Sum      float64
 	Min, Max float64
@@ -288,32 +378,62 @@ func (r *Result) TotalCount() int64 {
 	return n
 }
 
+// validatePred rejects one malformed predicate; i is its position inside
+// its clause, for the error message.
+func validatePred(p *Predicate, i int) error {
+	switch {
+	case p.Col == ColTrust:
+		if p.Set != nil {
+			return fmt.Errorf("predicate %d: set membership on trust", i)
+		}
+		if math.IsNaN(p.FLo) || math.IsNaN(p.FHi) {
+			return fmt.Errorf("predicate %d: NaN trust bound", i)
+		}
+	case p.Col.isU32() || p.Col.isTime() || p.Col == ColDuration || p.Col.joinBase() != ColNone:
+		if p.Set != nil {
+			if p.Col.isTime() || p.Col == ColDuration {
+				return fmt.Errorf("predicate %d: set membership on %s", i, p.Col)
+			}
+			if len(p.Set) == 0 {
+				return fmt.Errorf("predicate %d: empty set", i)
+			}
+		}
+	default:
+		return fmt.Errorf("predicate %d: unknown column", i)
+	}
+	return nil
+}
+
 // validate rejects malformed queries before any scan work.
 func (q *Query) validate() error {
-	for i, p := range q.Where {
-		switch {
-		case p.Col == ColTrust:
-			if p.Set != nil {
-				return fmt.Errorf("query: predicate %d: set membership on trust", i)
+	for i := range q.Where {
+		if err := validatePred(&q.Where[i], i); err != nil {
+			return fmt.Errorf("query: %w", err)
+		}
+	}
+	for gi := range q.Or {
+		if len(q.Or[gi]) == 0 {
+			return fmt.Errorf("query: or-group %d is empty", gi)
+		}
+		for i := range q.Or[gi] {
+			if err := validatePred(&q.Or[gi][i], i); err != nil {
+				return fmt.Errorf("query: or-group %d: %w", gi, err)
 			}
-			if math.IsNaN(p.FLo) || math.IsNaN(p.FHi) {
-				return fmt.Errorf("query: predicate %d: NaN trust bound", i)
-			}
-		case p.Col.isU32() || p.Col.isTime():
-			if p.Set != nil {
-				if p.Col.isTime() {
-					return fmt.Errorf("query: predicate %d: set membership on %s", i, p.Col)
-				}
-				if len(p.Set) == 0 {
-					return fmt.Errorf("query: predicate %d: empty set", i)
-				}
-			}
-		default:
-			return fmt.Errorf("query: predicate %d: unknown column", i)
 		}
 	}
 	if _, ok := groupNames[q.GroupBy]; !ok {
 		return fmt.Errorf("query: unknown group-by")
+	}
+	if len(q.GroupBys) > 2 {
+		return fmt.Errorf("query: at most two group keys (got %d)", len(q.GroupBys))
+	}
+	for _, g := range q.GroupBys {
+		if _, ok := groupNames[g]; !ok {
+			return fmt.Errorf("query: unknown group-by")
+		}
+		if g == GroupNone && len(q.GroupBys) > 1 {
+			return fmt.Errorf("query: group key none inside a multi-key grouping")
+		}
 	}
 	if _, ok := valueNames[q.Value]; !ok {
 		return fmt.Errorf("query: unknown value column")
@@ -349,12 +469,12 @@ const ChunkRows = 1 << 16
 // Aggregation columns (group keys, values, distinct) are fetched once up
 // front and only when the query shape needs them.
 func Run(st *store.Store, q Query) (*Result, error) {
-	if err := q.validate(); err != nil {
+	pr, err := prepareStore(st, &q)
+	if err != nil {
 		return nil, err
 	}
-	preds := compile(q.Where)
 	res := &Result{}
-	partials, tasks := scanStore(st, &q, preds, q.Workers, &res.Stats)
+	partials, tasks := scanStore(st, &q, pr, q.Workers, &res.Stats)
 	mergeFinalize(res, &q, tasks, partials)
 	return res, nil
 }
@@ -366,11 +486,12 @@ func Run(st *store.Store, q Query) (*Result, error) {
 // chunk order the assembled store would produce.
 type span struct{ lo, hi, seg int }
 
-// scanStore plans and scans one store: zone-pruned per-segment plans,
-// chunk fan-out across the given worker count, one partial per chunk in
-// chunk order. Segments and SegmentsPruned accumulate into qs; rows
-// statistics are deferred to mergeFinalize.
-func scanStore(st *store.Store, q *Query, preds []compiled, workers int, qs *Stats) ([]partial, []span) {
+// scanStore binds the prepared clauses to one store's segments and scans:
+// zone-pruned per-segment clause bindings, chunk fan-out across the given
+// worker count, one partial per chunk in chunk order. Segments and
+// SegmentsPruned accumulate into qs; rows statistics are deferred to
+// mergeFinalize.
+func scanStore(st *store.Store, q *Query, pr *prepared, workers int, qs *Stats) ([]partial, []span) {
 	segs := st.Segments()
 	zones := st.ZoneMaps()
 	encs := st.SegmentEncodings()
@@ -378,10 +499,10 @@ func scanStore(st *store.Store, q *Query, preds []compiled, workers int, qs *Sta
 	raw := &rawCols{st: st}
 
 	qs.Segments += len(segs)
-	cc := &chunkCtx{q: q, preds: preds, segs: segs, plans: make([]segPlan, len(segs))}
+	cc := &chunkCtx{q: q, segs: segs, bound: make([]segBound, len(segs))}
 	var tasks []span
 	for i, si := range segs {
-		if si.Rows() == 0 || prune(&zones[i], si, preds) {
+		if si.Rows() == 0 {
 			qs.SegmentsPruned++
 			continue
 		}
@@ -389,31 +510,22 @@ func scanStore(st *store.Store, q *Query, preds []compiled, workers int, qs *Sta
 		if len(encs) == len(segs) {
 			enc = &encs[i]
 		}
-		plan, empty := buildSegPlan(preds, &zones[i], si, enc, resd, raw)
-		if empty {
-			// Some predicate matches nothing in this segment (empty
-			// dictionary mask, FOR range outside the span): pruned without
-			// the zone test noticing.
+		sb, skip := bindSegment(pr, &zones[i], si, enc, resd, raw)
+		if skip {
+			// Some clause matches nothing in this segment — every leaf was
+			// zone-disjoint, produced an empty dictionary mask, or fell
+			// outside the FOR span.
 			qs.SegmentsPruned++
 			continue
 		}
-		cc.plans[i] = plan
+		cc.bound[i] = sb
 		for lo := si.RowLo; lo < si.RowHi; lo += ChunkRows {
 			tasks = append(tasks, span{lo, min(lo+ChunkRows, si.RowHi), i})
 		}
 	}
 
 	// Fold-phase columns, fetched only when the query shape reads them.
-	switch q.GroupBy {
-	case GroupWeek, GroupDay:
-		cc.starts = raw.startCol()
-	case GroupBatch:
-		cc.keyCol = raw.u32Col(ColBatch)
-	case GroupWorker:
-		cc.keyCol = raw.u32Col(ColWorker)
-	case GroupTaskType:
-		cc.keyCol = raw.u32Col(ColTaskType)
-	}
+	cc.resolveKeys(q, raw, q.Tables)
 	switch q.Value {
 	case ValueDuration:
 		cc.starts = raw.startCol()
@@ -437,12 +549,16 @@ func scanStore(st *store.Store, q *Query, preds []compiled, workers int, qs *Sta
 	return partials, tasks
 }
 
+// gkey is the composite group key: one or two int64 keys (the second is
+// zero for single-key queries).
+type gkey [2]int64
+
 // mergeFinalize folds chunk partials (in chunk order) into sorted result
 // groups and accumulates the row statistics.
 func mergeFinalize(res *Result, q *Query, tasks []span, partials []partial) {
 	// Merge in chunk order: per-key accumulators fold deterministically
 	// because each key occurs at most once per chunk partial.
-	merged := make(map[int64]*acc)
+	merged := make(map[gkey]*acc)
 	for i := range partials {
 		p := &partials[i]
 		res.Stats.RowsScanned += int64(tasks[i].hi - tasks[i].lo)
@@ -465,15 +581,20 @@ func mergeFinalize(res *Result, q *Query, tasks []span, partials []partial) {
 		}
 	}
 
-	keys := make([]int64, 0, len(merged))
+	keys := make([]gkey, 0, len(merged))
 	for k := range merged {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
 	res.Groups = make([]Group, len(keys))
 	for i, k := range keys {
 		a := merged[k]
-		g := Group{Key: k, Count: a.count}
+		g := Group{Key: k[0], Key2: k[1], Count: a.count}
 		switch q.Value {
 		case ValueDuration, ValueStart:
 			g.Sum, g.Min, g.Max = float64(a.sumI), a.minF, a.maxF
@@ -498,6 +619,61 @@ func Count(st *store.Store, workers int, where ...Predicate) (int64, error) {
 		return 0, err
 	}
 	return res.Stats.RowsMatched, nil
+}
+
+// Text renders the query in the canonical pipeline form the language
+// parser accepts: clauses in their written order (conjuncts first, then
+// OR-groups), then the group / value / p50 / distinct stages. It is the
+// plan-cache key and what EXPLAIN echoes, so two queries with the same
+// text are the same query — up to clause order, which the planner
+// canonicalizes separately.
+func (q *Query) Text() string {
+	var sb strings.Builder
+	clauses := make([]string, 0, len(q.Where)+len(q.Or))
+	for i := range q.Where {
+		clauses = append(clauses, q.Where[i].String())
+	}
+	for _, group := range q.Or {
+		parts := make([]string, len(group))
+		for i := range group {
+			parts[i] = group[i].String()
+		}
+		s := strings.Join(parts, " or ")
+		if len(group) > 1 && len(q.Where)+len(q.Or) > 1 {
+			s = "(" + s + ")"
+		}
+		clauses = append(clauses, s)
+	}
+	if len(clauses) > 0 {
+		sb.WriteString("where ")
+		sb.WriteString(strings.Join(clauses, " and "))
+	}
+	var keys []string
+	for _, g := range q.groupKeys() {
+		if g != GroupNone {
+			keys = append(keys, g.String())
+		}
+	}
+	if len(keys) > 0 {
+		if sb.Len() > 0 {
+			sb.WriteString(" | ")
+		}
+		sb.WriteString("group ")
+		sb.WriteString(strings.Join(keys, ", "))
+	}
+	if sb.Len() > 0 {
+		sb.WriteString(" | ")
+	}
+	sb.WriteString("value ")
+	sb.WriteString(q.Value.String())
+	if q.P50 {
+		sb.WriteString(" | p50")
+	}
+	if q.Distinct != ColNone {
+		sb.WriteString(" | distinct ")
+		sb.WriteString(q.Distinct.String())
+	}
+	return sb.String()
 }
 
 // weekKey buckets a start time like model.WeekOfUnix.

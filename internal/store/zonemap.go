@@ -10,6 +10,14 @@ import (
 // range; the cap keeps zone maps a few hundred bytes per segment.
 const zoneEnumCap = 32
 
+// MergeZoneMaps folds per-segment (or per-shard) zone maps into one
+// summary zone: min/max bounds merge, and the enum sets union when every
+// contributing zone kept one and the union stays within the cap.
+// Zero-row zones are skipped. This is the selectivity-proxy source the
+// query planner scores clauses against — a whole store or manifest
+// summarized as a single segment-shaped zone.
+func MergeZoneMaps(zs []ZoneMap) ZoneMap { return mergeShardZones(zs) }
+
 // A ZoneMap summarizes one segment's column values for scan pruning: the
 // per-column min/max, plus the full sorted distinct-value set for the
 // enum-like columns when it is small. A query whose predicate cannot

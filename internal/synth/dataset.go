@@ -91,6 +91,20 @@ func Generate(cfg Config) *Dataset {
 	return d
 }
 
+// Inventory regenerates only the deterministic inventory tables
+// (sources, countries, workers, task types, batches) for the
+// configuration, without materializing the instance log. This is what a
+// query needs to join a snapshot or sharded dataset against worker and
+// batch attributes: the tables depend only on Config, so any consumer
+// holding the generation parameters can rebuild them in milliseconds.
+// Workers lack the observed FirstDay/LastDay activity bounds (those
+// come from the materialized log); the static attributes — source,
+// country, engagement class — are exact.
+func Inventory(cfg Config) *Dataset {
+	d, _, _, _ := newInventory(cfg)
+	return d
+}
+
 // Rehydrate rebuilds a dataset around an instance log restored from a
 // snapshot: the inventory tables (sources, countries, workers, task
 // types, batches) regenerate deterministically from the config — exactly

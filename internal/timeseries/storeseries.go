@@ -22,15 +22,23 @@ func WeeklyOf(groups []query.Group, val func(query.Group) float64) *Series {
 	return s
 }
 
+// textSeries parses the base query from its canonical query-language
+// text — the same form crowdquery -q accepts — then ANDs in the caller's
+// extra predicates (e.g. a dynamic worker ID set) and runs it.
+func textSeries(st *store.Store, text string, workers int, where []query.Predicate) (*query.Result, error) {
+	q, err := query.ParseQuery(text)
+	if err != nil {
+		return nil, err
+	}
+	q.Where = append(q.Where, where...)
+	q.Workers = workers
+	return query.Run(st, q)
+}
+
 // ActiveWorkerSeries counts distinct active workers per week over the
 // instance log (the paper's Figure 4), optionally restricted by where.
 func ActiveWorkerSeries(st *store.Store, workers int, where ...query.Predicate) (*Series, error) {
-	res, err := query.Run(st, query.Query{
-		Where:    where,
-		GroupBy:  query.GroupWeek,
-		Distinct: query.ColWorker,
-		Workers:  workers,
-	})
+	res, err := textSeries(st, "group week | distinct worker", workers, where)
 	if err != nil {
 		return nil, err
 	}
@@ -40,11 +48,7 @@ func ActiveWorkerSeries(st *store.Store, workers int, where ...query.Predicate) 
 // InstanceArrivalSeries counts materialized instance starts per week,
 // optionally restricted by where (e.g. one worker set, one task type).
 func InstanceArrivalSeries(st *store.Store, workers int, where ...query.Predicate) (*Series, error) {
-	res, err := query.Run(st, query.Query{
-		Where:   where,
-		GroupBy: query.GroupWeek,
-		Workers: workers,
-	})
+	res, err := textSeries(st, "group week | value count", workers, where)
 	if err != nil {
 		return nil, err
 	}
@@ -55,12 +59,7 @@ func InstanceArrivalSeries(st *store.Store, workers int, where ...query.Predicat
 // task seconds of the rows matching where (e.g. the top-10% worker set —
 // the paper's Figure 5b split) in one scan.
 func WorkerEngagementSeries(st *store.Store, workers int, where ...query.Predicate) (tasks, seconds *Series, err error) {
-	res, err := query.Run(st, query.Query{
-		Where:   where,
-		GroupBy: query.GroupWeek,
-		Value:   query.ValueDuration,
-		Workers: workers,
-	})
+	res, err := textSeries(st, "group week | value duration", workers, where)
 	if err != nil {
 		return nil, nil, err
 	}
