@@ -1,0 +1,171 @@
+// Command crowdserved serves live analytical queries over a crash-safe
+// live store: an HTTP/JSON daemon that ingests WAL-durable row batches
+// and answers the full -q query language against MVCC snapshots of the
+// store, so queries see consistent data and never block ingest.
+//
+// Usage:
+//
+//	crowdserved -dir live/ -addr 127.0.0.1:8080
+//	crowdserved -dir live/ -tables -seed 1701 -scale 0.02   # joined columns
+//
+// Endpoints:
+//
+//	GET  /query?q=...&explain=1   run a -q language query (POST JSON works too)
+//	POST /ingest                  {"rows":[...], "auto_batch":true}
+//	GET  /stats                   store, view, plan-cache and request counters
+//	GET  /healthz                 liveness
+//
+// Example:
+//
+//	curl 'localhost:8080/query?q=where+trust+>=+0.8+|+group+week+|+value+duration+|+p50'
+//
+// Shutdown (SIGINT/SIGTERM) drains in-flight requests and takes a final
+// checkpoint, so a clean restart recovers without WAL replay. The
+// background compactor merges small sealed segments on a ticker;
+// -ckpt-every additionally bounds recovery for slow ingest. -seal-rows
+// and -ckpt-rows must be kept consistent across runs over the same
+// directory.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"crowdscope/internal/cli"
+	"crowdscope/internal/query"
+	"crowdscope/internal/serve"
+	"crowdscope/internal/store"
+	"crowdscope/internal/synth"
+	"crowdscope/internal/wal"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "crowdserved: %v\n", err)
+		os.Exit(cli.ExitCode(err))
+	}
+}
+
+// run is the testable entry point: it serves until the process gets
+// SIGINT/SIGTERM or the stop channel (tests) closes, then drains,
+// checkpoints, and returns.
+func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("crowdserved", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", "", "live store directory (created if absent)")
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; :0 picks a free port)")
+	syncS := fs.String("sync", "always", "WAL fsync policy: always, rotate or none")
+	sealRows := fs.Int("seal-rows", 0, "rows per sealed segment (0 = default; keep consistent per directory)")
+	ckptRows := fs.Int("ckpt-rows", 0, "checkpoint every N acknowledged rows (0 = default, -1 = never)")
+	ckptEvery := fs.Duration("ckpt-every", 0, "also checkpoint on this period (0 = disabled)")
+	compactEvery := fs.Duration("compact-every", 30*time.Second, "merge small sealed segments on this period (0 = disabled)")
+	compactMax := fs.Int("compact-max-rows", 1<<18, "largest merged segment compaction builds")
+	workers := fs.Int("workers", 0, "per-query scan goroutine bound (0 = GOMAXPROCS); never changes results")
+	cacheEntries := fs.Int("plan-cache", 128, "plan cache capacity (entries)")
+	tables := fs.Bool("tables", false, "build the marketplace inventory from -seed/-scale so queries can join worker.*/batch.* columns")
+	seed := fs.Uint64("seed", 1701, "inventory seed (with -tables)")
+	scale := fs.Float64("scale", 0.02, "inventory scale (with -tables)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	if *dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+	var sync wal.SyncPolicy
+	switch *syncS {
+	case "always":
+		sync = wal.SyncAlways
+	case "rotate":
+		sync = wal.SyncRotate
+	case "none":
+		sync = wal.SyncNone
+	default:
+		return fmt.Errorf("unknown -sync %q (want always, rotate or none)", *syncS)
+	}
+
+	ls, err := store.OpenLive(*dir, store.LiveConfig{
+		SealRows:       *sealRows,
+		CheckpointRows: *ckptRows,
+		Sync:           sync,
+	})
+	if err != nil {
+		return fmt.Errorf("open live store: %w", err)
+	}
+	defer ls.Close()
+	fmt.Fprintf(stdout, "recovered %d rows (%d sealed segments), next batch %d\n",
+		ls.Rows(), ls.SealedSegments(), ls.NextBatch())
+
+	var side *query.SideTables
+	if *tables {
+		inv := synth.Inventory(synth.Config{Seed: *seed, Scale: *scale})
+		side = query.NewTables(inv.Workers, inv.Batches)
+		fmt.Fprintf(stdout, "side tables: %d workers, %d batches (seed=%d scale=%g)\n",
+			len(inv.Workers), len(inv.Batches), *seed, *scale)
+	}
+
+	srv, err := serve.New(serve.Config{
+		Store:            ls,
+		Tables:           side,
+		PlanCacheEntries: *cacheEntries,
+		QueryWorkers:     *workers,
+		CompactEvery:     *compactEvery,
+		CompactMaxRows:   *compactMax,
+		CheckpointEvery:  *ckptEvery,
+		Logf: func(format string, args ...interface{}) {
+			fmt.Fprintf(stderr, "crowdserved: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *addr, err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintf(stdout, "serving on http://%s\n", ln.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(stdout, "received %v, draining\n", sig)
+	case <-stop:
+		fmt.Fprintln(stdout, "stop requested, draining")
+	case err := <-errc:
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	// Stop accepting connections, then drain in-flight requests and take
+	// the final checkpoint (serve.Server.Close) before the deferred
+	// store close.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "checkpointed %d rows, bye\n", ls.Rows())
+	return nil
+}

@@ -36,6 +36,7 @@ type FS struct {
 	crashAtBytes   int64 // -1 disabled; tear the write crossing this offset
 	crashAtOps     int   // 0 disabled; the N-th mutating op fails
 	failSyncAt     int   // 0 disabled; the K-th Sync fails and crashes
+	softSyncAt     int   // 0 disabled; the K-th Sync fails without crashing
 	transientReads int   // next N ReadAt calls fail with ErrTransient
 
 	bytes   int64 // file bytes successfully persisted through writes
@@ -76,6 +77,19 @@ func (f *FS) FailSyncAt(k int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.failSyncAt = k
+}
+
+// FailSyncSoftAt arms a one-shot, non-crashing fsync failure: the k-th
+// Sync call from now (1-based, counted like FailSyncAt against the
+// cumulative sync counter) fails with ErrTransient and the filesystem
+// keeps working. This models an isolated EIO on fsync on an otherwise
+// healthy disk — the case a long-running server survives in a degraded
+// state rather than restarts from — so tests can assert the error
+// path's own cleanup actions (which a crashed filesystem would refuse).
+func (f *FS) FailSyncSoftAt(k int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.softSyncAt = k
 }
 
 // FailReads arms n transient read errors: the next n ReadAt calls
@@ -145,6 +159,10 @@ func (f *FS) admitSync() error {
 	if f.failSyncAt > 0 && f.syncs >= f.failSyncAt {
 		f.crashed = true
 		return ErrInjected
+	}
+	if f.softSyncAt > 0 && f.syncs >= f.softSyncAt {
+		f.softSyncAt = 0
+		return ErrTransient
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package query
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"crowdscope/internal/query/plan"
 	"crowdscope/internal/store"
@@ -91,6 +92,12 @@ type prepared struct {
 	planClauses []plan.Clause // written order (for EXPLAIN)
 	order       []int         // execution position -> written position
 	zr          zoneRanges
+	// joinCols lists the joined attribute columns the query touches (in
+	// predicates or group keys). A cached plan re-verifies side-table
+	// coverage of these against the store it is about to scan: live-store
+	// views share one plan-cache generation while their open tail grows,
+	// so the tail may hold IDs the prepare-time coverage check never saw.
+	joinCols []Column
 }
 
 // prepareStore plans a query against a store.
@@ -108,11 +115,13 @@ func prepareQuery(q *Query, zr zoneRanges) (*prepared, error) {
 	if err := q.validate(); err != nil {
 		return nil, err
 	}
+	var joinCols []Column
 	for _, g := range q.groupKeys() {
 		if col := g.groupCol(); col != ColNone {
 			if err := q.Tables.coverage(col, &zr); err != nil {
 				return nil, err
 			}
+			joinCols = append(joinCols, col)
 		}
 	}
 
@@ -135,6 +144,7 @@ func prepareQuery(q *Query, zr zoneRanges) (*prepared, error) {
 				if err := q.Tables.coverage(p.Col, &zr); err != nil {
 					return nil, err
 				}
+				joinCols = append(joinCols, p.Col)
 			}
 			lp, err := lowerPredicate(p, q.Tables)
 			if err != nil {
@@ -166,7 +176,7 @@ func prepareQuery(q *Query, zr zoneRanges) (*prepared, error) {
 	} else {
 		order = plan.Order(pcs)
 	}
-	pr := &prepared{planClauses: pcs, order: order, zr: zr}
+	pr := &prepared{planClauses: pcs, order: order, zr: zr, joinCols: joinCols}
 	pr.clauses = make([]clauseExec, len(order))
 	for pos, idx := range order {
 		pr.clauses[pos] = ces[idx]
@@ -452,13 +462,31 @@ type cachedPlan struct {
 }
 
 // Planner wraps the planning pipeline with an LRU plan cache keyed by
-// (store, tables, canonical query text), so a hot query — a dashboard
-// refresh, a CLI loop — pays parsing, lowering, scoring, ordering and
-// segment binding once. The cached prepared value is read-only and safe
-// for concurrent scans; the cache assumes sealed stores (append after
-// caching and the cached binding goes stale).
+// (store generation, tables generation, canonical query text), so a hot
+// query — a dashboard refresh, a CLI loop — pays parsing, lowering,
+// scoring, ordering and segment binding once.
+//
+// Generations, not addresses: an earlier version keyed on %p of the
+// store and tables, but a GC'd store's address can be recycled by a new
+// store, silently serving it a plan scored against (and EXPLAIN-bound
+// to) a store that no longer exists — and, conversely, a live server
+// handing out a fresh view pointer per query could never hit. A
+// generation is process-monotonic and never reused, so a rebuilt store
+// at a recycled address always misses; live-store views share one
+// generation per sealed-segment set, so hot plans keep hitting while
+// only the open tail grows. The cached prepared value holds no store
+// references (its clauses are lowered against the immutable side
+// tables), so a hit is safe against any store carrying the generation;
+// side-table coverage of joined columns is re-verified per run because
+// a view's open tail may hold IDs prepare-time coverage never saw.
+// Unversioned stores or tables (generation zero) bypass the cache and
+// plan fresh every time.
 type Planner struct {
 	cache *plan.Cache
+
+	// hits and misses count cache outcomes (uncacheable lookups count as
+	// misses); the serve layer surfaces them in /stats.
+	hits, misses atomic.Int64
 }
 
 // NewPlanner builds a planner with an LRU cache of the given capacity.
@@ -466,17 +494,65 @@ func NewPlanner(entries int) *Planner {
 	return &Planner{cache: plan.NewCache(entries)}
 }
 
-func (pn *Planner) lookup(st *store.Store, q *Query) (*cachedPlan, error) {
-	key := fmt.Sprintf("%p|%p|%s", st, q.Tables, q.Text())
-	if v, ok := pn.cache.Get(key); ok {
-		return v.(*cachedPlan), nil
+// CacheStats reports the planner's cumulative cache hits and misses.
+func (pn *Planner) CacheStats() (hits, misses int64) {
+	return pn.hits.Load(), pn.misses.Load()
+}
+
+// cacheKey builds the plan-cache key, or reports the lookup uncacheable
+// when the store or tables carry no generation.
+func cacheKey(st *store.Store, q *Query) (string, bool) {
+	sg := st.Generation()
+	if sg == 0 {
+		return "", false
 	}
+	var tg uint64
+	if q.Tables != nil {
+		if tg = q.Tables.Generation(); tg == 0 {
+			return "", false
+		}
+	}
+	return fmt.Sprintf("g%d|t%d|%s", sg, tg, q.Text()), true
+}
+
+// recheckJoinCoverage re-verifies side-table coverage for a cached plan
+// against the store actually being scanned. Cheap — zone merging over
+// the segment summaries, no data column is touched — and only runs for
+// queries that join.
+func recheckJoinCoverage(pr *prepared, st *store.Store, q *Query) error {
+	if len(pr.joinCols) == 0 {
+		return nil
+	}
+	zr := storeRanges(st)
+	for _, col := range pr.joinCols {
+		if err := q.Tables.coverage(col, &zr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (pn *Planner) lookup(st *store.Store, q *Query) (*cachedPlan, error) {
+	key, cacheable := cacheKey(st, q)
+	if cacheable {
+		if v, ok := pn.cache.Get(key); ok {
+			cp := v.(*cachedPlan)
+			if err := recheckJoinCoverage(cp.pr, st, q); err != nil {
+				return nil, err
+			}
+			pn.hits.Add(1)
+			return cp, nil
+		}
+	}
+	pn.misses.Add(1)
 	pr, err := prepareStore(st, q)
 	if err != nil {
 		return nil, err
 	}
 	cp := &cachedPlan{pr: pr, pl: explainBind(st, q, pr)}
-	pn.cache.Put(key, cp)
+	if cacheable {
+		pn.cache.Put(key, cp)
+	}
 	return cp, nil
 }
 
@@ -496,11 +572,13 @@ func (pn *Planner) Run(st *store.Store, q Query) (*Result, error) {
 // Explain returns the cached plan when present (marked Cached) and plans
 // cold otherwise.
 func (pn *Planner) Explain(st *store.Store, q Query) (*plan.Plan, error) {
-	key := fmt.Sprintf("%p|%p|%s", st, q.Tables, q.Text())
-	if v, ok := pn.cache.Get(key); ok {
-		pl := *v.(*cachedPlan).pl
-		pl.Cached = true
-		return &pl, nil
+	if key, ok := cacheKey(st, &q); ok {
+		if v, ok := pn.cache.Get(key); ok {
+			pn.hits.Add(1)
+			pl := *v.(*cachedPlan).pl
+			pl.Cached = true
+			return &pl, nil
+		}
 	}
 	cp, err := pn.lookup(st, &q)
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"crowdscope/internal/model"
 )
@@ -34,6 +35,25 @@ type SideTables struct {
 	// across plans — repeated planning never rescans the side tables.
 	mu   sync.RWMutex
 	memo map[string]Predicate
+
+	// gen is the tables' process-monotonic identity, drawn at NewTables
+	// and never reused; the plan cache keys on it instead of the tables'
+	// address (which the allocator may recycle after a GC).
+	gen uint64
+}
+
+// tablesGen is the process-wide SideTables generation counter; 0 is
+// reserved for zero-value tables, which the planner refuses to cache.
+var tablesGen atomic.Uint64
+
+// Generation returns the tables' construction generation: non-zero and
+// process-unique for tables built by NewTables, zero for zero-value
+// tables.
+func (t *SideTables) Generation() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.gen
 }
 
 // NewTables builds the join side tables from the inventory's worker and
@@ -41,7 +61,7 @@ type SideTables struct {
 // dense IDs works). Rows referencing IDs beyond the tables are rejected
 // at plan time, never probed blind.
 func NewTables(workers []model.Worker, batches []model.Batch) *SideTables {
-	t := &SideTables{}
+	t := &SideTables{gen: tablesGen.Add(1)}
 	var maxW uint32
 	for i := range workers {
 		maxW = max(maxW, workers[i].ID)

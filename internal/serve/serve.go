@@ -1,0 +1,487 @@
+// Package serve is the live query service: an HTTP/JSON front end that
+// owns a crash-safe LiveStore and answers the full -q query language
+// over it while ingest keeps running. The design target is the paper's
+// operational claim — analytical queries over the live instance log,
+// not over last night's export — so the data path is built so readers
+// never block writers:
+//
+//   - every /query runs against an MVCC view (LiveStore.View): an
+//     immutable *Store snapshot whose refresh cost is proportional to
+//     the rows appended since the previous view, not to store size;
+//   - plans are cached by (store generation, tables generation, query
+//     text), and a view's generation only changes when the sealed
+//     prefix changes, so hot dashboard queries keep hitting the plan
+//     cache across ingest;
+//   - /ingest acknowledges only after the WAL has accepted the record
+//     (LiveStore.Append), so an acked batch survives a crash;
+//   - background maintenance — merging small sealed segments and
+//     time-based checkpoints — runs on tickers off the request path.
+//
+// Endpoints (all JSON): POST/GET /query, POST /ingest, GET /stats,
+// GET /healthz.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crowdscope/internal/model"
+	"crowdscope/internal/query"
+	"crowdscope/internal/query/lang"
+	"crowdscope/internal/store"
+)
+
+// maxIngestBody bounds an /ingest request body; MaxAppendRows rows of
+// JSON fit comfortably.
+const maxIngestBody = 16 << 20
+
+// Config configures a Server. Store is required; everything else has a
+// serviceable zero value.
+type Config struct {
+	// Store is the live store the server owns. The server appends,
+	// checkpoints and compacts it; the caller still owns Close.
+	Store *store.LiveStore
+
+	// Tables backs joined attribute columns (worker.*, batch.*) in
+	// queries; nil rejects such queries with a client error.
+	Tables *query.SideTables
+
+	// PlanCacheEntries sizes the planner's LRU plan cache (default 128).
+	PlanCacheEntries int
+
+	// QueryWorkers bounds each query's scan parallelism
+	// (0 = GOMAXPROCS, 1 = serial); it never changes results.
+	QueryWorkers int
+
+	// CompactEvery runs segment compaction on this period (0 disables).
+	// CompactMaxRows is the largest merged segment to build; it defaults
+	// to 1<<18 rows when CompactEvery is set.
+	CompactEvery   time.Duration
+	CompactMaxRows int
+
+	// CheckpointEvery takes a time-based checkpoint on this period
+	// (0 disables). Row-count checkpoints (LiveConfig.CheckpointRows)
+	// still apply independently; this bounds recovery time for a store
+	// that ingests slowly.
+	CheckpointEvery time.Duration
+
+	// Logf receives background-maintenance diagnostics; nil discards.
+	Logf func(format string, args ...interface{})
+}
+
+// Server is the crowdserved HTTP service. Create with New, mount
+// Handler, and Close during shutdown (before closing the store).
+type Server struct {
+	ls     *store.LiveStore
+	tables *query.SideTables
+	pn     *query.Planner
+	cfg    Config
+	mux    *http.ServeMux
+
+	// ingestMu serializes batch-ID assignment with the append it covers,
+	// so concurrent auto-batch ingests get distinct IDs in append order.
+	ingestMu sync.Mutex
+
+	inflight sync.WaitGroup // requests admitted and not yet finished
+	closing  atomic.Bool    // set once; new requests get 503
+	bg       sync.WaitGroup // background maintenance goroutine
+	stop     chan struct{}
+
+	started     time.Time
+	queries     atomic.Int64
+	queryErrs   atomic.Int64
+	ingests     atomic.Int64
+	ingestRows  atomic.Int64
+	compactions atomic.Int64 // segments merged away by the background loop
+	ckptErr     atomic.Value // last background checkpoint error string
+}
+
+// New builds a Server over cfg.Store and starts its background
+// maintenance loop (when configured).
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("serve: Config.Store is required")
+	}
+	if cfg.PlanCacheEntries <= 0 {
+		cfg.PlanCacheEntries = 128
+	}
+	if cfg.CompactEvery > 0 && cfg.CompactMaxRows <= 0 {
+		cfg.CompactMaxRows = 1 << 18
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...interface{}) {}
+	}
+	s := &Server{
+		ls:      cfg.Store,
+		tables:  cfg.Tables,
+		pn:      query.NewPlanner(cfg.PlanCacheEntries),
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		stop:    make(chan struct{}),
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/ingest", s.handleIngest)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	if cfg.CompactEvery > 0 || cfg.CheckpointEvery > 0 {
+		s.bg.Add(1)
+		go s.maintain()
+	}
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler. Every request is admitted
+// through the drain gate: after Close begins, new requests are refused
+// with 503 while admitted ones run to completion.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.closing.Load() {
+			writeErr(w, http.StatusServiceUnavailable, errors.New("server is shutting down"))
+			return
+		}
+		s.inflight.Add(1)
+		defer s.inflight.Done()
+		// Re-check after joining the drain group: Close waits on the
+		// group only after the flag is visible, so a request that saw
+		// the flag clear either completes before the final checkpoint
+		// or bails here.
+		if s.closing.Load() {
+			writeErr(w, http.StatusServiceUnavailable, errors.New("server is shutting down"))
+			return
+		}
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Close drains the server: refuse new requests, stop background
+// maintenance, wait for in-flight requests, then take a final
+// checkpoint so a clean shutdown recovers without WAL replay. The
+// caller closes the store itself afterwards.
+func (s *Server) Close() error {
+	if s.closing.Swap(true) {
+		return nil
+	}
+	close(s.stop)
+	s.bg.Wait()
+	s.inflight.Wait()
+	if err := s.ls.Checkpoint(); err != nil {
+		return fmt.Errorf("serve: final checkpoint: %w", err)
+	}
+	return nil
+}
+
+// maintain is the background maintenance loop: segment compaction and
+// time-based checkpoints on their own tickers, off the request path.
+func (s *Server) maintain() {
+	defer s.bg.Done()
+	var compact, ckpt <-chan time.Time
+	if s.cfg.CompactEvery > 0 {
+		t := time.NewTicker(s.cfg.CompactEvery)
+		defer t.Stop()
+		compact = t.C
+	}
+	if s.cfg.CheckpointEvery > 0 {
+		t := time.NewTicker(s.cfg.CheckpointEvery)
+		defer t.Stop()
+		ckpt = t.C
+	}
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-compact:
+			if n := s.ls.Compact(s.cfg.CompactMaxRows); n > 0 {
+				s.compactions.Add(int64(n))
+				s.cfg.Logf("serve: compacted away %d segments", n)
+			}
+		case <-ckpt:
+			if err := s.ls.Checkpoint(); err != nil {
+				s.ckptErr.Store(err.Error())
+				s.cfg.Logf("serve: background checkpoint: %v", err)
+			} else {
+				s.ckptErr.Store("")
+			}
+		}
+	}
+}
+
+// errorReply is the JSON error envelope every endpoint uses.
+type errorReply struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorReply{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// queryRequest is the /query request body (POST); GET passes the same
+// fields as URL parameters q and explain.
+type queryRequest struct {
+	Q       string `json:"q"`
+	Explain bool   `json:"explain"`
+}
+
+// groupReply is one result group on the wire. Aggregate fields beyond
+// count are present only when the query computed them.
+type groupReply struct {
+	Key      int64    `json:"key"`
+	Key2     *int64   `json:"key2,omitempty"`
+	Count    int64    `json:"count"`
+	Sum      *float64 `json:"sum,omitempty"`
+	Mean     *float64 `json:"mean,omitempty"`
+	Min      *float64 `json:"min,omitempty"`
+	Max      *float64 `json:"max,omitempty"`
+	P50      *float64 `json:"p50,omitempty"`
+	Distinct *int     `json:"distinct,omitempty"`
+}
+
+// queryReply is the /query response.
+type queryReply struct {
+	Query      string       `json:"query"` // canonical text
+	Rows       int          `json:"rows"`  // rows in the snapshot queried
+	Generation uint64       `json:"generation"`
+	Groups     []groupReply `json:"groups"`
+	Stats      query.Stats  `json:"stats"`
+	Plan       string       `json:"plan,omitempty"`   // with explain
+	Cached     *bool        `json:"cached,omitempty"` // with explain
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	switch r.Method {
+	case http.MethodGet:
+		req.Q = r.URL.Query().Get("q")
+		req.Explain, _ = strconv.ParseBool(r.URL.Query().Get("explain"))
+	case http.MethodPost:
+		if err := json.NewDecoder(io.LimitReader(r.Body, maxIngestBody)).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+			return
+		}
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use GET or POST"))
+		return
+	}
+	if req.Q == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing query text (q)"))
+		return
+	}
+	lq, err := lang.Parse(req.Q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	q, err := query.Compile(lq)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	q.Workers = s.cfg.QueryWorkers
+	if q.NeedsTables() {
+		if s.tables == nil {
+			writeErr(w, http.StatusBadRequest,
+				errors.New("query joins attribute columns but the server has no side tables (start crowdserved with -tables)"))
+			return
+		}
+		q.Tables = s.tables
+	}
+
+	// One consistent MVCC snapshot for the whole request: the view is
+	// immutable, so concurrent ingest cannot shear the scan.
+	st := s.ls.View()
+	reply := queryReply{Query: q.Text(), Rows: st.Len(), Generation: st.Generation()}
+	if req.Explain {
+		// Explain first: on a cold cache it plans (and caches) once, and
+		// the Run below hits that entry, so an explain request costs one
+		// planning pass, not two.
+		pl, err := s.pn.Explain(st, q)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			s.queryErrs.Add(1)
+			return
+		}
+		reply.Plan = pl.String()
+		cached := pl.Cached
+		reply.Cached = &cached
+	}
+	res, err := s.pn.Run(st, q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		s.queryErrs.Add(1)
+		return
+	}
+	s.queries.Add(1)
+
+	reply.Stats = res.Stats
+	reply.Groups = make([]groupReply, len(res.Groups))
+	twoKeys := len(q.GroupBys) > 1
+	withValue := q.Value != query.ValueNone
+	for i, g := range res.Groups {
+		gr := groupReply{Key: g.Key, Count: g.Count}
+		if twoKeys {
+			k2 := g.Key2
+			gr.Key2 = &k2
+		}
+		if withValue {
+			sum, mean, min, max := g.Sum, g.Mean(), g.Min, g.Max
+			gr.Sum, gr.Mean, gr.Min, gr.Max = &sum, &mean, &min, &max
+		}
+		if q.P50 {
+			p50 := g.P50
+			gr.P50 = &p50
+		}
+		if q.Distinct != query.ColNone {
+			d := g.Distinct
+			gr.Distinct = &d
+		}
+		reply.Groups[i] = gr
+	}
+	writeJSON(w, reply)
+}
+
+// ingestRow is one row on the wire; field names mirror the query
+// language's column names.
+type ingestRow struct {
+	Batch    uint32  `json:"batch"`
+	TaskType uint32  `json:"tasktype"`
+	Item     uint32  `json:"item"`
+	Worker   uint32  `json:"worker"`
+	Start    int64   `json:"start"`
+	End      int64   `json:"end"`
+	Trust    float32 `json:"trust"`
+	Answer   uint32  `json:"answer"`
+}
+
+// ingestRequest is the /ingest request body. With AutoBatch the server
+// assigns the next free batch ID to every row in the request (the
+// request is one batch); otherwise rows carry their own batch IDs and
+// must respect the store's append ordering.
+type ingestRequest struct {
+	Rows      []ingestRow `json:"rows"`
+	AutoBatch bool        `json:"auto_batch"`
+}
+
+// ingestReply acknowledges durable rows: when it arrives with a 200 the
+// batch is in the WAL under the store's sync policy.
+type ingestReply struct {
+	Acked     int     `json:"acked"`
+	Batch     *uint32 `json:"batch,omitempty"` // assigned ID under auto_batch (pointer: ID 0 is valid)
+	Rows      int     `json:"rows"`            // store rows after the append
+	NextBatch uint32  `json:"next_batch"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	var req ingestRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxIngestBody)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if len(req.Rows) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("no rows"))
+		return
+	}
+	rows := make([]model.Instance, len(req.Rows))
+	for i, in := range req.Rows {
+		rows[i] = model.Instance{
+			Batch: in.Batch, TaskType: in.TaskType, Item: in.Item, Worker: in.Worker,
+			Start: in.Start, End: in.End, Trust: in.Trust, Answer: in.Answer,
+		}
+	}
+	var reply ingestReply
+	var err error
+	if req.AutoBatch {
+		// Assign-and-append under one lock so concurrent auto-batch
+		// ingests get distinct IDs in the order they append.
+		s.ingestMu.Lock()
+		b := s.ls.NextBatch()
+		for i := range rows {
+			rows[i].Batch = b
+		}
+		err = s.ls.Append(rows)
+		s.ingestMu.Unlock()
+		reply.Batch = &b
+	} else {
+		s.ingestMu.Lock()
+		err = s.ls.Append(rows)
+		s.ingestMu.Unlock()
+	}
+	if err != nil {
+		if errors.Is(err, store.ErrLiveFailed) {
+			writeErr(w, http.StatusServiceUnavailable, err)
+		} else {
+			writeErr(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	s.ingests.Add(1)
+	s.ingestRows.Add(int64(len(rows)))
+	reply.Acked = len(rows)
+	reply.Rows = s.ls.Rows()
+	reply.NextBatch = s.ls.NextBatch()
+	writeJSON(w, reply)
+}
+
+// statsReply is the /stats response: store shape, MVCC view counters,
+// plan-cache effectiveness, and request totals.
+type statsReply struct {
+	Rows           int             `json:"rows"`
+	SealedSegments int             `json:"sealed_segments"`
+	NextBatch      uint32          `json:"next_batch"`
+	View           store.ViewStats `json:"view"`
+	PlanCache      planCacheReply  `json:"plan_cache"`
+	Queries        int64           `json:"queries"`
+	QueryErrors    int64           `json:"query_errors"`
+	Ingests        int64           `json:"ingests"`
+	IngestRows     int64           `json:"ingest_rows"`
+	Compacted      int64           `json:"compacted_segments"`
+	CheckpointErr  string          `json:"checkpoint_error,omitempty"`
+	UptimeSeconds  float64         `json:"uptime_seconds"`
+}
+
+type planCacheReply struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.pn.CacheStats()
+	reply := statsReply{
+		Rows:           s.ls.Rows(),
+		SealedSegments: s.ls.SealedSegments(),
+		NextBatch:      s.ls.NextBatch(),
+		View:           s.ls.ViewStats(),
+		PlanCache:      planCacheReply{Hits: hits, Misses: misses},
+		Queries:        s.queries.Load(),
+		QueryErrors:    s.queryErrs.Load(),
+		Ingests:        s.ingests.Load(),
+		IngestRows:     s.ingestRows.Load(),
+		Compacted:      s.compactions.Load(),
+		UptimeSeconds:  time.Since(s.started).Seconds(),
+	}
+	if v, ok := s.ckptErr.Load().(string); ok {
+		reply.CheckpointErr = v
+	}
+	writeJSON(w, reply)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}

@@ -19,7 +19,7 @@ func readLegacy(cr *countingReader, version uint32) (*Store, error) {
 	}
 	n, nb := int(n32), int(nb32)
 
-	st := &Store{fill: &fillState{}}
+	st := &Store{fill: &fillState{}, gen: NextGeneration()}
 	var err error
 	if st.batch, err = getUvarints(cr, n); err != nil {
 		return nil, sectionErr("column batch", err)

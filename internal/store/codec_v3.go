@@ -536,7 +536,7 @@ func readV3(cr *countingReader, opts LoadOptions, rep *LoadReport) (*Store, erro
 		return nil, sectionErr("batch ranges", err)
 	}
 
-	st := &Store{ranges: ranges, segs: segs, fill: &fillState{}}
+	st := &Store{ranges: ranges, segs: segs, fill: &fillState{}, gen: NextGeneration()}
 
 	if flags&metaFlagZoneMaps != 0 {
 		payload, err = readSection(cr, secZones, "zone maps", &scratch)

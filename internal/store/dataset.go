@@ -335,6 +335,7 @@ func (sh *Shard) openLocked() error {
 		encs:    make([]SegmentEnc, len(segs)),
 		partial: true,
 		fill:    &fillState{},
+		gen:     NextGeneration(),
 	}
 	for i := range st.encs {
 		st.encs[i].Rows = segs[i].Rows()
@@ -678,6 +679,7 @@ func (s *Store) shardView(gLo, gHi int, encs []SegmentEnc, zones []ZoneMap) *Sto
 		zones: zones[gLo:gHi],
 		encs:  encs[gLo:gHi],
 		fill:  &fillState{},
+		gen:   NextGeneration(),
 	}
 	for i, sg := range segs {
 		v.segs[i] = SegmentInfo{

@@ -59,6 +59,10 @@ type LiveStore struct {
 	ckptRows  int // sealed rows covered by the live checkpoint
 	closed    bool
 	failed    bool
+
+	// view is the MVCC read arena behind View (see liveview.go). It has
+	// its own mutex; ls.mu is only ever taken for the O(small) capture.
+	view viewState
 }
 
 // LiveConfig tunes a LiveStore. The thresholds are part of the recovery
@@ -602,7 +606,12 @@ func (ls *LiveStore) checkpointLocked() error {
 
 // writeFileAtomic writes path via a synced temp file and rename, then
 // syncs the directory: the file is either absent (or its old version) or
-// complete, never partial.
+// complete, never partial. Error paths remove the temp file —
+// open-time recovery would clean it up anyway, but a long-running
+// server that survives a checkpoint failure (the store is poisoned, not
+// restarted) must not leak one temp per retry until the next reopen.
+// The removal is best-effort: on a dying filesystem the Remove may fail
+// too, and the original error is the one worth reporting.
 func (ls *LiveStore) writeFileAtomic(path string, fill func(vfs.File) error) error {
 	tmp := path + ".tmp"
 	w, err := ls.fs.Create(tmp)
@@ -611,16 +620,20 @@ func (ls *LiveStore) writeFileAtomic(path string, fill func(vfs.File) error) err
 	}
 	if err := fill(w); err != nil {
 		w.Close()
+		ls.fs.Remove(tmp)
 		return err
 	}
 	if err := w.Sync(); err != nil {
 		w.Close()
+		ls.fs.Remove(tmp)
 		return err
 	}
 	if err := w.Close(); err != nil {
+		ls.fs.Remove(tmp)
 		return err
 	}
 	if err := ls.fs.Rename(tmp, path); err != nil {
+		ls.fs.Remove(tmp)
 		return err
 	}
 	return ls.fs.SyncDir(ls.dir)
@@ -629,25 +642,36 @@ func (ls *LiveStore) writeFileAtomic(path string, fill func(vfs.File) error) err
 // Store assembles the current contents — sealed segments plus a sealed
 // copy of the open builder — into an immutable Store for querying. The
 // live store remains usable; the returned store does not change as more
-// rows arrive.
+// rows arrive. Unlike View, the result owns its column arrays and
+// carries full segment encodings; unlike the old implementation, all of
+// that O(total rows) work happens off ls.mu — only an O(segments +
+// open batches) capture runs under the mutex, so ingest never stalls
+// behind an assembly. Prefer View on a query-serving path.
 func (ls *LiveStore) Store() (*Store, error) {
-	ls.mu.Lock()
-	defer ls.mu.Unlock()
-	segs := ls.sealed
+	c := ls.captureView()
+	segs := c.sealed
 	numBatches := 0
 	if n := len(segs); n > 0 {
 		numBatches = int(segs[n-1].batchHi)
 	}
-	if ls.open != nil && ls.open.Len() > 0 {
-		copyB := NewLiveBuilder(ls.open.seg.batchLo)
-		g := ls.open.seg
-		prev := uint32(math.MaxUint32)
-		for i := 0; i < g.Len(); i++ {
-			if g.batch[i] != prev {
-				prev = g.batch[i]
+	if c.tail.rows > 0 {
+		copyB := NewLiveBuilder(c.tail.batchLo)
+		var prev uint32
+		for i := 0; i < c.tail.rows; i++ {
+			if i == 0 || c.tail.batch[i] != prev {
+				prev = c.tail.batch[i]
 				copyB.BeginBatch(prev)
 			}
-			copyB.Append(g.Row(i))
+			copyB.Append(model.Instance{
+				Batch:    c.tail.batch[i],
+				TaskType: c.tail.taskType[i],
+				Item:     c.tail.item[i],
+				Worker:   c.tail.worker[i],
+				Start:    c.tail.start[i],
+				End:      c.tail.end[i],
+				Trust:    c.tail.trust[i],
+				Answer:   c.tail.answer[i],
+			})
 		}
 		segs = append(append([]*Segment(nil), segs...), copyB.Seal())
 		numBatches = int(segs[len(segs)-1].batchHi)

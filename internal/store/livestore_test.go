@@ -449,3 +449,71 @@ func BenchmarkRecover(b *testing.B) {
 		ls.Close()
 	}
 }
+
+// collectTmpFiles returns every *.tmp path under dir, recursively.
+func collectTmpFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var tmps []string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".tmp" {
+			tmps = append(tmps, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tmps
+}
+
+// TestCheckpointSyncFailureLeavesNoTemp injects a non-crashing fsync
+// failure into each of the checkpoint's two atomic file writes (the
+// snapshot and the CHECKPOINT meta) and asserts the failed checkpoint
+// removes its temp file. A leaked temp is harmless across a restart —
+// open-time cleanup removes it — but a long-running server survives a
+// failed checkpoint in the poisoned state without reopening, and must
+// not shed one orphan per failure.
+func TestCheckpointSyncFailureLeavesNoTemp(t *testing.T) {
+	cfg := LiveConfig{SealRows: 40, CheckpointRows: -1, Sync: wal.SyncNone, SegmentBytes: 4096}
+	recs := genStream(55, 60)
+	for k := 1; k <= 2; k++ {
+		dir := t.TempDir()
+		ffs := faultfs.New(vfs.OS{})
+		cfgF := cfg
+		cfgF.FS = ffs
+		ls, err := OpenLive(dir, cfgF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range recs {
+			if err := ls.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_, _, syncs := ffs.Stats()
+		ffs.FailSyncSoftAt(syncs + k)
+		if err := ls.Checkpoint(); err == nil {
+			t.Fatalf("sync failure %d: checkpoint succeeded", k)
+		}
+		if tmps := collectTmpFiles(t, dir); len(tmps) != 0 {
+			t.Fatalf("sync failure %d: temp files leaked: %v", k, tmps)
+		}
+		if err := ls.Append(recs[0]); !errors.Is(err, ErrLiveFailed) {
+			t.Fatalf("sync failure %d: store not poisoned after failed checkpoint: %v", k, err)
+		}
+		ls.Close()
+
+		// The durable prefix recovers in full on a healthy filesystem.
+		ls2, err := OpenLive(dir, cfg)
+		if err != nil {
+			t.Fatalf("sync failure %d: reopen: %v", k, err)
+		}
+		if got, want := ls2.Rows(), len(streamRows(recs)); got != want {
+			t.Fatalf("sync failure %d: recovered %d rows, want %d", k, got, want)
+		}
+		ls2.Close()
+	}
+}

@@ -1,0 +1,389 @@
+package store
+
+import (
+	"sync"
+	"testing"
+
+	"crowdscope/internal/model"
+	"crowdscope/internal/wal"
+)
+
+// rowsOf materializes every row of a store for equality checks.
+func rowsOf(t testing.TB, st *Store) []model.Instance {
+	t.Helper()
+	out := make([]model.Instance, st.Len())
+	for i := range out {
+		out[i] = st.Row(i)
+	}
+	return out
+}
+
+func sameRows(a, b []model.Instance) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestLiveViewMatchesStore interleaves appends, seals and checkpoints
+// with View calls and checks every view against the reference Store
+// assembly: same rows, same order, structurally valid, and frozen — a
+// view taken earlier never changes as more rows arrive.
+func TestLiveViewMatchesStore(t *testing.T) {
+	ls, err := OpenLive(t.TempDir(), liveTestCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ls.Close()
+
+	if v := ls.View(); v.Len() != 0 {
+		t.Fatalf("empty store view has %d rows", v.Len())
+	}
+
+	recs := genStream(7, 120)
+	type taken struct {
+		view *Store
+		rows []model.Instance
+	}
+	var snaps []taken
+	for i, rec := range recs {
+		if err := ls.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		if i%7 == 0 {
+			v := ls.View()
+			if err := v.Validate(); err != nil {
+				t.Fatalf("after record %d: view invalid: %v", i, err)
+			}
+			ref, err := ls.Store()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := rowsOf(t, ref)
+			got := rowsOf(t, v)
+			if !sameRows(got, want) {
+				t.Fatalf("after record %d: view rows diverge from Store() (%d vs %d rows)", i, len(got), len(want))
+			}
+			snaps = append(snaps, taken{view: v, rows: want})
+		}
+	}
+	// Every earlier view must still read exactly what it read when taken.
+	for k, s := range snaps {
+		if got := rowsOf(t, s.view); !sameRows(got, s.rows) {
+			t.Fatalf("snapshot %d changed after later appends", k)
+		}
+		if err := s.view.Validate(); err != nil {
+			t.Fatalf("snapshot %d invalid after later appends: %v", k, err)
+		}
+	}
+}
+
+// TestLiveViewIncrementalCost pins the bug the MVCC arena fixes: taking
+// a view must cost O(rows appended since the last view), not O(total
+// rows) — the old Store()-per-query path copied the whole open builder
+// and re-assembled every sealed segment under ls.mu on every call.
+// CopiedRows counts the arena's actual copy work, so the assertion is
+// deterministic where a latency measurement would flake.
+func TestLiveViewIncrementalCost(t *testing.T) {
+	cfg := LiveConfig{SealRows: 200, CheckpointRows: -1, Sync: wal.SyncNone}
+	ls, err := OpenLive(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ls.Close()
+
+	// Build a large sealed prefix.
+	row := func(batch uint32, i int) model.Instance {
+		return model.Instance{Batch: batch, TaskType: uint32(i % 5), Item: uint32(i), Worker: uint32(i % 50),
+			Start: 1_700_000_000 + int64(i), End: 1_700_000_000 + int64(i) + 60, Trust: 0.5, Answer: uint32(i % 3)}
+	}
+	batch := uint32(0)
+	appendBatch := func(n int) {
+		rows := make([]model.Instance, n)
+		for i := range rows {
+			rows[i] = row(batch, i)
+		}
+		if err := ls.Append(rows); err != nil {
+			t.Fatal(err)
+		}
+		batch++
+	}
+	for b := 0; b < 40; b++ {
+		appendBatch(250) // > SealRows, so every batch seals the previous one
+	}
+	total := ls.Rows()
+	v0 := ls.View()
+	base := ls.ViewStats()
+	if base.CopiedRows != int64(total) {
+		t.Fatalf("first view copied %d rows, store holds %d", base.CopiedRows, total)
+	}
+
+	// Steady state: each small append + view must copy exactly the delta
+	// and keep the plan-cache generation while no seal intervenes. The
+	// appends extend the open batch (a higher batch ID would seal it).
+	for k := 0; k < 20; k++ {
+		rows := []model.Instance{row(batch-1, k)}
+		if err := ls.Append(rows); err != nil {
+			t.Fatal(err)
+		}
+		v := ls.View()
+		st := ls.ViewStats()
+		wantCopied := base.CopiedRows + int64(k) + 1
+		if st.CopiedRows != wantCopied {
+			t.Fatalf("view %d: copied %d rows total, want %d — view cost is not O(delta)", k, st.CopiedRows, wantCopied)
+		}
+		if st.Rebuilds != base.Rebuilds {
+			t.Fatalf("view %d: arena rebuilt (%d -> %d) during tail-only growth", k, base.Rebuilds, st.Rebuilds)
+		}
+		if v.Generation() != v0.Generation() {
+			t.Fatalf("view %d: generation changed %d -> %d during tail-only growth", k, v0.Generation(), v.Generation())
+		}
+	}
+
+	// Repeated views with no new data are free and identical.
+	va, vb := ls.View(), ls.View()
+	if va != vb {
+		t.Fatal("unchanged store returned distinct view objects")
+	}
+
+	// A seal promotes the mirrored tail: only the unmirrored suffix
+	// copies, and the generation advances.
+	st1 := ls.ViewStats()
+	appendBatch(250) // fills the open builder past SealRows
+	appendBatch(1)   // next batch triggers the seal
+	v2 := ls.View()
+	st2 := ls.ViewStats()
+	if v2.Generation() == v0.Generation() {
+		t.Fatal("generation did not advance across a seal")
+	}
+	copied := st2.CopiedRows - st1.CopiedRows
+	if copied != 251 {
+		t.Fatalf("seal promotion copied %d rows, want 251 (the suffix + new tail only)", copied)
+	}
+	if st2.Rebuilds != st1.Rebuilds {
+		t.Fatalf("seal forced a full rebuild (%d -> %d)", st1.Rebuilds, st2.Rebuilds)
+	}
+}
+
+// TestLiveViewConcurrent hammers View from readers while a writer
+// appends, under -race: every view must be a frozen, valid prefix of
+// the append stream.
+func TestLiveViewConcurrent(t *testing.T) {
+	ls, err := OpenLive(t.TempDir(), liveTestCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ls.Close()
+	recs := genStream(11, 300)
+	all := streamRows(recs)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, rec := range recs {
+			if err := ls.Append(rec); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				v := ls.View()
+				n := v.Len()
+				if n > len(all) {
+					t.Errorf("view has %d rows, stream only %d", n, len(all))
+					return
+				}
+				// Spot-check the snapshot against the stream prefix; record
+				// atomicity means every visible prefix is a record boundary,
+				// and row order is append order.
+				for _, i := range []int{0, n / 2, n - 1} {
+					if i < 0 || i >= n {
+						continue
+					}
+					if got := v.Row(i); got != all[i] {
+						t.Errorf("view row %d = %+v, want %+v", i, got, all[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	<-done
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	v := ls.View()
+	if got := rowsOf(t, v); !sameRows(got, all) {
+		t.Fatalf("final view has %d rows, want %d", len(got), len(all))
+	}
+}
+
+// TestCompactMergesSegments checks row equivalence, zone/encoding
+// recomputation, view rebuild + fresh generation, and checkpoint
+// round-tripping of the merged layout.
+func TestCompactMergesSegments(t *testing.T) {
+	dir := t.TempDir()
+	cfg := LiveConfig{SealRows: 50, CheckpointRows: -1, Sync: wal.SyncNone}
+	ls, err := OpenLive(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := genStream(23, 200)
+	for _, rec := range recs {
+		if err := ls.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := ls.Store()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := rowsOf(t, before)
+	segsBefore := ls.SealedSegments()
+	if segsBefore < 4 {
+		t.Fatalf("test needs several sealed segments, got %d", segsBefore)
+	}
+	vPre := ls.View()
+
+	merged := ls.Compact(100000)
+	if merged == 0 {
+		t.Fatal("Compact merged nothing")
+	}
+	if got := ls.SealedSegments(); got != segsBefore-merged {
+		t.Fatalf("%d segments after compacting %d away from %d", got, merged, segsBefore)
+	}
+
+	after, err := ls.Store()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := after.Validate(); err != nil {
+		t.Fatalf("compacted store invalid: %v", err)
+	}
+	if got := rowsOf(t, after); !sameRows(got, wantRows) {
+		t.Fatal("compaction changed row content or order")
+	}
+
+	// Views: the pre-compaction view is untouched; the next view rebuilds
+	// onto the merged layout with a fresh generation.
+	if got := rowsOf(t, vPre); !sameRows(got, wantRows) {
+		t.Fatal("outstanding view changed under compaction")
+	}
+	rebuildsBefore := ls.ViewStats().Rebuilds
+	vPost := ls.View()
+	if err := vPost.Validate(); err != nil {
+		t.Fatalf("post-compaction view invalid: %v", err)
+	}
+	if got := rowsOf(t, vPost); !sameRows(got, wantRows) {
+		t.Fatal("post-compaction view rows diverge")
+	}
+	if vPost.Generation() == vPre.Generation() {
+		t.Fatal("compaction did not advance the view generation")
+	}
+	if ls.ViewStats().Rebuilds != rebuildsBefore+1 {
+		t.Fatal("compaction did not rebuild the view arena")
+	}
+	if vPost.NumSegments() >= vPre.NumSegments() {
+		t.Fatalf("post-compaction view has %d segments, pre had %d", vPost.NumSegments(), vPre.NumSegments())
+	}
+
+	// The merged layout checkpoints and recovers cleanly.
+	if err := ls.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ls2, err := OpenLive(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ls2.Close()
+	rec, err := ls2.Store()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rowsOf(t, rec); !sameRows(got, wantRows) {
+		t.Fatal("recovered store after compaction+checkpoint diverges")
+	}
+}
+
+// TestCompactIdempotentAndBounded: a second Compact with the same bound
+// finds nothing; an unmergeable bound is a no-op.
+func TestCompactIdempotentAndBounded(t *testing.T) {
+	ls, err := OpenLive(t.TempDir(), LiveConfig{SealRows: 50, CheckpointRows: -1, Sync: wal.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ls.Close()
+	for _, rec := range genStream(31, 150) {
+		if err := ls.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := ls.Compact(1); n != 0 {
+		t.Fatalf("Compact(1) merged %d segments", n)
+	}
+	if n := ls.Compact(0); n != 0 {
+		t.Fatalf("Compact(0) merged %d segments", n)
+	}
+	first := ls.Compact(100000)
+	if first == 0 {
+		t.Fatal("first Compact merged nothing")
+	}
+	if again := ls.Compact(100000); again != 0 {
+		t.Fatalf("second Compact merged %d more segments", again)
+	}
+}
+
+func BenchmarkLiveView(b *testing.B) {
+	ls, err := OpenLive(b.TempDir(), LiveConfig{SealRows: 1 << 14, CheckpointRows: -1, Sync: wal.SyncNone})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ls.Close()
+	rows := make([]model.Instance, 64)
+	batch := uint32(0)
+	fill := func() {
+		for i := range rows {
+			rows[i] = model.Instance{Batch: batch, TaskType: uint32(i % 5), Item: uint32(i), Worker: uint32(i % 50),
+				Start: 1_700_000_000 + int64(i), End: 1_700_000_000 + int64(i) + 60, Trust: 0.5, Answer: uint32(i % 3)}
+		}
+		batch++
+	}
+	for k := 0; k < 1000; k++ {
+		fill()
+		if err := ls.Append(rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Alternate append and view: the refresh path with a small delta,
+		// the shape a serving daemon sees.
+		fill()
+		if err := ls.Append(rows); err != nil {
+			b.Fatal(err)
+		}
+		if v := ls.View(); v.Len() == 0 {
+			b.Fatal("empty view")
+		}
+	}
+}

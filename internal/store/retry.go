@@ -4,8 +4,7 @@ import (
 	"errors"
 	"io"
 	"io/fs"
-	"math/rand"
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -56,22 +55,38 @@ func WithRetry(ra io.ReaderAt, p RetryPolicy) io.ReaderAt {
 	if p.Attempts <= 1 {
 		return ra
 	}
-	return &retryReaderAt{ra: ra, p: p, rng: rand.New(rand.NewSource(time.Now().UnixNano()))}
+	r := &retryReaderAt{ra: ra, p: p}
+	r.seed.Store(uint64(time.Now().UnixNano()))
+	return r
 }
 
 type retryReaderAt struct {
 	ra io.ReaderAt
 	p  RetryPolicy
 
-	mu  sync.Mutex
-	rng *rand.Rand
+	// seed drives the jitter PRNG lock-free: io.ReaderAt permits fully
+	// parallel ReadAt calls (RunDataset fans shards out), and retries
+	// must not serialize on a shared rand.Rand while the rest of the
+	// read path runs unsynchronized.
+	seed atomic.Uint64
+}
+
+// splitmix64 is the SplitMix64 output function: one atomic counter step
+// plus a few multiplies yields an independent, well-mixed value per
+// call with no shared mutable state beyond the counter.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
 }
 
 // jitter returns d shrunk by a random factor in [1/2, 1].
 func (r *retryReaderAt) jitter(d time.Duration) time.Duration {
-	r.mu.Lock()
-	f := r.rng.Int63n(int64(d)/2 + 1)
-	r.mu.Unlock()
+	f := int64(splitmix64(r.seed.Add(1))) % (int64(d)/2 + 1)
+	if f < 0 {
+		f = -f
+	}
 	return d - time.Duration(f)
 }
 

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"io"
 	"os"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -130,4 +132,94 @@ func TestDatasetReadsRideOutTransients(t *testing.T) {
 	if _, _, err := d2.LoadStore(LoadOptions{Mode: LoadStrict}); !errors.Is(err, faultfs.ErrTransient) {
 		t.Fatalf("unretried load: %v, want the transient error", err)
 	}
+}
+
+// alwaysFailRA fails every read; safe for concurrent use.
+type alwaysFailRA struct {
+	err   error
+	calls atomic.Int64
+}
+
+func (f *alwaysFailRA) ReadAt([]byte, int64) (int, error) {
+	f.calls.Add(1)
+	return 0, f.err
+}
+
+// TestRetryReaderAtConcurrent hits one retrying reader from many
+// goroutines under -race. io.ReaderAt permits fully parallel ReadAt
+// calls and RunDataset fans shards out, so the jittered-backoff path —
+// which used to funnel through a shared rand.Rand — must be
+// concurrency-safe, and every jittered delay must still land in
+// [base/2, base].
+func TestRetryReaderAtConcurrent(t *testing.T) {
+	const (
+		goroutines = 16
+		reads      = 50
+		attempts   = 4
+	)
+	f := &alwaysFailRA{err: errors.New("flaky")}
+	var mu sync.Mutex
+	var slept []time.Duration
+	ra := WithRetry(f, RetryPolicy{
+		Attempts: attempts,
+		Backoff:  8 * time.Microsecond,
+		Sleep: func(d time.Duration) {
+			mu.Lock()
+			slept = append(slept, d)
+			mu.Unlock()
+		},
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 8)
+			for i := 0; i < reads; i++ {
+				if _, err := ra.ReadAt(buf, int64(i)); err == nil {
+					t.Error("read unexpectedly succeeded")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := f.calls.Load(), int64(goroutines*reads*attempts); got != want {
+		t.Fatalf("%d underlying reads, want %d", got, want)
+	}
+	if got, want := len(slept), goroutines*reads*(attempts-1); got != want {
+		t.Fatalf("%d sleeps, want %d", got, want)
+	}
+	// Backoff doubles per retry, so every delay must lie within the
+	// jitter window of one of the three bases.
+	for _, d := range slept {
+		ok := false
+		for base := 8 * time.Microsecond; base <= 32*time.Microsecond; base *= 2 {
+			if d >= base/2 && d <= base {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("sleep %v outside every jittered backoff window", d)
+		}
+	}
+
+	// The success path stays correct under the same concurrency.
+	data := []byte("parallel shard bytes")
+	okRA := WithRetry(bytes.NewReader(data), RetryPolicy{Attempts: 3, Backoff: time.Microsecond})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, len(data))
+			for i := 0; i < reads; i++ {
+				if _, err := okRA.ReadAt(buf, 0); err != nil || !bytes.Equal(buf, data) {
+					t.Errorf("concurrent read: %q, %v", buf, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -11,6 +11,7 @@ import (
 	"math/bits"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"crowdscope/internal/model"
 	"crowdscope/internal/par"
@@ -68,6 +69,17 @@ type Store struct {
 	// programming error the fill path turns into a panic.
 	partial    bool
 	loadedCols colMask // guarded by fill.mu
+
+	// gen is the store's generation: a process-monotonic identity drawn
+	// from a global counter at construction, never reused within a
+	// process. The query planner keys its plan cache on it — unlike the
+	// store's address, a generation can never alias a freed store whose
+	// memory was recycled. Live-store views share one generation per
+	// sealed-segment set (see LiveStore.View), which is what lets hot
+	// plans survive open-tail refreshes. Zero means "unversioned" (a
+	// zero-value store that never passed through a constructor); the
+	// planner refuses to cache those.
+	gen uint64
 
 	// fill guards the store's lazy fills: raw-column materialization,
 	// zone maps, segment encodings. It sits behind a pointer because the
@@ -364,9 +376,25 @@ func (s *Store) Residency() Residency {
 	return r
 }
 
+// storeGen is the process-wide generation counter; 0 is reserved for
+// unversioned zero-value stores.
+var storeGen atomic.Uint64
+
+// NextGeneration draws a fresh, never-reused store generation. It is
+// exported for callers that version store-shaped snapshots of their own
+// (LiveStore draws one per sealed-segment set).
+func NextGeneration() uint64 { return storeGen.Add(1) }
+
+// Generation returns the store's construction generation: non-zero and
+// process-unique for stores built by a constructor (New, Assemble, a
+// snapshot load), zero for zero-value stores. Two different generations
+// mean two different stores; live-store views deliberately share one
+// generation while only their open tail differs.
+func (s *Store) Generation() uint64 { return s.gen }
+
 // New returns an empty store sized for the given number of batches.
 func New(numBatches int) *Store {
-	return &Store{ranges: make([]rowRange, numBatches), fill: &fillState{}}
+	return &Store{ranges: make([]rowRange, numBatches), fill: &fillState{}, gen: NextGeneration()}
 }
 
 // Len returns the number of instance rows.
