@@ -8,8 +8,10 @@ package crowdscope_test
 
 import (
 	"bytes"
+	"context"
 	"sync"
 	"testing"
+	"time"
 
 	"crowdscope/internal/cluster"
 	"crowdscope/internal/core"
@@ -514,6 +516,61 @@ func BenchmarkAblationStoreLayout(b *testing.B) {
 				total += st.Row(r).Start
 			}
 			_ = total
+		}
+	})
+}
+
+// BenchmarkQueryWithContext measures what overload governance costs on
+// the hot path: the identical scan ungoverned (Run) and governed
+// (RunContext with a deadline, a row budget and a group cap all armed
+// but never hit). The cooperative checks sit between 64Ki-row chunks,
+// so the measured overhead is a context poll plus one atomic add per
+// chunk — low single digits of a percent, gated in CI like every other
+// engine benchmark.
+func BenchmarkQueryWithContext(b *testing.B) {
+	ds := synth.Generate(synth.Config{Seed: 1701, Scale: 0.02, Parallelism: 16})
+	st := ds.Store
+	st.ZoneMaps()
+	weekLo, weekHi := model.DayUnix(7*130), model.DayUnix(7*131)
+	q := query.Query{
+		Where:   []query.Predicate{query.StartIn(weekLo, weekHi)},
+		Workers: 1,
+	}
+	res, err := query.Run(st, q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	want := res.Stats.RowsMatched
+
+	b.Run("plain", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := query.Run(st, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Stats.RowsMatched != want {
+				b.Fatalf("matched %d, want %d", res.Stats.RowsMatched, want)
+			}
+		}
+	})
+	b.Run("governed", func(b *testing.B) {
+		gq := q
+		gq.Limits = query.Limits{
+			Timeout:        time.Minute,
+			MaxRowsScanned: 1 << 40,
+			MaxGroups:      1 << 20,
+		}
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := query.RunContext(ctx, st, gq)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Stats.RowsMatched != want {
+				b.Fatalf("governed matched %d, want %d", res.Stats.RowsMatched, want)
+			}
 		}
 	})
 }

@@ -38,13 +38,16 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	"crowdscope/internal/cli"
 	"crowdscope/internal/model"
@@ -56,7 +59,12 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	// Ctrl-C cancels the running query at the next chunk boundary; the
+	// scan unwinds cleanly (no partial results) and the process exits
+	// with the conventional interrupted code.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "crowdquery: %v\n", err)
 		os.Exit(cli.ExitCode(err))
 	}
@@ -72,8 +80,9 @@ func (m *multiFlag) Set(s string) error {
 }
 
 // run is the testable entry point: it parses args, writes everything to
-// the given writers, and returns instead of exiting.
-func run(args []string, stdout, stderr io.Writer) error {
+// the given writers, and returns instead of exiting. Cancelling ctx
+// aborts the query mid-scan with context.Canceled.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("crowdquery", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	qText := fs.String("q", "", "full text query, e.g. 'where trust >= 0.8 and (worker.class == super or duration < 300) | group week | value trust'")
@@ -190,10 +199,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if ds != nil {
 		defer ds.Close()
 		totalRows = ds.Manifest().TotalRows()
-		res, err = query.RunDatasetOpts(ds, q, query.DatasetOptions{SkipFailedShards: *degraded})
+		res, err = query.RunDatasetContext(ctx, ds, q, query.DatasetOptions{SkipFailedShards: *degraded})
 	} else {
 		totalRows = st.Len()
-		res, err = query.Run(st, q)
+		res, err = query.RunContext(ctx, st, q)
 	}
 	if err != nil {
 		return err

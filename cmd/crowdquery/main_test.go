@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"io"
 	"os"
@@ -100,7 +101,7 @@ func checkGolden(t *testing.T, name, got string) {
 func TestWeekWindowGolden(t *testing.T) {
 	snap := fixture(t)
 	var stdout, stderr bytes.Buffer
-	err := run([]string{"-snapshot", snap,
+	err := run(context.Background(), []string{"-snapshot", snap,
 		"-where", "start in [week:1, week:2)",
 		"-group", "batch", "-value", "duration"}, &stdout, &stderr)
 	if err != nil {
@@ -117,7 +118,7 @@ func TestWeekWindowGolden(t *testing.T) {
 func TestWorkerRollupGolden(t *testing.T) {
 	snap := fixture(t)
 	var stdout, stderr bytes.Buffer
-	err := run([]string{"-snapshot", snap,
+	err := run(context.Background(), []string{"-snapshot", snap,
 		"-where", "trust >= 0.6",
 		"-group", "tasktype", "-value", "trust", "-p50",
 		"-distinct", "worker", "-sort", "count", "-top", "3"}, &stdout, &stderr)
@@ -134,7 +135,7 @@ func TestWorkerRollupGolden(t *testing.T) {
 func TestExplainPlanGolden(t *testing.T) {
 	snap := fixture(t)
 	var stdout, stderr bytes.Buffer
-	err := run([]string{"-snapshot", snap, "-explain",
+	err := run(context.Background(), []string{"-snapshot", snap, "-explain",
 		"-q", "where start in [week:1, week:2) and tasktype <= 2 | group batch | value duration"},
 		&stdout, &stderr)
 	if err != nil {
@@ -159,7 +160,7 @@ func TestExplainPlanGolden(t *testing.T) {
 // marketplace, whose inventory backs the joined columns.
 func TestJoinOrGolden(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	err := run([]string{"-seed", "1701", "-scale", "0.005",
+	err := run(context.Background(), []string{"-seed", "1701", "-scale", "0.005",
 		"-q", "where worker.class == super and (batch.sampled == true or duration >= 600) | group tasktype, worker.country | value trust | sort count | top 5"},
 		&stdout, &stderr)
 	if err != nil {
@@ -175,7 +176,7 @@ func TestJoinOrGolden(t *testing.T) {
 func TestNoMatchGolden(t *testing.T) {
 	snap := fixture(t)
 	var stdout, stderr bytes.Buffer
-	err := run([]string{"-snapshot", snap, "-where", "worker == 999"}, &stdout, &stderr)
+	err := run(context.Background(), []string{"-snapshot", snap, "-where", "worker == 999"}, &stdout, &stderr)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -206,13 +207,13 @@ func TestDegradedDataset(t *testing.T) {
 	}
 
 	var stdout, stderr bytes.Buffer
-	if err := run([]string{"-snapshot", manPath, "-group", "batch"}, &stdout, &stderr); err == nil {
+	if err := run(context.Background(), []string{"-snapshot", manPath, "-group", "batch"}, &stdout, &stderr); err == nil {
 		t.Fatal("strict query over a missing shard succeeded")
 	}
 
 	stdout.Reset()
 	stderr.Reset()
-	err = run([]string{"-snapshot", manPath, "-group", "batch", "-degraded"}, &stdout, &stderr)
+	err = run(context.Background(), []string{"-snapshot", manPath, "-group", "batch", "-degraded"}, &stdout, &stderr)
 	if err != nil {
 		t.Fatalf("degraded run: %v (stderr: %s)", err, stderr.String())
 	}
@@ -228,7 +229,7 @@ func TestDegradedDataset(t *testing.T) {
 	// partial-coverage accounting, plan and results golden-pinned.
 	stdout.Reset()
 	stderr.Reset()
-	err = run([]string{"-snapshot", manPath, "-degraded", "-explain",
+	err = run(context.Background(), []string{"-snapshot", manPath, "-degraded", "-explain",
 		"-q", "where trust >= 0.6 or answer == 0 | group tasktype | value trust"},
 		&stdout, &stderr)
 	if err != nil {
@@ -299,7 +300,7 @@ func TestExitCodeTaxonomy(t *testing.T) {
 	}
 	for _, c := range cases {
 		var stdout, stderr bytes.Buffer
-		err := run(c.args, &stdout, &stderr)
+		err := run(context.Background(), c.args, &stdout, &stderr)
 		if got := cli.ExitCode(err); got != c.want {
 			t.Errorf("%s: exit %d (err %v), want %d", c.name, got, err, c.want)
 		}
@@ -310,7 +311,7 @@ func TestExitCodeTaxonomy(t *testing.T) {
 // pre-refactor flag.ExitOnError behavior.
 func TestHelpExitsClean(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if err := run([]string{"-h"}, &stdout, &stderr); err != nil {
+	if err := run(context.Background(), []string{"-h"}, &stdout, &stderr); err != nil {
 		t.Fatalf("-h returned %v", err)
 	}
 	if !strings.Contains(stderr.String(), "Usage of crowdquery") {
@@ -320,7 +321,7 @@ func TestHelpExitsClean(t *testing.T) {
 
 func TestBadPredicate(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	err := run([]string{"-snapshot", fixturePath, "-where", "bogus == 1"}, &stdout, &stderr)
+	err := run(context.Background(), []string{"-snapshot", fixturePath, "-where", "bogus == 1"}, &stdout, &stderr)
 	if err == nil || !strings.Contains(err.Error(), "unknown column") {
 		t.Fatalf("err = %v, want unknown column", err)
 	}
@@ -337,7 +338,7 @@ func TestBadFlagCombos(t *testing.T) {
 		"p50 no value": {"-snapshot", fixturePath, "-p50"},
 	} {
 		var stdout, stderr bytes.Buffer
-		if err := run(args, &stdout, &stderr); err == nil {
+		if err := run(context.Background(), args, &stdout, &stderr); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
 	}

@@ -71,6 +71,10 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) error {
 	compactMax := fs.Int("compact-max-rows", 1<<18, "largest merged segment compaction builds")
 	workers := fs.Int("workers", 0, "per-query scan goroutine bound (0 = GOMAXPROCS); never changes results")
 	cacheEntries := fs.Int("plan-cache", 128, "plan cache capacity (entries)")
+	queryTimeout := fs.Duration("query-timeout", 30*time.Second, "default per-query wall-clock budget (requests may pick their own with ?timeout_ms=)")
+	queryTimeoutMax := fs.Duration("query-timeout-max", 5*time.Minute, "hard ceiling on any per-query timeout, including ?timeout_ms=")
+	maxInflight := fs.Int("max-inflight", 0, "concurrently executing queries (0 = 2*GOMAXPROCS)")
+	maxQueue := fs.Int("max-queue", 0, "queries queued behind busy slots before shedding with 429 (0 = 4*max-inflight, -1 = no queue)")
 	tables := fs.Bool("tables", false, "build the marketplace inventory from -seed/-scale so queries can join worker.*/batch.* columns")
 	seed := fs.Uint64("seed", 1701, "inventory seed (with -tables)")
 	scale := fs.Float64("scale", 0.02, "inventory scale (with -tables)")
@@ -126,6 +130,10 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) error {
 		CompactEvery:     *compactEvery,
 		CompactMaxRows:   *compactMax,
 		CheckpointEvery:  *ckptEvery,
+		QueryTimeout:     *queryTimeout,
+		QueryTimeoutMax:  *queryTimeoutMax,
+		MaxInflight:      *maxInflight,
+		MaxQueue:         *maxQueue,
 		Logf: func(format string, args ...interface{}) {
 			fmt.Fprintf(stderr, "crowdserved: "+format+"\n", args...)
 		},

@@ -12,12 +12,15 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"crowdscope/internal/cli"
 	"crowdscope/internal/core"
@@ -33,7 +36,11 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	// Ctrl-C cancels the in-flight analysis query at the next chunk
+	// boundary and exits with the conventional interrupted code.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "crowdstats: %v\n", err)
 		os.Exit(cli.ExitCode(err))
 	}
@@ -41,7 +48,7 @@ func main() {
 
 // run is the testable entry point: it parses args, writes everything to
 // the given writers, and returns instead of exiting.
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("crowdstats", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	seed := fs.Uint64("seed", 1701, "generation seed")
@@ -67,7 +74,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if cmd == "snapshot" {
-		return snapshotCmd(fs.Arg(1), *workers, stdout)
+		return snapshotCmd(ctx, fs.Arg(1), *workers, stdout)
 	}
 	if cmd == "verify-snapshot" {
 		return verifySnapshotCmd(fs.Arg(1), *workers, stdout, stderr)
@@ -173,7 +180,7 @@ func loadDataset(cfg synth.Config, path string, workers int) (*synth.Dataset, er
 // snapshotCmd inspects an instance-log snapshot written by crowdgen. The
 // span and workforce numbers come from one query-engine pass (min/max
 // start, distinct workers) instead of hand-rolled column scans.
-func snapshotCmd(path string, workers int, stdout io.Writer) error {
+func snapshotCmd(ctx context.Context, path string, workers int, stdout io.Writer) error {
 	if path == "" {
 		return fmt.Errorf("snapshot requires a file path")
 	}
@@ -194,7 +201,7 @@ func snapshotCmd(path string, workers int, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "Snapshot %s: v%d, %d bytes, empty store\n", path, rep.Version, rep.Bytes)
 		return nil
 	}
-	res, err := query.Run(st, query.Query{Value: query.ValueStart, Distinct: query.ColWorker, Workers: workers})
+	res, err := query.RunContext(ctx, st, query.Query{Value: query.ValueStart, Distinct: query.ColWorker, Workers: workers})
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -62,7 +63,7 @@ func checkGolden(t *testing.T, name, got string) {
 func TestSummaryFromSnapshotGolden(t *testing.T) {
 	snap := chainSnapshot(t)
 	var stdout, stderr bytes.Buffer
-	err := run([]string{"-seed", "1701", "-scale", "0.001", "-snapshot", snap, "summary"}, &stdout, &stderr)
+	err := run(context.Background(), []string{"-seed", "1701", "-scale", "0.001", "-snapshot", snap, "summary"}, &stdout, &stderr)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -74,7 +75,7 @@ func TestSummaryFromSnapshotGolden(t *testing.T) {
 func TestSnapshotInspectGolden(t *testing.T) {
 	snap := chainSnapshot(t)
 	var stdout, stderr bytes.Buffer
-	if err := run([]string{"snapshot", snap}, &stdout, &stderr); err != nil {
+	if err := run(context.Background(), []string{"snapshot", snap}, &stdout, &stderr); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	got := strings.ReplaceAll(stdout.String(), snap, "SNAPSHOT")
@@ -86,7 +87,7 @@ func TestSnapshotInspectGolden(t *testing.T) {
 func TestVerifySnapshotClean(t *testing.T) {
 	snap := chainSnapshot(t)
 	var stdout, stderr bytes.Buffer
-	if err := run([]string{"verify-snapshot", snap}, &stdout, &stderr); err != nil {
+	if err := run(context.Background(), []string{"verify-snapshot", snap}, &stdout, &stderr); err != nil {
 		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
 	}
 	if !strings.Contains(stdout.String(), ": OK (v3") {
@@ -107,7 +108,7 @@ func TestVerifySnapshotDamaged(t *testing.T) {
 		t.Fatal(err)
 	}
 	var stdout, stderr bytes.Buffer
-	if err := run([]string{"verify-snapshot", snap}, &stdout, &stderr); err == nil {
+	if err := run(context.Background(), []string{"verify-snapshot", snap}, &stdout, &stderr); err == nil {
 		t.Fatal("damaged snapshot verified clean")
 	}
 	if !strings.Contains(stderr.String(), "strict load FAILED") || !strings.Contains(stderr.String(), "repair mode") {
@@ -119,7 +120,7 @@ func TestVerifySnapshotDamaged(t *testing.T) {
 func TestProvenanceMismatch(t *testing.T) {
 	snap := chainSnapshot(t)
 	var stdout, stderr bytes.Buffer
-	err := run([]string{"-seed", "1701", "-scale", "0.002", "-snapshot", snap, "summary"}, &stdout, &stderr)
+	err := run(context.Background(), []string{"-seed", "1701", "-scale", "0.002", "-snapshot", snap, "summary"}, &stdout, &stderr)
 	if err == nil || !strings.Contains(err.Error(), "pass the matching -seed/-scale") {
 		t.Fatalf("err = %v, want provenance mismatch", err)
 	}
@@ -127,7 +128,7 @@ func TestProvenanceMismatch(t *testing.T) {
 
 func TestUnknownCommand(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if err := run([]string{"-scale", "0.001", "bogus"}, &stdout, &stderr); err == nil {
+	if err := run(context.Background(), []string{"-scale", "0.001", "bogus"}, &stdout, &stderr); err == nil {
 		t.Fatal("unknown command accepted")
 	}
 }

@@ -5,6 +5,7 @@
 package cli
 
 import (
+	"context"
 	"errors"
 	"io/fs"
 
@@ -17,6 +18,10 @@ const (
 	ExitError   = 1 // usage errors, bad flags, anything unclassified
 	ExitCorrupt = 2 // input exists but is damaged (bad magic, checksum, truncation)
 	ExitMissing = 3 // input file or shard does not exist
+
+	// ExitInterrupted is the shell convention for death-by-SIGINT
+	// (128+2): the run was cancelled, not wrong.
+	ExitInterrupted = 130
 )
 
 // ExitCode maps an error from a CLI's run function onto the shared
@@ -36,6 +41,8 @@ func ExitCode(err error) int {
 		return ExitCorrupt
 	case errors.Is(err, fs.ErrNotExist):
 		return ExitMissing
+	case errors.Is(err, context.Canceled):
+		return ExitInterrupted
 	}
 	return ExitError
 }

@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -23,6 +24,8 @@ func TestExitCodeTaxonomy(t *testing.T) {
 		{"truncated", store.ErrTruncated, ExitCorrupt},
 		{"corrupt", store.ErrCorrupt, ExitCorrupt},
 		{"missing", fs.ErrNotExist, ExitMissing},
+		{"interrupted", context.Canceled, ExitInterrupted},
+		{"wrapped interrupt", fmt.Errorf("query: %w", context.Canceled), ExitInterrupted},
 		// The codes must survive the wrapping every CLI layer adds.
 		{"wrapped corrupt", fmt.Errorf("load dataset x: %w",
 			fmt.Errorf("shard 2: %w", store.ErrChecksum)), ExitCorrupt},

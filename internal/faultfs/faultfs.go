@@ -39,6 +39,8 @@ type FS struct {
 	softSyncAt     int   // 0 disabled; the K-th Sync fails without crashing
 	transientReads int   // next N ReadAt calls fail with ErrTransient
 
+	writeErr error // non-nil: every mutating op fails with this, no crash
+
 	bytes   int64 // file bytes successfully persisted through writes
 	ops     int   // mutating operations attempted
 	syncs   int   // Sync calls attempted
@@ -101,6 +103,20 @@ func (f *FS) FailReads(n int) {
 	f.transientReads = n
 }
 
+// FailWritesWithErr arms (err non-nil) or clears (err nil) a persistent,
+// non-crashing write failure: while armed, every mutating operation —
+// write, sync, create, rename, remove, truncate, directory sync — fails
+// with err before reaching the inner filesystem. Unlike a crash the
+// filesystem is otherwise healthy: reads keep working, and clearing the
+// fault restores writes immediately. Arm it with syscall.ENOSPC to model
+// a full disk that later gets space back — the degraded-mode window the
+// live store must serve reads through.
+func (f *FS) FailWritesWithErr(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeErr = err
+}
+
 // Crashed reports whether an armed crash point has been reached.
 func (f *FS) Crashed() bool {
 	f.mu.Lock()
@@ -124,6 +140,9 @@ func (f *FS) beginOp() error {
 	defer f.mu.Unlock()
 	if f.crashed {
 		return ErrInjected
+	}
+	if f.writeErr != nil {
+		return f.writeErr
 	}
 	f.ops++
 	if f.crashAtOps > 0 && f.ops >= f.crashAtOps {

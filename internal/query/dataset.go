@@ -1,6 +1,8 @@
 package query
 
 import (
+	"context"
+
 	"crowdscope/internal/par"
 	"crowdscope/internal/store"
 )
@@ -106,16 +108,29 @@ type SkippedShard struct {
 // one, group keys are global (batch intervals are preserved through
 // sharding), and the merge folds the same partials in the same order.
 func RunDataset(d *store.Dataset, q Query) (*Result, error) {
-	return RunDatasetOpts(d, q, DatasetOptions{})
+	return RunDatasetContext(context.Background(), d, q, DatasetOptions{})
 }
 
 // RunDatasetOpts is RunDataset with dataset-level options; see
 // DatasetOptions for the degraded mode.
 func RunDatasetOpts(d *store.Dataset, q Query, opts DatasetOptions) (*Result, error) {
+	return RunDatasetContext(context.Background(), d, q, opts)
+}
+
+// RunDatasetContext is RunDatasetOpts with cooperative cancellation and
+// budget enforcement. One governor spans the whole run — the row budget
+// and deadline are global across shards, and cancelling ctx stops every
+// shard within one chunk of work. Interruptions (ctx errors, budget
+// violations) are always fatal, even under SkipFailedShards: degraded
+// mode tolerates damaged shards, not an exhausted budget — skipping
+// cancelled shards would silently shrink the result's coverage.
+func RunDatasetContext(ctx context.Context, d *store.Dataset, q Query, opts DatasetOptions) (*Result, error) {
 	pr, err := prepareDataset(d, &q)
 	if err != nil {
 		return nil, err
 	}
+	gov, stop := newGovernor(ctx, q.Limits)
+	defer stop()
 	man := d.Manifest()
 	res := &Result{}
 
@@ -143,14 +158,19 @@ func RunDatasetOpts(d *store.Dataset, q Query, opts DatasetOptions) (*Result, er
 		err      error
 	}
 	outs := make([]shardOut, len(keep))
-	err = par.EachShardErr(len(keep), q.Workers, func(lo, hi int) error {
+	err = par.EachShardCtx(gov.ctx, len(keep), q.Workers, func(ctx context.Context, lo, hi int) error {
 		for k := lo; k < hi; k++ {
+			if err := ctx.Err(); err != nil {
+				// A sibling failed or the caller gave up: stop before
+				// opening the next shard.
+				return gov.interruption(ctx)
+			}
 			sh, err := d.Shard(keep[k])
 			if err == nil {
 				err = sh.EnsureColumns(need)
 			}
 			if err != nil {
-				if opts.SkipFailedShards {
+				if opts.SkipFailedShards && !IsInterrupt(err) {
 					outs[k].err = err
 					continue
 				}
@@ -158,9 +178,13 @@ func RunDatasetOpts(d *store.Dataset, q Query, opts DatasetOptions) (*Result, er
 			}
 			// Scan serially inside the shard — the fan-out is across
 			// shards — and keep only the pruned count: Segments was
-			// already counted from the manifest.
+			// already counted from the manifest. The shared governor makes
+			// the deadline and row budget span every shard.
 			var qs Stats
-			partials, tasks := scanStore(sh.Store(), &q, pr, 1, &qs)
+			partials, tasks, err := scanStore(ctx, sh.Store(), &q, pr, 1, gov, &qs)
+			if err != nil {
+				return err
+			}
 			outs[k] = shardOut{partials: partials, tasks: tasks, pruned: qs.SegmentsPruned}
 		}
 		return nil
@@ -183,6 +207,8 @@ func RunDatasetOpts(d *store.Dataset, q Query, opts DatasetOptions) (*Result, er
 		partials = append(partials, outs[k].partials...)
 		tasks = append(tasks, outs[k].tasks...)
 	}
-	mergeFinalize(res, &q, tasks, partials)
+	if err := mergeFinalize(res, &q, tasks, partials, gov); err != nil {
+		return nil, err
+	}
 	return res, nil
 }

@@ -518,10 +518,15 @@ type acc struct {
 	distinct   map[uint32]struct{}
 }
 
-// partial is one chunk's aggregation output.
+// partial is one chunk's aggregation output. overflow marks a chunk
+// whose fold hit the group cap: the scan aborts with ErrBudgetExceeded
+// (distinct keys within one chunk are a subset of the final result's
+// keys, so a per-chunk overflow proves the merged result would exceed
+// the cap too — no false positives).
 type partial struct {
-	groups  map[gkey]*acc
-	matched int64
+	groups   map[gkey]*acc
+	matched  int64
+	overflow bool
 }
 
 // chunkCtx carries everything evalChunk needs: the per-segment clause
@@ -537,6 +542,10 @@ type chunkCtx struct {
 	trusts       []float32
 	distCol      []uint32
 	keys         []keySel
+
+	// maxGroups bounds each chunk fold's distinct keys (0 = unlimited);
+	// an overflowing fold stops early and flags partial.overflow.
+	maxGroups int
 }
 
 // evalChunk runs the streaming stages for rows [lo, hi) of one segment:

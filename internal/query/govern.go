@@ -1,0 +1,183 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the resource governor: per-query budgets (wall-clock
+// deadline, scanned-row limit, result-group cap) and the cooperative
+// cancellation checks the scan performs between fixed 64Ki-row chunks.
+// Governance never changes what a query computes — a governed run either
+// returns the exact ungoverned result or an error; there is no partial
+// result path — so the §7 merge determinism contract is untouched.
+
+// Limits bounds one query's resource consumption. The zero value imposes
+// no limits; each field individually treats zero (or negative) as
+// "unlimited". Limits are execution policy, not query semantics: they are
+// deliberately excluded from Query.Text(), so the plan cache shares plans
+// across callers with different budgets.
+type Limits struct {
+	// Timeout bounds wall-clock execution from the moment the scan
+	// starts. It composes with any deadline already on the caller's
+	// context; whichever fires first wins.
+	Timeout time.Duration
+	// MaxRowsScanned caps the rows the filter kernels may touch
+	// (Stats.RowsScanned), checked between chunks — enforcement
+	// granularity is one chunk (ChunkRows).
+	MaxRowsScanned int64
+	// MaxGroups caps the result's group count, checked in the fold loop
+	// (per chunk) and again at merge, so a group explosion fails fast
+	// instead of exhausting memory.
+	MaxGroups int
+}
+
+// ErrBudgetExceeded is the sentinel every budget violation matches with
+// errors.Is — deadline, row limit, or group cap.
+var ErrBudgetExceeded = errors.New("query budget exceeded")
+
+// Budget resources, named in BudgetError.Resource.
+const (
+	BudgetDeadline = "deadline"
+	BudgetRows     = "rows"
+	BudgetGroups   = "groups"
+)
+
+// BudgetError reports which budget a query ran out of and how far the
+// scan had progressed. It unwraps to ErrBudgetExceeded.
+type BudgetError struct {
+	// Resource is BudgetDeadline, BudgetRows or BudgetGroups.
+	Resource string
+	// Limit is the configured bound: nanoseconds for the deadline, a row
+	// count for rows, a group count for groups.
+	Limit int64
+	// RowsScanned counts rows admitted to the scan before the budget
+	// fired. Under parallel execution it is a best-effort snapshot —
+	// sibling workers may still be admitting chunks as it is read.
+	RowsScanned int64
+}
+
+func (e *BudgetError) Error() string {
+	switch e.Resource {
+	case BudgetDeadline:
+		return fmt.Sprintf("query budget exceeded: deadline %v elapsed after %d rows scanned",
+			time.Duration(e.Limit), e.RowsScanned)
+	case BudgetRows:
+		return fmt.Sprintf("query budget exceeded: row limit %d reached after %d rows scanned",
+			e.Limit, e.RowsScanned)
+	case BudgetGroups:
+		return fmt.Sprintf("query budget exceeded: group cap %d overflowed after %d rows scanned",
+			e.Limit, e.RowsScanned)
+	}
+	return fmt.Sprintf("query budget exceeded: %s (limit %d, %d rows scanned)",
+		e.Resource, e.Limit, e.RowsScanned)
+}
+
+// Unwrap makes errors.Is(err, ErrBudgetExceeded) match every budget
+// violation.
+func (e *BudgetError) Unwrap() error { return ErrBudgetExceeded }
+
+// errDeadlineBudget is the context cause the governor attaches to its own
+// timeout, so interruption() can tell "this query's budget fired" apart
+// from a deadline inherited from the caller's context.
+var errDeadlineBudget = errors.New("query deadline budget")
+
+// IsInterrupt reports whether err is an execution interruption — a budget
+// violation or a context cancellation/deadline — as opposed to a data or
+// validation error. Degraded dataset mode must never "skip" these: a
+// cancelled shard is not a damaged shard.
+func IsInterrupt(err error) bool {
+	return errors.Is(err, ErrBudgetExceeded) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// governor carries one query's enforcement state through the scan. It is
+// shared by every worker goroutine (and, for dataset runs, every shard):
+// the row budget is global to the query, not per worker.
+type governor struct {
+	ctx       context.Context
+	rows      atomic.Int64
+	maxRows   int64
+	maxGroups int
+	timeout   time.Duration
+}
+
+// newGovernor binds a context and limits into a governor. The returned
+// stop func releases the deadline timer and must be called when the run
+// finishes (it is a no-op cancel when no timeout was set).
+func newGovernor(ctx context.Context, lim Limits) (*governor, context.CancelFunc) {
+	g := &governor{maxRows: lim.MaxRowsScanned, maxGroups: lim.MaxGroups, timeout: lim.Timeout}
+	stop := context.CancelFunc(func() {})
+	if lim.Timeout > 0 {
+		ctx, stop = context.WithTimeoutCause(ctx, lim.Timeout, errDeadlineBudget)
+	}
+	g.ctx = ctx
+	return g, stop
+}
+
+// admit is the cooperative cancellation point, called between chunks with
+// the chunk's row count: it observes cancellation and the deadline via
+// ctx, then charges the rows against the scan budget. ctx is the shard's
+// inner context (cancelled when any sibling fails), not g.ctx.
+func (g *governor) admit(ctx context.Context, n int64) error {
+	if ctx.Err() != nil {
+		return g.interruption(ctx)
+	}
+	if d := testScanDelay.Load(); d > 0 {
+		if err := g.sleep(ctx, time.Duration(d)); err != nil {
+			return err
+		}
+	}
+	total := g.rows.Add(n)
+	if g.maxRows > 0 && total > g.maxRows {
+		return &BudgetError{Resource: BudgetRows, Limit: g.maxRows, RowsScanned: total - n}
+	}
+	return nil
+}
+
+// groupsExceeded builds the fold-loop group-cap violation.
+func (g *governor) groupsExceeded() error {
+	return &BudgetError{Resource: BudgetGroups, Limit: int64(g.maxGroups), RowsScanned: g.rows.Load()}
+}
+
+// interruption translates a fired context into the caller-facing error:
+// the governor's own deadline becomes a typed BudgetError; anything else
+// (caller cancellation, an inherited deadline) propagates as the context
+// error so callers can errors.Is against context.Canceled.
+func (g *governor) interruption(ctx context.Context) error {
+	err := ctx.Err()
+	if errors.Is(err, context.DeadlineExceeded) && context.Cause(ctx) == errDeadlineBudget {
+		return &BudgetError{Resource: BudgetDeadline, Limit: int64(g.timeout), RowsScanned: g.rows.Load()}
+	}
+	return err
+}
+
+// sleep waits d or until ctx fires, whichever comes first.
+func (g *governor) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return g.interruption(ctx)
+	case <-t.C:
+		return nil
+	}
+}
+
+// testScanDelay is the test hook slowing every chunk admission, in
+// nanoseconds. It exists so robustness tests can make scans take long
+// enough to race timeouts and cancellation deterministically.
+var testScanDelay atomic.Int64
+
+// SetScanDelayForTest makes every governed chunk admission sleep d before
+// scanning (0 restores full speed) and returns the previous value. Test
+// hook only: a query's apparent cost becomes proportional to its
+// unpruned chunk count, so zone-pruned queries stay fast while full
+// scans become reliably slow.
+func SetScanDelayForTest(d time.Duration) time.Duration {
+	return time.Duration(testScanDelay.Swap(int64(d)))
+}

@@ -1,0 +1,158 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestRunContextMatchesRun: a governed run with generous budgets returns
+// the bit-identical result of the ungoverned run, for every worker
+// count — governance adds cancellation points, never a result path.
+func TestRunContextMatchesRun(t *testing.T) {
+	st := testStore(t)
+	q := Query{Where: []Predicate{TrustRange(0.1, 0.9)}, GroupBy: GroupWeek, Value: ValueDuration, P50: true}
+	want := mustRun(t, st, q)
+	for _, workers := range []int{1, 2, 3, 8} {
+		gq := q
+		gq.Workers = workers
+		gq.Limits = Limits{Timeout: time.Minute, MaxRowsScanned: 1 << 30, MaxGroups: 1 << 20}
+		got, err := RunContext(context.Background(), st, gq)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got.Groups, want.Groups) {
+			t.Fatalf("workers=%d: governed groups differ from ungoverned", workers)
+		}
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	st := testStore(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, st, Query{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestRowBudget(t *testing.T) {
+	st := testStore(t) // 320 rows in 4 chunks of 80
+	q := Query{Workers: 1, Limits: Limits{MaxRowsScanned: 100}}
+	_, err := RunContext(context.Background(), st, q)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("got %v, want ErrBudgetExceeded", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Resource != BudgetRows || be.Limit != 100 {
+		t.Fatalf("budget error = %+v", be)
+	}
+	if be.RowsScanned != 80 {
+		t.Fatalf("RowsScanned = %d, want 80 (one admitted chunk)", be.RowsScanned)
+	}
+}
+
+func TestGroupBudget(t *testing.T) {
+	st := testStore(t)
+	// Grouping by answer-distinct worker yields 10 groups per segment; a
+	// cap of 3 must fail both in the per-chunk fold and at merge.
+	q := Query{GroupBy: GroupWorker, Limits: Limits{MaxGroups: 3}}
+	_, err := RunContext(context.Background(), st, q)
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Resource != BudgetGroups || be.Limit != 3 {
+		t.Fatalf("got %v, want groups budget error", err)
+	}
+	// A cap at or above the true group count passes and returns the full
+	// result.
+	q.Limits.MaxGroups = 1000
+	res, err := RunContext(context.Background(), st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) == 0 {
+		t.Fatal("no groups")
+	}
+}
+
+// TestGroupBudgetAtMerge: per-chunk folds stay under the cap but the
+// merged key set exceeds it — the merge check must still fire. Segments
+// have disjoint worker ranges (100k..100k+9), so each chunk holds 10
+// distinct keys while the merged result holds 40.
+func TestGroupBudgetAtMerge(t *testing.T) {
+	st := testStore(t)
+	q := Query{GroupBy: GroupWorker, Limits: Limits{MaxGroups: 15}}
+	_, err := RunContext(context.Background(), st, q)
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Resource != BudgetGroups {
+		t.Fatalf("got %v, want groups budget error from merge", err)
+	}
+}
+
+func TestDeadlineBudget(t *testing.T) {
+	st := testStore(t)
+	defer SetScanDelayForTest(0)
+	SetScanDelayForTest(20 * time.Millisecond)
+	q := Query{Workers: 1, Limits: Limits{Timeout: 30 * time.Millisecond}}
+	start := time.Now()
+	_, err := RunContext(context.Background(), st, q)
+	elapsed := time.Since(start)
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Resource != BudgetDeadline {
+		t.Fatalf("got %v, want deadline budget error", err)
+	}
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("deadline error does not match ErrBudgetExceeded: %v", err)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("deadline enforcement took %v, want well under the full 4-chunk scan", elapsed)
+	}
+}
+
+// TestCancelMidScan: cancelling the caller's context mid-scan surfaces
+// as context.Canceled — never as a budget error, and never a result.
+func TestCancelMidScan(t *testing.T) {
+	st := testStore(t)
+	defer SetScanDelayForTest(0)
+	SetScanDelayForTest(10 * time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(15 * time.Millisecond)
+		cancel()
+	}()
+	_, err := RunContext(ctx, st, Query{Workers: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestInheritedDeadlineIsNotBudgetError: a deadline already on the
+// caller's context propagates as context.DeadlineExceeded, not as this
+// query's budget violation.
+func TestInheritedDeadlineIsNotBudgetError(t *testing.T) {
+	st := testStore(t)
+	defer SetScanDelayForTest(0)
+	SetScanDelayForTest(20 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	_, err := RunContext(ctx, st, Query{Workers: 1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	if errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("inherited deadline misreported as budget: %v", err)
+	}
+}
+
+// TestLimitsExcludedFromText: budgets are execution policy; two queries
+// differing only in Limits share a canonical text (and so a cached plan).
+func TestLimitsExcludedFromText(t *testing.T) {
+	a := Query{Where: []Predicate{WorkerEq(7)}}
+	b := a
+	b.Limits = Limits{Timeout: time.Second, MaxRowsScanned: 10, MaxGroups: 2}
+	if a.Text() != b.Text() {
+		t.Fatalf("Limits leaked into Text(): %q vs %q", a.Text(), b.Text())
+	}
+}

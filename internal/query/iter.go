@@ -148,6 +148,13 @@ func foldRows(cc *chunkCtx, it rowIter) partial {
 		if a == nil || key != lastKey {
 			a = p.groups[key]
 			if a == nil {
+				if cc.maxGroups > 0 && len(p.groups) >= cc.maxGroups {
+					// Group cap: stop folding and flag the overflow — the
+					// caller turns it into ErrBudgetExceeded, so the
+					// truncated partial is never merged into a result.
+					p.overflow = true
+					return p
+				}
 				a = &acc{minF: math.Inf(1), maxF: math.Inf(-1)}
 				if q.Value == ValueNone {
 					a.minF, a.maxF = 0, 0

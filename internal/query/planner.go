@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -559,13 +560,28 @@ func (pn *Planner) lookup(st *store.Store, q *Query) (*cachedPlan, error) {
 // Run executes the query through the plan cache: a hit skips validation,
 // lowering, scoring and ordering and goes straight to the scan.
 func (pn *Planner) Run(st *store.Store, q Query) (*Result, error) {
+	return pn.RunContext(context.Background(), st, q)
+}
+
+// RunContext is Run with cooperative cancellation and budget
+// enforcement; see the package-level RunContext for the contract.
+// Limits are deliberately not part of the cache key (they never change
+// the plan), so callers with different budgets share hot plans.
+func (pn *Planner) RunContext(ctx context.Context, st *store.Store, q Query) (*Result, error) {
 	cp, err := pn.lookup(st, &q)
 	if err != nil {
 		return nil, err
 	}
+	gov, stop := newGovernor(ctx, q.Limits)
+	defer stop()
 	res := &Result{}
-	partials, tasks := scanStore(st, &q, cp.pr, q.Workers, &res.Stats)
-	mergeFinalize(res, &q, tasks, partials)
+	partials, tasks, err := scanStore(gov.ctx, st, &q, cp.pr, q.Workers, gov, &res.Stats)
+	if err != nil {
+		return nil, err
+	}
+	if err := mergeFinalize(res, &q, tasks, partials, gov); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 

@@ -14,6 +14,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -275,6 +276,11 @@ type Query struct {
 	// and group keys on joined columns (worker.*, batch.*) probe into.
 	// Queries touching only physical columns leave it nil.
 	Tables *SideTables
+	// Limits bounds the query's resource consumption (deadline, rows
+	// scanned, result groups); the zero value imposes none. Limits never
+	// change what a query computes — only whether it completes — so they
+	// are excluded from Text() and the plan-cache key.
+	Limits Limits
 	// noReorder pins clause execution to the written order, bypassing
 	// the greedy planner — the test hook that lets the property suite
 	// compare planned against unplanned execution.
@@ -469,13 +475,31 @@ const ChunkRows = 1 << 16
 // Aggregation columns (group keys, values, distinct) are fetched once up
 // front and only when the query shape needs them.
 func Run(st *store.Store, q Query) (*Result, error) {
+	return RunContext(context.Background(), st, q)
+}
+
+// RunContext is Run with cooperative cancellation and budget
+// enforcement: the scan checks ctx (and Query.Limits) between 64Ki-row
+// chunks, so a cancelled or over-budget query stops within one chunk of
+// work per worker. A governed run either returns the exact result the
+// ungoverned run would have — bit-identical, for every Workers value —
+// or an error (ctx.Err(), or a *BudgetError matching ErrBudgetExceeded);
+// there is no partial-result path.
+func RunContext(ctx context.Context, st *store.Store, q Query) (*Result, error) {
 	pr, err := prepareStore(st, &q)
 	if err != nil {
 		return nil, err
 	}
+	gov, stop := newGovernor(ctx, q.Limits)
+	defer stop()
 	res := &Result{}
-	partials, tasks := scanStore(st, &q, pr, q.Workers, &res.Stats)
-	mergeFinalize(res, &q, tasks, partials)
+	partials, tasks, err := scanStore(gov.ctx, st, &q, pr, q.Workers, gov, &res.Stats)
+	if err != nil {
+		return nil, err
+	}
+	if err := mergeFinalize(res, &q, tasks, partials, gov); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -490,8 +514,12 @@ type span struct{ lo, hi, seg int }
 // zone-pruned per-segment clause bindings, chunk fan-out across the given
 // worker count, one partial per chunk in chunk order. Segments and
 // SegmentsPruned accumulate into qs; rows statistics are deferred to
-// mergeFinalize.
-func scanStore(st *store.Store, q *Query, pr *prepared, workers int, qs *Stats) ([]partial, []span) {
+// mergeFinalize. The governor is consulted once per chunk — the
+// cooperative cancellation point — and a fired budget or context aborts
+// the whole scan with its error. ctx is the scan's cancellation source
+// (usually gov.ctx; dataset runs pass their shard fan-out's inner
+// context so one failing shard stops the others mid-scan).
+func scanStore(ctx context.Context, st *store.Store, q *Query, pr *prepared, workers int, gov *governor, qs *Stats) ([]partial, []span, error) {
 	segs := st.Segments()
 	zones := st.ZoneMaps()
 	encs := st.SegmentEncodings()
@@ -499,7 +527,7 @@ func scanStore(st *store.Store, q *Query, pr *prepared, workers int, qs *Stats) 
 	raw := &rawCols{st: st}
 
 	qs.Segments += len(segs)
-	cc := &chunkCtx{q: q, segs: segs, bound: make([]segBound, len(segs))}
+	cc := &chunkCtx{q: q, segs: segs, bound: make([]segBound, len(segs)), maxGroups: gov.maxGroups}
 	var tasks []span
 	for i, si := range segs {
 		if si.Rows() == 0 {
@@ -540,13 +568,27 @@ func scanStore(st *store.Store, q *Query, pr *prepared, workers int, qs *Stats) 
 	}
 
 	partials := make([]partial, len(tasks))
-	par.EachShard(len(tasks), workers, func(lo, hi int) {
+	err := par.EachShardCtx(ctx, len(tasks), workers, func(ctx context.Context, lo, hi int) error {
 		var sc scratch
 		for i := lo; i < hi; i++ {
+			// The cooperative cancellation point: between chunks, never
+			// inside one — the partial slots written so far stay untouched
+			// on abort, and abort always surfaces as an error, so merge
+			// determinism cannot be affected.
+			if err := gov.admit(ctx, int64(tasks[i].hi-tasks[i].lo)); err != nil {
+				return err
+			}
 			partials[i] = evalChunk(cc, tasks[i].seg, tasks[i].lo, tasks[i].hi, &sc)
+			if partials[i].overflow {
+				return gov.groupsExceeded()
+			}
 		}
+		return nil
 	})
-	return partials, tasks
+	if err != nil {
+		return nil, nil, err
+	}
+	return partials, tasks, nil
 }
 
 // gkey is the composite group key: one or two int64 keys (the second is
@@ -554,8 +596,10 @@ func scanStore(st *store.Store, q *Query, pr *prepared, workers int, qs *Stats) 
 type gkey [2]int64
 
 // mergeFinalize folds chunk partials (in chunk order) into sorted result
-// groups and accumulates the row statistics.
-func mergeFinalize(res *Result, q *Query, tasks []span, partials []partial) {
+// groups and accumulates the row statistics. The group cap is re-checked
+// here: per-chunk fold checks bound each partial, but only the merge
+// sees the global distinct-key count.
+func mergeFinalize(res *Result, q *Query, tasks []span, partials []partial, gov *governor) error {
 	// Merge in chunk order: per-key accumulators fold deterministically
 	// because each key occurs at most once per chunk partial.
 	merged := make(map[gkey]*acc)
@@ -566,6 +610,9 @@ func mergeFinalize(res *Result, q *Query, tasks []span, partials []partial) {
 		for key, a := range p.groups {
 			m := merged[key]
 			if m == nil {
+				if gov.maxGroups > 0 && len(merged) >= gov.maxGroups {
+					return gov.groupsExceeded()
+				}
 				merged[key] = a
 				continue
 			}
@@ -609,6 +656,7 @@ func mergeFinalize(res *Result, q *Query, tasks []span, partials []partial) {
 		}
 		res.Groups[i] = g
 	}
+	return nil
 }
 
 // Count runs a count-only, ungrouped query and returns the matching row

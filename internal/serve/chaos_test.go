@@ -1,0 +1,292 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"crowdscope/internal/faultfs"
+	"crowdscope/internal/query"
+	"crowdscope/internal/store"
+	"crowdscope/internal/vfs"
+)
+
+// TestChaosSoak runs the whole overload surface at once against a real
+// HTTP server: concurrent writers, readers with random tight timeouts,
+// clients that hang up mid-request, and a disk that fills and empties
+// on its own schedule. The invariants:
+//
+//   - no request sees a status outside the documented set;
+//   - every 200 ingest is durable: the final store row count equals the
+//     sum of acked batches, and a full-count query agrees;
+//   - the server recovers to healthy once the disk stays fixed;
+//   - nothing leaks: the goroutine count settles back to baseline.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	baseline := runtime.NumGoroutine()
+
+	ffs := faultfs.New(vfs.OS{})
+	lcfg := testLiveCfg
+	lcfg.FS = ffs
+	ls, err := store.OpenLive(t.TempDir(), lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Store:              ls,
+		MaxInflight:        4,
+		MaxQueue:           8,
+		QueryTimeout:       100 * time.Millisecond,
+		DegradedProbeEvery: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	client := ts.Client()
+
+	defer query.SetScanDelayForTest(0)
+	query.SetScanDelayForTest(500 * time.Microsecond)
+
+	var (
+		acked    atomic.Int64 // rows acknowledged with 200
+		oks      atomic.Int64 // queries answered 200
+		rejected atomic.Int64 // 429/503/504/507/499 — expected under chaos
+		failMu   sync.Mutex
+		failures []string
+	)
+	fail := func(format string, args ...interface{}) {
+		failMu.Lock()
+		defer failMu.Unlock()
+		if len(failures) < 10 {
+			failures = append(failures, fmt.Sprintf(format, args...))
+		}
+	}
+	expected := map[int]bool{
+		http.StatusOK:                  true,
+		http.StatusTooManyRequests:     true,
+		http.StatusServiceUnavailable:  true,
+		http.StatusGatewayTimeout:      true,
+		http.StatusInsufficientStorage: true,
+		statusClientClosedRequest:      true,
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Writers: steady ingest; 200 means durable, 507 means the disk was
+	// full at that moment.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := 20 + rng.Intn(40)
+				body, _ := json.Marshal(ingestRequest{Rows: batchRows(n), AutoBatch: true})
+				resp, err := client.Post(ts.URL+"/ingest", "application/json", bytes.NewReader(body))
+				if err != nil {
+					fail("ingest transport: %v", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					acked.Add(int64(n))
+				case expected[resp.StatusCode]:
+					rejected.Add(1)
+				default:
+					fail("ingest status %d", resp.StatusCode)
+				}
+				time.Sleep(time.Duration(5+rng.Intn(10)) * time.Millisecond)
+			}
+		}(int64(100 + w))
+	}
+
+	// Readers: queries under random tight deadlines; some clients hang up
+	// mid-request.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				timeout := 5 + rng.Intn(55)
+				url := fmt.Sprintf("%s/query?q=where+worker+>=+0&timeout_ms=%d", ts.URL, timeout)
+				ctx, cancel := context.WithCancel(context.Background())
+				if rng.Intn(4) == 0 { // this client gives up early
+					dt := time.Duration(1+rng.Intn(20)) * time.Millisecond
+					time.AfterFunc(dt, cancel)
+				}
+				req, _ := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+				resp, err := client.Do(req)
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					switch {
+					case resp.StatusCode == http.StatusOK:
+						oks.Add(1)
+					case expected[resp.StatusCode]:
+						rejected.Add(1)
+					default:
+						fail("query status %d", resp.StatusCode)
+					}
+				}
+				cancel()
+				time.Sleep(time.Duration(rng.Intn(3)) * time.Millisecond)
+			}
+		}(int64(200 + r))
+	}
+
+	// Disk chaos: the store's disk fills and empties on its own schedule.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(7))
+		for {
+			select {
+			case <-stop:
+				ffs.FailWritesWithErr(nil)
+				return
+			case <-time.After(time.Duration(40+rng.Intn(60)) * time.Millisecond):
+			}
+			ffs.FailWritesWithErr(syscall.ENOSPC)
+			select {
+			case <-stop:
+				ffs.FailWritesWithErr(nil)
+				return
+			case <-time.After(time.Duration(20+rng.Intn(40)) * time.Millisecond):
+			}
+			ffs.FailWritesWithErr(nil)
+		}
+	}()
+
+	// Observer: stats and health must answer throughout.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+			for _, path := range []string{"/stats", "/healthz"} {
+				resp, err := client.Get(ts.URL + path)
+				if err != nil {
+					fail("%s transport: %v", path, err)
+					return
+				}
+				if path == "/stats" {
+					var st statsReply
+					if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+						fail("stats decode: %v", err)
+					} else if st.Queued > 8 {
+						fail("queue overflow: %d queued with MaxQueue=8", st.Queued)
+					}
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					fail("%s status %d", path, resp.StatusCode)
+				}
+			}
+		}
+	}()
+
+	time.Sleep(1500 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	ffs.FailWritesWithErr(nil)
+
+	for _, f := range failures {
+		t.Error(f)
+	}
+	if oks.Load() == 0 {
+		t.Error("no query ever succeeded during the soak")
+	}
+	if acked.Load() == 0 {
+		t.Error("no ingest ever succeeded during the soak")
+	}
+	t.Logf("soak: %d rows acked, %d queries ok, %d rejected under load",
+		acked.Load(), oks.Load(), rejected.Load())
+
+	// The server must return to healthy once the disk stays fixed.
+	waitFor(t, func() bool {
+		deg, _ := ls.Degraded()
+		return !deg
+	})
+
+	// Every acked row is there — by the store's own count and by a full
+	// scan through the query path.
+	if got := int64(ls.Rows()); got != acked.Load() {
+		t.Errorf("store holds %d rows, acked %d", got, acked.Load())
+	}
+	query.SetScanDelayForTest(0)
+	resp, err := client.Get(ts.URL + "/query?q=where+worker+>=+0&timeout_ms=60000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr queryReply
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("final query: %d", resp.StatusCode)
+	}
+	var counted int64
+	for _, g := range qr.Groups {
+		counted += g.Count
+	}
+	if counted != acked.Load() {
+		t.Errorf("final count %d, acked %d", counted, acked.Load())
+	}
+
+	// Clean shutdown, then everything we started must be gone.
+	if err := s.Close(); err != nil {
+		t.Errorf("server close: %v", err)
+	}
+	ts.Close()
+	client.CloseIdleConnections()
+	if err := ls.Close(); err != nil {
+		t.Errorf("store close: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		runtime.Gosched()
+		time.Sleep(20 * time.Millisecond)
+	}
+}

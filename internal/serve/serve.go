@@ -22,11 +22,14 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -72,6 +75,30 @@ type Config struct {
 	// that ingests slowly.
 	CheckpointEvery time.Duration
 
+	// MaxInflight bounds concurrently executing queries; excess requests
+	// wait in a bounded queue. <=0 defaults to max(4, 2*GOMAXPROCS).
+	MaxInflight int
+
+	// MaxQueue bounds queries waiting for an execution slot; a request
+	// arriving with the queue full is shed with 429 and Retry-After.
+	// 0 defaults to 4*MaxInflight; negative disables queueing (full
+	// slots shed immediately).
+	MaxQueue int
+
+	// QueryTimeout is the default per-query wall-clock budget (0 = none
+	// beyond QueryTimeoutMax). A request may choose its own with
+	// ?timeout_ms=; either way the effective timeout never exceeds
+	// QueryTimeoutMax.
+	QueryTimeout time.Duration
+
+	// QueryTimeoutMax clamps per-request timeouts; 0 defaults to 5m.
+	QueryTimeoutMax time.Duration
+
+	// DegradedProbeEvery is how often a degraded store is probed for
+	// recovered disk space (store.LiveStore.RecoverWrites). 0 defaults
+	// to 2s; negative disables the probe.
+	DegradedProbeEvery time.Duration
+
 	// Logf receives background-maintenance diagnostics; nil discards.
 	Logf func(format string, args ...interface{})
 }
@@ -89,10 +116,20 @@ type Server struct {
 	// so concurrent auto-batch ingests get distinct IDs in append order.
 	ingestMu sync.Mutex
 
+	// admitMu guards closed together with joining the drain group: Close
+	// flips closed under the lock before waiting on inflight, so a
+	// request either observes closed (and is refused) or has already
+	// joined the group (and is drained). The previous design — an atomic
+	// flag checked before and after inflight.Add — left a window where a
+	// request admitted between the check and the Add raced the final
+	// checkpoint.
+	admitMu  sync.Mutex
+	closed   bool
 	inflight sync.WaitGroup // requests admitted and not yet finished
-	closing  atomic.Bool    // set once; new requests get 503
 	bg       sync.WaitGroup // background maintenance goroutine
 	stop     chan struct{}
+
+	sem chan struct{} // query execution slots (capacity MaxInflight)
 
 	started     time.Time
 	queries     atomic.Int64
@@ -101,7 +138,26 @@ type Server struct {
 	ingestRows  atomic.Int64
 	compactions atomic.Int64 // segments merged away by the background loop
 	ckptErr     atomic.Value // last background checkpoint error string
+
+	inflightN  atomic.Int64 // requests currently being served (gauge)
+	queuedN    atomic.Int64 // queries waiting for an execution slot (gauge)
+	shed       atomic.Int64 // queries refused 429 with the queue full
+	cancelled  atomic.Int64 // queries abandoned by their client
+	timeouts   atomic.Int64 // queries that exhausted their wall-clock budget
+	panics     atomic.Int64 // handler panics converted to 500s
+	recoveries atomic.Int64 // degraded->healthy transitions by the probe
 }
+
+// errDraining is what every request refused by the shutdown gate gets.
+var errDraining = errors.New("server is shutting down")
+
+// errOverloaded sheds load when the query queue is full; the handler
+// pairs it with 429 and a Retry-After hint.
+var errOverloaded = errors.New("server overloaded: query queue full")
+
+// statusClientClosedRequest reports a query abandoned by its caller
+// (nginx's non-standard 499); the client is gone, the code is for logs.
+const statusClientClosedRequest = 499
 
 // New builds a Server over cfg.Store and starts its background
 // maintenance loop (when configured).
@@ -115,6 +171,23 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CompactEvery > 0 && cfg.CompactMaxRows <= 0 {
 		cfg.CompactMaxRows = 1 << 18
 	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 2 * runtime.GOMAXPROCS(0)
+		if cfg.MaxInflight < 4 {
+			cfg.MaxInflight = 4
+		}
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 4 * cfg.MaxInflight
+	} else if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	}
+	if cfg.QueryTimeoutMax <= 0 {
+		cfg.QueryTimeoutMax = 5 * time.Minute
+	}
+	if cfg.DegradedProbeEvery == 0 {
+		cfg.DegradedProbeEvery = 2 * time.Second
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...interface{}) {}
 	}
@@ -125,64 +198,116 @@ func New(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
 		stop:    make(chan struct{}),
+		sem:     make(chan struct{}, cfg.MaxInflight),
 		started: time.Now(),
 	}
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/ingest", s.handleIngest)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	if cfg.CompactEvery > 0 || cfg.CheckpointEvery > 0 {
-		s.bg.Add(1)
-		go s.maintain()
-	}
+	s.bg.Add(1)
+	go s.maintain()
 	return s, nil
 }
 
 // Handler returns the server's HTTP handler. Every request is admitted
 // through the drain gate: after Close begins, new requests are refused
-// with 503 while admitted ones run to completion.
+// with 503 while admitted ones run to completion. A handler panic is
+// contained to its request — counted, logged with its stack, and
+// answered with a 500 when the response has not started.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if s.closing.Load() {
-			writeErr(w, http.StatusServiceUnavailable, errors.New("server is shutting down"))
+		if !s.admit() {
+			writeErr(w, http.StatusServiceUnavailable, errDraining)
 			return
 		}
-		s.inflight.Add(1)
 		defer s.inflight.Done()
-		// Re-check after joining the drain group: Close waits on the
-		// group only after the flag is visible, so a request that saw
-		// the flag clear either completes before the final checkpoint
-		// or bails here.
-		if s.closing.Load() {
-			writeErr(w, http.StatusServiceUnavailable, errors.New("server is shutting down"))
-			return
-		}
+		s.inflightN.Add(1)
+		defer s.inflightN.Add(-1)
+		defer func() {
+			if p := recover(); p != nil {
+				s.panics.Add(1)
+				s.cfg.Logf("serve: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				writeErr(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", p))
+			}
+		}()
 		s.mux.ServeHTTP(w, r)
 	})
 }
 
-// Close drains the server: refuse new requests, stop background
-// maintenance, wait for in-flight requests, then take a final
-// checkpoint so a clean shutdown recovers without WAL replay. The
-// caller closes the store itself afterwards.
+// admit joins the drain group unless shutdown has begun. The closed
+// check and the Add happen under one lock — see admitMu.
+func (s *Server) admit() bool {
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// acquireQuerySlot takes a query execution slot, waiting in the bounded
+// queue when all slots are busy. The returned release func must be
+// called exactly once. Errors: errOverloaded (queue full), errDraining
+// (shutdown began while queued), or the context's error (caller gone).
+func (s *Server) acquireQuerySlot(ctx context.Context) (func(), error) {
+	select {
+	case s.sem <- struct{}{}:
+		return s.releaseSlot, nil
+	default:
+	}
+	if n := s.queuedN.Add(1); n > int64(s.cfg.MaxQueue) {
+		s.queuedN.Add(-1)
+		s.shed.Add(1)
+		return nil, errOverloaded
+	}
+	defer s.queuedN.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return s.releaseSlot, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-s.stop:
+		return nil, errDraining
+	}
+}
+
+func (s *Server) releaseSlot() { <-s.sem }
+
+// Close drains the server: refuse new requests, kick queued queries,
+// stop background maintenance, wait for in-flight requests, then take
+// a final checkpoint so a clean shutdown recovers without WAL replay.
+// A store stuck degraded (disk still full) skips the checkpoint — its
+// acked rows are already WAL-durable. The caller closes the store
+// itself afterwards.
 func (s *Server) Close() error {
-	if s.closing.Swap(true) {
+	s.admitMu.Lock()
+	if s.closed {
+		s.admitMu.Unlock()
 		return nil
 	}
+	s.closed = true
+	s.admitMu.Unlock()
 	close(s.stop)
 	s.bg.Wait()
 	s.inflight.Wait()
+	if deg, reason := s.ls.Degraded(); deg {
+		s.cfg.Logf("serve: skipping final checkpoint, store degraded: %s", reason)
+		return nil
+	}
 	if err := s.ls.Checkpoint(); err != nil {
 		return fmt.Errorf("serve: final checkpoint: %w", err)
 	}
 	return nil
 }
 
-// maintain is the background maintenance loop: segment compaction and
-// time-based checkpoints on their own tickers, off the request path.
+// maintain is the background maintenance loop: segment compaction,
+// time-based checkpoints, and the degraded-store recovery probe, each
+// on its own ticker, off the request path.
 func (s *Server) maintain() {
 	defer s.bg.Done()
-	var compact, ckpt <-chan time.Time
+	var compact, ckpt, probe <-chan time.Time
 	if s.cfg.CompactEvery > 0 {
 		t := time.NewTicker(s.cfg.CompactEvery)
 		defer t.Stop()
@@ -192,6 +317,11 @@ func (s *Server) maintain() {
 		t := time.NewTicker(s.cfg.CheckpointEvery)
 		defer t.Stop()
 		ckpt = t.C
+	}
+	if s.cfg.DegradedProbeEvery > 0 {
+		t := time.NewTicker(s.cfg.DegradedProbeEvery)
+		defer t.Stop()
+		probe = t.C
 	}
 	for {
 		select {
@@ -203,12 +333,26 @@ func (s *Server) maintain() {
 				s.cfg.Logf("serve: compacted away %d segments", n)
 			}
 		case <-ckpt:
+			if deg, _ := s.ls.Degraded(); deg {
+				continue // nothing to checkpoint onto; the probe owns recovery
+			}
 			if err := s.ls.Checkpoint(); err != nil {
 				s.ckptErr.Store(err.Error())
 				s.cfg.Logf("serve: background checkpoint: %v", err)
 			} else {
 				s.ckptErr.Store("")
 			}
+		case <-probe:
+			deg, reason := s.ls.Degraded()
+			if !deg {
+				continue
+			}
+			if err := s.ls.RecoverWrites(); err != nil {
+				s.cfg.Logf("serve: still degraded (%s): %v", reason, err)
+				continue
+			}
+			s.recoveries.Add(1)
+			s.cfg.Logf("serve: recovered from degraded state (%s)", reason)
 		}
 	}
 }
@@ -299,6 +443,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		q.Tables = s.tables
 	}
+	timeout, err := s.queryTimeout(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	q.Limits.Timeout = timeout
+
+	release, err := s.acquireQuerySlot(r.Context())
+	if err != nil {
+		switch {
+		case errors.Is(err, errOverloaded):
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, errDraining):
+			writeErr(w, http.StatusServiceUnavailable, err)
+		default: // caller gave up while queued
+			s.cancelled.Add(1)
+			writeErr(w, statusClientClosedRequest, err)
+		}
+		return
+	}
+	defer release()
 
 	// One consistent MVCC snapshot for the whole request: the view is
 	// immutable, so concurrent ingest cannot shear the scan.
@@ -318,10 +484,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		cached := pl.Cached
 		reply.Cached = &cached
 	}
-	res, err := s.pn.Run(st, q)
+	res, err := s.pn.RunContext(r.Context(), st, q)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		s.queryErrs.Add(1)
+		s.writeQueryErr(w, err)
 		return
 	}
 	s.queries.Add(1)
@@ -351,6 +516,50 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		reply.Groups[i] = gr
 	}
 	writeJSON(w, reply)
+}
+
+// queryTimeout resolves the effective wall-clock budget for a request:
+// ?timeout_ms= when present, else the server default, clamped to the
+// server maximum either way.
+func (s *Server) queryTimeout(r *http.Request) (time.Duration, error) {
+	timeout := s.cfg.QueryTimeout
+	if tms := r.URL.Query().Get("timeout_ms"); tms != "" {
+		v, err := strconv.ParseInt(tms, 10, 64)
+		if err != nil || v <= 0 {
+			return 0, fmt.Errorf("invalid timeout_ms %q", tms)
+		}
+		timeout = time.Duration(v) * time.Millisecond
+	}
+	if timeout <= 0 || timeout > s.cfg.QueryTimeoutMax {
+		timeout = s.cfg.QueryTimeoutMax
+	}
+	return timeout, nil
+}
+
+// writeQueryErr maps a query execution error to its status code and
+// counter: wall-clock budget → 504, row/group budget → 422, abandoned
+// by the client → 499, anything else → 400.
+func (s *Server) writeQueryErr(w http.ResponseWriter, err error) {
+	var be *query.BudgetError
+	switch {
+	case errors.As(err, &be) && be.Resource == query.BudgetDeadline:
+		s.timeouts.Add(1)
+		writeErr(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, query.ErrBudgetExceeded):
+		s.queryErrs.Add(1)
+		writeErr(w, http.StatusUnprocessableEntity, err)
+	case errors.Is(err, context.Canceled):
+		s.cancelled.Add(1)
+		writeErr(w, statusClientClosedRequest, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		// An inherited deadline (e.g. the HTTP server's) rather than this
+		// query's own budget; still a timeout from the caller's seat.
+		s.timeouts.Add(1)
+		writeErr(w, http.StatusGatewayTimeout, err)
+	default:
+		s.queryErrs.Add(1)
+		writeErr(w, http.StatusBadRequest, err)
+	}
 }
 
 // ingestRow is one row on the wire; field names mirror the query
@@ -424,9 +633,16 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.ingestMu.Unlock()
 	}
 	if err != nil {
-		if errors.Is(err, store.ErrLiveFailed) {
+		switch {
+		case errors.Is(err, store.ErrDegraded):
+			// Read-only degraded mode: the disk is full but queries keep
+			// answering. 507 tells the writer precisely why its rows were
+			// refused; the background probe re-arms writes when space
+			// returns.
+			writeErr(w, http.StatusInsufficientStorage, err)
+		case errors.Is(err, store.ErrLiveFailed):
 			writeErr(w, http.StatusServiceUnavailable, err)
-		} else {
+		default:
 			writeErr(w, http.StatusBadRequest, err)
 		}
 		return
@@ -454,6 +670,16 @@ type statsReply struct {
 	Compacted      int64           `json:"compacted_segments"`
 	CheckpointErr  string          `json:"checkpoint_error,omitempty"`
 	UptimeSeconds  float64         `json:"uptime_seconds"`
+
+	Inflight       int64  `json:"inflight"`   // requests being served now
+	Queued         int64  `json:"queued"`     // queries waiting for a slot
+	Shed           int64  `json:"shed"`       // queries refused 429
+	Cancelled      int64  `json:"cancelled"`  // queries abandoned by clients
+	Timeouts       int64  `json:"timeouts"`   // queries past their deadline
+	Panics         int64  `json:"panics"`     // handler panics -> 500
+	Recoveries     int64  `json:"recoveries"` // degraded->healthy transitions
+	Degraded       bool   `json:"degraded"`   // store is read-only right now
+	DegradedReason string `json:"degraded_reason,omitempty"`
 }
 
 type planCacheReply struct {
@@ -475,13 +701,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		IngestRows:     s.ingestRows.Load(),
 		Compacted:      s.compactions.Load(),
 		UptimeSeconds:  time.Since(s.started).Seconds(),
+		Inflight:       s.inflightN.Load(),
+		Queued:         s.queuedN.Load(),
+		Shed:           s.shed.Load(),
+		Cancelled:      s.cancelled.Load(),
+		Timeouts:       s.timeouts.Load(),
+		Panics:         s.panics.Load(),
+		Recoveries:     s.recoveries.Load(),
 	}
+	reply.Degraded, reply.DegradedReason = s.ls.Degraded()
 	if v, ok := s.ckptErr.Load().(string); ok {
 		reply.CheckpointErr = v
 	}
 	writeJSON(w, reply)
 }
 
+// handleHealthz answers 200 always — degraded is alive (queries still
+// work); the status field tells orchestration which mode it found.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if deg, reason := s.ls.Degraded(); deg {
+		writeJSON(w, map[string]string{"status": "degraded", "reason": reason})
+		return
+	}
 	writeJSON(w, map[string]string{"status": "ok"})
 }

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -860,7 +861,7 @@ func readEncodedBlocks(cr *countingReader, st *Store, n, nblocks, workers int, r
 				wave = append(wave, wb{blockIdx: i, segIdx: nonEmpty[i], payload: payload})
 				waveBytes += len(payload)
 			}
-			if err := par.EachShardErr(len(wave), workers, func(lo, hi int) error {
+			if err := par.EachShardErr(len(wave), workers, func(_ context.Context, lo, hi int) error {
 				for k := lo; k < hi; k++ {
 					enc, err := decodeEncBlock(wave[k].payload, st.segs[wave[k].segIdx].Rows())
 					if err != nil {

@@ -3,6 +3,7 @@ package store
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -640,7 +641,7 @@ func readV3(cr *countingReader, opts LoadOptions, rep *LoadReport) (*Store, erro
 			rowsDone += count
 		}
 		growColumns(st, rowsDone)
-		derr := par.EachShardErr(len(wbs), workers, func(lo, hi int) error {
+		derr := par.EachShardErr(len(wbs), workers, func(_ context.Context, lo, hi int) error {
 			for i := lo; i < hi; i++ {
 				if wbs[i].skip {
 					continue

@@ -11,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"syscall"
 
 	"crowdscope/internal/model"
 	"crowdscope/internal/vfs"
@@ -60,6 +61,14 @@ type LiveStore struct {
 	closed    bool
 	failed    bool
 
+	// degraded marks the read-only state disk exhaustion puts the store
+	// in: appends and checkpoints are refused with ErrDegraded while
+	// queries keep serving, and RecoverWrites re-arms the writers once
+	// space returns. Unlike failed, nothing acknowledged is in doubt —
+	// the WAL never advances its acked offset past a failed write.
+	degraded       bool
+	degradedReason string
+
 	// view is the MVCC read arena behind View (see liveview.go). It has
 	// its own mutex; ls.mu is only ever taken for the O(small) capture.
 	view viewState
@@ -102,6 +111,18 @@ func (c *LiveConfig) fill() {
 // failure: the on-disk tail is undefined, so further appends are refused.
 // Reopen the directory to recover the durable prefix.
 var ErrLiveFailed = errors.New("store: live store failed; reopen to recover")
+
+// ErrDegraded marks the read-only degraded state a LiveStore enters when
+// the disk fills up (ENOSPC on a WAL append or checkpoint): appends and
+// checkpoints are refused, reads and queries keep working, and
+// RecoverWrites restores write service once space returns — no reopen
+// needed, because a full disk never leaves acknowledged data in doubt.
+var ErrDegraded = errors.New("store: live store degraded (read-only): disk full")
+
+// isDiskFull reports whether err is disk exhaustion — the one write
+// failure that is expected to clear on its own and so degrades the store
+// instead of poisoning it.
+func isDiskFull(err error) bool { return errors.Is(err, syscall.ENOSPC) }
 
 // Record payload layout (the WAL stores opaque payloads; this is the
 // live store's record codec). A record is one acknowledged Append call:
@@ -473,6 +494,8 @@ func (ls *LiveStore) Append(rows []model.Instance) error {
 		return fmt.Errorf("store: live store closed")
 	case ls.failed:
 		return ErrLiveFailed
+	case ls.degraded:
+		return fmt.Errorf("%w (%s)", ErrDegraded, ls.degradedReason)
 	}
 	if len(rows) == 0 {
 		return nil
@@ -495,6 +518,14 @@ func (ls *LiveStore) Append(rows []model.Instance) error {
 	}
 	lsn, err := ls.log.Append(encodeRecord(rows))
 	if err != nil {
+		if isDiskFull(err) {
+			// A full disk is survivable: the record was not acked, the WAL
+			// self-poisoned at the last acked frame boundary, and
+			// RecoverWrites can truncate the torn tail and resume once
+			// space returns. Degrade to read-only instead of poisoning.
+			ls.enterDegradedLocked(err)
+			return fmt.Errorf("%w: wal append: %v", ErrDegraded, err)
+		}
 		ls.failed = true
 		return fmt.Errorf("store: wal append: %w", err)
 	}
@@ -502,11 +533,25 @@ func (ls *LiveStore) Append(rows []model.Instance) error {
 	ls.ackRows += len(rows)
 	if ls.cfg.CheckpointRows > 0 && ls.sealRows-ls.ckptRows >= ls.cfg.CheckpointRows {
 		if err := ls.checkpointLocked(); err != nil {
+			if isDiskFull(err) {
+				// The rows themselves are already WAL-durable and applied —
+				// this append succeeded; it is only the checkpoint that
+				// could not fit. Acknowledge the rows and degrade, leaving
+				// the WAL suffix a little longer until space returns.
+				ls.enterDegradedLocked(err)
+				return nil
+			}
 			ls.failed = true
 			return fmt.Errorf("store: checkpoint: %w", err)
 		}
 	}
 	return nil
+}
+
+// enterDegradedLocked flips the store into the read-only degraded state.
+func (ls *LiveStore) enterDegradedLocked(cause error) {
+	ls.degraded = true
+	ls.degradedReason = cause.Error()
 }
 
 // applyLocked folds one validated record into the in-memory state. It is
@@ -550,8 +595,14 @@ func (ls *LiveStore) Checkpoint() error {
 		return fmt.Errorf("store: live store closed")
 	case ls.failed:
 		return ErrLiveFailed
+	case ls.degraded:
+		return fmt.Errorf("%w (%s)", ErrDegraded, ls.degradedReason)
 	}
 	if err := ls.checkpointLocked(); err != nil {
+		if isDiskFull(err) {
+			ls.enterDegradedLocked(err)
+			return fmt.Errorf("%w: checkpoint: %v", ErrDegraded, err)
+		}
 		ls.failed = true
 		return fmt.Errorf("store: checkpoint: %w", err)
 	}
@@ -704,6 +755,70 @@ func (ls *LiveStore) SealedSegments() int {
 	ls.mu.Lock()
 	defer ls.mu.Unlock()
 	return len(ls.sealed)
+}
+
+// Degraded reports whether the store is in the read-only degraded state
+// (see ErrDegraded), and why.
+func (ls *LiveStore) Degraded() (bool, string) {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.degraded, ls.degradedReason
+}
+
+// RecoverWrites attempts to leave the degraded state: it probes the disk
+// with a small synced write (so a still-full disk fails here, not on a
+// caller's append), repairs the WAL writer — truncating any torn tail a
+// failed append left past the last acknowledged frame — and re-arms
+// writes. On success the store serves appends again with nothing lost;
+// on failure the store stays degraded and the probe can simply be
+// retried later. A no-op on a healthy store.
+func (ls *LiveStore) RecoverWrites() error {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	switch {
+	case ls.closed:
+		return fmt.Errorf("store: live store closed")
+	case ls.failed:
+		return ErrLiveFailed
+	case !ls.degraded:
+		return nil
+	}
+	if err := ls.probeDiskLocked(); err != nil {
+		return fmt.Errorf("%w (probe: %v)", ErrDegraded, err)
+	}
+	if err := ls.log.Repair(); err != nil {
+		return fmt.Errorf("%w (wal repair: %v)", ErrDegraded, err)
+	}
+	ls.degraded = false
+	ls.degradedReason = ""
+	return nil
+}
+
+// probeDiskLocked verifies the directory can take a small durable write:
+// create, fill, sync, close, remove. The .tmp suffix means a crash
+// mid-probe leaves a file open-time recovery already cleans up.
+func (ls *LiveStore) probeDiskLocked() error {
+	path := filepath.Join(ls.dir, "probe.tmp")
+	w, err := ls.fs.Create(path)
+	if err != nil {
+		return err
+	}
+	var block [4096]byte
+	if _, err := w.Write(block[:]); err != nil {
+		w.Close()
+		ls.fs.Remove(path)
+		return err
+	}
+	if err := w.Sync(); err != nil {
+		w.Close()
+		ls.fs.Remove(path)
+		return err
+	}
+	if err := w.Close(); err != nil {
+		ls.fs.Remove(path)
+		return err
+	}
+	return ls.fs.Remove(path)
 }
 
 // Close syncs and closes the WAL. The open builder's rows stay durable

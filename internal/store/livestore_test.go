@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"syscall"
 	"testing"
 
 	"crowdscope/internal/faultfs"
@@ -515,5 +516,137 @@ func TestCheckpointSyncFailureLeavesNoTemp(t *testing.T) {
 			t.Fatalf("sync failure %d: recovered %d rows, want %d", k, got, want)
 		}
 		ls2.Close()
+	}
+}
+
+// TestLiveStoreDegradedOnDiskFull: ENOSPC on a WAL append moves the live
+// store to the read-only degraded state — not the poisoned failed state.
+// Reads keep serving the acked prefix, further appends and checkpoints
+// are refused with ErrDegraded, and RecoverWrites restores service in
+// place once the disk has space again, losing nothing that was acked.
+func TestLiveStoreDegradedOnDiskFull(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultfs.New(vfs.OS{})
+	cfg := liveTestCfg
+	cfg.FS = ffs
+	ls, err := OpenLive(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := genStream(7, 15) // one stream: batch IDs stay non-decreasing across the fault window
+	recs, extra := all[:12], all[12:]
+	for i, rec := range recs {
+		if err := ls.Append(rec); err != nil {
+			t.Fatalf("append record %d: %v", i, err)
+		}
+	}
+	acked := ls.Rows()
+	before := snapshotBytes(t, ls)
+
+	ffs.FailWritesWithErr(syscall.ENOSPC)
+	err = ls.Append(extra[0])
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("append on full disk: %v, want ErrDegraded", err)
+	}
+	if errors.Is(err, ErrLiveFailed) {
+		t.Fatalf("full disk poisoned the store: %v", err)
+	}
+	if deg, reason := ls.Degraded(); !deg || reason == "" {
+		t.Fatalf("Degraded() = %v, %q", deg, reason)
+	}
+	// Degraded is sticky for writes: the next append is refused up front.
+	if err := ls.Append(extra[1]); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("second append while degraded: %v", err)
+	}
+	if err := ls.Checkpoint(); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("checkpoint while degraded: %v", err)
+	}
+	// ...but reads still serve the acked prefix, bit-identically.
+	if ls.Rows() != acked {
+		t.Fatalf("degraded store acks %d rows, had %d", ls.Rows(), acked)
+	}
+	if got := snapshotBytes(t, ls); !bytes.Equal(got, before) {
+		t.Fatal("degraded store contents changed")
+	}
+	// Recovery while the disk is still full stays degraded.
+	if err := ls.RecoverWrites(); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("RecoverWrites on a still-full disk: %v", err)
+	}
+
+	ffs.FailWritesWithErr(nil) // space returns
+	if err := ls.RecoverWrites(); err != nil {
+		t.Fatalf("RecoverWrites: %v", err)
+	}
+	if deg, _ := ls.Degraded(); deg {
+		t.Fatal("still degraded after RecoverWrites")
+	}
+	for i, rec := range extra {
+		if err := ls.Append(rec); err != nil {
+			t.Fatalf("append %d after recovery: %v", i, err)
+		}
+	}
+	want := snapshotBytes(t, ls)
+	if err := ls.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The reopened directory replays to exactly what the recovered store
+	// served: nothing acked before, during, or after the window is lost.
+	ls2, err := OpenLive(dir, liveTestCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ls2.Close()
+	if got := snapshotBytes(t, ls2); !bytes.Equal(got, want) {
+		t.Fatal("reopen after degraded window diverges from live contents")
+	}
+}
+
+// TestLiveStoreDegradedOnCheckpointDiskFull: ENOSPC during an explicit
+// checkpoint degrades instead of poisoning — the WAL still holds every
+// acked row, so nothing is lost and reads keep working.
+func TestLiveStoreDegradedOnCheckpointDiskFull(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultfs.New(vfs.OS{})
+	cfg := liveTestCfg
+	cfg.FS = ffs
+	ls, err := OpenLive(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := genStream(9, 10)
+	for _, rec := range recs {
+		if err := ls.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := snapshotBytes(t, ls)
+
+	ffs.FailWritesWithErr(syscall.ENOSPC)
+	if err := ls.Checkpoint(); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("checkpoint on full disk: %v, want ErrDegraded", err)
+	}
+	if deg, _ := ls.Degraded(); !deg {
+		t.Fatal("store not degraded after checkpoint ENOSPC")
+	}
+	if got := snapshotBytes(t, ls); !bytes.Equal(got, before) {
+		t.Fatal("degraded store contents changed")
+	}
+
+	ffs.FailWritesWithErr(nil)
+	if err := ls.RecoverWrites(); err != nil {
+		t.Fatalf("RecoverWrites: %v", err)
+	}
+	if err := ls.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after recovery: %v", err)
+	}
+	want := snapshotBytes(t, ls)
+	ls.Close()
+	ls2, err := OpenLive(dir, liveTestCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ls2.Close()
+	if got := snapshotBytes(t, ls2); !bytes.Equal(got, want) {
+		t.Fatal("reopen after checkpoint-degraded window diverges")
 	}
 }

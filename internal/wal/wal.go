@@ -555,6 +555,51 @@ func (l *Log) TruncateBefore(lsn LSN) error {
 	return fs.SyncDir(l.dir)
 }
 
+// Failed reports whether the log is poisoned by an earlier write or
+// sync failure (see Repair).
+func (l *Log) Failed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
+}
+
+// Repair attempts to un-poison a failed log in place, without losing a
+// single acknowledged record. l.off only advances after a fully
+// successful append, so the acknowledged prefix of the open segment ends
+// exactly at l.off; whatever a failed write left beyond it is a torn
+// tail no caller was ever acked for. Repair truncates the open segment
+// back to that boundary (a shrinking truncate succeeds even on a full
+// disk — it frees space, it does not take it), reopens the append
+// handle, and clears the poison. On a healthy log it is a no-op.
+//
+// Repair restores the writer state only; whether the disk can actually
+// take new bytes is for the caller to probe — a full disk will simply
+// poison the log again on the next append.
+func (l *Log) Repair() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if !l.failed {
+		return nil
+	}
+	fs := l.opts.FS
+	// The old handle is suspect (and may already be closed by a failed
+	// rotation); its close error tells us nothing the truncate won't.
+	l.w.Close()
+	if err := fs.Truncate(l.path(l.seq), l.off); err != nil {
+		return err
+	}
+	w, err := fs.OpenAppend(l.path(l.seq))
+	if err != nil {
+		return err
+	}
+	l.w = w
+	l.failed = false
+	return nil
+}
+
 // Close syncs and closes the open segment. The log cannot be used
 // afterwards; reopen the directory instead.
 func (l *Log) Close() error {
