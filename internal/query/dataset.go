@@ -190,7 +190,7 @@ func RunDatasetContext(ctx context.Context, d *store.Dataset, q Query, opts Data
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, gov.translate(err)
 	}
 
 	var partials []partial

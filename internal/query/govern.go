@@ -156,6 +156,22 @@ func (g *governor) interruption(ctx context.Context) error {
 	return err
 }
 
+// translate re-types a raw context error that bypassed admit — the shard
+// fan-out's fast-fail entry check and its all-cancellations fallback both
+// return ctx.Err() directly — so a fired budget deadline is consistently
+// a *BudgetError no matter which path surfaced it. Non-context errors
+// (budget violations, data errors) pass through untouched, as does a
+// cancellation observed while the governor's own context is still live.
+func (g *governor) translate(err error) error {
+	if err == nil {
+		return nil
+	}
+	if (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) && g.ctx.Err() != nil {
+		return g.interruption(g.ctx)
+	}
+	return err
+}
+
 // sleep waits d or until ctx fires, whichever comes first.
 func (g *governor) sleep(ctx context.Context, d time.Duration) error {
 	t := time.NewTimer(d)

@@ -586,7 +586,11 @@ func scanStore(ctx context.Context, st *store.Store, q *Query, pr *prepared, wor
 		return nil
 	})
 	if err != nil {
-		return nil, nil, err
+		// The fan-out can surface a raw context error without passing
+		// through admit (fast-fail entry, all-cancellations fallback);
+		// re-type a fired budget deadline so errors.Is(err,
+		// ErrBudgetExceeded) holds on every path.
+		return nil, nil, gov.translate(err)
 	}
 	return partials, tasks, nil
 }

@@ -224,15 +224,50 @@ func (s *Server) Handler() http.Handler {
 		defer s.inflight.Done()
 		s.inflightN.Add(1)
 		defer s.inflightN.Add(-1)
+		tw := &trackingWriter{ResponseWriter: w}
 		defer func() {
-			if p := recover(); p != nil {
-				s.panics.Add(1)
-				s.cfg.Logf("serve: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
-				writeErr(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", p))
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				// net/http's sentinel for deliberately aborting a response;
+				// not a bug to contain — let the server handle it.
+				panic(p)
+			}
+			s.panics.Add(1)
+			s.cfg.Logf("serve: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			if !tw.started {
+				writeErr(tw, http.StatusInternalServerError, fmt.Errorf("internal error: %v", p))
 			}
 		}()
-		s.mux.ServeHTTP(w, r)
+		s.mux.ServeHTTP(tw, r)
 	})
+}
+
+// trackingWriter records whether the response has started, so panic
+// containment knows a 500 is still writable (a WriteHeader after the
+// handler already wrote one would be superfluous).
+type trackingWriter struct {
+	http.ResponseWriter
+	started bool
+}
+
+func (w *trackingWriter) WriteHeader(code int) {
+	w.started = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *trackingWriter) Write(b []byte) (int, error) {
+	w.started = true
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *trackingWriter) Flush() {
+	w.started = true
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // admit joins the drain group unless shutdown has begun. The closed

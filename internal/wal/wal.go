@@ -369,13 +369,16 @@ func (l *Log) Append(payload []byte) (LSN, error) {
 		l.failed = true
 		return LSN{}, err
 	}
-	l.off += int64(len(frame))
 	if l.opts.Sync == SyncAlways {
 		if err := l.w.Sync(); err != nil {
+			// The frame is in the file but not durable and never acked:
+			// l.off must not cover it, or Repair would keep it and a
+			// reopen would replay a record no caller was acked for.
 			l.failed = true
 			return LSN{}, err
 		}
 	}
+	l.off += int64(len(frame))
 	return lsn, nil
 }
 

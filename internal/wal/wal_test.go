@@ -330,6 +330,48 @@ func BenchmarkWALAppend(b *testing.B) {
 	}
 }
 
+// TestRepairDropsUnackedFrameAfterSyncFailure: under SyncAlways the
+// common ENOSPC shape is a buffered write that succeeds and an fsync
+// that fails. The frame is then fully on disk but was never acked, so
+// the append position must not cover it — Repair truncates exactly to
+// the acked prefix, and neither live replay nor a reopen may surface
+// the phantom record.
+func TestRepairDropsUnackedFrameAfterSyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultfs.New(vfs.OS{})
+	l, err := Open(dir, Options{Sync: SyncAlways, FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("acked")); err != nil {
+		t.Fatal(err)
+	}
+
+	ffs.FailSyncSoftAt(1) // next fsync fails, disk keeps the bytes
+	if _, err := l.Append([]byte("phantom")); !errors.Is(err, faultfs.ErrTransient) {
+		t.Fatalf("append with failing fsync: %v, want ErrTransient", err)
+	}
+	if !l.Failed() {
+		t.Fatal("log not poisoned after failed sync")
+	}
+
+	if err := l.Repair(); err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if _, err := l.Append([]byte("after")); err != nil {
+		t.Fatalf("append after Repair: %v", err)
+	}
+	_, recs := collect(t, l, LSN{})
+	if len(recs) != 2 || string(recs[0]) != "acked" || string(recs[1]) != "after" {
+		t.Fatalf("live replay after repair got %q", recs)
+	}
+	l.Close()
+	if recs := reopenAndCount(t, dir); len(recs) != 2 ||
+		string(recs[0]) != "acked" || string(recs[1]) != "after" {
+		t.Fatalf("reopen after repair recovered %q", recs)
+	}
+}
+
 // TestRepairAfterDiskFull: an ENOSPC-failed append poisons the log, but
 // Repair truncates the torn tail back to the last acked frame and
 // restores append service in place — no reopen, no acked record lost.
